@@ -1,0 +1,80 @@
+//! Figure 15: effect of dimensionality on SP/CP/FP (CPU + I/O),
+//! for IND, COR and ANTI data.
+//!
+//! Expected shape (the paper's headline result): FP beats SP and CP in
+//! both metrics everywhere, by growing factors as `d` increases; CP's
+//! CPU exceeds SP's (the hull over the skyline outweighs its pruning);
+//! SP and CP have identical I/O (same BBS pass); the gaps are largest on
+//! ANTI and smallest on COR.
+
+use gir_bench::report::Table;
+use gir_bench::runner::{build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult};
+use gir_bench::Params;
+use gir_core::Method;
+use gir_datagen::Distribution;
+use gir_query::ScoringFunction;
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "Figure 15: CPU and I/O time vs d for SP/CP/FP  (n={}, k={}, {} queries; I/O modelled at 0.1 ms/page)",
+        p.n, p.k, p.queries
+    );
+
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::Anticorrelated,
+    ] {
+        let mut cpu = Table::new(&["d", "SP", "CP", "FP"]);
+        let mut io = Table::new(&["d", "SP", "CP", "FP"]);
+        // A method that blows its budget stops being run at larger d.
+        let mut dead: Vec<Method> = Vec::new();
+        for &d in &p.dims {
+            let tree = build_tree(BenchDataset::Synthetic(dist), p.n, d, 0x15);
+            let qs = query_workload(p.queries, d, 0xF16_15);
+            let scoring = ScoringFunction::linear(d);
+            let mut cells: Vec<CellResult> = Vec::new();
+            let mut sp_structure = 0.0;
+            for method in [
+                Method::SkylinePruning,
+                Method::ConvexHullPruning,
+                Method::FacetPruning,
+            ] {
+                if dead.contains(&method)
+                    || (method == Method::ConvexHullPruning && !cp_feasible(sp_structure, d))
+                {
+                    cells.push(CellResult::default());
+                    continue;
+                }
+                let cell = run_cell(&tree, &scoring, &qs, p.k, method, p.cell_budget_ms, false);
+                if method == Method::SkylinePruning {
+                    sp_structure = cell.structure;
+                }
+                if cell.measured < qs.len() {
+                    dead.push(method); // over budget: stop the series
+                }
+                cells.push(cell);
+            }
+            cpu.row(vec![
+                d.to_string(),
+                cells[0].cpu_cell(),
+                cells[1].cpu_cell(),
+                cells[2].cpu_cell(),
+            ]);
+            io.row(vec![
+                d.to_string(),
+                cells[0].io_cell(),
+                cells[1].io_cell(),
+                cells[2].io_cell(),
+            ]);
+        }
+        cpu.print(&format!("Fig 15 CPU time ms ({})", dist.label()));
+        io.print(&format!("Fig 15 I/O time ms ({})", dist.label()));
+    }
+    println!(
+        "\nexpected shape: FP lowest everywhere; CP CPU ≥ SP CPU; SP I/O = CP I/O ≫ FP I/O; \
+         ANTI hardest, COR easiest. '—' marks cells past the time budget \
+         (the paper ran those cells for up to 10^7 ms)."
+    );
+}

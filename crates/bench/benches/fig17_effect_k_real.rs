@@ -1,0 +1,75 @@
+//! Figure 17: effect of `k` on the real-data stand-ins (HOTEL 4-d,
+//! HOUSE 6-d).
+//!
+//! Expected shape: CPU grows with `k` for all methods (a larger retained
+//! set `T`); on HOTEL, I/O mildly *decreases* with `k` (more critical /
+//! skyline records already fetched by BRS); on the 6-d HOUSE data SP/CP
+//! I/O rises with `k` (the skyline "widens" as strong dominators join the
+//! result) while FP, independent of the skyline, stays flat-to-down.
+
+use gir_bench::report::Table;
+use gir_bench::runner::{build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult};
+use gir_bench::Params;
+use gir_core::Method;
+use gir_query::ScoringFunction;
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "Figure 17: CPU and I/O vs k (HOTEL-like n={}, HOUSE-like n={}; {} queries)",
+        p.real_n(418_843),
+        p.real_n(315_265),
+        p.queries
+    );
+
+    for (ds, d, n) in [
+        (BenchDataset::Hotel, 4usize, p.real_n(418_843)),
+        (BenchDataset::House, 6usize, p.real_n(315_265)),
+    ] {
+        let tree = build_tree(ds, n, d, 0x17);
+        let scoring = ScoringFunction::linear(d);
+        let mut cpu = Table::new(&["k", "SP", "CP", "FP"]);
+        let mut io = Table::new(&["k", "SP", "CP", "FP"]);
+        let mut dead: Vec<Method> = Vec::new();
+        for &k in &p.ks {
+            let qs = query_workload(p.queries, d, 0xF16_17 + k as u64);
+            let mut cells: Vec<CellResult> = Vec::new();
+            let mut sp_structure = 0.0;
+            for method in [
+                Method::SkylinePruning,
+                Method::ConvexHullPruning,
+                Method::FacetPruning,
+            ] {
+                if dead.contains(&method)
+                    || (method == Method::ConvexHullPruning && !cp_feasible(sp_structure, d))
+                {
+                    cells.push(CellResult::default());
+                    continue;
+                }
+                let cell = run_cell(&tree, &scoring, &qs, k, method, p.cell_budget_ms, false);
+                if method == Method::SkylinePruning {
+                    sp_structure = cell.structure;
+                }
+                if cell.measured < qs.len() {
+                    dead.push(method);
+                }
+                cells.push(cell);
+            }
+            cpu.row(vec![
+                k.to_string(),
+                cells[0].cpu_cell(),
+                cells[1].cpu_cell(),
+                cells[2].cpu_cell(),
+            ]);
+            io.row(vec![
+                k.to_string(),
+                cells[0].io_cell(),
+                cells[1].io_cell(),
+                cells[2].io_cell(),
+            ]);
+        }
+        cpu.print(&format!("Fig 17 CPU time ms ({})", ds.label()));
+        io.print(&format!("Fig 17 I/O time ms ({})", ds.label()));
+    }
+    println!("\nexpected shape: CPU grows with k; FP lowest throughout.");
+}

@@ -1,0 +1,83 @@
+//! GIR-derived LIRs vs per-dimension re-querying (the [24] baseline).
+//!
+//! Paper §2/§7.3: LIRs derive trivially from the GIR (one axis projection
+//! each), while the per-dimension route needs fresh top-k queries — and
+//! every LIR is invalidated the moment any weight changes, whereas the
+//! GIR keeps answering as long as the query stays inside it. This bench
+//! quantifies both effects.
+
+use gir_bench::report::Table;
+use gir_bench::runner::{build_tree, query_workload, BenchDataset};
+use gir_bench::Params;
+use gir_core::lir::lirs_by_requery;
+use gir_core::{GirEngine, Method};
+use gir_datagen::Distribution;
+use gir_query::{QueryVector, ScoringFunction};
+use std::time::Instant;
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "LIR derivation: GIR projection vs per-dimension re-query  (IND, n={}, k={}, {} queries)",
+        p.n, p.k, p.queries
+    );
+
+    let mut t = Table::new(&["d", "gir_ms", "requery_ms", "requery_topk", "readjust_gir_ms", "readjust_requery_ms"]);
+    for &d in &[2usize, 3, 4, 5] {
+        let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), p.n, d, 0x24);
+        let scoring = ScoringFunction::linear(d);
+        let engine = GirEngine::new(&tree);
+        let qs = query_workload(p.queries, d, 0x24_24);
+
+        let mut gir_ms = 0.0;
+        let mut requery_ms = 0.0;
+        let mut requery_queries = 0usize;
+        let mut readjust_gir_ms = 0.0;
+        let mut readjust_requery_ms = 0.0;
+        for w in &qs {
+            // One-shot LIRs from the GIR (includes GIR construction).
+            let t0 = Instant::now();
+            let q = QueryVector::new(w.coords().to_vec());
+            let out = engine.gir(&q, p.k, Method::FacetPruning).unwrap();
+            let intervals = out.region.axis_intervals();
+            gir_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+            // One-shot LIRs by bisection re-querying.
+            let t1 = Instant::now();
+            let (_, nq) = lirs_by_requery(&tree, &scoring, w, p.k).unwrap();
+            requery_ms += t1.elapsed().as_secs_f64() * 1e3;
+            requery_queries += nq;
+
+            // Readjustment: nudge one weight *inside* its interval. The
+            // GIR answers by re-projection (no index work at all); the
+            // LIR route must redo every axis (§2: "if a weight w_i is
+            // updated, the immutable regions for all the other factors
+            // are invalidated").
+            let (lo, hi) = intervals[0];
+            let mut moved = w.clone();
+            moved[0] = ((lo + hi) / 2.0).clamp(0.0, 1.0);
+            if out.region.contains(&moved) {
+                let t2 = Instant::now();
+                let _ = out.region.axis_intervals_at(&moved);
+                readjust_gir_ms += t2.elapsed().as_secs_f64() * 1e3;
+                let t3 = Instant::now();
+                let _ = lirs_by_requery(&tree, &scoring, &moved, p.k).unwrap();
+                readjust_requery_ms += t3.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+        let m = qs.len() as f64;
+        t.row(vec![
+            d.to_string(),
+            format!("{:.3}", gir_ms / m),
+            format!("{:.3}", requery_ms / m),
+            format!("{:.0}", requery_queries as f64 / m),
+            format!("{:.4}", readjust_gir_ms / m),
+            format!("{:.3}", readjust_requery_ms / m),
+        ]);
+    }
+    t.print("LIRs: one GIR vs 2d bisections (plus cost after one weight nudge)");
+    println!(
+        "\nreading: the GIR answers readjustments by re-projection in microseconds; \
+         the per-dimension baseline re-pays its full bisection cost every time."
+    );
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the hot paths: hull construction, LP,
+//! R*-tree bulk load, BRS top-k, and the three Phase 2 methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gir_bench::runner::{build_tree, query_workload, BenchDataset};
+use gir_core::{GirEngine, Method};
+use gir_datagen::{synthetic, Distribution};
+use gir_geometry::hull::ConvexHull;
+use gir_geometry::lp::maximize;
+use gir_geometry::vector::PointD;
+use gir_query::{QueryVector, ScoringFunction};
+use gir_rtree::RTree;
+use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_hull(c: &mut Criterion) {
+    let data = synthetic(Distribution::Independent, 500, 3, 1);
+    let pts: Vec<PointD> = data.iter().map(|r| r.attrs.clone()).collect();
+    c.bench_function("hull_build_500pts_3d", |b| {
+        b.iter(|| ConvexHull::build(black_box(&pts)).unwrap().num_facets())
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let cons: Vec<(PointD, f64)> = (0..40)
+        .map(|i| {
+            let t = i as f64 * 0.37;
+            (
+                PointD::new(vec![t.sin(), t.cos(), (t * 1.3).sin(), (t * 0.7).cos()]),
+                0.8,
+            )
+        })
+        .collect();
+    let obj = PointD::new(vec![0.3, 0.9, -0.2, 0.5]);
+    c.bench_function("seidel_lp_40cons_4d", |b| {
+        b.iter(|| maximize(black_box(&obj), black_box(&cons), 0.0, 1.0).value)
+    });
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let data = synthetic(Distribution::Independent, 20_000, 4, 2);
+    c.bench_function("rtree_bulk_load_20k_4d", |b| {
+        b.iter(|| {
+            let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+            RTree::bulk_load(store, black_box(&data)).unwrap().len()
+        })
+    });
+}
+
+fn bench_brs(c: &mut Criterion) {
+    let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), 50_000, 4, 3);
+    let f = ScoringFunction::linear(4);
+    let w = PointD::new(vec![0.6, 0.5, 0.7, 0.4]);
+    c.bench_function("brs_top20_50k_4d", |b| {
+        b.iter(|| gir_query::brs_topk(black_box(&tree), &f, &w, 20).unwrap().0.len())
+    });
+}
+
+fn bench_phase2(c: &mut Criterion) {
+    let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), 50_000, 4, 4);
+    let engine = GirEngine::new(&tree);
+    let q = QueryVector::new(query_workload(1, 4, 5)[0].coords().to_vec());
+    let mut g = c.benchmark_group("gir_phase2_50k_4d");
+    for (name, method) in [
+        ("sp", Method::SkylinePruning),
+        ("cp", Method::ConvexHullPruning),
+        ("fp", Method::FacetPruning),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| engine.gir(black_box(&q), 20, method).unwrap().stats.candidates)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hull, bench_lp, bench_bulk_load, bench_brs, bench_phase2
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment parameters (paper Table 2) with scaled defaults.
+
+/// Resolved parameter set for a bench run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Default dataset cardinality (paper default: 1M).
+    pub n: usize,
+    /// Dimensionality sweep (paper: 2–8; default caps at 6 to keep the
+    /// SP/CP cells tractable at reduced n — GIR_FULL restores 8).
+    pub dims: Vec<usize>,
+    /// Cardinality sweep (paper: 0.5M–20M).
+    pub cardinalities: Vec<usize>,
+    /// Top-k sweep (paper: 5–100, default 20).
+    pub ks: Vec<usize>,
+    /// Default k.
+    pub k: usize,
+    /// Queries averaged per cell (paper: 100).
+    pub queries: usize,
+    /// Per-cell wall-clock budget in milliseconds.
+    pub cell_budget_ms: f64,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Params {
+    /// Reads the environment and resolves the parameter set.
+    pub fn from_env() -> Params {
+        let full = std::env::var("GIR_FULL").map(|v| v == "1").unwrap_or(false);
+        let n = env_usize("GIR_N", if full { 1_000_000 } else { 20_000 });
+        let queries = env_usize("GIR_QUERIES", if full { 10 } else { 3 });
+        let cell_budget_ms = env_usize("GIR_CELL_MS", if full { 600_000 } else { 15_000 }) as f64;
+        let dims = if full {
+            vec![2, 3, 4, 5, 6, 7, 8]
+        } else {
+            vec![2, 3, 4, 5, 6]
+        };
+        let cardinalities = if full {
+            vec![500_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000]
+        } else {
+            vec![25_000, 50_000, 125_000, 250_000, 500_000]
+        };
+        let ks = vec![5, 10, 20, 50, 100];
+        Params {
+            n,
+            dims,
+            cardinalities,
+            ks,
+            k: 20,
+            queries,
+            cell_budget_ms,
+        }
+    }
+
+    /// Cardinality used for the real-data stand-ins, scaled consistently
+    /// with `n` relative to the paper's default 1M.
+    pub fn real_n(&self, paper_cardinality: usize) -> usize {
+        ((paper_cardinality as u128 * self.n as u128) / 1_000_000u128).max(5_000) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve() {
+        let p = Params::from_env();
+        assert!(p.n >= 1000);
+        assert!(!p.dims.is_empty());
+        assert_eq!(p.ks, vec![5, 10, 20, 50, 100]);
+        assert!(p.queries >= 1);
+    }
+
+    #[test]
+    fn real_n_scales_proportionally() {
+        let p = Params {
+            n: 100_000,
+            dims: vec![],
+            cardinalities: vec![],
+            ks: vec![],
+            k: 20,
+            queries: 1,
+            cell_budget_ms: 1.0,
+        };
+        // 315,265 × (100k / 1M) ≈ 31,526.
+        let r = p.real_n(315_265);
+        assert!((31_000..32_000).contains(&r));
+    }
+}

@@ -1,0 +1,200 @@
+//! GIR-based top-k result caching (paper §1).
+//!
+//! Previous top-k results are kept with their GIRs; when a new query
+//! vector falls inside a cached GIR, the cached result is returned
+//! without touching the index. Because the (order-sensitive) GIR
+//! preserves both composition *and order*, a cached result with `k' ≥ k`
+//! also answers a top-`k` request by prefix — the paper notes that even
+//! partial reuse ("report the available highest-scoring records
+//! immediately") is desirable [31].
+
+use crate::region::GirRegion;
+use gir_geometry::vector::PointD;
+use gir_query::{Record, ScoringFunction, TopKResult};
+
+/// One cached result with its immutable region.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    region: GirRegion,
+    result: TopKResult,
+}
+
+/// An LRU cache of `(GIR, top-k result)` pairs.
+#[derive(Debug)]
+pub struct GirCache {
+    entries: Vec<CacheEntry>, // front = most recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl GirCache {
+    /// A cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        GirCache {
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a top-`k` query with weights `w`. Hits when some cached
+    /// entry's GIR contains `w` and holds at least `k` records; the
+    /// result is then the (order-correct) prefix.
+    pub fn lookup(&mut self, w: &PointD, k: usize) -> Option<Vec<Record>> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.result.len() >= k && e.region.contains(w));
+        match pos {
+            Some(i) => {
+                self.hits += 1;
+                let entry = self.entries.remove(i);
+                let out = entry
+                    .result
+                    .ranked
+                    .iter()
+                    .take(k)
+                    .map(|(r, _)| r.clone())
+                    .collect();
+                self.entries.insert(0, entry); // move to front
+                Some(out)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed result with its GIR (evicting the LRU entry).
+    pub fn insert(&mut self, region: GirRegion, result: TopKResult) {
+        self.entries.insert(0, CacheEntry { region, result });
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Fraction of lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Reacts to a dataset insertion: shrinks every cached region that
+    /// partially overlaps the newcomer's winning zone and evicts entries
+    /// whose result is stale at their own query. Returns the number of
+    /// evicted entries (see [`crate::maintenance`]).
+    pub fn on_insert(&mut self, rec: &Record, scoring: &ScoringFunction) -> usize {
+        use crate::maintenance::{apply_insertion, UpdateImpact};
+        let before = self.entries.len();
+        self.entries.retain_mut(|e| {
+            let kth = e.result.kth().clone();
+            apply_insertion(&mut e.region, &kth, rec, scoring) != UpdateImpact::Invalidated
+        });
+        before - self.entries.len()
+    }
+
+    /// Reacts to a dataset deletion: evicts entries whose result
+    /// contained the deleted record. Returns the number evicted.
+    pub fn on_delete(&mut self, deleted_id: u64) -> usize {
+        use crate::maintenance::{apply_deletion, UpdateImpact};
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            apply_deletion(&e.result.ids(), deleted_id) != UpdateImpact::Invalidated
+        });
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::hyperplane::{HalfSpace, Provenance};
+
+    fn region(x_lo: f64, x_hi: f64) -> GirRegion {
+        // A slab x ∈ [x_lo, x_hi] inside the unit square.
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![1.0, 0.0]),
+                offset: x_hi,
+                provenance: Provenance::NonResult { record_id: 0 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![-1.0, 0.0]),
+                offset: -x_lo,
+                provenance: Provenance::NonResult { record_id: 1 },
+            },
+        ];
+        GirRegion::new(2, PointD::new(vec![(x_lo + x_hi) / 2.0, 0.5]), hs)
+    }
+
+    fn result(ids: &[u64]) -> TopKResult {
+        TopKResult {
+            ranked: ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (Record::new(id, vec![0.5, 0.5]), 1.0 - i as f64 * 0.1))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn hit_inside_region_miss_outside() {
+        let mut cache = GirCache::new(4);
+        cache.insert(region(0.2, 0.4), result(&[1, 2, 3]));
+        let hit = cache.lookup(&PointD::new(vec![0.3, 0.9]), 3);
+        assert_eq!(hit.unwrap().iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(cache.lookup(&PointD::new(vec![0.7, 0.5]), 3).is_none());
+        assert_eq!(cache.counters(), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_serves_smaller_k() {
+        let mut cache = GirCache::new(4);
+        cache.insert(region(0.0, 1.0), result(&[5, 6, 7, 8]));
+        let hit = cache.lookup(&PointD::new(vec![0.5, 0.5]), 2).unwrap();
+        assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn larger_k_than_cached_misses() {
+        let mut cache = GirCache::new(4);
+        cache.insert(region(0.0, 1.0), result(&[5, 6]));
+        assert!(cache.lookup(&PointD::new(vec![0.5, 0.5]), 3).is_none());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut cache = GirCache::new(2);
+        cache.insert(region(0.0, 0.1), result(&[1]));
+        cache.insert(region(0.2, 0.3), result(&[2]));
+        // Touch the first entry so the second becomes LRU.
+        assert!(cache.lookup(&PointD::new(vec![0.05, 0.5]), 1).is_some());
+        cache.insert(region(0.4, 0.5), result(&[3]));
+        assert_eq!(cache.len(), 2);
+        // Entry for [0.2,0.3] was evicted.
+        assert!(cache.lookup(&PointD::new(vec![0.25, 0.5]), 1).is_none());
+        assert!(cache.lookup(&PointD::new(vec![0.05, 0.5]), 1).is_some());
+    }
+}

@@ -1,0 +1,518 @@
+//! The GIR engine: top-k retrieval + Phase 1 + Phase 2 in one call.
+
+use crate::fp::fp_phase2;
+use crate::fullscan::fullscan_phase2;
+use crate::gir_star::{gir_star_region, StarMethod};
+use crate::phase1::ordering_halfspaces;
+use crate::region::GirRegion;
+use crate::sp::sp_phase2;
+use crate::{cp::cp_phase2, gir_star::GirStarStats};
+use gir_query::{brs_topk, QueryVector, ScoringFunction, TopKResult};
+use gir_rtree::{RTree, RTreeError};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Phase 2 algorithm selection (paper §5–§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// SP — skyline pruning (§5.1). Valid for any monotone scoring.
+    SkylinePruning,
+    /// CP — convex-hull-of-skyline pruning (§5.2). Linear scoring only.
+    ConvexHullPruning,
+    /// FP — facet pruning (§6), the paper's method. Linear scoring only.
+    FacetPruning,
+    /// The §3.3 strawman: every non-result record contributes (reads the
+    /// whole dataset). Oracle/baseline.
+    FullScan,
+}
+
+impl Method {
+    /// Label used in benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::SkylinePruning => "SP",
+            Method::ConvexHullPruning => "CP",
+            Method::FacetPruning => "FP",
+            Method::FullScan => "SCAN",
+        }
+    }
+
+    /// True when the method supports the given scoring function (§7.2).
+    pub fn supports(&self, scoring: &ScoringFunction) -> bool {
+        match self {
+            Method::SkylinePruning | Method::FullScan => true,
+            Method::ConvexHullPruning | Method::FacetPruning => scoring.is_linear(),
+        }
+    }
+}
+
+/// Errors from GIR computation.
+#[derive(Debug)]
+pub enum GirError {
+    /// Underlying index/storage failure.
+    Tree(RTreeError),
+    /// The dataset is empty (no top-k result exists).
+    EmptyResult,
+    /// CP/FP requested with a non-linear scoring function (§7.2).
+    UnsupportedScoring {
+        /// The offending method.
+        method: Method,
+    },
+}
+
+impl std::fmt::Display for GirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GirError::Tree(e) => write!(f, "index error: {e}"),
+            GirError::EmptyResult => write!(f, "empty dataset: no top-k result"),
+            GirError::UnsupportedScoring { method } => write!(
+                f,
+                "{} requires a linear scoring function (paper §7.2)",
+                method.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GirError {}
+
+impl From<RTreeError> for GirError {
+    fn from(e: RTreeError) -> Self {
+        GirError::Tree(e)
+    }
+}
+
+/// Cost and size statistics for one GIR computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GirStats {
+    /// Wall-clock milliseconds for the initial BRS top-k retrieval.
+    pub topk_ms: f64,
+    /// Pages fetched by BRS.
+    pub topk_pages: u64,
+    /// Wall-clock milliseconds for Phases 1+2 (the paper's CPU metric).
+    pub gir_cpu_ms: f64,
+    /// Pages fetched by Phase 2 (the paper's I/O metric).
+    pub gir_pages: u64,
+    /// Non-result records contributing half-spaces (post-pruning).
+    pub candidates: usize,
+    /// Intermediate structure size: skyline cardinality (SP/CP),
+    /// incident facets (FP), or dataset size (FullScan).
+    pub structure_size: usize,
+    /// Total half-spaces in the produced region (incl. ordering + box).
+    pub halfspaces: usize,
+}
+
+/// A GIR computation result.
+#[derive(Debug, Clone)]
+pub struct GirOutput {
+    /// The top-k result (records with scores, best first).
+    pub result: TopKResult,
+    /// The global immutable region.
+    pub region: GirRegion,
+    /// Cost statistics.
+    pub stats: GirStats,
+}
+
+/// Ties the substrates together: BRS top-k over the R\*-tree, then GIR
+/// Phase 1 + Phase 2 with the selected method.
+pub struct GirEngine<'a> {
+    tree: &'a RTree,
+    scoring: ScoringFunction,
+}
+
+impl<'a> GirEngine<'a> {
+    /// An engine with the default linear scoring function (§3.1).
+    pub fn new(tree: &'a RTree) -> Self {
+        let scoring = ScoringFunction::linear(tree.dim());
+        GirEngine { tree, scoring }
+    }
+
+    /// An engine with a custom monotone scoring function (§7.2).
+    pub fn with_scoring(tree: &'a RTree, scoring: ScoringFunction) -> Self {
+        assert_eq!(scoring.dim(), tree.dim(), "scoring dimensionality mismatch");
+        GirEngine { tree, scoring }
+    }
+
+    /// The scoring function in use.
+    pub fn scoring(&self) -> &ScoringFunction {
+        &self.scoring
+    }
+
+    /// Plain top-k (no GIR).
+    pub fn topk(&self, q: &QueryVector, k: usize) -> Result<TopKResult, GirError> {
+        let (res, _) = brs_topk(self.tree, &self.scoring, &q.weights, k)?;
+        if res.is_empty() {
+            return Err(GirError::EmptyResult);
+        }
+        Ok(res)
+    }
+
+    /// Computes the top-k result and its (order-sensitive) GIR.
+    pub fn gir(&self, q: &QueryVector, k: usize, method: Method) -> Result<GirOutput, GirError> {
+        if !method.supports(&self.scoring) {
+            return Err(GirError::UnsupportedScoring { method });
+        }
+        let store = self.tree.store();
+        let s0 = store.stats();
+        let t0 = Instant::now();
+        let (result, state) = brs_topk(self.tree, &self.scoring, &q.weights, k)?;
+        if result.is_empty() {
+            return Err(GirError::EmptyResult);
+        }
+        let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let s1 = store.stats();
+
+        let t1 = Instant::now();
+        let mut halfspaces = ordering_halfspaces(&result, &self.scoring);
+        let result_ids: HashSet<u64> = result.ids().into_iter().collect();
+        let kth = result.kth().clone();
+
+        let (phase2_hs, candidates, structure_size) = match method {
+            Method::SkylinePruning => {
+                let (hs, st) = sp_phase2(self.tree, &self.scoring, &kth, state, &result_ids)?;
+                (hs, st.candidates, st.structure_size)
+            }
+            Method::ConvexHullPruning => {
+                let (hs, st) = cp_phase2(self.tree, &self.scoring, &kth, state, &result_ids)?;
+                (hs, st.candidates, st.structure_size)
+            }
+            Method::FacetPruning => {
+                let (hs, st) = fp_phase2(self.tree, &self.scoring, &kth, state, &halfspaces)?;
+                (hs, st.critical, st.facets)
+            }
+            Method::FullScan => {
+                let (hs, st) = fullscan_phase2(self.tree, &self.scoring, &kth, &result_ids)?;
+                (hs, st.candidates, st.structure_size)
+            }
+        };
+        halfspaces.extend(phase2_hs);
+        let region = GirRegion::new(self.tree.dim(), q.weights.clone(), halfspaces);
+        let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let s2 = store.stats();
+
+        let stats = GirStats {
+            topk_ms,
+            topk_pages: s1.reads_since(&s0),
+            gir_cpu_ms,
+            gir_pages: s2.reads_since(&s1),
+            candidates,
+            structure_size,
+            halfspaces: region.num_halfspaces(),
+        };
+        Ok(GirOutput {
+            result,
+            region,
+            stats,
+        })
+    }
+
+    /// Computes the order-insensitive GIR\* (§7.1).
+    pub fn gir_star(
+        &self,
+        q: &QueryVector,
+        k: usize,
+        method: Method,
+    ) -> Result<GirOutput, GirError> {
+        if !method.supports(&self.scoring) {
+            return Err(GirError::UnsupportedScoring { method });
+        }
+        let star_method = match method {
+            Method::SkylinePruning | Method::FullScan => StarMethod::Skyline,
+            Method::ConvexHullPruning => StarMethod::ConvexHull,
+            Method::FacetPruning => StarMethod::Facet,
+        };
+        let store = self.tree.store();
+        let s0 = store.stats();
+        let t0 = Instant::now();
+        let (result, state) = brs_topk(self.tree, &self.scoring, &q.weights, k)?;
+        if result.is_empty() {
+            return Err(GirError::EmptyResult);
+        }
+        let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let s1 = store.stats();
+
+        let t1 = Instant::now();
+        let (region, st): (GirRegion, GirStarStats) = gir_star_region(
+            self.tree,
+            &self.scoring,
+            &q.weights,
+            &result,
+            state,
+            star_method,
+        )?;
+        let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let s2 = store.stats();
+
+        let stats = GirStats {
+            topk_ms,
+            topk_pages: s1.reads_since(&s0),
+            gir_cpu_ms,
+            gir_pages: s2.reads_since(&s1),
+            candidates: st.candidates,
+            structure_size: st.structure_size,
+            halfspaces: region.num_halfspaces(),
+        };
+        Ok(GirOutput {
+            result,
+            region,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::vector::PointD;
+    use gir_rtree::Record;
+    use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn setup(n: usize, d: usize, seed: u64) -> (Vec<Record>, RTree) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let recs: Vec<Record> = (0..n)
+            .map(|i| Record::new(i as u64, (0..d).map(|_| next()).collect::<Vec<_>>()))
+            .collect();
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(store, &recs).unwrap();
+        (recs, tree)
+    }
+
+    const METHODS: [Method; 4] = [
+        Method::SkylinePruning,
+        Method::ConvexHullPruning,
+        Method::FacetPruning,
+        Method::FullScan,
+    ];
+
+    /// The central correctness law (Definition 1): w' is in the GIR iff
+    /// the naive top-k under w' equals the original result, including
+    /// order.
+    fn check_gir_law(n: usize, d: usize, k: usize, seed: u64) {
+        use gir_query::naive_topk;
+        let (recs, tree) = setup(n, d, seed);
+        let engine = GirEngine::new(&tree);
+        let w: Vec<f64> = (0..d).map(|i| 0.4 + 0.1 * (i as f64 % 3.0)).collect();
+        let q = QueryVector::new(w);
+        let mut regions = Vec::new();
+        for m in METHODS {
+            let out = engine.gir(&q, k, m).unwrap();
+            assert!(out.region.contains(&q.weights), "{m:?}: q outside own GIR");
+            assert_eq!(out.result.len(), k);
+            regions.push((m, out));
+        }
+        let base_ids = regions[0].1.result.ids();
+        let f = gir_query::ScoringFunction::linear(d);
+
+        let mut s = seed ^ 0xF00D;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..100 {
+            let wp = PointD::from((0..d).map(|_| next()).collect::<Vec<_>>());
+            let expect = gir_query::naive_topk(&recs, &f, &wp, k).ids() == base_ids;
+            for (m, out) in &regions {
+                let got = out.region.contains(&wp);
+                if got != expect {
+                    // Tolerate only boundary-epsilon disagreements.
+                    let margin: f64 = out
+                        .region
+                        .halfspaces
+                        .iter()
+                        .map(|h| h.slack(&wp))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        margin.abs() < 1e-6,
+                        "{m:?} d={d} k={k}: GIR law violated at {wp:?} \
+                         (expect {expect}, got {got}, margin {margin})"
+                    );
+                }
+            }
+        }
+        let _ = naive_topk(&recs, &f, &q.weights, k);
+    }
+
+    #[test]
+    fn gir_law_2d() {
+        check_gir_law(400, 2, 5, 0xA1);
+    }
+
+    #[test]
+    fn gir_law_3d() {
+        check_gir_law(400, 3, 8, 0xA2);
+    }
+
+    #[test]
+    fn gir_law_4d() {
+        check_gir_law(300, 4, 6, 0xA3);
+    }
+
+    #[test]
+    fn gir_law_5d() {
+        check_gir_law(250, 5, 4, 0xA4);
+    }
+
+    #[test]
+    fn all_methods_agree_on_region_membership() {
+        let (_, tree) = setup(800, 3, 0xB1);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.7, 0.5, 0.6]);
+        let outs: Vec<GirOutput> = METHODS
+            .iter()
+            .map(|&m| engine.gir(&q, 10, m).unwrap())
+            .collect();
+        // Same result, same region as a point set.
+        for o in &outs[1..] {
+            assert_eq!(o.result.ids(), outs[0].result.ids());
+        }
+        let mut s = 0xC0u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let wp = PointD::from((0..3).map(|_| next()).collect::<Vec<_>>());
+            let answers: Vec<bool> = outs.iter().map(|o| o.region.contains(&wp)).collect();
+            if answers.iter().any(|&a| a != answers[0]) {
+                let margin: f64 = outs[3] // FullScan is the oracle
+                    .region
+                    .halfspaces
+                    .iter()
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(margin.abs() < 1e-6, "methods disagree at {wp:?}: {answers:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_uses_fewest_candidates() {
+        let (_, tree) = setup(3000, 4, 0xB2);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.5, 0.6, 0.7, 0.4]);
+        let sp = engine.gir(&q, 20, Method::SkylinePruning).unwrap();
+        let cp = engine.gir(&q, 20, Method::ConvexHullPruning).unwrap();
+        let fp = engine.gir(&q, 20, Method::FacetPruning).unwrap();
+        let scan = engine.gir(&q, 20, Method::FullScan).unwrap();
+        assert!(fp.stats.candidates <= cp.stats.candidates);
+        assert!(cp.stats.candidates <= sp.stats.candidates);
+        assert!(sp.stats.candidates < scan.stats.candidates);
+    }
+
+    #[test]
+    fn fp_reads_fewer_pages_than_sp() {
+        let (_, tree) = setup(20_000, 3, 0xB3);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.6, 0.5, 0.7]);
+        let sp = engine.gir(&q, 20, Method::SkylinePruning).unwrap();
+        let fp = engine.gir(&q, 20, Method::FacetPruning).unwrap();
+        assert!(
+            fp.stats.gir_pages < sp.stats.gir_pages,
+            "FP {} pages vs SP {}",
+            fp.stats.gir_pages,
+            sp.stats.gir_pages
+        );
+    }
+
+    #[test]
+    fn nonlinear_scoring_only_sp() {
+        let (_, tree) = setup(500, 4, 0xB4);
+        let engine = GirEngine::with_scoring(&tree, ScoringFunction::mixed4());
+        let q = QueryVector::new(vec![0.5, 0.5, 0.5, 0.5]);
+        assert!(engine.gir(&q, 5, Method::SkylinePruning).is_ok());
+        assert!(matches!(
+            engine.gir(&q, 5, Method::FacetPruning),
+            Err(GirError::UnsupportedScoring { .. })
+        ));
+        assert!(matches!(
+            engine.gir(&q, 5, Method::ConvexHullPruning),
+            Err(GirError::UnsupportedScoring { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_crossing_changes_result_as_predicted() {
+        // Walk along an axis from inside the GIR to just outside it: the
+        // top-k must be preserved inside and change outside.
+        use gir_query::naive_topk;
+        let (recs, tree) = setup(600, 2, 0xB5);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.6, 0.5]);
+        let out = engine.gir(&q, 5, Method::FacetPruning).unwrap();
+        let f = gir_query::ScoringFunction::linear(2);
+        let base = out.result.ids();
+        let intervals = out.region.axis_intervals();
+        for (dim, (lo, hi)) in intervals.iter().enumerate() {
+            for (endpoint, inward) in [(lo, 1e-4), (hi, -1e-4)] {
+                let mut inside = q.weights.clone();
+                inside[dim] = endpoint + inward;
+                if (0.0..=1.0).contains(&inside[dim]) {
+                    assert_eq!(
+                        naive_topk(&recs, &f, &inside, 5).ids(),
+                        base,
+                        "result changed inside the GIR (dim {dim})"
+                    );
+                }
+                let mut outside = q.weights.clone();
+                outside[dim] = endpoint - inward * 2.0;
+                if (0.0..=1.0).contains(&outside[dim])
+                    && (*endpoint > 1e-6 && *endpoint < 1.0 - 1e-6)
+                {
+                    assert_ne!(
+                        naive_topk(&recs, &f, &outside, 5).ids(),
+                        base,
+                        "result unchanged outside the GIR (dim {dim})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gir_star_all_methods_run_and_enclose_gir() {
+        let (_, tree) = setup(700, 3, 0xB6);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.5, 0.7, 0.4]);
+        let gir = engine.gir(&q, 8, Method::FacetPruning).unwrap();
+        for m in METHODS {
+            let star = engine.gir_star(&q, 8, m).unwrap();
+            assert!(star.region.contains(&q.weights));
+            // Sample inside the GIR: must be inside GIR*.
+            let mut s = 0xD00Du64;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for _ in 0..100 {
+                let wp = PointD::from((0..3).map(|_| next()).collect::<Vec<_>>());
+                if gir.region.contains(&wp) {
+                    assert!(star.region.contains(&wp), "{m:?}: GIR ⊄ GIR*");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_yields_phase1_only_region() {
+        let (recs, tree) = setup(60, 2, 0xB7);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.5, 0.5]);
+        let out = engine.gir(&q, recs.len(), Method::FacetPruning).unwrap();
+        assert_eq!(out.result.len(), recs.len());
+        assert_eq!(out.stats.candidates, 0, "no non-result records exist");
+        assert!(out.region.contains(&q.weights));
+    }
+}

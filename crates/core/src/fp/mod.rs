@@ -1,0 +1,55 @@
+//! FP — Facet Pruning (paper §6), the paper's main contribution.
+//!
+//! Pin the sweeping hyperplane at `p_k` and ask which non-result records
+//! bound its permissible rotations: exactly the records on convex-hull
+//! facets *incident to `p_k`* (the critical records). FP computes only
+//! those facets — `O(n^{d/2−1})` instead of the full hull's `O(n^{d/2})` —
+//! in two steps: refine over the records BRS already fetched (`T`), then
+//! over the disk via the retained heap, pruning every R-tree entry that
+//! lies below all current facets.
+//!
+//! `d = 2` uses the specialized rotating-line formulation ([`fp2d`]);
+//! higher dimensions use the incident-facet star ([`star`], [`fpnd`]).
+
+pub mod fp2d;
+pub mod fpnd;
+pub mod star;
+
+pub use fp2d::fp_phase2_2d;
+pub use fpnd::{fp_phase2_nd, fp_phase2_nd_with, FpOptions};
+pub use star::StarHull;
+
+use gir_geometry::hyperplane::HalfSpace;
+use gir_query::{Record, ScoringFunction, SearchState};
+use gir_rtree::{RTree, RTreeError};
+
+/// FP-specific Phase 2 statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpStats {
+    /// Critical records found (= GIR half-spaces emitted).
+    pub critical: usize,
+    /// Final number of incident facets maintained.
+    pub facets: usize,
+    /// Heap/tree nodes actually fetched in the second step.
+    pub nodes_examined: usize,
+    /// Nodes pruned below the facets without fetching.
+    pub nodes_pruned: usize,
+}
+
+/// FP Phase 2, dispatching on dimensionality (§6.2 vs §6.3). `interim`
+/// carries the Phase-1 half-spaces for the footnote-7 node-pruning
+/// tightening (used only for `d > 2`; the 2-d rotating line is already
+/// minimal).
+pub fn fp_phase2(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    kth: &Record,
+    state: SearchState,
+    interim: &[HalfSpace],
+) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
+    if kth.dim() == 2 {
+        fp_phase2_2d(tree, scoring, kth, state)
+    } else {
+        fp_phase2_nd_with(tree, scoring, kth, state, FpOptions::default(), interim)
+    }
+}

@@ -1,0 +1,474 @@
+//! The incident-facet star: a partial convex hull around one vertex.
+//!
+//! FP's core data structure (paper §6.3): of the convex hull of
+//! `{p_k} ∪ D\R`, only the facets *incident to `p_k`* are ever
+//! materialized. The update rule mirrors Clarkson's algorithm restricted
+//! to the star: when a new record sees some star facets, those facets are
+//! replaced by new ones erected on the *horizon ridges incident to `p_k`*;
+//! ridges not incident to `p_k` are discarded (they would create facets
+//! outside the star — the "striped facet" of Figure 11).
+//!
+//! Two facts make the star self-contained:
+//!
+//! * every ridge incident to the apex is shared by exactly two star facets
+//!   (the star of a hull vertex is a fan), so horizon computation never
+//!   needs facets outside the star;
+//! * the apex is strictly extreme in the query direction among
+//!   `{p_k} ∪ D\R` (it out-scores every candidate), so no candidate can
+//!   see *all* star facets — a full-star wipe-out would mean `p_k` stopped
+//!   being a hull vertex. A defensive full rebuild handles the numerical
+//!   edge case anyway.
+//!
+//! Seeding: instead of drawing `d` records from `T` (the paper's
+//! heuristic), the star is seeded with `d` *virtual points*
+//! `v_i = apex − c_i·e_i` (a robust variant of the paper's axis
+//! projections, footnote 6). Their constraints `(p_k − v_i)·q' = c_i·q'_i
+//! ≥ 0` are vacuous on the non-negative query space, so a virtual point
+//! surviving on the final star is harmless; real candidates are then
+//! inserted best-first, which recovers the effect of the paper's
+//! max-per-dimension seeding.
+
+use gir_geometry::hyperplane::Hyperplane;
+use gir_geometry::vector::PointD;
+use gir_geometry::EPS;
+use gir_rtree::Mbb;
+use std::collections::HashMap;
+
+/// A facet of the star: `d` vertex indices (always including the apex,
+/// index 0) and its supporting hyperplane, oriented away from the hull
+/// interior.
+#[derive(Debug, Clone)]
+struct StarFacet {
+    vertices: Vec<usize>,
+    plane: Hyperplane,
+}
+
+impl StarFacet {
+    /// Apex-containing ridges: drop one non-apex vertex (sorted keys).
+    fn apex_ridges(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        self.vertices.iter().enumerate().filter_map(|(slot, &v)| {
+            if v == 0 {
+                return None; // dropping the apex gives the outer ridge
+            }
+            let mut r: Vec<usize> = self
+                .vertices
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &u)| (i != slot).then_some(u))
+                .collect();
+            r.sort_unstable();
+            Some(r)
+        })
+    }
+}
+
+/// The partial hull of `{apex} ∪ candidates`, storing only facets
+/// incident to the apex.
+#[derive(Debug, Clone)]
+pub struct StarHull {
+    d: usize,
+    /// Point 0 is the apex; 1..=d are the virtual seeds; the rest are
+    /// inserted candidates that became star vertices.
+    points: Vec<PointD>,
+    /// Record id per point (`None` for apex and virtual seeds).
+    payload: Vec<Option<u64>>,
+    facets: Vec<Option<StarFacet>>,
+    live: usize,
+    /// Apex-ridge key → ids of the (≤ 2) star facets sharing it.
+    ridge_map: HashMap<Vec<usize>, Vec<usize>>,
+    /// Strictly interior reference point for orienting facet planes.
+    interior: PointD,
+    /// Set when geometry became untrustworthy; the star then degrades to
+    /// "everything is critical" (safe for GIR correctness, costly only).
+    degraded: bool,
+}
+
+impl StarHull {
+    /// Builds the initial star around `apex` from the virtual simplex.
+    pub fn new(apex: PointD) -> StarHull {
+        let d = apex.dim();
+        assert!(d >= 2, "star hulls need d >= 2");
+        let mut points = vec![apex.clone()];
+        for i in 0..d {
+            let mut v = apex.clone();
+            v[i] -= apex[i].max(1e-3);
+            points.push(v);
+        }
+        let payload = vec![None; d + 1];
+        let interior = PointD::centroid(points.iter());
+
+        let mut star = StarHull {
+            d,
+            points,
+            payload,
+            facets: Vec::new(),
+            live: 0,
+            ridge_map: HashMap::new(),
+            interior,
+            degraded: false,
+        };
+        // The d simplex facets incident to the apex: omit one virtual seed.
+        for omit in 1..=d {
+            let vertices: Vec<usize> = (0..=d).filter(|&i| i != omit).collect();
+            if !star.try_add_facet(vertices) {
+                star.degraded = true;
+            }
+        }
+        star
+    }
+
+    /// Number of live star facets.
+    pub fn num_facets(&self) -> usize {
+        self.live
+    }
+
+    /// True when the star lost geometric integrity and every candidate is
+    /// treated as critical.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// True when `p` lies on or below every star facet — such a point can
+    /// never be critical (it cannot tighten the permissible rotations).
+    pub fn is_below_all(&self, p: &PointD) -> bool {
+        if self.degraded {
+            return false;
+        }
+        self.live_facets().all(|f| f.plane.eval(p) <= EPS)
+    }
+
+    /// True when the whole box lies below every facet: the node and its
+    /// entire subtree can be pruned without fetching (paper §6.3.2).
+    pub fn prunes_mbb(&self, mbb: &Mbb) -> bool {
+        if self.degraded {
+            return false;
+        }
+        self.live_facets().all(|f| {
+            // max over box corners of n·x, split by normal sign.
+            let worst: f64 = (0..self.d)
+                .map(|i| {
+                    let n = f.plane.normal[i];
+                    if n > 0.0 {
+                        n * mbb.hi[i]
+                    } else {
+                        n * mbb.lo[i]
+                    }
+                })
+                .sum();
+            worst <= f.plane.offset + EPS
+        })
+    }
+
+    /// Inserts a candidate record. Returns `true` when the star changed
+    /// (the candidate is at least temporarily critical).
+    pub fn insert(&mut self, p: &PointD, record_id: u64) -> bool {
+        if self.degraded {
+            self.points.push(p.clone());
+            self.payload.push(Some(record_id));
+            return true;
+        }
+        let visible: Vec<usize> = self
+            .facets
+            .iter()
+            .enumerate()
+            .filter_map(|(id, f)| {
+                f.as_ref()
+                    .filter(|f| f.plane.eval(p) > EPS)
+                    .map(|_| id)
+            })
+            .collect();
+        if visible.is_empty() {
+            return false;
+        }
+        if visible.len() == self.live {
+            // Cannot happen for a true hull vertex apex (see module docs);
+            // defensively rebuild from every stored point.
+            self.points.push(p.clone());
+            self.payload.push(Some(record_id));
+            self.rebuild();
+            return true;
+        }
+
+        // Horizon ridges incident to the apex.
+        let mut horizon: Vec<Vec<usize>> = Vec::new();
+        for &fid in &visible {
+            let f = self.facets[fid].as_ref().expect("live facet");
+            for ridge in f.apex_ridges() {
+                let sharing = self.ridge_map.get(&ridge).expect("fan ridge registered");
+                debug_assert_eq!(sharing.len(), 2, "star fan ridge must have 2 facets");
+                let other = if sharing[0] == fid { sharing[1] } else { sharing[0] };
+                if !visible.contains(&other) {
+                    horizon.push(ridge);
+                }
+            }
+        }
+
+        for fid in visible {
+            self.remove_facet(fid);
+        }
+        let idx = self.points.len();
+        self.points.push(p.clone());
+        self.payload.push(Some(record_id));
+
+        for ridge in horizon {
+            let mut vertices = ridge;
+            vertices.push(idx);
+            if !self.try_add_facet(vertices) {
+                // Numerically degenerate facet: give up on the geometry,
+                // keep correctness.
+                self.rebuild();
+                return true;
+            }
+        }
+        true
+    }
+
+    /// The real records currently on star facets — FP's *critical
+    /// records* (paper §6.1), each contributing one GIR half-space.
+    pub fn critical_records(&self) -> Vec<(u64, PointD)> {
+        if self.degraded {
+            // Every stored candidate counts.
+            return self
+                .payload
+                .iter()
+                .zip(self.points.iter())
+                .filter_map(|(id, p)| id.map(|id| (id, p.clone())))
+                .collect();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for f in self.live_facets() {
+            for &v in &f.vertices {
+                if let Some(id) = self.payload[v] {
+                    if seen.insert(id) {
+                        out.push((id, self.points[v].clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn live_facets(&self) -> impl Iterator<Item = &StarFacet> {
+        self.facets.iter().filter_map(|f| f.as_ref())
+    }
+
+    fn try_add_facet(&mut self, vertices: Vec<usize>) -> bool {
+        debug_assert!(vertices.contains(&0), "star facets contain the apex");
+        let pts: Vec<PointD> = vertices.iter().map(|&v| self.points[v].clone()).collect();
+        let Some(plane) =
+            Hyperplane::through_points(&pts).and_then(|h| h.oriented_away_from(&self.interior))
+        else {
+            return false;
+        };
+        let id = self.facets.len();
+        let facet = StarFacet { vertices, plane };
+        for ridge in facet.apex_ridges() {
+            self.ridge_map.entry(ridge).or_default().push(id);
+        }
+        self.facets.push(Some(facet));
+        self.live += 1;
+        true
+    }
+
+    fn remove_facet(&mut self, id: usize) {
+        if let Some(f) = self.facets[id].take() {
+            self.live -= 1;
+            for ridge in f.apex_ridges() {
+                if let Some(v) = self.ridge_map.get_mut(&ridge) {
+                    v.retain(|&x| x != id);
+                    if v.is_empty() {
+                        self.ridge_map.remove(&ridge);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full rebuild from all stored points via the complete incremental
+    /// hull, keeping only apex-incident facets. Fallback path.
+    fn rebuild(&mut self) {
+        use gir_geometry::hull::ConvexHull;
+        self.facets.clear();
+        self.ridge_map.clear();
+        self.live = 0;
+        match ConvexHull::build(&self.points) {
+            Ok(hull) => {
+                let mut ok = true;
+                let incident: Vec<Vec<usize>> = hull
+                    .facets_incident_to(0)
+                    .into_iter()
+                    .map(|f| f.vertices.clone())
+                    .collect();
+                for vertices in incident {
+                    if !self.try_add_facet(vertices) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    self.mark_degraded();
+                }
+            }
+            Err(_) => self.mark_degraded(),
+        }
+    }
+
+    fn mark_degraded(&mut self) {
+        self.degraded = true;
+        self.facets.clear();
+        self.ridge_map.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[f64]) -> PointD {
+        PointD::from(v)
+    }
+
+    #[test]
+    fn initial_star_has_d_facets() {
+        for d in 2..=5 {
+            let apex = PointD::splat(d, 0.7);
+            let star = StarHull::new(apex.clone());
+            assert_eq!(star.num_facets(), d, "d={d}");
+            assert!(!star.is_degraded());
+            // The apex itself is not below the star... it's *on* every
+            // facet; points dominated by the apex are below all facets.
+            let dominated = PointD::splat(d, 0.5);
+            assert!(star.is_below_all(&dominated));
+        }
+    }
+
+    #[test]
+    fn insert_above_updates_star_2d() {
+        // Figure 9(a) reduced: apex p2 = (0.75, 0.72); candidate up-left.
+        let mut star = StarHull::new(p(&[0.75, 0.72]));
+        assert_eq!(star.num_facets(), 2);
+        let cand = p(&[0.4, 0.9]);
+        assert!(!star.is_below_all(&cand));
+        assert!(star.insert(&cand, 3));
+        assert_eq!(star.num_facets(), 2, "2-d star stays a 2-facet fan");
+        let crit = star.critical_records();
+        assert_eq!(crit.len(), 1);
+        assert_eq!(crit[0].0, 3);
+    }
+
+    #[test]
+    fn dominated_candidate_is_ignored() {
+        let mut star = StarHull::new(p(&[0.8, 0.8, 0.8]));
+        assert!(!star.insert(&p(&[0.5, 0.5, 0.5]), 9));
+        assert!(star.critical_records().is_empty());
+    }
+
+    #[test]
+    fn figure11_3d_insertion_keeps_fan_consistent() {
+        // Apex pk plus three spread candidates, then p8 above one facet.
+        let mut star = StarHull::new(p(&[0.9, 0.9, 0.9]));
+        let candidates = [
+            (5u64, p(&[0.95, 0.4, 0.3])),
+            (6, p(&[0.3, 0.95, 0.35])),
+            (7, p(&[0.35, 0.3, 0.95])),
+        ];
+        for (id, c) in &candidates {
+            star.insert(c, *id);
+        }
+        let before = star.num_facets();
+        assert!(before >= 3);
+        // A record outside one side of the fan.
+        let p8 = p(&[0.85, 0.85, 0.2]);
+        if !star.is_below_all(&p8) {
+            star.insert(&p8, 8);
+        }
+        // Fan invariant: every apex ridge shared by exactly 2 facets.
+        for (_, fids) in star.ridge_map.iter() {
+            assert_eq!(fids.len(), 2, "broken fan");
+        }
+        assert!(!star.is_degraded());
+    }
+
+    #[test]
+    fn critical_set_matches_full_hull_star() {
+        // Cross-check: FP's critical records = real records on facets
+        // incident to the apex of the *full* hull built over the same
+        // points (with the virtual seeds).
+        let apex = p(&[0.88, 0.84, 0.9]);
+        let mut star = StarHull::new(apex.clone());
+        let mut pseudo = 0x1234_5678u64;
+        let mut candidates: Vec<(u64, PointD)> = Vec::new();
+        for id in 0..60u64 {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                pseudo ^= pseudo << 13;
+                pseudo ^= pseudo >> 7;
+                pseudo ^= pseudo << 17;
+                c.push((pseudo >> 11) as f64 / (1u64 << 53) as f64 * 0.85);
+            }
+            candidates.push((id, PointD::from(c)));
+        }
+        for (id, c) in &candidates {
+            star.insert(c, *id);
+        }
+        assert!(!star.is_degraded());
+        let mut got: Vec<u64> = star.critical_records().iter().map(|(id, _)| *id).collect();
+        got.sort_unstable();
+
+        // Full hull over apex + virtual seeds + all candidates.
+        let mut pts = vec![apex.clone()];
+        for i in 0..3 {
+            let mut v = apex.clone();
+            v[i] -= apex[i].max(1e-3);
+            pts.push(v);
+        }
+        let offset = pts.len();
+        pts.extend(candidates.iter().map(|(_, c)| c.clone()));
+        let hull = gir_geometry::hull::ConvexHull::build(&pts).unwrap();
+        let mut expect: Vec<u64> = hull
+            .facets_incident_to(0)
+            .iter()
+            .flat_map(|f| f.vertices.iter())
+            .filter(|&&v| v >= offset)
+            .map(|&v| candidates[v - offset].0)
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn prunes_mbb_only_when_fully_below() {
+        let mut star = StarHull::new(p(&[0.8, 0.8]));
+        star.insert(&p(&[0.3, 0.95]), 1);
+        star.insert(&p(&[0.95, 0.3]), 2);
+        // A box dominated by the apex: prunable.
+        let low = Mbb {
+            lo: p(&[0.1, 0.1]),
+            hi: p(&[0.4, 0.4]),
+        };
+        assert!(star.prunes_mbb(&low));
+        // A box reaching above the apex: not prunable.
+        let high = Mbb {
+            lo: p(&[0.7, 0.7]),
+            hi: p(&[1.0, 1.0]),
+        };
+        assert!(!star.prunes_mbb(&high));
+    }
+
+    #[test]
+    fn below_all_points_stay_noncritical_after_more_inserts() {
+        // Monotonicity: once below the star, always implied (the pruning
+        // safety argument) — inserting more points must not make a
+        // previously-below point critical.
+        let mut star = StarHull::new(p(&[0.9, 0.85]));
+        let below = p(&[0.5, 0.5]);
+        star.insert(&p(&[0.2, 0.99]), 1);
+        assert!(star.is_below_all(&below));
+        star.insert(&p(&[0.99, 0.2]), 2);
+        star.insert(&p(&[0.7, 0.93]), 3);
+        assert!(star.is_below_all(&below));
+    }
+}

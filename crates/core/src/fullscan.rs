@@ -1,0 +1,93 @@
+//! The exhaustive baseline: one half-space per non-result record.
+//!
+//! This is the straightforward approach of §3.3 — scan the entire dataset
+//! and intersect all `n−1` half-spaces. Quadratic-ish in practice once the
+//! intersection runs, and it reads every page; it exists (a) as the
+//! correctness oracle the pruning methods are tested against, and (b) to
+//! let the benches quantify the speedups the paper claims over it.
+
+use crate::sp::Phase2Stats;
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_query::{Record, ScoringFunction};
+use gir_rtree::{RTree, RTreeError};
+use std::collections::HashSet;
+
+/// Full-scan Phase 2: a half-space for *every* non-result record.
+pub fn fullscan_phase2(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    kth: &Record,
+    result_ids: &HashSet<u64>,
+) -> Result<(Vec<HalfSpace>, Phase2Stats), RTreeError> {
+    let all = tree.scan_all()?;
+    let hs = fullscan_halfspaces(&all, scoring, kth, result_ids);
+    let stats = Phase2Stats {
+        candidates: hs.len(),
+        structure_size: all.len(),
+    };
+    Ok((hs, stats))
+}
+
+/// In-memory variant for tests: half-spaces from an explicit record list.
+pub fn fullscan_halfspaces(
+    records: &[Record],
+    scoring: &ScoringFunction,
+    kth: &Record,
+    result_ids: &HashSet<u64>,
+) -> Vec<HalfSpace> {
+    let pk_t = scoring.transform_point(&kth.attrs);
+    records
+        .iter()
+        .filter(|r| !result_ids.contains(&r.id))
+        .map(|r| {
+            HalfSpace::score_order(
+                &pk_t,
+                &scoring.transform_point(&r.attrs),
+                Provenance::NonResult { record_id: r.id },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::vector::PointD;
+
+    #[test]
+    fn one_halfspace_per_nonresult_record() {
+        let recs: Vec<Record> = (0..10)
+            .map(|i| Record::new(i, vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0]))
+            .collect();
+        let ids: HashSet<u64> = [0, 1].into_iter().collect();
+        let hs = fullscan_halfspaces(&recs, &ScoringFunction::linear(2), &recs[1], &ids);
+        assert_eq!(hs.len(), 8);
+    }
+
+    #[test]
+    fn membership_law_exact() {
+        let recs: Vec<Record> = vec![
+            Record::new(0, vec![0.9, 0.9]),
+            Record::new(1, vec![0.8, 0.2]),
+            Record::new(2, vec![0.2, 0.8]),
+            Record::new(3, vec![0.5, 0.5]),
+        ];
+        let f = ScoringFunction::linear(2);
+        let ids: HashSet<u64> = [0, 1].into_iter().collect(); // result: p0, p1
+        let kth = recs[1].clone();
+        let hs = fullscan_halfspaces(&recs, &f, &kth, &ids);
+        for wp in [
+            PointD::new(vec![0.9, 0.1]),
+            PointD::new(vec![0.1, 0.9]),
+            PointD::new(vec![0.5, 0.5]),
+        ] {
+            let inside = hs.iter().all(|h| h.contains(&wp, 1e-12));
+            let pk_score = f.score(&wp, &kth.attrs);
+            let beaten = recs
+                .iter()
+                .filter(|r| !ids.contains(&r.id))
+                .any(|r| f.score(&wp, &r.attrs) > pk_score + 1e-12);
+            assert_eq!(inside, !beaten);
+        }
+    }
+}

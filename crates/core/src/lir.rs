@@ -1,0 +1,168 @@
+//! Local immutable regions (LIRs) — the per-dimension baseline.
+//!
+//! The most relevant prior work [24] computes an *immutable interval per
+//! decision factor*, holding all other weights fixed (paper §2). The GIR
+//! subsumes LIRs: projecting the query through the GIR along each axis
+//! yields all `d` intervals at once ([`crate::region::GirRegion::axis_intervals`]),
+//! and — unlike [24] — surviving *simultaneous* multi-weight moves and
+//! weight updates inside the region without recomputation.
+//!
+//! This module provides the from-scratch comparator: LIRs obtained by
+//! *re-querying*, bisecting each axis on the predicate "does the ranked
+//! top-k still equal the original result?". It exists (a) to validate the
+//! GIR projection against an independent oracle and (b) to let the bench
+//! quantify the paper's claim that deriving LIRs from the GIR is free
+//! while the per-dimension route pays `O(d log(1/ε))` top-k queries —
+//! all of which are invalidated by every weight change (§2).
+
+use crate::engine::GirError;
+use gir_geometry::vector::PointD;
+use gir_query::{brs_topk, ScoringFunction};
+use gir_rtree::RTree;
+
+/// Bisection tolerance on weight values.
+pub const LIR_TOL: f64 = 1e-9;
+
+/// Computes all `d` LIR intervals around `q` by repeated top-k queries
+/// (the baseline). Also returns the number of BRS queries issued.
+pub fn lirs_by_requery(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    q: &PointD,
+    k: usize,
+) -> Result<(Vec<(f64, f64)>, usize), GirError> {
+    let d = q.dim();
+    let mut queries = 0usize;
+    // The reference ranking, computed once.
+    let base = {
+        queries += 1;
+        let (res, _) = brs_topk(tree, scoring, q, k)?;
+        res.ids()
+    };
+    let mut same = |w: &PointD, queries: &mut usize| -> Result<bool, GirError> {
+        *queries += 1;
+        let (res, _) = brs_topk(tree, scoring, w, k)?;
+        Ok(res.ids() == base)
+    };
+
+    let mut out = Vec::with_capacity(d);
+    for i in 0..d {
+        let hi = bisect_edge(q, i, 1.0, &mut same, &mut queries)?;
+        let lo = bisect_edge(q, i, 0.0, &mut same, &mut queries)?;
+        out.push((lo, hi));
+    }
+    Ok((out, queries))
+}
+
+/// Finds the farthest `t` toward `edge` (0 or 1) on axis `i` where the
+/// result is preserved; the preserved set is an interval around `q[i]`
+/// (the GIR is convex), so bisection on the boundary is sound.
+fn bisect_edge(
+    q: &PointD,
+    i: usize,
+    edge: f64,
+    same: &mut impl FnMut(&PointD, &mut usize) -> Result<bool, GirError>,
+    queries: &mut usize,
+) -> Result<f64, GirError> {
+    let probe = |t: f64| {
+        let mut w = q.clone();
+        w[i] = t;
+        w
+    };
+    if same(&probe(edge), queries)? {
+        return Ok(edge);
+    }
+    // Invariant: result preserved at `good`, not preserved at `bad`.
+    let (mut good, mut bad) = (q[i], edge);
+    while (good - bad).abs() > LIR_TOL {
+        let mid = (good + bad) / 2.0;
+        if same(&probe(mid), queries)? {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Ok(good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{GirEngine, Method};
+    use gir_query::QueryVector;
+    use gir_rtree::Record;
+    use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn setup(n: usize, d: usize, seed: u64) -> RTree {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let recs: Vec<Record> = (0..n)
+            .map(|i| Record::new(i as u64, (0..d).map(|_| next()).collect::<Vec<_>>()))
+            .collect();
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        RTree::bulk_load(store, &recs).unwrap()
+    }
+
+    #[test]
+    fn requery_lirs_match_gir_projection() {
+        for (d, seed) in [(2usize, 0x11Au64), (3, 0x11B), (4, 0x11C)] {
+            let tree = setup(800, d, seed);
+            let scoring = ScoringFunction::linear(d);
+            let q = PointD::from(vec![0.55; d]);
+            let engine = GirEngine::new(&tree);
+            let out = engine
+                .gir(&QueryVector::new(q.coords().to_vec()), 8, Method::FacetPruning)
+                .unwrap();
+            let from_gir = out.region.axis_intervals();
+            let (from_requery, queries) =
+                lirs_by_requery(&tree, &scoring, &q, 8).unwrap();
+            assert!(queries >= 2 * d, "bisection did not probe");
+            for i in 0..d {
+                assert!(
+                    (from_gir[i].0 - from_requery[i].0).abs() < 1e-6,
+                    "d={d} dim {i} lo: GIR {} vs requery {}",
+                    from_gir[i].0,
+                    from_requery[i].0
+                );
+                assert!(
+                    (from_gir[i].1 - from_requery[i].1).abs() < 1e-6,
+                    "d={d} dim {i} hi: GIR {} vs requery {}",
+                    from_gir[i].1,
+                    from_requery[i].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requery_cost_scales_with_dimension() {
+        let tree = setup(500, 3, 0x11D);
+        let scoring = ScoringFunction::linear(3);
+        let q = PointD::from(vec![0.5, 0.6, 0.4]);
+        let (_, queries) = lirs_by_requery(&tree, &scoring, &q, 5).unwrap();
+        // 2 probes minimum per axis edge plus ~30 bisection steps each
+        // side when the boundary is interior.
+        assert!(queries > 6, "suspiciously few probes: {queries}");
+    }
+
+    #[test]
+    fn edge_touching_intervals_terminate_immediately() {
+        // k = n: no non-result record exists; every axis interval spans
+        // at most the phase-1 constraints. With a single record the whole
+        // box is immutable and bisection exits at the edges.
+        let recs = vec![Record::new(0, vec![0.5, 0.5])];
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(store, &recs).unwrap();
+        let scoring = ScoringFunction::linear(2);
+        let q = PointD::from(vec![0.5, 0.5]);
+        let (lirs, queries) = lirs_by_requery(&tree, &scoring, &q, 1).unwrap();
+        assert_eq!(lirs, vec![(0.0, 1.0), (0.0, 1.0)]);
+        assert_eq!(queries, 5); // base + one edge probe per side per axis
+    }
+}

@@ -1,0 +1,172 @@
+//! GIR maintenance under dataset updates.
+//!
+//! The paper's caching application (§1) keeps `(GIR, result)` pairs
+//! around; this module answers what happens to them when the dataset
+//! changes — the natural companion to the dynamic top-k literature the
+//! paper cites ([1, 22]) and a prerequisite for using the cache on a
+//! live table.
+//!
+//! * **Insertion** of record `p`: the cached result stays correct at
+//!   `q'` iff `S(p_k, q') ≥ S(p, q')`. Whether the *whole* region
+//!   survives is one low-dimensional LP — maximize `(g(p) − g(p_k))·q'`
+//!   over the region; a positive optimum means part of the region is
+//!   stale. That part is exactly the far side of one half-space, so the
+//!   region can be *shrunk* in place and stays sound (it merely stops
+//!   being maximal). Only when the original query itself lands in the
+//!   stale part must the entry be dropped.
+//! * **Deletion** of a non-result record can only *grow* the true GIR;
+//!   the cached region stays sound as-is (conservatively non-maximal).
+//!   Deleting a result record invalidates the entry outright.
+
+use crate::region::GirRegion;
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_geometry::lp::{maximize, LpStatus};
+use gir_geometry::vector::PointD;
+use gir_geometry::EPS;
+use gir_query::{Record, ScoringFunction};
+
+/// Effect of a dataset update on a cached GIR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateImpact {
+    /// The region is untouched (still sound *and* maximal w.r.t. the
+    /// update).
+    Unaffected,
+    /// The region was shrunk in place; it is sound but possibly no
+    /// longer maximal.
+    Shrunk,
+    /// The cached result is stale at the original query: drop the entry.
+    Invalidated,
+}
+
+/// Processes the insertion of `rec` against a cached region whose k-th
+/// result record is `kth`, shrinking the region in place when needed.
+pub fn apply_insertion(
+    region: &mut GirRegion,
+    kth: &Record,
+    rec: &Record,
+    scoring: &ScoringFunction,
+) -> UpdateImpact {
+    let pk_t = scoring.transform_point(&kth.attrs);
+    let p_t = scoring.transform_point(&rec.attrs);
+    // Objective: (g(p) − g(p_k)) · q' — positive anywhere means p
+    // out-scores p_k there.
+    let obj = p_t.sub(&pk_t);
+
+    // Fast path: p dominated by p_k in transformed space ⇒ never wins.
+    if obj.coords().iter().all(|&v| v <= EPS) {
+        return UpdateImpact::Unaffected;
+    }
+    let cons: Vec<(PointD, f64)> = region
+        .halfspaces
+        .iter()
+        .map(|h| (h.normal.clone(), h.offset))
+        .collect();
+    let res = maximize(&obj, &cons, 0.0, 1.0);
+    if res.status != LpStatus::Optimal || res.value <= EPS {
+        return UpdateImpact::Unaffected;
+    }
+    // Part of the region is stale. Is the original query in it?
+    if obj.dot(&region.query) > EPS {
+        return UpdateImpact::Invalidated;
+    }
+    region.halfspaces.push(HalfSpace::score_order(
+        &pk_t,
+        &p_t,
+        Provenance::NonResult { record_id: rec.id },
+    ));
+    UpdateImpact::Shrunk
+}
+
+/// Processes the deletion of record `deleted_id` against a cached region
+/// for the result `result_ids`.
+pub fn apply_deletion(result_ids: &[u64], deleted_id: u64) -> UpdateImpact {
+    if result_ids.contains(&deleted_id) {
+        UpdateImpact::Invalidated
+    } else {
+        // The true GIR can only grow; the cached region stays sound.
+        UpdateImpact::Unaffected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wedge_region() -> (GirRegion, Record) {
+        // pk = (0.7, 0.6); region = GIR-ish wedge around q = (0.6, 0.5).
+        let kth = Record::new(42, vec![0.7, 0.6]);
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![-2.0, 1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 1 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![0.5, -1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 2 },
+            },
+        ];
+        (GirRegion::new(2, PointD::new(vec![0.6, 0.5]), hs), kth)
+    }
+
+    #[test]
+    fn dominated_insertion_is_unaffected() {
+        let (mut region, kth) = wedge_region();
+        let n_before = region.num_halfspaces();
+        let impact = apply_insertion(
+            &mut region,
+            &kth,
+            &Record::new(9, vec![0.5, 0.5]),
+            &ScoringFunction::linear(2),
+        );
+        assert_eq!(impact, UpdateImpact::Unaffected);
+        assert_eq!(region.num_halfspaces(), n_before);
+    }
+
+    #[test]
+    fn strong_insertion_invalidates() {
+        let (mut region, kth) = wedge_region();
+        // Dominates pk: out-scores it everywhere, including at q.
+        let impact = apply_insertion(
+            &mut region,
+            &kth,
+            &Record::new(9, vec![0.9, 0.9]),
+            &ScoringFunction::linear(2),
+        );
+        assert_eq!(impact, UpdateImpact::Invalidated);
+    }
+
+    #[test]
+    fn partial_insertion_shrinks_soundly() {
+        let (mut region, kth) = wedge_region();
+        // Better than pk only when w2 dominates: stale only in the upper
+        // part of the wedge, not at q = (0.6, 0.5).
+        let p = Record::new(9, vec![0.2, 0.95]);
+        let f = ScoringFunction::linear(2);
+        // Sanity: p loses at q but wins somewhere in the region.
+        assert!(f.score(&region.query, &p.attrs) < f.score(&region.query, &kth.attrs));
+        let impact = apply_insertion(&mut region, &kth, &p, &f);
+        assert_eq!(impact, UpdateImpact::Shrunk);
+        // The shrunk region still contains q and excludes every point
+        // where p would beat pk.
+        assert!(region.contains(&region.query.clone()));
+        for wx in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+            for wy in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+                let w = PointD::new(vec![wx, wy]);
+                if region.contains(&w) {
+                    assert!(
+                        f.score(&w, &p.attrs) <= f.score(&w, &kth.attrs) + 1e-9,
+                        "stale point survived the shrink: {w:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_of_result_record_invalidates() {
+        assert_eq!(apply_deletion(&[1, 2, 3], 2), UpdateImpact::Invalidated);
+        assert_eq!(apply_deletion(&[1, 2, 3], 9), UpdateImpact::Unaffected);
+    }
+}

@@ -1,0 +1,106 @@
+//! Phase 1: the interim GIR from result-ordering conditions (paper §4).
+//!
+//! For each adjacent result pair `(p_i, p_{i+1})`, the condition
+//! `S(p_i, q') ≥ S(p_{i+1}, q')` is the half-space through the origin with
+//! normal `g(p_{i+1}) − g(p_i)` (transformed attributes cover the §7.2
+//! non-linear case; `g` is the identity for linear scoring). Phase 1 is
+//! uniform across SP/CP/FP — the methods differ only in Phase 2.
+
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_query::{ScoringFunction, TopKResult};
+
+/// Builds the `k−1` ordering half-spaces for the interim GIR (Equation 1).
+pub fn ordering_halfspaces(result: &TopKResult, scoring: &ScoringFunction) -> Vec<HalfSpace> {
+    let mut out = Vec::with_capacity(result.len().saturating_sub(1));
+    for (rank, pair) in result.ranked.windows(2).enumerate() {
+        let winner = scoring.transform_point(&pair[0].0.attrs);
+        let loser = scoring.transform_point(&pair[1].0.attrs);
+        out.push(HalfSpace::score_order(
+            &winner,
+            &loser,
+            Provenance::Ordering { rank },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::vector::PointD;
+    use gir_rtree::Record;
+
+    fn figure3_result() -> TopKResult {
+        // Figure 3(a): q = (0.4, 0.6), k = 4.
+        let rows = [
+            (1u64, vec![0.54, 0.5], 0.516),
+            (2, vec![0.5, 0.48], 0.488),
+            (3, vec![0.52, 0.35], 0.418),
+            (4, vec![0.4, 0.4], 0.4),
+        ];
+        TopKResult {
+            ranked: rows
+                .into_iter()
+                .map(|(id, a, s)| (Record::new(id, a), s))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn figure3_halfplanes() {
+        // Expected half-planes (paper §4): 0.04w1 + 0.02w2 ≥ 0,
+        // -0.02w1 + 0.13w2 ≥ 0, 0.12w1 - 0.05w2 ≥ 0. In our canonical
+        // `normal·x ≤ 0` form the normals are the negations.
+        let hs = ordering_halfspaces(&figure3_result(), &ScoringFunction::linear(2));
+        assert_eq!(hs.len(), 3);
+        let expect = [
+            vec![-0.04, -0.02],
+            vec![0.02, -0.13],
+            vec![-0.12, 0.05],
+        ];
+        for (h, e) in hs.iter().zip(expect.iter()) {
+            for (a, b) in h.normal.coords().iter().zip(e.iter()) {
+                assert!((a - b).abs() < 1e-12, "normal {:?} vs {:?}", h.normal, e);
+            }
+            assert_eq!(h.offset, 0.0);
+        }
+        // Query itself satisfies all ordering conditions.
+        let q = PointD::new(vec![0.4, 0.6]);
+        assert!(hs.iter().all(|h| h.contains(&q, 1e-12)));
+    }
+
+    #[test]
+    fn provenance_ranks_are_sequential() {
+        let hs = ordering_halfspaces(&figure3_result(), &ScoringFunction::linear(2));
+        for (i, h) in hs.iter().enumerate() {
+            assert_eq!(h.provenance, Provenance::Ordering { rank: i });
+        }
+    }
+
+    #[test]
+    fn single_result_has_no_ordering_conditions() {
+        let one = TopKResult {
+            ranked: vec![(Record::new(0, vec![0.5, 0.5]), 0.5)],
+        };
+        assert!(ordering_halfspaces(&one, &ScoringFunction::linear(2)).is_empty());
+    }
+
+    #[test]
+    fn nonlinear_uses_transformed_attributes() {
+        // With g(x) = x^2 the normal must be g(loser) − g(winner).
+        let res = TopKResult {
+            ranked: vec![
+                (Record::new(1, vec![0.8, 0.2]), 0.0),
+                (Record::new(2, vec![0.5, 0.5]), 0.0),
+            ],
+        };
+        let f = ScoringFunction::new(vec![
+            gir_query::Transform::Power(2),
+            gir_query::Transform::Power(2),
+        ]);
+        let hs = ordering_halfspaces(&res, &f);
+        let n = &hs[0].normal;
+        assert!((n[0] - (0.25 - 0.64)).abs() < 1e-12);
+        assert!((n[1] - (0.25 - 0.04)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! The GIR as a region in query space.
+//!
+//! A [`GirRegion`] is the H-representation (half-space list, including the
+//! `[0,1]^d` query box) produced by Phase 1 + Phase 2. Everything the paper
+//! derives from the GIR hangs off it: membership tests (result caching,
+//! §1), volume ratio (sensitivity, Fig 14), non-redundant facets with
+//! their *result perturbations* (§3.2), and the §7.3 visualizations.
+
+use gir_geometry::halfspace::{intersect_halfspaces, region_contains, IntersectError};
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_geometry::mah::{max_axis_rect, AxisRect};
+use gir_geometry::projection::axis_projections;
+use gir_geometry::vector::PointD;
+use gir_geometry::volume::{region_volume, VolumeEstimate, VolumeOptions};
+use gir_geometry::EPS;
+
+/// A global immutable region: all query vectors preserving the top-k
+/// result of `query`.
+#[derive(Debug, Clone)]
+pub struct GirRegion {
+    /// Query-space dimensionality.
+    pub d: usize,
+    /// The original query vector (always inside the region).
+    pub query: PointD,
+    /// H-representation: every half-space of Definition 1 that the
+    /// producing algorithm retained, plus the `2d` query-box constraints.
+    /// SP retains redundant ones; FP is near-minimal — [`GirRegion::reduce`]
+    /// computes the exact facet set either way.
+    pub halfspaces: Vec<HalfSpace>,
+}
+
+/// The reduced (facet-only) form of a GIR.
+#[derive(Debug, Clone)]
+pub struct ReducedGir {
+    /// The non-redundant half-spaces — the actual facets of the polytope.
+    pub facets: Vec<HalfSpace>,
+    /// The polytope's vertices.
+    pub vertices: Vec<PointD>,
+}
+
+/// What happens to the top-k result when the query vector crosses a GIR
+/// facet (paper §3.2): the GIR's boundary *is* the catalogue of nearest
+/// result perturbations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundaryEvent {
+    /// Result records at ranks `rank` and `rank + 1` (0-based) swap.
+    Reorder {
+        /// Rank of the record being overtaken.
+        rank: usize,
+    },
+    /// Non-result record `record_id` replaces the k-th result record.
+    Overtake {
+        /// Id of the incoming record.
+        record_id: u64,
+    },
+    /// Non-result record `record_id` overtakes the result member at
+    /// `rank` (order-insensitive GIR*, §7.1).
+    OvertakeMember {
+        /// Rank of the threatened result member.
+        rank: usize,
+        /// Id of the incoming record.
+        record_id: u64,
+    },
+    /// The query-space boundary itself (weight `dim` hits 0 or 1).
+    QueryBoxEdge {
+        /// Dimension of the clamped weight.
+        dim: usize,
+        /// True when the `w = 1` side.
+        upper: bool,
+    },
+}
+
+impl From<Provenance> for BoundaryEvent {
+    fn from(p: Provenance) -> Self {
+        match p {
+            Provenance::Ordering { rank } => BoundaryEvent::Reorder { rank },
+            Provenance::NonResult { record_id } => BoundaryEvent::Overtake { record_id },
+            Provenance::StarNonResult { rank, record_id } => {
+                BoundaryEvent::OvertakeMember { rank, record_id }
+            }
+            Provenance::QueryBox { dim, upper } => BoundaryEvent::QueryBoxEdge { dim, upper },
+        }
+    }
+}
+
+impl GirRegion {
+    /// Builds a region from condition half-spaces, appending the query box.
+    pub fn new(d: usize, query: PointD, mut halfspaces: Vec<HalfSpace>) -> GirRegion {
+        halfspaces.extend(HalfSpace::full_query_box(d));
+        GirRegion {
+            d,
+            query,
+            halfspaces,
+        }
+    }
+
+    /// True when `w` lies inside the region (within [`EPS`]): issuing the
+    /// query with weights `w` is guaranteed to return the same top-k.
+    pub fn contains(&self, w: &PointD) -> bool {
+        region_contains(&self.halfspaces, w, EPS)
+    }
+
+    /// Number of stored half-spaces (including the `2d` box constraints).
+    pub fn num_halfspaces(&self) -> usize {
+        self.halfspaces.len()
+    }
+
+    /// Computes the exact facet set and vertex set (dual-hull reduction).
+    pub fn reduce(&self) -> Result<ReducedGir, IntersectError> {
+        let ix = intersect_halfspaces(&self.halfspaces, Some(&self.query))?;
+        let facets = ix
+            .nonredundant
+            .iter()
+            .map(|&i| self.halfspaces[i].clone())
+            .collect();
+        Ok(ReducedGir {
+            facets,
+            vertices: ix.vertices,
+        })
+    }
+
+    /// The result perturbation at each (non-redundant) boundary facet.
+    ///
+    /// This is how the paper's Figure 1 interface can tell the user *what
+    /// the new result will be* at each tipping point.
+    pub fn boundary_events(&self) -> Result<Vec<BoundaryEvent>, IntersectError> {
+        Ok(self
+            .reduce()?
+            .facets
+            .into_iter()
+            .map(|h| h.provenance.into())
+            .collect())
+    }
+
+    /// GIR volume (also the ratio to the query-space volume, which is 1):
+    /// the probability that a uniformly random query vector reproduces the
+    /// current result — the paper's robustness measure (§1, Fig 14).
+    pub fn volume(&self, opts: &VolumeOptions) -> VolumeEstimate {
+        region_volume(&self.halfspaces, self.d, Some(&self.query), opts)
+    }
+
+    /// Per-axis immutable intervals around the query (the LIRs of [24],
+    /// derived from the GIR by interactive projection, §7.3).
+    pub fn axis_intervals(&self) -> Vec<(f64, f64)> {
+        axis_projections(&self.halfspaces, &self.query)
+    }
+
+    /// Interactive re-projection (§7.3, Figure 13b): per-axis intervals
+    /// through an arbitrary point inside the region — as the user drags
+    /// the weights within the GIR, the slide-bar bounds are redrawn with
+    /// no index access at all.
+    pub fn axis_intervals_at(&self, at: &PointD) -> Vec<(f64, f64)> {
+        debug_assert!(self.contains(at), "re-projection point must be inside");
+        axis_projections(&self.halfspaces, at)
+    }
+
+    /// Maximum axis-parallel hyper-rectangle around the query (§7.3).
+    pub fn mah(&self) -> AxisRect {
+        max_axis_rect(&self.halfspaces, &self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wedge_region() -> GirRegion {
+        // The Figure 2 wedge: y ≤ 2x and y ≥ x/2 around q = (0.6, 0.5).
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![-2.0, 1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 11 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![0.5, -1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 7 },
+            },
+        ];
+        GirRegion::new(2, PointD::new(vec![0.6, 0.5]), hs)
+    }
+
+    #[test]
+    fn membership() {
+        let r = wedge_region();
+        assert!(r.contains(&r.query));
+        assert!(r.contains(&PointD::new(vec![0.3, 0.2]))); // q' from Fig 2
+        assert!(!r.contains(&PointD::new(vec![0.1, 0.9])));
+        assert!(!r.contains(&PointD::new(vec![0.9, 0.1])));
+    }
+
+    #[test]
+    fn reduce_reports_both_records_as_facets() {
+        let r = wedge_region();
+        let red = r.reduce().unwrap();
+        let ids: Vec<u64> = red
+            .facets
+            .iter()
+            .filter_map(|h| match h.provenance {
+                Provenance::NonResult { record_id } => Some(record_id),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&11) && ids.contains(&7), "{ids:?}");
+    }
+
+    #[test]
+    fn boundary_events_translate_provenance() {
+        let r = wedge_region();
+        let ev = r.boundary_events().unwrap();
+        assert!(ev.contains(&BoundaryEvent::Overtake { record_id: 11 }));
+        assert!(ev.contains(&BoundaryEvent::Overtake { record_id: 7 }));
+    }
+
+    #[test]
+    fn redundant_condition_not_a_facet() {
+        let mut r = wedge_region();
+        // y ≤ 10x is implied by y ≤ 2x.
+        r.halfspaces.push(HalfSpace {
+            normal: PointD::new(vec![-10.0, 1.0]),
+            offset: 0.0,
+            provenance: Provenance::NonResult { record_id: 99 },
+        });
+        let red = r.reduce().unwrap();
+        assert!(!red.facets.iter().any(|h| matches!(
+            h.provenance,
+            Provenance::NonResult { record_id: 99 }
+        )));
+    }
+
+    #[test]
+    fn volume_of_wedge() {
+        let r = wedge_region();
+        let v = r.volume(&VolumeOptions::default());
+        assert!((v.volume - 0.5).abs() < 1e-6, "vol {}", v.volume);
+    }
+
+    #[test]
+    fn axis_intervals_contain_query() {
+        let r = wedge_region();
+        for (i, (lo, hi)) in r.axis_intervals().iter().enumerate() {
+            assert!(*lo <= r.query[i] && r.query[i] <= *hi);
+        }
+    }
+
+    #[test]
+    fn reprojection_through_moved_point() {
+        let r = wedge_region();
+        let moved = PointD::new(vec![0.4, 0.4]);
+        assert!(r.contains(&moved));
+        let iv = r.axis_intervals_at(&moved);
+        // Along x at y = 0.4: 0.2 ≤ x ≤ 0.8 (from y ≤ 2x and y ≥ x/2).
+        assert!((iv[0].0 - 0.2).abs() < 1e-9, "lo {}", iv[0].0);
+        assert!((iv[0].1 - 0.8).abs() < 1e-9, "hi {}", iv[0].1);
+        for (i, (lo, hi)) in iv.iter().enumerate() {
+            assert!(*lo <= moved[i] && moved[i] <= *hi);
+        }
+    }
+
+    #[test]
+    fn mah_fits_inside() {
+        let r = wedge_region();
+        let rect = r.mah();
+        assert!(rect.contains(&r.query));
+        assert!(r.contains(&rect.lo) && r.contains(&rect.hi));
+    }
+}

@@ -1,0 +1,204 @@
+//! SVG rendering of 2-d GIR regions (paper §7.3 / Figure 2).
+//!
+//! Produces a standalone SVG of the query space: the GIR polygon (from
+//! the exact vertex enumeration), the MAH rectangle, the query point and
+//! its per-axis projection segments — the ingredients of Figures 2 and
+//! 13 — ready to drop into a report or a web UI.
+
+use crate::region::GirRegion;
+use gir_geometry::vector::PointD;
+use std::fmt::Write as _;
+
+/// Options for [`render_svg_2d`].
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Canvas side length in pixels (the query space is the unit square).
+    pub size: u32,
+    /// Draw the MAH rectangle.
+    pub show_mah: bool,
+    /// Draw the interactive-projection segments through the query.
+    pub show_projections: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            size: 480,
+            show_mah: true,
+            show_projections: true,
+        }
+    }
+}
+
+/// Renders a 2-d region as an SVG document. Returns `None` when the
+/// region's vertex enumeration fails (empty or flat region).
+pub fn render_svg_2d(region: &GirRegion, opts: &SvgOptions) -> Option<String> {
+    assert_eq!(region.d, 2, "SVG rendering requires d = 2");
+    let reduced = region.reduce().ok()?;
+    if reduced.vertices.len() < 3 {
+        return None;
+    }
+    let s = opts.size as f64;
+    // Query space (0,0)..(1,1) with the origin bottom-left.
+    let px = |p: &PointD| (p[0] * s, (1.0 - p[1]) * s);
+
+    // Order polygon vertices counter-clockwise around their centroid.
+    let centroid = PointD::centroid(reduced.vertices.iter());
+    let mut verts = reduced.vertices.clone();
+    verts.sort_by(|a, b| {
+        let aa = f64::atan2(a[1] - centroid[1], a[0] - centroid[0]);
+        let ab = f64::atan2(b[1] - centroid[1], b[0] - centroid[0]);
+        aa.partial_cmp(&ab).expect("non-NaN angles")
+    });
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"##,
+        opts.size
+    );
+    let _ = writeln!(
+        svg,
+        r##"  <rect x="0" y="0" width="{0}" height="{0}" fill="white" stroke="#333"/>"##,
+        opts.size
+    );
+
+    // The GIR polygon.
+    let mut points = String::new();
+    for v in &verts {
+        let (x, y) = px(v);
+        let _ = write!(points, "{x:.1},{y:.1} ");
+    }
+    let _ = writeln!(
+        svg,
+        r##"  <polygon points="{}" fill="#4a90d9" fill-opacity="0.35" stroke="#1c5a96" stroke-width="1.5"/>"##,
+        points.trim_end()
+    );
+
+    if opts.show_mah {
+        let mah = region.mah();
+        let (x0, y0) = px(&PointD::new(vec![mah.lo[0], mah.hi[1]]));
+        let w = (mah.hi[0] - mah.lo[0]) * s;
+        let h = (mah.hi[1] - mah.lo[1]) * s;
+        let _ = writeln!(
+            svg,
+            r##"  <rect x="{x0:.1}" y="{y0:.1}" width="{w:.1}" height="{h:.1}" fill="none" stroke="#d98e00" stroke-width="1.5" stroke-dasharray="6,3"/>"##
+        );
+    }
+
+    if opts.show_projections {
+        for (dim, (lo, hi)) in region.axis_intervals().iter().enumerate() {
+            let (a, b) = if dim == 0 {
+                (
+                    PointD::new(vec![*lo, region.query[1]]),
+                    PointD::new(vec![*hi, region.query[1]]),
+                )
+            } else {
+                (
+                    PointD::new(vec![region.query[0], *lo]),
+                    PointD::new(vec![region.query[0], *hi]),
+                )
+            };
+            let (x1, y1) = px(&a);
+            let (x2, y2) = px(&b);
+            let _ = writeln!(
+                svg,
+                r##"  <line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#2e7d32" stroke-width="1.2"/>"##
+            );
+        }
+    }
+
+    // The query point on top.
+    let (qx, qy) = px(&region.query);
+    let _ = writeln!(
+        svg,
+        r##"  <circle cx="{qx:.1}" cy="{qy:.1}" r="4" fill="#c62828"/>"##
+    );
+    svg.push_str("</svg>\n");
+    Some(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::hyperplane::{HalfSpace, Provenance};
+
+    fn wedge() -> GirRegion {
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![-2.0, 1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 1 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![0.5, -1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 2 },
+            },
+        ];
+        GirRegion::new(2, PointD::new(vec![0.6, 0.5]), hs)
+    }
+
+    #[test]
+    fn svg_contains_all_layers() {
+        let svg = render_svg_2d(&wedge(), &SvgOptions::default()).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polygon").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<line").count(), 2); // one per axis
+        assert!(svg.contains("stroke-dasharray"), "missing MAH rect");
+    }
+
+    #[test]
+    fn layers_are_optional() {
+        let svg = render_svg_2d(
+            &wedge(),
+            &SvgOptions {
+                show_mah: false,
+                show_projections: false,
+                ..SvgOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!svg.contains("stroke-dasharray"));
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn empty_region_yields_none() {
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![1.0, 0.0]),
+                offset: 0.3,
+                provenance: Provenance::NonResult { record_id: 1 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![-1.0, 0.0]),
+                offset: -0.7, // x ≥ 0.7 and x ≤ 0.3: empty
+                provenance: Provenance::NonResult { record_id: 2 },
+            },
+        ];
+        let region = GirRegion::new(2, PointD::new(vec![0.5, 0.5]), hs);
+        assert!(render_svg_2d(&region, &SvgOptions::default()).is_none());
+    }
+
+    #[test]
+    fn polygon_coordinates_stay_on_canvas() {
+        let svg = render_svg_2d(&wedge(), &SvgOptions { size: 100, ..SvgOptions::default() })
+            .unwrap();
+        // Crude but effective: no negative coordinates and nothing beyond
+        // the 100-px canvas in the polygon points.
+        let points = svg
+            .split("points=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
+        for tok in points.split([',', ' ']).filter(|t| !t.is_empty()) {
+            let v: f64 = tok.parse().unwrap();
+            assert!((-0.5..=100.5).contains(&v), "coordinate {v} off canvas");
+        }
+    }
+}

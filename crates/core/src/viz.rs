@@ -1,0 +1,164 @@
+//! GIR visualization (paper §7.3 and Figure 1).
+//!
+//! Two techniques render a `d`-dimensional GIR on a per-factor interface:
+//!
+//! * **MAH**: project the maximum axis-parallel hyper-rectangle — bounds
+//!   stay fixed while the query stays in the MAH, but they under-cover
+//!   the GIR ([`GirRegion::mah`]).
+//! * **Interactive projection**: project the query point through the GIR
+//!   along each axis — maximal per-factor ranges (these are the LIRs of
+//!   [24]) that must be recomputed as the user drags a slider.
+//!
+//! [`slide_bar_bounds`] implements the latter and renders the Figure 1(a)
+//! slide bars as ASCII for the examples.
+
+use crate::region::GirRegion;
+use gir_geometry::vector::PointD;
+
+/// Per-factor immutable ranges around the current weights.
+#[derive(Debug, Clone)]
+pub struct SlideBarBounds {
+    /// The query weights.
+    pub query: PointD,
+    /// `(lo, hi)` per dimension: moving weight `i` alone within its
+    /// interval provably preserves the top-k result.
+    pub intervals: Vec<(f64, f64)>,
+}
+
+/// Computes the interactive-projection bounds (≡ the LIRs of [24]).
+pub fn slide_bar_bounds(region: &GirRegion) -> SlideBarBounds {
+    SlideBarBounds {
+        query: region.query.clone(),
+        intervals: region.axis_intervals(),
+    }
+}
+
+impl SlideBarBounds {
+    /// Renders Figure 1(a)-style slide bars, one row per factor:
+    ///
+    /// ```text
+    /// food quality  |----[=====Q=======]--------------| 0.42..0.71 @0.60
+    /// ```
+    ///
+    /// `[`/`]` mark the immutable range, `Q` the current weight.
+    pub fn render_ascii(&self, labels: &[&str], width: usize) -> String {
+        assert_eq!(labels.len(), self.intervals.len());
+        let w = width.max(10);
+        let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (i, (lo, hi)) in self.intervals.iter().enumerate() {
+            let pos = |v: f64| ((v.clamp(0.0, 1.0) * (w - 1) as f64).round() as usize).min(w - 1);
+            let (plo, phi, pq) = (pos(*lo), pos(*hi), pos(self.query[i]));
+            let mut bar: Vec<char> = vec!['-'; w];
+            for c in bar.iter_mut().take(phi).skip(plo) {
+                *c = '=';
+            }
+            bar[plo] = '[';
+            bar[phi] = ']';
+            bar[pq] = 'Q';
+            out.push_str(&format!(
+                "{:label_w$}  |{}| {:.3}..{:.3} @{:.3}\n",
+                labels[i],
+                bar.iter().collect::<String>(),
+                lo,
+                hi,
+                self.query[i],
+            ));
+        }
+        out
+    }
+}
+
+/// ASCII rendering of a 2-d GIR region (the Figure 2 wedge): `#` inside,
+/// `Q` the query, `.` outside. Rows are printed with `w2` decreasing so
+/// the origin sits bottom-left.
+pub fn render_region_2d(region: &GirRegion, size: usize) -> String {
+    assert_eq!(region.d, 2, "render_region_2d requires d = 2");
+    let n = size.max(8);
+    let mut out = String::new();
+    let qx = ((region.query[0] * (n - 1) as f64).round() as usize).min(n - 1);
+    let qy = ((region.query[1] * (n - 1) as f64).round() as usize).min(n - 1);
+    for row in (0..n).rev() {
+        for col in 0..n {
+            let w = PointD::new(vec![
+                col as f64 / (n - 1) as f64,
+                row as f64 / (n - 1) as f64,
+            ]);
+            let ch = if col == qx && row == qy {
+                'Q'
+            } else if region.contains(&w) {
+                '#'
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::hyperplane::{HalfSpace, Provenance};
+
+    fn wedge() -> GirRegion {
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![-2.0, 1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 1 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![0.5, -1.0]),
+                offset: 0.0,
+                provenance: Provenance::NonResult { record_id: 2 },
+            },
+        ];
+        GirRegion::new(2, PointD::new(vec![0.6, 0.5]), hs)
+    }
+
+    #[test]
+    fn slide_bars_match_axis_intervals() {
+        let r = wedge();
+        let b = slide_bar_bounds(&r);
+        assert_eq!(b.intervals, r.axis_intervals());
+        assert_eq!(b.intervals.len(), 2);
+    }
+
+    #[test]
+    fn ascii_bars_contain_markers() {
+        let r = wedge();
+        let b = slide_bar_bounds(&r);
+        let s = b.render_ascii(&["w1", "w2"], 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.contains('['));
+            assert!(line.contains(']'));
+            assert!(line.contains('Q'));
+        }
+    }
+
+    #[test]
+    fn region_ascii_marks_inside_and_query() {
+        let r = wedge();
+        let pic = render_region_2d(&r, 20);
+        assert!(pic.contains('#'));
+        assert!(pic.contains('Q'));
+        assert!(pic.contains('.'));
+        // Origin row (bottom) starts inside the wedge (0,0 satisfies both
+        // homogeneous constraints).
+        let rows: Vec<&str> = pic.lines().collect();
+        assert_eq!(rows.len(), 20);
+        assert!(rows[19].starts_with('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "d = 2")]
+    fn render_rejects_higher_dims() {
+        let r = GirRegion::new(3, PointD::new(vec![0.5, 0.5, 0.5]), vec![]);
+        let _ = render_region_2d(&r, 10);
+    }
+}

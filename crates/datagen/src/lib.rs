@@ -1,0 +1,25 @@
+//! # gir-datagen
+//!
+//! Workload generators for the GIR experiments (paper §8):
+//!
+//! * [`synthetic`] — the standard preference-query benchmarks of
+//!   Börzsönyi et al. [8]: **Independent** (uniform), **Correlated**
+//!   (records good in one dimension tend to be good in all) and
+//!   **Anti-correlated** (good in one dimension, bad in the rest),
+//! * [`house_like`] / [`hotel_like`] — synthetic stand-ins for the
+//!   paper's real datasets (see DESIGN.md §5: the originals are not
+//!   redistributable). HOUSE: 315,265 × 6 positively-correlated,
+//!   heavy-tailed expenditure attributes; HOTEL: 418,843 × 4 mixed-
+//!   correlation attributes with a discretized "stars" dimension,
+//! * [`random_queries`] — uniform random query vectors (the paper
+//!   averages each measurement over 100 random queries).
+//!
+//! All attributes are normalized to `[0,1]` and ids are dense `0..n`.
+
+pub mod queries;
+pub mod real_like;
+pub mod synthetic;
+
+pub use queries::random_queries;
+pub use real_like::{hotel_like, house_like, HOTEL_CARDINALITY, HOUSE_CARDINALITY};
+pub use synthetic::{synthetic, Distribution};

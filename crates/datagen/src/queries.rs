@@ -1,0 +1,52 @@
+//! Random query workloads.
+
+use gir_geometry::vector::PointD;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates `count` random query vectors uniform in `[lo, 1]^d`.
+///
+/// The paper averages every measurement over 100 random queries (§8).
+/// A small positive floor (default callers use 0.05) avoids degenerate
+/// all-but-zero weight vectors for which the score ordering is driven by
+/// one dimension only.
+pub fn random_queries(count: usize, d: usize, lo: f64, seed: u64) -> Vec<PointD> {
+    assert!((0.0..1.0).contains(&lo), "weight floor must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BADCAFE);
+    (0..count)
+        .map(|_| {
+            PointD::from(
+                (0..d)
+                    .map(|_| rng.random_range(lo..=1.0))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_in_range() {
+        let qs = random_queries(100, 4, 0.05, 1);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert_eq!(q.dim(), 4);
+            assert!(q.coords().iter().all(|&w| (0.05..=1.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_queries(10, 3, 0.0, 7), random_queries(10, 3, 0.0, 7));
+        assert_ne!(random_queries(10, 3, 0.0, 7), random_queries(10, 3, 0.0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight floor")]
+    fn bad_floor_rejected() {
+        let _ = random_queries(1, 2, 1.0, 0);
+    }
+}

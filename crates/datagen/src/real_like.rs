@@ -1,0 +1,139 @@
+//! Synthetic stand-ins for the HOUSE and HOTEL real datasets.
+//!
+//! The paper's real datasets (§8) are not redistributable, so we generate
+//! datasets with the same cardinality, dimensionality and the structural
+//! traits the experiments depend on (skyline width, correlation mix,
+//! attribute tails). See DESIGN.md §5 for the substitution rationale.
+
+use gir_rtree::Record;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Cardinality of the paper's HOUSE dataset (ipums.org).
+pub const HOUSE_CARDINALITY: usize = 315_265;
+/// Cardinality of the paper's HOTEL dataset (hotelsbase.org).
+pub const HOTEL_CARDINALITY: usize = 418_843;
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// HOUSE-like data: six household-expenditure attributes (gas,
+/// electricity, water, heating, insurance, property tax). Expenditures
+/// share a latent "household wealth" factor (positive cross-correlation)
+/// and are lognormal-tailed; `y / (1 + y)` maps the tail into `[0,1)`.
+pub fn house_like(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0005EC0D);
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        let wealth = normal(&mut rng);
+        let attrs: Vec<f64> = (0..6)
+            .map(|_| {
+                let y = (0.6 * wealth + 0.7 * normal(&mut rng)).exp();
+                clamp01(y / (1.0 + y))
+            })
+            .collect();
+        out.push(Record::new(id as u64, attrs));
+    }
+    out
+}
+
+/// HOTEL-like data: stars, price, number of rooms, number of facilities.
+/// Stars are discrete (1–5, normalized), price and facilities correlate
+/// positively with stars, rooms are roughly independent and heavy-tailed.
+/// The paper ranks larger-is-better, so "price" here is value-for-money
+/// oriented the same way as the other attributes.
+pub fn hotel_like(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00407E1);
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        // Star ratings skew toward 3: binomial-ish mixture.
+        let stars = 1 + (0..4).filter(|_| rng.random_range(0.0..1.0) < 0.55).count() as u32;
+        let s01 = stars as f64 / 5.0;
+        let price = clamp01(0.65 * s01 + 0.25 * rng.random_range(0.0..1.0) + 0.08 * normal(&mut rng));
+        let rooms = {
+            let y = (0.9 * normal(&mut rng)).exp();
+            clamp01(y / (1.0 + y))
+        };
+        let facilities = clamp01(0.5 * s01 + 0.4 * rng.random_range(0.0..1.0));
+        out.push(Record::new(id as u64, vec![s01, price, rooms, facilities]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn house_shape() {
+        let data = house_like(2000, 5);
+        assert_eq!(data.len(), 2000);
+        for r in &data {
+            assert_eq!(r.dim(), 6);
+            assert!(r.attrs.coords().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn hotel_shape_and_discrete_stars() {
+        let data = hotel_like(2000, 5);
+        for r in &data {
+            assert_eq!(r.dim(), 4);
+            let s = r.attrs[0] * 5.0;
+            assert!((s - s.round()).abs() < 1e-9, "stars not discrete: {s}");
+            assert!((1.0..=5.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn house_attributes_positively_correlated() {
+        let data = house_like(5000, 6);
+        let n = data.len() as f64;
+        let m0: f64 = data.iter().map(|r| r.attrs[0]).sum::<f64>() / n;
+        let m1: f64 = data.iter().map(|r| r.attrs[1]).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut v0 = 0.0;
+        let mut v1 = 0.0;
+        for r in &data {
+            let a = r.attrs[0] - m0;
+            let b = r.attrs[1] - m1;
+            cov += a * b;
+            v0 += a * a;
+            v1 += b * b;
+        }
+        let r01 = cov / (v0.sqrt() * v1.sqrt());
+        assert!(r01 > 0.2, "expected shared-wealth correlation, got {r01}");
+    }
+
+    #[test]
+    fn hotel_price_tracks_stars() {
+        let data = hotel_like(5000, 6);
+        // Average price of 5-star hotels must exceed 1-star.
+        let avg = |star: f64| {
+            let sel: Vec<f64> = data
+                .iter()
+                .filter(|r| (r.attrs[0] - star).abs() < 1e-9)
+                .map(|r| r.attrs[1])
+                .collect();
+            sel.iter().sum::<f64>() / sel.len().max(1) as f64
+        };
+        assert!(avg(1.0) > avg(0.2) || avg(0.2) == 0.0);
+        let hi = avg(1.0);
+        let lo = avg(0.2);
+        assert!(hi > lo, "5-star avg {hi} vs 1-star avg {lo}");
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(house_like(100, 1), house_like(100, 1));
+        assert_eq!(hotel_like(100, 1), hotel_like(100, 1));
+        assert_ne!(hotel_like(100, 1), hotel_like(100, 2));
+    }
+}

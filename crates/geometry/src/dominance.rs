@@ -1,0 +1,199 @@
+//! Pareto dominance and in-memory skyline computation.
+//!
+//! Dominance is the pruning workhorse of the paper: record `p` dominates
+//! `p'` when `p` is no smaller on every dimension and larger on at least
+//! one (§5.1). Under any monotone scoring function `S(p,q) ≥ S(p',q)`, so a
+//! dominated record can never bound the GIR before its dominator does.
+
+use crate::vector::PointD;
+use crate::EPS;
+
+/// Returns true when `a` dominates `b`: `a_i ≥ b_i` on every dimension and
+/// `a_i > b_i` on at least one (larger-is-better convention, paper §5.1).
+#[inline]
+pub fn dominates(a: &PointD, b: &PointD) -> bool {
+    debug_assert_eq!(a.dim(), b.dim());
+    let mut strictly = false;
+    for (x, y) in a.coords().iter().zip(b.coords().iter()) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Returns true when `a` is strictly larger than `b` on *every* dimension.
+#[inline]
+pub fn strictly_dominates(a: &PointD, b: &PointD) -> bool {
+    debug_assert_eq!(a.dim(), b.dim());
+    a.coords()
+        .iter()
+        .zip(b.coords().iter())
+        .all(|(x, y)| *x > y + EPS)
+}
+
+/// Computes the skyline (maxima set) of `points`, returning indices into
+/// the input slice. `O(n^2)` worst case; intended for in-memory candidate
+/// sets (e.g. the records set `T` retained from BRS), not whole datasets —
+/// disk-resident skylines use the BBS algorithm in `gir-query`.
+pub fn skyline_indices(points: &[PointD]) -> Vec<usize> {
+    // Pre-sorting by decreasing coordinate sum makes dominators appear
+    // before dominated records, so the incremental filter below never has
+    // to remove a previously accepted member.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| {
+        let si: f64 = points[i].coords().iter().sum();
+        let sj: f64 = points[j].coords().iter().sum();
+        sj.partial_cmp(&si).expect("non-NaN coordinates")
+    });
+
+    let mut sky: Vec<usize> = Vec::new();
+    'next: for &i in &order {
+        for &s in &sky {
+            if dominates(&points[s], &points[i]) {
+                continue 'next;
+            }
+        }
+        sky.push(i);
+    }
+    sky.sort_unstable();
+    sky
+}
+
+/// Incremental skyline maintenance over streamed points.
+///
+/// Used by BBS-style traversals: each candidate is inserted unless
+/// dominated, and dominated members are evicted when a new dominator
+/// arrives.
+#[derive(Debug, Default, Clone)]
+pub struct SkylineSet<T> {
+    entries: Vec<(PointD, T)>,
+}
+
+impl<T> SkylineSet<T> {
+    /// Creates an empty skyline.
+    pub fn new() -> Self {
+        SkylineSet {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of current skyline members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the skyline has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns true when `p` is dominated by a current member.
+    pub fn dominated(&self, p: &PointD) -> bool {
+        self.entries.iter().any(|(m, _)| dominates(m, p))
+    }
+
+    /// Inserts `p` unless dominated; evicts members `p` dominates.
+    /// Returns true when the point was inserted.
+    pub fn insert(&mut self, p: PointD, payload: T) -> bool {
+        if self.dominated(&p) {
+            return false;
+        }
+        self.entries.retain(|(m, _)| !dominates(&p, m));
+        self.entries.push((p, payload));
+        true
+    }
+
+    /// Iterates over members and payloads.
+    pub fn iter(&self) -> impl Iterator<Item = (&PointD, &T)> {
+        self.entries.iter().map(|(p, t)| (p, t))
+    }
+
+    /// Consumes the skyline, yielding members and payloads.
+    pub fn into_entries(self) -> Vec<(PointD, T)> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[f64]) -> PointD {
+        PointD::from(v)
+    }
+
+    #[test]
+    fn dominance_basic() {
+        assert!(dominates(&p(&[0.5, 0.5]), &p(&[0.4, 0.5])));
+        assert!(!dominates(&p(&[0.5, 0.5]), &p(&[0.5, 0.5])));
+        assert!(!dominates(&p(&[0.5, 0.4]), &p(&[0.4, 0.5])));
+        assert!(strictly_dominates(&p(&[0.6, 0.6]), &p(&[0.4, 0.5])));
+        assert!(!strictly_dominates(&p(&[0.6, 0.5]), &p(&[0.4, 0.5])));
+    }
+
+    #[test]
+    fn skyline_of_figure4_layout() {
+        // A staircase plus dominated interior points.
+        let pts = vec![
+            p(&[0.9, 0.1]),
+            p(&[0.7, 0.4]),
+            p(&[0.5, 0.6]),
+            p(&[0.2, 0.9]),
+            p(&[0.4, 0.3]), // dominated by (0.5,0.6)
+            p(&[0.1, 0.1]), // dominated by everything
+        ];
+        let sky = skyline_indices(&pts);
+        assert_eq!(sky, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skyline_single_point() {
+        let pts = vec![p(&[0.5, 0.5, 0.5])];
+        assert_eq!(skyline_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn skyline_duplicates_keep_one_copy_each() {
+        // Equal points do not dominate each other, so both remain.
+        let pts = vec![p(&[0.5, 0.5]), p(&[0.5, 0.5])];
+        assert_eq!(skyline_indices(&pts).len(), 2);
+    }
+
+    #[test]
+    fn skyline_set_eviction() {
+        let mut s: SkylineSet<u32> = SkylineSet::new();
+        assert!(s.insert(p(&[0.4, 0.4]), 1));
+        assert!(s.insert(p(&[0.2, 0.6]), 2));
+        assert_eq!(s.len(), 2);
+        // Dominates the first member: evicts it.
+        assert!(s.insert(p(&[0.5, 0.5]), 3));
+        assert_eq!(s.len(), 2);
+        assert!(s.dominated(&p(&[0.3, 0.3])));
+        // Dominated candidate is rejected.
+        assert!(!s.insert(p(&[0.1, 0.1]), 4));
+    }
+
+    #[test]
+    fn skyline_matches_naive_filter() {
+        // Cross-check skyline_indices against a direct double loop.
+        let mut pts = Vec::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                c.push((seed >> 11) as f64 / (1u64 << 53) as f64);
+            }
+            pts.push(PointD::from(c));
+        }
+        let fast = skyline_indices(&pts);
+        let naive: Vec<usize> = (0..pts.len())
+            .filter(|&i| !(0..pts.len()).any(|j| j != i && dominates(&pts[j], &pts[i])))
+            .collect();
+        assert_eq!(fast, naive);
+    }
+}

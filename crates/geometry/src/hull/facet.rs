@@ -1,0 +1,91 @@
+//! Hull facet representation shared by the full and partial hulls.
+
+use crate::hyperplane::Hyperplane;
+
+/// A simplicial facet of a convex hull in `R^d`.
+///
+/// A facet is a `(d-1)`-dimensional face defined by exactly `d` vertices
+/// (paper §6.3). `neighbors[i]` is the facet across the *ridge* obtained by
+/// dropping `vertices[i]` — ridges are `(d-2)`-dimensional faces shared by
+/// exactly two facets.
+#[derive(Debug, Clone)]
+pub struct Facet {
+    /// Indices of the `d` defining vertices into the hull's point set.
+    pub vertices: Vec<usize>,
+    /// Supporting hyperplane, oriented so every hull point is on or below
+    /// it (`plane.eval(p) ≤ 0` for all hull points).
+    pub plane: Hyperplane,
+    /// `neighbors[i]` = id of the facet sharing the ridge that omits
+    /// `vertices[i]`.
+    pub neighbors: Vec<usize>,
+}
+
+impl Facet {
+    /// The ridge obtained by dropping the vertex at `slot`, as a sorted
+    /// vertex-index list (canonical ridge key).
+    pub fn ridge(&self, slot: usize) -> Vec<usize> {
+        let mut r: Vec<usize> = self
+            .vertices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| (i != slot).then_some(v))
+            .collect();
+        r.sort_unstable();
+        r
+    }
+
+    /// The slot whose ridge equals `ridge` (sorted), i.e. the slot of the
+    /// unique vertex *not* in `ridge`.
+    pub fn slot_of_ridge(&self, ridge: &[usize]) -> Option<usize> {
+        self.vertices
+            .iter()
+            .position(|v| ridge.binary_search(v).is_err())
+    }
+
+    /// True when `v` is one of the facet's vertices.
+    pub fn has_vertex(&self, v: usize) -> bool {
+        self.vertices.contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::PointD;
+
+    fn facet(vertices: Vec<usize>) -> Facet {
+        Facet {
+            vertices,
+            plane: Hyperplane {
+                normal: PointD::new(vec![1.0, 0.0, 0.0]),
+                offset: 0.0,
+            },
+            neighbors: vec![usize::MAX; 3],
+        }
+    }
+
+    #[test]
+    fn ridge_drops_slot_vertex() {
+        let f = facet(vec![7, 3, 5]);
+        assert_eq!(f.ridge(0), vec![3, 5]);
+        assert_eq!(f.ridge(1), vec![5, 7]);
+        assert_eq!(f.ridge(2), vec![3, 7]);
+    }
+
+    #[test]
+    fn slot_of_ridge_inverts_ridge() {
+        let f = facet(vec![7, 3, 5]);
+        for slot in 0..3 {
+            let r = f.ridge(slot);
+            assert_eq!(f.slot_of_ridge(&r), Some(slot));
+        }
+        assert_eq!(f.slot_of_ridge(&[3, 5, 7][..2]), Some(0));
+    }
+
+    #[test]
+    fn has_vertex() {
+        let f = facet(vec![1, 2, 3]);
+        assert!(f.has_vertex(2));
+        assert!(!f.has_vertex(9));
+    }
+}

@@ -1,0 +1,119 @@
+//! Exact 2-d convex hull (Andrew's monotone chain).
+//!
+//! Used as an oracle to cross-check the d-dimensional incremental hull,
+//! and by GIR* result pruning when `d = 2`.
+
+use crate::vector::PointD;
+use crate::EPS;
+
+/// Returns the indices of the hull vertices of a 2-d point set in
+/// counter-clockwise order. Collinear boundary points are excluded.
+/// Degenerate inputs (all collinear) return the two extreme points, or one
+/// index when all points coincide.
+pub fn hull_2d_indices(points: &[PointD]) -> Vec<usize> {
+    assert!(points.iter().all(|p| p.dim() == 2), "hull_2d needs 2-d points");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (pa, pb) = (&points[a], &points[b]);
+        pa[0].partial_cmp(&pb[0])
+            .expect("non-NaN")
+            .then(pa[1].partial_cmp(&pb[1]).expect("non-NaN"))
+    });
+    idx.dedup_by(|&mut a, &mut b| points[a].approx_eq(&points[b], EPS));
+    if idx.len() < 3 {
+        return idx;
+    }
+
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        let (po, pa, pb) = (&points[o], &points[a], &points[b]);
+        (pa[0] - po[0]) * (pb[1] - po[1]) - (pa[1] - po[1]) * (pb[0] - po[0])
+    };
+
+    let mut lower: Vec<usize> = Vec::new();
+    for &i in &idx {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], i) <= EPS {
+            lower.pop();
+        }
+        lower.push(i);
+    }
+    let mut upper: Vec<usize> = Vec::new();
+    for &i in idx.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], i) <= EPS {
+            upper.pop();
+        }
+        upper.push(i);
+    }
+    lower.pop();
+    upper.pop();
+    if lower.len() + upper.len() < 3 {
+        // All points collinear: report the two extremes.
+        return vec![*idx.first().expect("non-empty"), *idx.last().expect("non-empty")];
+    }
+    lower.extend(upper);
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> PointD {
+        PointD::new(vec![x, y])
+    }
+
+    #[test]
+    fn square_with_interior() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.5, 0.5)];
+        let mut h = hull_2d_indices(&pts);
+        h.sort_unstable();
+        assert_eq!(h, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ccw_orientation() {
+        let pts = vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 2.0)];
+        let h = hull_2d_indices(&pts);
+        assert_eq!(h.len(), 3);
+        // Signed area must be positive (CCW).
+        let mut area = 0.0;
+        for i in 0..h.len() {
+            let a = &pts[h[i]];
+            let b = &pts[h[(i + 1) % h.len()]];
+            area += a[0] * b[1] - b[0] * a[1];
+        }
+        assert!(area > 0.0);
+    }
+
+    #[test]
+    fn collinear_returns_extremes() {
+        let pts = vec![p(0.0, 0.0), p(0.5, 0.5), p(1.0, 1.0), p(0.25, 0.25)];
+        let h = hull_2d_indices(&pts);
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(&0) && h.contains(&2));
+    }
+
+    #[test]
+    fn single_and_duplicate_points() {
+        assert_eq!(hull_2d_indices(&[p(0.3, 0.3)]), vec![0]);
+        let h = hull_2d_indices(&[p(0.3, 0.3), p(0.3, 0.3)]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn matches_incremental_hull_vertices() {
+        let pts: Vec<PointD> = (0..60)
+            .map(|i| {
+                let t = i as f64;
+                p((t * 0.37).sin() * 0.5 + 0.5, (t * 0.73).cos() * 0.5 + 0.5)
+            })
+            .collect();
+        let mut chain = hull_2d_indices(&pts);
+        chain.sort_unstable();
+        let inc = crate::hull::ConvexHull::build(&pts).unwrap();
+        let inc_v = inc.vertex_indices();
+        assert_eq!(chain, inc_v);
+    }
+}

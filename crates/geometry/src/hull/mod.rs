@@ -1,0 +1,46 @@
+//! Convex hulls in arbitrary (low) dimension.
+//!
+//! The paper's methods are built on incremental convex hull machinery in
+//! the style of Clarkson's randomized algorithm (paper §2, [14]): facets are
+//! replaced when a new point sees them, with new facets erected on the
+//! horizon ridges. [`incremental`] implements the full hull used by the CP
+//! method and by half-space intersection; `gir-core` reuses the same
+//! facet/ridge bookkeeping for FP's *partial* (incident-facet-only) hulls.
+//! [`hull2d`] provides an exact 2-d monotone chain used for cross-checks
+//! and for the GIR* result-hull pruning in the plane.
+
+mod facet;
+mod hull2d;
+mod incremental;
+
+pub use facet::Facet;
+pub use hull2d::hull_2d_indices;
+pub use incremental::ConvexHull;
+
+/// Errors from hull construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HullError {
+    /// Fewer than `d+1` input points.
+    TooFewPoints,
+    /// The input is affinely dependent: all points lie in a flat of the
+    /// reported rank (< d). The caller should treat every point as extreme
+    /// (a safe over-approximation for pruning) or reduce the dimension.
+    Degenerate { rank: usize },
+    /// A facet hyperplane could not be computed or oriented; the input is
+    /// numerically ill-conditioned near the tolerance.
+    Numerical,
+}
+
+impl std::fmt::Display for HullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HullError::TooFewPoints => write!(f, "fewer than d+1 points"),
+            HullError::Degenerate { rank } => {
+                write!(f, "affinely dependent input (rank {rank})")
+            }
+            HullError::Numerical => write!(f, "numerically degenerate facet"),
+        }
+    }
+}
+
+impl std::error::Error for HullError {}

@@ -1,0 +1,56 @@
+//! # gir-geometry
+//!
+//! d-dimensional computational geometry primitives used by the GIR
+//! (global immutable region) reproduction:
+//!
+//! * [`vector`] — dense `f64` point/vector arithmetic for dimensions 2–8,
+//! * [`linalg`] — small dense linear solves and null-space extraction,
+//! * [`dominance`] — Pareto dominance tests and in-memory skylines,
+//! * [`hyperplane`] — hyperplanes and half-spaces,
+//! * [`hull`] — incremental (beneath-and-beyond / Clarkson-style) convex
+//!   hulls in arbitrary dimension, plus a fast 2-d monotone chain,
+//! * [`lp`] — Seidel's randomized incremental linear programming for
+//!   low-dimensional feasibility, extrema and Chebyshev centers,
+//! * [`halfspace`] — half-space intersection via point/hyperplane duality
+//!   (vertex enumeration and redundancy elimination),
+//! * [`polytope`] — V-representation polytopes and exact volumes,
+//! * [`volume`] — exact and Monte-Carlo volume of H-represented regions,
+//! * [`mah`] — maximum axis-parallel hyper-rectangle inside a convex region,
+//! * [`projection`] — axis-parallel projections of a point onto a region
+//!   boundary (the paper's "interactive projection" visualization, §7.3).
+//!
+//! All tolerances are centralized in [`EPS`]; the library works on
+//! normalized data in `[0,1]^d`, so a single absolute epsilon is adequate.
+
+pub mod dominance;
+pub mod halfspace;
+pub mod hull;
+pub mod hyperplane;
+pub mod linalg;
+pub mod lp;
+pub mod mah;
+pub mod polytope;
+pub mod projection;
+pub mod vector;
+pub mod volume;
+
+pub use dominance::{dominates, skyline_indices, strictly_dominates};
+pub use halfspace::{intersect_halfspaces, HalfspaceIntersection};
+pub use hull::{ConvexHull, Facet, HullError};
+pub use hyperplane::{HalfSpace, Hyperplane};
+pub use lp::{chebyshev_center, maximize, LpResult, LpStatus};
+pub use mah::max_axis_rect;
+pub use polytope::Polytope;
+pub use projection::axis_projections;
+pub use vector::PointD;
+
+/// Absolute numeric tolerance used across the crate.
+///
+/// Data and query spaces are normalized to `[0,1]^d` (paper §3.1), so all
+/// coordinates, normals (unit length) and offsets live in a narrow numeric
+/// range and an absolute epsilon is appropriate.
+pub const EPS: f64 = 1e-9;
+
+/// A looser tolerance for accumulating-error contexts (volumes, vertex
+/// dedup after a dual transform).
+pub const LOOSE_EPS: f64 = 1e-7;

@@ -1,0 +1,230 @@
+//! Small dense linear algebra: Gaussian elimination for `d ≤ 8` systems.
+//!
+//! The hull and half-space code only ever solves systems whose size is the
+//! data dimensionality, so simple partial-pivoting elimination on a
+//! row-major `Vec<Vec<f64>>` is both adequate and easy to audit.
+
+use crate::EPS;
+
+/// Solves `A x = b` for square `A` (row-major). Returns `None` when `A` is
+/// singular to within [`EPS`].
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    debug_assert!(a.iter().all(|row| row.len() == n) && b.len() == n);
+    // Augmented matrix.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("non-NaN pivots")
+        })?;
+        if m[pivot][col].abs() < EPS {
+            return None;
+        }
+        m.swap(col, pivot);
+        let inv = 1.0 / m[col][col];
+        for row in 0..n {
+            if row != col && m[row][col] != 0.0 {
+                let f = m[row][col] * inv;
+                for k in col..=n {
+                    let v = m[col][k];
+                    m[row][k] -= f * v;
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+/// Returns one unit vector spanning the null space of an `(n-1) × n`
+/// row-major matrix of full row rank, or `None` when the rows are linearly
+/// dependent (rank-deficient input).
+///
+/// This is the hyperplane-normal computation: the normal of the hyperplane
+/// through `d` points is the null space of the `(d-1) × d` edge matrix.
+pub fn null_space_1(rows: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let n = rows.first().map_or(0, |r| r.len());
+    debug_assert!(rows.len() + 1 == n, "expected (n-1) x n matrix");
+    let mut m: Vec<Vec<f64>> = rows.to_vec();
+    let r = rows.len();
+    // Track which column each elimination step pivots on; the leftover
+    // column is the free variable.
+    let mut pivot_col = vec![usize::MAX; r];
+    let mut used = vec![false; n];
+    for row in 0..r {
+        // Find the largest available pivot in this row among unused columns.
+        let col = (0..n)
+            .filter(|&c| !used[c])
+            .max_by(|&i, &j| {
+                m[row][i]
+                    .abs()
+                    .partial_cmp(&m[row][j].abs())
+                    .expect("non-NaN")
+            })
+            .expect("column available");
+        if m[row][col].abs() < EPS {
+            return None; // rank deficient
+        }
+        used[col] = true;
+        pivot_col[row] = col;
+        let inv = 1.0 / m[row][col];
+        for other in 0..r {
+            if other != row && m[other][col] != 0.0 {
+                let f = m[other][col] * inv;
+                for k in 0..n {
+                    let v = m[row][k];
+                    m[other][k] -= f * v;
+                }
+            }
+        }
+    }
+    let free = (0..n).find(|&c| !used[c]).expect("one free column");
+    // Back-substitute with the free variable set to 1.
+    let mut x = vec![0.0; n];
+    x[free] = 1.0;
+    for row in 0..r {
+        let c = pivot_col[row];
+        x[c] = -m[row][free] / m[row][c];
+    }
+    // Normalize.
+    let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm < EPS {
+        return None;
+    }
+    for v in x.iter_mut() {
+        *v /= norm;
+    }
+    Some(x)
+}
+
+/// Determinant of a small square row-major matrix (used for simplex volumes).
+pub fn determinant(a: &[Vec<f64>]) -> f64 {
+    let n = a.len();
+    let mut m = a.to_vec();
+    let mut det = 1.0;
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("non-NaN")
+            })
+            .expect("non-empty");
+        if m[pivot][col].abs() < 1e-300 {
+            return 0.0;
+        }
+        if pivot != col {
+            m.swap(col, pivot);
+            det = -det;
+        }
+        det *= m[col][col];
+        let inv = 1.0 / m[col][col];
+        for row in col + 1..n {
+            let f = m[row][col] * inv;
+            if f != 0.0 {
+                for k in col..n {
+                    let v = m[col][k];
+                    m[row][k] -= f * v;
+                }
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_2x2() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn null_space_of_plane_edges() {
+        // Edges of the plane x + y + z = 1 through (1,0,0),(0,1,0),(0,0,1).
+        let rows = vec![vec![-1.0, 1.0, 0.0], vec![-1.0, 0.0, 1.0]];
+        let n = null_space_1(&rows).unwrap();
+        // Normal must be parallel to (1,1,1)/sqrt(3).
+        let s = 1.0 / 3f64.sqrt();
+        let same = (n[0] - s).abs() < 1e-9 && (n[1] - s).abs() < 1e-9 && (n[2] - s).abs() < 1e-9;
+        let flipped =
+            (n[0] + s).abs() < 1e-9 && (n[1] + s).abs() < 1e-9 && (n[2] + s).abs() < 1e-9;
+        assert!(same || flipped, "got {n:?}");
+    }
+
+    #[test]
+    fn null_space_rank_deficient_is_none() {
+        let rows = vec![vec![1.0, 0.0, 0.0], vec![2.0, 0.0, 0.0]];
+        assert!(null_space_1(&rows).is_none());
+    }
+
+    #[test]
+    fn null_space_2d_segment() {
+        // A single edge (1,1): normal is (1,-1)/sqrt(2) up to sign.
+        let rows = vec![vec![1.0, 1.0]];
+        let n = null_space_1(&rows).unwrap();
+        assert!((n[0] + n[1]).abs() < 1e-9);
+        assert!((n[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!((determinant(&a) + 2.0).abs() < 1e-12);
+        let id3 = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        assert!((determinant(&id3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_swaps_sign() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!((determinant(&a) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_4x4_roundtrip() {
+        let a = vec![
+            vec![4.0, 1.0, 0.0, 0.5],
+            vec![1.0, 3.0, 1.0, 0.0],
+            vec![0.0, 1.0, 5.0, 1.0],
+            vec![0.5, 0.0, 1.0, 2.0],
+        ];
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let b: Vec<f64> = a
+            .iter()
+            .map(|row| row.iter().zip(x_true.iter()).map(|(r, x)| r * x).sum())
+            .collect();
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+}

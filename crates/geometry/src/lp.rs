@@ -1,0 +1,405 @@
+//! Seidel's randomized incremental linear programming.
+//!
+//! GIR regions are intersections of half-spaces in `d ≤ 8` dimensions, so
+//! Seidel's algorithm — expected `O(d! · m)` for `m` constraints — is the
+//! right tool for the small LP subproblems the library needs:
+//!
+//! * per-axis extrema of a region (tight bounding boxes for Monte-Carlo
+//!   volume estimation),
+//! * Chebyshev centers (robust interior points for the dual transform in
+//!   [`crate::halfspace`]),
+//! * feasibility / emptiness checks.
+//!
+//! Constraints are `normal · x ≤ offset`. The solver requires an explicit
+//! bounding box to guarantee boundedness; GIR callers pass the query space
+//! `[0,1]^d`.
+
+use crate::vector::PointD;
+
+/// Outcome status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// A maximizer exists (the feasible set is non-empty; it is always
+    /// bounded because of the required bounding box).
+    Optimal,
+    /// The feasible set is empty (within tolerance).
+    Infeasible,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// Solve status.
+    pub status: LpStatus,
+    /// The maximizer, when `status == Optimal`.
+    pub x: Option<PointD>,
+    /// The objective value at the maximizer (`f64::NEG_INFINITY` when
+    /// infeasible).
+    pub value: f64,
+}
+
+/// Comparison tolerance for constraint violation. Slightly looser than the
+/// geometric epsilon: LP pivoting divides by sub-unit pivots and loses a
+/// couple of digits.
+const LP_EPS: f64 = 1e-9;
+
+/// Maximizes `c · x` subject to `normal · x ≤ offset` for every
+/// `(normal, offset)` in `constraints`, and `lo ≤ x_i ≤ hi` for all `i`.
+pub fn maximize(c: &PointD, constraints: &[(PointD, f64)], lo: f64, hi: f64) -> LpResult {
+    let d = c.dim();
+    let cons: Vec<(Vec<f64>, f64)> = constraints
+        .iter()
+        .map(|(n, b)| (n.coords().to_vec(), *b))
+        .collect();
+    let obj = c.coords().to_vec();
+    match solve_rec(&obj, cons, lo, hi, d, 0x5EED_1E57) {
+        Some(x) => {
+            let xp = PointD::from(x);
+            let value = c.dot(&xp);
+            LpResult {
+                status: LpStatus::Optimal,
+                x: Some(xp),
+                value,
+            }
+        }
+        None => LpResult {
+            status: LpStatus::Infeasible,
+            x: None,
+            value: f64::NEG_INFINITY,
+        },
+    }
+}
+
+/// Returns the Chebyshev center of the region `{x : normal·x ≤ offset} ∩
+/// [lo,hi]^d` — the center of the largest inscribed ball — together with
+/// the ball radius. `None` when the region is empty.
+///
+/// Solved as an LP in `d+1` variables: maximize `r` subject to
+/// `a·x + ‖a‖·r ≤ b` for every half-space (including the box sides).
+pub fn chebyshev_center(
+    constraints: &[(PointD, f64)],
+    lo: f64,
+    hi: f64,
+    d: usize,
+) -> Option<(PointD, f64)> {
+    let mut lifted: Vec<(PointD, f64)> = Vec::with_capacity(constraints.len() + 2 * d + 1);
+    let lift = |normal: &PointD, offset: f64| {
+        let norm = normal.norm();
+        let mut v = normal.coords().to_vec();
+        v.push(norm);
+        (PointD::from(v), offset)
+    };
+    for (n, b) in constraints {
+        lifted.push(lift(n, *b));
+    }
+    // Box sides as explicit constraints so the radius respects them too.
+    for i in 0..d {
+        let mut n = vec![0.0; d];
+        n[i] = 1.0;
+        lifted.push(lift(&PointD::from(n.clone()), hi));
+        n[i] = -1.0;
+        lifted.push(lift(&PointD::from(n), -lo));
+    }
+    // r ≥ 0.
+    let mut rneg = vec![0.0; d + 1];
+    rneg[d] = -1.0;
+    lifted.push((PointD::from(rneg), 0.0));
+
+    let mut c = vec![0.0; d + 1];
+    c[d] = 1.0;
+    // The lifted box must cover r's range as well; `hi - lo` bounds any
+    // inscribed radius.
+    let res = maximize(&PointD::from(c), &lifted, lo - (hi - lo), hi + (hi - lo));
+    let x = res.x?;
+    let r = x[d];
+    if r < -LP_EPS {
+        return None;
+    }
+    Some((PointD::from(&x.coords()[..d]), r.max(0.0)))
+}
+
+/// True when the region `{x : normal·x ≤ offset} ∩ [lo,hi]^d` is non-empty.
+pub fn feasible(constraints: &[(PointD, f64)], lo: f64, hi: f64, d: usize) -> bool {
+    let c = PointD::zeros(d);
+    maximize(&c, constraints, lo, hi).status == LpStatus::Optimal
+}
+
+/// Recursive Seidel solve over raw vectors. Returns a maximizer of
+/// `obj · x` over the constraints plus the `[lo,hi]` box, or `None` when
+/// infeasible.
+fn solve_rec(
+    obj: &[f64],
+    mut cons: Vec<(Vec<f64>, f64)>,
+    lo: f64,
+    hi: f64,
+    d: usize,
+    seed: u64,
+) -> Option<Vec<f64>> {
+    debug_assert!(d >= 1);
+    if d == 1 {
+        return solve_1d(obj[0], &cons, lo, hi);
+    }
+    shuffle(&mut cons, seed);
+
+    // Start from the box corner maximizing the objective.
+    let mut x: Vec<f64> = obj
+        .iter()
+        .map(|&c| if c >= 0.0 { hi } else { lo })
+        .collect();
+
+    for i in 0..cons.len() {
+        let (a, b) = (&cons[i].0, cons[i].1);
+        let lhs: f64 = a.iter().zip(x.iter()).map(|(ai, xi)| ai * xi).sum();
+        if lhs <= b + LP_EPS {
+            continue; // still optimal
+        }
+        // The optimum moves onto the hyperplane a·x = b. Eliminate the
+        // variable with the largest |a_j| for stability.
+        let j = (0..d)
+            .max_by(|&p, &q| a[p].abs().partial_cmp(&a[q].abs()).expect("non-NaN"))
+            .expect("d >= 1");
+        if a[j].abs() < LP_EPS {
+            // Degenerate constraint: 0·x ≤ b with b < lhs ⇒ infeasible.
+            return None;
+        }
+        let aj_inv = 1.0 / a[j];
+        // Substitution x_j = (b - Σ_{l≠j} a_l x_l) / a_j applied to a
+        // (normal', offset') pair in the (d-1)-dim subspace.
+        let project = |n: &[f64], off: f64| -> (Vec<f64>, f64) {
+            let f = n[j] * aj_inv;
+            let mut np: Vec<f64> = Vec::with_capacity(d - 1);
+            for l in 0..d {
+                if l != j {
+                    np.push(n[l] - f * a[l]);
+                }
+            }
+            (np, off - f * b)
+        };
+
+        // Previous constraints plus the box sides of the eliminated
+        // variable (x_j ∈ [lo,hi] becomes two linear constraints below).
+        let mut sub: Vec<(Vec<f64>, f64)> = Vec::with_capacity(i + 2);
+        for (n, off) in cons[..i].iter() {
+            sub.push(project(n, *off));
+        }
+        {
+            let mut e = vec![0.0; d];
+            e[j] = 1.0;
+            sub.push(project(&e, hi));
+            e[j] = -1.0;
+            sub.push(project(&e, -lo));
+        }
+        let sub_obj = {
+            let f = obj[j] * aj_inv;
+            let mut o: Vec<f64> = Vec::with_capacity(d - 1);
+            for l in 0..d {
+                if l != j {
+                    o.push(obj[l] - f * a[l]);
+                }
+            }
+            o
+        };
+        let y = solve_rec(&sub_obj, sub, lo, hi, d - 1, seed.wrapping_add(i as u64 + 1))?;
+        // Lift back.
+        let mut xi = Vec::with_capacity(d);
+        let mut yi = y.iter();
+        for l in 0..d {
+            if l == j {
+                xi.push(0.0); // placeholder
+            } else {
+                xi.push(*yi.next().expect("d-1 coords"));
+            }
+        }
+        let xj = (b - (0..d)
+            .filter(|&l| l != j)
+            .map(|l| a[l] * xi[l])
+            .sum::<f64>())
+            * aj_inv;
+        xi[j] = xj;
+        x = xi;
+    }
+    Some(x)
+}
+
+fn solve_1d(c: f64, cons: &[(Vec<f64>, f64)], lo: f64, hi: f64) -> Option<Vec<f64>> {
+    let (mut xlo, mut xhi) = (lo, hi);
+    for (a, b) in cons {
+        let a = a[0];
+        if a.abs() < LP_EPS {
+            if *b < -LP_EPS {
+                return None;
+            }
+        } else if a > 0.0 {
+            xhi = xhi.min(b / a);
+        } else {
+            xlo = xlo.max(b / a);
+        }
+    }
+    if xlo > xhi + LP_EPS {
+        return None;
+    }
+    let x = if c >= 0.0 { xhi } else { xlo };
+    Some(vec![x.clamp(xlo.min(xhi), xhi.max(xlo))])
+}
+
+fn shuffle(v: &mut [(Vec<f64>, f64)], seed: u64) {
+    let mut state = seed ^ 0x9E3779B97F4A7C15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(n: &[f64], b: f64) -> (PointD, f64) {
+        (PointD::from(n), b)
+    }
+
+    #[test]
+    fn unconstrained_box_corner() {
+        let r = maximize(&PointD::new(vec![1.0, -2.0]), &[], 0.0, 1.0);
+        assert_eq!(r.status, LpStatus::Optimal);
+        let x = r.x.unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9 && x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // max x + y  s.t. x + 2y ≤ 1, 2x + y ≤ 1 within [0,1]^2.
+        // Optimum at (1/3, 1/3), value 2/3.
+        let cons = [hs(&[1.0, 2.0], 1.0), hs(&[2.0, 1.0], 1.0)];
+        let r = maximize(&PointD::new(vec![1.0, 1.0]), &cons, 0.0, 1.0);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.value - 2.0 / 3.0).abs() < 1e-7, "value {}", r.value);
+    }
+
+    #[test]
+    fn infeasible_lp() {
+        // x ≥ 0.8 and x ≤ 0.2 is empty.
+        let cons = [hs(&[-1.0, 0.0], -0.8), hs(&[1.0, 0.0], 0.2)];
+        let r = maximize(&PointD::new(vec![1.0, 0.0]), &cons, 0.0, 1.0);
+        assert_eq!(r.status, LpStatus::Infeasible);
+        assert!(!feasible(&cons, 0.0, 1.0, 2));
+    }
+
+    #[test]
+    fn lp_3d_plane_cut() {
+        // max z  s.t. x + y + z ≤ 1 in [0,1]^3 → z = 1 at (0,0,1).
+        let cons = [hs(&[1.0, 1.0, 1.0], 1.0)];
+        let r = maximize(&PointD::new(vec![0.0, 0.0, 1.0]), &cons, 0.0, 1.0);
+        assert!((r.value - 1.0).abs() < 1e-7);
+        let x = r.x.unwrap();
+        assert!(x[0] + x[1] + x[2] <= 1.0 + 1e-7);
+    }
+
+    #[test]
+    fn axis_extrema_of_wedge() {
+        // GIR-like wedge in 2-d: y ≤ 2x and y ≥ x/2 within the unit box.
+        let cons = [hs(&[-2.0, 1.0], 0.0), hs(&[0.5, -1.0], 0.0)];
+        let max_x = maximize(&PointD::new(vec![1.0, 0.0]), &cons, 0.0, 1.0);
+        assert!((max_x.value - 1.0).abs() < 1e-7);
+        let max_y = maximize(&PointD::new(vec![0.0, 1.0]), &cons, 0.0, 1.0);
+        assert!((max_y.value - 1.0).abs() < 1e-7);
+        // min over x: maximize -x; the wedge touches the origin.
+        let min_x = maximize(&PointD::new(vec![-1.0, 0.0]), &cons, 0.0, 1.0);
+        assert!(min_x.value.abs() < 1e-7);
+    }
+
+    #[test]
+    fn chebyshev_center_of_unit_box() {
+        let (c, r) = chebyshev_center(&[], 0.0, 1.0, 3).unwrap();
+        for i in 0..3 {
+            assert!((c[i] - 0.5).abs() < 1e-6);
+        }
+        assert!((r - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chebyshev_center_of_triangle() {
+        // Triangle x ≥ 0, y ≥ 0, x + y ≤ 1: incenter at (t, t) with
+        // t = (2 - sqrt(2)) / 2 ≈ 0.2929, radius t·(sqrt 2 − 1)... known
+        // inradius r = (a + b − c)/2 for legs 1,1: r = (2 − √2)/2 ≈ 0.2929.
+        let cons = [hs(&[1.0, 1.0], 1.0)];
+        let (c, r) = chebyshev_center(&cons, 0.0, 1.0, 2).unwrap();
+        let expect = (2.0 - 2f64.sqrt()) / 2.0;
+        assert!((r - expect).abs() < 1e-6, "r = {r}");
+        assert!((c[0] - expect).abs() < 1e-6 && (c[1] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chebyshev_center_infeasible() {
+        let cons = [hs(&[1.0, 0.0], -0.5)]; // x ≤ -0.5 in [0,1]^2
+        assert!(chebyshev_center(&cons, 0.0, 1.0, 2).is_none());
+    }
+
+    #[test]
+    fn degenerate_zero_normal_constraints() {
+        // 0·x ≤ 1 is vacuous; 0·x ≤ -1 is infeasible.
+        let vac = [hs(&[0.0, 0.0], 1.0)];
+        assert!(feasible(&vac, 0.0, 1.0, 2));
+        let bad = [hs(&[0.0, 0.0], -1.0)];
+        assert!(!feasible(&bad, 0.0, 1.0, 2));
+    }
+
+    #[test]
+    fn lp_5d_simplex() {
+        // max Σx s.t. Σx ≤ 0.7 in [0,1]^5.
+        let cons = [hs(&[1.0; 5], 0.7)];
+        let r = maximize(&PointD::new(vec![1.0; 5]), &cons, 0.0, 1.0);
+        assert!((r.value - 0.7).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lp_matches_vertex_enumeration_2d() {
+        // Random-ish 2-d LPs cross-checked against brute-force vertex
+        // enumeration over constraint pairs + box corners.
+        let cons_sets: Vec<Vec<(PointD, f64)>> = vec![
+            vec![hs(&[1.0, 3.0], 1.2), hs(&[-1.0, 1.0], 0.4), hs(&[2.0, -1.0], 1.1)],
+            vec![hs(&[1.0, -1.0], 0.0), hs(&[-3.0, 1.0], 0.0)],
+        ];
+        for cons in &cons_sets {
+            let c = PointD::new(vec![0.7, 0.3]);
+            let lp = maximize(&c, cons, 0.0, 1.0);
+            // Brute force: all intersections of pairs from cons+box.
+            let mut all: Vec<(PointD, f64)> = cons.clone();
+            all.extend([
+                hs(&[1.0, 0.0], 1.0),
+                hs(&[-1.0, 0.0], 0.0),
+                hs(&[0.0, 1.0], 1.0),
+                hs(&[0.0, -1.0], 0.0),
+            ]);
+            let mut best = f64::NEG_INFINITY;
+            for i in 0..all.len() {
+                for j in i + 1..all.len() {
+                    let (a1, b1) = (&all[i].0, all[i].1);
+                    let (a2, b2) = (&all[j].0, all[j].1);
+                    let det = a1[0] * a2[1] - a1[1] * a2[0];
+                    if det.abs() < 1e-12 {
+                        continue;
+                    }
+                    let x = (b1 * a2[1] - b2 * a1[1]) / det;
+                    let y = (a1[0] * b2 - a2[0] * b1) / det;
+                    let pt = PointD::new(vec![x, y]);
+                    if all.iter().all(|(n, b)| n.dot(&pt) <= b + 1e-9) {
+                        best = best.max(c.dot(&pt));
+                    }
+                }
+            }
+            assert!(
+                (lp.value - best).abs() < 1e-6,
+                "lp {} vs brute {}",
+                lp.value,
+                best
+            );
+        }
+    }
+}

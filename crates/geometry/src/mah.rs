@@ -1,0 +1,225 @@
+//! Maximum axis-parallel hyper-rectangle (MAH) inside a convex region.
+//!
+//! Paper §7.3: the first GIR visualization computes the maximum-volume
+//! axis-parallel hyper-rectangle that contains the query vector and lies
+//! inside the GIR, then projects its sides onto each axis to draw fixed
+//! slide-bar bounds (Figure 1a / 13a). The paper points to bichromatic-
+//! rectangle algorithms [2, 16]; we implement a deterministic coordinate-
+//! ascent heuristic that is exact when each axis is bounded by a single
+//! constraint and a documented approximation otherwise.
+//!
+//! Key fact making this cheap: a box `[lo, hi]` lies inside `{n·x ≤ b}`
+//! iff its *worst corner* does, and the worst corner picks `hi_i` where
+//! `n_i > 0` and `lo_i` where `n_i < 0` — a linear condition in `(lo, hi)`.
+
+use crate::hyperplane::HalfSpace;
+use crate::vector::PointD;
+use crate::EPS;
+
+/// An axis-parallel box `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisRect {
+    /// Lower corner.
+    pub lo: PointD,
+    /// Upper corner.
+    pub hi: PointD,
+}
+
+impl AxisRect {
+    /// Box volume.
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .coords()
+            .iter()
+            .zip(self.hi.coords().iter())
+            .map(|(l, h)| (h - l).max(0.0))
+            .product()
+    }
+
+    /// True when `x` lies in the box.
+    pub fn contains(&self, x: &PointD) -> bool {
+        (0..x.dim()).all(|i| self.lo[i] - EPS <= x[i] && x[i] <= self.hi[i] + EPS)
+    }
+}
+
+/// Grows a maximal axis-parallel box around `q` inside the region
+/// `{x : h.normal·x ≤ h.offset}` (callers include the `[0,1]^d` box
+/// constraints). `q` must satisfy all half-spaces.
+///
+/// Two phases:
+///
+/// 1. **Inscribed cube**: expand uniformly around `q` by the largest `t`
+///    such that `[q − t, q + t]` stays inside — for a half-space with
+///    normal `n` and slack `s` at `q`, the worst corner allows
+///    `t ≤ s / ‖n‖₁`. This gives every axis breathing room before any
+///    greedy step can consume shared slack.
+/// 2. **Greedy maximality**: round-robin passes expand every face by the
+///    most the other faces currently allow, until no face moves.
+///
+/// The result is always a maximal (inclusion-wise) box containing `q`;
+/// global volume optimality is only guaranteed when constraints don't
+/// couple axes (see module docs).
+pub fn max_axis_rect(halfspaces: &[HalfSpace], q: &PointD) -> AxisRect {
+    let d = q.dim();
+    debug_assert!(
+        halfspaces.iter().all(|h| h.contains(q, EPS)),
+        "seed point must be inside the region"
+    );
+
+    // Phase 1: largest inscribed cube around q.
+    let mut t = f64::INFINITY;
+    for h in halfspaces {
+        let l1: f64 = h.normal.coords().iter().map(|v| v.abs()).sum();
+        if l1 > EPS {
+            t = t.min(h.slack(q).max(0.0) / l1);
+        }
+    }
+    if !t.is_finite() {
+        t = 0.0;
+    }
+    let mut lo: Vec<f64> = q.coords().iter().map(|&c| c - t).collect();
+    let mut hi: Vec<f64> = q.coords().iter().map(|&c| c + t).collect();
+
+    // For a candidate growth of face (i, upward?) the binding value is
+    //   hi_i ≤ (b − Σ_{j≠i} worst_j) / n_i          when n_i > 0
+    //   lo_i ≥ (b − Σ_{j≠i} worst_j) / n_i          when n_i < 0
+    // where worst_j = n_j > 0 ? n_j·hi_j : n_j·lo_j.
+    let mut pass = 0usize;
+    loop {
+        let mut moved = false;
+        for step in 0..2 * d {
+            // Alternate sweep direction across passes to reduce order bias.
+            let idx = if pass % 2 == 0 { step } else { 2 * d - 1 - step };
+            let (i, upward) = (idx / 2, idx % 2 == 0);
+            let mut bound = if upward { f64::INFINITY } else { f64::NEG_INFINITY };
+            for h in halfspaces {
+                let ni = h.normal[i];
+                if (upward && ni <= EPS) || (!upward && ni >= -EPS) {
+                    continue;
+                }
+                let mut rest = 0.0;
+                for j in 0..d {
+                    if j == i {
+                        continue;
+                    }
+                    let nj = h.normal[j];
+                    rest += if nj > 0.0 { nj * hi[j] } else { nj * lo[j] };
+                }
+                let limit = (h.offset - rest) / ni;
+                if upward {
+                    bound = bound.min(limit);
+                } else {
+                    bound = bound.max(limit);
+                }
+            }
+            if upward && bound > hi[i] + EPS {
+                hi[i] = bound;
+                moved = true;
+            } else if !upward && bound < lo[i] - EPS {
+                lo[i] = bound;
+                moved = true;
+            }
+        }
+        pass += 1;
+        if !moved || pass > 64 {
+            break;
+        }
+    }
+    AxisRect {
+        lo: PointD::from(lo),
+        hi: PointD::from(hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Provenance;
+
+    fn hs(n: &[f64], b: f64) -> HalfSpace {
+        HalfSpace {
+            normal: PointD::from(n),
+            offset: b,
+            provenance: Provenance::NonResult { record_id: 0 },
+        }
+    }
+
+    #[test]
+    fn box_region_fills_entirely() {
+        let cons = HalfSpace::full_query_box(2);
+        let q = PointD::new(vec![0.3, 0.8]);
+        let r = max_axis_rect(&cons, &q);
+        assert!((r.volume() - 1.0).abs() < 1e-6, "vol {}", r.volume());
+        assert!(r.contains(&q));
+    }
+
+    #[test]
+    fn mah_inside_region_and_contains_q() {
+        let mut cons = HalfSpace::full_query_box(2);
+        cons.push(hs(&[-2.0, 1.0], 0.0)); // y ≤ 2x
+        cons.push(hs(&[0.5, -1.0], 0.0)); // y ≥ x/2
+        let q = PointD::new(vec![0.6, 0.5]);
+        let r = max_axis_rect(&cons, &q);
+        assert!(r.contains(&q));
+        // All four corners satisfy all constraints.
+        for cx in [r.lo[0], r.hi[0]] {
+            for cy in [r.lo[1], r.hi[1]] {
+                let c = PointD::new(vec![cx, cy]);
+                for h in &cons {
+                    assert!(h.contains(&c, 1e-7), "corner {c:?} escapes region");
+                }
+            }
+        }
+        assert!(r.volume() > 0.01, "degenerate MAH");
+    }
+
+    #[test]
+    fn mah_is_maximal() {
+        // Growing any face further must violate some constraint.
+        let mut cons = HalfSpace::full_query_box(2);
+        cons.push(hs(&[1.0, 1.0], 1.2));
+        let q = PointD::new(vec![0.4, 0.4]);
+        let r = max_axis_rect(&cons, &q);
+        let d = 2;
+        for i in 0..d {
+            for upward in [true, false] {
+                let mut lo = r.lo.clone();
+                let mut hi = r.hi.clone();
+                if upward {
+                    hi[i] += 1e-3;
+                } else {
+                    lo[i] -= 1e-3;
+                }
+                // The grown box must leave the region (some worst corner
+                // violates a constraint) or the unit box.
+                let violated = cons.iter().any(|h| {
+                    let worst: f64 = (0..d)
+                        .map(|j| {
+                            let nj = h.normal[j];
+                            if nj > 0.0 {
+                                nj * hi[j]
+                            } else {
+                                nj * lo[j]
+                            }
+                        })
+                        .sum();
+                    worst > h.offset + 1e-9
+                });
+                assert!(violated, "face ({i},{upward}) could still grow");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_region_returns_point_box() {
+        // q pinned by equality-like constraints: box stays a point on that
+        // axis.
+        let mut cons = HalfSpace::full_query_box(2);
+        cons.push(hs(&[1.0, 0.0], 0.5));
+        cons.push(hs(&[-1.0, 0.0], -0.5));
+        let q = PointD::new(vec![0.5, 0.5]);
+        let r = max_axis_rect(&cons, &q);
+        assert!((r.hi[0] - r.lo[0]).abs() < 1e-9);
+        assert!(r.hi[1] - r.lo[1] > 0.9);
+    }
+}

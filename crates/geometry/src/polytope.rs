@@ -1,0 +1,126 @@
+//! V-representation polytopes (vertex sets) with exact volumes.
+
+use crate::hull::{ConvexHull, HullError};
+use crate::vector::PointD;
+
+/// A full-dimensional convex polytope given by its vertex set.
+#[derive(Debug, Clone)]
+pub struct Polytope {
+    hull: ConvexHull,
+}
+
+impl Polytope {
+    /// Builds the polytope spanned by `vertices`. Inputs that are not
+    /// full-dimensional yield `Err` (their volume is zero by definition;
+    /// callers that only need a volume can treat that error as 0).
+    pub fn from_vertices(vertices: &[PointD]) -> Result<Polytope, HullError> {
+        Ok(Polytope {
+            hull: ConvexHull::build(vertices)?,
+        })
+    }
+
+    /// Exact Euclidean volume (simplex fan around an interior point).
+    pub fn volume(&self) -> f64 {
+        self.hull.volume()
+    }
+
+    /// True when `x` is inside or on the polytope.
+    pub fn contains(&self, x: &PointD, tol: f64) -> bool {
+        self.hull.contains(x, tol)
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.hull.dim()
+    }
+
+    /// The extreme points (deduplicated hull vertices).
+    pub fn vertices(&self) -> Vec<PointD> {
+        self.hull
+            .vertex_indices()
+            .into_iter()
+            .map(|i| self.hull.points()[i].clone())
+            .collect()
+    }
+
+    /// Axis-aligned bounding box as `(low, high)` corner points.
+    pub fn bounding_box(&self) -> (PointD, PointD) {
+        let d = self.dim();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for v in self.vertices() {
+            for i in 0..d {
+                lo[i] = lo[i].min(v[i]);
+                hi[i] = hi[i].max(v[i]);
+            }
+        }
+        (PointD::from(lo), PointD::from(hi))
+    }
+
+    /// The underlying hull (facet access for advanced callers).
+    pub fn hull(&self) -> &ConvexHull {
+        &self.hull
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[f64]) -> PointD {
+        PointD::from(v)
+    }
+
+    #[test]
+    fn triangle_area() {
+        let poly =
+            Polytope::from_vertices(&[p(&[0.0, 0.0]), p(&[1.0, 0.0]), p(&[0.0, 1.0])]).unwrap();
+        assert!((poly.volume() - 0.5).abs() < 1e-12);
+        assert!(poly.contains(&p(&[0.2, 0.2]), 1e-9));
+        assert!(!poly.contains(&p(&[0.8, 0.8]), 1e-9));
+    }
+
+    #[test]
+    fn octahedron_volume() {
+        // Cross-polytope with vertices ±e_i has volume 2^d / d! = 8/6 in 3d.
+        let mut vs = Vec::new();
+        for i in 0..3 {
+            vs.push(PointD::basis(3, i));
+            vs.push(PointD::basis(3, i).scale(-1.0));
+        }
+        let poly = Polytope::from_vertices(&vs).unwrap();
+        assert!((poly.volume() - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_flat_is_error() {
+        let vs = [p(&[0.0, 0.0, 0.0]), p(&[1.0, 0.0, 0.0]), p(&[0.0, 1.0, 0.0]), p(&[1.0, 1.0, 0.0])];
+        assert!(Polytope::from_vertices(&vs).is_err());
+    }
+
+    #[test]
+    fn bounding_box_of_shifted_square() {
+        let poly = Polytope::from_vertices(&[
+            p(&[0.2, 0.3]),
+            p(&[0.7, 0.3]),
+            p(&[0.7, 0.9]),
+            p(&[0.2, 0.9]),
+        ])
+        .unwrap();
+        let (lo, hi) = poly.bounding_box();
+        assert!(lo.approx_eq(&p(&[0.2, 0.3]), 1e-12));
+        assert!(hi.approx_eq(&p(&[0.7, 0.9]), 1e-12));
+    }
+
+    #[test]
+    fn vertices_exclude_interior_inputs() {
+        let poly = Polytope::from_vertices(&[
+            p(&[0.0, 0.0]),
+            p(&[1.0, 0.0]),
+            p(&[0.0, 1.0]),
+            p(&[0.2, 0.2]),
+        ])
+        .unwrap();
+        assert_eq!(poly.vertices().len(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Interactive projection of a query point onto a region boundary.
+//!
+//! Paper §7.3 (Figure 13b): for each axis `i`, shoot a ray from `q` in the
+//! `±e_i` directions and find where it exits the region. The resulting
+//! per-axis intervals are exactly the *local immutable regions* (LIRs) of
+//! [24] — the paper notes LIRs derive trivially from the GIR this way.
+
+use crate::hyperplane::HalfSpace;
+use crate::vector::PointD;
+use crate::EPS;
+
+/// Per-axis interval `[lo, hi]` around `q` within the region; `q[i]` always
+/// lies inside its own interval.
+pub fn axis_projections(halfspaces: &[HalfSpace], q: &PointD) -> Vec<(f64, f64)> {
+    let d = q.dim();
+    let mut out = Vec::with_capacity(d);
+    for i in 0..d {
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for h in halfspaces {
+            let ni = h.normal[i];
+            let slack = h.slack(q);
+            if ni > EPS {
+                hi = hi.min(q[i] + slack / ni);
+            } else if ni < -EPS {
+                lo = lo.max(q[i] + slack / ni);
+            } else if slack < -EPS {
+                // Constraint independent of axis i is violated at q: the
+                // ray never enters the region. Callers pass q inside the
+                // region so this is defensive.
+                return vec![(q[i], q[i]); d];
+            }
+        }
+        // The caller's half-spaces include the query box, but clamp anyway.
+        out.push((lo.max(0.0).min(q[i]), hi.min(1.0).max(q[i])));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Provenance;
+
+    fn hs(n: &[f64], b: f64) -> HalfSpace {
+        HalfSpace {
+            normal: PointD::from(n),
+            offset: b,
+            provenance: Provenance::NonResult { record_id: 0 },
+        }
+    }
+
+    #[test]
+    fn box_only_projects_to_unit_interval() {
+        let cons = HalfSpace::full_query_box(3);
+        let q = PointD::new(vec![0.2, 0.5, 0.9]);
+        let pr = axis_projections(&cons, &q);
+        for (lo, hi) in pr {
+            assert!((lo - 0.0).abs() < 1e-9 && (hi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wedge_projections_match_geometry() {
+        // y ≤ 2x and y ≥ x/2, q = (0.6, 0.5).
+        // Along x at y = 0.5: need x ≥ 0.25 (from y ≤ 2x) and x ≤ 1.0
+        // (from y ≥ x/2: x ≤ 2y = 1.0).
+        // Along y at x = 0.6: 0.3 ≤ y ≤ 1.0 (y ≤ 1.2 clamps to box).
+        let mut cons = HalfSpace::full_query_box(2);
+        cons.push(hs(&[-2.0, 1.0], 0.0));
+        cons.push(hs(&[0.5, -1.0], 0.0));
+        let q = PointD::new(vec![0.6, 0.5]);
+        let pr = axis_projections(&cons, &q);
+        assert!((pr[0].0 - 0.25).abs() < 1e-9, "x lo {}", pr[0].0);
+        assert!((pr[0].1 - 1.0).abs() < 1e-9, "x hi {}", pr[0].1);
+        assert!((pr[1].0 - 0.3).abs() < 1e-9, "y lo {}", pr[1].0);
+        assert!((pr[1].1 - 1.0).abs() < 1e-9, "y hi {}", pr[1].1);
+    }
+
+    #[test]
+    fn interval_contains_query_coordinate() {
+        let mut cons = HalfSpace::full_query_box(2);
+        cons.push(hs(&[1.0, 1.0], 1.0));
+        let q = PointD::new(vec![0.3, 0.3]);
+        for (i, (lo, hi)) in axis_projections(&cons, &q).iter().enumerate() {
+            assert!(*lo <= q[i] && q[i] <= *hi);
+        }
+    }
+
+    #[test]
+    fn projection_endpoints_are_on_boundary_or_box() {
+        let mut cons = HalfSpace::full_query_box(2);
+        cons.push(hs(&[1.0, 1.0], 1.0));
+        let q = PointD::new(vec![0.3, 0.3]);
+        let pr = axis_projections(&cons, &q);
+        // x hi: 0.7 (hits x + y = 1).
+        assert!((pr[0].1 - 0.7).abs() < 1e-9);
+        assert!((pr[0].0 - 0.0).abs() < 1e-9);
+    }
+}

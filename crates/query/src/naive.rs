@@ -1,0 +1,81 @@
+//! Linear-scan oracles.
+//!
+//! These are the "scan the entire dataset" baselines the paper argues
+//! against (§3.3) — quadratic or sort-based reference implementations used
+//! to validate BRS/BBS and, in the benches, to quantify the speedups.
+
+use crate::brs::TopKResult;
+use crate::score::ScoringFunction;
+use gir_geometry::dominance::skyline_indices;
+use gir_geometry::vector::PointD;
+use gir_rtree::Record;
+
+/// Exact top-k by scoring every record and sorting.
+pub fn naive_topk(
+    records: &[Record],
+    scoring: &ScoringFunction,
+    weights: &PointD,
+    k: usize,
+) -> TopKResult {
+    let mut scored: Vec<(Record, f64)> = records
+        .iter()
+        .map(|r| (r.clone(), scoring.score(weights, &r.attrs)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.id.cmp(&b.0.id)));
+    scored.truncate(k);
+    TopKResult { ranked: scored }
+}
+
+/// Exact skyline by pairwise dominance filtering.
+pub fn naive_skyline(records: &[Record]) -> Vec<Record> {
+    let points: Vec<PointD> = records.iter().map(|r| r.attrs.clone()).collect();
+    skyline_indices(&points)
+        .into_iter()
+        .map(|i| records[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(rows: &[(u64, &[f64])]) -> Vec<Record> {
+        rows.iter().map(|(id, a)| Record::new(*id, *a)).collect()
+    }
+
+    #[test]
+    fn naive_topk_orders_by_score() {
+        let data = recs(&[
+            (0, &[0.54, 0.5]),
+            (1, &[0.5, 0.48]),
+            (2, &[0.52, 0.35]),
+            (3, &[0.4, 0.4]),
+        ]);
+        let f = ScoringFunction::linear(2);
+        let w = PointD::new(vec![0.4, 0.6]);
+        let r = naive_topk(&data, &f, &w, 4);
+        assert_eq!(r.ids(), vec![0, 1, 2, 3]); // Figure 3(a) order
+        assert_eq!(r.kth().id, 3);
+    }
+
+    #[test]
+    fn naive_topk_truncates() {
+        let data = recs(&[(0, &[0.9, 0.9]), (1, &[0.1, 0.1]), (2, &[0.5, 0.5])]);
+        let f = ScoringFunction::linear(2);
+        let w = PointD::new(vec![0.5, 0.5]);
+        assert_eq!(naive_topk(&data, &f, &w, 2).ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn naive_skyline_filters_dominated() {
+        let data = recs(&[
+            (0, &[0.9, 0.1]),
+            (1, &[0.5, 0.5]),
+            (2, &[0.1, 0.9]),
+            (3, &[0.4, 0.4]), // dominated by 1
+        ]);
+        let sky = naive_skyline(&data);
+        let ids: Vec<u64> = sky.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

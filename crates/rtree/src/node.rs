@@ -1,0 +1,277 @@
+//! 4 KiB page layout for R\*-tree nodes.
+//!
+//! ```text
+//! header (8 bytes): tag u8 | dim u8 | count u16 | pad u32
+//! leaf entry:       record id u64 | d × f64 attributes
+//! internal entry:   child page id u64 | d × f64 lo | d × f64 hi
+//! ```
+//!
+//! Capacities follow from the page size, e.g. `d = 4`: 102 records per
+//! leaf, 56 entries per internal node — in line with the paper's 4 KByte
+//! pages (§8).
+
+use crate::mbb::Mbb;
+use crate::record::Record;
+use bytes::{Buf, BufMut, Bytes};
+use gir_storage::{PageBuf, PageId, PAGE_SIZE};
+use gir_geometry::vector::PointD;
+
+const HEADER: usize = 8;
+const TAG_LEAF: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+
+/// Decoded node contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEntries {
+    /// Child page ids with their MBBs.
+    Internal(Vec<(Mbb, PageId)>),
+    /// Data records.
+    Leaf(Vec<Record>),
+}
+
+/// A decoded R\*-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Attribute dimensionality.
+    pub dim: usize,
+    /// Entries (leaf records or internal children).
+    pub entries: NodeEntries,
+}
+
+impl Node {
+    /// Creates an empty leaf.
+    pub fn leaf(dim: usize) -> Node {
+        Node {
+            dim,
+            entries: NodeEntries::Leaf(Vec::new()),
+        }
+    }
+
+    /// Creates an empty internal node.
+    pub fn internal(dim: usize) -> Node {
+        Node {
+            dim,
+            entries: NodeEntries::Internal(Vec::new()),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.entries, NodeEntries::Leaf(_))
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        match &self.entries {
+            NodeEntries::Internal(v) => v.len(),
+            NodeEntries::Leaf(v) => v.len(),
+        }
+    }
+
+    /// True when the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// MBB of all entries.
+    pub fn mbb(&self) -> Mbb {
+        match &self.entries {
+            NodeEntries::Internal(v) => Mbb::of_mbbs(v.iter().map(|(m, _)| m), self.dim),
+            NodeEntries::Leaf(v) => Mbb::of_points(v.iter().map(|r| &r.attrs), self.dim),
+        }
+    }
+
+    /// Maximum records per leaf for dimensionality `d`.
+    pub fn leaf_capacity(d: usize) -> usize {
+        (PAGE_SIZE - HEADER) / (8 + 8 * d)
+    }
+
+    /// Maximum entries per internal node for dimensionality `d`.
+    pub fn internal_capacity(d: usize) -> usize {
+        (PAGE_SIZE - HEADER) / (8 + 16 * d)
+    }
+
+    /// Minimum fill (40% of capacity, R\* recommendation), at least 2.
+    pub fn min_fill(capacity: usize) -> usize {
+        (capacity * 2 / 5).max(2)
+    }
+
+    /// Capacity of this node's kind.
+    pub fn capacity(&self) -> usize {
+        if self.is_leaf() {
+            Self::leaf_capacity(self.dim)
+        } else {
+            Self::internal_capacity(self.dim)
+        }
+    }
+
+    /// Serializes into a page image.
+    pub fn encode(&self) -> PageBuf {
+        let mut buf = Vec::with_capacity(PAGE_SIZE);
+        match &self.entries {
+            NodeEntries::Leaf(records) => {
+                assert!(records.len() <= Self::leaf_capacity(self.dim), "leaf overflow");
+                buf.put_u8(TAG_LEAF);
+                buf.put_u8(self.dim as u8);
+                buf.put_u16(records.len() as u16);
+                buf.put_u32(0);
+                for r in records {
+                    debug_assert_eq!(r.dim(), self.dim);
+                    buf.put_u64(r.id);
+                    for &c in r.attrs.coords() {
+                        buf.put_f64(c);
+                    }
+                }
+            }
+            NodeEntries::Internal(children) => {
+                assert!(
+                    children.len() <= Self::internal_capacity(self.dim),
+                    "internal overflow"
+                );
+                buf.put_u8(TAG_INTERNAL);
+                buf.put_u8(self.dim as u8);
+                buf.put_u16(children.len() as u16);
+                buf.put_u32(0);
+                for (mbb, child) in children {
+                    buf.put_u64(*child);
+                    for &c in mbb.lo.coords() {
+                        buf.put_f64(c);
+                    }
+                    for &c in mbb.hi.coords() {
+                        buf.put_f64(c);
+                    }
+                }
+            }
+        }
+        PageBuf::from_slice(&buf)
+    }
+
+    /// Deserializes from a page image.
+    pub fn decode(page: &Bytes) -> Node {
+        let mut buf = &page[..];
+        let tag = buf.get_u8();
+        let dim = buf.get_u8() as usize;
+        let count = buf.get_u16() as usize;
+        let _pad = buf.get_u32();
+        match tag {
+            TAG_LEAF => {
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = buf.get_u64();
+                    let coords: Vec<f64> = (0..dim).map(|_| buf.get_f64()).collect();
+                    records.push(Record::new(id, coords));
+                }
+                Node {
+                    dim,
+                    entries: NodeEntries::Leaf(records),
+                }
+            }
+            TAG_INTERNAL => {
+                let mut children = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = buf.get_u64();
+                    let lo: Vec<f64> = (0..dim).map(|_| buf.get_f64()).collect();
+                    let hi: Vec<f64> = (0..dim).map(|_| buf.get_f64()).collect();
+                    children.push((
+                        Mbb {
+                            lo: PointD::from(lo),
+                            hi: PointD::from(hi),
+                        },
+                        child,
+                    ));
+                }
+                Node {
+                    dim,
+                    entries: NodeEntries::Internal(children),
+                }
+            }
+            other => panic!("corrupt page: unknown node tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_page_budget() {
+        assert_eq!(Node::leaf_capacity(4), (4096 - 8) / 40);
+        assert_eq!(Node::internal_capacity(4), (4096 - 8) / 72);
+        // Sanity for the full experimental range.
+        for d in 2..=8 {
+            assert!(Node::leaf_capacity(d) >= Node::min_fill(Node::leaf_capacity(d)) * 2);
+            assert!(Node::internal_capacity(d) >= 10);
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut n = Node::leaf(3);
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            for i in 0..10 {
+                v.push(Record::new(i, vec![i as f64 / 10.0, 0.5, 0.25]));
+            }
+        }
+        let decoded = Node::decode(&n.encode().freeze());
+        assert_eq!(n, decoded);
+        assert!(decoded.is_leaf());
+        assert_eq!(decoded.len(), 10);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let mut n = Node::internal(2);
+        if let NodeEntries::Internal(v) = &mut n.entries {
+            for i in 0..5u64 {
+                let lo = PointD::new(vec![i as f64 / 10.0, 0.0]);
+                let hi = PointD::new(vec![i as f64 / 10.0 + 0.05, 1.0]);
+                v.push((Mbb { lo, hi }, i + 100));
+            }
+        }
+        let decoded = Node::decode(&n.encode().freeze());
+        assert_eq!(n, decoded);
+        assert!(!decoded.is_leaf());
+    }
+
+    #[test]
+    fn mbb_covers_entries() {
+        let mut n = Node::leaf(2);
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            v.push(Record::new(0, vec![0.1, 0.8]));
+            v.push(Record::new(1, vec![0.6, 0.2]));
+        }
+        let m = n.mbb();
+        assert_eq!(m.lo.coords(), &[0.1, 0.2]);
+        assert_eq!(m.hi.coords(), &[0.6, 0.8]);
+    }
+
+    #[test]
+    fn full_leaf_fits_in_page() {
+        let d = 6;
+        let cap = Node::leaf_capacity(d);
+        let mut n = Node::leaf(d);
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            for i in 0..cap as u64 {
+                v.push(Record::new(i, vec![0.5; d]));
+            }
+        }
+        let page = n.encode(); // must not panic
+        let back = Node::decode(&page.freeze());
+        assert_eq!(back.len(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf overflow")]
+    fn overfull_leaf_panics() {
+        let d = 2;
+        let cap = Node::leaf_capacity(d);
+        let mut n = Node::leaf(d);
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            for i in 0..=cap as u64 {
+                v.push(Record::new(i, vec![0.5; d]));
+            }
+        }
+        let _ = n.encode();
+    }
+}

@@ -1,0 +1,120 @@
+//! Page-level I/O counters.
+//!
+//! Logical page fetches are the hardware-independent I/O metric all three
+//! GIR methods are compared on; `CostModel` converts them to the
+//! milliseconds the paper reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O counters owned by a page store.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    /// Pages fetched.
+    pub reads: u64,
+    /// Pages written.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one page read.
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one page write.
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of current counts.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Reads performed between `earlier` and `self`.
+    pub fn reads_since(&self, earlier: &IoStatsSnapshot) -> u64 {
+        self.reads.saturating_sub(earlier.reads)
+    }
+
+    /// Writes performed between `earlier` and `self`.
+    pub fn writes_since(&self, earlier: &IoStatsSnapshot) -> u64 {
+        self.writes.saturating_sub(earlier.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn deltas_between_snapshots() {
+        let s = IoStats::new();
+        s.record_read();
+        let a = s.snapshot();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        let b = s.snapshot();
+        assert_eq!(b.reads_since(&a), 2);
+        assert_eq!(b.writes_since(&a), 1);
+        // Saturates rather than underflows when reversed.
+        assert_eq!(a.reads_since(&b), 0);
+    }
+
+    #[test]
+    fn concurrent_counting() {
+        use std::sync::Arc;
+        let s = Arc::new(IoStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_read();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().reads, 4000);
+    }
+}

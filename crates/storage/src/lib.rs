@@ -1,0 +1,26 @@
+//! # gir-storage
+//!
+//! Paged storage engine with explicit I/O accounting.
+//!
+//! The paper's experiments (§8) place data and R\*-tree indices on disk in
+//! 4 KByte pages and report CPU and I/O time separately; no buffer pool is
+//! used because "none of the methods fetches the same index or data page
+//! twice". This crate reproduces that setting:
+//!
+//! * [`PageStore`] — the storage abstraction used by `gir-rtree`,
+//! * [`MemPageStore`] — in-memory backing (the paper's memory-resident
+//!   scenario; I/O counters still track logical page fetches),
+//! * [`FilePageStore`] — file backing for true disk-resident runs,
+//! * [`IoStats`] / [`CostModel`] — page-fetch counters and the latency
+//!   model that converts them to milliseconds (substitution for the 2014
+//!   spinning-disk hardware; see DESIGN.md §5).
+
+pub mod costmodel;
+pub mod iostats;
+pub mod page;
+pub mod pagestore;
+
+pub use costmodel::CostModel;
+pub use iostats::{IoStats, IoStatsSnapshot};
+pub use page::{PageBuf, PAGE_SIZE};
+pub use pagestore::{FilePageStore, MemPageStore, PageId, PageStore, StorageError};

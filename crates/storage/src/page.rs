@@ -1,0 +1,85 @@
+//! Fixed-size page buffers.
+
+use bytes::{Bytes, BytesMut};
+
+/// Page size in bytes, matching the paper's 4 KByte disk pages (§8).
+pub const PAGE_SIZE: usize = 4096;
+
+/// An owned, mutable page image being assembled before a write.
+#[derive(Debug, Clone)]
+pub struct PageBuf {
+    buf: BytesMut,
+}
+
+impl PageBuf {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        PageBuf {
+            buf: BytesMut::zeroed(PAGE_SIZE),
+        }
+    }
+
+    /// Wraps raw bytes; pads with zeros or panics when longer than a page.
+    pub fn from_slice(data: &[u8]) -> Self {
+        assert!(data.len() <= PAGE_SIZE, "page overflow: {} bytes", data.len());
+        let mut buf = BytesMut::zeroed(PAGE_SIZE);
+        buf[..data.len()].copy_from_slice(data);
+        PageBuf { buf }
+    }
+
+    /// Read access to the full page image.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write access to the full page image.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Freezes into an immutable page image.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_page_size() {
+        let p = PageBuf::zeroed();
+        assert_eq!(p.as_slice().len(), PAGE_SIZE);
+        assert!(p.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn from_slice_pads() {
+        let p = PageBuf::from_slice(&[1, 2, 3]);
+        assert_eq!(&p.as_slice()[..3], &[1, 2, 3]);
+        assert_eq!(p.as_slice().len(), PAGE_SIZE);
+        assert_eq!(p.as_slice()[3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn oversized_slice_panics() {
+        let _ = PageBuf::from_slice(&vec![0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    fn freeze_roundtrip() {
+        let mut p = PageBuf::zeroed();
+        p.as_mut_slice()[100] = 42;
+        let b = p.freeze();
+        assert_eq!(b.len(), PAGE_SIZE);
+        assert_eq!(b[100], 42);
+    }
+}

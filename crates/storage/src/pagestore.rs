@@ -1,0 +1,281 @@
+//! Page store implementations.
+
+use crate::iostats::{IoStats, IoStatsSnapshot};
+use crate::page::{PageBuf, PAGE_SIZE};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a page within a store.
+pub type PageId = u64;
+
+/// Errors surfaced by page stores.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The page id has never been allocated/written.
+    NoSuchPage(PageId),
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NoSuchPage(id) => write!(f, "no such page: {id}"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Abstraction over paged storage with logical I/O accounting.
+///
+/// All methods take `&self`; implementations use interior mutability so
+/// index traversals can share the store.
+pub trait PageStore: Send + Sync {
+    /// Allocates a fresh page id (contents initially zeroed).
+    fn allocate(&self) -> PageId;
+
+    /// Reads a page image; counts one logical read.
+    fn read_page(&self, id: PageId) -> Result<Bytes, StorageError>;
+
+    /// Writes a page image; counts one logical write.
+    fn write_page(&self, id: PageId, page: PageBuf) -> Result<(), StorageError>;
+
+    /// Current counter values.
+    fn stats(&self) -> IoStatsSnapshot;
+
+    /// Zeroes the counters (between benchmark phases).
+    fn reset_stats(&self);
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+}
+
+/// In-memory page store. This is both the paper's memory-resident
+/// scenario and the default benchmark substrate (logical reads are still
+/// counted, so I/O *cost* can be modelled without touching a device).
+pub struct MemPageStore {
+    // RwLock: concurrent query traversals only read; bulk load and
+    // insertion paths take the write lock.
+    pages: RwLock<Vec<Option<Bytes>>>,
+    stats: IoStats,
+}
+
+impl MemPageStore {
+    /// Creates an empty store. `page_size` must equal [`PAGE_SIZE`]
+    /// (the argument documents intent at call sites).
+    pub fn new(page_size: usize) -> Self {
+        assert_eq!(page_size, PAGE_SIZE, "only 4 KiB pages are supported");
+        MemPageStore {
+            pages: RwLock::new(Vec::new()),
+            stats: IoStats::new(),
+        }
+    }
+}
+
+impl Default for MemPageStore {
+    fn default() -> Self {
+        Self::new(PAGE_SIZE)
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn allocate(&self) -> PageId {
+        let mut pages = self.pages.write();
+        pages.push(None);
+        (pages.len() - 1) as PageId
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Bytes, StorageError> {
+        let pages = self.pages.read();
+        let slot = pages
+            .get(id as usize)
+            .ok_or(StorageError::NoSuchPage(id))?;
+        self.stats.record_read();
+        match slot {
+            Some(b) => Ok(b.clone()),
+            None => Ok(Bytes::from(vec![0u8; PAGE_SIZE])),
+        }
+    }
+
+    fn write_page(&self, id: PageId, page: PageBuf) -> Result<(), StorageError> {
+        let mut pages = self.pages.write();
+        let slot = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::NoSuchPage(id))?;
+        self.stats.record_write();
+        *slot = Some(page.freeze());
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+}
+
+/// File-backed page store (true disk-resident runs).
+pub struct FilePageStore {
+    file: Mutex<File>,
+    next_id: AtomicU64,
+    stats: IoStats,
+}
+
+impl FilePageStore {
+    /// Creates (or truncates) a store file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePageStore {
+            file: Mutex::new(file),
+            next_id: AtomicU64::new(0),
+            stats: IoStats::new(),
+        })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn allocate(&self) -> PageId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Bytes, StorageError> {
+        if id >= self.next_id.load(Ordering::Relaxed) {
+            return Err(StorageError::NoSuchPage(id));
+        }
+        let mut file = self.file.lock();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        // Pages allocated but never written read back as zeros: the file
+        // may be shorter than the page end, so fill what exists.
+        let mut read = 0usize;
+        while read < PAGE_SIZE {
+            match file.read(&mut buf[read..])? {
+                0 => break,
+                n => read += n,
+            }
+        }
+        self.stats.record_read();
+        Ok(Bytes::from(buf))
+    }
+
+    fn write_page(&self, id: PageId, page: PageBuf) -> Result<(), StorageError> {
+        if id >= self.next_id.load(Ordering::Relaxed) {
+            return Err(StorageError::NoSuchPage(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(page.as_slice())?;
+        self.stats.record_write();
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &dyn PageStore) {
+        let a = store.allocate();
+        let b = store.allocate();
+        assert_ne!(a, b);
+
+        let mut pa = PageBuf::zeroed();
+        pa.as_mut_slice()[0] = 0xAA;
+        store.write_page(a, pa).unwrap();
+
+        let got = store.read_page(a).unwrap();
+        assert_eq!(got[0], 0xAA);
+        // Unwritten page reads back zeroed.
+        let zeroed = store.read_page(b).unwrap();
+        assert!(zeroed.iter().all(|&x| x == 0));
+
+        let s = store.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        store.reset_stats();
+        assert_eq!(store.stats().reads, 0);
+        assert_eq!(store.num_pages(), 2);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        let store = MemPageStore::new(PAGE_SIZE);
+        roundtrip(&store);
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join("gir-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("pages-{}.db", std::process::id()));
+        let store = FilePageStore::create(&path).unwrap();
+        roundtrip(&store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let store = MemPageStore::new(PAGE_SIZE);
+        assert!(matches!(
+            store.read_page(3),
+            Err(StorageError::NoSuchPage(3))
+        ));
+        assert!(matches!(
+            store.write_page(0, PageBuf::zeroed()),
+            Err(StorageError::NoSuchPage(0))
+        ));
+    }
+
+    #[test]
+    fn file_store_persists_across_pages() {
+        let dir = std::env::temp_dir().join("gir-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("pages2-{}.db", std::process::id()));
+        let store = FilePageStore::create(&path).unwrap();
+        let ids: Vec<PageId> = (0..10).map(|_| store.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let mut p = PageBuf::zeroed();
+            p.as_mut_slice()[0] = i as u8;
+            store.write_page(id, p).unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(store.read_page(id).unwrap()[0], i as u8);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

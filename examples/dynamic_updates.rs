@@ -1,0 +1,97 @@
+//! Live dataset updates with GIR cache maintenance.
+//!
+//! The paper's caching application (§1) assumes a static dataset; this
+//! example exercises the repository's extension for the dynamic case
+//! (`gir::core::maintenance`): records are inserted into and deleted from
+//! the R*-tree while a GIR cache keeps serving — every hit provably
+//! fresh, every affected region shrunk or evicted by one small LP.
+//!
+//! ```text
+//! cargo run --release --example dynamic_updates
+//! ```
+
+use gir::core::GirCache;
+use gir::prelude::*;
+use gir::query::ScoringFunction;
+use gir::rtree::Record;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let d = 4;
+    let mut data = gir::datagen::synthetic(Distribution::Independent, 30_000, d, 9);
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let mut tree = RTree::bulk_load(Arc::clone(&store), &data).expect("bulk load");
+    let scoring = ScoringFunction::linear(d);
+    let k = 10;
+
+    // Warm a cache from a handful of user preferences.
+    let anchors = gir::datagen::random_queries(8, d, 0.2, 31);
+    let mut cache = GirCache::new(16);
+    {
+        let engine = GirEngine::new(&tree);
+        for w in &anchors {
+            let q = QueryVector::new(w.coords().to_vec());
+            let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
+            cache.insert(out.region, out.result);
+        }
+    }
+    println!("cache warmed with {} regions", cache.len());
+
+    // Stream updates: mostly mediocre newcomers, occasionally a strong
+    // one that threatens cached top-k results.
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut next_id = 10_000_000u64;
+    let mut evicted_total = 0usize;
+    let mut shrunk_checks = 0usize;
+    for step in 0..300 {
+        if rng.random_range(0.0..1.0) < 0.7 {
+            // Insert.
+            let strong = rng.random_range(0.0..1.0) < 0.1;
+            let attrs: Vec<f64> = (0..d)
+                .map(|_| {
+                    if strong {
+                        rng.random_range(0.85..1.0)
+                    } else {
+                        rng.random_range(0.0..0.8)
+                    }
+                })
+                .collect();
+            let rec = Record::new(next_id, attrs);
+            next_id += 1;
+            tree.insert(rec.clone()).expect("insert");
+            data.push(rec.clone());
+            evicted_total += cache.on_insert(&rec, &scoring);
+        } else if !data.is_empty() {
+            // Delete a random record.
+            let idx = rng.random_range(0..data.len());
+            let victim = data.swap_remove(idx);
+            assert!(tree.delete(victim.id, &victim.attrs).expect("delete"));
+            evicted_total += cache.on_delete(victim.id);
+        }
+
+        // Periodically prove the surviving cache entries are fresh.
+        if step % 50 == 49 {
+            let engine = GirEngine::new(&tree);
+            for w in &anchors {
+                if let Some(records) = cache.lookup(w, k) {
+                    shrunk_checks += 1;
+                    let fresh = engine
+                        .topk(&QueryVector::new(w.coords().to_vec()), k)
+                        .expect("top-k");
+                    assert_eq!(
+                        records.iter().map(|r| r.id).collect::<Vec<_>>(),
+                        fresh.ids(),
+                        "stale cache hit at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    let (hits, misses) = cache.counters();
+    println!("after 300 updates: {} entries remain, {evicted_total} evicted", cache.len());
+    println!("verification lookups: {hits} hits / {misses} misses ({shrunk_checks} cross-checked against recomputation)");
+    println!("\nevery surviving hit was proven identical to a fresh top-{k} computation.");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build a dataset, compute a top-k result and its GIR,
+//! inspect the region.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gir::prelude::*;
+use gir_geometry::volume::VolumeOptions;
+use std::sync::Arc;
+
+fn main() {
+    // 20k independent records in 3 dimensions, on an in-memory page store
+    // with logical I/O accounting.
+    let data = gir::datagen::synthetic(Distribution::Independent, 20_000, 3, 42);
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).expect("bulk load");
+    println!(
+        "dataset: n={} d={} | R*-tree height {} over {} pages",
+        tree.len(),
+        tree.dim(),
+        tree.height(),
+        tree.store().num_pages()
+    );
+
+    let engine = GirEngine::new(&tree);
+    let q = QueryVector::new(vec![0.6, 0.5, 0.7]);
+    let k = 10;
+
+    for method in [
+        Method::SkylinePruning,
+        Method::ConvexHullPruning,
+        Method::FacetPruning,
+    ] {
+        let out = engine.gir(&q, k, method).expect("GIR computation");
+        println!(
+            "{:4}: {:3} phase-2 candidates, {:4} half-spaces, {:5} pages, {:8.3} ms CPU",
+            method.label(),
+            out.stats.candidates,
+            out.stats.halfspaces,
+            out.stats.gir_pages,
+            out.stats.gir_cpu_ms,
+        );
+    }
+
+    // FP output in detail.
+    let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+    println!("\ntop-{k} result (id: score):");
+    for (rec, score) in &out.result.ranked {
+        println!("  #{:<6} {:.4}", rec.id, score);
+    }
+
+    // The GIR is the maximal locus where this exact ranking holds.
+    assert!(out.region.contains(&q.weights));
+    let vol = out.region.volume(&VolumeOptions::default());
+    println!(
+        "\nGIR volume ratio: {:.3e} ({:?})",
+        vol.volume, vol.method
+    );
+
+    // Weight vectors inside the GIR provably reproduce the result.
+    let probe = QueryVector::new(vec![0.58, 0.49, 0.69]);
+    if out.region.contains(&probe.weights) {
+        let again = engine.topk(&probe, k).unwrap();
+        assert_eq!(again.ids(), out.result.ids());
+        println!("probe {:?} is inside the GIR: identical top-{k} (verified)", probe.weights);
+    } else {
+        println!("probe {:?} falls outside the GIR", probe.weights);
+    }
+
+    // What changes at the boundary?
+    println!("\nnearest result perturbations at the GIR boundary:");
+    match out.region.boundary_events() {
+        Ok(events) => {
+            for e in events.iter().take(8) {
+                println!("  {e:?}");
+            }
+        }
+        Err(e) => println!("  (reduction unavailable: {e})"),
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's motivating scenario (§1): a restaurant/hotel finder where
+//! the user weighs four factors and gets slide-bar bounds showing how far
+//! each weight can move without changing the recommendation — plus what
+//! the new recommendation becomes at each tipping point (Figure 1).
+//!
+//! ```text
+//! cargo run --release --example restaurant_finder
+//! ```
+
+use gir::core::BoundaryEvent;
+use gir::prelude::*;
+use gir_core::slide_bar_bounds;
+use std::sync::Arc;
+
+const FACTORS: [&str; 4] = ["food quality", "ambience", "value", "service"];
+
+fn main() {
+    // HOTEL-like 4-attribute data stands in for the venue database.
+    let data = gir::datagen::hotel_like(50_000, 7);
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).expect("bulk load");
+    let engine = GirEngine::new(&tree);
+
+    // The §1 query, rescaled from [0,100] to [0,1]: q = (60, 50, 60, 70).
+    let q = QueryVector::new(vec![0.60, 0.50, 0.60, 0.70]);
+    let k = 10;
+    let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
+
+    println!("top-{k} venues for weights (food, ambience, value, service) = (0.60, 0.50, 0.60, 0.70):\n");
+    for (rank, (rec, score)) in out.result.ranked.iter().enumerate() {
+        println!("  {:2}. venue #{:<7} score {:.4}", rank + 1, rec.id, score);
+    }
+
+    // Figure 1(a): per-factor immutable ranges (interactive projection).
+    let bars = slide_bar_bounds(&out.region);
+    println!("\nimmutable weight ranges (move one slider inside [..] — same top-{k}):\n");
+    print!("{}", bars.render_ascii(&FACTORS, 48));
+
+    // What happens at the boundary: the paper's "we can inform the user
+    // what the new result will be at each of these bounds".
+    println!("\ntipping points (crossing a GIR facet):");
+    match out.region.boundary_events() {
+        Ok(events) => {
+            for e in &events {
+                match e {
+                    BoundaryEvent::Reorder { rank } => println!(
+                        "  · venues at ranks {} and {} swap places",
+                        rank + 1,
+                        rank + 2
+                    ),
+                    BoundaryEvent::Overtake { record_id } => println!(
+                        "  · venue #{record_id} enters the top-{k}, displacing rank {k}"
+                    ),
+                    BoundaryEvent::OvertakeMember { rank, record_id } => println!(
+                        "  · venue #{record_id} overtakes the rank-{} venue",
+                        rank + 1
+                    ),
+                    BoundaryEvent::QueryBoxEdge { dim, upper } => println!(
+                        "  · weight '{}' reaches its {} limit",
+                        FACTORS[*dim],
+                        if *upper { "upper" } else { "lower" }
+                    ),
+                }
+            }
+        }
+        Err(e) => println!("  (reduction unavailable: {e})"),
+    }
+
+    // Verify one claim end-to-end: drag "value" to the edge of its range
+    // and confirm the recommendation is intact.
+    let (lo, hi) = bars.intervals[2];
+    let mut inside = q.weights.clone();
+    inside[2] = (hi - 1e-6).max(lo);
+    let again = engine.topk(&QueryVector::new(inside.coords().to_vec()), k).unwrap();
+    assert_eq!(again.ids(), out.result.ids());
+    println!(
+        "\nverified: 'value' weight {:.3} → {:.3} leaves the top-{k} unchanged",
+        q.weights[2], inside[2]
+    );
+}

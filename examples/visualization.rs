@@ -1,0 +1,77 @@
+//! GIR visualization (paper §7.3, Figures 2 and 13).
+//!
+//! Renders a 2-d GIR wedge as ASCII art, compares the two §7.3
+//! visualization options (MAH vs interactive projection), and shows the
+//! per-factor bounds each one induces.
+//!
+//! ```text
+//! cargo run --release --example visualization
+//! ```
+
+use gir::prelude::*;
+use gir_core::slide_bar_bounds;
+use gir_core::svg::{render_svg_2d, SvgOptions};
+use gir_core::viz::render_region_2d;
+use std::sync::Arc;
+
+fn main() {
+    let data = gir::datagen::synthetic(Distribution::Independent, 5_000, 2, 5);
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).expect("bulk load");
+    let engine = GirEngine::new(&tree);
+
+    // The Figure 2 setting: q = (0.6, 0.5).
+    let q = QueryVector::new(vec![0.6, 0.5]);
+    let out = engine.gir(&q, 5, Method::FacetPruning).expect("GIR");
+
+    println!("the GIR is a wedge in query space (Figure 2): '#' inside, 'Q' = query\n");
+    println!("{}", render_region_2d(&out.region, 32));
+
+    // Interactive projection (Figure 13b): maximal per-axis ranges,
+    // recomputed as the query moves.
+    let bars = slide_bar_bounds(&out.region);
+    println!("interactive projection (maximal per-factor ranges):");
+    print!("{}", bars.render_ascii(&["w1", "w2"], 48));
+
+    // MAH (Figure 13a): fixed bounds valid simultaneously.
+    let mah = out.region.mah();
+    println!("\nMAH (fixed box inside the GIR):");
+    for i in 0..2 {
+        println!(
+            "  w{}: [{:.3}, {:.3}]  (projection gives [{:.3}, {:.3}])",
+            i + 1,
+            mah.lo[i],
+            mah.hi[i],
+            bars.intervals[i].0,
+            bars.intervals[i].1
+        );
+        // MAH bounds are always within the projection bounds.
+        assert!(mah.lo[i] >= bars.intervals[i].0 - 1e-9);
+        assert!(mah.hi[i] <= bars.intervals[i].1 + 1e-9);
+    }
+
+    println!(
+        "\ntrade-off (§7.3): MAH bounds stay valid while the query moves inside \
+         the box, but under-cover the GIR; projection bounds are maximal but \
+         must be redrawn as the user drags a slider."
+    );
+
+    // Emit an SVG of the same picture (polygon + MAH + projections).
+    if let Some(svg) = render_svg_2d(&out.region, &SvgOptions::default()) {
+        let path = std::env::temp_dir().join("gir_region.svg");
+        std::fs::write(&path, svg).expect("write svg");
+        println!("
+SVG written to {}", path.display());
+    }
+
+    // Simulate a drag: move w1 to the edge of its range, re-project.
+    let (_, hi) = bars.intervals[0];
+    let dragged = QueryVector::new(vec![(hi - 0.01).max(0.0), 0.5]);
+    if out.region.contains(&dragged.weights) {
+        let out2 = engine.gir(&dragged, 5, Method::FacetPruning).unwrap();
+        assert_eq!(out2.result.ids(), out.result.ids());
+        let bars2 = slide_bar_bounds(&out2.region);
+        println!("\nafter dragging w1 to {:.3} (same result, re-projected):", dragged.weights[0]);
+        print!("{}", bars2.render_ascii(&["w1", "w2"], 48));
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure injection: storage errors must propagate as `Err`, never
+//! panic, and never corrupt previously returned results.
+
+use gir::core::{GirEngine, GirError, Method};
+use gir::prelude::*;
+use gir::storage::{IoStatsSnapshot, PageBuf, PageId, StorageError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A page store that starts failing reads after a budget is exhausted.
+struct FailingStore {
+    inner: MemPageStore,
+    reads_allowed: AtomicU64,
+}
+
+impl FailingStore {
+    fn new(reads_allowed: u64) -> Self {
+        FailingStore {
+            inner: MemPageStore::new(PAGE_SIZE),
+            reads_allowed: AtomicU64::new(reads_allowed),
+        }
+    }
+
+    fn disarm(&self) {
+        self.reads_allowed.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    fn arm(&self, budget: u64) {
+        self.reads_allowed.store(budget, Ordering::Relaxed);
+    }
+}
+
+impl PageStore for FailingStore {
+    fn allocate(&self) -> PageId {
+        self.inner.allocate()
+    }
+
+    fn read_page(&self, id: PageId) -> Result<bytes::Bytes, StorageError> {
+        // u64::MAX = disarmed; otherwise a countdown to failure.
+        let left = self.reads_allowed.load(Ordering::Relaxed);
+        if left != u64::MAX {
+            if left == 0 {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected read failure",
+                )));
+            }
+            self.reads_allowed.store(left - 1, Ordering::Relaxed);
+        }
+        self.inner.read_page(id)
+    }
+
+    fn write_page(&self, id: PageId, page: PageBuf) -> Result<(), StorageError> {
+        self.inner.write_page(id, page)
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+}
+
+fn setup(reads_allowed: u64) -> (Arc<FailingStore>, RTree) {
+    let failing = Arc::new(FailingStore::new(u64::MAX));
+    failing.disarm();
+    let data = gir::datagen::synthetic(Distribution::Independent, 5000, 3, 0xFA11);
+    let store: Arc<dyn PageStore> = Arc::clone(&failing) as Arc<dyn PageStore>;
+    let tree = RTree::bulk_load(store, &data).unwrap();
+    failing.arm(reads_allowed);
+    (failing, tree)
+}
+
+#[test]
+fn gir_surfaces_read_errors_for_all_methods() {
+    for method in [
+        Method::SkylinePruning,
+        Method::ConvexHullPruning,
+        Method::FacetPruning,
+        Method::FullScan,
+    ] {
+        // Measure the healthy read count, then fail strictly inside it.
+        let (store, tree) = setup(u64::MAX);
+        store.disarm();
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(vec![0.5, 0.6, 0.7]);
+        store.reset_stats();
+        engine.gir(&q, 10, method).unwrap();
+        let healthy = store.stats().reads;
+        assert!(healthy >= 2, "uninteresting workload for {method:?}");
+
+        for budget in [0, 1, healthy / 2, healthy - 1] {
+            store.arm(budget);
+            match engine.gir(&q, 10, method) {
+                Err(GirError::Tree(_)) => {}
+                Ok(_) => panic!("{method:?} succeeded with a {budget}-read budget"),
+                Err(other) => panic!("{method:?}: unexpected error kind {other}"),
+            }
+            store.disarm();
+        }
+    }
+}
+
+#[test]
+fn recovery_after_failure_window() {
+    let (store, tree) = setup(1);
+    let engine = GirEngine::new(&tree);
+    let q = QueryVector::new(vec![0.5, 0.6, 0.7]);
+    assert!(engine.gir(&q, 10, Method::FacetPruning).is_err());
+    // The store heals; the same engine object keeps working.
+    store.disarm();
+    let out = engine.gir(&q, 10, Method::FacetPruning).unwrap();
+    assert_eq!(out.result.len(), 10);
+    assert!(out.region.contains(&q.weights));
+}
+
+#[test]
+fn window_query_and_scan_propagate_errors() {
+    let (_store, tree) = setup(1);
+    assert!(tree.scan_all().is_err());
+}

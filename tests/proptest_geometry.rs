@@ -1,0 +1,165 @@
+//! Property-based tests of the geometric substrate: hulls, LP,
+//! half-space intersection, volumes.
+
+use gir_geometry::hull::{hull_2d_indices, ConvexHull};
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_geometry::lp::{chebyshev_center, maximize, LpStatus};
+use gir_geometry::vector::PointD;
+use gir_geometry::volume::{monte_carlo_volume, region_volume, VolumeMethod, VolumeOptions};
+use proptest::prelude::*;
+
+fn points(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.01f64..0.99, d), n..n + 30)
+}
+
+fn halfspace(d: usize) -> impl Strategy<Value = HalfSpace> {
+    (
+        proptest::collection::vec(-1.0f64..1.0, d),
+        0.0f64..1.5,
+    )
+        .prop_map(|(n, b)| HalfSpace {
+            normal: PointD::from(n),
+            offset: b,
+            provenance: Provenance::NonResult { record_id: 0 },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Hull invariants in 3-d: contains every input point; facet planes
+    /// pass through their vertices; adjacency is symmetric.
+    #[test]
+    fn hull_3d_invariants(rows in points(3, 20)) {
+        let pts: Vec<PointD> = rows.iter().map(|r| PointD::from(r.clone())).collect();
+        match ConvexHull::build(&pts) {
+            Ok(h) => {
+                for p in &pts {
+                    prop_assert!(h.contains(p, 1e-7));
+                }
+                for f in h.facets() {
+                    for &v in &f.vertices {
+                        prop_assert!(f.plane.eval(&pts[v]).abs() < 1e-7);
+                    }
+                }
+                prop_assert!(h.volume() >= 0.0);
+                prop_assert!(h.volume() <= 1.0 + 1e-9); // inside unit cube
+            }
+            Err(_) => {
+                // Degenerate random input is astronomically unlikely but
+                // legal; nothing to check.
+            }
+        }
+    }
+
+    /// The d-dimensional incremental hull agrees with the exact 2-d
+    /// monotone chain on planar inputs.
+    #[test]
+    fn hull_2d_agreement(rows in points(2, 10)) {
+        let pts: Vec<PointD> = rows.iter().map(|r| PointD::from(r.clone())).collect();
+        if let Ok(h) = ConvexHull::build(&pts) {
+            let mut inc = h.vertex_indices();
+            inc.sort_unstable();
+            let mut chain = hull_2d_indices(&pts);
+            chain.sort_unstable();
+            prop_assert_eq!(inc, chain);
+        }
+    }
+
+    /// LP optimum is feasible and no sampled feasible point beats it.
+    #[test]
+    fn lp_optimal_dominates_samples(
+        cons in proptest::collection::vec(halfspace(3), 1..8),
+        c in proptest::collection::vec(-1.0f64..1.0, 3),
+        samples in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 50),
+    ) {
+        let pairs: Vec<(PointD, f64)> =
+            cons.iter().map(|h| (h.normal.clone(), h.offset)).collect();
+        let obj = PointD::from(c);
+        let res = maximize(&obj, &pairs, 0.0, 1.0);
+        match res.status {
+            LpStatus::Optimal => {
+                let x = res.x.unwrap();
+                for (n, b) in &pairs {
+                    prop_assert!(n.dot(&x) <= b + 1e-6, "LP optimum infeasible");
+                }
+                for s in samples {
+                    let p = PointD::from(s);
+                    if pairs.iter().all(|(n, b)| n.dot(&p) <= *b) {
+                        prop_assert!(obj.dot(&p) <= res.value + 1e-6,
+                            "sample beats LP optimum");
+                    }
+                }
+            }
+            LpStatus::Infeasible => {
+                // Then no sample may be feasible either.
+                for s in samples {
+                    let p = PointD::from(s);
+                    prop_assert!(
+                        !pairs.iter().all(|(n, b)| n.dot(&p) <= *b - 1e-9),
+                        "LP said infeasible but a feasible sample exists"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Chebyshev center is feasible with margin ≈ its radius.
+    #[test]
+    fn chebyshev_center_has_its_radius(
+        cons in proptest::collection::vec(halfspace(2), 0..6),
+    ) {
+        let pairs: Vec<(PointD, f64)> =
+            cons.iter().map(|h| (h.normal.clone(), h.offset)).collect();
+        if let Some((c, r)) = chebyshev_center(&pairs, 0.0, 1.0, 2) {
+            for (n, b) in &pairs {
+                let norm = n.norm();
+                prop_assert!(n.dot(&c) <= b - r * norm + 1e-6);
+            }
+            prop_assert!(c[0] >= r - 1e-6 && c[0] <= 1.0 - r + 1e-6);
+        }
+    }
+
+    /// Exact volume (dual-hull vertex enumeration) matches Monte-Carlo
+    /// for random 2-d regions.
+    #[test]
+    fn exact_volume_matches_monte_carlo(
+        cons in proptest::collection::vec(halfspace(2), 0..5),
+    ) {
+        let mut hs: Vec<HalfSpace> = HalfSpace::full_query_box(2);
+        hs.extend(cons);
+        let opts = VolumeOptions { mc_samples: 60_000, ..VolumeOptions::default() };
+        let exact = region_volume(&hs, 2, None, &opts);
+        let mc = monte_carlo_volume(&hs, 2, &opts);
+        match exact.method {
+            VolumeMethod::Exact => {
+                let diff = (exact.volume - mc.volume).abs();
+                prop_assert!(
+                    diff < 0.02 + 0.05 * exact.volume,
+                    "exact {} vs MC {}", exact.volume, mc.volume
+                );
+            }
+            VolumeMethod::DegenerateZero => {
+                prop_assert!(mc.volume < 0.02, "zero-volume region with MC mass {}", mc.volume);
+            }
+            VolumeMethod::MonteCarlo { .. } => {}
+        }
+    }
+
+    /// Monotonicity: intersecting with one more half-space never grows
+    /// the volume.
+    #[test]
+    fn volume_shrinks_under_intersection(
+        cons in proptest::collection::vec(halfspace(2), 1..5),
+    ) {
+        let mut hs: Vec<HalfSpace> = HalfSpace::full_query_box(2);
+        let opts = VolumeOptions { mc_samples: 40_000, ..VolumeOptions::default() };
+        let mut prev = region_volume(&hs, 2, None, &opts).volume;
+        for h in cons {
+            hs.push(h);
+            let v = region_volume(&hs, 2, None, &opts).volume;
+            prop_assert!(v <= prev + 0.02, "volume grew: {} -> {}", prev, v);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of the GIR invariants over random datasets,
+//! queries and probes.
+
+use gir::core::Method;
+use gir::prelude::*;
+use gir::query::{naive_topk, ScoringFunction};
+use gir_geometry::vector::PointD;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_tree(rows: &[Vec<f64>]) -> (Vec<gir::rtree::Record>, RTree) {
+    let data: Vec<gir::rtree::Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| gir::rtree::Record::new(i as u64, r.clone()))
+        .collect();
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).unwrap();
+    (data, tree)
+}
+
+fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 40)
+}
+
+fn weights(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..1.0, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The central law (Definition 1), for every method, on arbitrary
+    /// 3-d data: a probe weight vector is inside the GIR iff the naive
+    /// top-k under it matches the original ranked result.
+    #[test]
+    fn gir_law_holds_everywhere_3d(
+        rows in dataset(3, 80),
+        w in weights(3),
+        probe in weights(3),
+        k in 1usize..8,
+    ) {
+        let (data, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(w);
+        let f = ScoringFunction::linear(3);
+        let base = naive_topk(&data, &f, &q.weights, k).ids();
+        let wp = PointD::from(probe);
+        let expect = naive_topk(&data, &f, &wp, k).ids() == base;
+        for m in [
+            Method::SkylinePruning,
+            Method::ConvexHullPruning,
+            Method::FacetPruning,
+            Method::FullScan,
+        ] {
+            let out = engine.gir(&q, k, m).unwrap();
+            prop_assert_eq!(out.result.ids(), base.clone());
+            let got = out.region.contains(&wp);
+            if got != expect {
+                let margin: f64 = out
+                    .region
+                    .halfspaces
+                    .iter()
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(
+                    margin.abs() < 1e-6,
+                    "{:?}: law violated at {:?} (margin {})", m, wp, margin
+                );
+            }
+        }
+    }
+
+    /// Same law in 2-d, where FP runs the specialized rotating-line code.
+    #[test]
+    fn gir_law_holds_everywhere_2d(
+        rows in dataset(2, 60),
+        w in weights(2),
+        probe in weights(2),
+        k in 1usize..6,
+    ) {
+        let (data, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(w);
+        let f = ScoringFunction::linear(2);
+        let base = naive_topk(&data, &f, &q.weights, k).ids();
+        let wp = PointD::from(probe);
+        let expect = naive_topk(&data, &f, &wp, k).ids() == base;
+        let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        let got = out.region.contains(&wp);
+        if got != expect {
+            let margin: f64 = out
+                .region
+                .halfspaces
+                .iter()
+                .map(|h| h.slack(&wp))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(margin.abs() < 1e-6);
+        }
+    }
+
+    /// FP's output region is the same point set as FullScan's but with
+    /// (usually far) fewer half-spaces — the pruning is lossless.
+    #[test]
+    fn fp_is_lossless_but_smaller(
+        rows in dataset(3, 100),
+        w in weights(3),
+        k in 2usize..10,
+    ) {
+        let (_, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(w);
+        let fp = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        let scan = engine.gir(&q, k, Method::FullScan).unwrap();
+        prop_assert!(fp.stats.candidates <= scan.stats.candidates);
+        // Both regions contain the query.
+        prop_assert!(fp.region.contains(&q.weights));
+        prop_assert!(scan.region.contains(&q.weights));
+    }
+
+    /// GIR ⊆ GIR* for random data and queries.
+    #[test]
+    fn gir_star_encloses_gir(
+        rows in dataset(3, 70),
+        w in weights(3),
+        probe in weights(3),
+        k in 2usize..6,
+    ) {
+        let (_, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(w);
+        let gir = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        let star = engine.gir_star(&q, k, Method::FacetPruning).unwrap();
+        let wp = PointD::from(probe);
+        if gir.region.contains(&wp) {
+            // Allow boundary epsilon.
+            if !star.region.contains(&wp) {
+                let margin: f64 = star
+                    .region
+                    .halfspaces
+                    .iter()
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(margin.abs() < 1e-6, "GIR ⊄ GIR* at {:?}", wp);
+            }
+        }
+    }
+
+    /// Axis intervals (LIRs) are sound: any single-weight move inside its
+    /// interval preserves the ranked result.
+    #[test]
+    fn axis_intervals_are_sound(
+        rows in dataset(3, 80),
+        w in weights(3),
+        t in 0.0f64..1.0,
+        dim in 0usize..3,
+        k in 1usize..6,
+    ) {
+        let (data, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(w);
+        let f = ScoringFunction::linear(3);
+        let out = engine.gir(&q, k, Method::SkylinePruning).unwrap();
+        let (lo, hi) = out.region.axis_intervals()[dim];
+        // Sample a point strictly inside the interval.
+        if hi - lo > 1e-6 {
+            let margin = (hi - lo) * 1e-3;
+            let v = lo + margin + t * ((hi - lo) - 2.0 * margin);
+            let mut moved = q.weights.clone();
+            moved[dim] = v;
+            prop_assert_eq!(
+                naive_topk(&data, &f, &moved, k).ids(),
+                out.result.ids(),
+                "LIR unsound at dim {} value {}", dim, v
+            );
+        }
+    }
+
+    /// The MAH box is entirely inside the GIR: every corner preserves
+    /// the result.
+    #[test]
+    fn mah_box_is_sound(
+        rows in dataset(2, 60),
+        w in weights(2),
+        k in 1usize..5,
+    ) {
+        let (data, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let q = QueryVector::new(w);
+        let f = ScoringFunction::linear(2);
+        let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        let mah = out.region.mah();
+        let eps = 1e-9;
+        for cx in [mah.lo[0] + eps, mah.hi[0] - eps] {
+            for cy in [mah.lo[1] + eps, mah.hi[1] - eps] {
+                let corner = PointD::new(vec![cx.clamp(0.0, 1.0), cy.clamp(0.0, 1.0)]);
+                if corner.sub(&q.weights).norm() < 1e-12 {
+                    continue;
+                }
+                prop_assert_eq!(
+                    naive_topk(&data, &f, &corner, k).ids(),
+                    out.result.ids(),
+                    "MAH corner {:?} escapes the GIR", corner
+                );
+            }
+        }
+    }
+}

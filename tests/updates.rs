@@ -1,0 +1,119 @@
+//! Live-update integration: R*-tree insert/delete + GIR cache
+//! maintenance, verified against recomputation at every step.
+
+use gir::core::{GirCache, Method};
+use gir::prelude::*;
+use gir::query::{naive_topk, ScoringFunction};
+use gir::rtree::Record;
+use std::sync::Arc;
+
+fn build(n: usize, d: usize, seed: u64) -> (Vec<Record>, RTree) {
+    let data = gir::datagen::synthetic(Distribution::Independent, n, d, seed);
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).unwrap();
+    (data, tree)
+}
+
+#[test]
+fn topk_stays_correct_through_insert_delete_churn() {
+    let d = 3;
+    let (mut data, mut tree) = build(2000, d, 0x0DD);
+    let f = ScoringFunction::linear(d);
+    let w = gir_geometry::vector::PointD::new(vec![0.6, 0.5, 0.7]);
+    let extra = gir::datagen::synthetic(Distribution::Independent, 200, d, 0x0DE);
+
+    for (i, rec) in extra.iter().enumerate() {
+        let mut rec = rec.clone();
+        rec.id += 1_000_000; // keep ids unique
+        tree.insert(rec.clone()).unwrap();
+        data.push(rec);
+        if i % 2 == 0 {
+            let victim = data.remove(i * 7 % data.len());
+            assert!(tree.delete(victim.id, &victim.attrs).unwrap());
+        }
+        if i % 25 == 0 {
+            let engine = GirEngine::new(&tree);
+            let res = engine.topk(&QueryVector::new(w.coords().to_vec()), 10).unwrap();
+            assert_eq!(res.ids(), naive_topk(&data, &f, &w, 10).ids(), "step {i}");
+        }
+    }
+}
+
+#[test]
+fn cache_maintenance_never_serves_stale_results() {
+    let d = 3;
+    let (mut data, mut tree) = build(5000, d, 0xCAFE);
+    let scoring = ScoringFunction::linear(d);
+    let k = 8;
+
+    // Warm the cache with a few queries.
+    let anchors = gir::datagen::random_queries(5, d, 0.2, 0xA);
+    let mut cache = GirCache::new(8);
+    {
+        let engine = GirEngine::new(&tree);
+        for w in &anchors {
+            let q = QueryVector::new(w.coords().to_vec());
+            let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+            cache.insert(out.region, out.result);
+        }
+    }
+
+    // Stream updates; after each, probe cached lookups against truth.
+    let newcomers = gir::datagen::synthetic(Distribution::Independent, 60, d, 0xB);
+    for (i, rec) in newcomers.iter().enumerate() {
+        let mut rec = rec.clone();
+        rec.id += 2_000_000;
+        // Bias some newcomers to be strong (top-corner-ish) so cache
+        // invalidation actually fires.
+        if i % 5 == 0 {
+            for c in rec.attrs.coords_mut() {
+                *c = (*c + 1.8) / 3.0; // pull toward ~0.6..0.93
+            }
+        }
+        tree.insert(rec.clone()).unwrap();
+        data.push(rec.clone());
+        cache.on_insert(&rec, &scoring);
+
+        if i % 3 == 2 {
+            let victim = data.remove((i * 13) % data.len());
+            assert!(tree.delete(victim.id, &victim.attrs).unwrap());
+            cache.on_delete(victim.id);
+        }
+
+        for w in &anchors {
+            if let Some(records) = cache.lookup(w, k) {
+                let truth = naive_topk(&data, &scoring, w, k);
+                assert_eq!(
+                    records.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    truth.ids(),
+                    "stale cache hit after update {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shrunk_regions_remain_subsets() {
+    use gir::core::maintenance::{apply_insertion, UpdateImpact};
+    let d = 2;
+    let (_, tree) = build(3000, d, 0x51);
+    let engine = GirEngine::new(&tree);
+    let scoring = ScoringFunction::linear(d);
+    let q = QueryVector::new(vec![0.6, 0.5]);
+    let out = engine.gir(&q, 10, Method::FacetPruning).unwrap();
+    let kth = out.result.kth().clone();
+    let mut region = out.region.clone();
+
+    // Insert a record that beats pk only for extreme w2-heavy weights.
+    let strong = Record::new(7_000_000, vec![0.05, 0.999]);
+    let impact = apply_insertion(&mut region, &kth, &strong, &scoring);
+    if impact == UpdateImpact::Shrunk {
+        // Shrunk region ⊆ original region.
+        for w in gir::datagen::random_queries(200, d, 0.0, 0x5) {
+            if region.contains(&w) {
+                assert!(out.region.contains(&w), "shrink grew the region at {w:?}");
+            }
+        }
+    }
+}
