@@ -28,10 +28,18 @@ fn main() {
     let p = Params::from_env();
     let d = 4;
     let n = p.n;
-    println!("Ablation study  (IND, n={n}, d={d}, k={}, {} queries)", p.k, p.queries);
+    println!(
+        "Ablation study  (IND, n={n}, d={d}, k={}, {} queries)",
+        p.k, p.queries
+    );
 
     // --- FP mechanism ablation -----------------------------------------
-    let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), n, d, 0xAB);
+    let tree = build_tree(
+        BenchDataset::Synthetic(Distribution::Independent),
+        n,
+        d,
+        0xAB,
+    );
     let scoring = ScoringFunction::linear(d);
     let qs = query_workload(p.queries, d, 0xAB1A);
 

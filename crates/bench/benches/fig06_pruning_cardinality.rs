@@ -31,7 +31,7 @@ fn main() {
         let mut ch_row = vec![d.to_string()];
         for dist in dists {
             let tree = build_tree(BenchDataset::Synthetic(dist), p.n, d, 0x66);
-            let qs = query_workload(p.queries, d, 0xF16_06);
+            let qs = query_workload(p.queries, d, 0x000F_1606);
             let scoring = ScoringFunction::linear(d);
             let sp = run_cell(
                 &tree,

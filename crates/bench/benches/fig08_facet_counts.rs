@@ -69,7 +69,7 @@ fn main() {
         let mut irow = vec![d.to_string()];
         for dist in dists {
             let tree = build_tree(BenchDataset::Synthetic(dist), p.n, d, 0x88);
-            let qs = query_workload(p.queries, d, 0xF16_08);
+            let qs = query_workload(p.queries, d, 0x000F_1608);
             let scoring = ScoringFunction::linear(d);
 
             // (b) incident facets: FP's structure size, exact.

@@ -35,7 +35,7 @@ fn mean_volume(
     let opts = VolumeOptions {
         exact_max_halfspaces: exact_cap,
         mc_samples: 400_000,
-        seed: 0xF16_14,
+        seed: 0x000F_1614,
     };
     let mut sum = 0.0;
     let mut cnt = 0usize;
@@ -70,7 +70,7 @@ fn main() {
             Distribution::Correlated,
         ] {
             let tree = build_tree(BenchDataset::Synthetic(dist), p.n, d, 0x14);
-            let qs = query_workload(p.queries, d, 0xF16_14);
+            let qs = query_workload(p.queries, d, 0x000F_1614);
             row.push(match mean_volume(&tree, &qs, p.k, p.cell_budget_ms) {
                 Some(v) => sci(v),
                 None => "—".into(),
@@ -84,8 +84,8 @@ fn main() {
     let house = build_tree(BenchDataset::House, p.real_n(315_265), 6, 0x14);
     let hotel = build_tree(BenchDataset::Hotel, p.real_n(418_843), 4, 0x14);
     for &k in &p.ks {
-        let qh = query_workload(p.queries, 6, 0xF16_14 + k as u64);
-        let qt = query_workload(p.queries, 4, 0xF16_14 + k as u64);
+        let qh = query_workload(p.queries, 6, 0x000F_1614 + k as u64);
+        let qt = query_workload(p.queries, 4, 0x000F_1614 + k as u64);
         by_k.row(vec![
             k.to_string(),
             mean_volume(&house, &qh, k, p.cell_budget_ms)
@@ -97,8 +97,6 @@ fn main() {
         ]);
     }
     by_k.print("Fig 14(b): volume ratio vs k (real-data stand-ins)");
-    println!(
-        "\nexpected shape: exponential drop with d; COR > IND > ANTI; decreasing in k."
-    );
+    println!("\nexpected shape: exponential drop with d; COR > IND > ANTI; decreasing in k.");
     let _ = ScoringFunction::linear(2);
 }

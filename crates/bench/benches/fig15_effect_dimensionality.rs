@@ -8,7 +8,9 @@
 //! ANTI and smallest on COR.
 
 use gir_bench::report::Table;
-use gir_bench::runner::{build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult};
+use gir_bench::runner::{
+    build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult,
+};
 use gir_bench::Params;
 use gir_core::Method;
 use gir_datagen::Distribution;
@@ -32,7 +34,7 @@ fn main() {
         let mut dead: Vec<Method> = Vec::new();
         for &d in &p.dims {
             let tree = build_tree(BenchDataset::Synthetic(dist), p.n, d, 0x15);
-            let qs = query_workload(p.queries, d, 0xF16_15);
+            let qs = query_workload(p.queries, d, 0x000F_1615);
             let scoring = ScoringFunction::linear(d);
             let mut cells: Vec<CellResult> = Vec::new();
             let mut sp_structure = 0.0;

@@ -4,7 +4,9 @@
 //! paper reports 460–1748× fewer I/Os and 2.8–16.5× less CPU than SP).
 
 use gir_bench::report::Table;
-use gir_bench::runner::{build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult};
+use gir_bench::runner::{
+    build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult,
+};
 use gir_bench::Params;
 use gir_core::Method;
 use gir_datagen::Distribution;
@@ -22,8 +24,13 @@ fn main() {
     let mut io = Table::new(&["n", "SP", "CP", "FP"]);
     let mut dead: Vec<Method> = Vec::new();
     for &n in &p.cardinalities {
-        let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), n, d, 0x16);
-        let qs = query_workload(p.queries, d, 0xF16_16);
+        let tree = build_tree(
+            BenchDataset::Synthetic(Distribution::Independent),
+            n,
+            d,
+            0x16,
+        );
+        let qs = query_workload(p.queries, d, 0x000F_1616);
         let scoring = ScoringFunction::linear(d);
         let mut cells: Vec<CellResult> = Vec::new();
         let mut sp_structure = 0.0;

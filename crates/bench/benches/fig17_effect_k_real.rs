@@ -8,7 +8,9 @@
 //! result) while FP, independent of the skyline, stays flat-to-down.
 
 use gir_bench::report::Table;
-use gir_bench::runner::{build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult};
+use gir_bench::runner::{
+    build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult,
+};
 use gir_bench::Params;
 use gir_core::Method;
 use gir_query::ScoringFunction;
@@ -32,7 +34,7 @@ fn main() {
         let mut io = Table::new(&["k", "SP", "CP", "FP"]);
         let mut dead: Vec<Method> = Vec::new();
         for &k in &p.ks {
-            let qs = query_workload(p.queries, d, 0xF16_17 + k as u64);
+            let qs = query_workload(p.queries, d, 0x000F_1617 + k as u64);
             let mut cells: Vec<CellResult> = Vec::new();
             let mut sp_structure = 0.0;
             for method in [

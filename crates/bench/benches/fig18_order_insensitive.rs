@@ -6,7 +6,9 @@
 //! checked against the non-result set, §7.1).
 
 use gir_bench::report::Table;
-use gir_bench::runner::{build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult};
+use gir_bench::runner::{
+    build_tree, cp_feasible, query_workload, run_cell, BenchDataset, CellResult,
+};
 use gir_bench::Params;
 use gir_core::Method;
 use gir_datagen::Distribution;
@@ -24,8 +26,13 @@ fn main() {
     let mut io = Table::new(&["n", "SP", "CP", "FP"]);
     let mut dead: Vec<Method> = Vec::new();
     for &n in &p.cardinalities {
-        let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), n, d, 0x18);
-        let qs = query_workload(p.queries, d, 0xF16_18);
+        let tree = build_tree(
+            BenchDataset::Synthetic(Distribution::Independent),
+            n,
+            d,
+            0x18,
+        );
+        let qs = query_workload(p.queries, d, 0x000F_1618);
         let scoring = ScoringFunction::linear(d);
         let mut cells: Vec<CellResult> = Vec::new();
         let mut sp_structure = 0.0;
@@ -64,7 +71,5 @@ fn main() {
     }
     cpu.print("Fig 18(a): GIR* CPU time ms vs n (IND)");
     io.print("Fig 18(b): GIR* I/O time ms vs n (IND)");
-    println!(
-        "\nexpected shape: Figure 16 trends, shifted up (multiple pivots per query)."
-    );
+    println!("\nexpected shape: Figure 16 trends, shifted up (multiple pivots per query).");
 }

@@ -32,7 +32,7 @@ fn main() {
     let mut cpu = Table::new(&["k", "Polynomial", "Mixed", "Linear"]);
     let mut io = Table::new(&["k", "Polynomial", "Mixed", "Linear"]);
     for &k in &p.ks {
-        let qs = query_workload(p.queries, d, 0xF16_19 + k as u64);
+        let qs = query_workload(p.queries, d, 0x000F_1619 + k as u64);
         let mut cpu_row = vec![k.to_string()];
         let mut io_row = vec![k.to_string()];
         for (_, scoring) in &functions {
@@ -53,7 +53,5 @@ fn main() {
     }
     cpu.print("Fig 19(a): SP CPU time ms by scoring function (HOTEL)");
     io.print("Fig 19(b): SP I/O time ms by scoring function (HOTEL)");
-    println!(
-        "\nexpected shape: the three functions cost roughly the same at every k."
-    );
+    println!("\nexpected shape: the three functions cost roughly the same at every k.");
 }

@@ -22,9 +22,21 @@ fn main() {
         p.n, p.k, p.queries
     );
 
-    let mut t = Table::new(&["d", "gir_ms", "requery_ms", "requery_topk", "readjust_gir_ms", "readjust_requery_ms"]);
+    let mut t = Table::new(&[
+        "d",
+        "gir_ms",
+        "requery_ms",
+        "requery_topk",
+        "readjust_gir_ms",
+        "readjust_requery_ms",
+    ]);
     for &d in &[2usize, 3, 4, 5] {
-        let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), p.n, d, 0x24);
+        let tree = build_tree(
+            BenchDataset::Synthetic(Distribution::Independent),
+            p.n,
+            d,
+            0x24,
+        );
         let scoring = ScoringFunction::linear(d);
         let engine = GirEngine::new(&tree);
         let qs = query_workload(p.queries, d, 0x24_24);

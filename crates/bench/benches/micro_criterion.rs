@@ -49,16 +49,31 @@ fn bench_bulk_load(c: &mut Criterion) {
 }
 
 fn bench_brs(c: &mut Criterion) {
-    let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), 50_000, 4, 3);
+    let tree = build_tree(
+        BenchDataset::Synthetic(Distribution::Independent),
+        50_000,
+        4,
+        3,
+    );
     let f = ScoringFunction::linear(4);
     let w = PointD::new(vec![0.6, 0.5, 0.7, 0.4]);
     c.bench_function("brs_top20_50k_4d", |b| {
-        b.iter(|| gir_query::brs_topk(black_box(&tree), &f, &w, 20).unwrap().0.len())
+        b.iter(|| {
+            gir_query::brs_topk(black_box(&tree), &f, &w, 20)
+                .unwrap()
+                .0
+                .len()
+        })
     });
 }
 
 fn bench_phase2(c: &mut Criterion) {
-    let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), 50_000, 4, 4);
+    let tree = build_tree(
+        BenchDataset::Synthetic(Distribution::Independent),
+        50_000,
+        4,
+        4,
+    );
     let engine = GirEngine::new(&tree);
     let q = QueryVector::new(query_workload(1, 4, 5)[0].coords().to_vec());
     let mut g = c.benchmark_group("gir_phase2_50k_4d");
@@ -68,7 +83,13 @@ fn bench_phase2(c: &mut Criterion) {
         ("fp", Method::FacetPruning),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| engine.gir(black_box(&q), 20, method).unwrap().stats.candidates)
+            b.iter(|| {
+                engine
+                    .gir(black_box(&q), 20, method)
+                    .unwrap()
+                    .stats
+                    .candidates
+            })
         });
     }
     g.finish();

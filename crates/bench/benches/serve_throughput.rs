@@ -1,0 +1,137 @@
+//! Serving-subsystem throughput: thread-scaling of the batch executor
+//! with the sharded GIR cache under mixed query/update traffic.
+//!
+//! Not a paper figure — this tracks the ROADMAP's production-scale
+//! direction. Writes machine-readable results to `BENCH_serve.json`
+//! (one object per thread count) so the perf trajectory is recorded
+//! across PRs.
+//!
+//! Knobs: `GIR_N` (dataset size, default 20000), `GIR_SERVE_QUERIES`
+//! (total queries, default 12000), `GIR_SERVE_THREADS`
+//! (comma-separated thread counts, default "1,2,4,8").
+
+use gir_bench::report::Table;
+use gir_datagen::{synthetic, Distribution};
+use gir_query::ScoringFunction;
+use gir_rtree::RTree;
+use gir_serve::{mixed_workload, GirServer, ServeStats, ServerConfig, WorkloadConfig};
+use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+use std::io::Write;
+use std::sync::Arc;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let d = 3;
+    let n = env_usize("GIR_N", 20_000);
+    let total_queries = env_usize("GIR_SERVE_QUERIES", 12_000);
+    let mut thread_counts: Vec<usize> = std::env::var("GIR_SERVE_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    if thread_counts.is_empty() {
+        eprintln!("GIR_SERVE_THREADS parsed to nothing; using 1,2,4,8");
+        thread_counts = vec![1, 2, 4, 8];
+    }
+
+    // Several anchors and k sizes keep a meaningful miss stream while
+    // the steady-state working set (anchors × k-buckets) still fits in
+    // the cache, so the table measures the cache fast path, the
+    // compute path, and update sweeps together.
+    let batches = 24usize;
+    let wl = WorkloadConfig {
+        dim: d,
+        anchors: 24,
+        jitter: 0.02,
+        batches,
+        queries_per_batch: total_queries.div_ceil(batches),
+        updates_per_batch: 8,
+        insert_fraction: 0.7,
+        k_choices: vec![5, 10, 20],
+        seed: 0xBE7C,
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "serve throughput  (IND, n={n}, d={d}, k∈{{5,10,20}}, FP; {} queries + {} updates \
+         per run; {cores} core(s) available — speedup is bounded by cores)\n",
+        wl.queries_per_batch * batches,
+        wl.updates_per_batch * batches
+    );
+
+    let base_data = synthetic(Distribution::Independent, n, d, 0xBE7D);
+    let mut table = Table::new(&[
+        "threads",
+        "queries/s",
+        "hit rate",
+        "p50 µs",
+        "p99 µs",
+        "speedup",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut base_qps = 0.0f64;
+
+    for &threads in &thread_counts {
+        // Fresh tree + server per thread count: identical traffic, cold
+        // cache, no cross-contamination.
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(Arc::clone(&store), &base_data).expect("bulk load");
+        let server = GirServer::new(
+            tree,
+            ScoringFunction::linear(d),
+            ServerConfig {
+                threads,
+                shards: 16,
+                shard_capacity: 32,
+                ..ServerConfig::default()
+            },
+        );
+        let traffic = mixed_workload(&wl, &base_data);
+
+        let mut agg = ServeStats::default();
+        for batch in &traffic {
+            server.apply_updates(&batch.updates).expect("updates");
+            let out = server.run_batch(&batch.queries);
+            agg.merge(&out.stats);
+        }
+
+        if base_qps == 0.0 {
+            base_qps = agg.qps;
+        }
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.0}", agg.qps),
+            format!("{:.1}%", agg.hit_rate() * 100.0),
+            agg.p50_us.to_string(),
+            agg.p99_us.to_string(),
+            format!("{:.2}x", agg.qps / base_qps),
+        ]);
+        // Tag the per-run JSON with its thread count and dataset size.
+        let row = agg.to_json();
+        json_rows.push(format!(
+            "{{\"threads\":{threads},\"n\":{n},\"stats\":{row}}}"
+        ));
+    }
+
+    table.print("gir-serve batch executor");
+
+    let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
+    // Cargo runs benches with CWD = the package root; anchor the report
+    // at the workspace root so CI finds one canonical path.
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_serve.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_serve.json"),
+    };
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

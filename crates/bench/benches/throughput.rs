@@ -17,13 +17,20 @@ use std::time::Instant;
 fn main() {
     let p = Params::from_env();
     let d = 4;
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!(
         "Concurrent GIR throughput  (IND, n={}, d={d}, k={}, FP; {cores} core(s) available)",
         p.n, p.k
     );
 
-    let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), p.n, d, 0x7417);
+    let tree = build_tree(
+        BenchDataset::Synthetic(Distribution::Independent),
+        p.n,
+        d,
+        0x7417,
+    );
     let queries = query_workload(256, d, 0x7418);
 
     let mut t = Table::new(&["threads", "queries/s", "speedup"]);
@@ -32,9 +39,9 @@ fn main() {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let t0 = Instant::now();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let engine = GirEngine::new(&tree);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -48,8 +55,7 @@ fn main() {
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         let secs = t0.elapsed().as_secs_f64();
         let qps = done.load(Ordering::Relaxed) as f64 / secs;
         if threads == 1 {

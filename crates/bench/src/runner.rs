@@ -146,7 +146,9 @@ pub fn query_workload(count: usize, d: usize, seed: u64) -> Vec<PointD> {
 /// projects past any reasonable budget (the paper *ran* these cells for
 /// hours; we print `—` instead — see EXPERIMENTS.md).
 pub fn cp_feasible(skyline_size: f64, d: usize) -> bool {
-    let projected = skyline_size.max(2.0).powf((d as f64 / 2.0).floor().max(1.0));
+    let projected = skyline_size
+        .max(2.0)
+        .powf((d as f64 / 2.0).floor().max(1.0));
     projected < 5e10
 }
 
@@ -156,7 +158,12 @@ mod tests {
 
     #[test]
     fn run_cell_measures_something() {
-        let tree = build_tree(BenchDataset::Synthetic(Distribution::Independent), 3000, 3, 1);
+        let tree = build_tree(
+            BenchDataset::Synthetic(Distribution::Independent),
+            3000,
+            3,
+            1,
+        );
         let qs = query_workload(2, 3, 2);
         let cell = run_cell(
             &tree,
@@ -181,7 +188,10 @@ mod tests {
 
     #[test]
     fn dataset_labels() {
-        assert_eq!(BenchDataset::Synthetic(Distribution::Correlated).label(), "COR");
+        assert_eq!(
+            BenchDataset::Synthetic(Distribution::Correlated).label(),
+            "COR"
+        );
         assert_eq!(BenchDataset::House.label(), "HOUSE");
     }
 }

@@ -7,16 +7,26 @@
 //! also answers a top-`k` request by prefix — the paper notes that even
 //! partial reuse ("report the available highest-scoring records
 //! immediately") is desirable [31].
+//!
+//! A GIR is only meaningful relative to the scoring function it was
+//! computed under, so every entry records its [`ScoringFunction`] and a
+//! lookup matches only entries with the same function — two sessions
+//! scoring by different transforms never share results.
+//!
+//! This cache is single-threaded (`&mut self`); the concurrent serving
+//! layer wraps it per shard — see `gir_serve::ShardedGirCache`.
 
 use crate::region::GirRegion;
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 
-/// One cached result with its immutable region.
+/// One cached result with its immutable region and the scoring function
+/// it was computed under.
 #[derive(Debug, Clone)]
 struct CacheEntry {
     region: GirRegion,
     result: TopKResult,
+    scoring: ScoringFunction,
 }
 
 /// An LRU cache of `(GIR, top-k result)` pairs.
@@ -26,40 +36,50 @@ pub struct GirCache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl GirCache {
-    /// A cache holding at most `capacity` results.
+    /// A cache holding at most `capacity` results (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1);
         GirCache {
             entries: Vec::new(),
-            capacity,
+            capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
-    /// Looks up a top-`k` query with weights `w`. Hits when some cached
-    /// entry's GIR contains `w` and holds at least `k` records; the
-    /// result is then the (order-correct) prefix.
-    pub fn lookup(&mut self, w: &PointD, k: usize) -> Option<Vec<Record>> {
-        let pos = self
-            .entries
+    /// The hit predicate: an entry answers `(w, k, scoring)` when it
+    /// was computed under the *same scoring function*, holds at least
+    /// `k` records, and its GIR contains `w`.
+    fn matches(e: &CacheEntry, w: &PointD, k: usize, scoring: &ScoringFunction) -> bool {
+        e.scoring == *scoring && e.result.len() >= k && e.region.contains(w)
+    }
+
+    /// The (order-correct) top-`k` prefix of an entry's cached result.
+    fn prefix(e: &CacheEntry, k: usize) -> Vec<Record> {
+        e.result
+            .ranked
             .iter()
-            .position(|e| e.result.len() >= k && e.region.contains(w));
-        match pos {
-            Some(i) => {
+            .take(k)
+            .map(|(r, _)| r.clone())
+            .collect()
+    }
+
+    /// Looks up a top-`k` query with weights `w` under `scoring`,
+    /// counting the hit/miss and refreshing LRU order.
+    pub fn lookup(
+        &mut self,
+        w: &PointD,
+        k: usize,
+        scoring: &ScoringFunction,
+    ) -> Option<Vec<Record>> {
+        match self.peek(w, k, scoring) {
+            Some(out) => {
                 self.hits += 1;
-                let entry = self.entries.remove(i);
-                let out = entry
-                    .result
-                    .ranked
-                    .iter()
-                    .take(k)
-                    .map(|(r, _)| r.clone())
-                    .collect();
-                self.entries.insert(0, entry); // move to front
+                self.promote(w, k, scoring);
                 Some(out)
             }
             None => {
@@ -69,10 +89,46 @@ impl GirCache {
         }
     }
 
-    /// Inserts a computed result with its GIR (evicting the LRU entry).
-    pub fn insert(&mut self, region: GirRegion, result: TopKResult) {
-        self.entries.insert(0, CacheEntry { region, result });
-        self.entries.truncate(self.capacity);
+    /// Read-only lookup: like [`GirCache::lookup`] but touches neither
+    /// the counters nor the LRU order, so concurrent callers can probe
+    /// under a shared lock. The serving layer counts hits/misses itself
+    /// and promotes hot entries opportunistically via
+    /// [`GirCache::promote`].
+    pub fn peek(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
+        self.entries
+            .iter()
+            .find(|e| Self::matches(e, w, k, scoring))
+            .map(|e| Self::prefix(e, k))
+    }
+
+    /// Moves the entry that answers `(w, k, scoring)` to the LRU front
+    /// (no counter changes). A no-op when no entry matches.
+    pub fn promote(&mut self, w: &PointD, k: usize, scoring: &ScoringFunction) {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| Self::matches(e, w, k, scoring));
+        if let Some(i) = pos {
+            let entry = self.entries.remove(i);
+            self.entries.insert(0, entry);
+        }
+    }
+
+    /// Inserts a computed result with its GIR and scoring function
+    /// (evicting the LRU entry when full).
+    pub fn insert(&mut self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) {
+        self.entries.insert(
+            0,
+            CacheEntry {
+                region,
+                result,
+                scoring,
+            },
+        );
+        if self.entries.len() > self.capacity {
+            self.evictions += (self.entries.len() - self.capacity) as u64;
+            self.entries.truncate(self.capacity);
+        }
     }
 
     /// Number of cached entries.
@@ -85,9 +141,20 @@ impl GirCache {
         self.entries.is_empty()
     }
 
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// `(hits, misses)` counters.
     pub fn counters(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries dropped so far — LRU evictions plus update
+    /// invalidations.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Fraction of lookups served from cache.
@@ -101,17 +168,20 @@ impl GirCache {
     }
 
     /// Reacts to a dataset insertion: shrinks every cached region that
-    /// partially overlaps the newcomer's winning zone and evicts entries
-    /// whose result is stale at their own query. Returns the number of
-    /// evicted entries (see [`crate::maintenance`]).
-    pub fn on_insert(&mut self, rec: &Record, scoring: &ScoringFunction) -> usize {
+    /// partially overlaps the newcomer's winning zone (under that
+    /// entry's own scoring function) and evicts entries whose result is
+    /// stale at their own query. Returns the number of evicted entries
+    /// (see [`crate::maintenance`]).
+    pub fn on_insert(&mut self, rec: &Record) -> usize {
         use crate::maintenance::{apply_insertion, UpdateImpact};
         let before = self.entries.len();
         self.entries.retain_mut(|e| {
             let kth = e.result.kth().clone();
-            apply_insertion(&mut e.region, &kth, rec, scoring) != UpdateImpact::Invalidated
+            apply_insertion(&mut e.region, &kth, rec, &e.scoring) != UpdateImpact::Invalidated
         });
-        before - self.entries.len()
+        let dropped = before - self.entries.len();
+        self.evictions += dropped as u64;
+        dropped
     }
 
     /// Reacts to a dataset deletion: evicts entries whose result
@@ -119,10 +189,11 @@ impl GirCache {
     pub fn on_delete(&mut self, deleted_id: u64) -> usize {
         use crate::maintenance::{apply_deletion, UpdateImpact};
         let before = self.entries.len();
-        self.entries.retain(|e| {
-            apply_deletion(&e.result.ids(), deleted_id) != UpdateImpact::Invalidated
-        });
-        before - self.entries.len()
+        self.entries
+            .retain(|e| apply_deletion(&e.result.ids(), deleted_id) != UpdateImpact::Invalidated);
+        let dropped = before - self.entries.len();
+        self.evictions += dropped as u64;
+        dropped
     }
 }
 
@@ -158,43 +229,104 @@ mod tests {
         }
     }
 
+    fn linear() -> ScoringFunction {
+        ScoringFunction::linear(2)
+    }
+
     #[test]
     fn hit_inside_region_miss_outside() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.2, 0.4), result(&[1, 2, 3]));
-        let hit = cache.lookup(&PointD::new(vec![0.3, 0.9]), 3);
-        assert_eq!(hit.unwrap().iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
-        assert!(cache.lookup(&PointD::new(vec![0.7, 0.5]), 3).is_none());
+        cache.insert(region(0.2, 0.4), result(&[1, 2, 3]), linear());
+        let hit = cache.lookup(&PointD::new(vec![0.3, 0.9]), 3, &linear());
+        assert_eq!(
+            hit.unwrap().iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(cache
+            .lookup(&PointD::new(vec![0.7, 0.5]), 3, &linear())
+            .is_none());
         assert_eq!(cache.counters(), (1, 1));
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
+    fn different_scoring_function_never_shares_entries() {
+        // The fixed cache-key bug: a query under a different scoring
+        // function must not reuse a cached result, even when its weight
+        // vector lies inside the cached region.
+        let mut cache = GirCache::new(4);
+        cache.insert(region(0.0, 1.0), result(&[1, 2, 3]), linear());
+        let w = PointD::new(vec![0.5, 0.5]);
+        assert!(
+            cache
+                .lookup(
+                    &w,
+                    3,
+                    &ScoringFunction::new(vec![
+                        gir_query::Transform::Power(2),
+                        gir_query::Transform::Linear,
+                    ])
+                )
+                .is_none(),
+            "entry leaked across scoring functions"
+        );
+        assert!(cache.lookup(&w, 3, &linear()).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_not_panicking() {
+        let mut cache = GirCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(region(0.0, 1.0), result(&[1]), linear());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn prefix_serves_smaller_k() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.0, 1.0), result(&[5, 6, 7, 8]));
-        let hit = cache.lookup(&PointD::new(vec![0.5, 0.5]), 2).unwrap();
+        cache.insert(region(0.0, 1.0), result(&[5, 6, 7, 8]), linear());
+        let hit = cache
+            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &linear())
+            .unwrap();
         assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![5, 6]);
     }
 
     #[test]
     fn larger_k_than_cached_misses() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.0, 1.0), result(&[5, 6]));
-        assert!(cache.lookup(&PointD::new(vec![0.5, 0.5]), 3).is_none());
+        cache.insert(region(0.0, 1.0), result(&[5, 6]), linear());
+        assert!(cache
+            .lookup(&PointD::new(vec![0.5, 0.5]), 3, &linear())
+            .is_none());
     }
 
     #[test]
-    fn lru_eviction() {
+    fn lru_eviction_counts() {
         let mut cache = GirCache::new(2);
-        cache.insert(region(0.0, 0.1), result(&[1]));
-        cache.insert(region(0.2, 0.3), result(&[2]));
+        cache.insert(region(0.0, 0.1), result(&[1]), linear());
+        cache.insert(region(0.2, 0.3), result(&[2]), linear());
         // Touch the first entry so the second becomes LRU.
-        assert!(cache.lookup(&PointD::new(vec![0.05, 0.5]), 1).is_some());
-        cache.insert(region(0.4, 0.5), result(&[3]));
+        assert!(cache
+            .lookup(&PointD::new(vec![0.05, 0.5]), 1, &linear())
+            .is_some());
+        cache.insert(region(0.4, 0.5), result(&[3]), linear());
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         // Entry for [0.2,0.3] was evicted.
-        assert!(cache.lookup(&PointD::new(vec![0.25, 0.5]), 1).is_none());
-        assert!(cache.lookup(&PointD::new(vec![0.05, 0.5]), 1).is_some());
+        assert!(cache
+            .lookup(&PointD::new(vec![0.25, 0.5]), 1, &linear())
+            .is_none());
+        assert!(cache
+            .lookup(&PointD::new(vec![0.05, 0.5]), 1, &linear())
+            .is_some());
+    }
+
+    #[test]
+    fn on_delete_counts_as_eviction() {
+        let mut cache = GirCache::new(4);
+        cache.insert(region(0.0, 1.0), result(&[1, 2]), linear());
+        assert_eq!(cache.on_delete(2), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.is_empty());
     }
 }

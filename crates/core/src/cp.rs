@@ -186,17 +186,14 @@ mod tests {
         let ids: HashSet<u64> = res.ids().into_iter().collect();
         let (hs, _) = cp_phase2(&tree, &f, res.kth(), state, &ids).unwrap();
         // Every CP candidate must be undominated among non-result records.
-        let non_result: Vec<&Record> =
-            recs.iter().filter(|r| !ids.contains(&r.id)).collect();
+        let non_result: Vec<&Record> = recs.iter().filter(|r| !ids.contains(&r.id)).collect();
         for h in &hs {
             let Provenance::NonResult { record_id } = h.provenance else {
                 panic!("unexpected provenance")
             };
             let cand = recs.iter().find(|r| r.id == record_id).unwrap();
             assert!(
-                !non_result
-                    .iter()
-                    .any(|o| dominates(&o.attrs, &cand.attrs)),
+                !non_result.iter().any(|o| dominates(&o.attrs, &cand.attrs)),
                 "CP kept a dominated record"
             );
         }

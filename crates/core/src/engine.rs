@@ -391,7 +391,10 @@ mod tests {
                     .iter()
                     .map(|h| h.slack(&wp))
                     .fold(f64::INFINITY, f64::min);
-                assert!(margin.abs() < 1e-6, "methods disagree at {wp:?}: {answers:?}");
+                assert!(
+                    margin.abs() < 1e-6,
+                    "methods disagree at {wp:?}: {answers:?}"
+                );
             }
         }
     }

@@ -83,9 +83,9 @@ impl AngularBounds {
         // Both facet normals are in the positive quadrant, so the top
         // corner maximizes both dot products.
         let pk = &self.pk;
-        self.normals().iter().all(|n| {
-            n.dot(mbb.top_corner()) <= n.dot(pk) + EPS
-        })
+        self.normals()
+            .iter()
+            .all(|n| n.dot(mbb.top_corner()) <= n.dot(pk) + EPS)
     }
 }
 
@@ -199,7 +199,10 @@ mod tests {
         assert!(b.lo > 0.0);
         assert!(b.lo_rec.as_ref().unwrap().id == 1);
         let n = PointD::new(vec![b.lo.cos(), b.lo.sin()]);
-        assert!((n.dot(&pk) - n.dot(&p.attrs)).abs() < 1e-9, "normal not on boundary");
+        assert!(
+            (n.dot(&pk) - n.dot(&p.attrs)).abs() < 1e-9,
+            "normal not on boundary"
+        );
     }
 
     #[test]

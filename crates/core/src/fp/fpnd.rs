@@ -147,9 +147,7 @@ pub fn fp_phase2_nd_with(
         };
         if opts.prune_nodes {
             if let Some(m) = &mbb {
-                if star.prunes_mbb(m)
-                    || pruner.as_ref().is_some_and(|p| p.prunes_mbb(m))
-                {
+                if star.prunes_mbb(m) || pruner.as_ref().is_some_and(|p| p.prunes_mbb(m)) {
                     nodes_pruned += 1;
                     continue;
                 }
@@ -298,15 +296,8 @@ mod tests {
         .unwrap();
         let pages_off = store.stats().reads_since(&s0);
         let s1 = store.stats();
-        let (hs_on, _) = fp_phase2_nd_with(
-            &tree,
-            &f,
-            res.kth(),
-            state,
-            FpOptions::default(),
-            &interim,
-        )
-        .unwrap();
+        let (hs_on, _) =
+            fp_phase2_nd_with(&tree, &f, res.kth(), state, FpOptions::default(), &interim).unwrap();
         let pages_on = store.stats().reads_since(&s1);
         assert!(pages_on <= pages_off, "tightening increased I/O");
 

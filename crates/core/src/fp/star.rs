@@ -171,11 +171,7 @@ impl StarHull {
             .facets
             .iter()
             .enumerate()
-            .filter_map(|(id, f)| {
-                f.as_ref()
-                    .filter(|f| f.plane.eval(p) > EPS)
-                    .map(|_| id)
-            })
+            .filter_map(|(id, f)| f.as_ref().filter(|f| f.plane.eval(p) > EPS).map(|_| id))
             .collect();
         if visible.is_empty() {
             return false;
@@ -196,7 +192,11 @@ impl StarHull {
             for ridge in f.apex_ridges() {
                 let sharing = self.ridge_map.get(&ridge).expect("fan ridge registered");
                 debug_assert_eq!(sharing.len(), 2, "star fan ridge must have 2 facets");
-                let other = if sharing[0] == fid { sharing[1] } else { sharing[0] };
+                let other = if sharing[0] == fid {
+                    sharing[1]
+                } else {
+                    sharing[0]
+                };
                 if !visible.contains(&other) {
                     horizon.push(ridge);
                 }

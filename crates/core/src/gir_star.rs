@@ -319,7 +319,11 @@ mod tests {
             let w = PointD::new(vec![0.55; d]);
             let (res, state) = brs_topk(&tree, &f, &w, 6).unwrap();
             let ids: HashSet<u64> = res.ids().into_iter().collect();
-            for method in [StarMethod::Skyline, StarMethod::ConvexHull, StarMethod::Facet] {
+            for method in [
+                StarMethod::Skyline,
+                StarMethod::ConvexHull,
+                StarMethod::Facet,
+            ] {
                 let (region, stats) =
                     gir_star_region(&tree, &f, &w, &res, state.clone(), method).unwrap();
                 assert!(stats.reduced_result >= 1);

@@ -43,7 +43,7 @@ pub mod svg;
 pub mod viz;
 
 pub use cache::GirCache;
-pub use maintenance::UpdateImpact;
 pub use engine::{GirEngine, GirError, GirOutput, GirStats, Method};
+pub use maintenance::UpdateImpact;
 pub use region::{BoundaryEvent, GirRegion, ReducedGir};
 pub use viz::{slide_bar_bounds, SlideBarBounds};

@@ -117,11 +117,14 @@ mod tests {
             let q = PointD::from(vec![0.55; d]);
             let engine = GirEngine::new(&tree);
             let out = engine
-                .gir(&QueryVector::new(q.coords().to_vec()), 8, Method::FacetPruning)
+                .gir(
+                    &QueryVector::new(q.coords().to_vec()),
+                    8,
+                    Method::FacetPruning,
+                )
                 .unwrap();
             let from_gir = out.region.axis_intervals();
-            let (from_requery, queries) =
-                lirs_by_requery(&tree, &scoring, &q, 8).unwrap();
+            let (from_requery, queries) = lirs_by_requery(&tree, &scoring, &q, 8).unwrap();
             assert!(queries >= 2 * d, "bisection did not probe");
             for i in 0..d {
                 assert!(

@@ -53,11 +53,7 @@ mod tests {
         // `normal·x ≤ 0` form the normals are the negations.
         let hs = ordering_halfspaces(&figure3_result(), &ScoringFunction::linear(2));
         assert_eq!(hs.len(), 3);
-        let expect = [
-            vec![-0.04, -0.02],
-            vec![0.02, -0.13],
-            vec![-0.12, 0.05],
-        ];
+        let expect = [vec![-0.04, -0.02], vec![0.02, -0.13], vec![-0.12, 0.05]];
         for (h, e) in hs.iter().zip(expect.iter()) {
             for (a, b) in h.normal.coords().iter().zip(e.iter()) {
                 assert!((a - b).abs() < 1e-12, "normal {:?} vs {:?}", h.normal, e);

@@ -223,10 +223,10 @@ mod tests {
             provenance: Provenance::NonResult { record_id: 99 },
         });
         let red = r.reduce().unwrap();
-        assert!(!red.facets.iter().any(|h| matches!(
-            h.provenance,
-            Provenance::NonResult { record_id: 99 }
-        )));
+        assert!(!red
+            .facets
+            .iter()
+            .any(|h| matches!(h.provenance, Provenance::NonResult { record_id: 99 })));
     }
 
     #[test]

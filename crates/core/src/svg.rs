@@ -185,8 +185,14 @@ mod tests {
 
     #[test]
     fn polygon_coordinates_stay_on_canvas() {
-        let svg = render_svg_2d(&wedge(), &SvgOptions { size: 100, ..SvgOptions::default() })
-            .unwrap();
+        let svg = render_svg_2d(
+            &wedge(),
+            &SvgOptions {
+                size: 100,
+                ..SvgOptions::default()
+            },
+        )
+        .unwrap();
         // Crude but effective: no negative coordinates and nothing beyond
         // the 100-px canvas in the polygon points.
         let points = svg

@@ -56,7 +56,8 @@ pub fn hotel_like(n: usize, seed: u64) -> Vec<Record> {
         // Star ratings skew toward 3: binomial-ish mixture.
         let stars = 1 + (0..4).filter(|_| rng.random_range(0.0..1.0) < 0.55).count() as u32;
         let s01 = stars as f64 / 5.0;
-        let price = clamp01(0.65 * s01 + 0.25 * rng.random_range(0.0..1.0) + 0.08 * normal(&mut rng));
+        let price =
+            clamp01(0.65 * s01 + 0.25 * rng.random_range(0.0..1.0) + 0.08 * normal(&mut rng));
         let rooms = {
             let y = (0.9 * normal(&mut rng)).exp();
             clamp01(y / (1.0 + y))

@@ -55,7 +55,9 @@ pub fn synthetic(dist: Distribution, n: usize, d: usize, seed: u64) -> Vec<Recor
                 // Per-record quality level, peaked at 0.5; attributes
                 // scatter tightly around it.
                 let v = clamp01(0.5 + 0.15 * normal(&mut rng));
-                (0..d).map(|_| clamp01(v + 0.05 * normal(&mut rng))).collect()
+                (0..d)
+                    .map(|_| clamp01(v + 0.05 * normal(&mut rng)))
+                    .collect()
             }
             Distribution::Anticorrelated => {
                 // Points near the plane Σ x_i = d·v with v peaked at 0.5:

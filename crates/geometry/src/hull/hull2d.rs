@@ -11,14 +11,18 @@ use crate::EPS;
 /// Degenerate inputs (all collinear) return the two extreme points, or one
 /// index when all points coincide.
 pub fn hull_2d_indices(points: &[PointD]) -> Vec<usize> {
-    assert!(points.iter().all(|p| p.dim() == 2), "hull_2d needs 2-d points");
+    assert!(
+        points.iter().all(|p| p.dim() == 2),
+        "hull_2d needs 2-d points"
+    );
     if points.is_empty() {
         return Vec::new();
     }
     let mut idx: Vec<usize> = (0..points.len()).collect();
     idx.sort_by(|&a, &b| {
         let (pa, pb) = (&points[a], &points[b]);
-        pa[0].partial_cmp(&pb[0])
+        pa[0]
+            .partial_cmp(&pb[0])
             .expect("non-NaN")
             .then(pa[1].partial_cmp(&pb[1]).expect("non-NaN"))
     });
@@ -50,7 +54,10 @@ pub fn hull_2d_indices(points: &[PointD]) -> Vec<usize> {
     upper.pop();
     if lower.len() + upper.len() < 3 {
         // All points collinear: report the two extremes.
-        return vec![*idx.first().expect("non-empty"), *idx.last().expect("non-empty")];
+        return vec![
+            *idx.first().expect("non-empty"),
+            *idx.last().expect("non-empty"),
+        ];
     }
     lower.extend(upper);
     lower
@@ -66,7 +73,13 @@ mod tests {
 
     #[test]
     fn square_with_interior() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.5, 0.5)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5),
+        ];
         let mut h = hull_2d_indices(&pts);
         h.sort_unstable();
         assert_eq!(h, vec![0, 1, 2, 3]);

@@ -48,9 +48,7 @@ impl ConvexHull {
         // Insert the remaining points in a deterministic pseudo-random
         // order: randomized insertion keeps the expected facet count low
         // (Clarkson [14]), determinism keeps tests reproducible.
-        let mut order: Vec<usize> = (0..points.len())
-            .filter(|i| !simplex.contains(i))
-            .collect();
+        let mut order: Vec<usize> = (0..points.len()).filter(|i| !simplex.contains(i)).collect();
         shuffle_deterministic(&mut order);
         for idx in order {
             hull.insert_point(idx)?;
@@ -85,7 +83,10 @@ impl ConvexHull {
 
     /// Sorted, deduplicated indices of points that are hull vertices.
     pub fn vertex_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.facets().flat_map(|f| f.vertices.iter().copied()).collect();
+        let mut v: Vec<usize> = self
+            .facets()
+            .flat_map(|f| f.vertices.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -150,7 +151,10 @@ impl ConvexHull {
         for t in 0..=d {
             let verts = self.facets[ids[t]].as_ref().expect("live").vertices.clone();
             for (slot, &v) in verts.iter().enumerate() {
-                let j = simplex.iter().position(|&s| s == v).expect("simplex vertex");
+                let j = simplex
+                    .iter()
+                    .position(|&s| s == v)
+                    .expect("simplex vertex");
                 let f = self.facets[ids[t]].as_mut().expect("live");
                 f.neighbors[slot] = ids[j];
             }
@@ -178,11 +182,7 @@ impl ConvexHull {
             .facets
             .iter()
             .enumerate()
-            .filter_map(|(id, f)| {
-                f.as_ref()
-                    .filter(|f| f.plane.eval(&p) > EPS)
-                    .map(|_| id)
-            })
+            .filter_map(|(id, f)| f.as_ref().filter(|f| f.plane.eval(&p) > EPS).map(|_| id))
             .collect();
         if visible.is_empty() {
             return Ok(());
@@ -387,7 +387,10 @@ mod tests {
     #[test]
     fn too_few_points() {
         let pts = vec![p(&[0.0, 0.0, 0.0]), p(&[1.0, 0.0, 0.0])];
-        assert_eq!(ConvexHull::build(&pts).unwrap_err(), HullError::TooFewPoints);
+        assert_eq!(
+            ConvexHull::build(&pts).unwrap_err(),
+            HullError::TooFewPoints
+        );
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         for row in 0..n {
             if row != col && m[row][col] != 0.0 {
                 let f = m[row][col] * inv;
+                // Indexing two rows of `m` at once: an iterator over one
+                // row would alias the other borrow.
+                #[allow(clippy::needless_range_loop)]
                 for k in col..=n {
                     let v = m[col][k];
                     m[row][k] -= f * v;
@@ -82,6 +85,9 @@ pub fn null_space_1(rows: &[Vec<f64>]) -> Option<Vec<f64>> {
         for other in 0..r {
             if other != row && m[other][col] != 0.0 {
                 let f = m[other][col] * inv;
+                // Indexing two rows of `m` at once: an iterator over one
+                // row would alias the other borrow.
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..n {
                     let v = m[row][k];
                     m[other][k] -= f * v;
@@ -134,6 +140,9 @@ pub fn determinant(a: &[Vec<f64>]) -> f64 {
         for row in col + 1..n {
             let f = m[row][col] * inv;
             if f != 0.0 {
+                // Indexing two rows of `m` at once: an iterator over one
+                // row would alias the other borrow.
+                #[allow(clippy::needless_range_loop)]
                 for k in col..n {
                     let v = m[col][k];
                     m[row][k] -= f * v;
@@ -171,8 +180,7 @@ mod tests {
         // Normal must be parallel to (1,1,1)/sqrt(3).
         let s = 1.0 / 3f64.sqrt();
         let same = (n[0] - s).abs() < 1e-9 && (n[1] - s).abs() < 1e-9 && (n[2] - s).abs() < 1e-9;
-        let flipped =
-            (n[0] + s).abs() < 1e-9 && (n[1] + s).abs() < 1e-9 && (n[2] + s).abs() < 1e-9;
+        let flipped = (n[0] + s).abs() < 1e-9 && (n[1] + s).abs() < 1e-9 && (n[2] + s).abs() < 1e-9;
         assert!(same || flipped, "got {n:?}");
     }
 

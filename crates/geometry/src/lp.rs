@@ -199,7 +199,14 @@ fn solve_rec(
             }
             o
         };
-        let y = solve_rec(&sub_obj, sub, lo, hi, d - 1, seed.wrapping_add(i as u64 + 1))?;
+        let y = solve_rec(
+            &sub_obj,
+            sub,
+            lo,
+            hi,
+            d - 1,
+            seed.wrapping_add(i as u64 + 1),
+        )?;
         // Lift back.
         let mut xi = Vec::with_capacity(d);
         let mut yi = y.iter();
@@ -210,10 +217,11 @@ fn solve_rec(
                 xi.push(*yi.next().expect("d-1 coords"));
             }
         }
-        let xj = (b - (0..d)
-            .filter(|&l| l != j)
-            .map(|l| a[l] * xi[l])
-            .sum::<f64>())
+        let xj = (b
+            - (0..d)
+                .filter(|&l| l != j)
+                .map(|l| a[l] * xi[l])
+                .sum::<f64>())
             * aj_inv;
         xi[j] = xj;
         x = xi;
@@ -363,7 +371,11 @@ mod tests {
         // Random-ish 2-d LPs cross-checked against brute-force vertex
         // enumeration over constraint pairs + box corners.
         let cons_sets: Vec<Vec<(PointD, f64)>> = vec![
-            vec![hs(&[1.0, 3.0], 1.2), hs(&[-1.0, 1.0], 0.4), hs(&[2.0, -1.0], 1.1)],
+            vec![
+                hs(&[1.0, 3.0], 1.2),
+                hs(&[-1.0, 1.0], 0.4),
+                hs(&[2.0, -1.0], 1.1),
+            ],
             vec![hs(&[1.0, -1.0], 0.0), hs(&[-3.0, 1.0], 0.0)],
         ];
         for cons in &cons_sets {

@@ -89,9 +89,17 @@ pub fn max_axis_rect(halfspaces: &[HalfSpace], q: &PointD) -> AxisRect {
         let mut moved = false;
         for step in 0..2 * d {
             // Alternate sweep direction across passes to reduce order bias.
-            let idx = if pass % 2 == 0 { step } else { 2 * d - 1 - step };
+            let idx = if pass.is_multiple_of(2) {
+                step
+            } else {
+                2 * d - 1 - step
+            };
             let (i, upward) = (idx / 2, idx % 2 == 0);
-            let mut bound = if upward { f64::INFINITY } else { f64::NEG_INFINITY };
+            let mut bound = if upward {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
             for h in halfspaces {
                 let ni = h.normal[i];
                 if (upward && ni <= EPS) || (!upward && ni >= -EPS) {

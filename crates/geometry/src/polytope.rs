@@ -94,7 +94,12 @@ mod tests {
 
     #[test]
     fn degenerate_flat_is_error() {
-        let vs = [p(&[0.0, 0.0, 0.0]), p(&[1.0, 0.0, 0.0]), p(&[0.0, 1.0, 0.0]), p(&[1.0, 1.0, 0.0])];
+        let vs = [
+            p(&[0.0, 0.0, 0.0]),
+            p(&[1.0, 0.0, 0.0]),
+            p(&[0.0, 1.0, 0.0]),
+            p(&[1.0, 1.0, 0.0]),
+        ];
         assert!(Polytope::from_vertices(&vs).is_err());
     }
 

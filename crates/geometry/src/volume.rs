@@ -70,7 +70,7 @@ pub fn region_volume(
     if halfspaces.len() <= opts.exact_max_halfspaces {
         match intersect_halfspaces(halfspaces, interior_hint) {
             Ok(ix) => {
-                if ix.vertices.len() >= d + 1 {
+                if ix.vertices.len() > d {
                     if let Ok(poly) = Polytope::from_vertices(&ix.vertices) {
                         return VolumeEstimate {
                             volume: poly.volume(),
@@ -97,7 +97,11 @@ pub fn region_volume(
 }
 
 /// Monte-Carlo volume over the LP-tightened axis bounding box.
-pub fn monte_carlo_volume(halfspaces: &[HalfSpace], d: usize, opts: &VolumeOptions) -> VolumeEstimate {
+pub fn monte_carlo_volume(
+    halfspaces: &[HalfSpace],
+    d: usize,
+    opts: &VolumeOptions,
+) -> VolumeEstimate {
     let cons: Vec<(PointD, f64)> = halfspaces
         .iter()
         .map(|h| (h.normal.clone(), h.offset))

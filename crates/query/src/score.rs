@@ -12,7 +12,7 @@ use gir_rtree::Mbb;
 use serde::{Deserialize, Serialize};
 
 /// Per-dimension monotone increasing transform `g_i`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Transform {
     /// `g(x) = x`.
     Linear,
@@ -42,7 +42,7 @@ impl Transform {
 }
 
 /// A monotone scoring function `S(p, q) = Σ w_i · g_i(p_i)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ScoringFunction {
     transforms: Vec<Transform>,
 }
@@ -94,7 +94,9 @@ impl ScoringFunction {
     /// True when every transform is the identity: CP and FP rely on convex
     /// hull properties that only hold for linear scoring (§7.2).
     pub fn is_linear(&self) -> bool {
-        self.transforms.iter().all(|t| matches!(t, Transform::Linear))
+        self.transforms
+            .iter()
+            .all(|t| matches!(t, Transform::Linear))
     }
 
     /// The transformed attribute vector `g(p) = (g_1(p_1), …, g_d(p_d))`.
@@ -121,6 +123,18 @@ impl ScoringFunction {
             .zip(self.transforms.iter())
             .map(|((&w, &x), t)| w * t.apply(x))
             .sum()
+    }
+
+    /// A 64-bit hash of the function (its per-dimension transforms)
+    /// for in-process routing — serving-layer caches pick a shard by
+    /// it. Not stable across Rust releases (std `DefaultHasher`); do
+    /// not persist or exchange it. Entry matching always compares the
+    /// full function, never this value.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.transforms.hash(&mut h);
+        h.finish()
     }
 
     /// The BRS *maxscore* bound of an MBB: since every `g_i` is increasing

@@ -50,8 +50,7 @@ pub fn bbs_skyline(
                                 // Keep popping in a monotone order: the
                                 // top-corner coordinate sum is a monotone
                                 // preference, which is all BBS needs.
-                                let maxscore =
-                                    child_mbb.top_corner().coords().iter().sum();
+                                let maxscore = child_mbb.top_corner().coords().iter().sum();
                                 state.heap.push(HeapEntry::Node {
                                     page: child,
                                     maxscore,
@@ -62,9 +61,7 @@ pub fn bbs_skyline(
                     }
                     NodeEntries::Leaf(records) => {
                         for record in records {
-                            if result_ids.contains(&record.id)
-                                || sky.dominated(&record.attrs)
-                            {
+                            if result_ids.contains(&record.id) || sky.dominated(&record.attrs) {
                                 continue;
                             }
                             let attrs = record.attrs.clone();
@@ -170,8 +167,10 @@ mod tests {
         let (res, state) = brs_topk(&tree, &f, &w, 10).unwrap();
         let result_ids: HashSet<u64> = res.ids().into_iter().collect();
         let sky = bbs_skyline(&tree, state, &result_ids).unwrap();
-        let non_result: Vec<&Record> =
-            recs.iter().filter(|r| !result_ids.contains(&r.id)).collect();
+        let non_result: Vec<&Record> = recs
+            .iter()
+            .filter(|r| !result_ids.contains(&r.id))
+            .collect();
         for probe in [
             vec![0.9, 0.1, 0.1],
             vec![0.1, 0.9, 0.2],

@@ -13,8 +13,8 @@
 use crate::mbb::Mbb;
 use crate::record::Record;
 use bytes::{Buf, BufMut, Bytes};
-use gir_storage::{PageBuf, PageId, PAGE_SIZE};
 use gir_geometry::vector::PointD;
+use gir_storage::{PageBuf, PageId, PAGE_SIZE};
 
 const HEADER: usize = 8;
 const TAG_LEAF: u8 = 0;
@@ -110,7 +110,10 @@ impl Node {
         let mut buf = Vec::with_capacity(PAGE_SIZE);
         match &self.entries {
             NodeEntries::Leaf(records) => {
-                assert!(records.len() <= Self::leaf_capacity(self.dim), "leaf overflow");
+                assert!(
+                    records.len() <= Self::leaf_capacity(self.dim),
+                    "leaf overflow"
+                );
                 buf.put_u8(TAG_LEAF);
                 buf.put_u8(self.dim as u8);
                 buf.put_u16(records.len() as u16);

@@ -78,7 +78,10 @@ pub struct RTree {
 impl RTree {
     /// Creates an empty tree of dimensionality `dim`.
     pub fn new(store: Arc<dyn PageStore>, dim: usize) -> Result<RTree, RTreeError> {
-        assert!((1..=16).contains(&dim), "supported dimensionality is 1..=16");
+        assert!(
+            (1..=16).contains(&dim),
+            "supported dimensionality is 1..=16"
+        );
         let root = store.allocate();
         store.write_page(root, Node::leaf(dim).encode())?;
         Ok(RTree {
@@ -238,10 +241,7 @@ impl RTree {
         let is_root = page == self.root;
         match &mut node.entries {
             NodeEntries::Leaf(recs) => {
-                let Some(pos) = recs
-                    .iter()
-                    .position(|r| r.id == id && r.attrs == *attrs)
-                else {
+                let Some(pos) = recs.iter().position(|r| r.id == id && r.attrs == *attrs) else {
                     return Ok((false, None));
                 };
                 recs.remove(pos);
@@ -400,7 +400,9 @@ impl RTree {
         let leaf_cap = Node::leaf_capacity(dim);
         let mut recs: Vec<&Record> = records.iter().collect();
         let mut chunks: Vec<Vec<&Record>> = Vec::new();
-        str_tile(&mut recs, dim, 0, leaf_cap, &mut chunks, |r, ax| r.attrs[ax]);
+        str_tile(&mut recs, dim, 0, leaf_cap, &mut chunks, |r, ax| {
+            r.attrs[ax]
+        });
 
         let mut level: Vec<(Mbb, PageId)> = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
@@ -534,7 +536,10 @@ fn remove_for_reinsert(node: &mut Node) -> Vec<Entry> {
                 let db = b.attrs.dist_sq(&center);
                 da.partial_cmp(&db).expect("non-NaN")
             });
-            v.split_off(v.len() - p).into_iter().map(Entry::Record).collect()
+            v.split_off(v.len() - p)
+                .into_iter()
+                .map(Entry::Record)
+                .collect()
         }
         NodeEntries::Internal(v) => {
             v.sort_by(|a, b| {
@@ -861,7 +866,11 @@ mod tests {
         let mut tree = RTree::bulk_load(store(), &recs).unwrap();
         // Delete every third record.
         for r in recs.iter().step_by(3) {
-            assert!(tree.delete(r.id, &r.attrs).unwrap(), "record {} missing", r.id);
+            assert!(
+                tree.delete(r.id, &r.attrs).unwrap(),
+                "record {} missing",
+                r.id
+            );
         }
         let expect: Vec<Record> = recs
             .iter()

@@ -1,0 +1,433 @@
+//! The serving engine: batch executor + update pipeline.
+
+use crate::sharded::{CacheStats, ShardedGirCache};
+use crate::stats::ServeStats;
+use gir_core::{GirEngine, GirError, Method};
+use gir_geometry::vector::PointD;
+use gir_query::{QueryVector, Record, ScoringFunction};
+use gir_rtree::{RTree, RTreeError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{PoisonError, RwLock};
+use std::time::Instant;
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads per batch (clamped to ≥ 1).
+    pub threads: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub shards: usize,
+    /// LRU capacity per shard.
+    pub shard_capacity: usize,
+    /// Phase-2 method for misses. Non-linear scoring functions fall
+    /// back to [`Method::SkylinePruning`] automatically (§7.2).
+    pub method: Method,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(4)
+                .min(8),
+            shards: 16,
+            shard_capacity: 32,
+            method: Method::FacetPruning,
+        }
+    }
+}
+
+/// One top-k request: a weight vector and result size.
+#[derive(Debug, Clone)]
+pub struct TopKRequest {
+    /// Query weights; clamped into `[0,1]` on construction.
+    pub weights: PointD,
+    /// Result size.
+    pub k: usize,
+}
+
+impl TopKRequest {
+    /// Builds a request, clamping weights into the query box (a serving
+    /// layer must not panic on slightly out-of-range client input).
+    pub fn new(weights: impl Into<PointD>, k: usize) -> Self {
+        let mut weights = weights.into();
+        for w in weights.coords_mut() {
+            *w = w.clamp(0.0, 1.0);
+        }
+        TopKRequest {
+            weights,
+            k: k.max(1),
+        }
+    }
+}
+
+/// One served response.
+#[derive(Debug, Clone)]
+pub struct TopKResponse {
+    /// Ranked record ids, best first. Shorter than `k` when the
+    /// dataset holds fewer than `k` records; empty when it is empty.
+    pub ids: Vec<u64>,
+    /// True when answered from the GIR cache without touching the
+    /// index.
+    pub from_cache: bool,
+    /// Per-request wall clock, microseconds.
+    pub latency_us: u64,
+}
+
+/// A batch's responses (in request order) plus its statistics.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One response per request, same order.
+    pub responses: Vec<TopKResponse>,
+    /// Batch-level measurements.
+    pub stats: ServeStats,
+}
+
+/// A dataset mutation.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// Insert a record.
+    Insert(Record),
+    /// Delete a record by id and location.
+    Delete {
+        /// Record id.
+        id: u64,
+        /// The record's attribute point (R\*-tree deletes by location).
+        attrs: PointD,
+    },
+}
+
+/// Outcome of an update batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Records inserted into the tree.
+    pub inserted: usize,
+    /// Records deleted from the tree.
+    pub deleted: usize,
+    /// Deletes whose id/location was not found (no-ops).
+    pub missed_deletes: usize,
+    /// Cache entries dropped by the maintenance sweep.
+    pub evicted: usize,
+}
+
+/// A concurrent GIR serving engine over one dataset.
+///
+/// Queries run under a shared read lock on the R\*-tree; updates take
+/// the write lock and sweep the cache before releasing it. See the
+/// crate docs for the freshness argument.
+pub struct GirServer {
+    tree: RwLock<RTree>,
+    cache: ShardedGirCache,
+    scoring: ScoringFunction,
+    cfg: ServerConfig,
+}
+
+impl GirServer {
+    /// Builds a server around an existing tree.
+    pub fn new(tree: RTree, scoring: ScoringFunction, cfg: ServerConfig) -> Self {
+        assert_eq!(scoring.dim(), tree.dim(), "scoring dimensionality mismatch");
+        let cache = ShardedGirCache::new(cfg.shards, cfg.shard_capacity);
+        GirServer {
+            tree: RwLock::new(tree),
+            cache,
+            scoring,
+            cfg,
+        }
+    }
+
+    /// The scoring function requests are evaluated under.
+    pub fn scoring(&self) -> &ScoringFunction {
+        &self.scoring
+    }
+
+    /// The effective Phase-2 method (configured method, or SP when the
+    /// scoring function is non-linear — §7.2).
+    pub fn method(&self) -> Method {
+        if self.cfg.method.supports(&self.scoring) {
+            self.cfg.method
+        } else {
+            Method::SkylinePruning
+        }
+    }
+
+    /// Aggregated cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// A snapshot of every live record (for verification / debugging;
+    /// takes the read lock).
+    pub fn records_snapshot(&self) -> Result<Vec<Record>, RTreeError> {
+        self.read_tree().scan_all()
+    }
+
+    /// Number of live records.
+    pub fn num_records(&self) -> u64 {
+        self.read_tree().len()
+    }
+
+    fn read_tree(&self) -> std::sync::RwLockReadGuard<'_, RTree> {
+        self.tree.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Executes a batch of requests across the worker pool: cache-probe
+    /// first, compute-and-admit on miss. Responses preserve request
+    /// order.
+    pub fn run_batch(&self, requests: &[TopKRequest]) -> BatchResult {
+        let batch_start = Instant::now();
+        let n = requests.len();
+        let method = self.method();
+        let threads = self.cfg.threads.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        // Hold the read lock for the whole batch: updates apply between
+        // batches, never inside one.
+        let tree = self.read_tree();
+        let tree_ref: &RTree = &tree;
+
+        let mut merged: Vec<Vec<(usize, TopKResponse)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let engine = GirEngine::with_scoring(tree_ref, self.scoring.clone());
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, self.serve_one(&engine, &requests[i], method)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        });
+        drop(tree);
+
+        let mut responses: Vec<Option<TopKResponse>> = vec![None; n];
+        for (i, resp) in merged.drain(..).flatten() {
+            responses[i] = Some(resp);
+        }
+        let responses: Vec<TopKResponse> = responses
+            .into_iter()
+            .map(|r| r.expect("request not served"))
+            .collect();
+
+        let hits = responses.iter().filter(|r| r.from_cache).count();
+        let latencies: Vec<u64> = responses.iter().map(|r| r.latency_us).collect();
+        let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+        let stats = ServeStats::from_latencies(latencies, hits, threads, method.label(), wall_ms);
+        BatchResult { responses, stats }
+    }
+
+    fn serve_one(&self, engine: &GirEngine<'_>, req: &TopKRequest, method: Method) -> TopKResponse {
+        let t0 = Instant::now();
+        if let Some(records) = self.cache.lookup(&req.weights, req.k, &self.scoring) {
+            return TopKResponse {
+                ids: records.iter().map(|r| r.id).collect(),
+                from_cache: true,
+                latency_us: t0.elapsed().as_micros() as u64,
+            };
+        }
+        let q = QueryVector::new(req.weights.coords().to_vec());
+        match engine.gir(&q, req.k, method) {
+            Ok(out) => {
+                let ids = out.result.ids();
+                self.cache
+                    .insert(out.region, out.result, self.scoring.clone());
+                TopKResponse {
+                    ids,
+                    from_cache: false,
+                    latency_us: t0.elapsed().as_micros() as u64,
+                }
+            }
+            // An empty dataset has no top-k: serve an empty result
+            // rather than poisoning the batch.
+            Err(GirError::EmptyResult) => TopKResponse {
+                ids: Vec::new(),
+                from_cache: false,
+                latency_us: t0.elapsed().as_micros() as u64,
+            },
+            Err(e) => panic!("GIR computation failed in serve path: {e}"),
+        }
+    }
+
+    /// Applies a batch of updates under the tree's write lock, sweeping
+    /// the cache through `gir_core::maintenance` for each one before
+    /// the lock is released — queries never observe a tree the cache
+    /// has not been reconciled with.
+    pub fn apply_updates(&self, updates: &[Update]) -> Result<UpdateReport, RTreeError> {
+        let mut tree = self.tree.write().unwrap_or_else(PoisonError::into_inner);
+        let mut report = UpdateReport::default();
+        for u in updates {
+            match u {
+                Update::Insert(rec) => {
+                    tree.insert(rec.clone())?;
+                    report.inserted += 1;
+                    report.evicted += self.cache.on_insert(rec);
+                }
+                Update::Delete { id, attrs } => {
+                    if tree.delete(*id, attrs)? {
+                        report.deleted += 1;
+                        report.evicted += self.cache.on_delete(*id);
+                    } else {
+                        report.missed_deletes += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_datagen::{synthetic, Distribution};
+    use gir_query::naive_topk;
+    use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn server(n: usize, d: usize, seed: u64, cfg: ServerConfig) -> (Vec<Record>, GirServer) {
+        let data = synthetic(Distribution::Independent, n, d, seed);
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(store, &data).unwrap();
+        (
+            data.clone(),
+            GirServer::new(tree, ScoringFunction::linear(d), cfg),
+        )
+    }
+
+    fn jittered_requests(count: usize, k: usize) -> Vec<TopKRequest> {
+        (0..count)
+            .map(|i| {
+                let j = 0.0005 * (i % 11) as f64;
+                TopKRequest::new(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], k)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_naive_and_hits_cache() {
+        let cfg = ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        };
+        let (data, server) = server(1500, 3, 0x5E21, cfg);
+        let reqs = jittered_requests(120, 8);
+        let batch = server.run_batch(&reqs);
+        assert_eq!(batch.responses.len(), reqs.len());
+        assert!(
+            batch.stats.hits > 0,
+            "jittered repeats should hit cached GIRs"
+        );
+        assert_eq!(batch.stats.hits + batch.stats.misses, reqs.len());
+        for (req, resp) in reqs.iter().zip(&batch.responses) {
+            let truth = naive_topk(&data, server.scoring(), &req.weights, req.k);
+            assert_eq!(resp.ids, truth.ids(), "wrong answer at {:?}", req.weights);
+        }
+    }
+
+    #[test]
+    fn requests_are_clamped_not_panicking() {
+        let (_, server) = server(300, 2, 0x5E22, ServerConfig::default());
+        let reqs = vec![TopKRequest::new(vec![1.7, -0.3], 0)];
+        let batch = server.run_batch(&reqs);
+        assert_eq!(batch.responses[0].ids.len(), 1); // k clamped to 1
+    }
+
+    #[test]
+    fn updates_sweep_cache_and_stay_fresh() {
+        let cfg = ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        };
+        let (mut data, server) = server(1200, 3, 0x5E23, cfg);
+        // Warm the cache.
+        let reqs = jittered_requests(40, 6);
+        let _ = server.run_batch(&reqs);
+        assert!(server.cache_stats().entries > 0);
+
+        // Insert a dominating record: it enters every top-k, so every
+        // cached entry must shrink or drop, and the next batch must
+        // include it at rank 1.
+        let champion = Record::new(9_999_999, vec![0.99, 0.99, 0.99]);
+        data.push(champion.clone());
+        let report = server
+            .apply_updates(&[Update::Insert(champion.clone())])
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+
+        let batch = server.run_batch(&reqs);
+        for (req, resp) in reqs.iter().zip(&batch.responses) {
+            let truth = naive_topk(&data, server.scoring(), &req.weights, req.k);
+            assert_eq!(resp.ids, truth.ids(), "stale response after insert");
+            assert_eq!(resp.ids[0], champion.id);
+        }
+
+        // Delete it again: cached entries containing it must drop.
+        let report = server
+            .apply_updates(&[Update::Delete {
+                id: champion.id,
+                attrs: champion.attrs.clone(),
+            }])
+            .unwrap();
+        data.pop();
+        assert_eq!(report.deleted, 1);
+        assert!(
+            report.evicted > 0,
+            "entries containing the champion must evict"
+        );
+        let batch = server.run_batch(&reqs);
+        for (req, resp) in reqs.iter().zip(&batch.responses) {
+            let truth = naive_topk(&data, server.scoring(), &req.weights, req.k);
+            assert_eq!(resp.ids, truth.ids(), "stale response after delete");
+        }
+    }
+
+    #[test]
+    fn missed_delete_is_reported_not_fatal() {
+        let (_, server) = server(200, 2, 0x5E24, ServerConfig::default());
+        let report = server
+            .apply_updates(&[Update::Delete {
+                id: 777_777,
+                attrs: PointD::new(vec![0.5, 0.5]),
+            }])
+            .unwrap();
+        assert_eq!(
+            report,
+            UpdateReport {
+                missed_deletes: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn nonlinear_scoring_falls_back_to_sp() {
+        let data = synthetic(Distribution::Independent, 400, 4, 0x5E25);
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(store, &data).unwrap();
+        let server = GirServer::new(
+            tree,
+            ScoringFunction::mixed4(),
+            ServerConfig {
+                method: Method::FacetPruning,
+                threads: 2,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(server.method(), Method::SkylinePruning);
+        let reqs = vec![TopKRequest::new(vec![0.5, 0.5, 0.5, 0.5], 5)];
+        let batch = server.run_batch(&reqs);
+        let truth = naive_topk(&data, server.scoring(), &reqs[0].weights, 5);
+        assert_eq!(batch.responses[0].ids, truth.ids());
+        assert_eq!(batch.stats.method, "SP");
+    }
+}

@@ -1,0 +1,329 @@
+//! A sharded, thread-safe GIR cache.
+//!
+//! Wraps [`GirCache`] (single-threaded LRU) in N independently locked
+//! shards. An entry's shard is chosen by hashing its *cache affinity* —
+//! the scoring-function fingerprint together with a k-bucket (k rounded
+//! up to a power of two) — so:
+//!
+//! * lookups and admissions for unrelated sessions (different scoring
+//!   functions, very different k) land on different locks,
+//! * a top-`k` request still finds entries cached with any `k'` in the
+//!   same bucket with `k' ≥ k` (prefix serving), because all of a
+//!   bucket's entries share a shard.
+//!
+//! Homogeneous traffic (one scoring function, one k) necessarily lands
+//! on one shard, so the hot read path must not serialize: lookups probe
+//! with [`GirCache::peek`] under the *shared* lock and count hits and
+//! misses in per-shard atomics. LRU recency is maintained
+//! opportunistically — every [`PROMOTE_EVERY`]-th hit attempts a
+//! non-blocking `try_write` to move the entry to the front, and simply
+//! skips when the lock is contended. Eviction order degrades toward
+//! insertion order under pressure; correctness is unaffected.
+//!
+//! Update sweeps ([`ShardedGirCache::on_insert`] /
+//! [`ShardedGirCache::on_delete`]) visit every shard; the serving layer
+//! calls them while holding the tree's write lock, so concurrent
+//! lookups cannot interleave with a half-applied update.
+
+use gir_core::{GirCache, GirRegion};
+use gir_geometry::vector::PointD;
+use gir_query::{Record, ScoringFunction, TopKResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Every n-th hit on a shard tries (non-blocking) to refresh LRU order.
+pub const PROMOTE_EVERY: u64 = 16;
+
+#[derive(Debug)]
+struct Shard {
+    cache: RwLock<GirCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Aggregated counters across all shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Entries dropped (LRU pressure or update invalidation).
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent GIR cache: N `RwLock`'d [`GirCache`] shards.
+#[derive(Debug)]
+pub struct ShardedGirCache {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two so routing is a
+    /// mask.
+    mask: usize,
+}
+
+impl ShardedGirCache {
+    /// A cache with `shards` shards (rounded up to a power of two,
+    /// minimum 1) of `shard_capacity` entries each.
+    pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<Shard> = (0..n)
+            .map(|_| Shard {
+                cache: RwLock::new(GirCache::new(shard_capacity)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })
+            .collect();
+        ShardedGirCache {
+            shards: shards.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Requests for nearby `k` share a shard (and can prefix-serve each
+    /// other); k-buckets are powers of two.
+    fn k_bucket(k: usize) -> usize {
+        k.max(1).next_power_of_two()
+    }
+
+    fn shard_index(&self, scoring: &ScoringFunction, k: usize) -> usize {
+        // Mix the fingerprint with the k-bucket (splitmix-style final
+        // avalanche so low bits are usable as a mask).
+        let mut h = scoring
+            .fingerprint()
+            .wrapping_add((Self::k_bucket(k) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (h ^ (h >> 31)) as usize & self.mask
+    }
+
+    /// Looks up a top-`k` query with weights `w` under `scoring` in the
+    /// owning shard. Concurrent lookups share the shard's read lock;
+    /// counters are atomic and LRU promotion is best-effort.
+    pub fn lookup(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
+        let shard = &self.shards[self.shard_index(scoring, k)];
+        let found = shard
+            .cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .peek(w, k, scoring);
+        match found {
+            Some(records) => {
+                let hits = shard.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                if hits.is_multiple_of(PROMOTE_EVERY) {
+                    // Refresh recency without ever blocking the read path.
+                    if let Ok(mut guard) = shard.cache.try_write() {
+                        guard.promote(w, k, scoring);
+                    }
+                }
+                Some(records)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits a computed result into the owning shard — unless an
+    /// existing entry already answers this entry's own query point with
+    /// as many records. The check runs under the same write lock as the
+    /// admission, so concurrent identical misses (a cold-cache
+    /// stampede) or repeated `k > |dataset|` requests admit one entry,
+    /// not one per computation. Returns whether the entry was admitted.
+    pub fn insert(&self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) -> bool {
+        let k = result.len();
+        let shard = &self.shards[self.shard_index(&scoring, k)];
+        let mut guard = shard
+            .cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.peek(&region.query, k, &scoring).is_some() {
+            return false;
+        }
+        guard.insert(region, result, scoring);
+        true
+    }
+
+    /// Sweeps every shard for a dataset insertion: shrinks overlapping
+    /// regions in place (each under its entry's own scoring function)
+    /// and drops invalidated entries. Returns the number dropped.
+    pub fn on_insert(&self, rec: &Record) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.cache
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .on_insert(rec)
+            })
+            .sum()
+    }
+
+    /// Sweeps every shard for a dataset deletion, dropping entries whose
+    /// result contained the deleted record. Returns the number dropped.
+    pub fn on_delete(&self, deleted_id: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.cache
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .on_delete(deleted_id)
+            })
+            .sum()
+    }
+
+    /// Aggregated hit/miss/eviction/entry counts.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.shards {
+            let g = s
+                .cache
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            out.hits += s.hits.load(Ordering::Relaxed);
+            out.misses += s.misses.load(Ordering::Relaxed);
+            out.evictions += g.evictions();
+            out.entries += g.len();
+        }
+        out
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.cache
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gir_geometry::hyperplane::{HalfSpace, Provenance};
+
+    fn slab(x_lo: f64, x_hi: f64) -> GirRegion {
+        let hs = vec![
+            HalfSpace {
+                normal: PointD::new(vec![1.0, 0.0]),
+                offset: x_hi,
+                provenance: Provenance::NonResult { record_id: 0 },
+            },
+            HalfSpace {
+                normal: PointD::new(vec![-1.0, 0.0]),
+                offset: -x_lo,
+                provenance: Provenance::NonResult { record_id: 1 },
+            },
+        ];
+        GirRegion::new(2, PointD::new(vec![(x_lo + x_hi) / 2.0, 0.5]), hs)
+    }
+
+    fn result(ids: &[u64]) -> TopKResult {
+        TopKResult {
+            ranked: ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (Record::new(id, vec![0.5, 0.5]), 1.0 - i as f64 * 0.1))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn redundant_admissions_are_dropped() {
+        // A cold-cache stampede computes the same result on several
+        // threads; only the first admission may land.
+        let cache = ShardedGirCache::new(4, 8);
+        let f = ScoringFunction::linear(2);
+        assert!(cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone()));
+        assert!(!cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone()));
+        assert_eq!(cache.len(), 1);
+        // A bigger result for the same query point is a different
+        // k-bucket entry: admitted.
+        assert!(cache.insert(slab(0.0, 1.0), result(&[1, 2, 3, 4, 5]), f.clone()));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedGirCache::new(0, 4).num_shards(), 1);
+        assert_eq!(ShardedGirCache::new(5, 4).num_shards(), 8);
+        assert_eq!(ShardedGirCache::new(16, 4).num_shards(), 16);
+    }
+
+    #[test]
+    fn hit_and_prefix_serving_within_bucket() {
+        let cache = ShardedGirCache::new(8, 4);
+        let f = ScoringFunction::linear(2);
+        cache.insert(slab(0.0, 1.0), result(&[1, 2, 3, 4]), f.clone());
+        // Same k-bucket (3 and 4 both bucket to 4): prefix hit.
+        let hit = cache.lookup(&PointD::new(vec![0.5, 0.5]), 3, &f).unwrap();
+        assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Different bucket (k=8) probes a different shard: miss.
+        assert!(cache.lookup(&PointD::new(vec![0.5, 0.5]), 8, &f).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn scoring_functions_do_not_share_entries() {
+        let cache = ShardedGirCache::new(4, 4);
+        let lin = ScoringFunction::linear(2);
+        let non = ScoringFunction::new(vec![
+            gir_query::Transform::Power(2),
+            gir_query::Transform::Linear,
+        ]);
+        cache.insert(slab(0.0, 1.0), result(&[1, 2]), lin.clone());
+        assert!(cache
+            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &non)
+            .is_none());
+        assert!(cache
+            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &lin)
+            .is_some());
+    }
+
+    #[test]
+    fn delete_sweep_hits_all_shards() {
+        let cache = ShardedGirCache::new(8, 4);
+        let f = ScoringFunction::linear(2);
+        // Spread entries over several k-buckets (and thus shards).
+        for k in [1usize, 2, 4, 8, 16] {
+            let ids: Vec<u64> = (0..k as u64).chain([99]).collect();
+            cache.insert(slab(0.0, 1.0), result(&ids), f.clone());
+        }
+        assert_eq!(cache.len(), 5);
+        // Every entry contains record 99: all must drop.
+        assert_eq!(cache.on_delete(99), 5);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-batch serving statistics.
+
+/// Measurements for one executed batch: cache effectiveness, latency
+/// percentiles over per-request wall clock, and aggregate throughput.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests in the batch.
+    pub queries: usize,
+    /// Requests served from the GIR cache.
+    pub hits: usize,
+    /// Requests that computed (and admitted) a fresh GIR.
+    pub misses: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Phase-2 method label for misses ("FP", "SP", …).
+    pub method: &'static str,
+    /// Batch wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Requests per second over the batch wall clock.
+    pub qps: f64,
+    /// Median per-request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile per-request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst per-request latency, microseconds.
+    pub max_us: u64,
+}
+
+impl ServeStats {
+    /// Builds stats from per-request latencies (sorted internally).
+    pub fn from_latencies(
+        mut latencies_us: Vec<u64>,
+        hits: usize,
+        threads: usize,
+        method: &'static str,
+        wall_ms: f64,
+    ) -> Self {
+        latencies_us.sort_unstable();
+        let queries = latencies_us.len();
+        let pct = |p: f64| -> u64 {
+            if latencies_us.is_empty() {
+                return 0;
+            }
+            let idx = ((queries - 1) as f64 * p).round() as usize;
+            latencies_us[idx]
+        };
+        ServeStats {
+            queries,
+            hits,
+            misses: queries - hits,
+            threads,
+            method,
+            wall_ms,
+            qps: if wall_ms > 0.0 {
+                queries as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: latencies_us.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Batch-local hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Merges another batch's stats (percentiles become maxima — good
+    /// enough for a conservative aggregate line).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.queries += other.queries;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.threads = self.threads.max(other.threads);
+        self.wall_ms += other.wall_ms;
+        self.qps = if self.wall_ms > 0.0 {
+            self.queries as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        self.p50_us = self.p50_us.max(other.p50_us);
+        self.p95_us = self.p95_us.max(other.p95_us);
+        self.p99_us = self.p99_us.max(other.p99_us);
+        self.max_us = self.max_us.max(other.max_us);
+        if self.method.is_empty() {
+            self.method = other.method;
+        }
+    }
+
+    /// One-object JSON rendering (no serializer dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
+                "\"threads\":{},\"method\":\"{}\",\"wall_ms\":{:.3},\"qps\":{:.1},",
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}"
+            ),
+            self.queries,
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.threads,
+            self.method,
+            self.wall_ms,
+            self.qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries on {} thread(s) [{}]: {:.0} q/s, hit rate {:.1}%, \
+             p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+            self.queries,
+            self.threads,
+            self.method,
+            self.qps,
+            self.hit_rate() * 100.0,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_known_distribution() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = ServeStats::from_latencies(lat, 40, 4, "FP", 50.0);
+        assert_eq!(s.queries, 100);
+        assert_eq!(s.hits, 40);
+        assert_eq!(s.misses, 60);
+        assert_eq!(s.p50_us, 51); // round(99 * 0.5) + 1
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((s.qps - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_shape() {
+        let s = ServeStats::from_latencies(vec![5, 10], 1, 2, "FP", 1.0);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"queries\":2",
+            "\"hits\":1",
+            "\"method\":\"FP\"",
+            "\"p99_us\":10",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_all_zeros() {
+        let s = ServeStats::from_latencies(Vec::new(), 0, 1, "FP", 0.0);
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic mixed query/update traffic generation.
+//!
+//! Models the paper's weight-readjustment sessions (§1): users explore
+//! around preference *anchors* with small slider jitters — which is what
+//! makes GIR caching effective — while the dataset churns with
+//! insertions and deletions. The generator simulates the live-record
+//! set so deletes always reference records that exist at replay time.
+
+use crate::server::{TopKRequest, Update};
+use gir_geometry::vector::PointD;
+use gir_rtree::Record;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Knobs for [`mixed_workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Attribute dimensionality (must match the dataset).
+    pub dim: usize,
+    /// Distinct preference anchors.
+    pub anchors: usize,
+    /// Uniform jitter applied to each anchor weight per query.
+    pub jitter: f64,
+    /// Traffic batches to generate.
+    pub batches: usize,
+    /// Queries per batch.
+    pub queries_per_batch: usize,
+    /// Updates applied before each batch.
+    pub updates_per_batch: usize,
+    /// Fraction of updates that are insertions (rest are deletions).
+    pub insert_fraction: f64,
+    /// Result sizes drawn uniformly per query.
+    pub k_choices: Vec<usize>,
+    /// RNG seed; identical configs replay identical traffic.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            dim: 3,
+            anchors: 8,
+            jitter: 0.015,
+            batches: 20,
+            queries_per_batch: 512,
+            updates_per_batch: 8,
+            insert_fraction: 0.7,
+            k_choices: vec![10],
+            seed: 0x060D_5EED,
+        }
+    }
+}
+
+/// One unit of replay: apply `updates`, then serve `queries`.
+#[derive(Debug, Clone)]
+pub struct TrafficBatch {
+    /// Dataset mutations preceding the queries.
+    pub updates: Vec<Update>,
+    /// The query batch.
+    pub queries: Vec<TopKRequest>,
+}
+
+impl TrafficBatch {
+    /// Queries plus updates in this batch.
+    pub fn len(&self) -> usize {
+        self.updates.len() + self.queries.len()
+    }
+
+    /// True when the batch carries no traffic.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty() && self.queries.is_empty()
+    }
+}
+
+/// Generates `cfg.batches` batches of anchored-jitter queries with
+/// interleaved insert/delete churn over `initial` (the records the
+/// server was loaded with).
+pub fn mixed_workload(cfg: &WorkloadConfig, initial: &[Record]) -> Vec<TrafficBatch> {
+    assert!(!cfg.k_choices.is_empty(), "k_choices must not be empty");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let d = cfg.dim;
+
+    // Anchors in [0.2, 1]^d — zero-ish weights make degenerate top-k.
+    let anchors: Vec<Vec<f64>> = (0..cfg.anchors.max(1))
+        .map(|_| (0..d).map(|_| rng.random_range(0.2..=1.0)).collect())
+        .collect();
+
+    // Simulated live-record set, kept in sync with replay: ids + attrs.
+    let mut live: Vec<(u64, PointD)> = initial.iter().map(|r| (r.id, r.attrs.clone())).collect();
+    let mut next_id = initial.iter().map(|r| r.id).max().unwrap_or(0) + 1_000_000;
+
+    let mut batches = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        let mut updates = Vec::with_capacity(cfg.updates_per_batch);
+        for _ in 0..cfg.updates_per_batch {
+            let insert = live.len() <= 1 || rng.random_bool(cfg.insert_fraction);
+            if insert {
+                let attrs: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
+                let rec = Record::new(next_id, attrs);
+                next_id += 1;
+                live.push((rec.id, rec.attrs.clone()));
+                updates.push(Update::Insert(rec));
+            } else {
+                let idx = rng.random_range(0..live.len());
+                let (id, attrs) = live.swap_remove(idx);
+                updates.push(Update::Delete { id, attrs });
+            }
+        }
+
+        let queries = (0..cfg.queries_per_batch)
+            .map(|_| {
+                let a = &anchors[rng.random_range(0..anchors.len())];
+                let w: Vec<f64> = a
+                    .iter()
+                    .map(|&v| (v + rng.random_range(-cfg.jitter..=cfg.jitter)).clamp(0.0, 1.0))
+                    .collect();
+                let k = cfg.k_choices[rng.random_range(0..cfg.k_choices.len())];
+                TopKRequest::new(w, k)
+            })
+            .collect();
+
+        batches.push(TrafficBatch { updates, queries });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_records(n: usize, d: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i as u64, vec![(i % 10) as f64 / 10.0; d]))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = WorkloadConfig {
+            batches: 4,
+            queries_per_batch: 32,
+            ..Default::default()
+        };
+        let recs = seed_records(100, 3);
+        let a = mixed_workload(&cfg, &recs);
+        let b = mixed_workload(&cfg, &recs);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.queries.len(), 32);
+            assert_eq!(x.updates.len(), cfg.updates_per_batch);
+            for (qx, qy) in x.queries.iter().zip(&y.queries) {
+                assert_eq!(qx.weights.coords(), qy.weights.coords());
+                assert_eq!(qx.k, qy.k);
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_reference_live_records_only() {
+        let cfg = WorkloadConfig {
+            batches: 30,
+            queries_per_batch: 1,
+            updates_per_batch: 10,
+            insert_fraction: 0.3, // delete-heavy: stresses liveness
+            ..Default::default()
+        };
+        let recs = seed_records(50, 3);
+        let mut live: std::collections::HashSet<u64> = recs.iter().map(|r| r.id).collect();
+        for batch in mixed_workload(&cfg, &recs) {
+            for u in &batch.updates {
+                match u {
+                    Update::Insert(r) => {
+                        assert!(live.insert(r.id), "duplicate insert id {}", r.id);
+                    }
+                    Update::Delete { id, .. } => {
+                        assert!(live.remove(id), "delete of dead record {id}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_stay_in_unit_box() {
+        let cfg = WorkloadConfig {
+            jitter: 0.5,
+            batches: 3,
+            ..Default::default()
+        };
+        for batch in mixed_workload(&cfg, &seed_records(20, 3)) {
+            for q in &batch.queries {
+                assert!(q.weights.coords().iter().all(|&w| (0.0..=1.0).contains(&w)));
+            }
+        }
+    }
+}

@@ -21,7 +21,11 @@ impl PageBuf {
 
     /// Wraps raw bytes; pads with zeros or panics when longer than a page.
     pub fn from_slice(data: &[u8]) -> Self {
-        assert!(data.len() <= PAGE_SIZE, "page overflow: {} bytes", data.len());
+        assert!(
+            data.len() <= PAGE_SIZE,
+            "page overflow: {} bytes",
+            data.len()
+        );
         let mut buf = BytesMut::zeroed(PAGE_SIZE);
         buf[..data.len()].copy_from_slice(data);
         PageBuf { buf }

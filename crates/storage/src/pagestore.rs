@@ -99,9 +99,7 @@ impl PageStore for MemPageStore {
 
     fn read_page(&self, id: PageId) -> Result<Bytes, StorageError> {
         let pages = self.pages.read();
-        let slot = pages
-            .get(id as usize)
-            .ok_or(StorageError::NoSuchPage(id))?;
+        let slot = pages.get(id as usize).ok_or(StorageError::NoSuchPage(id))?;
         self.stats.record_read();
         match slot {
             Some(b) => Ok(b.clone()),

@@ -34,7 +34,7 @@ fn main() {
         for w in &anchors {
             let q = QueryVector::new(w.coords().to_vec());
             let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
-            cache.insert(out.region, out.result);
+            cache.insert(out.region, out.result, scoring.clone());
         }
     }
     println!("cache warmed with {} regions", cache.len());
@@ -62,7 +62,7 @@ fn main() {
             next_id += 1;
             tree.insert(rec.clone()).expect("insert");
             data.push(rec.clone());
-            evicted_total += cache.on_insert(&rec, &scoring);
+            evicted_total += cache.on_insert(&rec);
         } else if !data.is_empty() {
             // Delete a random record.
             let idx = rng.random_range(0..data.len());
@@ -75,7 +75,7 @@ fn main() {
         if step % 50 == 49 {
             let engine = GirEngine::new(&tree);
             for w in &anchors {
-                if let Some(records) = cache.lookup(w, k) {
+                if let Some(records) = cache.lookup(w, k, &scoring) {
                     shrunk_checks += 1;
                     let fresh = engine
                         .topk(&QueryVector::new(w.coords().to_vec()), k)
@@ -91,7 +91,10 @@ fn main() {
     }
 
     let (hits, misses) = cache.counters();
-    println!("after 300 updates: {} entries remain, {evicted_total} evicted", cache.len());
+    println!(
+        "after 300 updates: {} entries remain, {evicted_total} evicted",
+        cache.len()
+    );
     println!("verification lookups: {hits} hits / {misses} misses ({shrunk_checks} cross-checked against recomputation)");
     println!("\nevery surviving hit was proven identical to a fresh top-{k} computation.");
 }

@@ -53,17 +53,17 @@ fn main() {
     // The GIR is the maximal locus where this exact ranking holds.
     assert!(out.region.contains(&q.weights));
     let vol = out.region.volume(&VolumeOptions::default());
-    println!(
-        "\nGIR volume ratio: {:.3e} ({:?})",
-        vol.volume, vol.method
-    );
+    println!("\nGIR volume ratio: {:.3e} ({:?})", vol.volume, vol.method);
 
     // Weight vectors inside the GIR provably reproduce the result.
     let probe = QueryVector::new(vec![0.58, 0.49, 0.69]);
     if out.region.contains(&probe.weights) {
         let again = engine.topk(&probe, k).unwrap();
         assert_eq!(again.ids(), out.result.ids());
-        println!("probe {:?} is inside the GIR: identical top-{k} (verified)", probe.weights);
+        println!(
+            "probe {:?} is inside the GIR: identical top-{k} (verified)",
+            probe.weights
+        );
     } else {
         println!("probe {:?} falls outside the GIR", probe.weights);
     }

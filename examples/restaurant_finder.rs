@@ -26,7 +26,9 @@ fn main() {
     let k = 10;
     let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
 
-    println!("top-{k} venues for weights (food, ambience, value, service) = (0.60, 0.50, 0.60, 0.70):\n");
+    println!(
+        "top-{k} venues for weights (food, ambience, value, service) = (0.60, 0.50, 0.60, 0.70):\n"
+    );
     for (rank, (rec, score)) in out.result.ranked.iter().enumerate() {
         println!("  {:2}. venue #{:<7} score {:.4}", rank + 1, rec.id, score);
     }
@@ -48,9 +50,9 @@ fn main() {
                         rank + 1,
                         rank + 2
                     ),
-                    BoundaryEvent::Overtake { record_id } => println!(
-                        "  · venue #{record_id} enters the top-{k}, displacing rank {k}"
-                    ),
+                    BoundaryEvent::Overtake { record_id } => {
+                        println!("  · venue #{record_id} enters the top-{k}, displacing rank {k}")
+                    }
                     BoundaryEvent::OvertakeMember { rank, record_id } => println!(
                         "  · venue #{record_id} overtakes the rank-{} venue",
                         rank + 1
@@ -71,7 +73,9 @@ fn main() {
     let (lo, hi) = bars.intervals[2];
     let mut inside = q.weights.clone();
     inside[2] = (hi - 1e-6).max(lo);
-    let again = engine.topk(&QueryVector::new(inside.coords().to_vec()), k).unwrap();
+    let again = engine
+        .topk(&QueryVector::new(inside.coords().to_vec()), k)
+        .unwrap();
     assert_eq!(again.ids(), out.result.ids());
     println!(
         "\nverified: 'value' weight {:.3} → {:.3} leaves the top-{k} unchanged",

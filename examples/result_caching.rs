@@ -54,7 +54,7 @@ fn main() {
             tree.store().stats().reads_since(&s0)
         };
         // The cached server:
-        match cache.lookup(&q.weights, k) {
+        match cache.lookup(&q.weights, k, engine.scoring()) {
             Some(records) => {
                 // A cache hit must be *provably* identical to recomputing.
                 let ids: Vec<u64> = records.iter().map(|r| r.id).collect();
@@ -64,14 +64,21 @@ fn main() {
                 let s0 = tree.store().stats();
                 let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
                 pages_with_cache += tree.store().stats().reads_since(&s0);
-                cache.insert(out.region, out.result);
+                cache.insert(out.region, out.result, engine.scoring().clone());
             }
         }
     }
 
     let (hits, misses) = cache.counters();
-    println!("workload: {} queries ({} anchors x 40 jitters)", workload.len(), anchors.len());
-    println!("cache: {hits} hits, {misses} misses ({:.1}% hit rate)", cache.hit_rate() * 100.0);
+    println!(
+        "workload: {} queries ({} anchors x 40 jitters)",
+        workload.len(),
+        anchors.len()
+    );
+    println!(
+        "cache: {hits} hits, {misses} misses ({:.1}% hit rate)",
+        cache.hit_rate() * 100.0
+    );
     println!("pages fetched without cache: {pages_without_cache}");
     println!("pages fetched with GIR cache: {pages_with_cache} (includes GIR construction)");
     assert!(hits > 0, "expected cache hits under a jitter workload");

@@ -1,0 +1,124 @@
+//! The serve workload driver: replays mixed query/update traffic
+//! against the concurrent serving subsystem (`gir-serve`) and proves
+//! every cache-served answer fresh.
+//!
+//! 12k anchored-jitter top-k queries in 24 batches, with insert/delete
+//! churn applied (and swept through the cache) before each batch, run
+//! across a worker pool of ≥ 4 threads. Every response served from the
+//! GIR cache is cross-checked against a linear-scan oracle on the
+//! *current* dataset — a stale hit aborts the run.
+//!
+//! ```text
+//! cargo run --release --example serve_workload
+//! ```
+
+use gir::prelude::*;
+use gir::query::naive_topk;
+use gir::serve::{mixed_workload, ServeStats, WorkloadConfig};
+use std::sync::Arc;
+
+fn main() {
+    let d = 3;
+    let n = 20_000;
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .clamp(4, 16);
+
+    let mut mirror = gir::datagen::synthetic(Distribution::Independent, n, d, 42);
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &mirror).expect("bulk load");
+    let server = GirServer::new(
+        tree,
+        ScoringFunction::linear(d),
+        ServerConfig {
+            threads,
+            shards: 16,
+            shard_capacity: 32,
+            method: Method::FacetPruning,
+        },
+    );
+
+    let wl = WorkloadConfig {
+        dim: d,
+        anchors: 10,
+        jitter: 0.012,
+        batches: 24,
+        queries_per_batch: 500,
+        updates_per_batch: 10,
+        insert_fraction: 0.7,
+        k_choices: vec![5, 10],
+        seed: 7,
+    };
+    let traffic = mixed_workload(&wl, &mirror);
+    let total_queries: usize = traffic.iter().map(|b| b.queries.len()).sum();
+    let total_updates: usize = traffic.iter().map(|b| b.updates.len()).sum();
+    println!(
+        "replaying {total_queries} queries + {total_updates} updates in {} batches \
+         on {threads} threads (n={n}, d={d}, FP)\n",
+        traffic.len()
+    );
+
+    let mut aggregate = ServeStats::default();
+    let mut verified_hits = 0u64;
+    let mut evicted_total = 0usize;
+    for (i, batch) in traffic.iter().enumerate() {
+        // Update pipeline: mutate the tree and sweep every cached
+        // region before any query of this batch runs.
+        let report = server.apply_updates(&batch.updates).expect("update batch");
+        evicted_total += report.evicted;
+        for u in &batch.updates {
+            match u {
+                Update::Insert(rec) => mirror.push(rec.clone()),
+                Update::Delete { id, .. } => mirror.retain(|r| r.id != *id),
+            }
+        }
+
+        let out = server.run_batch(&batch.queries);
+
+        // Freshness proof: every cache hit must equal recomputation on
+        // the updated dataset.
+        for (req, resp) in batch.queries.iter().zip(&out.responses) {
+            if resp.from_cache {
+                let truth = naive_topk(&mirror, server.scoring(), &req.weights, req.k);
+                assert_eq!(
+                    resp.ids,
+                    truth.ids(),
+                    "STALE cache hit after update sweep (batch {i}, w={:?})",
+                    req.weights
+                );
+                verified_hits += 1;
+            }
+        }
+
+        if i % 6 == 0 {
+            println!("batch {i:>2}: {}", out.stats);
+        }
+        aggregate.merge(&out.stats);
+    }
+
+    let cache = server.cache_stats();
+    println!("\naggregate: {aggregate}");
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} entries live, {} evicted \
+         ({} by update sweeps, rest LRU pressure)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.entries,
+        cache.evictions,
+        evicted_total,
+    );
+    println!(
+        "verified {verified_hits} cache hits against linear-scan recomputation — \
+         zero stale results."
+    );
+
+    assert!(
+        total_queries + total_updates >= 10_000,
+        "driver must replay ≥ 10k events"
+    );
+    assert!(threads >= 4, "driver must use ≥ 4 threads");
+    assert!(cache.hits > 0, "workload must produce cache hits");
+    assert!(verified_hits > 0);
+}

@@ -60,8 +60,11 @@ fn main() {
     if let Some(svg) = render_svg_2d(&out.region, &SvgOptions::default()) {
         let path = std::env::temp_dir().join("gir_region.svg");
         std::fs::write(&path, svg).expect("write svg");
-        println!("
-SVG written to {}", path.display());
+        println!(
+            "
+SVG written to {}",
+            path.display()
+        );
     }
 
     // Simulate a drag: move w1 to the edge of its range, re-project.
@@ -71,7 +74,10 @@ SVG written to {}", path.display());
         let out2 = engine.gir(&dragged, 5, Method::FacetPruning).unwrap();
         assert_eq!(out2.result.ids(), out.result.ids());
         let bars2 = slide_bar_bounds(&out2.region);
-        println!("\nafter dragging w1 to {:.3} (same result, re-projected):", dragged.weights[0]);
+        println!(
+            "\nafter dragging w1 to {:.3} (same result, re-projected):",
+            dragged.weights[0]
+        );
         print!("{}", bars2.render_ascii(&["w1", "w2"], 48));
     }
 }

@@ -17,7 +17,11 @@
 //! * [`query`] — BRS top-k and BBS skyline substrates,
 //! * [`core`] — the GIR algorithms (SP / CP / FP, GIR\*, visualization,
 //!   caching) — the paper's contribution,
-//! * [`datagen`] — IND/COR/ANTI and HOUSE/HOTEL-like workload generators.
+//! * [`datagen`] — IND/COR/ANTI and HOUSE/HOTEL-like workload generators,
+//! * [`serve`] — the concurrent, update-aware serving subsystem: a
+//!   sharded GIR cache, a batch executor over a worker pool, and an
+//!   update pipeline that keeps cached regions provably fresh under
+//!   insertions/deletions (see `examples/serve_workload.rs`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub use gir_datagen as datagen;
 pub use gir_geometry as geometry;
 pub use gir_query as query;
 pub use gir_rtree as rtree;
+pub use gir_serve as serve;
 pub use gir_storage as storage;
 
 /// Convenience re-exports for examples and downstream users.
@@ -54,5 +59,6 @@ pub mod prelude {
     pub use gir_geometry::vector::PointD;
     pub use gir_query::{QueryVector, Record, ScoringFunction};
     pub use gir_rtree::RTree;
+    pub use gir_serve::{GirServer, ServerConfig, TopKRequest, Update};
     pub use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
 }

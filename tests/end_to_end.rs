@@ -132,7 +132,10 @@ fn nonlinear_scoring_end_to_end() {
         let engine = GirEngine::with_scoring(&tree, scoring.clone());
         let q = QueryVector::new(vec![0.5, 0.6, 0.4, 0.7]);
         let out = engine.gir(&q, 8, Method::SkylinePruning).unwrap();
-        assert_eq!(out.result.ids(), naive_topk(&data, &scoring, &q.weights, 8).ids());
+        assert_eq!(
+            out.result.ids(),
+            naive_topk(&data, &scoring, &q.weights, 8).ids()
+        );
         assert!(out.region.contains(&q.weights));
         // Membership still tracks the ranking under the non-linear score.
         for wp in random_queries(40, 4, 0.0, 5) {
@@ -160,15 +163,19 @@ fn cache_serves_provably_fresh_results() {
     let mut cache = GirCache::new(8);
     let anchor = PointD::new(vec![0.6, 0.5, 0.7]);
     let out = engine
-        .gir(&QueryVector::new(anchor.coords().to_vec()), 10, Method::FacetPruning)
+        .gir(
+            &QueryVector::new(anchor.coords().to_vec()),
+            10,
+            Method::FacetPruning,
+        )
         .unwrap();
-    cache.insert(out.region.clone(), out.result.clone());
+    cache.insert(out.region.clone(), out.result.clone(), f.clone());
 
     let mut hits = 0;
     for i in 0..50 {
         let jitter = 0.001 * (i as f64 % 7.0 - 3.0);
         let w = PointD::new(vec![0.6 + jitter, 0.5 - jitter, 0.7 + jitter / 2.0]);
-        if let Some(records) = cache.lookup(&w, 10) {
+        if let Some(records) = cache.lookup(&w, 10, &f) {
             hits += 1;
             let fresh = naive_topk(&data, &f, &w, 10);
             assert_eq!(
@@ -178,7 +185,10 @@ fn cache_serves_provably_fresh_results() {
             );
         }
     }
-    assert!(hits > 10, "expected many hits under small jitter, got {hits}");
+    assert!(
+        hits > 10,
+        "expected many hits under small jitter, got {hits}"
+    );
 }
 
 #[test]

@@ -13,15 +13,11 @@ fn points(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
 }
 
 fn halfspace(d: usize) -> impl Strategy<Value = HalfSpace> {
-    (
-        proptest::collection::vec(-1.0f64..1.0, d),
-        0.0f64..1.5,
-    )
-        .prop_map(|(n, b)| HalfSpace {
-            normal: PointD::from(n),
-            offset: b,
-            provenance: Provenance::NonResult { record_id: 0 },
-        })
+    (proptest::collection::vec(-1.0f64..1.0, d), 0.0f64..1.5).prop_map(|(n, b)| HalfSpace {
+        normal: PointD::from(n),
+        offset: b,
+        provenance: Provenance::NonResult { record_id: 0 },
+    })
 }
 
 proptest! {

@@ -1,0 +1,146 @@
+//! Property tests for cache maintenance soundness
+//! (`gir::core::maintenance`): after `apply_insertion` returns `Shrunk`
+//! (or `Unaffected`), every weight vector still inside the region must
+//! preserve the cached top-k on the *updated* dataset — the invariant
+//! the serving layer's freshness guarantee rests on.
+
+use gir::core::maintenance::{apply_insertion, UpdateImpact};
+use gir::core::Method;
+use gir::prelude::*;
+use gir::query::naive_topk;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_tree(rows: &[Vec<f64>]) -> (Vec<Record>, RTree) {
+    let data: Vec<Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Record::new(i as u64, r.clone()))
+        .collect();
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).unwrap();
+    (data, tree)
+}
+
+fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 30)
+}
+
+fn weights(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..1.0, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The serving-layer invariant in 3-d: insert a newcomer, shrink the
+    /// region, and every strictly interior weight vector must still get
+    /// the cached ranked result from a full recomputation.
+    #[test]
+    fn shrunk_region_preserves_topk_3d(
+        rows in dataset(3, 60),
+        w in weights(3),
+        newcomer in proptest::collection::vec(0.0f64..1.0, 3),
+        probes in proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, 3), 40),
+        k in 1usize..6,
+    ) {
+        let (mut data, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let scoring = ScoringFunction::linear(3);
+        let q = QueryVector::new(w);
+        let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        let base = out.result.ids();
+        let kth = out.result.kth().clone();
+        let mut region = out.region.clone();
+
+        let rec = Record::new(7_000_000, newcomer);
+        let impact = apply_insertion(&mut region, &kth, &rec, &scoring);
+        data.push(rec);
+
+        match impact {
+            UpdateImpact::Unaffected | UpdateImpact::Shrunk => {
+                for p in probes {
+                    let wp = PointD::from(p);
+                    if !region.contains(&wp) {
+                        continue;
+                    }
+                    // Skip boundary-epsilon probes, as the exact tests do.
+                    let margin: f64 = region
+                        .halfspaces
+                        .iter()
+                        .map(|h| h.slack(&wp))
+                        .fold(f64::INFINITY, f64::min);
+                    if margin < 1e-6 {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        naive_topk(&data, &scoring, &wp, k).ids(),
+                        base.clone(),
+                        "{:?}: stale result inside region at {:?} (margin {})",
+                        impact, wp, margin
+                    );
+                }
+                // Shrinking must never grow the region.
+                if impact == UpdateImpact::Shrunk {
+                    prop_assert!(region.num_halfspaces() > out.region.num_halfspaces());
+                }
+            }
+            UpdateImpact::Invalidated => {
+                // The newcomer must genuinely beat the old k-th at the
+                // original query (allowing LP epsilon).
+                let s_new = scoring.score(&q.weights, &data.last().unwrap().attrs);
+                let s_kth = scoring.score(&q.weights, &kth.attrs);
+                prop_assert!(
+                    s_new > s_kth - 1e-9,
+                    "invalidated but newcomer loses at q: {} vs {}", s_new, s_kth
+                );
+            }
+        }
+    }
+
+    /// Same invariant in 2-d with more probes (cheap), plus the
+    /// subset property: the shrunk region is contained in the original.
+    #[test]
+    fn shrunk_region_is_subset_2d(
+        rows in dataset(2, 50),
+        w in weights(2),
+        newcomer in proptest::collection::vec(0.0f64..1.0, 2),
+        probes in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 2), 60),
+        k in 1usize..5,
+    ) {
+        let (mut data, tree) = build_tree(&rows);
+        let engine = GirEngine::new(&tree);
+        let scoring = ScoringFunction::linear(2);
+        let q = QueryVector::new(w);
+        let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        let kth = out.result.kth().clone();
+        let mut region = out.region.clone();
+        let rec = Record::new(7_000_001, newcomer);
+        let impact = apply_insertion(&mut region, &kth, &rec, &scoring);
+        data.push(rec);
+
+        if impact != UpdateImpact::Invalidated {
+            for p in probes {
+                let wp = PointD::from(p);
+                if region.contains(&wp) {
+                    prop_assert!(
+                        out.region.contains(&wp),
+                        "shrink grew the region at {:?}", wp
+                    );
+                    let margin: f64 = region
+                        .halfspaces
+                        .iter()
+                        .map(|h| h.slack(&wp))
+                        .fold(f64::INFINITY, f64::min);
+                    if margin > 1e-6 {
+                        prop_assert_eq!(
+                            naive_topk(&data, &scoring, &wp, k).ids(),
+                            out.result.ids(),
+                            "stale result inside shrunk region at {:?}", wp
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

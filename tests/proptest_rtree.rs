@@ -28,10 +28,7 @@ fn ops(d: usize, n: usize) -> impl Strategy<Value = Vec<Op>> {
             let hi: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.max(*y)).collect();
             Op::Window { lo, hi }
         });
-    proptest::collection::vec(
-        prop_oneof![4 => insert, 2 => delete, 1 => window],
-        n..n * 2,
-    )
+    proptest::collection::vec(prop_oneof![4 => insert, 2 => delete, 1 => window], n..n * 2)
 }
 
 fn check_invariants(tree: &RTree) {

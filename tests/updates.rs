@@ -33,7 +33,9 @@ fn topk_stays_correct_through_insert_delete_churn() {
         }
         if i % 25 == 0 {
             let engine = GirEngine::new(&tree);
-            let res = engine.topk(&QueryVector::new(w.coords().to_vec()), 10).unwrap();
+            let res = engine
+                .topk(&QueryVector::new(w.coords().to_vec()), 10)
+                .unwrap();
             assert_eq!(res.ids(), naive_topk(&data, &f, &w, 10).ids(), "step {i}");
         }
     }
@@ -54,7 +56,7 @@ fn cache_maintenance_never_serves_stale_results() {
         for w in &anchors {
             let q = QueryVector::new(w.coords().to_vec());
             let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
-            cache.insert(out.region, out.result);
+            cache.insert(out.region, out.result, scoring.clone());
         }
     }
 
@@ -72,7 +74,7 @@ fn cache_maintenance_never_serves_stale_results() {
         }
         tree.insert(rec.clone()).unwrap();
         data.push(rec.clone());
-        cache.on_insert(&rec, &scoring);
+        cache.on_insert(&rec);
 
         if i % 3 == 2 {
             let victim = data.remove((i * 13) % data.len());
@@ -81,7 +83,7 @@ fn cache_maintenance_never_serves_stale_results() {
         }
 
         for w in &anchors {
-            if let Some(records) = cache.lookup(w, k) {
+            if let Some(records) = cache.lookup(w, k, &scoring) {
                 let truth = naive_topk(&data, &scoring, w, k);
                 assert_eq!(
                     records.iter().map(|r| r.id).collect::<Vec<_>>(),

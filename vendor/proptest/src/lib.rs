@@ -1,0 +1,262 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest surface this workspace's
+//! property tests use — the [`Strategy`] trait with `prop_map`/`boxed`,
+//! range and tuple strategies, [`collection::vec`], weighted
+//! [`prop_oneof!`], `prop_assert!`/`prop_assert_eq!`, [`proptest!`] with
+//! `#![proptest_config(..)]` — over a deterministic per-test RNG.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the assertion message directly), and the case stream is derived from
+//! a fixed per-test seed (override with `PROPTEST_SEED`), so CI runs are
+//! reproducible by construction.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+
+/// Value-generation strategies re-exported at the paths upstream uses.
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+/// Test-runner configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG seeded from the test name (or the
+    /// `PROPTEST_SEED` environment variable).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from the test's name.
+        pub fn from_name(name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse::<u64>().unwrap_or(0xBAD5EED),
+                Err(_) => 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            };
+            let mut state = seed;
+            for b in name.bytes() {
+                state = (state ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state }
+        }
+
+        /// The next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// A uniform index in `[0, n)`.
+        pub fn next_index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "next_index of empty range");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// `prop::collection::...` paths used inside `proptest!` bodies.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 strategy range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, usize)> {
+        (0.0f64..1.0, 1usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.25f64..0.75, n in 3usize..7) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(
+            v in crate::collection::vec(0.0f64..1.0, 2..5),
+            w in crate::collection::vec(0usize..3, 4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn map_and_tuple((x, n) in pair().prop_map(|(a, b)| (a * 2.0, b))) {
+            prop_assert!(x < 2.0);
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn oneof_picks_all_arms(v in crate::collection::vec(
+            prop_oneof![3 => 0usize..1, 1 => 5usize..6], 200)
+        ) {
+            prop_assert!(v.contains(&0));
+            prop_assert!(v.contains(&5));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize` / `Deserialize` on data types to
+//! declare serializability but never invokes the traits (benchmark JSON
+//! is emitted by hand). The derive macros (re-exported from the vendored
+//! `serde_derive`) therefore expand to nothing, and the traits below are
+//! empty markers occupying the same paths as upstream, so swapping in
+//! real serde later is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`. The workspace only *derives*
+//! `Serialize` / `Deserialize` (no code calls the traits yet), so the
+//! derives expand to nothing. When real serialization lands, swap this
+//! vendored stub for the upstream crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
