@@ -1,20 +1,27 @@
 //! Serving-subsystem throughput: thread-scaling of the batch executor
-//! with the sharded GIR cache under mixed query/update traffic.
+//! with the sharded GIR cache, plus a write-mixed workload comparing
+//! the incremental delta-repair pipeline against the PR 1 sweep
+//! baseline.
 //!
 //! Not a paper figure — this tracks the ROADMAP's production-scale
 //! direction. Writes machine-readable results to `BENCH_serve.json`
-//! (one object per thread count) so the perf trajectory is recorded
-//! across PRs.
+//! (one object per row, tagged with thread count, maintenance mode and
+//! workload shape) so the perf trajectory is recorded across PRs and
+//! gated in CI (`perf_gate`).
 //!
 //! Knobs: `GIR_N` (dataset size, default 20000), `GIR_SERVE_QUERIES`
 //! (total queries, default 12000), `GIR_SERVE_THREADS`
-//! (comma-separated thread counts, default "1,2,4,8").
+//! (comma-separated thread counts, default "1,2,4,8"), `GIR_SEED`
+//! (traffic/dataset seed, default 48764 — pin it in CI so runs are
+//! deterministic and comparable across jobs).
 
 use gir_bench::report::Table;
 use gir_datagen::{synthetic, Distribution};
 use gir_query::ScoringFunction;
 use gir_rtree::RTree;
-use gir_serve::{mixed_workload, GirServer, ServeStats, ServerConfig, WorkloadConfig};
+use gir_serve::{
+    mixed_workload, GirServer, MaintenanceMode, ServeStats, ServerConfig, WorkloadConfig,
+};
 use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
 use std::io::Write;
 use std::sync::Arc;
@@ -26,10 +33,58 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Replays `traffic` against a fresh server and returns the aggregate
+/// stats plus total facet repairs.
+fn replay(
+    data: &[gir_rtree::Record],
+    d: usize,
+    threads: usize,
+    maintenance: MaintenanceMode,
+    traffic: &[gir_serve::TrafficBatch],
+) -> (ServeStats, usize) {
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, data).expect("bulk load");
+    let server = GirServer::new(
+        tree,
+        ScoringFunction::linear(d),
+        ServerConfig {
+            threads,
+            shards: 16,
+            shard_capacity: 32,
+            maintenance,
+            ..ServerConfig::default()
+        },
+    );
+    let mut agg = ServeStats::default();
+    let mut repaired = 0usize;
+    for batch in traffic {
+        let report = server.apply_updates(&batch.updates).expect("updates");
+        repaired += report.repaired;
+        let out = server.run_batch(&batch.queries);
+        agg.merge(&out.stats);
+    }
+    (agg, repaired)
+}
+
+fn json_row(threads: usize, n: usize, mode: &str, workload: &str, stats: &ServeStats) -> String {
+    format!(
+        "{{\"threads\":{threads},\"n\":{n},\"mode\":\"{mode}\",\"workload\":\"{workload}\",\"stats\":{}}}",
+        stats.to_json()
+    )
+}
+
 fn main() {
     let d = 3;
     let n = env_usize("GIR_N", 20_000);
     let total_queries = env_usize("GIR_SERVE_QUERIES", 12_000);
+    let seed = env_u64("GIR_SEED", 0xBE7C);
     let mut thread_counts: Vec<usize> = std::env::var("GIR_SERVE_THREADS")
         .unwrap_or_else(|_| "1,2,4,8".into())
         .split(',')
@@ -43,7 +98,7 @@ fn main() {
     // Several anchors and k sizes keep a meaningful miss stream while
     // the steady-state working set (anchors × k-buckets) still fits in
     // the cache, so the table measures the cache fast path, the
-    // compute path, and update sweeps together.
+    // compute path, and update reconciliation together.
     let batches = 24usize;
     let wl = WorkloadConfig {
         dim: d,
@@ -53,21 +108,23 @@ fn main() {
         queries_per_batch: total_queries.div_ceil(batches),
         updates_per_batch: 8,
         insert_fraction: 0.7,
+        insert_hot_fraction: 0.0,
+        delete_hot_fraction: 0.0,
         k_choices: vec![5, 10, 20],
-        seed: 0xBE7C,
+        seed,
     };
 
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
     println!(
-        "serve throughput  (IND, n={n}, d={d}, k∈{{5,10,20}}, FP; {} queries + {} updates \
-         per run; {cores} core(s) available — speedup is bounded by cores)\n",
+        "serve throughput  (IND, n={n}, d={d}, k∈{{5,10,20}}, FP, seed {seed}; {} queries + \
+         {} updates per run; {cores} core(s) available — speedup is bounded by cores)\n",
         wl.queries_per_batch * batches,
         wl.updates_per_batch * batches
     );
 
-    let base_data = synthetic(Distribution::Independent, n, d, 0xBE7D);
+    let base_data = synthetic(Distribution::Independent, n, d, seed.wrapping_add(1));
     let mut table = Table::new(&[
         "threads",
         "queries/s",
@@ -79,30 +136,17 @@ fn main() {
     let mut json_rows: Vec<String> = Vec::new();
     let mut base_qps = 0.0f64;
 
+    let traffic = mixed_workload(&wl, &base_data);
     for &threads in &thread_counts {
         // Fresh tree + server per thread count: identical traffic, cold
         // cache, no cross-contamination.
-        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
-        let tree = RTree::bulk_load(Arc::clone(&store), &base_data).expect("bulk load");
-        let server = GirServer::new(
-            tree,
-            ScoringFunction::linear(d),
-            ServerConfig {
-                threads,
-                shards: 16,
-                shard_capacity: 32,
-                ..ServerConfig::default()
-            },
+        let (agg, _) = replay(
+            &base_data,
+            d,
+            threads,
+            MaintenanceMode::DeltaRepair,
+            &traffic,
         );
-        let traffic = mixed_workload(&wl, &base_data);
-
-        let mut agg = ServeStats::default();
-        for batch in &traffic {
-            server.apply_updates(&batch.updates).expect("updates");
-            let out = server.run_batch(&batch.queries);
-            agg.merge(&out.stats);
-        }
-
         if base_qps == 0.0 {
             base_qps = agg.qps;
         }
@@ -114,14 +158,58 @@ fn main() {
             agg.p99_us.to_string(),
             format!("{:.2}x", agg.qps / base_qps),
         ]);
-        // Tag the per-run JSON with its thread count and dataset size.
-        let row = agg.to_json();
-        json_rows.push(format!(
-            "{{\"threads\":{threads},\"n\":{n},\"stats\":{row}}}"
-        ));
+        json_rows.push(json_row(threads, n, "delta", "read_heavy", &agg));
     }
+    table.print("gir-serve batch executor (delta repair)");
 
-    table.print("gir-serve batch executor");
+    // Write-mixed comparison: ≥ 10% updates with competitive churn (hot
+    // inserts shrink cached regions; hot deletes free them again). The
+    // legacy sweep never recovers the lost region volume, so delta
+    // repair must sustain a strictly higher hit rate — the tentpole win
+    // the CI gate (`perf_gate --require-delta-win`) enforces. One
+    // worker thread keeps the A/B free of admission races: same seed ⇒
+    // bit-identical hit counts, on any machine.
+    let mix_threads = 1;
+    let mix = WorkloadConfig {
+        updates_per_batch: (wl.queries_per_batch * 12).div_ceil(100),
+        insert_fraction: 0.5,
+        insert_hot_fraction: 0.6,
+        delete_hot_fraction: 0.8,
+        ..wl.clone()
+    };
+    let mix_traffic = mixed_workload(&mix, &base_data);
+    let mix_updates = mix.updates_per_batch * batches;
+    let mix_queries = mix.queries_per_batch * batches;
+    println!(
+        "\nmixed read/write workload: {mix_queries} queries + {mix_updates} updates \
+         ({:.1}% updates, hot churn) on {mix_threads} thread(s)\n",
+        100.0 * mix_updates as f64 / (mix_updates + mix_queries) as f64
+    );
+
+    let mut mix_table = Table::new(&[
+        "maintenance",
+        "queries/s",
+        "hit rate",
+        "p50 µs",
+        "p99 µs",
+        "repairs",
+    ]);
+    for (label, mode) in [
+        ("sweep", MaintenanceMode::LegacySweep),
+        ("delta", MaintenanceMode::DeltaRepair),
+    ] {
+        let (agg, repaired) = replay(&base_data, d, mix_threads, mode, &mix_traffic);
+        mix_table.row(vec![
+            label.to_string(),
+            format!("{:.0}", agg.qps),
+            format!("{:.1}%", agg.hit_rate() * 100.0),
+            agg.p50_us.to_string(),
+            agg.p99_us.to_string(),
+            repaired.to_string(),
+        ]);
+        json_rows.push(json_row(mix_threads, n, label, "mixed", &agg));
+    }
+    mix_table.print("update pipeline under churn (PR 1 sweep vs delta repair)");
 
     let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
     // Cargo runs benches with CWD = the package root; anchor the report

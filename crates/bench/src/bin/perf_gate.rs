@@ -1,0 +1,334 @@
+//! CI perf-regression gate over `BENCH_serve.json`.
+//!
+//! ```text
+//! perf_gate <baseline.json> <fresh.json> [--max-drop 0.25]
+//!           [--hit-rate-only] [--require-delta-win]
+//! ```
+//!
+//! Rows are matched on `(threads, n, mode, workload)`; for every match
+//! the gate fails when the fresh run's throughput (`qps`) or hit rate
+//! dropped by more than `--max-drop` (relative). Baseline rows with no
+//! fresh counterpart (or vice versa) are reported but tolerated — the
+//! bench matrix is allowed to evolve.
+//!
+//! `--hit-rate-only` skips the throughput comparison: wall-clock is not
+//! comparable across machines, so CI passes this flag when it falls
+//! back to the *committed* baseline instead of the previous run's
+//! artifact. Hit rates are machine-independent (same seed ⇒ same
+//! traffic ⇒ same cache behaviour).
+//!
+//! `--require-delta-win` additionally asserts the tentpole invariant on
+//! the fresh file alone: in the `mixed` workload, the delta-repair
+//! pipeline must sustain a strictly higher hit rate than the legacy
+//! sweep (bit-deterministic — the bench runs the A/B single-threaded),
+//! and at least 90% of its throughput (strictly-faster is the
+//! expectation; the allowance absorbs wall-clock noise on shared CI
+//! runners while still catching any real inversion).
+
+use std::process::ExitCode;
+
+/// One parsed bench row.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    threads: u64,
+    n: u64,
+    mode: String,
+    workload: String,
+    qps: f64,
+    hit_rate: f64,
+    p50_us: f64,
+}
+
+/// Extracts the raw text after `"key":` up to the next `,` or `}`.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| *c == ',' || *c == '}')
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    Some(raw_field(line, key)?.trim_matches('"').to_string())
+}
+
+/// Parses every row object out of a `BENCH_serve.json` body. The file
+/// is an array with one row per line (our own writer), but the parser
+/// only assumes each object sits on a single line.
+fn parse_rows(body: &str) -> Vec<Row> {
+    body.lines()
+        .filter(|l| l.contains("\"threads\""))
+        .filter_map(|l| {
+            Some(Row {
+                threads: num_field(l, "threads")? as u64,
+                n: num_field(l, "n")? as u64,
+                // Rows from before the mode/workload tags existed parse
+                // as the defaults they measured.
+                mode: str_field(l, "mode").unwrap_or_else(|| "delta".into()),
+                workload: str_field(l, "workload").unwrap_or_else(|| "read_heavy".into()),
+                qps: num_field(l, "qps")?,
+                hit_rate: num_field(l, "hit_rate")?,
+                p50_us: num_field(l, "p50_us").unwrap_or(0.0),
+            })
+        })
+        .collect()
+}
+
+fn key(r: &Row) -> (u64, u64, &str, &str) {
+    (r.threads, r.n, r.mode.as_str(), r.workload.as_str())
+}
+
+/// Relative drop from `base` to `fresh` (positive = regression).
+fn rel_drop(base: f64, fresh: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (base - fresh) / base
+    }
+}
+
+struct GateConfig {
+    max_drop: f64,
+    hit_rate_only: bool,
+    require_delta_win: bool,
+}
+
+/// Runs the gate; returns human-readable failures (empty = pass).
+fn gate(baseline: &[Row], fresh: &[Row], cfg: &GateConfig) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for f in fresh {
+        let Some(b) = baseline.iter().find(|b| key(b) == key(f)) else {
+            println!("  new row {:?} (no baseline counterpart)", key(f));
+            continue;
+        };
+        compared += 1;
+        let hit_drop = rel_drop(b.hit_rate, f.hit_rate);
+        println!(
+            "  {:?}: qps {:.0} -> {:.0} ({:+.1}%), hit rate {:.3} -> {:.3} ({:+.1}%), \
+             p50 {:.0} -> {:.0} µs",
+            key(f),
+            b.qps,
+            f.qps,
+            -100.0 * rel_drop(b.qps, f.qps),
+            b.hit_rate,
+            f.hit_rate,
+            -100.0 * hit_drop,
+            b.p50_us,
+            f.p50_us,
+        );
+        if hit_drop > cfg.max_drop {
+            failures.push(format!(
+                "{:?}: hit rate dropped {:.1}% (limit {:.0}%)",
+                key(f),
+                100.0 * hit_drop,
+                100.0 * cfg.max_drop
+            ));
+        }
+        if !cfg.hit_rate_only {
+            let qps_drop = rel_drop(b.qps, f.qps);
+            if qps_drop > cfg.max_drop {
+                failures.push(format!(
+                    "{:?}: throughput dropped {:.1}% (limit {:.0}%)",
+                    key(f),
+                    100.0 * qps_drop,
+                    100.0 * cfg.max_drop
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        println!("  (no comparable rows — bench matrix changed; gate is vacuous)");
+    }
+
+    if cfg.require_delta_win {
+        let find = |mode: &str| {
+            fresh
+                .iter()
+                .find(|r| r.workload == "mixed" && r.mode == mode)
+        };
+        match (find("delta"), find("sweep")) {
+            (Some(delta), Some(sweep)) => {
+                if delta.hit_rate <= sweep.hit_rate {
+                    failures.push(format!(
+                        "mixed workload: delta hit rate {:.3} not strictly above sweep {:.3}",
+                        delta.hit_rate, sweep.hit_rate
+                    ));
+                }
+                if delta.qps < 0.90 * sweep.qps {
+                    failures.push(format!(
+                        "mixed workload: delta qps {:.0} below 90% of sweep qps {:.0}",
+                        delta.qps, sweep.qps
+                    ));
+                }
+            }
+            _ => failures.push(
+                "--require-delta-win: fresh file lacks mixed-workload rows for both modes".into(),
+            ),
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut cfg = GateConfig {
+        max_drop: 0.25,
+        hit_rate_only: false,
+        require_delta_win: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-drop" => {
+                cfg.max_drop = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-drop needs a number");
+            }
+            "--hit-rate-only" => cfg.hit_rate_only = true,
+            "--require-delta-win" => cfg.require_delta_win = true,
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: perf_gate <baseline.json> <fresh.json> [--max-drop 0.25] \
+             [--hit-rate-only] [--require-delta-win]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let baseline = parse_rows(&read(baseline_path));
+    let fresh = parse_rows(&read(fresh_path));
+    println!(
+        "perf gate: {} baseline row(s) vs {} fresh row(s), max drop {:.0}%{}{}",
+        baseline.len(),
+        fresh.len(),
+        100.0 * cfg.max_drop,
+        if cfg.hit_rate_only {
+            " (hit-rate only)"
+        } else {
+            ""
+        },
+        if cfg.require_delta_win {
+            " + delta-win"
+        } else {
+            ""
+        },
+    );
+
+    let failures = gate(&baseline, &fresh, &cfg);
+    if failures.is_empty() {
+        println!("perf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("perf gate FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(line: &str) -> Row {
+        parse_rows(line).pop().expect("row parses")
+    }
+
+    const DELTA: &str = r#"{"threads":4,"n":8000,"mode":"delta","workload":"mixed","stats":{"queries":4000,"hits":3000,"misses":1000,"hit_rate":0.7500,"threads":4,"method":"FP","wall_ms":100.0,"qps":4000.0,"p50_us":12,"p95_us":80,"p99_us":300,"max_us":900}}"#;
+    const SWEEP: &str = r#"{"threads":4,"n":8000,"mode":"sweep","workload":"mixed","stats":{"queries":4000,"hits":2000,"misses":2000,"hit_rate":0.5000,"threads":4,"method":"FP","wall_ms":130.0,"qps":3100.0,"p50_us":14,"p95_us":90,"p99_us":350,"max_us":950}}"#;
+
+    #[test]
+    fn parses_tagged_and_legacy_rows() {
+        let r = row(DELTA);
+        assert_eq!(
+            (r.threads, r.n, r.mode.as_str(), r.workload.as_str()),
+            (4, 8000, "delta", "mixed")
+        );
+        assert!((r.qps - 4000.0).abs() < 1e-9);
+        assert!((r.hit_rate - 0.75).abs() < 1e-9);
+
+        // PR 1 rows had no mode/workload tags: defaults apply.
+        let legacy = r#"{"threads":2,"n":8000,"stats":{"hit_rate":0.9,"qps":1234.5,"p50_us":7}}"#;
+        let r = row(legacy);
+        assert_eq!(
+            (r.mode.as_str(), r.workload.as_str()),
+            ("delta", "read_heavy")
+        );
+        assert!((r.qps - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_passes_within_budget_and_fails_beyond_it() {
+        let cfg = GateConfig {
+            max_drop: 0.25,
+            hit_rate_only: false,
+            require_delta_win: false,
+        };
+        let base = vec![row(DELTA)];
+        // 20% qps drop: within budget.
+        let mut ok = row(DELTA);
+        ok.qps *= 0.8;
+        assert!(gate(&base, &[ok], &cfg).is_empty());
+        // 30% qps drop: regression.
+        let mut bad = row(DELTA);
+        bad.qps *= 0.7;
+        assert_eq!(gate(&base, &[bad.clone()], &cfg).len(), 1);
+        // ... tolerated under --hit-rate-only (cross-machine fallback).
+        let cfg_hr = GateConfig {
+            hit_rate_only: true,
+            ..cfg
+        };
+        assert!(gate(&base, &[bad], &cfg_hr).is_empty());
+        // Hit-rate collapse fails either way.
+        let mut stale = row(DELTA);
+        stale.hit_rate = 0.3;
+        assert_eq!(gate(&base, &[stale], &cfg_hr).len(), 1);
+    }
+
+    #[test]
+    fn unmatched_rows_are_tolerated() {
+        let cfg = GateConfig {
+            max_drop: 0.25,
+            hit_rate_only: false,
+            require_delta_win: false,
+        };
+        // Different n (reduced CI load) never compares against a
+        // full-size baseline.
+        let mut other = row(DELTA);
+        other.n = 20_000;
+        assert!(gate(&[other], &[row(DELTA)], &cfg).is_empty());
+    }
+
+    #[test]
+    fn delta_win_requirement() {
+        let cfg = GateConfig {
+            max_drop: 0.25,
+            hit_rate_only: false,
+            require_delta_win: true,
+        };
+        let fresh = vec![row(DELTA), row(SWEEP)];
+        assert!(gate(&[], &fresh, &cfg).is_empty());
+
+        // Sweep catching up on hit rate must trip the gate.
+        let mut tied = row(SWEEP);
+        tied.hit_rate = 0.75;
+        assert_eq!(gate(&[], &[row(DELTA), tied], &cfg).len(), 1);
+
+        // Missing rows trip it too.
+        assert_eq!(gate(&[], &[row(DELTA)], &cfg).len(), 1);
+    }
+}

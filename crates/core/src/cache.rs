@@ -6,7 +6,7 @@
 //! preserves both composition *and order*, a cached result with `k' ≥ k`
 //! also answers a top-`k` request by prefix — the paper notes that even
 //! partial reuse ("report the available highest-scoring records
-//! immediately") is desirable [31].
+//! immediately") is desirable \[31\].
 //!
 //! A GIR is only meaningful relative to the scoring function it was
 //! computed under, so every entry records its [`ScoringFunction`] and a
@@ -16,7 +16,9 @@
 //! This cache is single-threaded (`&mut self`); the concurrent serving
 //! layer wraps it per shard — see `gir_serve::ShardedGirCache`.
 
+use crate::maintenance::{DeltaBatch, UpdateImpact};
 use crate::region::GirRegion;
+use gir_geometry::hyperplane::HalfSpace;
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 
@@ -195,6 +197,114 @@ impl GirCache {
         self.evictions += dropped as u64;
         dropped
     }
+
+    /// Reconciles every entry with a coalesced [`DeltaBatch`] in one
+    /// pass — the incremental alternative to per-update
+    /// [`GirCache::on_insert`]/[`GirCache::on_delete`] sweeps:
+    ///
+    /// * `Unaffected` entries survive untouched,
+    /// * `Shrunk` entries absorb the newcomers' half-spaces in place
+    ///   (the shrink is exact — see [`crate::maintenance`]),
+    /// * `NeedsRepair` entries are handed to `repair` (a closure with
+    ///   index access, typically [`crate::maintenance::repair_region`]);
+    ///   when it declines (`None` — e.g. non-linear scoring), the entry
+    ///   keeps its sound-but-non-maximal region with the shrinks
+    ///   applied,
+    /// * `Invalidated` entries are evicted.
+    pub fn apply_batch(
+        &mut self,
+        batch: &DeltaBatch,
+        mut repair: impl FnMut(&RepairRequest<'_>) -> Option<GirRegion>,
+    ) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        if batch.is_empty() {
+            out.untouched = self.entries.len();
+            return out;
+        }
+        self.entries.retain_mut(|e| {
+            let verdict = batch.classify(&e.region, &e.result, &e.scoring);
+            match verdict.impact {
+                UpdateImpact::Unaffected => {
+                    out.untouched += 1;
+                    true
+                }
+                UpdateImpact::Shrunk => {
+                    e.region.halfspaces.extend(verdict.shrinks);
+                    out.shrunk += 1;
+                    true
+                }
+                UpdateImpact::NeedsRepair => {
+                    let req = RepairRequest {
+                        region: &e.region,
+                        result: &e.result,
+                        scoring: &e.scoring,
+                        removed: &verdict.removed_contributors,
+                        shrinks: &verdict.shrinks,
+                    };
+                    match repair(&req) {
+                        Some(region) => {
+                            e.region = region;
+                            out.repaired += 1;
+                        }
+                        None => {
+                            // Keep the entry sound: the dead
+                            // contributor's constraint only makes the
+                            // region smaller, but the shrinks are
+                            // mandatory.
+                            e.region.halfspaces.extend(verdict.shrinks);
+                            out.shrunk += 1;
+                        }
+                    }
+                    true
+                }
+                UpdateImpact::Invalidated => {
+                    out.evicted += 1;
+                    false
+                }
+            }
+        });
+        self.evictions += out.evicted as u64;
+        out
+    }
+}
+
+/// Everything a repair closure needs to rebuild one entry's region (see
+/// [`GirCache::apply_batch`] and [`crate::maintenance::repair_region`]).
+#[derive(Debug)]
+pub struct RepairRequest<'a> {
+    /// The entry's current (sound) region.
+    pub region: &'a GirRegion,
+    /// The entry's cached result — still the true top-k at its query.
+    pub result: &'a TopKResult,
+    /// The scoring function the entry was computed under.
+    pub scoring: &'a ScoringFunction,
+    /// Contributor ids deleted by the batch.
+    pub removed: &'a [u64],
+    /// Mandatory shrink half-spaces from the batch's insertions.
+    pub shrinks: &'a [HalfSpace],
+}
+
+/// Tally of one [`GirCache::apply_batch`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Entries the batch did not touch at all.
+    pub untouched: usize,
+    /// Entries shrunk in place (including repair fallbacks).
+    pub shrunk: usize,
+    /// Entries whose facets were rebuilt.
+    pub repaired: usize,
+    /// Entries evicted as stale.
+    pub evicted: usize,
+}
+
+impl BatchOutcome {
+    /// Accumulates another pass (e.g. across cache shards).
+    pub fn merge(&mut self, other: &BatchOutcome) {
+        self.untouched += other.untouched;
+        self.shrunk += other.shrunk;
+        self.repaired += other.repaired;
+        self.evicted += other.evicted;
+    }
 }
 
 #[cfg(test)]
@@ -328,5 +438,60 @@ mod tests {
         assert_eq!(cache.on_delete(2), 1);
         assert_eq!(cache.evictions(), 1);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn apply_batch_routes_entries_by_impact() {
+        let mut cache = GirCache::new(8);
+        // Entry A: result {1,2}; its region's bounding records are ids 0/1
+        // (see `region()`): record 0 is a *contributor*, record 2 a result
+        // member.
+        cache.insert(region(0.2, 0.8), result(&[1, 2]), linear());
+
+        // Deleting a contributor (id 0, not in the result) asks for
+        // repair; a declining repairer keeps the entry sound.
+        let mut batch = DeltaBatch::new();
+        batch.record_delete(0);
+        let mut requests = 0usize;
+        let out = cache.apply_batch(&batch, |req| {
+            requests += 1;
+            assert_eq!(req.removed, &[0]);
+            None
+        });
+        assert_eq!(requests, 1);
+        assert_eq!(
+            out,
+            BatchOutcome {
+                shrunk: 1,
+                ..Default::default()
+            }
+        );
+        assert_eq!(cache.len(), 1);
+
+        // A repairer that supplies a fresh region replaces it in place.
+        let out = cache.apply_batch(&batch, |_| Some(region(0.1, 0.9)));
+        assert_eq!(out.repaired, 1);
+        assert!(cache
+            .lookup(&PointD::new(vec![0.15, 0.5]), 2, &linear())
+            .is_some());
+
+        // Deleting a result member evicts.
+        let mut batch = DeltaBatch::new();
+        batch.record_delete(2);
+        let out = cache.apply_batch(&batch, |_| panic!("no repair for invalidation"));
+        assert_eq!(out.evicted, 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 1);
+
+        // An empty batch touches nothing.
+        cache.insert(region(0.0, 1.0), result(&[7]), linear());
+        let out = cache.apply_batch(&DeltaBatch::new(), |_| panic!("no work"));
+        assert_eq!(
+            out,
+            BatchOutcome {
+                untouched: 1,
+                ..Default::default()
+            }
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! facets* — refining them first over the in-memory set `T` and then over
 //! the disk, pruning R-tree entries that lie below both facets.
 
-use crate::fp::FpStats;
+use crate::fp::{FpStats, SweepContext};
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_geometry::vector::PointD;
 use gir_geometry::EPS;
@@ -96,20 +96,41 @@ pub fn fp_phase2_2d(
     tree: &RTree,
     scoring: &ScoringFunction,
     kth: &Record,
+    state: SearchState,
+) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
+    fp_phase2_2d_ctx(tree, scoring, kth, state, &SweepContext::default())
+}
+
+/// FP Phase 2 for `d = 2` with an explicit [`SweepContext`]: the entry
+/// point for incremental repair, where the state is root-seeded (so
+/// result members must be excluded) and the surviving contributors seed
+/// the rotation bounds before any node is fetched.
+pub fn fp_phase2_2d_ctx(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    kth: &Record,
     mut state: SearchState,
+    ctx: &SweepContext<'_>,
 ) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
     assert!(
         scoring.is_linear(),
         "FP relies on convex-hull properties that hold only for linear scoring (paper §7.2)"
     );
     let mut bounds = AngularBounds::new(kth.attrs.clone());
+    for seed in ctx.seeds {
+        bounds.update(seed);
+    }
 
     // First step: the in-memory candidates T (record entries in the heap).
     // Drain them so the disk step sees only node entries.
     let mut nodes: Vec<HeapEntry> = Vec::new();
     for entry in state.heap.drain() {
         match entry {
-            HeapEntry::Rec { record, .. } => bounds.update(&record),
+            HeapEntry::Rec { record, .. } => {
+                if !ctx.skips(record.id) {
+                    bounds.update(&record);
+                }
+            }
             node @ HeapEntry::Node { .. } => nodes.push(node),
         }
     }
@@ -145,7 +166,7 @@ pub fn fp_phase2_2d(
             }
             NodeEntries::Leaf(records) => {
                 for rec in records {
-                    if rec.id != kth.id {
+                    if rec.id != kth.id && !ctx.skips(rec.id) {
                         bounds.update(&rec);
                     }
                 }

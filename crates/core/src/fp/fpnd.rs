@@ -6,7 +6,7 @@
 //! below every facet are pruned without being fetched.
 
 use crate::fp::star::StarHull;
-use crate::fp::FpStats;
+use crate::fp::{FpStats, SweepContext};
 use gir_geometry::dominance::dominates;
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_geometry::lp::{maximize, LpStatus};
@@ -94,9 +94,34 @@ pub fn fp_phase2_nd_with(
     tree: &RTree,
     scoring: &ScoringFunction,
     kth: &Record,
+    state: SearchState,
+    opts: FpOptions,
+    interim: &[HalfSpace],
+) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
+    fp_phase2_nd_ctx(
+        tree,
+        scoring,
+        kth,
+        state,
+        opts,
+        interim,
+        &SweepContext::default(),
+    )
+}
+
+/// FP Phase 2 for `d > 2` with an explicit [`SweepContext`]: the entry
+/// point for incremental repair, where the state is root-seeded (so
+/// result members must be excluded) and the surviving contributors seed
+/// the star before any node is fetched.
+#[allow(clippy::too_many_arguments)]
+pub fn fp_phase2_nd_ctx(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    kth: &Record,
     mut state: SearchState,
     opts: FpOptions,
     interim: &[HalfSpace],
+    ctx: &SweepContext<'_>,
 ) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
     assert!(
         scoring.is_linear(),
@@ -108,6 +133,11 @@ pub fn fp_phase2_nd_with(
     } else {
         None
     };
+    for seed in ctx.seeds {
+        if !dominates(&kth.attrs, &seed.attrs) {
+            star.insert(&seed.attrs, seed.id);
+        }
+    }
 
     // First step: in-memory candidates T, best (highest coordinate sum)
     // first so early facets prune aggressively — the effect of the
@@ -117,7 +147,7 @@ pub fn fp_phase2_nd_with(
     for entry in state.heap.drain() {
         match entry {
             HeapEntry::Rec { record, .. } => {
-                if !dominates(&kth.attrs, &record.attrs) {
+                if !ctx.skips(record.id) && !dominates(&kth.attrs, &record.attrs) {
                     t.push(record);
                 }
             }
@@ -173,7 +203,8 @@ pub fn fp_phase2_nd_with(
             }
             NodeEntries::Leaf(records) => {
                 for rec in records {
-                    if rec.id != kth.id && !dominates(&kth.attrs, &rec.attrs) {
+                    if rec.id != kth.id && !ctx.skips(rec.id) && !dominates(&kth.attrs, &rec.attrs)
+                    {
                         star.insert(&rec.attrs, rec.id);
                     }
                 }

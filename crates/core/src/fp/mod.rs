@@ -15,13 +15,14 @@ pub mod fp2d;
 pub mod fpnd;
 pub mod star;
 
-pub use fp2d::fp_phase2_2d;
-pub use fpnd::{fp_phase2_nd, fp_phase2_nd_with, FpOptions};
+pub use fp2d::{fp_phase2_2d, fp_phase2_2d_ctx};
+pub use fpnd::{fp_phase2_nd, fp_phase2_nd_ctx, fp_phase2_nd_with, FpOptions};
 pub use star::StarHull;
 
 use gir_geometry::hyperplane::HalfSpace;
-use gir_query::{Record, ScoringFunction, SearchState};
+use gir_query::{HeapEntry, Record, ScoringFunction, SearchState};
 use gir_rtree::{RTree, RTreeError};
+use std::collections::BinaryHeap;
 
 /// FP-specific Phase 2 statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +35,33 @@ pub struct FpStats {
     pub nodes_examined: usize,
     /// Nodes pruned below the facets without fetching.
     pub nodes_pruned: usize,
+}
+
+/// Candidate policy for an FP sweep that does not start from a retained
+/// BRS state (incremental repair, ISSUE 2).
+///
+/// A retained heap never contains result records (BRS popped them), so
+/// the normal Phase-2 entry points only skip `p_k` defensively. A
+/// *root-seeded* sweep re-encounters the whole dataset and must skip
+/// every result member (`exclude`), or their conditions would wrongly
+/// pin the rotation at `p_k`'s own score order. `seeds` pre-inserts
+/// known candidates — the surviving facet contributors of the region
+/// under repair — so the sweep starts with tight interim facets and
+/// prunes everything except the neighbourhood of the lost facet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepContext<'a> {
+    /// Record ids never treated as candidates (the result members).
+    pub exclude: &'a [u64],
+    /// Candidates inserted before the sweep begins.
+    pub seeds: &'a [Record],
+}
+
+impl SweepContext<'_> {
+    /// True when `id` must not become a Phase-2 candidate.
+    #[inline]
+    pub fn skips(&self, id: u64) -> bool {
+        self.exclude.contains(&id)
+    }
 }
 
 /// FP Phase 2, dispatching on dimensionality (§6.2 vs §6.3). `interim`
@@ -51,5 +79,58 @@ pub fn fp_phase2(
         fp_phase2_2d(tree, scoring, kth, state)
     } else {
         fp_phase2_nd_with(tree, scoring, kth, state, FpOptions::default(), interim)
+    }
+}
+
+/// Incremental facet rebuild: reruns the FP sweep pinned at the cached
+/// `p_k` over a **root-seeded** search state — no BRS top-k retrieval,
+/// no Phase 1 recompute. The cached result supplies the exclusion set,
+/// `seeds` the surviving contributors, and `interim` every constraint
+/// already known to hold on the repaired region (ordering + surviving
+/// non-result + box), which the `d > 2` footnote-7 pruner uses to skip
+/// all subtrees that cannot move a facet.
+///
+/// Sound because the repaired GIR is contained in the interim region:
+/// any record whose condition is redundant throughout the interim
+/// region is redundant in the final one too.
+pub fn fp_repair(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    result: &gir_query::TopKResult,
+    interim: &[HalfSpace],
+    seeds: &[Record],
+) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
+    assert!(
+        scoring.is_linear(),
+        "FP repair relies on convex-hull properties that hold only for linear scoring (paper §7.2)"
+    );
+    let kth = result.kth();
+    let exclude = result.ids();
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry::Node {
+        page: tree.root_page(),
+        maxscore: f64::INFINITY,
+        mbb: None,
+    });
+    let state = SearchState {
+        heap,
+        leaf_pages_read: 0,
+    };
+    let ctx = SweepContext {
+        exclude: &exclude,
+        seeds,
+    };
+    if kth.dim() == 2 {
+        fp_phase2_2d_ctx(tree, scoring, kth, state, &ctx)
+    } else {
+        fp_phase2_nd_ctx(
+            tree,
+            scoring,
+            kth,
+            state,
+            FpOptions::default(),
+            interim,
+            &ctx,
+        )
     }
 }

@@ -42,8 +42,8 @@ pub mod sp;
 pub mod svg;
 pub mod viz;
 
-pub use cache::GirCache;
+pub use cache::{BatchOutcome, GirCache, RepairRequest};
 pub use engine::{GirEngine, GirError, GirOutput, GirStats, Method};
-pub use maintenance::UpdateImpact;
+pub use maintenance::{repair_region, BatchImpact, DeltaBatch, InsertionImpact, UpdateImpact};
 pub use region::{BoundaryEvent, GirRegion, ReducedGir};
 pub use viz::{slide_bar_bounds, SlideBarBounds};

@@ -1,10 +1,10 @@
 //! Local immutable regions (LIRs) — the per-dimension baseline.
 //!
-//! The most relevant prior work [24] computes an *immutable interval per
+//! The most relevant prior work \[24\] computes an *immutable interval per
 //! decision factor*, holding all other weights fixed (paper §2). The GIR
 //! subsumes LIRs: projecting the query through the GIR along each axis
 //! yields all `d` intervals at once ([`crate::region::GirRegion::axis_intervals`]),
-//! and — unlike [24] — surviving *simultaneous* multi-weight moves and
+//! and — unlike \[24\] — surviving *simultaneous* multi-weight moves and
 //! weight updates inside the region without recomputation.
 //!
 //! This module provides the from-scratch comparator: LIRs obtained by

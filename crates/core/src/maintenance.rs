@@ -1,4 +1,4 @@
-//! GIR maintenance under dataset updates.
+//! Incremental GIR maintenance under dataset updates.
 //!
 //! The paper's caching application (§1) keeps `(GIR, result)` pairs
 //! around; this module answers what happens to them when the dataset
@@ -6,36 +6,130 @@
 //! paper cites ([1, 22]) and a prerequisite for using the cache on a
 //! live table.
 //!
+//! The delta of one record touches at most a handful of a GIR's
+//! bounding half-spaces, so maintenance costs proportional to the
+//! *delta*, not the region:
+//!
 //! * **Insertion** of record `p`: the cached result stays correct at
 //!   `q'` iff `S(p_k, q') ≥ S(p, q')`. Whether the *whole* region
-//!   survives is one low-dimensional LP — maximize `(g(p) − g(p_k))·q'`
-//!   over the region; a positive optimum means part of the region is
-//!   stale. That part is exactly the far side of one half-space, so the
-//!   region can be *shrunk* in place and stays sound (it merely stops
-//!   being maximal). Only when the original query itself lands in the
-//!   stale part must the entry be dropped.
-//! * **Deletion** of a non-result record can only *grow* the true GIR;
-//!   the cached region stays sound as-is (conservatively non-maximal).
-//!   Deleting a result record invalidates the entry outright.
+//!   survives is one LP feasibility question — does the score
+//!   hyperplane `(g(p) − g(p_k)) · q' = 0` intersect the region
+//!   polytope? ([`classify_insertion`], one Seidel LP, no top-k
+//!   recompute.) If it does and the original query is on the safe
+//!   side, the region is *shrunk* by exactly that half-space — the
+//!   shrink is exact, not conservative: the true new GIR *is*
+//!   `old ∩ {S(p_k) ≥ S(p)}`. Only when the original query itself is
+//!   on the stale side must the entry be dropped.
+//! * **Deletion** of a result member invalidates the entry outright.
+//!   Deletion of a non-result record can only *grow* the true GIR; the
+//!   cached region stays sound as-is. When the record *contributes a
+//!   bounding half-space* ([`GirRegion::contributes`]), the region has
+//!   stopped being maximal and [`repair_region`] rebuilds just the
+//!   affected facets: an FP sweep pinned at the cached `p_k`, seeded
+//!   with the surviving contributors and pruned by every constraint
+//!   already known to hold — no BRS retrieval, no Phase-1 recompute.
+//! * **Bursts** of updates are coalesced into a [`DeltaBatch`] and
+//!   classified against each cached region in a single pass, so a
+//!   region untouched by the whole burst is tested once, not once per
+//!   update.
 
+use crate::fp::fp_repair;
 use crate::region::GirRegion;
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
-use gir_geometry::lp::{maximize, LpStatus};
+use gir_geometry::lp::improves_somewhere;
 use gir_geometry::vector::PointD;
 use gir_geometry::EPS;
-use gir_query::{Record, ScoringFunction};
+use gir_query::{Record, ScoringFunction, TopKResult};
+use gir_rtree::{RTree, RTreeError};
 
-/// Effect of a dataset update on a cached GIR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Effect of a dataset update (or a whole [`DeltaBatch`]) on a cached
+/// GIR, in increasing order of severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum UpdateImpact {
     /// The region is untouched (still sound *and* maximal w.r.t. the
     /// update).
     Unaffected,
-    /// The region was shrunk in place; it is sound but possibly no
-    /// longer maximal.
+    /// The region was (or must be) shrunk in place by the newcomers'
+    /// score-order half-spaces; the shrunk region is exactly the new
+    /// GIR.
     Shrunk,
-    /// The cached result is stale at the original query: drop the entry.
+    /// A bounding-facet contributor was deleted: the region is still
+    /// sound but no longer maximal — [`repair_region`] rebuilds the
+    /// affected facets.
+    NeedsRepair,
+    /// The cached result is stale at the original query: drop the
+    /// entry.
     Invalidated,
+}
+
+/// Effect of one insertion on a cached region ([`classify_insertion`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertionImpact {
+    /// The newcomer never out-scores `p_k` inside the region.
+    Unaffected,
+    /// The newcomer wins somewhere in the region but not at the cached
+    /// query: intersecting with this half-space yields the new GIR.
+    Shrinks(HalfSpace),
+    /// The newcomer wins at the cached query itself: the result is
+    /// stale.
+    Invalidated,
+}
+
+/// Classifies the insertion of `rec` against a cached region whose k-th
+/// result record is `kth` — one LP feasibility check, no top-k
+/// recompute, no mutation.
+pub fn classify_insertion(
+    region: &GirRegion,
+    kth: &Record,
+    rec: &Record,
+    scoring: &ScoringFunction,
+) -> InsertionImpact {
+    classify_insertion_cached(region, &mut None, kth, rec, scoring)
+}
+
+/// [`classify_insertion`] with a lazily-built constraint vector the
+/// caller can reuse across several inserts against the same region (the
+/// [`DeltaBatch::classify`] loop): the conversion clones every
+/// half-space normal, so it is built at most once per region per batch
+/// — and not at all when every insert resolves on a fast path.
+fn classify_insertion_cached(
+    region: &GirRegion,
+    cons: &mut Option<Vec<(PointD, f64)>>,
+    kth: &Record,
+    rec: &Record,
+    scoring: &ScoringFunction,
+) -> InsertionImpact {
+    let pk_t = scoring.transform_point(&kth.attrs);
+    let p_t = scoring.transform_point(&rec.attrs);
+    // Objective: (g(p) − g(p_k)) · q' — positive anywhere means p
+    // out-scores p_k there.
+    let obj = p_t.sub(&pk_t);
+
+    // Fast paths before any allocation: a newcomer dominated by p_k in
+    // transformed space never wins; one that wins at the cached query
+    // itself is an eviction, no LP needed.
+    if obj.coords().iter().all(|&v| v <= EPS) {
+        return InsertionImpact::Unaffected;
+    }
+    if obj.dot(&region.query) > EPS {
+        return InsertionImpact::Invalidated;
+    }
+    let cons = cons.get_or_insert_with(|| {
+        region
+            .halfspaces
+            .iter()
+            .map(|h| (h.normal.clone(), h.offset))
+            .collect()
+    });
+    if improves_somewhere(&obj, cons, 0.0, 1.0, EPS) {
+        InsertionImpact::Shrinks(HalfSpace::score_order(
+            &pk_t,
+            &p_t,
+            Provenance::NonResult { record_id: rec.id },
+        ))
+    } else {
+        InsertionImpact::Unaffected
+    }
 }
 
 /// Processes the insertion of `rec` against a cached region whose k-th
@@ -46,39 +140,32 @@ pub fn apply_insertion(
     rec: &Record,
     scoring: &ScoringFunction,
 ) -> UpdateImpact {
-    let pk_t = scoring.transform_point(&kth.attrs);
-    let p_t = scoring.transform_point(&rec.attrs);
-    // Objective: (g(p) − g(p_k)) · q' — positive anywhere means p
-    // out-scores p_k there.
-    let obj = p_t.sub(&pk_t);
+    match classify_insertion(region, kth, rec, scoring) {
+        InsertionImpact::Unaffected => UpdateImpact::Unaffected,
+        InsertionImpact::Invalidated => UpdateImpact::Invalidated,
+        InsertionImpact::Shrinks(h) => {
+            region.halfspaces.push(h);
+            UpdateImpact::Shrunk
+        }
+    }
+}
 
-    // Fast path: p dominated by p_k in transformed space ⇒ never wins.
-    if obj.coords().iter().all(|&v| v <= EPS) {
-        return UpdateImpact::Unaffected;
+/// Classifies the deletion of `deleted_id` against a cached region for
+/// the result `result_ids`: result members invalidate, facet
+/// contributors need repair, everything else is untouched.
+pub fn classify_deletion(region: &GirRegion, result_ids: &[u64], deleted_id: u64) -> UpdateImpact {
+    if result_ids.contains(&deleted_id) {
+        UpdateImpact::Invalidated
+    } else if region.contributes(deleted_id) {
+        UpdateImpact::NeedsRepair
+    } else {
+        UpdateImpact::Unaffected
     }
-    let cons: Vec<(PointD, f64)> = region
-        .halfspaces
-        .iter()
-        .map(|h| (h.normal.clone(), h.offset))
-        .collect();
-    let res = maximize(&obj, &cons, 0.0, 1.0);
-    if res.status != LpStatus::Optimal || res.value <= EPS {
-        return UpdateImpact::Unaffected;
-    }
-    // Part of the region is stale. Is the original query in it?
-    if obj.dot(&region.query) > EPS {
-        return UpdateImpact::Invalidated;
-    }
-    region.halfspaces.push(HalfSpace::score_order(
-        &pk_t,
-        &p_t,
-        Provenance::NonResult { record_id: rec.id },
-    ));
-    UpdateImpact::Shrunk
 }
 
 /// Processes the deletion of record `deleted_id` against a cached region
-/// for the result `result_ids`.
+/// for the result `result_ids` — the PR 1 sweep semantics: contributor
+/// deletions are tolerated (sound, conservatively non-maximal).
 pub fn apply_deletion(result_ids: &[u64], deleted_id: u64) -> UpdateImpact {
     if result_ids.contains(&deleted_id) {
         UpdateImpact::Invalidated
@@ -86,6 +173,222 @@ pub fn apply_deletion(result_ids: &[u64], deleted_id: u64) -> UpdateImpact {
         // The true GIR can only grow; the cached region stays sound.
         UpdateImpact::Unaffected
     }
+}
+
+/// A coalesced burst of dataset updates, classified against each cached
+/// region in one pass ([`DeltaBatch::classify`]).
+///
+/// An insert-then-delete of the same record inside one batch cancels
+/// out: no query can have observed it, so no cached region needs to
+/// hear about it.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    inserts: Vec<Record>,
+    deletes: Vec<u64>,
+}
+
+/// One region's verdict for a whole [`DeltaBatch`]: the combined
+/// impact, the shrink half-spaces every surviving entry must absorb,
+/// and the contributors whose deletion triggered the repair.
+#[derive(Debug, Clone)]
+pub struct BatchImpact {
+    /// Combined severity over the batch.
+    pub impact: UpdateImpact,
+    /// Score-order half-spaces of the newcomers that win somewhere in
+    /// the region (empty unless some insert shrinks it). Valid — and
+    /// required for soundness — whether the entry is shrunk in place or
+    /// repaired.
+    pub shrinks: Vec<HalfSpace>,
+    /// Deleted records that contributed bounding half-spaces.
+    pub removed_contributors: Vec<u64>,
+}
+
+impl BatchImpact {
+    fn invalidated() -> BatchImpact {
+        BatchImpact {
+            impact: UpdateImpact::Invalidated,
+            shrinks: Vec::new(),
+            removed_contributors: Vec::new(),
+        }
+    }
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> DeltaBatch {
+        DeltaBatch::default()
+    }
+
+    /// Records an applied insertion.
+    pub fn record_insert(&mut self, rec: &Record) {
+        self.inserts.push(rec.clone());
+    }
+
+    /// Records an applied deletion known only by id. Never cancels a
+    /// pending same-batch insert: without the deleted record's location
+    /// there is no proof the delete removed the batch-inserted record
+    /// rather than a pre-batch record sharing the id (the R\*-tree does
+    /// not forbid duplicates, and deletes match by id *and* location).
+    /// Classifying a still-pending ephemeral insert is conservative,
+    /// never unsound. Prefer [`DeltaBatch::record_delete_at`] when the
+    /// location is known.
+    pub fn record_delete(&mut self, id: u64) {
+        self.deletes.push(id);
+    }
+
+    /// Records an applied deletion by id and location, cancelling a
+    /// pending same-batch insert only when both match — then the delete
+    /// provably removed the batch-inserted record (or an
+    /// indistinguishable twin), so no query can ever have observed it.
+    /// The delete itself is still recorded: the id may *also* name a
+    /// pre-batch record, and for a genuinely ephemeral record the
+    /// recorded delete classifies as `Unaffected` anyway, since no
+    /// cached entry can reference it.
+    pub fn record_delete_at(&mut self, id: u64, attrs: &PointD) {
+        if let Some(i) = self
+            .inserts
+            .iter()
+            .position(|r| r.id == id && r.attrs == *attrs)
+        {
+            self.inserts.swap_remove(i);
+        }
+        self.deletes.push(id);
+    }
+
+    /// The coalesced insertions.
+    pub fn inserts(&self) -> &[Record] {
+        &self.inserts
+    }
+
+    /// The coalesced deletions.
+    pub fn deleted_ids(&self) -> &[u64] {
+        &self.deletes
+    }
+
+    /// Net updates carried by the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True when the batch coalesced to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Classifies the whole batch against one cached region in a single
+    /// pass: deletions first (set membership only), then one LP
+    /// feasibility check per non-dominated insert. Returns early on the
+    /// first invalidation.
+    pub fn classify(
+        &self,
+        region: &GirRegion,
+        result: &TopKResult,
+        scoring: &ScoringFunction,
+    ) -> BatchImpact {
+        let result_ids = result.ids();
+        if self.deletes.iter().any(|id| result_ids.contains(id)) {
+            return BatchImpact::invalidated();
+        }
+        let removed_contributors: Vec<u64> = self
+            .deletes
+            .iter()
+            .copied()
+            .filter(|&id| region.contributes(id))
+            .collect();
+
+        let kth = result.kth();
+        let mut shrinks = Vec::new();
+        let mut cons = None;
+        for rec in &self.inserts {
+            match classify_insertion_cached(region, &mut cons, kth, rec, scoring) {
+                InsertionImpact::Invalidated => return BatchImpact::invalidated(),
+                InsertionImpact::Shrinks(h) => shrinks.push(h),
+                InsertionImpact::Unaffected => {}
+            }
+        }
+
+        let impact = if !removed_contributors.is_empty() {
+            UpdateImpact::NeedsRepair
+        } else if !shrinks.is_empty() {
+            UpdateImpact::Shrunk
+        } else {
+            UpdateImpact::Unaffected
+        };
+        BatchImpact {
+            impact,
+            shrinks,
+            removed_contributors,
+        }
+    }
+}
+
+/// Rebuilds the non-result facets of a cached region after the records
+/// in `removed` were deleted, restoring maximality without recomputing
+/// the top-k: the cached ordering half-spaces are kept verbatim, the
+/// surviving contributors are reconstructed from their half-space
+/// normals (`g(p) = g(p_k) + normal`) and seed the FP sweep, and the
+/// sweep runs from the tree root pinned at the cached `p_k` with every
+/// kept constraint as interim pruning (see [`fp_repair`]).
+///
+/// `shrinks` carries the score-order half-spaces of newcomers from the
+/// same batch (their records are live, so they double as seeds).
+///
+/// Only valid when the batch did **not** invalidate the entry (the
+/// cached top-k is still the true top-k at the cached query) and the
+/// scoring function is linear (an FP restriction, §7.2).
+pub fn repair_region(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    result: &TopKResult,
+    region: &GirRegion,
+    removed: &[u64],
+    shrinks: &[HalfSpace],
+) -> Result<GirRegion, RTreeError> {
+    let kth = result.kth();
+    let pk_t = scoring.transform_point(&kth.attrs);
+
+    let mut ordering: Vec<HalfSpace> = Vec::new();
+    let mut surviving: Vec<HalfSpace> = Vec::new();
+    let mut seeds: Vec<Record> = Vec::new();
+    for h in region.halfspaces.iter().chain(shrinks) {
+        match h.provenance {
+            Provenance::Ordering { .. } => ordering.push(h.clone()),
+            // GirRegion::new re-appends the box.
+            Provenance::QueryBox { .. } => {}
+            Provenance::NonResult { record_id } => {
+                if !removed.contains(&record_id) {
+                    // normal = g(p) − g(p_k); linear scoring means the
+                    // transformed point is the attribute vector itself.
+                    seeds.push(Record::new(record_id, pk_t.add(&h.normal)));
+                    surviving.push(h.clone());
+                }
+            }
+            // GIR* conditions are score-order against a *rank pivot*
+            // `p_i`, not `p_k`, so no candidate can be reconstructed
+            // from the normal. The constraint itself still holds on the
+            // repaired region (ordering carries `p_i` down to `p_k`), so
+            // it stays valid for interim pruning; the sweep rediscovers
+            // the record from disk if it bounds a facet.
+            Provenance::StarNonResult { record_id, .. } => {
+                if !removed.contains(&record_id) {
+                    surviving.push(h.clone());
+                }
+            }
+        }
+    }
+
+    // Every kept constraint holds on the repaired region (the true GIR
+    // is where the cached top-k survives, and all seed records are
+    // live), so the repaired region is contained in their intersection:
+    // sound interim pruning for the sweep.
+    let mut interim: Vec<HalfSpace> = ordering.clone();
+    interim.extend(surviving);
+    interim.extend(HalfSpace::full_query_box(region.d));
+
+    let (phase2, _stats) = fp_repair(tree, scoring, result, &interim, &seeds)?;
+    let mut halfspaces = ordering;
+    halfspaces.extend(phase2);
+    Ok(GirRegion::new(region.d, region.query.clone(), halfspaces))
 }
 
 #[cfg(test)]
@@ -168,5 +471,172 @@ mod tests {
     fn deletion_of_result_record_invalidates() {
         assert_eq!(apply_deletion(&[1, 2, 3], 2), UpdateImpact::Invalidated);
         assert_eq!(apply_deletion(&[1, 2, 3], 9), UpdateImpact::Unaffected);
+    }
+
+    #[test]
+    fn deletion_classification_spots_contributors() {
+        let (region, _) = wedge_region();
+        assert_eq!(
+            classify_deletion(&region, &[42, 43], 43),
+            UpdateImpact::Invalidated
+        );
+        assert_eq!(
+            classify_deletion(&region, &[42, 43], 1),
+            UpdateImpact::NeedsRepair
+        );
+        assert_eq!(
+            classify_deletion(&region, &[42, 43], 777),
+            UpdateImpact::Unaffected
+        );
+    }
+
+    #[test]
+    fn impact_severity_is_ordered() {
+        assert!(UpdateImpact::Unaffected < UpdateImpact::Shrunk);
+        assert!(UpdateImpact::Shrunk < UpdateImpact::NeedsRepair);
+        assert!(UpdateImpact::NeedsRepair < UpdateImpact::Invalidated);
+    }
+
+    #[test]
+    fn batch_coalesces_insert_then_delete() {
+        let mut batch = DeltaBatch::new();
+        batch.record_insert(&Record::new(5, vec![0.9, 0.9]));
+        assert_eq!(batch.len(), 1);
+        // A delete at a *different* location did not remove the pending
+        // insert: it must stay in the batch.
+        batch.record_delete_at(5, &PointD::new(vec![0.1, 0.1]));
+        assert_eq!(batch.inserts().len(), 1);
+        // Matching id + location cancels the ephemeral insert (no region
+        // will ever be shrunk by a record no query can observe), but the
+        // delete stays recorded: id 5 may also name a pre-batch
+        // duplicate-id record.
+        batch.record_delete_at(5, &PointD::new(vec![0.9, 0.9]));
+        assert!(batch.inserts().is_empty());
+        assert_eq!(batch.deleted_ids(), &[5, 5]);
+        batch.record_delete(6);
+        assert_eq!(batch.deleted_ids(), &[5, 5, 6]);
+
+        // A cached entry whose result holds the (deleted) pre-batch
+        // record 5 must still be invalidated despite the cancelled
+        // same-batch insert.
+        let (region, kth) = wedge_region();
+        let result = TopKResult {
+            ranked: vec![(kth, 1.0), (Record::new(5, vec![0.6, 0.55]), 0.9)],
+        };
+        let bi = batch.classify(&region, &result, &ScoringFunction::linear(2));
+        assert_eq!(bi.impact, UpdateImpact::Invalidated);
+    }
+
+    #[test]
+    fn batch_classification_takes_worst_impact() {
+        let (region, kth) = wedge_region();
+        let f = ScoringFunction::linear(2);
+        let result = TopKResult {
+            ranked: vec![(kth.clone(), 1.0)],
+        };
+
+        // Empty batch: untouched.
+        let bi = DeltaBatch::new().classify(&region, &result, &f);
+        assert_eq!(bi.impact, UpdateImpact::Unaffected);
+
+        // A shrinking insert plus a contributor delete: repair wins, and
+        // both the shrink and the removed contributor are reported.
+        let mut batch = DeltaBatch::new();
+        batch.record_insert(&Record::new(9, vec![0.2, 0.95]));
+        batch.record_delete(1);
+        let bi = batch.classify(&region, &result, &f);
+        assert_eq!(bi.impact, UpdateImpact::NeedsRepair);
+        assert_eq!(bi.shrinks.len(), 1);
+        assert_eq!(bi.removed_contributors, vec![1]);
+
+        // Deleting a result member dominates everything.
+        let mut batch = DeltaBatch::new();
+        batch.record_insert(&Record::new(9, vec![0.2, 0.95]));
+        batch.record_delete(42);
+        let bi = batch.classify(&region, &result, &f);
+        assert_eq!(bi.impact, UpdateImpact::Invalidated);
+
+        // An insert that wins at q invalidates too.
+        let mut batch = DeltaBatch::new();
+        batch.record_insert(&Record::new(9, vec![0.9, 0.9]));
+        let bi = batch.classify(&region, &result, &f);
+        assert_eq!(bi.impact, UpdateImpact::Invalidated);
+    }
+
+    #[test]
+    fn repair_restores_maximality_after_contributor_delete() {
+        use crate::engine::{GirEngine, Method};
+        use gir_query::{naive_topk, QueryVector};
+        use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+        use std::sync::Arc;
+
+        // Deterministic 2-d dataset; compute a GIR, delete one of its
+        // facet contributors, repair, and compare against a from-scratch
+        // recompute by probing.
+        let mut s = 0x5EEDu64 | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut data: Vec<Record> = (0..300)
+            .map(|i| Record::new(i as u64, vec![next(), next()]))
+            .collect();
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let mut tree = RTree::bulk_load(store, &data).unwrap();
+        let f = ScoringFunction::linear(2);
+        let q = QueryVector::new(vec![0.6, 0.5]);
+
+        let engine = GirEngine::new(&tree);
+        let out = engine.gir(&q, 5, Method::FacetPruning).unwrap();
+        let victim = out
+            .region
+            .contributor_ids()
+            .next()
+            .expect("non-trivial GIR has contributors");
+        drop(engine);
+
+        let attrs = data.iter().find(|r| r.id == victim).unwrap().attrs.clone();
+        assert!(tree.delete(victim, &attrs).unwrap());
+        data.retain(|r| r.id != victim);
+
+        let repaired = repair_region(&tree, &f, &out.result, &out.region, &[victim], &[]).unwrap();
+        assert!(!repaired.contributes(victim), "victim still a contributor");
+        assert!(repaired.contains(&q.weights));
+
+        // Oracle: recompute from scratch on the mutated tree.
+        let engine = GirEngine::new(&tree);
+        let oracle = engine.gir(&q, 5, Method::FacetPruning).unwrap();
+        assert_eq!(oracle.result.ids(), out.result.ids());
+        let mut s2 = 0xFACEu64;
+        let mut nextf = move || {
+            s2 ^= s2 << 13;
+            s2 ^= s2 >> 7;
+            s2 ^= s2 << 17;
+            (s2 >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..300 {
+            let wp = PointD::new(vec![nextf(), nextf()]);
+            let a = repaired.contains(&wp);
+            let b = oracle.region.contains(&wp);
+            if a != b {
+                let margin: f64 = repaired
+                    .halfspaces
+                    .iter()
+                    .chain(&oracle.region.halfspaces)
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+                assert!(margin < 1e-6, "repair ≠ recompute at {wp:?}");
+            }
+            // Either way the GIR law must hold for the repaired region.
+            if a {
+                assert_eq!(
+                    naive_topk(&data, &f, &wp, 5).ids(),
+                    out.result.ids(),
+                    "repaired region admits a stale point {wp:?}"
+                );
+            }
+        }
     }
 }

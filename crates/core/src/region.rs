@@ -105,6 +105,26 @@ impl GirRegion {
         self.halfspaces.len()
     }
 
+    /// Ids of the non-result records contributing bounding half-spaces
+    /// (with multiplicity when a record bounds several GIR* conditions).
+    ///
+    /// These are exactly the records whose *deletion* leaves the region
+    /// sound but non-maximal: incremental maintenance repairs the
+    /// affected facets instead of recomputing (see
+    /// [`crate::maintenance`]).
+    pub fn contributor_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.halfspaces.iter().filter_map(|h| match h.provenance {
+            Provenance::NonResult { record_id } => Some(record_id),
+            Provenance::StarNonResult { record_id, .. } => Some(record_id),
+            Provenance::Ordering { .. } | Provenance::QueryBox { .. } => None,
+        })
+    }
+
+    /// True when record `id` contributes a bounding half-space.
+    pub fn contributes(&self, id: u64) -> bool {
+        self.contributor_ids().any(|c| c == id)
+    }
+
     /// Computes the exact facet set and vertex set (dual-hull reduction).
     pub fn reduce(&self) -> Result<ReducedGir, IntersectError> {
         let ix = intersect_halfspaces(&self.halfspaces, Some(&self.query))?;
@@ -139,7 +159,7 @@ impl GirRegion {
         region_volume(&self.halfspaces, self.d, Some(&self.query), opts)
     }
 
-    /// Per-axis immutable intervals around the query (the LIRs of [24],
+    /// Per-axis immutable intervals around the query (the LIRs of \[24\],
     /// derived from the GIR by interactive projection, §7.3).
     pub fn axis_intervals(&self) -> Vec<(f64, f64)> {
         axis_projections(&self.halfspaces, &self.query)
@@ -188,6 +208,16 @@ mod tests {
         assert!(r.contains(&PointD::new(vec![0.3, 0.2]))); // q' from Fig 2
         assert!(!r.contains(&PointD::new(vec![0.1, 0.9])));
         assert!(!r.contains(&PointD::new(vec![0.9, 0.1])));
+    }
+
+    #[test]
+    fn contributor_ids_cover_nonresult_provenance_only() {
+        let r = wedge_region();
+        let mut ids: Vec<u64> = r.contributor_ids().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![7, 11]);
+        assert!(r.contributes(7) && r.contributes(11));
+        assert!(!r.contributes(99));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   the GIR ([`GirRegion::mah`]).
 //! * **Interactive projection**: project the query point through the GIR
 //!   along each axis — maximal per-factor ranges (these are the LIRs of
-//!   [24]) that must be recomputed as the user drags a slider.
+//!   \[24\]) that must be recomputed as the user drags a slider.
 //!
 //! [`slide_bar_bounds`] implements the latter and renders the Figure 1(a)
 //! slide bars as ASCII for the examples.
@@ -25,7 +25,7 @@ pub struct SlideBarBounds {
     pub intervals: Vec<(f64, f64)>,
 }
 
-/// Computes the interactive-projection bounds (≡ the LIRs of [24]).
+/// Computes the interactive-projection bounds (≡ the LIRs of \[24\]).
 pub fn slide_bar_bounds(region: &GirRegion) -> SlideBarBounds {
     SlideBarBounds {
         query: region.query.clone(),

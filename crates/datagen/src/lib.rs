@@ -2,8 +2,8 @@
 //!
 //! Workload generators for the GIR experiments (paper §8):
 //!
-//! * [`synthetic`] — the standard preference-query benchmarks of
-//!   Börzsönyi et al. [8]: **Independent** (uniform), **Correlated**
+//! * [`synthetic()`] — the standard preference-query benchmarks of
+//!   Börzsönyi et al. \[8\]: **Independent** (uniform), **Correlated**
 //!   (records good in one dimension tend to be good in all) and
 //!   **Anti-correlated** (good in one dimension, bad in the rest),
 //! * [`house_like`] / [`hotel_like`] — synthetic stand-ins for the

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// The three standard synthetic distributions (paper §8, [8]).
+/// The three standard synthetic distributions (paper §8, \[8\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Distribution {
     /// Attributes i.i.d. uniform on `[0,1]`.

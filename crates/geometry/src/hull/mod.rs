@@ -1,12 +1,12 @@
 //! Convex hulls in arbitrary (low) dimension.
 //!
 //! The paper's methods are built on incremental convex hull machinery in
-//! the style of Clarkson's randomized algorithm (paper §2, [14]): facets are
+//! the style of Clarkson's randomized algorithm (paper §2, \[14\]): facets are
 //! replaced when a new point sees them, with new facets erected on the
-//! horizon ridges. [`incremental`] implements the full hull used by the CP
+//! horizon ridges. `incremental` implements the full hull used by the CP
 //! method and by half-space intersection; `gir-core` reuses the same
 //! facet/ridge bookkeeping for FP's *partial* (incident-facet-only) hulls.
-//! [`hull2d`] provides an exact 2-d monotone chain used for cross-checks
+//! `hull2d` provides an exact 2-d monotone chain used for cross-checks
 //! and for the GIR* result-hull pruning in the plane.
 
 mod facet;

@@ -124,6 +124,29 @@ pub fn feasible(constraints: &[(PointD, f64)], lo: f64, hi: f64, d: usize) -> bo
     maximize(&c, constraints, lo, hi).status == LpStatus::Optimal
 }
 
+/// True when some `x` in the region has `c · x > tol` — the half-space /
+/// polytope intersection test behind incremental GIR maintenance: a
+/// score hyperplane `c = g(p) − g(p_k)` invalidates a cached region only
+/// if it attains a positive value somewhere inside it. (Maintenance
+/// tests the cached query point *before* calling, because a positive
+/// value there means eviction rather than a shrink — so by the time the
+/// solve runs, only the region away from the query is in question.)
+pub fn improves_somewhere(
+    c: &PointD,
+    constraints: &[(PointD, f64)],
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> bool {
+    // Fast path: the objective is non-positive on the whole positive
+    // orthant, so it cannot be positive inside `[lo,hi]^d` with lo ≥ 0.
+    if lo >= 0.0 && c.coords().iter().all(|&v| v <= tol) {
+        return false;
+    }
+    let res = maximize(c, constraints, lo, hi);
+    res.status == LpStatus::Optimal && res.value > tol
+}
+
 /// Recursive Seidel solve over raw vectors. Returns a maximizer of
 /// `obj · x` over the constraints plus the `[lo,hi]` box, or `None` when
 /// infeasible.
@@ -356,6 +379,36 @@ mod tests {
         assert!(feasible(&vac, 0.0, 1.0, 2));
         let bad = [hs(&[0.0, 0.0], -1.0)];
         assert!(!feasible(&bad, 0.0, 1.0, 2));
+    }
+
+    #[test]
+    fn improves_somewhere_matches_maximize() {
+        // Wedge y ≤ 2x, y ≥ x/2: the objective (−1, 1) is positive in the
+        // upper part of the wedge, (−1, −1) nowhere in [0,1]^2.
+        let cons = [hs(&[-2.0, 1.0], 0.0), hs(&[0.5, -1.0], 0.0)];
+        assert!(improves_somewhere(
+            &PointD::new(vec![-1.0, 1.0]),
+            &cons,
+            0.0,
+            1.0,
+            1e-9
+        ));
+        assert!(!improves_somewhere(
+            &PointD::new(vec![-1.0, -1.0]),
+            &cons,
+            0.0,
+            1.0,
+            1e-9
+        ));
+        // An infeasible region improves nothing.
+        let empty = [hs(&[-1.0, 0.0], -0.8), hs(&[1.0, 0.0], 0.2)];
+        assert!(!improves_somewhere(
+            &PointD::new(vec![1.0, 1.0]),
+            &empty,
+            0.0,
+            1.0,
+            1e-9
+        ));
     }
 
     #[test]

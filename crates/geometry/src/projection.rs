@@ -3,7 +3,7 @@
 //! Paper §7.3 (Figure 13b): for each axis `i`, shoot a ray from `q` in the
 //! `±e_i` directions and find where it exits the region. The resulting
 //! per-axis intervals are exactly the *local immutable regions* (LIRs) of
-//! [24] — the paper notes LIRs derive trivially from the GIR this way.
+//! \[24\] — the paper notes LIRs derive trivially from the GIR this way.
 
 use crate::hyperplane::HalfSpace;
 use crate::vector::PointD;

@@ -1,7 +1,7 @@
 //! Volume of H-represented convex regions.
 //!
 //! The ratio of GIR volume to query-space volume is the paper's robustness
-//! measure (§1, §8, Fig 14; the LIK probability of [30]). We compute it
+//! measure (§1, §8, Fig 14; the LIK probability of \[30\]). We compute it
 //! exactly when vertex enumeration succeeds, and fall back to Monte-Carlo
 //! integration over an LP-tightened bounding box otherwise. The bounding
 //! box matters: GIR volumes drop to `10^-15` at `d = 8`, far beyond what

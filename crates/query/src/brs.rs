@@ -1,6 +1,6 @@
 //! BRS: branch-and-bound ranked search (top-k) over the R\*-tree.
 //!
-//! BRS [32] organizes visited R-tree entries in a max-heap keyed by
+//! BRS \[32\] organizes visited R-tree entries in a max-heap keyed by
 //! *maxscore* (the score of the MBB's top corner — an upper bound for any
 //! record beneath the entry) and pops entries in decreasing bound order.
 //! Because the heap key upper-bounds everything still in the heap, the

@@ -1,6 +1,6 @@
 //! BBS skyline computation resuming from the retained BRS state.
 //!
-//! BBS [26] retrieves entries in a monotone order and prunes everything
+//! BBS \[26\] retrieves entries in a monotone order and prunes everything
 //! dominated by already-found skyline members. The paper's adaptation
 //! (§5.1): instead of nearest-neighbor distance to the top corner, the
 //! retained BRS heap is popped in decreasing *maxscore* order — any

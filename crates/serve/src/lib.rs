@@ -16,11 +16,15 @@
 //!   slice of [`TopKRequest`]s across a scoped worker pool
 //!   (cache-probe first, compute-and-admit on miss) and returns
 //!   per-batch [`ServeStats`] (latency percentiles, hit rate, Phase-2
-//!   method), plus an update pipeline that applies [`Update`]s to the
-//!   R\*-tree under an exclusive lock while sweeping every cached entry
-//!   through `gir_core::maintenance` — shrinking regions in place or
-//!   dropping invalidated entries, so **no cache hit ever serves a
-//!   stale result**.
+//!   method), plus an update pipeline that coalesces [`Update`]s into a
+//!   `gir_core::DeltaBatch` under the R\*-tree's exclusive lock and
+//!   reconciles every cached entry in one classification pass —
+//!   untouched entries survive, shrunk entries absorb the newcomers'
+//!   half-spaces, deleted facet contributors are *repaired in place*
+//!   (an FP sweep pinned at the cached `p_k`), and only genuinely
+//!   invalidated entries are evicted, so **no cache hit ever serves a
+//!   stale result** and regions do not decay under churn
+//!   ([`MaintenanceMode`]).
 //! * [`workload`] — a deterministic mixed query/update traffic
 //!   generator for the serve driver and throughput bench.
 //!
@@ -57,7 +61,8 @@ pub mod stats;
 pub mod workload;
 
 pub use server::{
-    BatchResult, GirServer, ServerConfig, TopKRequest, TopKResponse, Update, UpdateReport,
+    BatchResult, GirServer, MaintenanceMode, ServerConfig, TopKRequest, TopKResponse, Update,
+    UpdateReport,
 };
 pub use sharded::{CacheStats, ShardedGirCache};
 pub use stats::ServeStats;

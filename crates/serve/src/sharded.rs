@@ -25,7 +25,7 @@
 //! calls them while holding the tree's write lock, so concurrent
 //! lookups cannot interleave with a half-applied update.
 
-use gir_core::{GirCache, GirRegion};
+use gir_core::{BatchOutcome, DeltaBatch, GirCache, GirRegion, RepairRequest};
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -161,6 +161,31 @@ impl ShardedGirCache {
         }
         guard.insert(region, result, scoring);
         true
+    }
+
+    /// Reconciles every shard with a coalesced [`DeltaBatch`] — one
+    /// write-lock acquisition and one classification pass per shard
+    /// instead of one sweep per update. Entries the batch does not
+    /// touch survive; shrunk entries absorb the newcomers' half-spaces
+    /// in place; repairable entries go through `repair`; only genuinely
+    /// invalidated entries are evicted. The serving layer calls this
+    /// while holding the tree's write lock (same freshness argument as
+    /// the per-update sweeps).
+    pub fn apply_batch(
+        &self,
+        batch: &DeltaBatch,
+        mut repair: impl FnMut(&RepairRequest<'_>) -> Option<GirRegion>,
+    ) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for s in &self.shards {
+            let shard_out = s
+                .cache
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .apply_batch(batch, &mut repair);
+            out.merge(&shard_out);
+        }
+        out
     }
 
     /// Sweeps every shard for a dataset insertion: shrinks overlapping

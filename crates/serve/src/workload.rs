@@ -29,6 +29,18 @@ pub struct WorkloadConfig {
     pub updates_per_batch: usize,
     /// Fraction of updates that are insertions (rest are deletions).
     pub insert_fraction: f64,
+    /// Fraction of insertions drawn *competitive* — attributes in
+    /// `[0.7, 1)^d`, contending with the top-k — instead of uniform.
+    /// Models new listings entering near the top; 0 reproduces the
+    /// PR 1 traffic byte-for-byte.
+    pub insert_hot_fraction: f64,
+    /// Fraction of deletions that remove the *oldest live hot insert*
+    /// (falling back to uniform when none is live). Models volatile
+    /// competitive listings: a hot record shrinks cached regions on
+    /// arrival and frees them again on departure — the churn that
+    /// separates incremental repair from the sweep-and-forget baseline.
+    /// 0 reproduces the PR 1 traffic byte-for-byte.
+    pub delete_hot_fraction: f64,
     /// Result sizes drawn uniformly per query.
     pub k_choices: Vec<usize>,
     /// RNG seed; identical configs replay identical traffic.
@@ -45,6 +57,8 @@ impl Default for WorkloadConfig {
             queries_per_batch: 512,
             updates_per_batch: 8,
             insert_fraction: 0.7,
+            insert_hot_fraction: 0.0,
+            delete_hot_fraction: 0.0,
             k_choices: vec![10],
             seed: 0x060D_5EED,
         }
@@ -88,6 +102,8 @@ pub fn mixed_workload(cfg: &WorkloadConfig, initial: &[Record]) -> Vec<TrafficBa
     // Simulated live-record set, kept in sync with replay: ids + attrs.
     let mut live: Vec<(u64, PointD)> = initial.iter().map(|r| (r.id, r.attrs.clone())).collect();
     let mut next_id = initial.iter().map(|r| r.id).max().unwrap_or(0) + 1_000_000;
+    // Live hot inserts in arrival order; hot deletes churn the oldest.
+    let mut hot_live: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
 
     let mut batches = Vec::with_capacity(cfg.batches);
     for _ in 0..cfg.batches {
@@ -95,14 +111,30 @@ pub fn mixed_workload(cfg: &WorkloadConfig, initial: &[Record]) -> Vec<TrafficBa
         for _ in 0..cfg.updates_per_batch {
             let insert = live.len() <= 1 || rng.random_bool(cfg.insert_fraction);
             if insert {
-                let attrs: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
+                // Guarded draws: the hot knobs at 0.0 must not consume
+                // RNG state, so default configs replay the same traffic
+                // as before the knobs existed.
+                let hot = cfg.insert_hot_fraction > 0.0 && rng.random_bool(cfg.insert_hot_fraction);
+                let lo = if hot { 0.7 } else { 0.0 };
+                let attrs: Vec<f64> = (0..d).map(|_| rng.random_range(lo..1.0)).collect();
                 let rec = Record::new(next_id, attrs);
                 next_id += 1;
                 live.push((rec.id, rec.attrs.clone()));
+                if hot {
+                    hot_live.push_back(rec.id);
+                }
                 updates.push(Update::Insert(rec));
             } else {
-                let idx = rng.random_range(0..live.len());
+                let hot = cfg.delete_hot_fraction > 0.0 && rng.random_bool(cfg.delete_hot_fraction);
+                let idx = match hot.then(|| hot_live.pop_front()).flatten() {
+                    Some(hot_id) => live
+                        .iter()
+                        .position(|(id, _)| *id == hot_id)
+                        .expect("hot_live tracks live records"),
+                    None => rng.random_range(0..live.len()),
+                };
                 let (id, attrs) = live.swap_remove(idx);
+                hot_live.retain(|&h| h != id);
                 updates.push(Update::Delete { id, attrs });
             }
         }
@@ -175,6 +207,73 @@ mod tests {
                     Update::Delete { id, .. } => {
                         assert!(live.remove(id), "delete of dead record {id}");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_churn_inserts_competitive_records_and_deletes_them_fifo() {
+        let cfg = WorkloadConfig {
+            batches: 10,
+            queries_per_batch: 1,
+            updates_per_batch: 12,
+            insert_fraction: 0.5,
+            insert_hot_fraction: 1.0,
+            delete_hot_fraction: 1.0,
+            ..Default::default()
+        };
+        let recs = seed_records(80, 3);
+        let mut hot_order: Vec<u64> = Vec::new();
+        let mut fifo_hits = 0usize;
+        let mut deletes = 0usize;
+        for batch in mixed_workload(&cfg, &recs) {
+            for u in &batch.updates {
+                match u {
+                    Update::Insert(r) => {
+                        assert!(
+                            r.attrs.coords().iter().all(|&v| v >= 0.7),
+                            "hot insert below the competitive band: {:?}",
+                            r.attrs
+                        );
+                        hot_order.push(r.id);
+                    }
+                    Update::Delete { id, .. } => {
+                        deletes += 1;
+                        if hot_order.first() == Some(id) {
+                            fifo_hits += 1;
+                        }
+                        hot_order.retain(|h| h != id);
+                    }
+                }
+            }
+        }
+        assert!(deletes > 0);
+        // Full hot churn removes the oldest live hot insert whenever one
+        // exists (only the warm-up deletes fall back to uniform).
+        assert!(
+            fifo_hits * 2 > deletes,
+            "{fifo_hits} of {deletes} deletes churned the oldest hot insert"
+        );
+    }
+
+    #[test]
+    fn default_knobs_replay_pr1_traffic() {
+        // The guarded RNG draws must leave the default stream untouched:
+        // adding the knobs at 0.0 cannot change generated traffic.
+        let cfg = WorkloadConfig {
+            batches: 3,
+            queries_per_batch: 8,
+            ..Default::default()
+        };
+        assert_eq!(cfg.insert_hot_fraction, 0.0);
+        assert_eq!(cfg.delete_hot_fraction, 0.0);
+        let recs = seed_records(40, 3);
+        for batch in mixed_workload(&cfg, &recs) {
+            for u in &batch.updates {
+                if let Update::Insert(r) = u {
+                    // Uniform inserts may fall anywhere in the unit box.
+                    assert!(r.attrs.coords().iter().all(|&v| (0.0..1.0).contains(&v)));
                 }
             }
         }

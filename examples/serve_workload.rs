@@ -24,8 +24,17 @@ fn main() {
         .map(|c| c.get())
         .unwrap_or(4)
         .clamp(4, 16);
+    // GIR_SEED makes CI runs deterministic and comparable across jobs;
+    // unset, the PR 1 defaults (traffic seed 7, dataset seed 42) apply.
+    let (seed, data_seed) = match std::env::var("GIR_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(s) => (s, s ^ 42),
+        None => (7, 42),
+    };
 
-    let mut mirror = gir::datagen::synthetic(Distribution::Independent, n, d, 42);
+    let mut mirror = gir::datagen::synthetic(Distribution::Independent, n, d, data_seed);
     let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
     let tree = RTree::bulk_load(store, &mirror).expect("bulk load");
     let server = GirServer::new(
@@ -36,6 +45,7 @@ fn main() {
             shards: 16,
             shard_capacity: 32,
             method: Method::FacetPruning,
+            ..ServerConfig::default()
         },
     );
 
@@ -47,8 +57,10 @@ fn main() {
         queries_per_batch: 500,
         updates_per_batch: 10,
         insert_fraction: 0.7,
+        insert_hot_fraction: 0.3,
+        delete_hot_fraction: 0.5,
         k_choices: vec![5, 10],
-        seed: 7,
+        seed,
     };
     let traffic = mixed_workload(&wl, &mirror);
     let total_queries: usize = traffic.iter().map(|b| b.queries.len()).sum();
@@ -62,11 +74,14 @@ fn main() {
     let mut aggregate = ServeStats::default();
     let mut verified_hits = 0u64;
     let mut evicted_total = 0usize;
+    let mut repaired_total = 0usize;
     for (i, batch) in traffic.iter().enumerate() {
-        // Update pipeline: mutate the tree and sweep every cached
-        // region before any query of this batch runs.
+        // Update pipeline: mutate the tree and reconcile the cache (one
+        // delta-batch classification pass, facet repair for deleted
+        // contributors) before any query of this batch runs.
         let report = server.apply_updates(&batch.updates).expect("update batch");
         evicted_total += report.evicted;
+        repaired_total += report.repaired;
         for u in &batch.updates {
             match u {
                 Update::Insert(rec) => mirror.push(rec.clone()),
@@ -101,13 +116,14 @@ fn main() {
     println!("\naggregate: {aggregate}");
     println!(
         "cache: {} hits / {} misses ({:.1}% hit rate), {} entries live, {} evicted \
-         ({} by update sweeps, rest LRU pressure)",
+         ({} by update batches, rest LRU pressure), {} facet repairs",
         cache.hits,
         cache.misses,
         cache.hit_rate() * 100.0,
         cache.entries,
         cache.evictions,
         evicted_total,
+        repaired_total,
     );
     println!(
         "verified {verified_hits} cache hits against linear-scan recomputation — \

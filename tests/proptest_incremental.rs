@@ -1,0 +1,257 @@
+//! Property tests for the incremental maintenance engine
+//! (`gir::core::maintenance`): after any random interleaving of
+//! insertions and deletions — applied as coalesced `DeltaBatch`es with
+//! classify → shrink / repair / recompute — the maintained `GirRegion`
+//! must be *identical* to a from-scratch recompute oracle: same top-k,
+//! same region as a point set, and (after a facet repair) the same
+//! reduced facet set.
+
+use gir::core::maintenance::{DeltaBatch, UpdateImpact};
+use gir::core::{repair_region, GirRegion, Method};
+use gir::geometry::hyperplane::{HalfSpace, Provenance};
+use gir::prelude::*;
+use gir::query::naive_topk;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
+/// `sel` picks a live record to delete.
+type Op = (u8, Vec<f64>, u64);
+
+fn build_tree(rows: &[Vec<f64>]) -> (Vec<Record>, RTree) {
+    let data: Vec<Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Record::new(i as u64, r.clone()))
+        .collect();
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &data).unwrap();
+    (data, tree)
+}
+
+fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 20)
+}
+
+fn ops(d: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0u8..10,
+            proptest::collection::vec(0.0f64..1.0, d),
+            0u64..1 << 40,
+        ),
+        6..16,
+    )
+}
+
+/// True when the top-k at `w` is separated from rank k+1 (and internally)
+/// by a clear score gap — boundary-epsilon interleavings are skipped, as
+/// every exact test in this suite does.
+fn topk_is_stable(data: &[Record], scoring: &ScoringFunction, w: &PointD, k: usize) -> bool {
+    let mut scores: Vec<f64> = data.iter().map(|r| scoring.score(w, &r.attrs)).collect();
+    scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    scores
+        .windows(2)
+        .take(k)
+        .all(|pair| pair[0] - pair[1] > 1e-7)
+}
+
+/// The non-result facets of the region's exact facet set, keyed by
+/// contributing record id.
+fn facet_contributors(region: &GirRegion) -> Option<Vec<(u64, HalfSpace)>> {
+    let mut facets: Vec<(u64, HalfSpace)> = region
+        .reduce()
+        .ok()?
+        .facets
+        .into_iter()
+        .filter_map(|h| match h.provenance {
+            Provenance::NonResult { record_id } => Some((record_id, h)),
+            _ => None,
+        })
+        .collect();
+    facets.sort_by_key(|(id, _)| *id);
+    facets.dedup_by_key(|(id, _)| *id);
+    Some(facets)
+}
+
+/// How far `h` can be violated anywhere in `region` (≤ 0 means the
+/// constraint already holds throughout).
+fn max_violation(region: &GirRegion, h: &HalfSpace) -> f64 {
+    let cons: Vec<(PointD, f64)> = region
+        .halfspaces
+        .iter()
+        .map(|c| (c.normal.clone(), c.offset))
+        .collect();
+    gir::geometry::lp::maximize(&h.normal, &cons, 0.0, 1.0).value - h.offset
+}
+
+fn check_incremental_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op], k: usize) {
+    let d = w.len();
+    let scoring = ScoringFunction::linear(d);
+    let (mut mirror, mut tree) = build_tree(rows);
+    let q = QueryVector::new(w);
+
+    let (mut region, mut result) = {
+        let engine = GirEngine::new(&tree);
+        let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        (out.region, out.result)
+    };
+    let mut next_id = 9_000_000u64;
+    let mut probe_seed = 0x14C0u64 | 1;
+
+    for chunk in all_ops.chunks(3) {
+        // Apply the chunk to the tree and mirror, coalescing it into a
+        // DeltaBatch exactly as the serving layer does.
+        let mut batch = DeltaBatch::new();
+        for (op, attrs, sel) in chunk {
+            if *op < 6 || mirror.len() <= k + 8 {
+                let rec = Record::new(next_id, attrs.clone());
+                next_id += 1;
+                tree.insert(rec.clone()).unwrap();
+                mirror.push(rec.clone());
+                batch.record_insert(&rec);
+            } else {
+                let idx = (*sel % mirror.len() as u64) as usize;
+                let victim = mirror.swap_remove(idx);
+                assert!(tree.delete(victim.id, &victim.attrs).unwrap());
+                batch.record_delete_at(victim.id, &victim.attrs);
+            }
+        }
+
+        // Maintain: classify once, then shrink / repair / recompute.
+        let verdict = batch.classify(&region, &result, &scoring);
+        let repaired = verdict.impact == UpdateImpact::NeedsRepair;
+        match verdict.impact {
+            UpdateImpact::Unaffected => {}
+            UpdateImpact::Shrunk => region.halfspaces.extend(verdict.shrinks),
+            UpdateImpact::NeedsRepair => {
+                region = repair_region(
+                    &tree,
+                    &scoring,
+                    &result,
+                    &region,
+                    &verdict.removed_contributors,
+                    &verdict.shrinks,
+                )
+                .unwrap();
+            }
+            UpdateImpact::Invalidated => {
+                let engine = GirEngine::new(&tree);
+                let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+                region = out.region;
+                result = out.result;
+            }
+        }
+
+        // Skip oracle comparisons when the true top-k sits on a score
+        // tie: classification legitimately goes either way there.
+        if !topk_is_stable(&mirror, &scoring, &q.weights, k) {
+            continue;
+        }
+
+        // Freshness: the maintained result is the true top-k.
+        prop_assert_eq!(
+            result.ids(),
+            naive_topk(&mirror, &scoring, &q.weights, k).ids(),
+            "maintained result went stale ({:?})",
+            verdict.impact
+        );
+
+        // Oracle: recompute the GIR from scratch on the mutated tree.
+        let engine = GirEngine::new(&tree);
+        let oracle = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        prop_assert_eq!(oracle.result.ids(), result.ids());
+
+        // Identical region as a point set (boundary epsilons excepted).
+        for _ in 0..30 {
+            let wp = PointD::from(
+                (0..d)
+                    .map(|_| {
+                        probe_seed ^= probe_seed << 13;
+                        probe_seed ^= probe_seed >> 7;
+                        probe_seed ^= probe_seed << 17;
+                        (probe_seed >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+            let ours = region.contains(&wp);
+            let theirs = oracle.region.contains(&wp);
+            if ours != theirs {
+                let margin: f64 = region
+                    .halfspaces
+                    .iter()
+                    .chain(&oracle.region.halfspaces)
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+                prop_assert!(
+                    margin < 1e-6,
+                    "maintained region ≠ recompute at {:?} after {:?} (margin {})",
+                    wp,
+                    verdict.impact,
+                    margin
+                );
+            }
+        }
+
+        // After a repair the half-space sets must agree facet-for-facet:
+        // the same non-result records bound both polytopes. Degenerate
+        // (zero-measure) facets may be attributed differently by the two
+        // computations, so any one-sided claim must be verifiably
+        // ε-redundant on the other polytope.
+        if repaired {
+            if let (Some(ours), Some(theirs)) = (
+                facet_contributors(&region),
+                facet_contributors(&oracle.region),
+            ) {
+                for (id, h) in &ours {
+                    if !theirs.iter().any(|(t, _)| t == id) {
+                        let v = max_violation(&oracle.region, h);
+                        prop_assert!(
+                            v <= 1e-6,
+                            "repair facet {} cuts the oracle region by {}",
+                            id,
+                            v
+                        );
+                    }
+                }
+                for (id, h) in &theirs {
+                    if !ours.iter().any(|(o, _)| o == id) {
+                        let v = max_violation(&region, h);
+                        prop_assert!(
+                            v <= 1e-6,
+                            "oracle facet {} cuts the repaired region by {}",
+                            id,
+                            v
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, .. ProptestConfig::default() })]
+
+    /// 2-d: the rotating-line repair path.
+    #[test]
+    fn incremental_matches_recompute_2d(
+        rows in dataset(2, 45),
+        w in proptest::collection::vec(0.05f64..1.0, 2),
+        all_ops in ops(2),
+        k in 1usize..5,
+    ) {
+        check_incremental_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 3-d: the star-hull repair path with interim pruning.
+    #[test]
+    fn incremental_matches_recompute_3d(
+        rows in dataset(3, 55),
+        w in proptest::collection::vec(0.05f64..1.0, 3),
+        all_ops in ops(3),
+        k in 1usize..6,
+    ) {
+        check_incremental_equivalence(&rows, w, &all_ops, k);
+    }
+}

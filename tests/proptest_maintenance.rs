@@ -85,6 +85,8 @@ proptest! {
                     prop_assert!(region.num_halfspaces() > out.region.num_halfspaces());
                 }
             }
+            // apply_insertion never asks for a facet repair.
+            UpdateImpact::NeedsRepair => prop_assert!(false, "insertion classified NeedsRepair"),
             UpdateImpact::Invalidated => {
                 // The newcomer must genuinely beat the old k-th at the
                 // original query (allowing LP epsilon).

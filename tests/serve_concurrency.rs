@@ -140,6 +140,8 @@ fn server_never_serves_stale_after_update_sweeps() {
         queries_per_batch: 60,
         updates_per_batch: 6,
         insert_fraction: 0.6,
+        insert_hot_fraction: 0.4,
+        delete_hot_fraction: 0.6,
         k_choices: vec![5, 8],
         seed: 0xF8E6,
     };

@@ -123,7 +123,7 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-/// Size specification for [`vec`]: a fixed length or a length range.
+/// Size specification for [`vec()`]: a fixed length or a length range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -166,7 +166,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
