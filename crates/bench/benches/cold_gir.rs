@@ -1,0 +1,126 @@
+//! Cold (cache-miss) `compute_gir` cost across Method × n × d.
+//!
+//! Tracks the absolute cost of one from-scratch GIR computation — BRS
+//! top-k + Phase 1 + Phase 2 — for every Phase-2 method over a small
+//! dataset grid, in three flavours:
+//!
+//! * `cold/…` — the per-query path (`GirEngine::gir`), nothing shared;
+//! * `indexed_recompute/…` — the prune-index path with skyline, hull
+//!   and tree mirror warm but the shared Phase-2 system dropped before
+//!   every call: the cost of a miss whose result set was never seen;
+//! * `indexed_reuse/…` — the steady serving state, where the result
+//!   set recurs and the shared Phase-2 system is reused verbatim.
+//!
+//! Results go to stdout (criterion table) and to `BENCH_cold_gir.json`
+//! at the workspace root, which CI uploads as a workflow artifact
+//! alongside `BENCH_serve.json` so the cold-path trajectory is
+//! recorded per run.
+//!
+//! Knobs: `GIR_COLD_NS` (comma-separated dataset sizes, default
+//! "2000,8000"), `GIR_COLD_DS` (dimensionalities, default "2,3,4"),
+//! `GIR_SEED`.
+
+use criterion::{BenchSummary, Criterion};
+use gir_core::{GirEngine, Method, PruneIndex};
+use gir_datagen::{synthetic, Distribution};
+use gir_query::QueryVector;
+use gir_rtree::RTree;
+use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_list(key: &str, default: &str) -> Vec<usize> {
+    let raw = std::env::var(key).unwrap_or_else(|_| default.into());
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    if parsed.is_empty() {
+        default.split(',').filter_map(|t| t.parse().ok()).collect()
+    } else {
+        parsed
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::var("GIR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xBE7C);
+    let ns = env_list("GIR_COLD_NS", "2000,8000");
+    let ds = env_list("GIR_COLD_DS", "2,3,4");
+    let k = 10usize;
+    let methods = [
+        Method::SkylinePruning,
+        Method::ConvexHullPruning,
+        Method::FacetPruning,
+    ];
+
+    let mut c = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    println!("cold compute_gir  (IND, k={k}, seed {seed}; per-call wall clock)\n");
+    for &n in &ns {
+        for &d in &ds {
+            let data = synthetic(Distribution::Independent, n, d, seed.wrapping_add(1));
+            let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+            let tree = RTree::bulk_load(store, &data).expect("bulk load");
+            let engine = GirEngine::new(&tree);
+            let index = PruneIndex::new();
+            let w: Vec<f64> = (0..d).map(|i| 0.45 + 0.1 * (i as f64 % 3.0)).collect();
+            let q = QueryVector::new(w);
+            // Warm the shared index once (steady serving state).
+            let _ = engine
+                .gir_indexed(&q, k, Method::FacetPruning, &index)
+                .expect("warm");
+            for m in methods {
+                c.bench_function(&format!("cold/{}/n{n}/d{d}", m.label()), |b| {
+                    b.iter(|| engine.gir(&q, k, m).expect("gir").stats.candidates)
+                });
+                c.bench_function(&format!("indexed_recompute/{}/n{n}/d{d}", m.label()), |b| {
+                    b.iter(|| {
+                        index.clear_phase2();
+                        engine
+                            .gir_indexed(&q, k, m, &index)
+                            .expect("gir_indexed")
+                            .stats
+                            .candidates
+                    })
+                });
+                c.bench_function(&format!("indexed_reuse/{}/n{n}/d{d}", m.label()), |b| {
+                    b.iter(|| {
+                        engine
+                            .gir_indexed(&q, k, m, &index)
+                            .expect("gir_indexed")
+                            .stats
+                            .candidates
+                    })
+                });
+            }
+        }
+    }
+
+    // Machine-readable artifact alongside BENCH_serve.json.
+    let rows: Vec<String> = c
+        .summaries()
+        .iter()
+        .map(|s: &BenchSummary| {
+            format!(
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"samples\":{}}}",
+                s.id, s.mean_ns, s.stddev_ns, s.samples
+            )
+        })
+        .collect();
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_cold_gir.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_cold_gir.json"),
+    };
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

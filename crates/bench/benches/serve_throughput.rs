@@ -47,6 +47,7 @@ fn replay(
     d: usize,
     threads: usize,
     maintenance: MaintenanceMode,
+    use_prune_index: bool,
     traffic: &[gir_serve::TrafficBatch],
 ) -> (ServeStats, usize) {
     let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
@@ -59,6 +60,7 @@ fn replay(
             shards: 16,
             shard_capacity: 32,
             maintenance,
+            use_prune_index,
             ..ServerConfig::default()
         },
     );
@@ -131,6 +133,8 @@ fn main() {
         "hit rate",
         "p50 µs",
         "p99 µs",
+        "miss p50 µs",
+        "miss p99 µs",
         "speedup",
     ]);
     let mut json_rows: Vec<String> = Vec::new();
@@ -145,6 +149,7 @@ fn main() {
             d,
             threads,
             MaintenanceMode::DeltaRepair,
+            true,
             &traffic,
         );
         if base_qps == 0.0 {
@@ -156,11 +161,13 @@ fn main() {
             format!("{:.1}%", agg.hit_rate() * 100.0),
             agg.p50_us.to_string(),
             agg.p99_us.to_string(),
+            agg.miss_p50_us.to_string(),
+            agg.miss_p99_us.to_string(),
             format!("{:.2}x", agg.qps / base_qps),
         ]);
         json_rows.push(json_row(threads, n, "delta", "read_heavy", &agg));
     }
-    table.print("gir-serve batch executor (delta repair)");
+    table.print("gir-serve batch executor (delta repair + prune index)");
 
     // Write-mixed comparison: ≥ 10% updates with competitive churn (hot
     // inserts shrink cached regions; hot deletes free them again). The
@@ -187,29 +194,39 @@ fn main() {
     );
 
     let mut mix_table = Table::new(&[
-        "maintenance",
+        "pipeline",
         "queries/s",
         "hit rate",
         "p50 µs",
         "p99 µs",
+        "miss p50 µs",
+        "miss p99 µs",
         "repairs",
     ]);
-    for (label, mode) in [
-        ("sweep", MaintenanceMode::LegacySweep),
-        ("delta", MaintenanceMode::DeltaRepair),
+    // The A/B/C: PR 1 sweeps, the PR 2 delta pipeline without the
+    // prune index, and the full cold-miss fast path (delta + index).
+    // Same traffic, same machine, single-threaded — the qps and
+    // miss-percentile columns isolate exactly what the prune index
+    // buys on the cold path.
+    for (label, mode, indexed) in [
+        ("sweep", MaintenanceMode::LegacySweep, false),
+        ("delta_noindex", MaintenanceMode::DeltaRepair, false),
+        ("delta", MaintenanceMode::DeltaRepair, true),
     ] {
-        let (agg, repaired) = replay(&base_data, d, mix_threads, mode, &mix_traffic);
+        let (agg, repaired) = replay(&base_data, d, mix_threads, mode, indexed, &mix_traffic);
         mix_table.row(vec![
             label.to_string(),
             format!("{:.0}", agg.qps),
             format!("{:.1}%", agg.hit_rate() * 100.0),
             agg.p50_us.to_string(),
             agg.p99_us.to_string(),
+            agg.miss_p50_us.to_string(),
+            agg.miss_p99_us.to_string(),
             repaired.to_string(),
         ]);
         json_rows.push(json_row(mix_threads, n, label, "mixed", &agg));
     }
-    mix_table.print("update pipeline under churn (PR 1 sweep vs delta repair)");
+    mix_table.print("update pipeline under churn (sweep vs delta vs delta + prune index)");
 
     let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
     // Cargo runs benches with CWD = the package root; anchor the report

@@ -7,15 +7,19 @@
 //!
 //! Rows are matched on `(threads, n, mode, workload)`; for every match
 //! the gate fails when the fresh run's throughput (`qps`) or hit rate
-//! dropped by more than `--max-drop` (relative). Baseline rows with no
-//! fresh counterpart (or vice versa) are reported but tolerated — the
-//! bench matrix is allowed to evolve.
+//! dropped — or, on single-thread rows, its tail latency (`p99_us`)
+//! rose — by more than `--max-drop` (relative). Multi-thread tails are
+//! reported but not gated: with more workers than cores they swing on
+//! scheduler noise alone. Baseline rows with no fresh counterpart (or
+//! vice versa) are reported but tolerated — the bench matrix is
+//! allowed to evolve.
 //!
-//! `--hit-rate-only` skips the throughput comparison: wall-clock is not
-//! comparable across machines, so CI passes this flag when it falls
-//! back to the *committed* baseline instead of the previous run's
-//! artifact. Hit rates are machine-independent (same seed ⇒ same
-//! traffic ⇒ same cache behaviour).
+//! `--hit-rate-only` skips the throughput and tail-latency
+//! comparisons: wall-clock is not comparable across machines, so CI
+//! passes this flag when it falls back to the *committed* baseline
+//! instead of the previous run's artifact. Hit rates are
+//! machine-independent (same seed ⇒ same traffic ⇒ same cache
+//! behaviour).
 //!
 //! `--require-delta-win` additionally asserts the tentpole invariant on
 //! the fresh file alone: in the `mixed` workload, the delta-repair
@@ -37,6 +41,7 @@ struct Row {
     qps: f64,
     hit_rate: f64,
     p50_us: f64,
+    p99_us: f64,
 }
 
 /// Extracts the raw text after `"key":` up to the next `,` or `}`.
@@ -77,6 +82,7 @@ fn parse_rows(body: &str) -> Vec<Row> {
                 qps: num_field(l, "qps")?,
                 hit_rate: num_field(l, "hit_rate")?,
                 p50_us: num_field(l, "p50_us").unwrap_or(0.0),
+                p99_us: num_field(l, "p99_us").unwrap_or(0.0),
             })
         })
         .collect()
@@ -92,6 +98,16 @@ fn rel_drop(base: f64, fresh: f64) -> f64 {
         0.0
     } else {
         (base - fresh) / base
+    }
+}
+
+/// Relative rise from `base` to `fresh` (positive = regression, for
+/// metrics where bigger is worse — tail latency).
+fn rel_rise(base: f64, fresh: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (fresh - base) / base
     }
 }
 
@@ -114,7 +130,7 @@ fn gate(baseline: &[Row], fresh: &[Row], cfg: &GateConfig) -> Vec<String> {
         let hit_drop = rel_drop(b.hit_rate, f.hit_rate);
         println!(
             "  {:?}: qps {:.0} -> {:.0} ({:+.1}%), hit rate {:.3} -> {:.3} ({:+.1}%), \
-             p50 {:.0} -> {:.0} µs",
+             p50 {:.0} -> {:.0} µs, p99 {:.0} -> {:.0} µs",
             key(f),
             b.qps,
             f.qps,
@@ -124,6 +140,8 @@ fn gate(baseline: &[Row], fresh: &[Row], cfg: &GateConfig) -> Vec<String> {
             -100.0 * hit_drop,
             b.p50_us,
             f.p50_us,
+            b.p99_us,
+            f.p99_us,
         );
         if hit_drop > cfg.max_drop {
             failures.push(format!(
@@ -140,6 +158,19 @@ fn gate(baseline: &[Row], fresh: &[Row], cfg: &GateConfig) -> Vec<String> {
                     "{:?}: throughput dropped {:.1}% (limit {:.0}%)",
                     key(f),
                     100.0 * qps_drop,
+                    100.0 * cfg.max_drop
+                ));
+            }
+            // Tail latency is gated on single-thread rows only: with
+            // more workers than cores (shared CI runners), multi-thread
+            // p99 swings well past any useful threshold on scheduler
+            // noise alone.
+            let p99_rise = rel_rise(b.p99_us, f.p99_us);
+            if f.threads == 1 && p99_rise > cfg.max_drop {
+                failures.push(format!(
+                    "{:?}: p99 latency rose {:.1}% (limit {:.0}%)",
+                    key(f),
+                    100.0 * p99_rise,
                     100.0 * cfg.max_drop
                 ));
             }
@@ -297,6 +328,45 @@ mod tests {
         let mut stale = row(DELTA);
         stale.hit_rate = 0.3;
         assert_eq!(gate(&base, &[stale], &cfg_hr).len(), 1);
+    }
+
+    #[test]
+    fn p99_rise_fails_unless_hit_rate_only() {
+        let cfg = GateConfig {
+            max_drop: 0.25,
+            hit_rate_only: false,
+            require_delta_win: false,
+        };
+        let mut single = row(DELTA);
+        single.threads = 1;
+        let base = vec![single.clone()];
+        // 20% p99 rise: within budget.
+        let mut ok = single.clone();
+        ok.p99_us *= 1.2;
+        assert!(gate(&base, &[ok], &cfg).is_empty());
+        // 40% p99 rise on a single-thread row: tail-latency regression.
+        let mut bad = single.clone();
+        bad.p99_us *= 1.4;
+        assert_eq!(gate(&base, &[bad.clone()], &cfg).len(), 1);
+        // The same rise on a multi-thread row is scheduler noise on
+        // shared runners: reported, not gated.
+        let mut noisy = row(DELTA);
+        noisy.p99_us *= 1.4;
+        assert!(gate(&[row(DELTA)], &[noisy], &cfg).is_empty());
+        // ... tolerated under --hit-rate-only (cross-machine fallback).
+        let cfg_hr = GateConfig {
+            hit_rate_only: true,
+            ..cfg
+        };
+        assert!(gate(&base, &[bad], &cfg_hr).is_empty());
+        // Legacy baselines without a p99 column never gate on it.
+        let _ = &single;
+        let legacy = row(
+            r#"{"threads":4,"n":8000,"mode":"delta","workload":"mixed","stats":{"hit_rate":0.75,"qps":4000.0}}"#,
+        );
+        let mut spiky = row(DELTA);
+        spiky.p99_us = 10_000.0;
+        assert!(gate(&[legacy], &[spiky], &cfg).is_empty());
     }
 
     #[test]

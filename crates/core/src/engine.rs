@@ -3,13 +3,17 @@
 use crate::fp::fp_phase2;
 use crate::fullscan::fullscan_phase2;
 use crate::gir_star::{gir_star_region, StarMethod};
+use crate::mirror::fp_sweep_mirror;
 use crate::phase1::ordering_halfspaces;
+use crate::prune::PruneIndex;
 use crate::region::GirRegion;
 use crate::sp::sp_phase2;
 use crate::{cp::cp_phase2, gir_star::GirStarStats};
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_query::{brs_topk, QueryVector, ScoringFunction, TopKResult};
-use gir_rtree::{RTree, RTreeError};
+use gir_rtree::{RTree, RTreeError, Record};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Phase 2 algorithm selection (paper §5–§6).
@@ -204,6 +208,181 @@ impl<'a> GirEngine<'a> {
             region,
             stats,
         })
+    }
+
+    /// Computes the top-k result and its GIR through a shared
+    /// [`PruneIndex`] — the cold-miss fast path.
+    ///
+    /// The entire computation runs over the index's cached state: BRS
+    /// top-k traverses the decoded [`crate::mirror::TreeMirror`]
+    /// (identical traversal and tie-breaking, zero page I/O), Phase 1
+    /// is unchanged, and Phase 2 works from the shared dataset skyline
+    /// instead of rebuilding per-query pruning structures:
+    ///
+    /// * **SP** emits one half-space per member of `skyline(D \ R)`,
+    ///   derived from the cached skyline — the same set BBS would have
+    ///   produced, without the resumed descent;
+    /// * **CP** reuses the index's cached hull-of-skyline verbatim when
+    ///   the result does not intersect the skyline, and hull-filters
+    ///   the (small) derived set otherwise;
+    /// * **FP** sweeps the retained frontier with the incident-facet
+    ///   star pre-seeded by the cached skyline, so node pruning is
+    ///   maximally tight from the first test
+    ///   ([`crate::mirror::fp_sweep_mirror`]).
+    ///
+    /// The produced region is pointwise identical to the no-index
+    /// path's (the candidate sets bound the same polytope); only the
+    /// retained half-space list may differ in redundant members.
+    /// `FullScan` has no pruning structure to share and delegates to
+    /// [`GirEngine::gir`].
+    pub fn gir_indexed(
+        &self,
+        q: &QueryVector,
+        k: usize,
+        method: Method,
+        index: &PruneIndex,
+    ) -> Result<GirOutput, GirError> {
+        if method == Method::FullScan {
+            return self.gir(q, k, method);
+        }
+        if !method.supports(&self.scoring) {
+            return Err(GirError::UnsupportedScoring { method });
+        }
+        let store = self.tree.store();
+        // Shared-state fetch first: lazy builds (first miss, or first
+        // after an update burst) are amortized across the queries the
+        // version serves, so their one-off page reads are excluded
+        // from this query's I/O stats (counters start after the
+        // fetch), keeping `topk_pages`/`gir_pages` comparable with
+        // [`GirEngine::gir`].
+        let state = index.snapshot(self.tree)?;
+        let mirror = state.mirror(self.tree)?;
+        let s0 = store.stats();
+
+        let t0 = Instant::now();
+        let (result, frontier) = mirror.topk(&self.scoring, &q.weights, k);
+        if result.is_empty() {
+            return Err(GirError::EmptyResult);
+        }
+        let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let s1 = store.stats();
+
+        let t1 = Instant::now();
+        let mut halfspaces = ordering_halfspaces(&result, &self.scoring);
+        let kth = result.kth().clone();
+        let result_ids = result.ids();
+        let mut ids_sorted = result_ids.clone();
+        ids_sorted.sort_unstable();
+
+        // The Phase-2 half-space system depends only on (result set,
+        // pivot, method) — not on the query vector — so jittered
+        // queries reproducing a known ranking set reuse it verbatim
+        // from the index (maintained exactly under deltas).
+        let (phase2, structure_size): (Arc<Vec<HalfSpace>>, usize) =
+            match index.phase2_lookup(method, &ids_sorted, kth.id, &self.scoring) {
+                Some(hit) => hit,
+                None => {
+                    let (hs, structure) = match method {
+                        Method::FacetPruning => {
+                            let blocks = state.skyline_blocks();
+                            let seeds: Vec<Record> =
+                                blocks.materialize_if(|id| !result_ids.contains(&id));
+                            // Fused columnar scoring of the seed set;
+                            // `linear_scores` and `materialize_if` both
+                            // emit in storage order, so the slices are
+                            // index-aligned (FP is linear-only, §7.2).
+                            let mut seed_scores: Vec<f64> = Vec::with_capacity(seeds.len());
+                            blocks.linear_scores(q.weights.coords(), |id, score| {
+                                if !result_ids.contains(&id) {
+                                    seed_scores.push(score);
+                                }
+                            });
+                            fp_sweep_mirror(
+                                mirror.as_ref(),
+                                &kth,
+                                frontier,
+                                &seeds,
+                                &seed_scores,
+                                &result_ids,
+                            )
+                        }
+                        Method::SkylinePruning | Method::ConvexHullPruning => {
+                            let sky =
+                                state.skyline_excluding_mirror(mirror.as_ref(), &result, frontier);
+                            let structure = sky.records.len();
+                            let hs: Vec<HalfSpace> = if method == Method::SkylinePruning {
+                                sky.records
+                                    .iter()
+                                    .map(|rec| self.score_order_halfspace(&kth, rec))
+                                    .collect()
+                            } else {
+                                let on_hull: Vec<&Record> = match (sky.touched, state.hull_ids()) {
+                                    // Untouched skyline: the cached
+                                    // hull-of-skyline IS the hull of the
+                                    // candidate set.
+                                    (false, Some(hull)) => sky
+                                        .records
+                                        .iter()
+                                        .filter(|r| hull.binary_search(&r.id).is_ok())
+                                        .collect(),
+                                    _ => {
+                                        let kept = crate::cp::hull_filter(&sky.records);
+                                        let ids: HashSet<u64> = kept.iter().map(|r| r.id).collect();
+                                        sky.records.iter().filter(|r| ids.contains(&r.id)).collect()
+                                    }
+                                };
+                                on_hull
+                                    .into_iter()
+                                    .map(|rec| self.score_order_halfspace(&kth, rec))
+                                    .collect()
+                            };
+                            (hs, structure)
+                        }
+                        Method::FullScan => unreachable!("delegated above"),
+                    };
+                    let hs = Arc::new(hs);
+                    index.phase2_admit(
+                        method,
+                        ids_sorted,
+                        kth.id,
+                        &self.scoring,
+                        self.scoring.transform_point(&kth.attrs),
+                        hs.clone(),
+                        structure,
+                    );
+                    (hs, structure)
+                }
+            };
+        let candidates = phase2.len();
+        halfspaces.extend(phase2.iter().cloned());
+        let region = GirRegion::new(self.tree.dim(), q.weights.clone(), halfspaces);
+        let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let s2 = store.stats();
+
+        let stats = GirStats {
+            topk_ms,
+            topk_pages: s1.reads_since(&s0),
+            gir_cpu_ms,
+            gir_pages: s2.reads_since(&s1),
+            candidates,
+            structure_size,
+            halfspaces: region.num_halfspaces(),
+        };
+        Ok(GirOutput {
+            result,
+            region,
+            stats,
+        })
+    }
+
+    /// The score-order half-space `S(p_k, q') ≥ S(p, q')` over
+    /// transformed attributes.
+    fn score_order_halfspace(&self, kth: &Record, rec: &Record) -> HalfSpace {
+        HalfSpace::score_order(
+            &self.scoring.transform_point(&kth.attrs),
+            &self.scoring.transform_point(&rec.attrs),
+            Provenance::NonResult { record_id: rec.id },
+        )
     }
 
     /// Computes the order-insensitive GIR\* (§7.1).
@@ -505,6 +684,117 @@ mod tests {
                     assert!(star.region.contains(&wp), "{m:?}: GIR ⊄ GIR*");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn indexed_gir_matches_direct_gir_pointwise() {
+        // The PruneIndex fast path must produce the same result and the
+        // same region (as a point set) as the per-query sweep, for
+        // every method, dimension and k — including CP's cached-hull
+        // reuse (small k with a deep result rarely touches the skyline;
+        // large k usually does).
+        for (n, d, k, seed) in [
+            (500usize, 2usize, 5usize, 0xE1u64),
+            (700, 3, 10, 0xE2),
+            (400, 4, 3, 0xE3),
+            (300, 5, 8, 0xE4),
+        ] {
+            let (_, tree) = setup(n, d, seed);
+            let engine = GirEngine::new(&tree);
+            let index = crate::prune::PruneIndex::new();
+            let w: Vec<f64> = (0..d).map(|i| 0.35 + 0.12 * (i as f64 % 4.0)).collect();
+            let q = QueryVector::new(w);
+            for m in METHODS {
+                let direct = engine.gir(&q, k, m).unwrap();
+                let indexed = engine.gir_indexed(&q, k, m, &index).unwrap();
+                assert_eq!(indexed.result.ids(), direct.result.ids(), "{m:?} result");
+                assert!(indexed.region.contains(&q.weights));
+                let mut s = seed ^ 0xFACE;
+                let mut next = move || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s >> 11) as f64 / (1u64 << 53) as f64
+                };
+                for _ in 0..150 {
+                    let wp = PointD::from((0..d).map(|_| next()).collect::<Vec<_>>());
+                    let a = direct.region.contains(&wp);
+                    let b = indexed.region.contains(&wp);
+                    if a != b {
+                        let margin: f64 = direct
+                            .region
+                            .halfspaces
+                            .iter()
+                            .chain(&indexed.region.halfspaces)
+                            .map(|h| h.slack(&wp))
+                            .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+                        assert!(
+                            margin < 1e-6,
+                            "{m:?} n={n} d={d} k={k}: indexed ≠ direct at {wp:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_gir_supports_nonlinear_sp_only() {
+        let (_, tree) = setup(400, 4, 0xE5);
+        let engine = GirEngine::with_scoring(&tree, ScoringFunction::mixed4());
+        let index = crate::prune::PruneIndex::new();
+        let q = QueryVector::new(vec![0.5, 0.5, 0.5, 0.5]);
+        let direct = engine.gir(&q, 6, Method::SkylinePruning).unwrap();
+        let indexed = engine
+            .gir_indexed(&q, 6, Method::SkylinePruning, &index)
+            .unwrap();
+        assert_eq!(indexed.result.ids(), direct.result.ids());
+        let mut s = 0xE6u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..150 {
+            let wp = PointD::from((0..4).map(|_| next()).collect::<Vec<_>>());
+            assert_eq!(
+                direct.region.contains(&wp),
+                indexed.region.contains(&wp),
+                "non-linear SP indexed ≠ direct at {wp:?}"
+            );
+        }
+        assert!(matches!(
+            engine.gir_indexed(&q, 6, Method::FacetPruning, &index),
+            Err(GirError::UnsupportedScoring { .. })
+        ));
+    }
+
+    #[test]
+    fn indexed_gir_performs_no_io_after_warmup() {
+        // Once the index's skyline and tree mirror are built, a cold
+        // miss is pure in-memory work: zero pages read in both the
+        // top-k retrieval and Phase 2, for every method.
+        let (_, tree) = setup(20_000, 3, 0xE7);
+        let engine = GirEngine::new(&tree);
+        let index = crate::prune::PruneIndex::new();
+        let q = QueryVector::new(vec![0.6, 0.5, 0.7]);
+        // Warm the index (build cost paid once, amortized).
+        let _ = engine
+            .gir_indexed(&q, 10, Method::FacetPruning, &index)
+            .unwrap();
+        for m in [
+            Method::FacetPruning,
+            Method::SkylinePruning,
+            Method::ConvexHullPruning,
+        ] {
+            let indexed = engine.gir_indexed(&q, 10, m, &index).unwrap();
+            assert_eq!(
+                (indexed.stats.topk_pages, indexed.stats.gir_pages),
+                (0, 0),
+                "{m:?}: warm indexed miss touched storage"
+            );
         }
     }
 

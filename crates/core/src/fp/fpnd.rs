@@ -9,7 +9,7 @@ use crate::fp::star::StarHull;
 use crate::fp::{FpStats, SweepContext};
 use gir_geometry::dominance::dominates;
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
-use gir_geometry::lp::{maximize, LpStatus};
+use gir_geometry::lp::{max_value_scratch, ConsView, LpScratch};
 use gir_geometry::vector::PointD;
 use gir_geometry::EPS;
 use gir_query::{HeapEntry, Record, ScoringFunction, SearchState};
@@ -42,38 +42,53 @@ impl Default for FpOptions {
     }
 }
 
-/// Phase-1-region pruner (footnote 7): holds the interim-region
-/// constraints and answers "can anything in this box overtake `p_k`
-/// anywhere in the region?" with one Seidel LP.
-struct InterimPruner {
-    cons: Vec<(PointD, f64)>,
+/// Phase-1-region pruner (footnote 7): borrows the interim-region
+/// constraints (zero-copy — no per-sweep clone of the half-space list)
+/// and answers "can anything in this box overtake `p_k` anywhere in the
+/// region?" with one Seidel LP over a warm-started scratch shared by
+/// every node test in the sweep.
+struct InterimPruner<'a> {
+    cons: &'a [HalfSpace],
     pk: PointD,
+    scratch: LpScratch,
+    obj: Vec<f64>,
 }
 
-impl InterimPruner {
-    fn new(interim: &[HalfSpace], pk: PointD) -> Option<InterimPruner> {
+impl<'a> InterimPruner<'a> {
+    fn new(interim: &'a [HalfSpace], pk: PointD) -> Option<InterimPruner<'a>> {
         if interim.is_empty() {
             return None;
         }
-        let cons = interim
-            .iter()
-            .map(|h| (h.normal.clone(), h.offset))
-            .collect();
-        Some(InterimPruner { cons, pk })
+        let obj = vec![0.0; pk.dim()];
+        Some(InterimPruner {
+            cons: interim,
+            pk,
+            scratch: LpScratch::new(),
+            obj,
+        })
     }
 
     /// True when `max_{q' ∈ interim ∩ [0,1]^d} (hi − p_k) · q' ≤ 0`:
     /// no record inside the box can out-score `p_k` for any admissible
     /// query vector, so the subtree is irrelevant to the final GIR.
-    fn prunes_mbb(&self, mbb: &Mbb) -> bool {
-        let obj = mbb.hi.sub(&self.pk);
+    fn prunes_mbb(&mut self, mbb: &Mbb) -> bool {
+        for ((o, &h), &p) in self
+            .obj
+            .iter_mut()
+            .zip(mbb.hi.coords())
+            .zip(self.pk.coords())
+        {
+            *o = h - p;
+        }
         // Fast path: box dominated by pk — objective non-positive on the
         // non-negative orthant.
-        if obj.coords().iter().all(|&v| v <= EPS) {
+        if self.obj.iter().all(|&v| v <= EPS) {
             return true;
         }
-        let res = maximize(&obj, &self.cons, 0.0, 1.0);
-        res.status == LpStatus::Optimal && res.value <= EPS
+        matches!(
+            max_value_scratch(&mut self.scratch, &self.obj, ConsView::Half(self.cons), 0.0, 1.0),
+            Some(v) if v <= EPS
+        )
     }
 }
 
@@ -128,7 +143,7 @@ pub fn fp_phase2_nd_ctx(
         "FP relies on convex-hull properties that hold only for linear scoring (paper §7.2)"
     );
     let mut star = StarHull::new(kth.attrs.clone());
-    let pruner = if opts.phase1_tightening {
+    let mut pruner = if opts.phase1_tightening {
         InterimPruner::new(interim, kth.attrs.clone())
     } else {
         None
@@ -177,7 +192,7 @@ pub fn fp_phase2_nd_ctx(
         };
         if opts.prune_nodes {
             if let Some(m) = &mbb {
-                if star.prunes_mbb(m) || pruner.as_ref().is_some_and(|p| p.prunes_mbb(m)) {
+                if star.prunes_mbb(m) || pruner.as_mut().is_some_and(|p| p.prunes_mbb(m)) {
                     nodes_pruned += 1;
                     continue;
                 }
@@ -189,7 +204,7 @@ pub fn fp_phase2_nd_ctx(
                 for (child_mbb, child) in children {
                     if opts.prune_nodes
                         && (star.prunes_mbb(&child_mbb)
-                            || pruner.as_ref().is_some_and(|p| p.prunes_mbb(&child_mbb)))
+                            || pruner.as_mut().is_some_and(|p| p.prunes_mbb(&child_mbb)))
                     {
                         nodes_pruned += 1;
                     } else {

@@ -36,7 +36,9 @@ pub mod fullscan;
 pub mod gir_star;
 pub mod lir;
 pub mod maintenance;
+pub mod mirror;
 pub mod phase1;
+pub mod prune;
 pub mod region;
 pub mod sp;
 pub mod svg;
@@ -45,5 +47,7 @@ pub mod viz;
 pub use cache::{BatchOutcome, GirCache, RepairRequest};
 pub use engine::{GirEngine, GirError, GirOutput, GirStats, Method};
 pub use maintenance::{repair_region, BatchImpact, DeltaBatch, InsertionImpact, UpdateImpact};
+pub use mirror::TreeMirror;
+pub use prune::{ExcludedSkyline, PruneIndex, PruneIndexStats, PruneState};
 pub use region::{BoundaryEvent, GirRegion, ReducedGir};
 pub use viz::{slide_bar_bounds, SlideBarBounds};

@@ -36,7 +36,7 @@
 use crate::fp::fp_repair;
 use crate::region::GirRegion;
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
-use gir_geometry::lp::improves_somewhere;
+use gir_geometry::lp::{improves_somewhere, ConsView};
 use gir_geometry::vector::PointD;
 use gir_geometry::EPS;
 use gir_query::{Record, ScoringFunction, TopKResult};
@@ -84,28 +84,13 @@ pub fn classify_insertion(
     rec: &Record,
     scoring: &ScoringFunction,
 ) -> InsertionImpact {
-    classify_insertion_cached(region, &mut None, kth, rec, scoring)
-}
-
-/// [`classify_insertion`] with a lazily-built constraint vector the
-/// caller can reuse across several inserts against the same region (the
-/// [`DeltaBatch::classify`] loop): the conversion clones every
-/// half-space normal, so it is built at most once per region per batch
-/// — and not at all when every insert resolves on a fast path.
-fn classify_insertion_cached(
-    region: &GirRegion,
-    cons: &mut Option<Vec<(PointD, f64)>>,
-    kth: &Record,
-    rec: &Record,
-    scoring: &ScoringFunction,
-) -> InsertionImpact {
     let pk_t = scoring.transform_point(&kth.attrs);
     let p_t = scoring.transform_point(&rec.attrs);
     // Objective: (g(p) − g(p_k)) · q' — positive anywhere means p
     // out-scores p_k there.
     let obj = p_t.sub(&pk_t);
 
-    // Fast paths before any allocation: a newcomer dominated by p_k in
+    // Fast paths before the LP: a newcomer dominated by p_k in
     // transformed space never wins; one that wins at the cached query
     // itself is an eviction, no LP needed.
     if obj.coords().iter().all(|&v| v <= EPS) {
@@ -114,14 +99,11 @@ fn classify_insertion_cached(
     if obj.dot(&region.query) > EPS {
         return InsertionImpact::Invalidated;
     }
-    let cons = cons.get_or_insert_with(|| {
-        region
-            .halfspaces
-            .iter()
-            .map(|h| (h.normal.clone(), h.offset))
-            .collect()
-    });
-    if improves_somewhere(&obj, cons, 0.0, 1.0, EPS) {
+    // The solver views the region's half-space list in place — no
+    // constraint vector is ever materialized, and the thread's LP
+    // scratch warm-starts across the many classifications of a
+    // `DeltaBatch` pass.
+    if improves_somewhere(&obj, ConsView::Half(&region.halfspaces), 0.0, 1.0, EPS) {
         InsertionImpact::Shrinks(HalfSpace::score_order(
             &pk_t,
             &p_t,
@@ -298,9 +280,8 @@ impl DeltaBatch {
 
         let kth = result.kth();
         let mut shrinks = Vec::new();
-        let mut cons = None;
         for rec in &self.inserts {
-            match classify_insertion_cached(region, &mut cons, kth, rec, scoring) {
+            match classify_insertion(region, kth, rec, scoring) {
                 InsertionImpact::Invalidated => return BatchImpact::invalidated(),
                 InsertionImpact::Shrinks(h) => shrinks.push(h),
                 InsertionImpact::Unaffected => {}

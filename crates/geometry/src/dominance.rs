@@ -25,6 +25,23 @@ pub fn dominates(a: &PointD, b: &PointD) -> bool {
     strictly
 }
 
+/// [`dominates`] over raw coordinate slices — the kernel form used by
+/// columnar scans that never materialize a `PointD` per probe.
+#[inline]
+pub fn dominates_slice(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
 /// Returns true when `a` is strictly larger than `b` on *every* dimension.
 #[inline]
 pub fn strictly_dominates(a: &PointD, b: &PointD) -> bool {
@@ -94,6 +111,13 @@ impl<T> SkylineSet<T> {
     /// Returns true when `p` is dominated by a current member.
     pub fn dominated(&self, p: &PointD) -> bool {
         self.entries.iter().any(|(m, _)| dominates(m, p))
+    }
+
+    /// [`SkylineSet::dominated`] over a raw coordinate slice.
+    pub fn dominated_slice(&self, p: &[f64]) -> bool {
+        self.entries
+            .iter()
+            .any(|(m, _)| dominates_slice(m.coords(), p))
     }
 
     /// Inserts `p` unless dominated; evicts members `p` dominates.

@@ -12,7 +12,7 @@
 
 use crate::hull::{ConvexHull, HullError};
 use crate::hyperplane::HalfSpace;
-use crate::lp::chebyshev_center;
+use crate::lp::{chebyshev_center_view, ConsView};
 use crate::vector::PointD;
 use crate::{EPS, LOOSE_EPS};
 
@@ -78,11 +78,8 @@ pub fn intersect_halfspaces(
     let interior = match interior_hint {
         Some(x0) if min_slack(halfspaces, x0) > FLAT_TOL => x0.clone(),
         _ => {
-            let cons: Vec<(PointD, f64)> = halfspaces
-                .iter()
-                .map(|h| (h.normal.clone(), h.offset))
-                .collect();
-            let (c, r) = chebyshev_center(&cons, 0.0, 1.0, d).ok_or(IntersectError::Empty)?;
+            let (c, r) = chebyshev_center_view(ConsView::Half(halfspaces), 0.0, 1.0, d)
+                .ok_or(IntersectError::Empty)?;
             if r <= FLAT_TOL {
                 return Err(IntersectError::Flat);
             }

@@ -34,11 +34,11 @@ pub mod projection;
 pub mod vector;
 pub mod volume;
 
-pub use dominance::{dominates, skyline_indices, strictly_dominates};
+pub use dominance::{dominates, dominates_slice, skyline_indices, strictly_dominates};
 pub use halfspace::{intersect_halfspaces, HalfspaceIntersection};
 pub use hull::{ConvexHull, Facet, HullError};
 pub use hyperplane::{HalfSpace, Hyperplane};
-pub use lp::{chebyshev_center, maximize, LpResult, LpStatus};
+pub use lp::{chebyshev_center, maximize, ConsView, LpResult, LpScratch, LpStatus};
 pub use mah::max_axis_rect;
 pub use polytope::Polytope;
 pub use projection::axis_projections;

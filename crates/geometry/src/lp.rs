@@ -13,8 +13,24 @@
 //! Constraints are `normal · x ≤ offset`. The solver requires an explicit
 //! bounding box to guarantee boundedness; GIR callers pass the query space
 //! `[0,1]^d`.
+//!
+//! ## Zero-copy solving
+//!
+//! The hot paths (FP node pruning, delta-batch classification) solve
+//! thousands of small LPs per query burst, so the solver never copies the
+//! caller's constraints: a [`ConsView`] borrows them in whatever layout
+//! they already live in (pair slices, [`HalfSpace`] lists, or flat SoA
+//! rows), and all recursion-level work happens in a reusable
+//! [`LpScratch`] — after warm-up a solve performs no heap allocation at
+//! all. The scratch also *warm-starts* the constraint processing order
+//! across calls: constraints that were binding in the previous solve are
+//! examined first, which keeps Seidel's recursive subproblems small when
+//! one region is probed with many related objectives (per-axis extrema,
+//! per-insert classification, per-node pruning).
 
+use crate::hyperplane::HalfSpace;
 use crate::vector::PointD;
+use std::cell::RefCell;
 
 /// Outcome status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,25 +59,440 @@ pub struct LpResult {
 /// couple of digits.
 const LP_EPS: f64 = 1e-9;
 
-/// Maximizes `c · x` subject to `normal · x ≤ offset` for every
-/// `(normal, offset)` in `constraints`, and `lo ≤ x_i ≤ hi` for all `i`.
-pub fn maximize(c: &PointD, constraints: &[(PointD, f64)], lo: f64, hi: f64) -> LpResult {
-    let d = c.dim();
-    let cons: Vec<(Vec<f64>, f64)> = constraints
-        .iter()
-        .map(|(n, b)| (n.coords().to_vec(), *b))
-        .collect();
-    let obj = c.coords().to_vec();
-    match solve_rec(&obj, cons, lo, hi, d, 0x5EED_1E57) {
-        Some(x) => {
-            let xp = PointD::from(x);
-            let value = c.dot(&xp);
-            LpResult {
-                status: LpStatus::Optimal,
-                x: Some(xp),
-                value,
+/// Largest supported dimensionality (after the Chebyshev lift). Solution
+/// and objective vectors live on the stack below this bound.
+const MAX_DIM: usize = 24;
+
+/// Deterministic seed for the initial constraint shuffle.
+const LP_SEED: u64 = 0x5EED_1E57;
+
+/// A borrowed, layout-agnostic view of LP constraints `normal · x ≤
+/// offset`. No conversion or copying happens at the view boundary — rows
+/// are read straight out of the caller's storage.
+#[derive(Debug, Clone, Copy)]
+pub enum ConsView<'a> {
+    /// `(normal, offset)` pairs (the historical layout).
+    Pairs(&'a [(PointD, f64)]),
+    /// A region's half-space list, viewed directly (provenance ignored).
+    Half(&'a [HalfSpace]),
+    /// Flat structure-of-arrays rows: `normals[i*d..(i+1)*d]` with
+    /// `offsets[i]`.
+    Soa {
+        /// Row-major normals, `d` values per constraint.
+        normals: &'a [f64],
+        /// One offset per constraint.
+        offsets: &'a [f64],
+        /// Row stride.
+        d: usize,
+    },
+}
+
+impl ConsView<'_> {
+    /// Number of constraints in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            ConsView::Pairs(p) => p.len(),
+            ConsView::Half(h) => h.len(),
+            ConsView::Soa { offsets, .. } => offsets.len(),
+        }
+    }
+
+    /// True when the view holds no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> (&[f64], f64) {
+        match self {
+            ConsView::Pairs(p) => (p[i].0.coords(), p[i].1),
+            ConsView::Half(h) => (h[i].normal.coords(), h[i].offset),
+            ConsView::Soa {
+                normals,
+                offsets,
+                d,
+            } => (&normals[i * d..(i + 1) * d], offsets[i]),
+        }
+    }
+}
+
+impl<'a> From<&'a [(PointD, f64)]> for ConsView<'a> {
+    fn from(p: &'a [(PointD, f64)]) -> Self {
+        ConsView::Pairs(p)
+    }
+}
+
+impl<'a> From<&'a [HalfSpace]> for ConsView<'a> {
+    fn from(h: &'a [HalfSpace]) -> Self {
+        ConsView::Half(h)
+    }
+}
+
+/// Random access to constraint rows, implemented by [`ConsView`] (the
+/// caller's storage) and by the scratch levels (projected subproblems).
+trait Rows {
+    fn m(&self) -> usize;
+    fn row(&self, i: usize) -> (&[f64], f64);
+}
+
+impl Rows for ConsView<'_> {
+    #[inline]
+    fn m(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn row(&self, i: usize) -> (&[f64], f64) {
+        ConsView::row(self, i)
+    }
+}
+
+/// Flat SoA rows inside a scratch level.
+struct SoaRows<'a> {
+    normals: &'a [f64],
+    offsets: &'a [f64],
+    d: usize,
+}
+
+impl Rows for SoaRows<'_> {
+    #[inline]
+    fn m(&self) -> usize {
+        self.offsets.len()
+    }
+    #[inline]
+    fn row(&self, i: usize) -> (&[f64], f64) {
+        (&self.normals[i * self.d..(i + 1) * self.d], self.offsets[i])
+    }
+}
+
+/// Per-recursion-level buffers for projected subproblem constraints.
+#[derive(Debug, Default, Clone)]
+struct LevelBuf {
+    normals: Vec<f64>,
+    offsets: Vec<f64>,
+    perm: Vec<u32>,
+}
+
+/// The recursive solver's reusable state.
+#[derive(Debug, Default)]
+struct SolverCore {
+    /// One buffer per recursion level below the top.
+    levels: Vec<LevelBuf>,
+    /// Top-level processing order, warm-started across solves.
+    order: Vec<u32>,
+    /// Scratch for reordering `order`.
+    order_tmp: Vec<u32>,
+    /// Constraints that became binding during the current solve.
+    binding: Vec<u32>,
+}
+
+/// Reusable solver state: recursion buffers, the warm-started constraint
+/// order, and the Chebyshev lift arena. Create once per long-lived
+/// context (a sweep, a classification pass, a worker thread) and pass to
+/// the `*_scratch` entry points; after the first solve of a given shape
+/// no allocation happens.
+#[derive(Debug, Default)]
+pub struct LpScratch {
+    core: SolverCore,
+    lifted_normals: Vec<f64>,
+    lifted_offsets: Vec<f64>,
+}
+
+impl LpScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> LpScratch {
+        LpScratch::default()
+    }
+}
+
+thread_local! {
+    /// Scratch behind the allocation-per-call-free convenience wrappers.
+    static TLS_SCRATCH: RefCell<LpScratch> = RefCell::new(LpScratch::new());
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn shuffle_u32(v: &mut [u32], seed: u64) {
+    let mut state = seed ^ 0x9E3779B97F4A7C15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+fn solve_1d<R: Rows>(rows: &R, c: f64, lo: f64, hi: f64) -> Option<f64> {
+    let (mut xlo, mut xhi) = (lo, hi);
+    for i in 0..rows.m() {
+        let (n, b) = rows.row(i);
+        let a = n[0];
+        if a.abs() < LP_EPS {
+            if b < -LP_EPS {
+                return None;
+            }
+        } else if a > 0.0 {
+            xhi = xhi.min(b / a);
+        } else {
+            xlo = xlo.max(b / a);
+        }
+    }
+    if xlo > xhi + LP_EPS {
+        return None;
+    }
+    let x = if c >= 0.0 { xhi } else { xlo };
+    Some(x.clamp(xlo.min(xhi), xhi.max(xlo)))
+}
+
+/// Recursive Seidel step. Processes `rows` in `order`, maintaining the
+/// incumbent in `x[..d]`; on violation, projects the prefix into
+/// `bufs[0]` (plus the eliminated variable's box sides) and recurses
+/// with `bufs[1..]`. `binding` (top level only) records constraints that
+/// forced a recursion, for warm-starting the next solve.
+#[allow(clippy::too_many_arguments)]
+fn solve_rec<R: Rows>(
+    rows: &R,
+    order: &[u32],
+    obj: &[f64],
+    lo: f64,
+    hi: f64,
+    bufs: &mut [LevelBuf],
+    x: &mut [f64],
+    seed: u64,
+    mut binding: Option<&mut Vec<u32>>,
+) -> bool {
+    let d = obj.len();
+    debug_assert!(d >= 1);
+    if d == 1 {
+        match solve_1d(rows, obj[0], lo, hi) {
+            Some(v) => {
+                x[0] = v;
+                return true;
+            }
+            None => return false,
+        }
+    }
+
+    for (xj, &c) in x[..d].iter_mut().zip(obj.iter()) {
+        *xj = if c >= 0.0 { hi } else { lo };
+    }
+
+    for (pos, &ri) in order.iter().enumerate() {
+        let (a, b) = rows.row(ri as usize);
+        let lhs = dot(a, &x[..d]);
+        if lhs <= b + LP_EPS {
+            continue; // still optimal
+        }
+        // The optimum moves onto the hyperplane a·x = b. Eliminate the
+        // variable with the largest |a_j| for stability.
+        let j = (0..d)
+            .max_by(|&p, &q| a[p].abs().partial_cmp(&a[q].abs()).expect("non-NaN"))
+            .expect("d >= 1");
+        if a[j].abs() < LP_EPS {
+            // Degenerate constraint: 0·x ≤ b with b < lhs ⇒ infeasible.
+            return false;
+        }
+        if let Some(bind) = binding.as_deref_mut() {
+            bind.push(ri);
+        }
+        let aj_inv = 1.0 / a[j];
+        let sd = d - 1;
+        let sub_seed = seed.wrapping_add(pos as u64 + 1);
+
+        let (head, tail) = bufs.split_at_mut(1);
+        let buf = &mut head[0];
+        buf.normals.clear();
+        buf.offsets.clear();
+        // Substitution x_j = (b − Σ_{l≠j} a_l x_l) / a_j applied to a
+        // (normal, offset) pair; the projected row lands in the flat
+        // SoA arena in the (d−1)-dim subspace.
+        let mut project = |n: &[f64], off: f64| {
+            let f = n[j] * aj_inv;
+            for l in 0..d {
+                if l != j {
+                    buf.normals.push(n[l] - f * a[l]);
+                }
+            }
+            buf.offsets.push(off - f * b);
+        };
+        for &pi in &order[..pos] {
+            let (pn, pb) = rows.row(pi as usize);
+            project(pn, pb);
+        }
+        // Box sides of the eliminated variable (x_j ∈ [lo,hi]).
+        {
+            let mut e = [0.0f64; MAX_DIM];
+            e[j] = 1.0;
+            project(&e[..d], hi);
+            e[j] = -1.0;
+            project(&e[..d], -lo);
+        }
+        let sub_m = buf.offsets.len();
+        buf.perm.clear();
+        buf.perm.extend(0..sub_m as u32);
+        shuffle_u32(&mut buf.perm, sub_seed);
+
+        let mut sub_obj = [0.0f64; MAX_DIM];
+        {
+            let f = obj[j] * aj_inv;
+            let mut w = 0usize;
+            for l in 0..d {
+                if l != j {
+                    sub_obj[w] = obj[l] - f * a[l];
+                    w += 1;
+                }
             }
         }
+
+        let sub_rows = SoaRows {
+            normals: &buf.normals,
+            offsets: &buf.offsets,
+            d: sd,
+        };
+        let mut y = [0.0f64; MAX_DIM];
+        if !solve_rec(
+            &sub_rows,
+            &buf.perm,
+            &sub_obj[..sd],
+            lo,
+            hi,
+            tail,
+            &mut y[..sd],
+            sub_seed ^ 0xD1CE,
+            None,
+        ) {
+            return false;
+        }
+        // Lift back.
+        let mut w = 0usize;
+        for (l, xl) in x[..d].iter_mut().enumerate() {
+            if l == j {
+                *xl = 0.0; // placeholder
+            } else {
+                *xl = y[w];
+                w += 1;
+            }
+        }
+        let xj = (b - (0..d).filter(|&l| l != j).map(|l| a[l] * x[l]).sum::<f64>()) * aj_inv;
+        x[j] = xj;
+    }
+    true
+}
+
+/// The top-level solve over a [`SolverCore`]: warm-started order,
+/// binding-constraint tracking, move-to-front reordering for the next
+/// call.
+fn solve_top(
+    core: &mut SolverCore,
+    obj: &[f64],
+    cons: &ConsView<'_>,
+    lo: f64,
+    hi: f64,
+    x: &mut [f64],
+) -> bool {
+    let d = obj.len();
+    assert!(
+        (1..=MAX_DIM).contains(&d),
+        "LP dimensionality {d} outside 1..={MAX_DIM}"
+    );
+    let m = cons.len();
+    if core.levels.len() < d {
+        core.levels.resize_with(d, LevelBuf::default);
+    }
+    if core.order.len() != m {
+        core.order.clear();
+        core.order.extend(0..m as u32);
+        shuffle_u32(&mut core.order, LP_SEED);
+    }
+    core.binding.clear();
+    let ok = solve_rec(
+        cons,
+        &core.order,
+        obj,
+        lo,
+        hi,
+        &mut core.levels,
+        x,
+        LP_SEED,
+        Some(&mut core.binding),
+    );
+    // Warm start: binding constraints first next time, preserving the
+    // relative order of the rest — related follow-up solves then trigger
+    // their recursions early, on short constraint prefixes.
+    if !core.binding.is_empty() {
+        core.order_tmp.clear();
+        core.order_tmp.extend_from_slice(&core.binding);
+        for &i in core.order.iter() {
+            if !core.binding.contains(&i) {
+                core.order_tmp.push(i);
+            }
+        }
+        std::mem::swap(&mut core.order, &mut core.order_tmp);
+    }
+    ok
+}
+
+/// Allocation-free maximization of `c · x` over `cons ∩ [lo,hi]^d`:
+/// writes the maximizer into `x` (length `c.len()`) and returns the
+/// objective value, or `None` when infeasible.
+pub fn maximize_scratch(
+    scratch: &mut LpScratch,
+    c: &[f64],
+    cons: ConsView<'_>,
+    lo: f64,
+    hi: f64,
+    x: &mut [f64],
+) -> Option<f64> {
+    debug_assert_eq!(c.len(), x.len());
+    if solve_top(&mut scratch.core, c, &cons, lo, hi, x) {
+        Some(dot(c, x))
+    } else {
+        None
+    }
+}
+
+/// Like [`maximize_scratch`] but discards the maximizer (internal stack
+/// buffer), returning only the optimal value.
+pub fn max_value_scratch(
+    scratch: &mut LpScratch,
+    c: &[f64],
+    cons: ConsView<'_>,
+    lo: f64,
+    hi: f64,
+) -> Option<f64> {
+    let mut x = [0.0f64; MAX_DIM];
+    let d = c.len();
+    maximize_scratch(scratch, c, cons, lo, hi, &mut x[..d])
+}
+
+/// Maximizes `c · x` subject to `normal · x ≤ offset` for every
+/// `(normal, offset)` in `constraints`, and `lo ≤ x_i ≤ hi` for all `i`.
+///
+/// Convenience wrapper over a thread-local [`LpScratch`]; hot callers
+/// that control their own lifetime should hold an `LpScratch` and use
+/// [`maximize_scratch`] / [`max_value_scratch`] directly.
+pub fn maximize(c: &PointD, constraints: &[(PointD, f64)], lo: f64, hi: f64) -> LpResult {
+    maximize_view(c, ConsView::Pairs(constraints), lo, hi)
+}
+
+/// [`maximize`] over any [`ConsView`] layout.
+pub fn maximize_view(c: &PointD, cons: ConsView<'_>, lo: f64, hi: f64) -> LpResult {
+    let d = c.dim();
+    let mut x = [0.0f64; MAX_DIM];
+    let solved = TLS_SCRATCH
+        .with(|s| maximize_scratch(&mut s.borrow_mut(), c.coords(), cons, lo, hi, &mut x[..d]));
+    match solved {
+        Some(value) => LpResult {
+            status: LpStatus::Optimal,
+            x: Some(PointD::from(&x[..d])),
+            value,
+        },
         None => LpResult {
             status: LpStatus::Infeasible,
             x: None,
@@ -82,46 +513,95 @@ pub fn chebyshev_center(
     hi: f64,
     d: usize,
 ) -> Option<(PointD, f64)> {
-    let mut lifted: Vec<(PointD, f64)> = Vec::with_capacity(constraints.len() + 2 * d + 1);
-    let lift = |normal: &PointD, offset: f64| {
-        let norm = normal.norm();
-        let mut v = normal.coords().to_vec();
-        v.push(norm);
-        (PointD::from(v), offset)
-    };
-    for (n, b) in constraints {
-        lifted.push(lift(n, *b));
+    chebyshev_center_view(ConsView::Pairs(constraints), lo, hi, d)
+}
+
+/// [`chebyshev_center`] over any [`ConsView`] layout (thread-local
+/// scratch).
+pub fn chebyshev_center_view(
+    cons: ConsView<'_>,
+    lo: f64,
+    hi: f64,
+    d: usize,
+) -> Option<(PointD, f64)> {
+    TLS_SCRATCH.with(|s| chebyshev_center_scratch(&mut s.borrow_mut(), cons, lo, hi, d))
+}
+
+/// [`chebyshev_center`] with an explicit scratch: the lifted constraint
+/// system is materialized into the scratch arena (reused across calls)
+/// instead of a fresh `Vec` per invocation.
+pub fn chebyshev_center_scratch(
+    scratch: &mut LpScratch,
+    cons: ConsView<'_>,
+    lo: f64,
+    hi: f64,
+    d: usize,
+) -> Option<(PointD, f64)> {
+    let ld = d + 1;
+    assert!(ld <= MAX_DIM, "chebyshev lift exceeds MAX_DIM");
+    scratch.lifted_normals.clear();
+    scratch.lifted_offsets.clear();
+    let m = cons.len();
+    scratch.lifted_normals.reserve((m + 2 * d + 1) * ld);
+    scratch.lifted_offsets.reserve(m + 2 * d + 1);
+    for i in 0..m {
+        let (n, b) = cons.row(i);
+        let norm = dot(n, n).sqrt();
+        scratch.lifted_normals.extend_from_slice(n);
+        scratch.lifted_normals.push(norm);
+        scratch.lifted_offsets.push(b);
     }
     // Box sides as explicit constraints so the radius respects them too.
     for i in 0..d {
-        let mut n = vec![0.0; d];
-        n[i] = 1.0;
-        lifted.push(lift(&PointD::from(n.clone()), hi));
-        n[i] = -1.0;
-        lifted.push(lift(&PointD::from(n), -lo));
+        for sign in [1.0f64, -1.0] {
+            for l in 0..d {
+                scratch.lifted_normals.push(if l == i { sign } else { 0.0 });
+            }
+            scratch.lifted_normals.push(1.0);
+            scratch
+                .lifted_offsets
+                .push(if sign > 0.0 { hi } else { -lo });
+        }
     }
     // r ≥ 0.
-    let mut rneg = vec![0.0; d + 1];
-    rneg[d] = -1.0;
-    lifted.push((PointD::from(rneg), 0.0));
+    for _ in 0..d {
+        scratch.lifted_normals.push(0.0);
+    }
+    scratch.lifted_normals.push(-1.0);
+    scratch.lifted_offsets.push(0.0);
 
-    let mut c = vec![0.0; d + 1];
-    c[d] = 1.0;
-    // The lifted box must cover r's range as well; `hi - lo` bounds any
+    let mut obj = [0.0f64; MAX_DIM];
+    obj[d] = 1.0;
+    let mut x = [0.0f64; MAX_DIM];
+    let lifted = ConsView::Soa {
+        normals: &scratch.lifted_normals,
+        offsets: &scratch.lifted_offsets,
+        d: ld,
+    };
+    // The lifted box must cover r's range as well; `hi − lo` bounds any
     // inscribed radius.
-    let res = maximize(&PointD::from(c), &lifted, lo - (hi - lo), hi + (hi - lo));
-    let x = res.x?;
+    solve_top(
+        &mut scratch.core,
+        &obj[..ld],
+        &lifted,
+        lo - (hi - lo),
+        hi + (hi - lo),
+        &mut x[..ld],
+    )
+    .then_some(())?;
     let r = x[d];
     if r < -LP_EPS {
         return None;
     }
-    Some((PointD::from(&x.coords()[..d]), r.max(0.0)))
+    Some((PointD::from(&x[..d]), r.max(0.0)))
 }
 
-/// True when the region `{x : normal·x ≤ offset} ∩ [lo,hi]^d` is non-empty.
-pub fn feasible(constraints: &[(PointD, f64)], lo: f64, hi: f64, d: usize) -> bool {
-    let c = PointD::zeros(d);
-    maximize(&c, constraints, lo, hi).status == LpStatus::Optimal
+/// True when the region `cons ∩ [lo,hi]^d` is non-empty.
+pub fn feasible(cons: ConsView<'_>, lo: f64, hi: f64, d: usize) -> bool {
+    let zeros = [0.0f64; MAX_DIM];
+    TLS_SCRATCH
+        .with(|s| max_value_scratch(&mut s.borrow_mut(), &zeros[..d], cons, lo, hi))
+        .is_some()
 }
 
 /// True when some `x` in the region has `c · x > tol` — the half-space /
@@ -131,160 +611,26 @@ pub fn feasible(constraints: &[(PointD, f64)], lo: f64, hi: f64, d: usize) -> bo
 /// tests the cached query point *before* calling, because a positive
 /// value there means eviction rather than a shrink — so by the time the
 /// solve runs, only the region away from the query is in question.)
-pub fn improves_somewhere(
-    c: &PointD,
-    constraints: &[(PointD, f64)],
+pub fn improves_somewhere(c: &PointD, cons: ConsView<'_>, lo: f64, hi: f64, tol: f64) -> bool {
+    TLS_SCRATCH
+        .with(|s| improves_somewhere_scratch(&mut s.borrow_mut(), c.coords(), cons, lo, hi, tol))
+}
+
+/// [`improves_somewhere`] with an explicit scratch (allocation-free).
+pub fn improves_somewhere_scratch(
+    scratch: &mut LpScratch,
+    c: &[f64],
+    cons: ConsView<'_>,
     lo: f64,
     hi: f64,
     tol: f64,
 ) -> bool {
     // Fast path: the objective is non-positive on the whole positive
     // orthant, so it cannot be positive inside `[lo,hi]^d` with lo ≥ 0.
-    if lo >= 0.0 && c.coords().iter().all(|&v| v <= tol) {
+    if lo >= 0.0 && c.iter().all(|&v| v <= tol) {
         return false;
     }
-    let res = maximize(c, constraints, lo, hi);
-    res.status == LpStatus::Optimal && res.value > tol
-}
-
-/// Recursive Seidel solve over raw vectors. Returns a maximizer of
-/// `obj · x` over the constraints plus the `[lo,hi]` box, or `None` when
-/// infeasible.
-fn solve_rec(
-    obj: &[f64],
-    mut cons: Vec<(Vec<f64>, f64)>,
-    lo: f64,
-    hi: f64,
-    d: usize,
-    seed: u64,
-) -> Option<Vec<f64>> {
-    debug_assert!(d >= 1);
-    if d == 1 {
-        return solve_1d(obj[0], &cons, lo, hi);
-    }
-    shuffle(&mut cons, seed);
-
-    // Start from the box corner maximizing the objective.
-    let mut x: Vec<f64> = obj
-        .iter()
-        .map(|&c| if c >= 0.0 { hi } else { lo })
-        .collect();
-
-    for i in 0..cons.len() {
-        let (a, b) = (&cons[i].0, cons[i].1);
-        let lhs: f64 = a.iter().zip(x.iter()).map(|(ai, xi)| ai * xi).sum();
-        if lhs <= b + LP_EPS {
-            continue; // still optimal
-        }
-        // The optimum moves onto the hyperplane a·x = b. Eliminate the
-        // variable with the largest |a_j| for stability.
-        let j = (0..d)
-            .max_by(|&p, &q| a[p].abs().partial_cmp(&a[q].abs()).expect("non-NaN"))
-            .expect("d >= 1");
-        if a[j].abs() < LP_EPS {
-            // Degenerate constraint: 0·x ≤ b with b < lhs ⇒ infeasible.
-            return None;
-        }
-        let aj_inv = 1.0 / a[j];
-        // Substitution x_j = (b - Σ_{l≠j} a_l x_l) / a_j applied to a
-        // (normal', offset') pair in the (d-1)-dim subspace.
-        let project = |n: &[f64], off: f64| -> (Vec<f64>, f64) {
-            let f = n[j] * aj_inv;
-            let mut np: Vec<f64> = Vec::with_capacity(d - 1);
-            for l in 0..d {
-                if l != j {
-                    np.push(n[l] - f * a[l]);
-                }
-            }
-            (np, off - f * b)
-        };
-
-        // Previous constraints plus the box sides of the eliminated
-        // variable (x_j ∈ [lo,hi] becomes two linear constraints below).
-        let mut sub: Vec<(Vec<f64>, f64)> = Vec::with_capacity(i + 2);
-        for (n, off) in cons[..i].iter() {
-            sub.push(project(n, *off));
-        }
-        {
-            let mut e = vec![0.0; d];
-            e[j] = 1.0;
-            sub.push(project(&e, hi));
-            e[j] = -1.0;
-            sub.push(project(&e, -lo));
-        }
-        let sub_obj = {
-            let f = obj[j] * aj_inv;
-            let mut o: Vec<f64> = Vec::with_capacity(d - 1);
-            for l in 0..d {
-                if l != j {
-                    o.push(obj[l] - f * a[l]);
-                }
-            }
-            o
-        };
-        let y = solve_rec(
-            &sub_obj,
-            sub,
-            lo,
-            hi,
-            d - 1,
-            seed.wrapping_add(i as u64 + 1),
-        )?;
-        // Lift back.
-        let mut xi = Vec::with_capacity(d);
-        let mut yi = y.iter();
-        for l in 0..d {
-            if l == j {
-                xi.push(0.0); // placeholder
-            } else {
-                xi.push(*yi.next().expect("d-1 coords"));
-            }
-        }
-        let xj = (b
-            - (0..d)
-                .filter(|&l| l != j)
-                .map(|l| a[l] * xi[l])
-                .sum::<f64>())
-            * aj_inv;
-        xi[j] = xj;
-        x = xi;
-    }
-    Some(x)
-}
-
-fn solve_1d(c: f64, cons: &[(Vec<f64>, f64)], lo: f64, hi: f64) -> Option<Vec<f64>> {
-    let (mut xlo, mut xhi) = (lo, hi);
-    for (a, b) in cons {
-        let a = a[0];
-        if a.abs() < LP_EPS {
-            if *b < -LP_EPS {
-                return None;
-            }
-        } else if a > 0.0 {
-            xhi = xhi.min(b / a);
-        } else {
-            xlo = xlo.max(b / a);
-        }
-    }
-    if xlo > xhi + LP_EPS {
-        return None;
-    }
-    let x = if c >= 0.0 { xhi } else { xlo };
-    Some(vec![x.clamp(xlo.min(xhi), xhi.max(xlo))])
-}
-
-fn shuffle(v: &mut [(Vec<f64>, f64)], seed: u64) {
-    let mut state = seed ^ 0x9E3779B97F4A7C15;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    for i in (1..v.len()).rev() {
-        let j = (next() % (i as u64 + 1)) as usize;
-        v.swap(i, j);
-    }
+    matches!(max_value_scratch(scratch, c, cons, lo, hi), Some(v) if v > tol)
 }
 
 #[cfg(test)]
@@ -319,7 +665,7 @@ mod tests {
         let cons = [hs(&[-1.0, 0.0], -0.8), hs(&[1.0, 0.0], 0.2)];
         let r = maximize(&PointD::new(vec![1.0, 0.0]), &cons, 0.0, 1.0);
         assert_eq!(r.status, LpStatus::Infeasible);
-        assert!(!feasible(&cons, 0.0, 1.0, 2));
+        assert!(!feasible(ConsView::Pairs(&cons), 0.0, 1.0, 2));
     }
 
     #[test]
@@ -376,9 +722,9 @@ mod tests {
     fn degenerate_zero_normal_constraints() {
         // 0·x ≤ 1 is vacuous; 0·x ≤ -1 is infeasible.
         let vac = [hs(&[0.0, 0.0], 1.0)];
-        assert!(feasible(&vac, 0.0, 1.0, 2));
+        assert!(feasible(ConsView::Pairs(&vac), 0.0, 1.0, 2));
         let bad = [hs(&[0.0, 0.0], -1.0)];
-        assert!(!feasible(&bad, 0.0, 1.0, 2));
+        assert!(!feasible(ConsView::Pairs(&bad), 0.0, 1.0, 2));
     }
 
     #[test]
@@ -388,14 +734,14 @@ mod tests {
         let cons = [hs(&[-2.0, 1.0], 0.0), hs(&[0.5, -1.0], 0.0)];
         assert!(improves_somewhere(
             &PointD::new(vec![-1.0, 1.0]),
-            &cons,
+            ConsView::Pairs(&cons),
             0.0,
             1.0,
             1e-9
         ));
         assert!(!improves_somewhere(
             &PointD::new(vec![-1.0, -1.0]),
-            &cons,
+            ConsView::Pairs(&cons),
             0.0,
             1.0,
             1e-9
@@ -404,7 +750,7 @@ mod tests {
         let empty = [hs(&[-1.0, 0.0], -0.8), hs(&[1.0, 0.0], 0.2)];
         assert!(!improves_somewhere(
             &PointD::new(vec![1.0, 1.0]),
-            &empty,
+            ConsView::Pairs(&empty),
             0.0,
             1.0,
             1e-9
@@ -417,6 +763,81 @@ mod tests {
         let cons = [hs(&[1.0; 5], 0.7)];
         let r = maximize(&PointD::new(vec![1.0; 5]), &cons, 0.0, 1.0);
         assert!((r.value - 0.7).abs() < 1e-7);
+    }
+
+    #[test]
+    fn halfspace_view_matches_pairs_view() {
+        use crate::hyperplane::Provenance;
+        // The same geometry through both layouts must solve identically.
+        let pairs = [hs(&[1.0, 2.0], 1.0), hs(&[2.0, 1.0], 1.0)];
+        let halves: Vec<HalfSpace> = pairs
+            .iter()
+            .map(|(n, b)| HalfSpace {
+                normal: n.clone(),
+                offset: *b,
+                provenance: Provenance::NonResult { record_id: 0 },
+            })
+            .collect();
+        let c = PointD::new(vec![1.0, 1.0]);
+        let a = maximize(&c, &pairs, 0.0, 1.0);
+        let b = maximize_view(&c, ConsView::Half(&halves), 0.0, 1.0);
+        assert!((a.value - b.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soa_view_matches_pairs_view() {
+        let pairs = [hs(&[1.0, 2.0, 0.5], 1.0), hs(&[2.0, 1.0, -0.3], 1.0)];
+        let normals: Vec<f64> = pairs
+            .iter()
+            .flat_map(|(n, _)| n.coords().to_vec())
+            .collect();
+        let offsets: Vec<f64> = pairs.iter().map(|(_, b)| *b).collect();
+        let c = PointD::new(vec![0.4, 1.0, 0.6]);
+        let a = maximize(&c, &pairs, 0.0, 1.0);
+        let b = maximize_view(
+            &c,
+            ConsView::Soa {
+                normals: &normals,
+                offsets: &offsets,
+                d: 3,
+            },
+            0.0,
+            1.0,
+        );
+        assert!((a.value - b.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_started_scratch_stays_correct_across_related_solves() {
+        // Re-solving the same region with many objectives (the per-axis
+        // extrema pattern) through one scratch must match fresh solves.
+        let cons = [
+            hs(&[1.0, 3.0], 1.2),
+            hs(&[-1.0, 1.0], 0.4),
+            hs(&[2.0, -1.0], 1.1),
+            hs(&[1.0, 1.0], 1.3),
+        ];
+        let mut scratch = LpScratch::new();
+        for pass in 0..3 {
+            for dir in [
+                [1.0, 0.0],
+                [-1.0, 0.0],
+                [0.0, 1.0],
+                [0.0, -1.0],
+                [0.7, 0.3],
+                [-0.5, 0.9],
+            ] {
+                let mut x = [0.0f64; 2];
+                let warm =
+                    maximize_scratch(&mut scratch, &dir, ConsView::Pairs(&cons), 0.0, 1.0, &mut x)
+                        .unwrap();
+                let fresh = maximize(&PointD::from(&dir[..]), &cons, 0.0, 1.0).value;
+                assert!(
+                    (warm - fresh).abs() < 1e-9,
+                    "pass {pass} dir {dir:?}: warm {warm} vs fresh {fresh}"
+                );
+            }
+        }
     }
 
     #[test]

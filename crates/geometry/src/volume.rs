@@ -9,7 +9,7 @@
 
 use crate::halfspace::{intersect_halfspaces, region_contains, IntersectError};
 use crate::hyperplane::HalfSpace;
-use crate::lp::{maximize, LpStatus};
+use crate::lp::{maximize_scratch, ConsView, LpScratch};
 use crate::polytope::Polytope;
 use crate::vector::PointD;
 
@@ -102,26 +102,34 @@ pub fn monte_carlo_volume(
     d: usize,
     opts: &VolumeOptions,
 ) -> VolumeEstimate {
-    let cons: Vec<(PointD, f64)> = halfspaces
-        .iter()
-        .map(|h| (h.normal.clone(), h.offset))
-        .collect();
+    // One warm-started scratch for all 2d axis-extrema solves, viewing
+    // the half-space list directly (no constraint copies).
+    let cons = ConsView::Half(halfspaces);
+    let mut scratch = LpScratch::new();
     let mut lo = vec![0.0f64; d];
     let mut hi = vec![1.0f64; d];
+    let mut c = vec![0.0f64; d];
+    let mut x = vec![0.0f64; d];
     for i in 0..d {
-        let mut c = vec![0.0; d];
         c[i] = 1.0;
-        let up = maximize(&PointD::from(c.clone()), &cons, 0.0, 1.0);
-        if up.status == LpStatus::Infeasible {
+        let Some(up) = maximize_scratch(&mut scratch, &c, cons, 0.0, 1.0, &mut x) else {
             return VolumeEstimate {
                 volume: 0.0,
                 method: VolumeMethod::DegenerateZero,
             };
-        }
-        hi[i] = up.value.clamp(0.0, 1.0);
+        };
+        hi[i] = up.clamp(0.0, 1.0);
         c[i] = -1.0;
-        let dn = maximize(&PointD::from(c), &cons, 0.0, 1.0);
-        lo[i] = (-dn.value).clamp(0.0, 1.0);
+        // A feasibility flip between the two directions means the
+        // region is thinner than the LP tolerance: volume is zero.
+        let Some(dn) = maximize_scratch(&mut scratch, &c, cons, 0.0, 1.0, &mut x) else {
+            return VolumeEstimate {
+                volume: 0.0,
+                method: VolumeMethod::DegenerateZero,
+            };
+        };
+        lo[i] = (-dn).clamp(0.0, 1.0);
+        c[i] = 0.0;
     }
     let mut box_vol = 1.0;
     for i in 0..d {

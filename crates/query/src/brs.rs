@@ -152,6 +152,7 @@ pub fn brs_topk(
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     let mut ranked: Vec<(Record, f64)> = Vec::with_capacity(k);
     let mut leaf_pages_read = 0u64;
+    let mut scores: Vec<f64> = Vec::new();
 
     heap.push(HeapEntry::Node {
         page: tree.root_page(),
@@ -182,8 +183,10 @@ pub fn brs_topk(
                     }
                     NodeEntries::Leaf(records) => {
                         leaf_pages_read += 1;
-                        for record in records {
-                            let score = scoring.score(weights, &record.attrs);
+                        // One fused scoring pass over the leaf's records
+                        // (columnar multiply-add for linear scoring).
+                        scoring.scores_into(weights, &records, &mut scores);
+                        for (record, &score) in records.into_iter().zip(scores.iter()) {
                             heap.push(HeapEntry::Rec { record, score });
                         }
                     }

@@ -17,12 +17,14 @@ pub mod brs;
 pub mod naive;
 pub mod score;
 pub mod skyline;
+pub mod soa;
 
 pub use brs::{brs_topk, HeapEntry, SearchState, TopKResult};
 pub use naive::{naive_skyline, naive_topk};
 pub use rtree_reexports::*;
 pub use score::{QueryVector, ScoringFunction, Transform};
 pub use skyline::bbs_skyline;
+pub use soa::{RecordBlocks, SOA_BLOCK};
 
 mod rtree_reexports {
     pub use gir_rtree::Record;

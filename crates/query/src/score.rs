@@ -144,6 +144,27 @@ impl ScoringFunction {
     pub fn maxscore(&self, weights: &PointD, mbb: &Mbb) -> f64 {
         self.score(weights, mbb.top_corner())
     }
+
+    /// Scores a batch of records into `out` (cleared first). The linear
+    /// case runs a fused multiply-add loop with no transform dispatch per
+    /// attribute — the leaf-scan kernel of BRS and the columnar scans.
+    pub fn scores_into(&self, weights: &PointD, records: &[gir_rtree::Record], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(records.len());
+        if self.is_linear() {
+            let w = weights.coords();
+            out.extend(records.iter().map(|r| {
+                r.attrs
+                    .coords()
+                    .iter()
+                    .zip(w)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            }));
+        } else {
+            out.extend(records.iter().map(|r| self.score(weights, &r.attrs)));
+        }
+    }
 }
 
 /// A top-k query vector: non-negative weights in `[0,1]^d` (§3.1).

@@ -2,7 +2,9 @@
 
 use crate::sharded::{CacheStats, ShardedGirCache};
 use crate::stats::ServeStats;
-use gir_core::{repair_region, DeltaBatch, GirEngine, GirError, Method};
+use gir_core::{
+    repair_region, DeltaBatch, GirEngine, GirError, Method, PruneIndex, PruneIndexStats,
+};
 use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, Record, ScoringFunction};
 use gir_rtree::{RTree, RTreeError};
@@ -41,6 +43,12 @@ pub struct ServerConfig {
     /// Update-pipeline strategy (delta repair unless benchmarking the
     /// legacy sweeps).
     pub maintenance: MaintenanceMode,
+    /// Serve cold misses through the shared [`PruneIndex`] (dataset
+    /// skyline + hull + decoded tree mirror + shared Phase-2 systems,
+    /// all maintained incrementally) instead of recomputing the
+    /// pruning structures per query. Off reproduces the PR 2 miss
+    /// path (benchmark baseline).
+    pub use_prune_index: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +62,7 @@ impl Default for ServerConfig {
             shard_capacity: 32,
             method: Method::FacetPruning,
             maintenance: MaintenanceMode::default(),
+            use_prune_index: true,
         }
     }
 }
@@ -147,6 +156,7 @@ pub struct UpdateReport {
 pub struct GirServer {
     tree: RwLock<RTree>,
     cache: ShardedGirCache,
+    prune: PruneIndex,
     scoring: ScoringFunction,
     cfg: ServerConfig,
 }
@@ -159,6 +169,7 @@ impl GirServer {
         GirServer {
             tree: RwLock::new(tree),
             cache,
+            prune: PruneIndex::new(),
             scoring,
             cfg,
         }
@@ -182,6 +193,12 @@ impl GirServer {
     /// Aggregated cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Prune-index counters (builds, serves, incremental updates,
+    /// shared Phase-2 reuse).
+    pub fn prune_stats(&self) -> PruneIndexStats {
+        self.prune.stats()
     }
 
     /// A snapshot of every live record (for verification / debugging;
@@ -247,10 +264,12 @@ impl GirServer {
             .map(|r| r.expect("request not served"))
             .collect();
 
-        let hits = responses.iter().filter(|r| r.from_cache).count();
-        let latencies: Vec<u64> = responses.iter().map(|r| r.latency_us).collect();
+        let labeled: Vec<(u64, bool)> = responses
+            .iter()
+            .map(|r| (r.latency_us, r.from_cache))
+            .collect();
         let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
-        let stats = ServeStats::from_latencies(latencies, hits, threads, method.label(), wall_ms);
+        let stats = ServeStats::from_labeled_latencies(labeled, threads, method.label(), wall_ms);
         BatchResult { responses, stats }
     }
 
@@ -264,7 +283,12 @@ impl GirServer {
             };
         }
         let q = QueryVector::new(req.weights.coords().to_vec());
-        match engine.gir(&q, req.k, method) {
+        let computed = if self.cfg.use_prune_index {
+            engine.gir_indexed(&q, req.k, method, &self.prune)
+        } else {
+            engine.gir(&q, req.k, method)
+        };
+        match computed {
             Ok(out) => {
                 let ids = out.result.ids();
                 self.cache
@@ -306,13 +330,22 @@ impl GirServer {
                     match u {
                         Update::Insert(rec) => {
                             tree.insert(rec.clone())?;
+                            self.prune.on_insert(rec);
                             report.inserted += 1;
                             report.evicted += self.cache.on_insert(rec);
                         }
                         Update::Delete { id, attrs } => {
                             if tree.delete(*id, attrs)? {
+                                // A prune-index failure must not skip the
+                                // cache sweep: the tree is already
+                                // mutated, and the index invalidated
+                                // itself before erroring.
+                                let prune_err = self.prune.on_delete(&tree, *id, attrs).err();
                                 report.deleted += 1;
                                 report.evicted += self.cache.on_delete(*id);
+                                if let Some(e) = prune_err {
+                                    return Err(e);
+                                }
                             } else {
                                 report.missed_deletes += 1;
                             }
@@ -328,22 +361,36 @@ impl GirServer {
                 let mut batch = DeltaBatch::new();
                 let mut failure: Option<RTreeError> = None;
                 for u in updates {
-                    let applied = match u {
-                        Update::Insert(rec) => tree.insert(rec.clone()).map(|()| {
-                            report.inserted += 1;
-                            batch.record_insert(rec);
-                        }),
-                        Update::Delete { id, attrs } => tree.delete(*id, attrs).map(|found| {
-                            if found {
+                    match u {
+                        Update::Insert(rec) => match tree.insert(rec.clone()) {
+                            Ok(()) => {
+                                self.prune.on_insert(rec);
+                                report.inserted += 1;
+                                batch.record_insert(rec);
+                            }
+                            Err(e) => {
+                                failure = Some(e);
+                                break;
+                            }
+                        },
+                        Update::Delete { id, attrs } => match tree.delete(*id, attrs) {
+                            Ok(true) => {
+                                // Record the applied delete *before*
+                                // surfacing a prune-index failure: the
+                                // batch below must reconcile the cache
+                                // with every mutation the tree took
+                                // (the index invalidated itself).
                                 report.deleted += 1;
                                 batch.record_delete_at(*id, attrs);
-                            } else {
-                                report.missed_deletes += 1;
+                                if let Err(e) = self.prune.on_delete(&tree, *id, attrs) {
+                                    failure = Some(e);
+                                }
                             }
-                        }),
-                    };
-                    if let Err(e) = applied {
-                        failure = Some(e);
+                            Ok(false) => report.missed_deletes += 1,
+                            Err(e) => failure = Some(e),
+                        },
+                    }
+                    if failure.is_some() {
                         break;
                     }
                 }

@@ -2,6 +2,12 @@
 
 /// Measurements for one executed batch: cache effectiveness, latency
 /// percentiles over per-request wall clock, and aggregate throughput.
+///
+/// Percentiles are reported three ways: blended over all requests
+/// (`p50_us` …), and split by cache outcome (`hit_p50_us` …,
+/// `miss_p50_us` …) — the blended numbers hide the cold path entirely
+/// once the hit rate crosses the percentile, so cold-path improvements
+/// are only visible in the split columns.
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
     /// Requests in the batch.
@@ -18,34 +24,100 @@ pub struct ServeStats {
     pub wall_ms: f64,
     /// Requests per second over the batch wall clock.
     pub qps: f64,
-    /// Median per-request latency, microseconds.
+    /// Median per-request latency, microseconds (hits and misses
+    /// blended).
     pub p50_us: u64,
-    /// 95th-percentile per-request latency, microseconds.
+    /// 95th-percentile per-request latency, microseconds (blended).
     pub p95_us: u64,
-    /// 99th-percentile per-request latency, microseconds.
+    /// 99th-percentile per-request latency, microseconds (blended).
     pub p99_us: u64,
     /// Worst per-request latency, microseconds.
     pub max_us: u64,
+    /// Median latency of cache hits, microseconds.
+    pub hit_p50_us: u64,
+    /// 95th-percentile latency of cache hits, microseconds.
+    pub hit_p95_us: u64,
+    /// 99th-percentile latency of cache hits, microseconds.
+    pub hit_p99_us: u64,
+    /// Median latency of misses (cold GIR computations), microseconds.
+    pub miss_p50_us: u64,
+    /// 95th-percentile latency of misses, microseconds.
+    pub miss_p95_us: u64,
+    /// 99th-percentile latency of misses, microseconds.
+    pub miss_p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }
 
 impl ServeStats {
-    /// Builds stats from per-request latencies (sorted internally).
+    /// Builds stats from `(latency_us, from_cache)` pairs (sorted
+    /// internally). The preferred constructor: it populates both the
+    /// blended and the hit/miss-split percentiles.
+    pub fn from_labeled_latencies(
+        labeled: Vec<(u64, bool)>,
+        threads: usize,
+        method: &'static str,
+        wall_ms: f64,
+    ) -> Self {
+        let mut all: Vec<u64> = Vec::with_capacity(labeled.len());
+        let mut hit_lat: Vec<u64> = Vec::new();
+        let mut miss_lat: Vec<u64> = Vec::new();
+        for (us, hit) in labeled {
+            all.push(us);
+            if hit {
+                hit_lat.push(us);
+            } else {
+                miss_lat.push(us);
+            }
+        }
+        all.sort_unstable();
+        hit_lat.sort_unstable();
+        miss_lat.sort_unstable();
+        let queries = all.len();
+        ServeStats {
+            queries,
+            hits: hit_lat.len(),
+            misses: miss_lat.len(),
+            threads,
+            method,
+            wall_ms,
+            qps: if wall_ms > 0.0 {
+                queries as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            p50_us: percentile(&all, 0.50),
+            p95_us: percentile(&all, 0.95),
+            p99_us: percentile(&all, 0.99),
+            max_us: all.last().copied().unwrap_or(0),
+            hit_p50_us: percentile(&hit_lat, 0.50),
+            hit_p95_us: percentile(&hit_lat, 0.95),
+            hit_p99_us: percentile(&hit_lat, 0.99),
+            miss_p50_us: percentile(&miss_lat, 0.50),
+            miss_p95_us: percentile(&miss_lat, 0.95),
+            miss_p99_us: percentile(&miss_lat, 0.99),
+        }
+    }
+
+    /// Builds stats from unlabeled latencies plus a hit count. The
+    /// split percentiles stay zero — kept for callers that do not track
+    /// per-request outcomes.
     pub fn from_latencies(
-        mut latencies_us: Vec<u64>,
+        latencies_us: Vec<u64>,
         hits: usize,
         threads: usize,
         method: &'static str,
         wall_ms: f64,
     ) -> Self {
-        latencies_us.sort_unstable();
-        let queries = latencies_us.len();
-        let pct = |p: f64| -> u64 {
-            if latencies_us.is_empty() {
-                return 0;
-            }
-            let idx = ((queries - 1) as f64 * p).round() as usize;
-            latencies_us[idx]
-        };
+        let mut all = latencies_us;
+        all.sort_unstable();
+        let queries = all.len();
         ServeStats {
             queries,
             hits,
@@ -58,10 +130,11 @@ impl ServeStats {
             } else {
                 0.0
             },
-            p50_us: pct(0.50),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
-            max_us: latencies_us.last().copied().unwrap_or(0),
+            p50_us: percentile(&all, 0.50),
+            p95_us: percentile(&all, 0.95),
+            p99_us: percentile(&all, 0.99),
+            max_us: all.last().copied().unwrap_or(0),
+            ..ServeStats::default()
         }
     }
 
@@ -91,6 +164,12 @@ impl ServeStats {
         self.p95_us = self.p95_us.max(other.p95_us);
         self.p99_us = self.p99_us.max(other.p99_us);
         self.max_us = self.max_us.max(other.max_us);
+        self.hit_p50_us = self.hit_p50_us.max(other.hit_p50_us);
+        self.hit_p95_us = self.hit_p95_us.max(other.hit_p95_us);
+        self.hit_p99_us = self.hit_p99_us.max(other.hit_p99_us);
+        self.miss_p50_us = self.miss_p50_us.max(other.miss_p50_us);
+        self.miss_p95_us = self.miss_p95_us.max(other.miss_p95_us);
+        self.miss_p99_us = self.miss_p99_us.max(other.miss_p99_us);
         if self.method.is_empty() {
             self.method = other.method;
         }
@@ -102,7 +181,9 @@ impl ServeStats {
             concat!(
                 "{{\"queries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
                 "\"threads\":{},\"method\":\"{}\",\"wall_ms\":{:.3},\"qps\":{:.1},",
-                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}"
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},",
+                "\"hit_p50_us\":{},\"hit_p95_us\":{},\"hit_p99_us\":{},",
+                "\"miss_p50_us\":{},\"miss_p95_us\":{},\"miss_p99_us\":{}}}"
             ),
             self.queries,
             self.hits,
@@ -116,6 +197,12 @@ impl ServeStats {
             self.p95_us,
             self.p99_us,
             self.max_us,
+            self.hit_p50_us,
+            self.hit_p95_us,
+            self.hit_p99_us,
+            self.miss_p50_us,
+            self.miss_p95_us,
+            self.miss_p99_us,
         )
     }
 }
@@ -125,7 +212,8 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} queries on {} thread(s) [{}]: {:.0} q/s, hit rate {:.1}%, \
-             p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+             p50 {} µs, p95 {} µs, p99 {} µs, max {} µs \
+             (hit p50/p99 {}/{} µs, miss p50/p99 {}/{} µs)",
             self.queries,
             self.threads,
             self.method,
@@ -135,6 +223,10 @@ impl std::fmt::Display for ServeStats {
             self.p95_us,
             self.p99_us,
             self.max_us,
+            self.hit_p50_us,
+            self.hit_p99_us,
+            self.miss_p50_us,
+            self.miss_p99_us,
         )
     }
 }
@@ -159,8 +251,35 @@ mod tests {
     }
 
     #[test]
+    fn labeled_latencies_split_hit_and_miss_percentiles() {
+        // Hits 1..=60 µs, misses 1000..=1040 µs: the blended p50 lands
+        // in the hits and hides the misses; the split columns do not.
+        let mut labeled: Vec<(u64, bool)> = (1..=60).map(|us| (us, true)).collect();
+        labeled.extend((1000..=1040).map(|us| (us, false)));
+        let s = ServeStats::from_labeled_latencies(labeled, 2, "FP", 10.0);
+        assert_eq!(s.queries, 101);
+        assert_eq!((s.hits, s.misses), (60, 41));
+        assert_eq!(s.hit_p50_us, 31);
+        assert_eq!(s.hit_p99_us, 59);
+        assert_eq!(s.miss_p50_us, 1020);
+        assert_eq!(s.miss_p99_us, 1040);
+        assert!(s.p50_us <= 60, "blended p50 hides the misses");
+        assert!(s.p99_us >= 1000);
+    }
+
+    #[test]
+    fn merge_takes_maxima_of_split_percentiles() {
+        let a = ServeStats::from_labeled_latencies(vec![(5, true), (100, false)], 1, "FP", 1.0);
+        let mut b = ServeStats::from_labeled_latencies(vec![(9, true), (50, false)], 1, "FP", 1.0);
+        b.merge(&a);
+        assert_eq!(b.queries, 4);
+        assert_eq!(b.hit_p99_us, 9);
+        assert_eq!(b.miss_p99_us, 100);
+    }
+
+    #[test]
     fn json_shape() {
-        let s = ServeStats::from_latencies(vec![5, 10], 1, 2, "FP", 1.0);
+        let s = ServeStats::from_labeled_latencies(vec![(5, true), (10, false)], 2, "FP", 1.0);
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         for key in [
@@ -168,6 +287,8 @@ mod tests {
             "\"hits\":1",
             "\"method\":\"FP\"",
             "\"p99_us\":10",
+            "\"hit_p50_us\":5",
+            "\"miss_p99_us\":10",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
@@ -175,9 +296,10 @@ mod tests {
 
     #[test]
     fn empty_batch_is_all_zeros() {
-        let s = ServeStats::from_latencies(Vec::new(), 0, 1, "FP", 0.0);
+        let s = ServeStats::from_labeled_latencies(Vec::new(), 1, "FP", 0.0);
         assert_eq!(s.queries, 0);
         assert_eq!(s.p99_us, 0);
+        assert_eq!(s.miss_p99_us, 0);
         assert_eq!(s.hit_rate(), 0.0);
     }
 }

@@ -12,12 +12,26 @@ use std::time::{Duration, Instant};
 /// Re-export for benches that use `criterion::black_box`.
 pub use std::hint::black_box;
 
+/// Mean/spread of one completed benchmark (nanoseconds per iteration).
+#[derive(Debug, Clone)]
+pub struct BenchSummary {
+    /// Benchmark id (group-prefixed when run in a group).
+    pub id: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation across samples, nanoseconds.
+    pub stddev_ns: f64,
+    /// Samples collected.
+    pub samples: usize,
+}
+
 /// Benchmark driver: times closures and prints per-benchmark summaries.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    summaries: Vec<BenchSummary>,
 }
 
 impl Default for Criterion {
@@ -26,6 +40,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
             warm_up_time: Duration::from_millis(300),
+            summaries: Vec::new(),
         }
     }
 }
@@ -57,7 +72,17 @@ impl Criterion {
         let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
         f(&mut b);
         b.report(id);
+        if let Some(summary) = b.summary(id) {
+            self.summaries.push(summary);
+        }
         self
+    }
+
+    /// Summaries of every benchmark run so far — lets bench mains
+    /// publish machine-readable results (JSON artifacts) alongside the
+    /// printed table. Not part of upstream criterion's API.
+    pub fn summaries(&self) -> &[BenchSummary] {
+        &self.summaries
     }
 
     /// Starts a named group of related benchmarks.
@@ -139,6 +164,26 @@ impl Bencher {
                 break;
             }
         }
+    }
+
+    fn summary(&self, id: &str) -> Option<BenchSummary> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let var = self
+            .samples_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        Some(BenchSummary {
+            id: id.to_string(),
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            samples: self.samples_ns.len(),
+        })
     }
 
     fn report(&self, id: &str) {
