@@ -226,7 +226,47 @@ fn main() {
         ]);
         json_rows.push(json_row(mix_threads, n, label, "mixed", &agg));
     }
-    mix_table.print("update pipeline under churn (sweep vs delta vs delta + prune index)");
+    // The sharded execution path (4 hash shards, shard-local deltas and
+    // repair) on the same traffic: its row rides the same perf gate as
+    // the single-tree modes (single-thread ⇒ hit rate, qps AND p99 all
+    // gated). The deep shard matrix lives in `shard_scaling`
+    // (BENCH_shard.json).
+    {
+        use gir_shard::{Placement, ShardedGirServer, ShardedServerConfig};
+        let server = ShardedGirServer::build(
+            d,
+            &base_data,
+            ScoringFunction::linear(d),
+            ShardedServerConfig {
+                threads: mix_threads,
+                data_shards: 4,
+                placement: Placement::Hash,
+                ..ShardedServerConfig::default()
+            },
+        )
+        .expect("sharded build");
+        let mut agg = ServeStats::default();
+        let mut repaired = 0usize;
+        for batch in &mix_traffic {
+            let report = server.apply_updates(&batch.updates).expect("updates");
+            repaired += report.repaired;
+            let out = server.run_batch(&batch.queries);
+            agg.merge(&out.stats);
+        }
+        mix_table.row(vec![
+            "sharded".to_string(),
+            format!("{:.0}", agg.qps),
+            format!("{:.1}%", agg.hit_rate() * 100.0),
+            agg.p50_us.to_string(),
+            agg.p99_us.to_string(),
+            agg.miss_p50_us.to_string(),
+            agg.miss_p99_us.to_string(),
+            repaired.to_string(),
+        ]);
+        json_rows.push(json_row(mix_threads, n, "sharded", "mixed", &agg));
+    }
+    mix_table
+        .print("update pipeline under churn (sweep vs delta vs delta + prune index vs sharded)");
 
     let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
     // Cargo runs benches with CWD = the package root; anchor the report

@@ -375,6 +375,25 @@ impl<'a> GirEngine<'a> {
         })
     }
 
+    /// Computes the global top-k and its GIR over a **sharded**
+    /// dataset: per-shard BRS frontiers merge into the global result,
+    /// each shard runs Phase 2 against the global `p_k` through its own
+    /// [`PruneIndex`], and the per-shard half-space systems intersect
+    /// into one region — pointwise identical to the single-tree GIR
+    /// (see [`crate::sharded`]).
+    ///
+    /// An associated function rather than a method: a sharded dataset
+    /// has no single tree for an engine to borrow.
+    pub fn gir_sharded(
+        shards: &[crate::sharded::ShardView<'_>],
+        scoring: &ScoringFunction,
+        q: &QueryVector,
+        k: usize,
+        method: Method,
+    ) -> Result<GirOutput, GirError> {
+        crate::sharded::gir_sharded(shards, scoring, q, k, method)
+    }
+
     /// The score-order half-space `S(p_k, q') ≥ S(p, q')` over
     /// transformed attributes.
     fn score_order_halfspace(&self, kth: &Record, rec: &Record) -> HalfSpace {

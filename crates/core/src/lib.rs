@@ -40,6 +40,7 @@ pub mod mirror;
 pub mod phase1;
 pub mod prune;
 pub mod region;
+pub mod sharded;
 pub mod sp;
 pub mod svg;
 pub mod viz;
@@ -50,4 +51,5 @@ pub use maintenance::{repair_region, BatchImpact, DeltaBatch, InsertionImpact, U
 pub use mirror::TreeMirror;
 pub use prune::{ExcludedSkyline, PruneIndex, PruneIndexStats, PruneState};
 pub use region::{BoundaryEvent, GirRegion, ReducedGir};
+pub use sharded::{gir_sharded, topk_sharded, ShardView};
 pub use viz::{slide_bar_bounds, SlideBarBounds};

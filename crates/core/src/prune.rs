@@ -530,6 +530,29 @@ impl PruneIndex {
         );
     }
 
+    /// Drops the shared Phase-2 systems that name record `id` — as a
+    /// result member of their key or as a constraint contributor —
+    /// without touching the skyline, hull or mirror.
+    ///
+    /// Sharded datasets call this on every **non-owning** shard when a
+    /// record is deleted: the skyline repair is the owning shard's
+    /// business ([`PruneIndex::on_delete`]), but a foreign shard may
+    /// hold Phase-2 systems keyed by a global result set that contained
+    /// the deleted record (or pivoted on it), and a later re-insert of
+    /// the same id at a different location could make such a key
+    /// reachable again with a stale pivot.
+    pub fn purge_record(&self, id: u64) {
+        self.phase2
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|key, entry| {
+                !key.result.contains(&id)
+                    && !entry.halfspaces.iter().any(|h| {
+                        matches!(h.provenance, Provenance::NonResult { record_id } if record_id == id)
+                    })
+            });
+    }
+
     /// Drops the shared Phase-2 systems only (skyline, hull and mirror
     /// survive); they rebuild lazily on the next miss per result set.
     /// A diagnostic/benchmark hook — `cold_gir` uses it to time the
@@ -648,15 +671,7 @@ impl PruneIndex {
     /// index error the state is invalidated before the error
     /// propagates — a later snapshot rebuilds from scratch.
     pub fn on_delete(&self, tree: &RTree, id: u64, attrs: &PointD) -> Result<(), RTreeError> {
-        self.phase2
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .retain(|key, entry| {
-                !key.result.contains(&id)
-                    && !entry.halfspaces.iter().any(|h| {
-                        matches!(h.provenance, Provenance::NonResult { record_id } if record_id == id)
-                    })
-            });
+        self.purge_record(id);
         let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         let Some(arc) = guard.as_mut() else {
             return Ok(());

@@ -1,0 +1,535 @@
+//! Sharded GIR execution: one global region from S independent shards.
+//!
+//! The Phase-2 structure of a GIR is embarrassingly partitionable: the
+//! region is the intersection of half-spaces, each induced by one
+//! non-result record against the fixed pivot `p_k` (Definition 1), so
+//! for any partition `D = D_1 ∪ … ∪ D_S` of the dataset,
+//!
+//! ```text
+//! GIR(D) = ordering ∩ box ∩ ⋂_s { q' : S(p_k, q') ≥ S(p, q') ∀ p ∈ D_s \ R }
+//! ```
+//!
+//! — per-shard constraint systems intersect to the global region. The
+//! only cross-shard coupling is the top-k itself: `R` and `p_k` must be
+//! computed *globally* before any shard can run Phase 2.
+//!
+//! [`gir_sharded`] executes that plan over S [`ShardView`]s (an R\*-tree
+//! plus its own [`PruneIndex`]):
+//!
+//! 1. **Merge phase** — per-shard BRS over each shard's decoded
+//!    [`crate::mirror::TreeMirror`] retrieves that shard's top-k
+//!    candidate frontier; the S ranked lists merge by `(score, id)` —
+//!    the exact tie order of the single-tree BRS heap — into the global
+//!    top-k.
+//! 2. **Per-shard Phase 2** — each shard re-seeds its retained frontier
+//!    with its *leftovers* (shard-ranked records that did not make the
+//!    global result: they are non-result candidates the frontier no
+//!    longer covers) and runs the method's sweep against the global
+//!    `p_k`, reusing its own prune-index state: the cached shard
+//!    skyline (SP), the hull-of-skyline (CP), the skyline-seeded
+//!    incident-facet star (FP), and the shard's shared Phase-2 systems
+//!    keyed by `(method, global result set, p_k)`.
+//! 3. **Intersection** — the per-shard half-space systems concatenate
+//!    with the global ordering constraints into one [`GirRegion`].
+//!
+//! The produced region is pointwise identical to the single-tree
+//! region: each shard's system bounds exactly the locus where `p_k`
+//! beats that shard's non-result records, and the intersection over
+//! shards is the global locus. Only the retained half-space *list* may
+//! differ in redundant members (a record critical within its shard may
+//! be redundant globally). The differential harness
+//! (`tests/proptest_shard.rs`) pins this equivalence — top-k, sampled
+//! membership, and reduced facet set — for S ∈ {1,2,4,8} under random
+//! update interleavings.
+
+use crate::cp::hull_filter;
+use crate::engine::{GirError, GirOutput, GirStats, Method};
+use crate::fullscan::fullscan_phase2;
+use crate::mirror::{fp_sweep_mirror, Frontier, FrontierEntry, TreeMirror};
+use crate::phase1::ordering_halfspaces;
+use crate::prune::{PruneIndex, PruneState};
+use crate::region::GirRegion;
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_query::{QueryVector, Record, ScoringFunction, TopKResult};
+use gir_rtree::RTree;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One shard of a partitioned dataset: an independent R\*-tree with its
+/// own prune index. The record-id spaces of the shards must be
+/// disjoint (a record lives in exactly one shard).
+#[derive(Clone, Copy)]
+pub struct ShardView<'a> {
+    /// The shard's R\*-tree.
+    pub tree: &'a RTree,
+    /// The shard's prune index (skyline, hull, mirror, shared Phase-2
+    /// systems — all scoped to this shard's records).
+    pub index: &'a PruneIndex,
+}
+
+/// Merges per-shard ranked lists into the global top-k.
+///
+/// Order is `(score desc, id desc)` — exactly the pop order of the
+/// single-tree BRS heap on record ties, so the merged result (and its
+/// `p_k`) is bit-identical to `brs_topk` over one tree holding the
+/// union.
+fn merge_ranked(runs: &[(TopKResult, Frontier<'_>)], k: usize) -> Vec<(Record, f64)> {
+    let mut merged: Vec<(Record, f64)> = runs
+        .iter()
+        .flat_map(|(res, _)| res.ranked.iter().cloned())
+        .collect();
+    merged.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.id.cmp(&a.0.id)));
+    merged.truncate(k);
+    merged
+}
+
+/// Global top-k over S shards by merging per-shard BRS frontiers (the
+/// merge phase of [`gir_sharded`] alone — no Phase 2).
+pub fn topk_sharded(
+    shards: &[ShardView<'_>],
+    scoring: &ScoringFunction,
+    q: &QueryVector,
+    k: usize,
+) -> Result<TopKResult, GirError> {
+    let (_states, mirrors) = snapshot_shards(shards)?;
+    let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
+        .iter()
+        .map(|m| m.topk(scoring, &q.weights, k))
+        .collect();
+    let ranked = merge_ranked(&runs, k);
+    if ranked.is_empty() {
+        return Err(GirError::EmptyResult);
+    }
+    Ok(TopKResult { ranked })
+}
+
+/// Per-shard prune-index snapshots and decoded mirrors, in shard order.
+type ShardSnapshots = (Vec<Arc<PruneState>>, Vec<Arc<TreeMirror>>);
+
+/// Fetches every shard's prune-index snapshot and decoded mirror (lazy
+/// builds amortize across the queries the version serves, exactly as in
+/// [`crate::engine::GirEngine::gir_indexed`]).
+fn snapshot_shards(shards: &[ShardView<'_>]) -> Result<ShardSnapshots, GirError> {
+    let mut states = Vec::with_capacity(shards.len());
+    let mut mirrors = Vec::with_capacity(shards.len());
+    for s in shards {
+        let state = s.index.snapshot(s.tree)?;
+        mirrors.push(state.mirror(s.tree)?);
+        states.push(state);
+    }
+    Ok((states, mirrors))
+}
+
+/// Computes the global top-k and its GIR over a sharded dataset (see
+/// the module docs for the execution plan). All shards must share the
+/// scoring function's dimensionality; `FullScan` reads every shard in
+/// full (the oracle), the pruned methods run zero-I/O over the cached
+/// mirrors.
+pub fn gir_sharded(
+    shards: &[ShardView<'_>],
+    scoring: &ScoringFunction,
+    q: &QueryVector,
+    k: usize,
+    method: Method,
+) -> Result<GirOutput, GirError> {
+    if !method.supports(scoring) {
+        return Err(GirError::UnsupportedScoring { method });
+    }
+    if shards.is_empty() {
+        return Err(GirError::EmptyResult);
+    }
+    let d = scoring.dim();
+    for s in shards {
+        assert_eq!(s.tree.dim(), d, "shard dimensionality mismatch");
+    }
+
+    // Shared-state fetch first, then I/O counters (as in `gir_indexed`:
+    // lazy index builds are amortized, not charged to this query).
+    let (states, mirrors) = snapshot_shards(shards)?;
+    let io_before: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
+
+    let t0 = Instant::now();
+    let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
+        .iter()
+        .map(|m| m.topk(scoring, &q.weights, k))
+        .collect();
+    let ranked = merge_ranked(&runs, k);
+    if ranked.is_empty() {
+        return Err(GirError::EmptyResult);
+    }
+    let result = TopKResult { ranked };
+    let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let io_topk: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
+
+    let t1 = Instant::now();
+    let mut halfspaces = ordering_halfspaces(&result, scoring);
+    let kth = result.kth().clone();
+    let result_ids = result.ids();
+    let mut ids_sorted = result_ids.clone();
+    ids_sorted.sort_unstable();
+    let result_id_set: HashSet<u64> = result_ids.iter().copied().collect();
+
+    let mut candidates = 0usize;
+    let mut structure_total = 0usize;
+    for (((shard, state), mirror), (shard_res, mut frontier)) in
+        shards.iter().zip(&states).zip(&mirrors).zip(runs)
+    {
+        // Shard-ranked records that did not make the global result are
+        // non-result candidates the retained frontier no longer covers
+        // (BRS popped them): re-seed them before the sweep. Every
+        // global-result member of this shard *was* popped by the
+        // shard's own top-k (its score is ≥ the global k-th score), so
+        // the adjusted frontier covers exactly `D_s \ R`.
+        for (rec, score) in &shard_res.ranked {
+            if !result_id_set.contains(&rec.id) {
+                frontier
+                    .heap
+                    .push(FrontierEntry::Rec { rec, score: *score });
+            }
+        }
+
+        // The per-shard Phase-2 system depends only on (method, global
+        // result set, p_k): reuse the shard's cached system when the
+        // ranking recurs (maintained exactly under this shard's deltas).
+        let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = if method == Method::FullScan {
+            let (hs, st) = fullscan_phase2(shard.tree, scoring, &kth, &result_id_set)?;
+            (Arc::new(hs), st.structure_size)
+        } else {
+            match shard
+                .index
+                .phase2_lookup(method, &ids_sorted, kth.id, scoring)
+            {
+                Some(hit) => hit,
+                None => {
+                    let (hs, structure) = shard_phase2(
+                        scoring,
+                        q,
+                        method,
+                        state.as_ref(),
+                        mirror.as_ref(),
+                        &kth,
+                        &result,
+                        frontier,
+                    );
+                    let hs = Arc::new(hs);
+                    shard.index.phase2_admit(
+                        method,
+                        ids_sorted.clone(),
+                        kth.id,
+                        scoring,
+                        scoring.transform_point(&kth.attrs),
+                        hs.clone(),
+                        structure,
+                    );
+                    (hs, structure)
+                }
+            }
+        };
+        candidates += phase2.len();
+        structure_total += structure;
+        halfspaces.extend(phase2.iter().cloned());
+    }
+
+    let region = GirRegion::new(d, q.weights.clone(), halfspaces);
+    let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let io_after: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
+
+    let stats = GirStats {
+        topk_ms,
+        topk_pages: io_topk
+            .iter()
+            .zip(&io_before)
+            .map(|(a, b)| a.reads_since(b))
+            .sum(),
+        gir_cpu_ms,
+        gir_pages: io_after
+            .iter()
+            .zip(&io_topk)
+            .map(|(a, b)| a.reads_since(b))
+            .sum(),
+        candidates,
+        structure_size: structure_total,
+        halfspaces: region.num_halfspaces(),
+    };
+    Ok(GirOutput {
+        result,
+        region,
+        stats,
+    })
+}
+
+/// One shard's Phase-2 sweep against the *global* pivot: the shard's
+/// contribution to the intersection, mirroring the per-method logic of
+/// `GirEngine::gir_indexed` with the global result substituted for the
+/// shard's own.
+#[allow(clippy::too_many_arguments)]
+fn shard_phase2(
+    scoring: &ScoringFunction,
+    q: &QueryVector,
+    method: Method,
+    state: &PruneState,
+    mirror: &TreeMirror,
+    kth: &Record,
+    result: &TopKResult,
+    frontier: Frontier<'_>,
+) -> (Vec<HalfSpace>, usize) {
+    let result_ids = result.ids();
+    match method {
+        Method::FacetPruning => {
+            let blocks = state.skyline_blocks();
+            let seeds: Vec<Record> = blocks.materialize_if(|id| !result_ids.contains(&id));
+            // Fused columnar scoring of the seed set; `linear_scores`
+            // and `materialize_if` both emit in storage order, so the
+            // slices are index-aligned (FP is linear-only, §7.2).
+            let mut seed_scores: Vec<f64> = Vec::with_capacity(seeds.len());
+            blocks.linear_scores(q.weights.coords(), |id, score| {
+                if !result_ids.contains(&id) {
+                    seed_scores.push(score);
+                }
+            });
+            fp_sweep_mirror(mirror, kth, frontier, &seeds, &seed_scores, &result_ids)
+        }
+        Method::SkylinePruning | Method::ConvexHullPruning => {
+            let pk_t = scoring.transform_point(&kth.attrs);
+            let sky = state.skyline_excluding_mirror(mirror, result, frontier);
+            let structure = sky.records.len();
+            let halfspace = |rec: &Record| {
+                HalfSpace::score_order(
+                    &pk_t,
+                    &scoring.transform_point(&rec.attrs),
+                    Provenance::NonResult { record_id: rec.id },
+                )
+            };
+            let hs: Vec<HalfSpace> = if method == Method::SkylinePruning {
+                sky.records.iter().map(halfspace).collect()
+            } else {
+                let on_hull: Vec<&Record> = match (sky.touched, state.hull_ids()) {
+                    // Untouched shard skyline: the cached hull-of-skyline
+                    // IS the hull of the candidate set.
+                    (false, Some(hull)) => sky
+                        .records
+                        .iter()
+                        .filter(|r| hull.binary_search(&r.id).is_ok())
+                        .collect(),
+                    _ => {
+                        let kept = hull_filter(&sky.records);
+                        let ids: HashSet<u64> = kept.iter().map(|r| r.id).collect();
+                        sky.records.iter().filter(|r| ids.contains(&r.id)).collect()
+                    }
+                };
+                on_hull.into_iter().map(halfspace).collect()
+            };
+            (hs, structure)
+        }
+        Method::FullScan => unreachable!("handled by the caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GirEngine;
+    use gir_geometry::vector::PointD;
+    use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+
+    fn records(n: usize, d: usize, seed: u64) -> Vec<Record> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Record::new(i as u64, (0..d).map(|_| next()).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    fn tree_of(recs: &[Record], d: usize) -> RTree {
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        if recs.is_empty() {
+            RTree::new(store, d).unwrap()
+        } else {
+            RTree::bulk_load(store, recs).unwrap()
+        }
+    }
+
+    /// Builds S shards by id hash plus the single-tree oracle.
+    fn split(recs: &[Record], d: usize, s: usize) -> (Vec<RTree>, RTree) {
+        let mut parts: Vec<Vec<Record>> = vec![Vec::new(); s];
+        for r in recs {
+            parts[(r.id % s as u64) as usize].push(r.clone());
+        }
+        (
+            parts.iter().map(|p| tree_of(p, d)).collect(),
+            tree_of(recs, d),
+        )
+    }
+
+    const METHODS: [Method; 4] = [
+        Method::SkylinePruning,
+        Method::ConvexHullPruning,
+        Method::FacetPruning,
+        Method::FullScan,
+    ];
+
+    #[test]
+    fn sharded_matches_single_tree_pointwise() {
+        for (n, d, k, s, seed) in [
+            (400usize, 2usize, 5usize, 3usize, 0x51u64),
+            (500, 3, 8, 4, 0x52),
+            (300, 4, 4, 2, 0x53),
+        ] {
+            let recs = records(n, d, seed);
+            let (trees, oracle_tree) = split(&recs, d, s);
+            let indexes: Vec<PruneIndex> = (0..s).map(|_| PruneIndex::new()).collect();
+            let views: Vec<ShardView<'_>> = trees
+                .iter()
+                .zip(&indexes)
+                .map(|(tree, index)| ShardView { tree, index })
+                .collect();
+            let scoring = ScoringFunction::linear(d);
+            let engine = GirEngine::new(&oracle_tree);
+            let q = QueryVector::new(
+                (0..d)
+                    .map(|i| 0.4 + 0.1 * (i % 3) as f64)
+                    .collect::<Vec<_>>(),
+            );
+            for m in METHODS {
+                let oracle = engine.gir(&q, k, m).unwrap();
+                let sharded = gir_sharded(&views, &scoring, &q, k, m).unwrap();
+                assert_eq!(sharded.result.ids(), oracle.result.ids(), "{m:?} result");
+                assert!(sharded.region.contains(&q.weights));
+                let mut probe = seed ^ 0xD1FF;
+                let mut next = move || {
+                    probe ^= probe << 13;
+                    probe ^= probe >> 7;
+                    probe ^= probe << 17;
+                    (probe >> 11) as f64 / (1u64 << 53) as f64
+                };
+                for _ in 0..150 {
+                    let wp = PointD::from((0..d).map(|_| next()).collect::<Vec<_>>());
+                    let a = oracle.region.contains(&wp);
+                    let b = sharded.region.contains(&wp);
+                    if a != b {
+                        let margin: f64 = oracle
+                            .region
+                            .halfspaces
+                            .iter()
+                            .chain(&sharded.region.halfspaces)
+                            .map(|h| h.slack(&wp))
+                            .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+                        assert!(margin < 1e-6, "{m:?} s={s}: sharded ≠ oracle at {wp:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shards_contribute_nothing() {
+        // A grid-like split that leaves some shards empty must behave
+        // exactly like the single tree.
+        let recs = records(200, 2, 0x54);
+        let mut parts: Vec<Vec<Record>> = vec![Vec::new(); 4];
+        for r in &recs {
+            parts[0].push(r.clone()); // everything lands in shard 0
+        }
+        let trees: Vec<RTree> = parts.iter().map(|p| tree_of(p, 2)).collect();
+        let indexes: Vec<PruneIndex> = (0..4).map(|_| PruneIndex::new()).collect();
+        let views: Vec<ShardView<'_>> = trees
+            .iter()
+            .zip(&indexes)
+            .map(|(tree, index)| ShardView { tree, index })
+            .collect();
+        let oracle_tree = tree_of(&recs, 2);
+        let engine = GirEngine::new(&oracle_tree);
+        let scoring = ScoringFunction::linear(2);
+        let q = QueryVector::new(vec![0.6, 0.5]);
+        let oracle = engine.gir(&q, 6, Method::FacetPruning).unwrap();
+        let sharded = gir_sharded(&views, &scoring, &q, 6, Method::FacetPruning).unwrap();
+        assert_eq!(sharded.result.ids(), oracle.result.ids());
+        for step in 0..200 {
+            let wp = PointD::new(vec![(step % 20) as f64 / 20.0, (step / 20) as f64 / 10.0]);
+            assert_eq!(
+                oracle.region.contains(&wp),
+                sharded.region.contains(&wp),
+                "membership differs at {wp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase2_systems_are_reused_per_shard() {
+        let recs = records(600, 3, 0x55);
+        let (trees, _) = split(&recs, 3, 2);
+        let indexes: Vec<PruneIndex> = (0..2).map(|_| PruneIndex::new()).collect();
+        let views: Vec<ShardView<'_>> = trees
+            .iter()
+            .zip(&indexes)
+            .map(|(tree, index)| ShardView { tree, index })
+            .collect();
+        let scoring = ScoringFunction::linear(3);
+        let q = QueryVector::new(vec![0.5, 0.6, 0.4]);
+        let first = gir_sharded(&views, &scoring, &q, 7, Method::FacetPruning).unwrap();
+        // A jittered query reproducing the same ranking reuses every
+        // shard's cached Phase-2 system.
+        let q2 = QueryVector::new(vec![0.5001, 0.6, 0.4]);
+        let second = gir_sharded(&views, &scoring, &q2, 7, Method::FacetPruning).unwrap();
+        assert_eq!(first.result.ids(), second.result.ids());
+        for index in &indexes {
+            assert_eq!(index.stats().phase2_hits, 1, "shard system not reused");
+        }
+    }
+
+    #[test]
+    fn nonlinear_scoring_sharded_sp_only() {
+        let recs = records(300, 4, 0x56);
+        let (trees, oracle_tree) = split(&recs, 4, 3);
+        let indexes: Vec<PruneIndex> = (0..3).map(|_| PruneIndex::new()).collect();
+        let views: Vec<ShardView<'_>> = trees
+            .iter()
+            .zip(&indexes)
+            .map(|(tree, index)| ShardView { tree, index })
+            .collect();
+        let scoring = ScoringFunction::mixed4();
+        let q = QueryVector::new(vec![0.5, 0.5, 0.5, 0.5]);
+        assert!(matches!(
+            gir_sharded(&views, &scoring, &q, 5, Method::FacetPruning),
+            Err(GirError::UnsupportedScoring { .. })
+        ));
+        let engine = GirEngine::with_scoring(&oracle_tree, scoring.clone());
+        let oracle = engine.gir(&q, 5, Method::SkylinePruning).unwrap();
+        let sharded = gir_sharded(&views, &scoring, &q, 5, Method::SkylinePruning).unwrap();
+        assert_eq!(sharded.result.ids(), oracle.result.ids());
+        for step in 0..100 {
+            let wp = PointD::new(vec![
+                (step % 10) as f64 / 10.0,
+                (step / 10) as f64 / 10.0,
+                0.5,
+                0.7,
+            ]);
+            assert_eq!(oracle.region.contains(&wp), sharded.region.contains(&wp));
+        }
+    }
+
+    #[test]
+    fn k_beyond_dataset_returns_everything_merged() {
+        let recs = records(30, 2, 0x57);
+        let (trees, _) = split(&recs, 2, 4);
+        let indexes: Vec<PruneIndex> = (0..4).map(|_| PruneIndex::new()).collect();
+        let views: Vec<ShardView<'_>> = trees
+            .iter()
+            .zip(&indexes)
+            .map(|(tree, index)| ShardView { tree, index })
+            .collect();
+        let scoring = ScoringFunction::linear(2);
+        let q = QueryVector::new(vec![0.4, 0.7]);
+        let res = topk_sharded(&views, &scoring, &q, 100).unwrap();
+        assert_eq!(res.len(), recs.len());
+        for pair in res.ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "merged order broken");
+        }
+    }
+}

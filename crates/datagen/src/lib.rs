@@ -12,14 +12,19 @@
 //!   heavy-tailed expenditure attributes; HOTEL: 418,843 × 4 mixed-
 //!   correlation attributes with a discretized "stars" dimension,
 //! * [`random_queries`] — uniform random query vectors (the paper
-//!   averages each measurement over 100 random queries).
+//!   averages each measurement over 100 random queries),
+//! * [`partition`] — partition-aware generators shaping grid-band
+//!   shard occupancy (uniform vs hot-band skew) for the `gir-shard`
+//!   scale-out scenarios.
 //!
 //! All attributes are normalized to `[0,1]` and ids are dense `0..n`.
 
+pub mod partition;
 pub mod queries;
 pub mod real_like;
 pub mod synthetic;
 
+pub use partition::{grid_occupancy, sharded_synthetic, ShardSkew};
 pub use queries::random_queries;
 pub use real_like::{hotel_like, house_like, HOTEL_CARDINALITY, HOUSE_CARDINALITY};
 pub use synthetic::{synthetic, Distribution};

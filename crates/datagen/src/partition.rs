@@ -1,0 +1,149 @@
+//! Partition-aware generators: shard-occupancy scenarios for the
+//! `gir-shard` subsystem.
+//!
+//! Grid placement assigns a record to the band `⌊attr₀ · S⌋`, so the
+//! occupancy histogram follows the first attribute's marginal. These
+//! generators shape that marginal deliberately:
+//!
+//! * [`ShardSkew::Uniform`] leaves the base distribution alone —
+//!   near-balanced bands,
+//! * [`ShardSkew::HotBand`] concentrates a chosen fraction of the
+//!   records in one band — the pathological placement a production
+//!   sharding layer has to survive (one shard carries most of the
+//!   Phase-2 work while its siblings idle).
+//!
+//! Hash placement ignores attributes entirely, so the same datasets
+//! double as A/B inputs: skew hurts grid, never hash.
+
+use crate::synthetic::{synthetic, Distribution};
+use gir_rtree::Record;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How records distribute over grid bands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardSkew {
+    /// Keep the base distribution's first-attribute marginal.
+    Uniform,
+    /// Pull `mass` (0..1) of the records into grid band `band` of
+    /// `shards` by remapping their first attribute into that band's
+    /// interval; the remaining records keep their original attribute.
+    HotBand {
+        /// Target band index (clamped to `shards − 1`).
+        band: usize,
+        /// Fraction of records concentrated in the band.
+        mass: f64,
+    },
+}
+
+/// Generates `n` records of dimensionality `d` with the grid-band
+/// occupancy shaped by `skew` (for `shards` bands), deterministically
+/// from `seed`. Attributes other than the first are untouched, so the
+/// scoring geometry stays representative of the base distribution.
+pub fn sharded_synthetic(
+    dist: Distribution,
+    n: usize,
+    d: usize,
+    seed: u64,
+    shards: usize,
+    skew: ShardSkew,
+) -> Vec<Record> {
+    let mut out = synthetic(dist, n, d, seed);
+    let shards = shards.max(1);
+    if let ShardSkew::HotBand { band, mass } = skew {
+        let band = band.min(shards - 1);
+        let width = 1.0 / shards as f64;
+        let lo = band as f64 * width;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AAD_B00C);
+        for rec in &mut out {
+            if rng.random_bool(mass.clamp(0.0, 1.0)) {
+                // Squash the original coordinate into the hot band,
+                // preserving its relative position (and determinism).
+                let x = rec.attrs[0].clamp(0.0, 1.0);
+                rec.attrs[0] = lo + x * width * 0.999_999;
+            }
+        }
+    }
+    out
+}
+
+/// Grid-band occupancy histogram of `records` over `shards` bands —
+/// mirrors `gir_shard::grid_band` (`⌊attr₀ · S⌋`, clamped).
+pub fn grid_occupancy(records: &[Record], shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let mut counts = vec![0usize; shards];
+    for rec in records {
+        let band = ((rec.attrs[0].clamp(0.0, 1.0) * shards as f64) as usize).min(shards - 1);
+        counts[band] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_skew_is_the_base_distribution() {
+        let base = synthetic(Distribution::Independent, 500, 3, 11);
+        let same = sharded_synthetic(Distribution::Independent, 500, 3, 11, 8, ShardSkew::Uniform);
+        assert_eq!(base, same);
+        let occ = grid_occupancy(&same, 8);
+        assert_eq!(occ.iter().sum::<usize>(), 500);
+        assert!(
+            occ.iter().all(|&c| c > 20),
+            "uniform bands too skewed: {occ:?}"
+        );
+    }
+
+    #[test]
+    fn hot_band_concentrates_the_requested_mass() {
+        let skewed = sharded_synthetic(
+            Distribution::Independent,
+            2000,
+            3,
+            12,
+            4,
+            ShardSkew::HotBand { band: 2, mass: 0.8 },
+        );
+        let occ = grid_occupancy(&skewed, 4);
+        assert_eq!(occ.iter().sum::<usize>(), 2000);
+        // ~80% targeted + ~5% of the rest landing there naturally.
+        assert!(occ[2] > 1500, "hot band underfilled: {occ:?}");
+        for (i, &c) in occ.iter().enumerate() {
+            if i != 2 {
+                assert!(c < 300, "cold band overfilled: {occ:?}");
+            }
+        }
+        // Attributes stay in the unit cube and deterministic per seed.
+        for r in &skewed {
+            assert!(r.attrs.coords().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+        let again = sharded_synthetic(
+            Distribution::Independent,
+            2000,
+            3,
+            12,
+            4,
+            ShardSkew::HotBand { band: 2, mass: 0.8 },
+        );
+        assert_eq!(skewed, again);
+    }
+
+    #[test]
+    fn band_index_clamps() {
+        let skewed = sharded_synthetic(
+            Distribution::Independent,
+            300,
+            2,
+            13,
+            4,
+            ShardSkew::HotBand {
+                band: 99,
+                mass: 1.0,
+            },
+        );
+        let occ = grid_occupancy(&skewed, 4);
+        assert_eq!(occ[3], 300, "mass must land in the clamped last band");
+    }
+}

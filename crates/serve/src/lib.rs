@@ -61,8 +61,8 @@ pub mod stats;
 pub mod workload;
 
 pub use server::{
-    BatchResult, GirServer, MaintenanceMode, ServerConfig, TopKRequest, TopKResponse, Update,
-    UpdateReport,
+    compute_response, execute_batch, BatchResult, GirServer, MaintenanceMode, ServerConfig,
+    TopKRequest, TopKResponse, Update, UpdateReport,
 };
 pub use sharded::{CacheStats, ShardedGirCache};
 pub use stats::ServeStats;

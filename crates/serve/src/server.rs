@@ -102,6 +102,13 @@ pub struct TopKResponse {
     pub from_cache: bool,
     /// Per-request wall clock, microseconds.
     pub latency_us: u64,
+    /// True when the computation failed (e.g. a storage error surfaced
+    /// mid-miss): `ids` is empty and nothing was admitted to the cache.
+    /// One failed request never poisons its batch — the serving layer
+    /// keeps answering, and once the fault clears the next miss
+    /// recomputes (the prune index invalidates itself on error, so no
+    /// stale state survives the failure window).
+    pub failed: bool,
 }
 
 /// A batch's responses (in request order) plus its statistics.
@@ -146,6 +153,109 @@ pub struct UpdateReport {
     /// Cache entries the batch did not touch at all (delta repair
     /// only; the legacy sweeps re-test entries per update).
     pub untouched: usize,
+}
+
+/// Fans `requests` across a scoped worker pool — each worker pulls the
+/// next request off a shared atomic cursor and serves it with
+/// `serve_one` — then reassembles responses in request order and
+/// derives the batch's [`ServeStats`]. The executor shared by
+/// [`GirServer::run_batch`] and the sharded server
+/// (`gir_shard::ShardedGirServer`); callers hold whatever dataset lock
+/// their `serve_one` needs for the duration of the call.
+pub fn execute_batch(
+    requests: &[TopKRequest],
+    threads: usize,
+    method_label: &'static str,
+    serve_one: impl Fn(&TopKRequest) -> TopKResponse + Sync,
+) -> BatchResult {
+    let batch_start = Instant::now();
+    let n = requests.len();
+    let threads = threads.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let serve_one = &serve_one;
+
+    let mut merged: Vec<Vec<(usize, TopKResponse)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, serve_one(&requests[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+
+    let mut responses: Vec<Option<TopKResponse>> = vec![None; n];
+    for (i, resp) in merged.drain(..).flatten() {
+        responses[i] = Some(resp);
+    }
+    let responses: Vec<TopKResponse> = responses
+        .into_iter()
+        .map(|r| r.expect("request not served"))
+        .collect();
+
+    let labeled: Vec<(u64, bool)> = responses
+        .iter()
+        .map(|r| (r.latency_us, r.from_cache))
+        .collect();
+    let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    let stats = ServeStats::from_labeled_latencies(labeled, threads, method_label, wall_ms);
+    BatchResult { responses, stats }
+}
+
+/// Maps a miss computation's outcome to a response, handing successful
+/// outputs to `admit` (cache insertion) first. Shared by both servers:
+///
+/// * an empty dataset serves an empty result (not a failure),
+/// * a storage fault marks this response `failed` without poisoning
+///   the batch — nothing was admitted, and a failed prune-index
+///   build/maintenance step invalidated itself, so later requests
+///   recompute from scratch once the store heals
+///   (`tests/failure_injection.rs`),
+/// * anything else (a configuration error like unsupported scoring)
+///   panics: retries cannot fix it.
+pub fn compute_response(
+    computed: Result<gir_core::GirOutput, GirError>,
+    started: Instant,
+    admit: impl FnOnce(gir_core::GirOutput),
+) -> TopKResponse {
+    match computed {
+        Ok(out) => {
+            let ids = out.result.ids();
+            admit(out);
+            TopKResponse {
+                ids,
+                from_cache: false,
+                latency_us: started.elapsed().as_micros() as u64,
+                failed: false,
+            }
+        }
+        Err(GirError::EmptyResult) => TopKResponse {
+            ids: Vec::new(),
+            from_cache: false,
+            latency_us: started.elapsed().as_micros() as u64,
+            failed: false,
+        },
+        Err(GirError::Tree(_)) => TopKResponse {
+            ids: Vec::new(),
+            from_cache: false,
+            latency_us: started.elapsed().as_micros() as u64,
+            failed: true,
+        },
+        Err(e) => panic!("GIR computation failed in serve path: {e}"),
+    }
 }
 
 /// A concurrent GIR serving engine over one dataset.
@@ -220,94 +330,39 @@ impl GirServer {
     /// first, compute-and-admit on miss. Responses preserve request
     /// order.
     pub fn run_batch(&self, requests: &[TopKRequest]) -> BatchResult {
-        let batch_start = Instant::now();
-        let n = requests.len();
         let method = self.method();
-        let threads = self.cfg.threads.clamp(1, n.max(1));
-        let next = AtomicUsize::new(0);
         // Hold the read lock for the whole batch: updates apply between
         // batches, never inside one.
         let tree = self.read_tree();
         let tree_ref: &RTree = &tree;
-
-        let mut merged: Vec<Vec<(usize, TopKResponse)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let engine = GirEngine::with_scoring(tree_ref, self.scoring.clone());
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            local.push((i, self.serve_one(&engine, &requests[i], method)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("serve worker panicked"))
-                .collect()
+        let out = execute_batch(requests, self.cfg.threads, method.label(), |req| {
+            self.serve_one(tree_ref, req, method)
         });
         drop(tree);
-
-        let mut responses: Vec<Option<TopKResponse>> = vec![None; n];
-        for (i, resp) in merged.drain(..).flatten() {
-            responses[i] = Some(resp);
-        }
-        let responses: Vec<TopKResponse> = responses
-            .into_iter()
-            .map(|r| r.expect("request not served"))
-            .collect();
-
-        let labeled: Vec<(u64, bool)> = responses
-            .iter()
-            .map(|r| (r.latency_us, r.from_cache))
-            .collect();
-        let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
-        let stats = ServeStats::from_labeled_latencies(labeled, threads, method.label(), wall_ms);
-        BatchResult { responses, stats }
+        out
     }
 
-    fn serve_one(&self, engine: &GirEngine<'_>, req: &TopKRequest, method: Method) -> TopKResponse {
+    fn serve_one(&self, tree: &RTree, req: &TopKRequest, method: Method) -> TopKResponse {
         let t0 = Instant::now();
         if let Some(records) = self.cache.lookup(&req.weights, req.k, &self.scoring) {
             return TopKResponse {
                 ids: records.iter().map(|r| r.id).collect(),
                 from_cache: true,
                 latency_us: t0.elapsed().as_micros() as u64,
+                failed: false,
             };
         }
+        let engine = GirEngine::with_scoring(tree, self.scoring.clone());
         let q = QueryVector::new(req.weights.coords().to_vec());
         let computed = if self.cfg.use_prune_index {
             engine.gir_indexed(&q, req.k, method, &self.prune)
         } else {
             engine.gir(&q, req.k, method)
         };
-        match computed {
-            Ok(out) => {
-                let ids = out.result.ids();
-                self.cache
-                    .insert(out.region, out.result, self.scoring.clone());
-                TopKResponse {
-                    ids,
-                    from_cache: false,
-                    latency_us: t0.elapsed().as_micros() as u64,
-                }
-            }
-            // An empty dataset has no top-k: serve an empty result
-            // rather than poisoning the batch.
-            Err(GirError::EmptyResult) => TopKResponse {
-                ids: Vec::new(),
-                from_cache: false,
-                latency_us: t0.elapsed().as_micros() as u64,
-            },
-            Err(e) => panic!("GIR computation failed in serve path: {e}"),
-        }
+        compute_response(computed, t0, |out| {
+            self.cache
+                .insert(out.region, out.result, self.scoring.clone());
+        })
     }
 
     /// Applies a batch of updates under the tree's write lock and

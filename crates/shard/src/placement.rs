@@ -1,0 +1,91 @@
+//! Record-to-shard placement policies.
+//!
+//! Placement is a pure function of the record, so routing an update to
+//! its owning shard never needs a directory: inserts and deletes carry
+//! both the id and the attribute point, which is all either policy
+//! reads.
+
+use gir_geometry::vector::PointD;
+
+/// How records are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Splitmix hash of the record id: uniform occupancy regardless of
+    /// the data distribution, no spatial locality.
+    Hash,
+    /// Uniform bands over the first attribute: spatially local shards
+    /// (a shard owns one slice of attribute space), occupancy follows
+    /// the data distribution — the skewed-occupancy scenarios of
+    /// `gir_datagen::partition` exist to stress exactly this.
+    Grid,
+}
+
+impl Placement {
+    /// Label used in benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::Hash => "hash",
+            Placement::Grid => "grid",
+        }
+    }
+
+    /// The shard owning a record with this `id` and attribute point.
+    pub fn shard_of(&self, id: u64, attrs: &PointD, shards: usize) -> usize {
+        debug_assert!(shards >= 1);
+        match self {
+            Placement::Hash => {
+                // splitmix64 final avalanche: low bits usable directly.
+                let mut h = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((h ^ (h >> 31)) % shards as u64) as usize
+            }
+            Placement::Grid => grid_band(attrs[0], shards),
+        }
+    }
+}
+
+/// The grid band of a `[0,1]` coordinate: `⌊x·S⌋` clamped into range.
+/// `gir_datagen::partition::grid_occupancy` mirrors this formula.
+pub fn grid_band(x: f64, shards: usize) -> usize {
+    ((x.clamp(0.0, 1.0) * shards as f64) as usize).min(shards - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_bands_partition_the_unit_interval() {
+        assert_eq!(grid_band(0.0, 4), 0);
+        assert_eq!(grid_band(0.249, 4), 0);
+        assert_eq!(grid_band(0.25, 4), 1);
+        assert_eq!(grid_band(0.999, 4), 3);
+        assert_eq!(grid_band(1.0, 4), 3); // clamped, not out of range
+        assert_eq!(grid_band(-0.5, 4), 0);
+        assert_eq!(grid_band(7.0, 4), 3);
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_spread() {
+        let p = Placement::Hash;
+        let attrs = PointD::new(vec![0.5, 0.5]);
+        let mut counts = [0usize; 8];
+        for id in 0..8000u64 {
+            let s = p.shard_of(id, &attrs, 8);
+            assert_eq!(s, p.shard_of(id, &attrs, 8));
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed hash occupancy {counts:?}");
+        }
+    }
+
+    #[test]
+    fn grid_placement_ignores_id() {
+        let p = Placement::Grid;
+        let a = PointD::new(vec![0.1, 0.9]);
+        assert_eq!(p.shard_of(1, &a, 4), p.shard_of(999, &a, 4));
+        assert_eq!(p.shard_of(1, &a, 4), 0);
+    }
+}

@@ -21,7 +21,11 @@
 //! * [`serve`] — the concurrent, update-aware serving subsystem: a
 //!   sharded GIR cache, a batch executor over a worker pool, and an
 //!   update pipeline that keeps cached regions provably fresh under
-//!   insertions/deletions (see `examples/serve_workload.rs`).
+//!   insertions/deletions (see `examples/serve_workload.rs`),
+//! * [`shard`] — partitioned datasets: S independent R\*-trees whose
+//!   per-shard GIR constraint systems merge into the single-tree
+//!   region, with hash/grid placement, shard-local update routing, and
+//!   a sharded serving layer.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub use gir_geometry as geometry;
 pub use gir_query as query;
 pub use gir_rtree as rtree;
 pub use gir_serve as serve;
+pub use gir_shard as shard;
 pub use gir_storage as storage;
 
 /// Convenience re-exports for examples and downstream users.
@@ -60,5 +65,6 @@ pub mod prelude {
     pub use gir_query::{QueryVector, Record, ScoringFunction};
     pub use gir_rtree::RTree;
     pub use gir_serve::{GirServer, ServerConfig, TopKRequest, Update};
+    pub use gir_shard::{Placement, ShardedDataset, ShardedGirServer, ShardedServerConfig};
     pub use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
 }

@@ -1,0 +1,159 @@
+//! Cross-method differential test: FP, CP, SP and the full-scan oracle
+//! must produce the **same immutable region** on identical random
+//! inputs — previously each method was only tested against its own
+//! oracle.
+//!
+//! Equality is checked three ways per case: identical top-k (including
+//! order), identical sampled point membership (boundary-epsilon
+//! disagreements tolerated), and region volume within tolerance (the
+//! paper's Fig 14 robustness measure; exact vertex-enumeration volumes
+//! agree to ~1e-9, the Monte-Carlo fallback to a few percent).
+
+use gir::core::{GirEngine, GirOutput, Method};
+use gir::geometry::volume::{monte_carlo_volume, VolumeOptions};
+use gir::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const METHODS: [Method; 4] = [
+    Method::FullScan,
+    Method::SkylinePruning,
+    Method::ConvexHullPruning,
+    Method::FacetPruning,
+];
+
+fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 30)
+}
+
+fn check_methods_agree(rows: &[Vec<f64>], w: Vec<f64>, k: usize) {
+    let d = w.len();
+    let recs: Vec<Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Record::new(i as u64, r.clone()))
+        .collect();
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    let tree = RTree::bulk_load(store, &recs).unwrap();
+    let engine = GirEngine::new(&tree);
+    let q = QueryVector::new(w);
+
+    let outs: Vec<(Method, GirOutput)> = METHODS
+        .iter()
+        .map(|&m| (m, engine.gir(&q, k, m).unwrap()))
+        .collect();
+    let (_, oracle) = &outs[0]; // FullScan: the §3.3 strawman reads everything
+
+    // Same top-k, same order.
+    for (m, out) in &outs[1..] {
+        prop_assert_eq!(
+            out.result.ids(),
+            oracle.result.ids(),
+            "{:?}: result differs from the full-scan oracle",
+            m
+        );
+    }
+
+    // Same region as a point set.
+    let mut probe = 0xA95Eu64 | 1;
+    for _ in 0..60 {
+        let wp = PointD::from(
+            (0..d)
+                .map(|_| {
+                    probe ^= probe << 13;
+                    probe ^= probe >> 7;
+                    probe ^= probe << 17;
+                    (probe >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .collect::<Vec<f64>>(),
+        );
+        let expect = oracle.region.contains(&wp);
+        for (m, out) in &outs[1..] {
+            let got = out.region.contains(&wp);
+            if got != expect {
+                let margin: f64 = oracle
+                    .region
+                    .halfspaces
+                    .iter()
+                    .chain(&out.region.halfspaces)
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, |acc, v| acc.min(v.abs()));
+                prop_assert!(
+                    margin < 1e-6,
+                    "{:?} d={}: membership differs from SCAN at {:?} (margin {})",
+                    m,
+                    d,
+                    wp,
+                    margin
+                );
+            }
+        }
+    }
+
+    // Same volume within tolerance. The membership probes above are
+    // the exact equality check; the volume is the aggregate
+    // cross-check, computed for every method with the *same
+    // deterministic Monte-Carlo sampler* — exact vertex enumeration
+    // over hundreds of near-redundant constraints drifts by double
+    // digits in 4-d/5-d (tie facets reduce differently), whereas equal
+    // regions sampled identically can only disagree by boundary noise.
+    let opts = VolumeOptions {
+        mc_samples: 50_000,
+        seed: 0x70_FF_EE,
+        ..VolumeOptions::default()
+    };
+    let vol_oracle = monte_carlo_volume(&oracle.region.halfspaces, d, &opts);
+    for (m, out) in &outs[1..] {
+        let vol = monte_carlo_volume(&out.region.halfspaces, d, &opts);
+        let tol = 2e-2 * vol_oracle.volume.max(vol.volume) + 1e-4;
+        prop_assert!(
+            (vol.volume - vol_oracle.volume).abs() <= tol,
+            "{:?} d={}: volume {} vs SCAN {} (tol {})",
+            m,
+            d,
+            vol.volume,
+            vol_oracle.volume,
+            tol
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn methods_agree_2d(
+        rows in dataset(2, 80),
+        w in proptest::collection::vec(0.05f64..1.0, 2),
+        k in 1usize..8,
+    ) {
+        check_methods_agree(&rows, w, k);
+    }
+
+    #[test]
+    fn methods_agree_3d(
+        rows in dataset(3, 90),
+        w in proptest::collection::vec(0.05f64..1.0, 3),
+        k in 1usize..8,
+    ) {
+        check_methods_agree(&rows, w, k);
+    }
+
+    #[test]
+    fn methods_agree_4d(
+        rows in dataset(4, 70),
+        w in proptest::collection::vec(0.05f64..1.0, 4),
+        k in 1usize..6,
+    ) {
+        check_methods_agree(&rows, w, k);
+    }
+
+    #[test]
+    fn methods_agree_5d(
+        rows in dataset(5, 60),
+        w in proptest::collection::vec(0.05f64..1.0, 5),
+        k in 1usize..5,
+    ) {
+        check_methods_agree(&rows, w, k);
+    }
+}

@@ -21,7 +21,7 @@ fn halfspace(d: usize) -> impl Strategy<Value = HalfSpace> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Hull invariants in 3-d: contains every input point; facet planes
     /// pass through their vertices; adjacency is symmetric.

@@ -28,7 +28,7 @@ fn weights(d: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The central law (Definition 1), for every method, on arbitrary
     /// 3-d data: a probe weight vector is inside the GIR iff the naive

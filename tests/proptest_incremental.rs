@@ -231,7 +231,7 @@ fn check_incremental_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op],
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(20))]
 
     /// 2-d: the rotating-line repair path.
     #[test]

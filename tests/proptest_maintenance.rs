@@ -31,7 +31,7 @@ fn weights(d: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The serving-layer invariant in 3-d: insert a newcomer, shrink the
     /// region, and every strictly interior weight vector must still get

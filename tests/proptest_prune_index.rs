@@ -173,7 +173,7 @@ fn check_prune_index_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op],
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// 2-d: rotating-line FP territory, small skylines.
     #[test]

@@ -52,7 +52,7 @@ fn check_invariants(tree: &RTree) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
     fn rtree_agrees_with_model(script in ops(3, 60)) {

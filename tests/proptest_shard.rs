@@ -1,0 +1,275 @@
+//! The sharding differential harness: a GIR computed over a
+//! partitioned dataset (`gir::shard::ShardedDataset` — per-shard BRS
+//! frontiers merged into the global top-k, per-shard Phase-2 systems
+//! intersected into one region) must be **equivalent to the
+//! single-tree oracle** (`GirEngine::gir`):
+//!
+//! * same top-k (composition *and* order),
+//! * same region as a point set (sampled membership, boundary-epsilon
+//!   disagreements tolerated),
+//! * same reduced facet set (the non-redundant boundary, compared by
+//!   contributor ids; ids differing only by a facet that grazes the
+//!   other polytope's boundary are tolerated as ties),
+//!
+//! for S ∈ {1, 2, 4, 8}, both placement policies, every pruned Phase-2
+//! method (SP / CP / FP), d ∈ {2..5}, and — crucially — **after every
+//! chunk of a random update interleaving** routed through the sharded
+//! update path (owning shard only) and the oracle tree in lockstep.
+
+use gir::core::{GirEngine, GirRegion, Method};
+use gir::prelude::*;
+use gir::shard::{Placement, ShardedDataset};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
+/// `sel` picks a live record to delete.
+type Op = (u8, Vec<f64>, u64);
+
+const METHODS: [Method; 3] = [
+    Method::SkylinePruning,
+    Method::ConvexHullPruning,
+    Method::FacetPruning,
+];
+
+/// `(shard count, placement)` grid pinned by the acceptance criteria.
+const SHARDINGS: [(usize, Placement); 4] = [
+    (1, Placement::Hash),
+    (2, Placement::Grid),
+    (4, Placement::Hash),
+    (8, Placement::Grid),
+];
+
+fn build_tree(recs: &[Record]) -> RTree {
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    RTree::bulk_load(store, recs).unwrap()
+}
+
+fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 15)
+}
+
+fn ops(d: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0u8..10,
+            proptest::collection::vec(0.0f64..1.0, d),
+            0u64..1 << 40,
+        ),
+        6..14,
+    )
+}
+
+/// The reduced facet set as (non-result contributor ids, vertices).
+/// `None` when vertex enumeration fails numerically — the membership
+/// probes still cover that case.
+fn reduced_facets(region: &GirRegion) -> Option<(BTreeSet<u64>, Vec<PointD>)> {
+    let red = region.reduce().ok()?;
+    let ids = red
+        .facets
+        .iter()
+        .filter_map(|h| match h.provenance {
+            gir::geometry::hyperplane::Provenance::NonResult { record_id } => Some(record_id),
+            _ => None,
+        })
+        .collect();
+    Some((ids, red.vertices))
+}
+
+/// A facet id appearing on only one side is tolerated iff its
+/// half-space grazes the other polytope's boundary (an exact tie the
+/// two reductions broke differently).
+fn facet_is_tie(region: &GirRegion, id: u64, other_vertices: &[PointD]) -> bool {
+    region
+        .halfspaces
+        .iter()
+        .filter(|h| {
+            matches!(
+                h.provenance,
+                gir::geometry::hyperplane::Provenance::NonResult { record_id } if record_id == id
+            )
+        })
+        .all(|h| {
+            other_vertices
+                .iter()
+                .map(|v| h.slack(v).abs())
+                .fold(f64::INFINITY, f64::min)
+                < 1e-6
+        })
+}
+
+fn check_regions_equivalent(
+    m: Method,
+    s: usize,
+    oracle: &GirRegion,
+    sharded: &GirRegion,
+    d: usize,
+    probe_seed: &mut u64,
+) {
+    // Sampled point membership.
+    for _ in 0..25 {
+        let wp = PointD::from(
+            (0..d)
+                .map(|_| {
+                    *probe_seed ^= *probe_seed << 13;
+                    *probe_seed ^= *probe_seed >> 7;
+                    *probe_seed ^= *probe_seed << 17;
+                    (*probe_seed >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .collect::<Vec<f64>>(),
+        );
+        let a = oracle.contains(&wp);
+        let b = sharded.contains(&wp);
+        if a != b {
+            let margin: f64 = oracle
+                .halfspaces
+                .iter()
+                .chain(&sharded.halfspaces)
+                .map(|h| h.slack(&wp))
+                .fold(f64::INFINITY, |acc, v| acc.min(v.abs()));
+            prop_assert!(
+                margin < 1e-6,
+                "{:?} S={}: sharded region ≠ oracle at {:?} (margin {})",
+                m,
+                s,
+                wp,
+                margin
+            );
+        }
+    }
+
+    // Reduced facet set: the same non-redundant boundary.
+    if let (Some((oracle_ids, oracle_verts)), Some((sharded_ids, sharded_verts))) =
+        (reduced_facets(oracle), reduced_facets(sharded))
+    {
+        for id in oracle_ids.symmetric_difference(&sharded_ids) {
+            let (region, other_verts) = if oracle_ids.contains(id) {
+                (oracle, &sharded_verts)
+            } else {
+                (sharded, &oracle_verts)
+            };
+            prop_assert!(
+                facet_is_tie(region, *id, other_verts),
+                "{:?} S={}: facet contributor {} on one side only \
+                 (oracle {:?} vs sharded {:?})",
+                m,
+                s,
+                id,
+                oracle_ids,
+                sharded_ids
+            );
+        }
+    }
+}
+
+fn check_sharded_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op], k: usize) {
+    let d = w.len();
+    let mut live: Vec<Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Record::new(i as u64, r.clone()))
+        .collect();
+    let mut oracle_tree = build_tree(&live);
+    let mut sharded: Vec<(usize, ShardedDataset)> = SHARDINGS
+        .iter()
+        .map(|&(s, placement)| (s, ShardedDataset::build(d, &live, s, placement).unwrap()))
+        .collect();
+    let scoring = ScoringFunction::linear(d);
+    let q = QueryVector::new(w);
+    let mut probe_seed = 0x5A4Du64 | 1;
+    let mut next_id = 9_000_000u64;
+
+    // Initial equivalence, then after every chunk of the interleaving.
+    let mut chunks: Vec<&[Op]> = vec![&[]];
+    chunks.extend(all_ops.chunks(3));
+    for chunk in chunks {
+        for (op, attrs, sel) in chunk {
+            if *op < 6 || live.len() <= k + 8 {
+                let rec = Record::new(next_id, attrs.clone());
+                next_id += 1;
+                oracle_tree.insert(rec.clone()).unwrap();
+                for (_, data) in &mut sharded {
+                    data.insert(rec.clone()).unwrap();
+                }
+                live.push(rec);
+            } else {
+                let idx = (*sel % live.len() as u64) as usize;
+                let victim = live.swap_remove(idx);
+                assert!(oracle_tree.delete(victim.id, &victim.attrs).unwrap());
+                for (_, data) in &mut sharded {
+                    assert!(data.delete(victim.id, &victim.attrs).unwrap());
+                }
+            }
+        }
+
+        let engine = GirEngine::new(&oracle_tree);
+        for m in METHODS {
+            let oracle = engine.gir(&q, k, m).unwrap();
+            for (s, data) in &sharded {
+                let got = data.gir(&scoring, &q, k, m).unwrap();
+                prop_assert_eq!(
+                    got.result.ids(),
+                    oracle.result.ids(),
+                    "{:?} S={}: merged top-k differs from single-tree BRS",
+                    m,
+                    s
+                );
+                check_regions_equivalent(m, *s, &oracle.region, &got.region, d, &mut probe_seed);
+            }
+        }
+    }
+
+    // Occupancy sanity: every sharding still holds the full dataset.
+    for (s, data) in &sharded {
+        prop_assert_eq!(data.len(), live.len() as u64, "S={}: lost records", s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 2-d: rotating-line FP, small skylines, cheap reductions.
+    #[test]
+    fn sharded_gir_matches_oracle_2d(
+        rows in dataset(2, 45),
+        w in proptest::collection::vec(0.05f64..1.0, 2),
+        all_ops in ops(2),
+        k in 1usize..5,
+    ) {
+        check_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 3-d: the incident-facet star plus hull-of-skyline reuse.
+    #[test]
+    fn sharded_gir_matches_oracle_3d(
+        rows in dataset(3, 55),
+        w in proptest::collection::vec(0.05f64..1.0, 3),
+        all_ops in ops(3),
+        k in 1usize..6,
+    ) {
+        check_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 4-d: larger skylines, degenerate hulls more likely.
+    #[test]
+    fn sharded_gir_matches_oracle_4d(
+        rows in dataset(4, 50),
+        w in proptest::collection::vec(0.05f64..1.0, 4),
+        all_ops in ops(4),
+        k in 1usize..4,
+    ) {
+        check_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 5-d: the dimensionality ceiling of the paper's experiments.
+    #[test]
+    fn sharded_gir_matches_oracle_5d(
+        rows in dataset(5, 40),
+        w in proptest::collection::vec(0.05f64..1.0, 5),
+        all_ops in ops(5),
+        k in 1usize..4,
+    ) {
+        check_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+}

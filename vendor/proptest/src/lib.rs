@@ -8,8 +8,19 @@
 //!
 //! Differences from upstream: no shrinking (a failing case panics with
 //! the assertion message directly), and the case stream is derived from
-//! a fixed per-test seed (override with `PROPTEST_SEED`), so CI runs are
-//! reproducible by construction.
+//! a fixed per-test seed, so CI runs are reproducible by construction.
+//!
+//! Environment knobs (honored by every property test in the
+//! workspace):
+//!
+//! * `PROPTEST_CASES` — overrides the per-test case count, both the
+//!   default (256) and any count a test pins via
+//!   [`test_runner::ProptestConfig::with_cases`];
+//! * `PROPTEST_SEED` — overrides the base seed of the deterministic
+//!   case stream;
+//! * `GIR_SEED` — the workspace-wide seed (pinned in CI); used when
+//!   `PROPTEST_SEED` is unset so benches, drivers and property tests
+//!   all re-roll together from one knob.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -34,14 +45,37 @@ pub mod test_runner {
     impl Default for ProptestConfig {
         fn default() -> Self {
             ProptestConfig {
-                cases: 256,
+                cases: Self::env_cases(256),
                 max_shrink_iters: 0,
             }
         }
     }
 
-    /// Deterministic splitmix64 RNG seeded from the test name (or the
-    /// `PROPTEST_SEED` environment variable).
+    impl ProptestConfig {
+        /// A config running `cases` random cases unless the
+        /// `PROPTEST_CASES` environment knob overrides the count — the
+        /// constructor every workspace property test uses, so one
+        /// variable re-scales the whole suite (crank it up for a deep
+        /// soak, down for a smoke run).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases: Self::env_cases(cases),
+                max_shrink_iters: 0,
+            }
+        }
+
+        fn env_cases(default: u32) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(default)
+        }
+    }
+
+    /// Deterministic splitmix64 RNG seeded from the test name combined
+    /// with the `PROPTEST_SEED` (or, failing that, `GIR_SEED`)
+    /// environment variable.
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
@@ -50,9 +84,12 @@ pub mod test_runner {
     impl TestRng {
         /// A generator seeded from the test's name.
         pub fn from_name(name: &str) -> Self {
-            let seed = match std::env::var("PROPTEST_SEED") {
-                Ok(s) => s.parse::<u64>().unwrap_or(0xBAD5EED),
-                Err(_) => 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            let env_seed = std::env::var("PROPTEST_SEED")
+                .or_else(|_| std::env::var("GIR_SEED"))
+                .ok();
+            let seed = match env_seed {
+                Some(s) => s.parse::<u64>().unwrap_or(0xBAD5EED),
+                None => 0xcbf2_9ce4_8422_2325, // FNV offset basis
             };
             let mut state = seed;
             for b in name.bytes() {
@@ -228,7 +265,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(64))]
 
         #[test]
         fn ranges_stay_in_bounds(x in 0.25f64..0.75, n in 3usize..7) {
