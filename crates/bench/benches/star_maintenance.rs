@@ -1,0 +1,193 @@
+//! GIR\* lifecycle costs: cold computation, sharded execution with and
+//! without the per-shard star Phase-2 cache, and delta maintenance —
+//! the repair path against the from-scratch recompute it replaces.
+//!
+//! Sections (criterion rows, one per configuration):
+//!
+//! * `star_cold/{SP,CP,FP}/n{n}` — one from-scratch single-tree
+//!   `GirEngine::gir_star` call per method;
+//! * `star_sharded_s{S}/…` — the sharded star path
+//!   (`ShardedDataset::gir_star`) in steady state (per-shard star
+//!   systems reused) and with the systems dropped before every call
+//!   (`star_sharded_recompute_s{S}`), isolating the win of the
+//!   rank-keyed Phase-2 cache;
+//! * `star_classify/n{n}` — one `DeltaBatch::classify_kind` pass of a
+//!   mixed burst against a cached GIR\* entry (the per-entry update
+//!   cost when nothing needs repair);
+//! * `star_repair/n{n}` vs `star_recompute/n{n}` — rebuilding a GIR\*
+//!   entry after a facet-contributor delete: the seeded root sweep
+//!   (`repair_region_star`, no BRS retrieval) against the full
+//!   `gir_star` recompute on the same mutated tree.
+//!
+//! Results go to stdout and to `BENCH_star.json` at the workspace root
+//! (uploaded as a CI artifact alongside the serve/cold/shard files).
+//!
+//! Knobs: `GIR_STAR_NS` (comma-separated dataset sizes, default
+//! "2000,8000"), `GIR_STAR_SHARDS` (default "1,4"), `GIR_SEED`.
+
+use criterion::{BenchSummary, Criterion};
+use gir_core::{repair_region_star, DeltaBatch, GirEngine, Method, RegionKind};
+use gir_datagen::{synthetic, Distribution};
+use gir_query::{QueryVector, Record, ScoringFunction};
+use gir_rtree::RTree;
+use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_list(key: &str, default: &str) -> Vec<usize> {
+    let raw = std::env::var(key).unwrap_or_else(|_| default.into());
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    if parsed.is_empty() {
+        default.split(',').filter_map(|t| t.parse().ok()).collect()
+    } else {
+        parsed
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::var("GIR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xBE7C);
+    let ns = env_list("GIR_STAR_NS", "2000,8000");
+    let shard_counts = env_list("GIR_STAR_SHARDS", "1,4");
+    let d = 3usize;
+    let k = 10usize;
+    let methods = [
+        Method::SkylinePruning,
+        Method::ConvexHullPruning,
+        Method::FacetPruning,
+    ];
+
+    let mut c = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    println!("GIR* lifecycle  (IND, d={d}, k={k}, seed {seed}; per-call wall clock)\n");
+    for &n in &ns {
+        let data = synthetic(Distribution::Independent, n, d, seed.wrapping_add(1));
+        let scoring = ScoringFunction::linear(d);
+        let q = QueryVector::new(vec![0.55, 0.6, 0.45]);
+
+        // ---- cold single-tree GIR* per method ----------------------
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(store, &data).expect("bulk load");
+        let engine = GirEngine::new(&tree);
+        for m in methods {
+            c.bench_function(&format!("star_cold/{}/n{n}", m.label()), |b| {
+                b.iter(|| engine.gir_star(&q, k, m).expect("gir*").stats.candidates)
+            });
+        }
+
+        // ---- sharded GIR*: steady-state reuse vs recompute ---------
+        for &s in &shard_counts {
+            let sharded = gir_shard::ShardedDataset::build(d, &data, s, gir_shard::Placement::Hash)
+                .expect("build");
+            let _ = sharded
+                .gir_star(&scoring, &q, k, Method::FacetPruning)
+                .expect("warm");
+            c.bench_function(&format!("star_sharded_s{s}/n{n}"), |b| {
+                b.iter(|| {
+                    sharded
+                        .gir_star(&scoring, &q, k, Method::FacetPruning)
+                        .expect("gir*")
+                        .stats
+                        .candidates
+                })
+            });
+            c.bench_function(&format!("star_sharded_recompute_s{s}/n{n}"), |b| {
+                b.iter(|| {
+                    for view in sharded.views() {
+                        view.index.clear_phase2();
+                    }
+                    sharded
+                        .gir_star(&scoring, &q, k, Method::FacetPruning)
+                        .expect("gir*")
+                        .stats
+                        .candidates
+                })
+            });
+        }
+
+        // ---- delta maintenance: classify, repair vs recompute ------
+        let out = engine
+            .gir_star(&q, k, Method::FacetPruning)
+            .expect("star entry");
+        let mut batch = DeltaBatch::new();
+        // A mixed burst that neither invalidates nor repairs: the
+        // steady-state classification cost per cached entry.
+        batch.record_insert(&Record::new(90_000_001, vec![0.2, 0.3, 0.1]));
+        batch.record_insert(&Record::new(90_000_002, vec![0.85, 0.1, 0.2]));
+        batch.record_delete(90_000_777); // names nothing cached
+        c.bench_function(&format!("star_classify/n{n}"), |b| {
+            b.iter(|| {
+                batch
+                    .classify_kind(&out.region, &out.result, &scoring, RegionKind::GirStar)
+                    .shrinks
+                    .len()
+            })
+        });
+
+        // Delete one facet contributor; repair and recompute now both
+        // run against the mutated tree (both are read-only, so the
+        // same setup serves every iteration).
+        let result_ids = out.result.ids();
+        let victim = out
+            .region
+            .contributor_ids()
+            .find(|id| !result_ids.contains(id))
+            .expect("non-trivial GIR* has non-result contributors");
+        let victim_attrs = data
+            .iter()
+            .find(|r| r.id == victim)
+            .expect("victim lives in the dataset")
+            .attrs
+            .clone();
+        let mut tree = tree;
+        assert!(tree.delete(victim, &victim_attrs).expect("delete"));
+        let removed = [victim];
+        c.bench_function(&format!("star_repair/n{n}"), |b| {
+            b.iter(|| {
+                repair_region_star(&tree, &scoring, &out.result, &out.region, &removed, &[])
+                    .expect("repair")
+                    .num_halfspaces()
+            })
+        });
+        let engine = GirEngine::new(&tree);
+        c.bench_function(&format!("star_recompute/n{n}"), |b| {
+            b.iter(|| {
+                engine
+                    .gir_star(&q, k, Method::FacetPruning)
+                    .expect("gir*")
+                    .region
+                    .num_halfspaces()
+            })
+        });
+    }
+
+    // Machine-readable artifact alongside the other BENCH_*.json files.
+    let rows: Vec<String> = c
+        .summaries()
+        .iter()
+        .map(|s: &BenchSummary| {
+            format!(
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"samples\":{}}}",
+                s.id, s.mean_ns, s.stddev_ns, s.samples
+            )
+        })
+        .collect();
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_star.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_star.json"),
+    };
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

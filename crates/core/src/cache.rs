@@ -16,19 +16,26 @@
 //! This cache is single-threaded (`&mut self`); the concurrent serving
 //! layer wraps it per shard — see `gir_serve::ShardedGirCache`.
 
+use crate::gir_star::reduced_result;
 use crate::maintenance::{DeltaBatch, UpdateImpact};
-use crate::region::GirRegion;
+use crate::region::{GirRegion, RegionKind};
 use gir_geometry::hyperplane::HalfSpace;
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 
-/// One cached result with its immutable region and the scoring function
-/// it was computed under.
+/// One cached result with its immutable region, the scoring function it
+/// was computed under, and its region semantics ([`RegionKind`]).
 #[derive(Debug, Clone)]
 struct CacheEntry {
     region: GirRegion,
     result: TopKResult,
     scoring: ScoringFunction,
+    kind: RegionKind,
+    /// `R⁻` with ranks, precomputed at admission for GIR\* entries
+    /// (`None` for order-sensitive ones): the result is immutable for
+    /// the entry's lifetime, so the per-update sweeps must not rebuild
+    /// the hull-pruned pivot set on every insertion.
+    r_minus: Option<Vec<(usize, Record)>>,
 }
 
 /// An LRU cache of `(GIR, top-k result)` pairs.
@@ -53,11 +60,34 @@ impl GirCache {
         }
     }
 
-    /// The hit predicate: an entry answers `(w, k, scoring)` when it
-    /// was computed under the *same scoring function*, holds at least
-    /// `k` records, and its GIR contains `w`.
-    fn matches(e: &CacheEntry, w: &PointD, k: usize, scoring: &ScoringFunction) -> bool {
-        e.scoring == *scoring && e.result.len() >= k && e.region.contains(w)
+    /// The hit predicate: an entry answers `(w, k, scoring, kind)` when
+    /// it was computed under the *same scoring function*, its region
+    /// contains `w`, and its semantics cover the request:
+    ///
+    /// * an **order-sensitive** request matches only [`RegionKind::Gir`]
+    ///   entries holding at least `k` records (any prefix of an
+    ///   order-preserved result is exact);
+    /// * an **order-insensitive** request matches those same `Gir`
+    ///   entries (an ordered answer is a valid composition answer — GIR
+    ///   ⊆ GIR\*), plus [`RegionKind::GirStar`] entries of *exactly*
+    ///   `k` records — inside a GIR\* only the full result **set** is
+    ///   pinned, so a shorter prefix of its cached order would be a
+    ///   guess.
+    fn matches(
+        e: &CacheEntry,
+        w: &PointD,
+        k: usize,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+    ) -> bool {
+        let semantics = match (kind, e.kind) {
+            (RegionKind::Gir, RegionKind::Gir) | (RegionKind::GirStar, RegionKind::Gir) => {
+                e.result.len() >= k
+            }
+            (RegionKind::Gir, RegionKind::GirStar) => false,
+            (RegionKind::GirStar, RegionKind::GirStar) => e.result.len() == k,
+        };
+        semantics && e.scoring == *scoring && e.region.contains(w)
     }
 
     /// The (order-correct) top-`k` prefix of an entry's cached result.
@@ -70,18 +100,34 @@ impl GirCache {
             .collect()
     }
 
-    /// Looks up a top-`k` query with weights `w` under `scoring`,
-    /// counting the hit/miss and refreshing LRU order.
+    /// Looks up an order-sensitive top-`k` query with weights `w` under
+    /// `scoring`, counting the hit/miss and refreshing LRU order.
+    /// Shorthand for [`GirCache::lookup_kind`] with [`RegionKind::Gir`].
     pub fn lookup(
         &mut self,
         w: &PointD,
         k: usize,
         scoring: &ScoringFunction,
     ) -> Option<Vec<Record>> {
-        match self.peek(w, k, scoring) {
+        self.lookup_kind(w, k, scoring, RegionKind::Gir)
+    }
+
+    /// Looks up a top-`k` query of either region semantics, counting
+    /// the hit/miss and refreshing LRU order. For
+    /// [`RegionKind::GirStar`] requests the returned records are the
+    /// guaranteed top-`k` *set*; their order is the cached one and may
+    /// differ from the live ranking.
+    pub fn lookup_kind(
+        &mut self,
+        w: &PointD,
+        k: usize,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+    ) -> Option<Vec<Record>> {
+        match self.peek_kind(w, k, scoring, kind) {
             Some(out) => {
                 self.hits += 1;
-                self.promote(w, k, scoring);
+                self.promote_kind(w, k, scoring, kind);
                 Some(out)
             }
             None => {
@@ -97,34 +143,73 @@ impl GirCache {
     /// and promotes hot entries opportunistically via
     /// [`GirCache::promote`].
     pub fn peek(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
+        self.peek_kind(w, k, scoring, RegionKind::Gir)
+    }
+
+    /// [`GirCache::peek`] for either region semantics.
+    pub fn peek_kind(
+        &self,
+        w: &PointD,
+        k: usize,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+    ) -> Option<Vec<Record>> {
         self.entries
             .iter()
-            .find(|e| Self::matches(e, w, k, scoring))
+            .find(|e| Self::matches(e, w, k, scoring, kind))
             .map(|e| Self::prefix(e, k))
     }
 
-    /// Moves the entry that answers `(w, k, scoring)` to the LRU front
-    /// (no counter changes). A no-op when no entry matches.
+    /// Moves the entry that answers `(w, k, scoring)` order-sensitively
+    /// to the LRU front (no counter changes). A no-op when no entry
+    /// matches.
     pub fn promote(&mut self, w: &PointD, k: usize, scoring: &ScoringFunction) {
+        self.promote_kind(w, k, scoring, RegionKind::Gir);
+    }
+
+    /// [`GirCache::promote`] for either region semantics.
+    pub fn promote_kind(
+        &mut self,
+        w: &PointD,
+        k: usize,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+    ) {
         let pos = self
             .entries
             .iter()
-            .position(|e| Self::matches(e, w, k, scoring));
+            .position(|e| Self::matches(e, w, k, scoring, kind));
         if let Some(i) = pos {
             let entry = self.entries.remove(i);
             self.entries.insert(0, entry);
         }
     }
 
-    /// Inserts a computed result with its GIR and scoring function
-    /// (evicting the LRU entry when full).
+    /// Inserts a computed order-sensitive result with its GIR and
+    /// scoring function (evicting the LRU entry when full). Shorthand
+    /// for [`GirCache::insert_kind`] with [`RegionKind::Gir`].
     pub fn insert(&mut self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) {
+        self.insert_kind(region, result, scoring, RegionKind::Gir);
+    }
+
+    /// Inserts a computed result of either region semantics with its
+    /// region and scoring function (evicting the LRU entry when full).
+    pub fn insert_kind(
+        &mut self,
+        region: GirRegion,
+        result: TopKResult,
+        scoring: ScoringFunction,
+        kind: RegionKind,
+    ) {
+        let r_minus = (kind == RegionKind::GirStar).then(|| reduced_result(&result));
         self.entries.insert(
             0,
             CacheEntry {
                 region,
                 result,
                 scoring,
+                kind,
+                r_minus,
             },
         );
         if self.entries.len() > self.capacity {
@@ -171,15 +256,31 @@ impl GirCache {
 
     /// Reacts to a dataset insertion: shrinks every cached region that
     /// partially overlaps the newcomer's winning zone (under that
-    /// entry's own scoring function) and evicts entries whose result is
-    /// stale at their own query. Returns the number of evicted entries
-    /// (see [`crate::maintenance`]).
+    /// entry's own scoring function and region semantics — GIR\*
+    /// entries classify against their `R⁻` pivots) and evicts entries
+    /// whose result is stale at their own query. Returns the number of
+    /// evicted entries (see [`crate::maintenance`]).
     pub fn on_insert(&mut self, rec: &Record) -> usize {
-        use crate::maintenance::{apply_insertion, UpdateImpact};
+        use crate::maintenance::{
+            apply_insertion, classify_insertion_star, StarInsertionImpact, UpdateImpact,
+        };
         let before = self.entries.len();
-        self.entries.retain_mut(|e| {
-            let kth = e.result.kth().clone();
-            apply_insertion(&mut e.region, &kth, rec, &e.scoring) != UpdateImpact::Invalidated
+        self.entries.retain_mut(|e| match e.kind {
+            RegionKind::Gir => {
+                let kth = e.result.kth().clone();
+                apply_insertion(&mut e.region, &kth, rec, &e.scoring) != UpdateImpact::Invalidated
+            }
+            RegionKind::GirStar => {
+                let r_minus = e.r_minus.get_or_insert_with(|| reduced_result(&e.result));
+                match classify_insertion_star(&e.region, r_minus, rec, &e.scoring) {
+                    StarInsertionImpact::Unaffected => true,
+                    StarInsertionImpact::Shrinks(hs) => {
+                        e.region.halfspaces.extend(hs);
+                        true
+                    }
+                    StarInsertionImpact::Invalidated => false,
+                }
+            }
         });
         let dropped = before - self.entries.len();
         self.evictions += dropped as u64;
@@ -222,7 +323,18 @@ impl GirCache {
             return out;
         }
         self.entries.retain_mut(|e| {
-            let verdict = batch.classify(&e.region, &e.result, &e.scoring);
+            // Star entries reuse their admission-time R⁻ instead of
+            // rebuilding the hull-pruned pivot set per batch.
+            let r_minus = match e.kind {
+                RegionKind::GirStar => Some(
+                    e.r_minus
+                        .get_or_insert_with(|| reduced_result(&e.result))
+                        .as_slice(),
+                ),
+                RegionKind::Gir => None,
+            };
+            let verdict =
+                batch.classify_kind_with(&e.region, &e.result, &e.scoring, e.kind, r_minus);
             match verdict.impact {
                 UpdateImpact::Unaffected => {
                     out.untouched += 1;
@@ -238,6 +350,7 @@ impl GirCache {
                         region: &e.region,
                         result: &e.result,
                         scoring: &e.scoring,
+                        kind: e.kind,
                         removed: &verdict.removed_contributors,
                         shrinks: &verdict.shrinks,
                     };
@@ -278,6 +391,10 @@ pub struct RepairRequest<'a> {
     pub result: &'a TopKResult,
     /// The scoring function the entry was computed under.
     pub scoring: &'a ScoringFunction,
+    /// The entry's region semantics: [`RegionKind::Gir`] entries repair
+    /// through [`crate::maintenance::repair_region`], GIR\* entries
+    /// through [`crate::maintenance::repair_region_star`].
+    pub kind: RegionKind,
     /// Contributor ids deleted by the batch.
     pub removed: &'a [u64],
     /// Mandatory shrink half-spaces from the batch's insertions.
@@ -437,6 +554,73 @@ mod tests {
         cache.insert(region(0.0, 1.0), result(&[1, 2]), linear());
         assert_eq!(cache.on_delete(2), 1);
         assert_eq!(cache.evictions(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn region_kinds_match_by_semantics() {
+        let mut cache = GirCache::new(8);
+        let w = PointD::new(vec![0.5, 0.5]);
+        // A GIR* entry with 3 records.
+        cache.insert_kind(
+            region(0.0, 1.0),
+            result(&[1, 2, 3]),
+            linear(),
+            RegionKind::GirStar,
+        );
+        // Order-sensitive requests never hit a star entry (its cached
+        // order may lag the live ranking).
+        assert!(cache.lookup(&w, 3, &linear()).is_none());
+        // Order-insensitive requests hit it only at the exact k — a
+        // prefix of an unordered set would be a guess.
+        assert!(cache
+            .lookup_kind(&w, 2, &linear(), RegionKind::GirStar)
+            .is_none());
+        let hit = cache
+            .lookup_kind(&w, 3, &linear(), RegionKind::GirStar)
+            .unwrap();
+        let mut ids: Vec<u64> = hit.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+
+        // A GIR entry answers both semantics, including by prefix.
+        let mut cache = GirCache::new(8);
+        cache.insert(region(0.0, 1.0), result(&[4, 5, 6]), linear());
+        assert!(cache.lookup(&w, 2, &linear()).is_some());
+        let hit = cache
+            .lookup_kind(&w, 2, &linear(), RegionKind::GirStar)
+            .unwrap();
+        assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn star_entries_shrink_and_evict_on_insert() {
+        let mut cache = GirCache::new(8);
+        let w = PointD::new(vec![0.5, 0.5]);
+        // Star entry whose result records sit at distinct corners.
+        let res = TopKResult {
+            ranked: vec![
+                (Record::new(1, vec![0.2, 0.9]), 0.55),
+                (Record::new(2, vec![0.9, 0.2]), 0.55),
+            ],
+        };
+        cache.insert_kind(region(0.0, 1.0), res, linear(), RegionKind::GirStar);
+
+        // A newcomer losing to both pivots everywhere: untouched.
+        assert_eq!(cache.on_insert(&Record::new(9, vec![0.1, 0.1])), 0);
+        assert_eq!(cache.len(), 1);
+
+        // A newcomer winning against a pivot off-query: shrinks in
+        // place with star provenance.
+        assert_eq!(cache.on_insert(&Record::new(10, vec![0.95, 0.05])), 0);
+        assert_eq!(cache.len(), 1);
+        let shrunk = cache
+            .lookup_kind(&w, 2, &linear(), RegionKind::GirStar)
+            .is_some();
+        assert!(shrunk, "query point must survive an off-query shrink");
+
+        // A newcomer entering the composition at the query: evicted.
+        assert_eq!(cache.on_insert(&Record::new(11, vec![0.95, 0.95])), 1);
         assert!(cache.is_empty());
     }
 

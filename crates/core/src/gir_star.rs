@@ -21,7 +21,7 @@ use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_geometry::vector::PointD;
 use gir_geometry::EPS;
 use gir_query::{HeapEntry, Record, ScoringFunction, SearchState, TopKResult};
-use gir_rtree::{NodeEntries, RTree, RTreeError};
+use gir_rtree::{Mbb, NodeEntries, RTree, RTreeError};
 use std::collections::HashSet;
 
 /// Which Phase 2 machinery computes the `GIR_i` regions.
@@ -33,6 +33,81 @@ pub enum StarMethod {
     ConvexHull,
     /// Concurrent incident-facet stars (linear scoring only).
     Facet,
+}
+
+impl StarMethod {
+    /// The star machinery corresponding to an order-sensitive Phase-2
+    /// method: SP and the full scan share the skyline formulation (GIR\*
+    /// has no cheaper exhaustive strawman), CP and FP map one-to-one.
+    pub fn for_method(method: crate::engine::Method) -> StarMethod {
+        use crate::engine::Method;
+        match method {
+            Method::SkylinePruning | Method::FullScan => StarMethod::Skyline,
+            Method::ConvexHullPruning => StarMethod::ConvexHull,
+            Method::FacetPruning => StarMethod::Facet,
+        }
+    }
+}
+
+/// The concurrent star fan of one GIR\* Phase 2: one incident-facet
+/// star per `R⁻` member. Encapsulates the three rules every star sweep
+/// shares — feed (skip pivots dominating the candidate; `insert()`
+/// already rejects below-star candidates in one scan), node pruning (a
+/// node is pruned only when *every* star prunes it), and emission (one
+/// `StarNonResult` half-space per critical record per star) — so the
+/// tree-walking and mirror-walking sweeps cannot drift.
+pub(crate) struct StarFan<'a> {
+    stars: Vec<(usize, &'a Record, StarHull)>,
+}
+
+impl<'a> StarFan<'a> {
+    /// One star per `R⁻` member, pinned at that member's attributes.
+    pub(crate) fn new(r_minus: &'a [(usize, Record)]) -> StarFan<'a> {
+        StarFan {
+            stars: r_minus
+                .iter()
+                .map(|(rank, rec)| (*rank, rec, StarHull::new(rec.attrs.clone())))
+                .collect(),
+        }
+    }
+
+    /// Feeds one candidate to every star whose pivot does not dominate
+    /// it.
+    pub(crate) fn feed(&mut self, attrs: &PointD, id: u64) {
+        for (_, pivot, star) in self.stars.iter_mut() {
+            if !dominates(&pivot.attrs, attrs) {
+                star.insert(attrs, id);
+            }
+        }
+    }
+
+    /// True when every star prunes the box — only then can the subtree
+    /// hold no candidate that moves any star facet.
+    pub(crate) fn prunes_mbb(&self, m: &Mbb) -> bool {
+        self.stars.iter().all(|(_, _, s)| s.prunes_mbb(m))
+    }
+
+    /// The per-star critical half-spaces plus `(critical, facets)`
+    /// totals.
+    pub(crate) fn finish(self) -> (Vec<HalfSpace>, usize, usize) {
+        let mut halfspaces = Vec::new();
+        let mut facets = 0usize;
+        for (rank, pivot, star) in &self.stars {
+            facets += star.num_facets();
+            for (id, attrs) in star.critical_records() {
+                halfspaces.push(HalfSpace::score_order(
+                    &pivot.attrs,
+                    &attrs,
+                    Provenance::StarNonResult {
+                        rank: *rank,
+                        record_id: id,
+                    },
+                ));
+            }
+        }
+        let critical = halfspaces.len();
+        (halfspaces, critical, facets)
+    }
 }
 
 /// Statistics for a GIR\* computation.
@@ -125,7 +200,7 @@ pub fn gir_star_region(
             hs
         }
         StarMethod::Facet => {
-            let (hs, fp) = fp_star_phase2(tree, &r_minus, state, &result_ids)?;
+            let (hs, fp) = fp_star_phase2(tree, &r_minus, state, &result_ids, &[])?;
             stats.candidates = fp.critical;
             stats.structure_size = fp.facets;
             hs
@@ -137,19 +212,23 @@ pub fn gir_star_region(
 
 /// FP for GIR\*: one star per `R⁻` member, maintained concurrently
 /// (§7.1). An index entry is pruned only when it lies below the facets of
-/// *every* star.
+/// *every* star. `seeds` pre-feeds known candidates (e.g. the surviving
+/// contributors of a region under repair, or a shard's cached skyline)
+/// so the stars start tight; result members must never appear in it.
 fn fp_star_phase2(
     tree: &RTree,
     r_minus: &[(usize, Record)],
     mut state: SearchState,
     result_ids: &HashSet<u64>,
+    seeds: &[Record],
 ) -> Result<(Vec<HalfSpace>, FpStats), RTreeError> {
-    let mut stars: Vec<(usize, &Record, StarHull)> = r_minus
-        .iter()
-        .map(|(rank, rec)| (*rank, rec, StarHull::new(rec.attrs.clone())))
-        .collect();
+    let mut fan = StarFan::new(r_minus);
 
-    let mut t: Vec<Record> = Vec::new();
+    let mut t: Vec<Record> = seeds
+        .iter()
+        .filter(|r| !result_ids.contains(&r.id))
+        .cloned()
+        .collect();
     let mut nodes: Vec<HeapEntry> = Vec::new();
     for entry in state.heap.drain() {
         match entry {
@@ -162,16 +241,8 @@ fn fp_star_phase2(
         let sb: f64 = b.attrs.coords().iter().sum();
         sb.partial_cmp(&sa).expect("non-NaN")
     });
-    let feed = |rec: &Record, stars: &mut Vec<(usize, &Record, StarHull)>| {
-        for (_, pivot, star) in stars.iter_mut() {
-            // insert() already rejects below-star candidates in one scan.
-            if !dominates(&pivot.attrs, &rec.attrs) {
-                star.insert(&rec.attrs, rec.id);
-            }
-        }
-    };
     for rec in &t {
-        feed(rec, &mut stars);
+        fan.feed(&rec.attrs, rec.id);
     }
 
     let mut nodes_examined = 0usize;
@@ -182,7 +253,7 @@ fn fp_star_phase2(
             unreachable!("records were drained")
         };
         if let Some(m) = &mbb {
-            if stars.iter().all(|(_, _, s)| s.prunes_mbb(m)) {
+            if fan.prunes_mbb(m) {
                 nodes_pruned += 1;
                 continue;
             }
@@ -191,7 +262,7 @@ fn fp_star_phase2(
         match tree.read_node(page)?.entries {
             NodeEntries::Internal(children) => {
                 for (child_mbb, child) in children {
-                    if stars.iter().all(|(_, _, s)| s.prunes_mbb(&child_mbb)) {
+                    if fan.prunes_mbb(&child_mbb) {
                         nodes_pruned += 1;
                     } else {
                         stack.push(HeapEntry::Node {
@@ -205,30 +276,14 @@ fn fp_star_phase2(
             NodeEntries::Leaf(records) => {
                 for rec in records {
                     if !result_ids.contains(&rec.id) {
-                        feed(&rec, &mut stars);
+                        fan.feed(&rec.attrs, rec.id);
                     }
                 }
             }
         }
     }
 
-    let mut halfspaces = Vec::new();
-    let mut critical = 0usize;
-    let mut facets = 0usize;
-    for (rank, pivot, star) in &stars {
-        facets += star.num_facets();
-        for (id, attrs) in star.critical_records() {
-            critical += 1;
-            halfspaces.push(HalfSpace::score_order(
-                &pivot.attrs,
-                &attrs,
-                Provenance::StarNonResult {
-                    rank: *rank,
-                    record_id: id,
-                },
-            ));
-        }
-    }
+    let (halfspaces, critical, facets) = fan.finish();
     Ok((
         halfspaces,
         FpStats {
@@ -236,6 +291,53 @@ fn fp_star_phase2(
             facets,
             nodes_examined,
             nodes_pruned,
+        },
+    ))
+}
+
+/// Incremental GIR\* facet rebuild: reruns the concurrent star sweep
+/// over a **root-seeded** search state — no BRS top-k retrieval (the
+/// cached result supplies `R⁻` and the exclusion set). `seeds` carries
+/// the surviving contributors of the region under repair (reconstructed
+/// from their constraint normals — every `StarNonResult` half-space
+/// records its rank, so `g(p) = g(p_i) + normal`), which pre-tighten all
+/// stars before the first node test.
+///
+/// Because the final star of each `R⁻` member is the apex-incident part
+/// of `hull({p_i} ∪ D \ R)` — independent of insertion order — the swept
+/// system is identical to what a from-scratch [`gir_star_region`] with
+/// [`StarMethod::Facet`] produces on the mutated tree
+/// (`tests/proptest_incremental.rs` pins this).
+pub fn fp_star_repair(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    result: &TopKResult,
+    seeds: &[Record],
+) -> Result<(Vec<HalfSpace>, GirStarStats), RTreeError> {
+    assert!(
+        scoring.is_linear(),
+        "GIR* facet repair relies on convex-hull properties that hold \
+         only for linear scoring (paper §7.2)"
+    );
+    let result_ids: HashSet<u64> = result.ids().into_iter().collect();
+    let r_minus = reduced_result(result);
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(HeapEntry::Node {
+        page: tree.root_page(),
+        maxscore: f64::INFINITY,
+        mbb: None,
+    });
+    let state = SearchState {
+        heap,
+        leaf_pages_read: 0,
+    };
+    let (hs, fp) = fp_star_phase2(tree, &r_minus, state, &result_ids, seeds)?;
+    Ok((
+        hs,
+        GirStarStats {
+            reduced_result: r_minus.len(),
+            candidates: fp.critical,
+            structure_size: fp.facets,
         },
     ))
 }

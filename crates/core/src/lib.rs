@@ -28,6 +28,8 @@
 //!
 //! The top-level entry point is [`GirEngine`].
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod cp;
 pub mod engine;
@@ -47,9 +49,13 @@ pub mod viz;
 
 pub use cache::{BatchOutcome, GirCache, RepairRequest};
 pub use engine::{GirEngine, GirError, GirOutput, GirStats, Method};
-pub use maintenance::{repair_region, BatchImpact, DeltaBatch, InsertionImpact, UpdateImpact};
+pub use gir_star::{fp_star_repair, reduced_result, StarMethod};
+pub use maintenance::{
+    classify_insertion_star, repair_region, repair_region_star, BatchImpact, DeltaBatch,
+    InsertionImpact, StarInsertionImpact, UpdateImpact,
+};
 pub use mirror::TreeMirror;
 pub use prune::{ExcludedSkyline, PruneIndex, PruneIndexStats, PruneState};
-pub use region::{BoundaryEvent, GirRegion, ReducedGir};
-pub use sharded::{gir_sharded, topk_sharded, ShardView};
+pub use region::{BoundaryEvent, GirRegion, ReducedGir, RegionKind};
+pub use sharded::{gir_sharded, gir_star_sharded, topk_sharded, ShardView};
 pub use viz::{slide_bar_bounds, SlideBarBounds};

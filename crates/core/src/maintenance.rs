@@ -34,7 +34,8 @@
 //!   update.
 
 use crate::fp::fp_repair;
-use crate::region::GirRegion;
+use crate::gir_star::{fp_star_repair, reduced_result};
+use crate::region::{GirRegion, RegionKind};
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_geometry::lp::{improves_somewhere, ConsView};
 use gir_geometry::vector::PointD;
@@ -129,6 +130,69 @@ pub fn apply_insertion(
             region.halfspaces.push(h);
             UpdateImpact::Shrunk
         }
+    }
+}
+
+/// Effect of one insertion on a cached GIR\* region
+/// ([`classify_insertion_star`]): like [`InsertionImpact`], but a
+/// newcomer can shrink the region through *several* per-rank conditions
+/// at once.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StarInsertionImpact {
+    /// The newcomer never out-scores any `R⁻` pivot inside the region.
+    Unaffected,
+    /// The newcomer wins against these pivots somewhere in the region
+    /// but not at the cached query: intersecting with all of them
+    /// yields the new GIR\*.
+    Shrinks(Vec<HalfSpace>),
+    /// The newcomer enters the composition at the cached query itself:
+    /// the result set is stale.
+    Invalidated,
+}
+
+/// Classifies the insertion of `rec` against a cached GIR\* region
+/// whose reduced result (with ranks) is `r_minus` — at most one LP
+/// feasibility check per non-dominating pivot, no top-k recompute, no
+/// mutation.
+///
+/// The composition goes stale at `q'` iff the newcomer out-scores
+/// *some* result member there (it then enters the top-k set), and by
+/// the §7.1 result-side shielding it suffices to test the `R⁻` pivots:
+/// the new GIR\* for an unchanged composition is exactly
+/// `old ∩ ⋂_i {S(p_i, q') ≥ S(p, q')}` over `p_i ∈ R⁻`.
+pub fn classify_insertion_star(
+    region: &GirRegion,
+    r_minus: &[(usize, Record)],
+    rec: &Record,
+    scoring: &ScoringFunction,
+) -> StarInsertionImpact {
+    let rec_t = scoring.transform_point(&rec.attrs);
+    let mut shrinks = Vec::new();
+    for (rank, pivot) in r_minus {
+        let pi_t = scoring.transform_point(&pivot.attrs);
+        let obj = rec_t.sub(&pi_t);
+        // Fast paths before the LP, exactly as in `classify_insertion`.
+        if obj.coords().iter().all(|&v| v <= EPS) {
+            continue; // the pivot dominates the newcomer: never beaten
+        }
+        if obj.dot(&region.query) > EPS {
+            return StarInsertionImpact::Invalidated;
+        }
+        if improves_somewhere(&obj, ConsView::Half(&region.halfspaces), 0.0, 1.0, EPS) {
+            shrinks.push(HalfSpace::score_order(
+                &pi_t,
+                &rec_t,
+                Provenance::StarNonResult {
+                    rank: *rank,
+                    record_id: rec.id,
+                },
+            ));
+        }
+    }
+    if shrinks.is_empty() {
+        StarInsertionImpact::Unaffected
+    } else {
+        StarInsertionImpact::Shrinks(shrinks)
     }
 }
 
@@ -257,15 +321,49 @@ impl DeltaBatch {
         self.inserts.is_empty() && self.deletes.is_empty()
     }
 
-    /// Classifies the whole batch against one cached region in a single
-    /// pass: deletions first (set membership only), then one LP
-    /// feasibility check per non-dominated insert. Returns early on the
-    /// first invalidation.
+    /// Classifies the whole batch against one cached (order-sensitive)
+    /// region in a single pass: deletions first (set membership only),
+    /// then one LP feasibility check per non-dominated insert. Returns
+    /// early on the first invalidation. Equivalent to
+    /// [`DeltaBatch::classify_kind`] with [`RegionKind::Gir`].
     pub fn classify(
         &self,
         region: &GirRegion,
         result: &TopKResult,
         scoring: &ScoringFunction,
+    ) -> BatchImpact {
+        self.classify_kind(region, result, scoring, RegionKind::Gir)
+    }
+
+    /// Classifies the whole batch against one cached region of either
+    /// kind. Deletions are kind-independent (a deleted result member
+    /// invalidates, a deleted facet contributor asks for repair);
+    /// insertions are classified against the pivot the entry's
+    /// semantics pin — `p_k` for a GIR, every `R⁻` per-rank pivot for a
+    /// GIR\* ([`classify_insertion_star`]). Derives `R⁻` from the
+    /// result for GIR\* entries; callers holding it precomputed (the
+    /// result is immutable for a cache entry's lifetime) should use
+    /// [`DeltaBatch::classify_kind_with`] instead.
+    pub fn classify_kind(
+        &self,
+        region: &GirRegion,
+        result: &TopKResult,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+    ) -> BatchImpact {
+        self.classify_kind_with(region, result, scoring, kind, None)
+    }
+
+    /// [`DeltaBatch::classify_kind`] with an optional precomputed `R⁻`
+    /// (with ranks) for GIR\* entries, skipping the per-entry hull
+    /// rebuild. Ignored for [`RegionKind::Gir`]; `None` derives it.
+    pub fn classify_kind_with(
+        &self,
+        region: &GirRegion,
+        result: &TopKResult,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+        r_minus: Option<&[(usize, Record)]>,
     ) -> BatchImpact {
         let result_ids = result.ids();
         if self.deletes.iter().any(|id| result_ids.contains(id)) {
@@ -278,13 +376,37 @@ impl DeltaBatch {
             .filter(|&id| region.contributes(id))
             .collect();
 
-        let kth = result.kth();
         let mut shrinks = Vec::new();
-        for rec in &self.inserts {
-            match classify_insertion(region, kth, rec, scoring) {
-                InsertionImpact::Invalidated => return BatchImpact::invalidated(),
-                InsertionImpact::Shrinks(h) => shrinks.push(h),
-                InsertionImpact::Unaffected => {}
+        match kind {
+            RegionKind::Gir => {
+                let kth = result.kth();
+                for rec in &self.inserts {
+                    match classify_insertion(region, kth, rec, scoring) {
+                        InsertionImpact::Invalidated => return BatchImpact::invalidated(),
+                        InsertionImpact::Shrinks(h) => shrinks.push(h),
+                        InsertionImpact::Unaffected => {}
+                    }
+                }
+            }
+            RegionKind::GirStar => {
+                // `R⁻` is a pure function of the cached result: use the
+                // caller's precomputed copy, or derive it once per
+                // entry — never once per insert.
+                let derived;
+                let r_minus = match r_minus {
+                    Some(rm) => rm,
+                    None => {
+                        derived = reduced_result(result);
+                        &derived
+                    }
+                };
+                for rec in &self.inserts {
+                    match classify_insertion_star(region, r_minus, rec, scoring) {
+                        StarInsertionImpact::Invalidated => return BatchImpact::invalidated(),
+                        StarInsertionImpact::Shrinks(hs) => shrinks.extend(hs),
+                        StarInsertionImpact::Unaffected => {}
+                    }
+                }
             }
         }
 
@@ -369,6 +491,57 @@ pub fn repair_region(
     let (phase2, _stats) = fp_repair(tree, scoring, result, &interim, &seeds)?;
     let mut halfspaces = ordering;
     halfspaces.extend(phase2);
+    Ok(GirRegion::new(region.d, region.query.clone(), halfspaces))
+}
+
+/// Rebuilds a cached **GIR\*** region after the records in `removed`
+/// were deleted, restoring maximality without recomputing the top-k:
+/// the surviving contributors are reconstructed from their constraint
+/// normals (each `StarNonResult` half-space records its rank, so
+/// `g(p) = g(p_rank) + normal`) and seed a root-seeded concurrent star
+/// sweep pinned at the cached `R⁻` pivots ([`fp_star_repair`]). The
+/// swept system *is* the from-scratch Phase 2 on the mutated tree —
+/// star contents are insertion-order-independent — so the repaired
+/// region is identical to a recompute, not merely sound
+/// (`tests/proptest_incremental.rs` pins this).
+///
+/// `shrinks` carries the per-pivot half-spaces of same-batch newcomers;
+/// their records are live (the tree was mutated before classification),
+/// so they double as extra seeds and the sweep re-derives their
+/// critical conditions.
+///
+/// Only valid when the batch did **not** invalidate the entry (the
+/// cached result is still the true top-k *composition* at the cached
+/// query) and the scoring function is linear (an FP restriction, §7.2).
+pub fn repair_region_star(
+    tree: &RTree,
+    scoring: &ScoringFunction,
+    result: &TopKResult,
+    region: &GirRegion,
+    removed: &[u64],
+    shrinks: &[HalfSpace],
+) -> Result<GirRegion, RTreeError> {
+    let mut seeds: Vec<Record> = Vec::new();
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for h in region.halfspaces.iter().chain(shrinks) {
+        if let Provenance::StarNonResult { rank, record_id } = h.provenance {
+            if removed.contains(&record_id) || !seen.insert(record_id) {
+                continue;
+            }
+            // A rank beyond the cached result (a malformed
+            // region/result pairing) cannot name a pivot; the sweep
+            // rediscovers every candidate from disk anyway, so a
+            // skipped seed costs pruning tightness, never soundness.
+            let Some((pivot, _)) = result.ranked.get(rank) else {
+                continue;
+            };
+            // normal = g(p) − g(p_rank); linear scoring means the
+            // transformed point is the attribute vector itself.
+            let pivot_t = scoring.transform_point(&pivot.attrs);
+            seeds.push(Record::new(record_id, pivot_t.add(&h.normal)));
+        }
+    }
+    let (halfspaces, _stats) = fp_star_repair(tree, scoring, result, &seeds)?;
     Ok(GirRegion::new(region.d, region.query.clone(), halfspaces))
 }
 
@@ -542,6 +715,141 @@ mod tests {
         batch.record_insert(&Record::new(9, vec![0.9, 0.9]));
         let bi = batch.classify(&region, &result, &f);
         assert_eq!(bi.impact, UpdateImpact::Invalidated);
+    }
+
+    #[test]
+    fn star_insertion_classifies_per_pivot() {
+        // Two pivots far apart; region = whole unit square.
+        let r_minus = vec![
+            (0usize, Record::new(1, vec![0.2, 0.9])),
+            (1usize, Record::new(2, vec![0.9, 0.2])),
+        ];
+        let region = GirRegion::new(2, PointD::new(vec![0.5, 0.5]), Vec::new());
+        let f = ScoringFunction::linear(2);
+
+        // Dominated by both pivots? Impossible here; dominated by each
+        // individually is not enough — (0.1, 0.1) is dominated by both.
+        let dud = Record::new(9, vec![0.1, 0.1]);
+        assert_eq!(
+            classify_insertion_star(&region, &r_minus, &dud, &f),
+            StarInsertionImpact::Unaffected
+        );
+
+        // A record that out-scores pivot 2 only at extreme x-weights:
+        // it loses to both pivots at q = (0.5, 0.5), wins somewhere.
+        let edge = Record::new(10, vec![0.95, 0.05]);
+        match classify_insertion_star(&region, &r_minus, &edge, &f) {
+            StarInsertionImpact::Shrinks(hs) => {
+                assert!(!hs.is_empty());
+                for h in &hs {
+                    assert!(matches!(
+                        h.provenance,
+                        Provenance::StarNonResult { record_id: 10, .. }
+                    ));
+                }
+            }
+            other => panic!("expected shrink, got {other:?}"),
+        }
+
+        // A record beating a pivot at the cached query itself: stale.
+        let champ = Record::new(11, vec![0.95, 0.95]);
+        assert_eq!(
+            classify_insertion_star(&region, &r_minus, &champ, &f),
+            StarInsertionImpact::Invalidated
+        );
+    }
+
+    #[test]
+    fn star_batch_classification_and_repair_match_recompute() {
+        use crate::engine::{GirEngine, Method};
+        use crate::gir_star::naive_gir_star_contains;
+        use crate::region::RegionKind;
+        use gir_query::QueryVector;
+        use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+        use std::collections::HashSet;
+        use std::sync::Arc;
+
+        let mut s = 0x57A6u64 | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut data: Vec<Record> = (0..300)
+            .map(|i| Record::new(i as u64, vec![next(), next()]))
+            .collect();
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let mut tree = RTree::bulk_load(store, &data).unwrap();
+        let f = ScoringFunction::linear(2);
+        let q = QueryVector::new(vec![0.6, 0.5]);
+
+        let out = {
+            let engine = GirEngine::new(&tree);
+            engine.gir_star(&q, 5, Method::FacetPruning).unwrap()
+        };
+        let result_ids = out.result.ids();
+        let victim = out
+            .region
+            .contributor_ids()
+            .find(|id| !result_ids.contains(id))
+            .expect("non-trivial GIR* has non-result contributors");
+
+        // Delete the contributor; the star classification must ask for
+        // repair, and the repaired region must equal a from-scratch
+        // GIR* on the mutated tree.
+        let attrs = data.iter().find(|r| r.id == victim).unwrap().attrs.clone();
+        assert!(tree.delete(victim, &attrs).unwrap());
+        data.retain(|r| r.id != victim);
+        let mut batch = DeltaBatch::new();
+        batch.record_delete_at(victim, &attrs);
+        let verdict = batch.classify_kind(&out.region, &out.result, &f, RegionKind::GirStar);
+        assert_eq!(verdict.impact, UpdateImpact::NeedsRepair);
+        assert_eq!(verdict.removed_contributors, vec![victim]);
+
+        let repaired = repair_region_star(
+            &tree,
+            &f,
+            &out.result,
+            &out.region,
+            &verdict.removed_contributors,
+            &verdict.shrinks,
+        )
+        .unwrap();
+        assert!(!repaired.contributes(victim));
+        assert!(repaired.contains(&q.weights));
+
+        let engine = GirEngine::new(&tree);
+        let oracle = engine.gir_star(&q, 5, Method::FacetPruning).unwrap();
+        assert_eq!(oracle.result.ids(), out.result.ids());
+        let ids: HashSet<u64> = result_ids.iter().copied().collect();
+        let mut s2 = 0xFADEu64;
+        let mut nextf = move || {
+            s2 ^= s2 << 13;
+            s2 ^= s2 >> 7;
+            s2 ^= s2 << 17;
+            (s2 >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..300 {
+            let wp = PointD::new(vec![nextf(), nextf()]);
+            let a = repaired.contains(&wp);
+            let b = oracle.region.contains(&wp);
+            if a != b {
+                let margin: f64 = repaired
+                    .halfspaces
+                    .iter()
+                    .chain(&oracle.region.halfspaces)
+                    .map(|h| h.slack(&wp))
+                    .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+                assert!(margin < 1e-6, "star repair ≠ recompute at {wp:?}");
+            }
+            if a {
+                assert!(
+                    naive_gir_star_contains(&data, &f, &ids, &wp),
+                    "repaired GIR* admits a stale point {wp:?}"
+                );
+            }
+        }
     }
 
     #[test]

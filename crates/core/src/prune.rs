@@ -45,6 +45,7 @@
 
 use crate::engine::Method;
 use crate::mirror::{Frontier, FrontierEntry, MirrorNode, TreeMirror};
+use crate::region::RegionKind;
 use gir_geometry::dominance::{dominates, SkylineSet};
 use gir_geometry::hull::ConvexHull;
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
@@ -85,15 +86,20 @@ pub struct PruneIndexStats {
     pub skyline_size: usize,
 }
 
-/// Key of one shared Phase-2 system: the half-spaces
-/// `S(p_k, q') ≥ S(x, q')` depend only on the result *set*, the pivot
-/// `p_k`, and the Phase-2 method — not on the query vector — so every
-/// miss reproducing the same ranking set reuses them verbatim.
+/// Key of one shared Phase-2 system. For the order-sensitive GIR the
+/// half-spaces `S(p_k, q') ≥ S(x, q')` depend only on the result *set*,
+/// the pivot `p_k`, and the Phase-2 method; for GIR\* the conditions are
+/// pinned at *per-rank* pivots, so the key additionally carries the
+/// region kind and its `result` ids are stored in **rank order** (the
+/// ranks identify the pivots). Neither depends on the query vector, so
+/// every miss reproducing the same ranking reuses the system verbatim.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Phase2Key {
+    kind: RegionKind,
     method: Method,
     pk: u64,
-    /// Sorted result ids.
+    /// Result ids: sorted for [`RegionKind::Gir`], in rank order for
+    /// [`RegionKind::GirStar`].
     result: Vec<u64>,
 }
 
@@ -102,6 +108,10 @@ struct Phase2Entry {
     scoring: ScoringFunction,
     /// Transformed pivot attributes `g(p_k)`.
     pk_t: PointD,
+    /// The per-rank transformed pivots `(rank, g(p_rank))` of a GIR\*
+    /// system (`R⁻` only); empty for order-sensitive entries. Inserts
+    /// append one score-order half-space per non-dominating pivot.
+    star_pivots: Vec<(usize, PointD)>,
     halfspaces: Arc<Vec<HalfSpace>>,
     /// The `structure_size` of the producing computation.
     structure: usize,
@@ -190,6 +200,28 @@ impl PruneState {
                 })
             })
             .as_deref()
+    }
+
+    /// The CP candidate set of an excluded skyline: its convex-hull
+    /// members, reusing the cached hull-of-skyline when the result left
+    /// the shared skyline untouched (then the cached hull IS the hull
+    /// of the candidate set), hull-filtering the derived set otherwise.
+    /// The one implementation shared by the single-tree indexed path
+    /// and both sharded Phase-2 forms, so the reuse condition cannot
+    /// drift between them.
+    pub fn hull_candidates<'a>(&self, sky: &'a ExcludedSkyline) -> Vec<&'a Record> {
+        match (sky.touched, self.hull_ids()) {
+            (false, Some(hull)) => sky
+                .records
+                .iter()
+                .filter(|r| hull.binary_search(&r.id).is_ok())
+                .collect(),
+            _ => {
+                let kept = crate::cp::hull_filter(&sky.records);
+                let ids: HashSet<u64> = kept.iter().map(|r| r.id).collect();
+                sky.records.iter().filter(|r| ids.contains(&r.id)).collect()
+            }
+        }
     }
 
     /// The decoded tree for this dataset version, building it on first
@@ -470,20 +502,25 @@ impl PruneIndex {
         }
     }
 
-    /// Looks up the shared Phase-2 system for `(method, result, p_k)`
-    /// under `scoring`. Returns the half-spaces (shared, not cloned)
-    /// and the producing computation's structure size.
+    /// Looks up the shared Phase-2 system for
+    /// `(kind, method, result, p_k)` under `scoring`. `result_ids` must
+    /// be sorted for [`RegionKind::Gir`] and in rank order for
+    /// [`RegionKind::GirStar`] (see [`Phase2Key`]). Returns the
+    /// half-spaces (shared, not cloned) and the producing computation's
+    /// structure size.
     pub(crate) fn phase2_lookup(
         &self,
+        kind: RegionKind,
         method: Method,
-        result_ids_sorted: &[u64],
+        result_ids: &[u64],
         pk: u64,
         scoring: &ScoringFunction,
     ) -> Option<(Arc<Vec<HalfSpace>>, usize)> {
         let key = Phase2Key {
+            kind,
             method,
             pk,
-            result: result_ids_sorted.to_vec(),
+            result: result_ids.to_vec(),
         };
         let guard = self.phase2.read().unwrap_or_else(PoisonError::into_inner);
         let entry = guard.get(&key).filter(|e| e.scoring == *scoring);
@@ -499,31 +536,38 @@ impl PruneIndex {
         }
     }
 
-    /// Admits a freshly computed Phase-2 system.
+    /// Admits a freshly computed Phase-2 system. `star_pivots` carries
+    /// the `(rank, g(p_rank))` pivots of a GIR\* system (`R⁻` only) and
+    /// must be empty for [`RegionKind::Gir`] entries.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn phase2_admit(
         &self,
+        kind: RegionKind,
         method: Method,
-        result_ids_sorted: Vec<u64>,
+        result_ids: Vec<u64>,
         pk: u64,
         scoring: &ScoringFunction,
         pk_t: PointD,
+        star_pivots: Vec<(usize, PointD)>,
         halfspaces: Arc<Vec<HalfSpace>>,
         structure: usize,
     ) {
+        debug_assert!(kind == RegionKind::GirStar || star_pivots.is_empty());
         let mut guard = self.phase2.write().unwrap_or_else(PoisonError::into_inner);
         if guard.len() >= PHASE2_CACHE_CAP {
             guard.clear();
         }
         guard.insert(
             Phase2Key {
+                kind,
                 method,
                 pk,
-                result: result_ids_sorted,
+                result: result_ids,
             },
             Phase2Entry {
                 scoring: scoring.clone(),
                 pk_t,
+                star_pivots,
                 halfspaces,
                 structure,
             },
@@ -547,8 +591,10 @@ impl PruneIndex {
             .unwrap_or_else(PoisonError::into_inner)
             .retain(|key, entry| {
                 !key.result.contains(&id)
-                    && !entry.halfspaces.iter().any(|h| {
-                        matches!(h.provenance, Provenance::NonResult { record_id } if record_id == id)
+                    && !entry.halfspaces.iter().any(|h| match h.provenance {
+                        Provenance::NonResult { record_id }
+                        | Provenance::StarNonResult { record_id, .. } => record_id == id,
+                        _ => false,
                     })
             });
     }
@@ -615,21 +661,44 @@ impl PruneIndex {
             let mut p2 = self.phase2.write().unwrap_or_else(PoisonError::into_inner);
             for entry in p2.values_mut() {
                 let rec_t = entry.scoring.transform_point(&rec.attrs);
-                // A newcomer dominated by the pivot (in transformed
-                // space) can never out-score it: constraint redundant.
-                if rec_t
-                    .coords()
-                    .iter()
-                    .zip(entry.pk_t.coords())
-                    .all(|(&a, &b)| a - b <= EPS)
-                {
-                    continue;
+                // A newcomer dominated by a pivot (in transformed space)
+                // can never out-score it: that constraint is redundant.
+                let dominated = |pivot: &PointD| {
+                    rec_t
+                        .coords()
+                        .iter()
+                        .zip(pivot.coords())
+                        .all(|(&a, &b)| a - b <= EPS)
+                };
+                if entry.star_pivots.is_empty() {
+                    if dominated(&entry.pk_t) {
+                        continue;
+                    }
+                    Arc::make_mut(&mut entry.halfspaces).push(HalfSpace::score_order(
+                        &entry.pk_t,
+                        &rec_t,
+                        Provenance::NonResult { record_id: rec.id },
+                    ));
+                } else {
+                    // GIR* system: one condition per surviving rank
+                    // pivot (`R⁻`) that does not dominate the newcomer —
+                    // exactly the constraints a from-scratch star sweep
+                    // would retain for it (or strictly more; extras are
+                    // genuine conditions, hence redundant not wrong).
+                    for (rank, pivot) in &entry.star_pivots {
+                        if dominated(pivot) {
+                            continue;
+                        }
+                        Arc::make_mut(&mut entry.halfspaces).push(HalfSpace::score_order(
+                            pivot,
+                            &rec_t,
+                            Provenance::StarNonResult {
+                                rank: *rank,
+                                record_id: rec.id,
+                            },
+                        ));
+                    }
                 }
-                Arc::make_mut(&mut entry.halfspaces).push(HalfSpace::score_order(
-                    &entry.pk_t,
-                    &rec_t,
-                    Provenance::NonResult { record_id: rec.id },
-                ));
             }
         }
         let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);

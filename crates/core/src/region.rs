@@ -14,6 +14,29 @@ use gir_geometry::vector::PointD;
 use gir_geometry::volume::{region_volume, VolumeEstimate, VolumeOptions};
 use gir_geometry::EPS;
 
+/// Which region semantics a `(region, result)` pair was computed under.
+///
+/// The two kinds the paper defines are not interchangeable as cache
+/// entries: a [`RegionKind::Gir`] region (Definition 1) preserves the
+/// result's composition *and order*, so any top-`k` prefix of its cached
+/// result is exact anywhere inside the region; a [`RegionKind::GirStar`]
+/// region (Definition 2, §7.1) preserves only the *composition* — inside
+/// it the cached records are guaranteed to be the top-k **set**, but
+/// their order (and hence any shorter prefix) may differ from the live
+/// ranking. Caches therefore carry the kind as a key dimension:
+/// order-sensitive requests match only `Gir` entries, order-insensitive
+/// requests match `GirStar` entries of the exact result size or any
+/// `Gir` entry (GIR ⊆ GIR\*, and an ordered answer is a valid
+/// composition answer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// The order-sensitive GIR of Definition 1.
+    #[default]
+    Gir,
+    /// The order-insensitive GIR\* of Definition 2 (§7.1).
+    GirStar,
+}
+
 /// A global immutable region: all query vectors preserving the top-k
 /// result of `query`.
 #[derive(Debug, Clone)]

@@ -42,16 +42,18 @@
 //! membership, and reduced facet set — for S ∈ {1,2,4,8} under random
 //! update interleavings.
 
-use crate::cp::hull_filter;
 use crate::engine::{GirError, GirOutput, GirStats, Method};
 use crate::fullscan::fullscan_phase2;
-use crate::mirror::{fp_sweep_mirror, Frontier, FrontierEntry, TreeMirror};
+use crate::gir_star::{reduced_result, StarFan, StarMethod};
+use crate::mirror::{fp_sweep_mirror, Frontier, FrontierEntry, MirrorNode, TreeMirror};
 use crate::phase1::ordering_halfspaces;
 use crate::prune::{PruneIndex, PruneState};
-use crate::region::GirRegion;
+use crate::region::{GirRegion, RegionKind};
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
+use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, Record, ScoringFunction, TopKResult};
-use gir_rtree::RTree;
+use gir_rtree::{Mbb, RTree};
+use gir_storage::PageId;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -198,7 +200,7 @@ pub fn gir_sharded(
         } else {
             match shard
                 .index
-                .phase2_lookup(method, &ids_sorted, kth.id, scoring)
+                .phase2_lookup(RegionKind::Gir, method, &ids_sorted, kth.id, scoring)
             {
                 Some(hit) => hit,
                 None => {
@@ -214,11 +216,13 @@ pub fn gir_sharded(
                     );
                     let hs = Arc::new(hs);
                     shard.index.phase2_admit(
+                        RegionKind::Gir,
                         method,
                         ids_sorted.clone(),
                         kth.id,
                         scoring,
                         scoring.transform_point(&kth.attrs),
+                        Vec::new(),
                         hs.clone(),
                         structure,
                     );
@@ -304,26 +308,299 @@ fn shard_phase2(
             let hs: Vec<HalfSpace> = if method == Method::SkylinePruning {
                 sky.records.iter().map(halfspace).collect()
             } else {
-                let on_hull: Vec<&Record> = match (sky.touched, state.hull_ids()) {
-                    // Untouched shard skyline: the cached hull-of-skyline
-                    // IS the hull of the candidate set.
-                    (false, Some(hull)) => sky
-                        .records
-                        .iter()
-                        .filter(|r| hull.binary_search(&r.id).is_ok())
-                        .collect(),
-                    _ => {
-                        let kept = hull_filter(&sky.records);
-                        let ids: HashSet<u64> = kept.iter().map(|r| r.id).collect();
-                        sky.records.iter().filter(|r| ids.contains(&r.id)).collect()
-                    }
-                };
-                on_hull.into_iter().map(halfspace).collect()
+                state
+                    .hull_candidates(&sky)
+                    .into_iter()
+                    .map(halfspace)
+                    .collect()
             };
             (hs, structure)
         }
         Method::FullScan => unreachable!("handled by the caller"),
     }
+}
+
+/// Computes the global top-k and its order-insensitive GIR\* (§7.1)
+/// over a sharded dataset.
+///
+/// The GIR\* conditions partition exactly like the GIR's: the region is
+///
+/// ```text
+/// GIR*(D) = box ∩ ⋂_i ⋂_s { q' : S(p_i, q') ≥ S(p, q') ∀ p ∈ D_s \ R }
+/// ```
+///
+/// for the *per-rank* pivots `p_i ∈ R⁻` — there are no ordering
+/// constraints, and every per-record condition names one non-result
+/// record, so per-shard systems intersect to the global region. The
+/// plan mirrors [`gir_sharded`]: the merge phase is identical (global
+/// `R`, and hence `R⁻`, must exist before any shard runs Phase 2), and
+/// each shard then runs the *star* form of the method's sweep against
+/// the global pivots — SP/CP derive `skyline(D_s \ R)` from the shard's
+/// cached skyline and emit one condition per `(pivot, candidate)` pair,
+/// FP maintains one incident-facet star **per `R⁻` member** over the
+/// shard's re-seeded frontier, pruning a node only when *every* star
+/// prunes it. Per-shard systems are cached in the shard's prune index
+/// keyed by `(RegionKind::GirStar, method, result-in-rank-order, p_k)`
+/// — the rank order is what identifies the per-rank pivots — and
+/// maintained under that shard's deltas (inserts append one condition
+/// per non-dominating pivot; deletes purge systems naming the record).
+///
+/// `FullScan` maps to the skyline formulation exactly as
+/// [`crate::engine::GirEngine::gir_star`] does (GIR\* has no cheaper
+/// exhaustive strawman). The differential harness
+/// (`tests/proptest_star_shard.rs`) pins sharded ≡ single-tree GIR\*
+/// for S ∈ {1,2,4,8}, both placements, d ∈ {2..5}, under random update
+/// interleavings.
+pub fn gir_star_sharded(
+    shards: &[ShardView<'_>],
+    scoring: &ScoringFunction,
+    q: &QueryVector,
+    k: usize,
+    method: Method,
+) -> Result<GirOutput, GirError> {
+    if !method.supports(scoring) {
+        return Err(GirError::UnsupportedScoring { method });
+    }
+    if shards.is_empty() {
+        return Err(GirError::EmptyResult);
+    }
+    let d = scoring.dim();
+    for s in shards {
+        assert_eq!(s.tree.dim(), d, "shard dimensionality mismatch");
+    }
+    let star_method = StarMethod::for_method(method);
+
+    let (states, mirrors) = snapshot_shards(shards)?;
+    let io_before: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
+
+    let t0 = Instant::now();
+    let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
+        .iter()
+        .map(|m| m.topk(scoring, &q.weights, k))
+        .collect();
+    let ranked = merge_ranked(&runs, k);
+    if ranked.is_empty() {
+        return Err(GirError::EmptyResult);
+    }
+    let result = TopKResult { ranked };
+    let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let io_topk: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
+
+    let t1 = Instant::now();
+    // Result-side pruning is global (it only reads `R`); the per-rank
+    // transformed pivots below are both the Phase-2 input and the cache
+    // entries' maintenance state.
+    let r_minus = reduced_result(&result);
+    let pivots_t: Vec<(usize, PointD)> = r_minus
+        .iter()
+        .map(|(rank, rec)| (*rank, scoring.transform_point(&rec.attrs)))
+        .collect();
+    let kth = result.kth().clone();
+    // Rank order, not sorted: the GIR* cache key (ranks name pivots).
+    let ids_ranked = result.ids();
+    let result_id_set: HashSet<u64> = ids_ranked.iter().copied().collect();
+
+    let mut halfspaces: Vec<HalfSpace> = Vec::new();
+    let mut candidates = 0usize;
+    let mut structure_total = 0usize;
+    for (((shard, state), mirror), (shard_res, mut frontier)) in
+        shards.iter().zip(&states).zip(&mirrors).zip(runs)
+    {
+        // Re-seed shard-ranked records that missed the global result,
+        // exactly as in `gir_sharded`: they are non-result candidates
+        // the retained frontier no longer covers.
+        for (rec, score) in &shard_res.ranked {
+            if !result_id_set.contains(&rec.id) {
+                frontier
+                    .heap
+                    .push(FrontierEntry::Rec { rec, score: *score });
+            }
+        }
+
+        let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = match shard.index.phase2_lookup(
+            RegionKind::GirStar,
+            method,
+            &ids_ranked,
+            kth.id,
+            scoring,
+        ) {
+            Some(hit) => hit,
+            None => {
+                let (hs, structure) = shard_star_phase2(
+                    scoring,
+                    star_method,
+                    state.as_ref(),
+                    mirror.as_ref(),
+                    &pivots_t,
+                    &r_minus,
+                    &result,
+                    &result_id_set,
+                    frontier,
+                );
+                let hs = Arc::new(hs);
+                shard.index.phase2_admit(
+                    RegionKind::GirStar,
+                    method,
+                    ids_ranked.clone(),
+                    kth.id,
+                    scoring,
+                    scoring.transform_point(&kth.attrs),
+                    pivots_t.clone(),
+                    hs.clone(),
+                    structure,
+                );
+                (hs, structure)
+            }
+        };
+        candidates += phase2.len();
+        structure_total += structure;
+        halfspaces.extend(phase2.iter().cloned());
+    }
+
+    // No ordering half-spaces: Definition 2 is order-insensitive.
+    let region = GirRegion::new(d, q.weights.clone(), halfspaces);
+    let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let io_after: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
+
+    let stats = GirStats {
+        topk_ms,
+        topk_pages: io_topk
+            .iter()
+            .zip(&io_before)
+            .map(|(a, b)| a.reads_since(b))
+            .sum(),
+        gir_cpu_ms,
+        gir_pages: io_after
+            .iter()
+            .zip(&io_topk)
+            .map(|(a, b)| a.reads_since(b))
+            .sum(),
+        candidates,
+        structure_size: structure_total,
+        halfspaces: region.num_halfspaces(),
+    };
+    Ok(GirOutput {
+        result,
+        region,
+        stats,
+    })
+}
+
+/// One shard's GIR\* Phase 2 against the global `R⁻` pivots: the star
+/// form of [`shard_phase2`]. SP emits every `(pivot, skyline-candidate)`
+/// condition; CP hull-filters the candidates first (reusing the cached
+/// hull-of-skyline when the result left the shard skyline untouched);
+/// FP runs the concurrent incident-facet stars over the shard's mirror.
+#[allow(clippy::too_many_arguments)]
+fn shard_star_phase2(
+    scoring: &ScoringFunction,
+    star_method: StarMethod,
+    state: &PruneState,
+    mirror: &TreeMirror,
+    pivots_t: &[(usize, PointD)],
+    r_minus: &[(usize, Record)],
+    result: &TopKResult,
+    result_id_set: &HashSet<u64>,
+    frontier: Frontier<'_>,
+) -> (Vec<HalfSpace>, usize) {
+    match star_method {
+        StarMethod::Skyline | StarMethod::ConvexHull => {
+            let sky = state.skyline_excluding_mirror(mirror, result, frontier);
+            let structure = sky.records.len();
+            let kept: Vec<&Record> = if star_method == StarMethod::Skyline {
+                sky.records.iter().collect()
+            } else {
+                state.hull_candidates(&sky)
+            };
+            let mut hs = Vec::with_capacity(kept.len() * pivots_t.len());
+            for (rank, pi_t) in pivots_t {
+                for p in &kept {
+                    hs.push(HalfSpace::score_order(
+                        pi_t,
+                        &scoring.transform_point(&p.attrs),
+                        Provenance::StarNonResult {
+                            rank: *rank,
+                            record_id: p.id,
+                        },
+                    ));
+                }
+            }
+            (hs, structure)
+        }
+        StarMethod::Facet => {
+            let seeds: Vec<Record> = state
+                .skyline_blocks()
+                .materialize_if(|id| !result_id_set.contains(&id));
+            fp_star_sweep_mirror(mirror, r_minus, frontier, &seeds, result_id_set)
+        }
+    }
+}
+
+/// The concurrent incident-facet stars (one per `R⁻` member) swept over
+/// a decoded shard mirror: the zero-I/O, skyline-seeded form of the
+/// single-tree GIR\* FP sweep, sharing its feed/prune/emit rules
+/// through [`StarFan`]. Returns the per-star critical half-spaces and
+/// the total facet count.
+fn fp_star_sweep_mirror(
+    mirror: &TreeMirror,
+    r_minus: &[(usize, Record)],
+    frontier: Frontier<'_>,
+    seeds: &[Record],
+    exclude: &HashSet<u64>,
+) -> (Vec<HalfSpace>, usize) {
+    let mut fan = StarFan::new(r_minus);
+
+    // Candidates best-first by coordinate sum — the multi-pivot proxy
+    // order of the single-tree sweep (no single query score ranks
+    // candidates for every star at once).
+    let mut cands: Vec<&Record> = seeds.iter().filter(|r| !exclude.contains(&r.id)).collect();
+    let mut nodes: Vec<(Option<&Mbb>, PageId)> = Vec::new();
+    for entry in frontier.heap.into_vec() {
+        match entry {
+            FrontierEntry::Rec { rec, .. } => {
+                if !exclude.contains(&rec.id) {
+                    cands.push(rec);
+                }
+            }
+            FrontierEntry::Node { page, mbb, .. } => nodes.push((mbb, page)),
+        }
+    }
+    cands.sort_by(|a, b| {
+        let sa: f64 = a.attrs.coords().iter().sum();
+        let sb: f64 = b.attrs.coords().iter().sum();
+        sb.partial_cmp(&sa).expect("non-NaN")
+    });
+    for rec in &cands {
+        fan.feed(&rec.attrs, rec.id);
+    }
+
+    let mut stack = nodes;
+    while let Some((mbb, page)) = stack.pop() {
+        if let Some(m) = mbb {
+            if fan.prunes_mbb(m) {
+                continue;
+            }
+        }
+        match mirror.node(page) {
+            MirrorNode::Internal(children) => {
+                for (child_mbb, child) in children {
+                    if !fan.prunes_mbb(child_mbb) {
+                        stack.push((Some(child_mbb), *child));
+                    }
+                }
+            }
+            MirrorNode::Leaf(records) => {
+                for rec in records {
+                    if !exclude.contains(&rec.id) {
+                        fan.feed(&rec.attrs, rec.id);
+                    }
+                }
+            }
+        }
+    }
+
+    let (halfspaces, _critical, facets) = fan.finish();
+    (halfspaces, facets)
 }
 
 #[cfg(test)]
@@ -511,6 +788,132 @@ mod tests {
                 0.7,
             ]);
             assert_eq!(oracle.region.contains(&wp), sharded.region.contains(&wp));
+        }
+    }
+
+    #[test]
+    fn star_sharded_matches_single_tree_pointwise() {
+        use crate::gir_star::naive_gir_star_contains;
+        for (n, d, k, s, seed) in [
+            (400usize, 2usize, 5usize, 3usize, 0x58u64),
+            (500, 3, 8, 4, 0x59),
+            (300, 4, 4, 2, 0x5A),
+        ] {
+            let recs = records(n, d, seed);
+            let (trees, oracle_tree) = split(&recs, d, s);
+            let indexes: Vec<PruneIndex> = (0..s).map(|_| PruneIndex::new()).collect();
+            let views: Vec<ShardView<'_>> = trees
+                .iter()
+                .zip(&indexes)
+                .map(|(tree, index)| ShardView { tree, index })
+                .collect();
+            let scoring = ScoringFunction::linear(d);
+            let engine = GirEngine::new(&oracle_tree);
+            let q = QueryVector::new(
+                (0..d)
+                    .map(|i| 0.4 + 0.1 * (i % 3) as f64)
+                    .collect::<Vec<_>>(),
+            );
+            for m in METHODS {
+                let oracle = engine.gir_star(&q, k, m).unwrap();
+                let sharded = gir_star_sharded(&views, &scoring, &q, k, m).unwrap();
+                assert_eq!(sharded.result.ids(), oracle.result.ids(), "{m:?} result");
+                assert!(sharded.region.contains(&q.weights));
+                let ids: HashSet<u64> = sharded.result.ids().into_iter().collect();
+                let mut probe = seed ^ 0x57A2;
+                let mut next = move || {
+                    probe ^= probe << 13;
+                    probe ^= probe >> 7;
+                    probe ^= probe << 17;
+                    (probe >> 11) as f64 / (1u64 << 53) as f64
+                };
+                for _ in 0..150 {
+                    let wp = PointD::from((0..d).map(|_| next()).collect::<Vec<_>>());
+                    let a = oracle.region.contains(&wp);
+                    let b = sharded.region.contains(&wp);
+                    let margin = |r: &crate::region::GirRegion| {
+                        r.halfspaces
+                            .iter()
+                            .map(|h| h.slack(&wp))
+                            .fold(f64::INFINITY, |m, v| m.min(v.abs()))
+                    };
+                    if a != b {
+                        let m2 = margin(&oracle.region).min(margin(&sharded.region));
+                        assert!(m2 < 1e-6, "{m:?} s={s}: sharded GIR* ≠ oracle at {wp:?}");
+                    }
+                    // The GIR* law: membership ⇔ preserved composition.
+                    let expect = naive_gir_star_contains(&recs, &scoring, &ids, &wp);
+                    if b != expect {
+                        assert!(
+                            margin(&sharded.region) < 1e-6,
+                            "{m:?} s={s}: GIR* law violated at {wp:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_phase2_systems_are_reused_per_shard_and_keyed_apart() {
+        let recs = records(600, 3, 0x5B);
+        let (trees, _) = split(&recs, 3, 2);
+        let indexes: Vec<PruneIndex> = (0..2).map(|_| PruneIndex::new()).collect();
+        let views: Vec<ShardView<'_>> = trees
+            .iter()
+            .zip(&indexes)
+            .map(|(tree, index)| ShardView { tree, index })
+            .collect();
+        let scoring = ScoringFunction::linear(3);
+        let q = QueryVector::new(vec![0.5, 0.6, 0.4]);
+        // A GIR computation first: its cached Phase-2 systems must NOT
+        // be confused with the star systems of the same ranking.
+        let _ = gir_sharded(&views, &scoring, &q, 7, Method::FacetPruning).unwrap();
+        let first = gir_star_sharded(&views, &scoring, &q, 7, Method::FacetPruning).unwrap();
+        for index in &indexes {
+            assert_eq!(
+                index.stats().phase2_hits,
+                0,
+                "GIR* system wrongly served from a GIR key"
+            );
+        }
+        // A jittered query reproducing the same ranking reuses every
+        // shard's cached star system.
+        let q2 = QueryVector::new(vec![0.5001, 0.6, 0.4]);
+        let second = gir_star_sharded(&views, &scoring, &q2, 7, Method::FacetPruning).unwrap();
+        assert_eq!(first.result.ids(), second.result.ids());
+        for index in &indexes {
+            assert_eq!(index.stats().phase2_hits, 1, "star system not reused");
+        }
+    }
+
+    #[test]
+    fn star_sharded_region_encloses_sharded_gir() {
+        // Definition 2 is looser than Definition 1, shard by shard.
+        let recs = records(500, 3, 0x5C);
+        let (trees, _) = split(&recs, 3, 4);
+        let indexes: Vec<PruneIndex> = (0..4).map(|_| PruneIndex::new()).collect();
+        let views: Vec<ShardView<'_>> = trees
+            .iter()
+            .zip(&indexes)
+            .map(|(tree, index)| ShardView { tree, index })
+            .collect();
+        let scoring = ScoringFunction::linear(3);
+        let q = QueryVector::new(vec![0.6, 0.45, 0.55]);
+        let gir = gir_sharded(&views, &scoring, &q, 6, Method::FacetPruning).unwrap();
+        let star = gir_star_sharded(&views, &scoring, &q, 6, Method::FacetPruning).unwrap();
+        let mut s = 0x5Du64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let wp = PointD::from((0..3).map(|_| next()).collect::<Vec<_>>());
+            if gir.region.contains(&wp) {
+                assert!(star.region.contains(&wp), "sharded GIR ⊄ sharded GIR*");
+            }
         }
     }
 

@@ -60,6 +60,7 @@ pub mod sharded;
 pub mod stats;
 pub mod workload;
 
+pub use gir_core::RegionKind;
 pub use server::{
     compute_response, execute_batch, BatchResult, GirServer, MaintenanceMode, ServerConfig,
     TopKRequest, TopKResponse, Update, UpdateReport,

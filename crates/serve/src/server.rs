@@ -3,7 +3,8 @@
 use crate::sharded::{CacheStats, ShardedGirCache};
 use crate::stats::ServeStats;
 use gir_core::{
-    repair_region, DeltaBatch, GirEngine, GirError, Method, PruneIndex, PruneIndexStats,
+    repair_region, repair_region_star, DeltaBatch, GirEngine, GirError, Method, PruneIndex,
+    PruneIndexStats, RegionKind,
 };
 use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, Record, ScoringFunction};
@@ -67,18 +68,26 @@ impl Default for ServerConfig {
     }
 }
 
-/// One top-k request: a weight vector and result size.
+/// One top-k request: a weight vector, a result size, and the region
+/// semantics the client wants served.
 #[derive(Debug, Clone)]
 pub struct TopKRequest {
     /// Query weights; clamped into `[0,1]` on construction.
     pub weights: PointD,
     /// Result size.
     pub k: usize,
+    /// Requested semantics: [`RegionKind::Gir`] (the default) demands
+    /// the exact ranked top-k; [`RegionKind::GirStar`] asks only for
+    /// the top-k *set* (§7.1), which caches under the wider GIR\*
+    /// region — the returned order is the cached one and may lag the
+    /// live ranking.
+    pub kind: RegionKind,
 }
 
 impl TopKRequest {
-    /// Builds a request, clamping weights into the query box (a serving
-    /// layer must not panic on slightly out-of-range client input).
+    /// Builds an order-sensitive request, clamping weights into the
+    /// query box (a serving layer must not panic on slightly
+    /// out-of-range client input).
     pub fn new(weights: impl Into<PointD>, k: usize) -> Self {
         let mut weights = weights.into();
         for w in weights.coords_mut() {
@@ -87,6 +96,16 @@ impl TopKRequest {
         TopKRequest {
             weights,
             k: k.max(1),
+            kind: RegionKind::Gir,
+        }
+    }
+
+    /// Builds an order-insensitive request: only the top-`k`
+    /// composition is demanded, so it hits the wider GIR\* regions.
+    pub fn order_insensitive(weights: impl Into<PointD>, k: usize) -> Self {
+        TopKRequest {
+            kind: RegionKind::GirStar,
+            ..Self::new(weights, k)
         }
     }
 }
@@ -344,7 +363,10 @@ impl GirServer {
 
     fn serve_one(&self, tree: &RTree, req: &TopKRequest, method: Method) -> TopKResponse {
         let t0 = Instant::now();
-        if let Some(records) = self.cache.lookup(&req.weights, req.k, &self.scoring) {
+        if let Some(records) = self
+            .cache
+            .lookup(&req.weights, req.k, &self.scoring, req.kind)
+        {
             return TopKResponse {
                 ids: records.iter().map(|r| r.id).collect(),
                 from_cache: true,
@@ -354,14 +376,28 @@ impl GirServer {
         }
         let engine = GirEngine::with_scoring(tree, self.scoring.clone());
         let q = QueryVector::new(req.weights.coords().to_vec());
-        let computed = if self.cfg.use_prune_index {
-            engine.gir_indexed(&q, req.k, method, &self.prune)
-        } else {
-            engine.gir(&q, req.k, method)
+        let computed = match req.kind {
+            RegionKind::Gir => {
+                if self.cfg.use_prune_index {
+                    engine.gir_indexed(&q, req.k, method, &self.prune)
+                } else {
+                    engine.gir(&q, req.k, method)
+                }
+            }
+            // The order-insensitive region: its wider polytope is the
+            // whole point of the request (one entry absorbs every
+            // query that permutes the same composition).
+            RegionKind::GirStar => {
+                if self.cfg.use_prune_index {
+                    engine.gir_star_indexed(&q, req.k, method, &self.prune)
+                } else {
+                    engine.gir_star(&q, req.k, method)
+                }
+            }
         };
         compute_response(computed, t0, |out| {
             self.cache
-                .insert(out.region, out.result, self.scoring.clone());
+                .insert(out.region, out.result, self.scoring.clone(), req.kind);
         })
     }
 
@@ -456,14 +492,24 @@ impl GirServer {
                     if !req.scoring.is_linear() {
                         return None;
                     }
-                    repair_region(
-                        tree_ref,
-                        req.scoring,
-                        req.result,
-                        req.region,
-                        req.removed,
-                        req.shrinks,
-                    )
+                    match req.kind {
+                        RegionKind::Gir => repair_region(
+                            tree_ref,
+                            req.scoring,
+                            req.result,
+                            req.region,
+                            req.removed,
+                            req.shrinks,
+                        ),
+                        RegionKind::GirStar => repair_region_star(
+                            tree_ref,
+                            req.scoring,
+                            req.result,
+                            req.region,
+                            req.removed,
+                            req.shrinks,
+                        ),
+                    }
                     .ok()
                 });
                 report.evicted = outcome.evicted;
@@ -679,6 +725,101 @@ mod tests {
             "delta repair ({}) must beat the legacy sweep ({}) on hits",
             hit_counts[1],
             hit_counts[0]
+        );
+    }
+
+    #[test]
+    fn star_requests_serve_fresh_compositions_under_churn() {
+        // Order-insensitive traffic through both maintenance modes:
+        // every cache-served answer must be the true top-k *set* on the
+        // current dataset (order is advisory), with star entries
+        // repaired — not dropped — when churn deletes their facet
+        // contributors.
+        let sorted = |ids: &[u64]| {
+            let mut v = ids.to_vec();
+            v.sort_unstable();
+            v
+        };
+        for maintenance in [MaintenanceMode::LegacySweep, MaintenanceMode::DeltaRepair] {
+            let cfg = ServerConfig {
+                threads: 2,
+                maintenance,
+                ..ServerConfig::default()
+            };
+            let (mut data, server) = server(1200, 3, 0x5E27, cfg);
+            let reqs: Vec<TopKRequest> = (0..60)
+                .map(|i| {
+                    let j = 0.0005 * (i % 11) as f64;
+                    TopKRequest::order_insensitive(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], 6)
+                })
+                .collect();
+            let batch = server.run_batch(&reqs);
+            assert!(
+                batch.stats.hits > 0,
+                "{maintenance:?}: jittered star repeats should hit"
+            );
+            for (req, resp) in reqs.iter().zip(&batch.responses) {
+                let truth = naive_topk(&data, server.scoring(), &req.weights, req.k);
+                assert_eq!(sorted(&resp.ids), sorted(&truth.ids()), "{maintenance:?}");
+            }
+
+            // Churn: a hot insert plus a delete of one cached-entry
+            // contributor-ish record, then re-verify every answer.
+            let hot = Record::new(7_777_777, vec![0.68, 0.66, 0.64]);
+            data.push(hot.clone());
+            let victim = data[100].clone();
+            data.retain(|r| r.id != victim.id);
+            server
+                .apply_updates(&[
+                    Update::Insert(hot),
+                    Update::Delete {
+                        id: victim.id,
+                        attrs: victim.attrs.clone(),
+                    },
+                ])
+                .unwrap();
+            let batch = server.run_batch(&reqs);
+            for (req, resp) in reqs.iter().zip(&batch.responses) {
+                let truth = naive_topk(&data, server.scoring(), &req.weights, req.k);
+                assert_eq!(
+                    sorted(&resp.ids),
+                    sorted(&truth.ids()),
+                    "{maintenance:?}: stale star answer after churn (from_cache={})",
+                    resp.from_cache
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_cache_hits_at_least_as_often_as_ordered_requests() {
+        // GIR ⊆ GIR*: with the same traffic, the order-insensitive
+        // request stream can only hit more (a star lookup also matches
+        // order-sensitive entries).
+        let mk = |star: bool| {
+            let cfg = ServerConfig {
+                threads: 1,
+                ..ServerConfig::default()
+            };
+            let (_, server) = server(1500, 3, 0x5E28, cfg);
+            let reqs: Vec<TopKRequest> = (0..160)
+                .map(|i| {
+                    let j = 0.002 * (i % 13) as f64;
+                    let w = vec![0.5 + j, 0.62 - j, 0.47 + j / 3.0];
+                    if star {
+                        TopKRequest::order_insensitive(w, 7)
+                    } else {
+                        TopKRequest::new(w, 7)
+                    }
+                })
+                .collect();
+            server.run_batch(&reqs).stats.hits
+        };
+        let ordered_hits = mk(false);
+        let star_hits = mk(true);
+        assert!(
+            star_hits >= ordered_hits,
+            "star hits {star_hits} < ordered hits {ordered_hits}"
         );
     }
 

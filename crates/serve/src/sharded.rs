@@ -25,7 +25,7 @@
 //! calls them while holding the tree's write lock, so concurrent
 //! lookups cannot interleave with a half-applied update.
 
-use gir_core::{BatchOutcome, DeltaBatch, GirCache, GirRegion, RepairRequest};
+use gir_core::{BatchOutcome, DeltaBatch, GirCache, GirRegion, RegionKind, RepairRequest};
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,23 +115,34 @@ impl ShardedGirCache {
         (h ^ (h >> 31)) as usize & self.mask
     }
 
-    /// Looks up a top-`k` query with weights `w` under `scoring` in the
-    /// owning shard. Concurrent lookups share the shard's read lock;
-    /// counters are atomic and LRU promotion is best-effort.
-    pub fn lookup(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
+    /// Looks up a top-`k` query with weights `w` under `scoring` and
+    /// the requested region semantics in the owning shard. The shard is
+    /// routed by `(scoring fingerprint, k-bucket)` alone — *not* by
+    /// kind — so an order-insensitive request finds both the GIR\*
+    /// entries of its bucket and the order-sensitive entries that also
+    /// answer it (see `gir_core::GirCache::peek_kind` for the match
+    /// rule). Concurrent lookups share the shard's read lock; counters
+    /// are atomic and LRU promotion is best-effort.
+    pub fn lookup(
+        &self,
+        w: &PointD,
+        k: usize,
+        scoring: &ScoringFunction,
+        kind: RegionKind,
+    ) -> Option<Vec<Record>> {
         let shard = &self.shards[self.shard_index(scoring, k)];
         let found = shard
             .cache
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .peek(w, k, scoring);
+            .peek_kind(w, k, scoring, kind);
         match found {
             Some(records) => {
                 let hits = shard.hits.fetch_add(1, Ordering::Relaxed) + 1;
                 if hits.is_multiple_of(PROMOTE_EVERY) {
                     // Refresh recency without ever blocking the read path.
                     if let Ok(mut guard) = shard.cache.try_write() {
-                        guard.promote(w, k, scoring);
+                        guard.promote_kind(w, k, scoring, kind);
                     }
                 }
                 Some(records)
@@ -145,21 +156,29 @@ impl ShardedGirCache {
 
     /// Admits a computed result into the owning shard — unless an
     /// existing entry already answers this entry's own query point with
-    /// as many records. The check runs under the same write lock as the
+    /// as many records under the same semantics (for a GIR\* admission
+    /// that includes an order-sensitive entry: it already serves the
+    /// composition). The check runs under the same write lock as the
     /// admission, so concurrent identical misses (a cold-cache
     /// stampede) or repeated `k > |dataset|` requests admit one entry,
     /// not one per computation. Returns whether the entry was admitted.
-    pub fn insert(&self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) -> bool {
+    pub fn insert(
+        &self,
+        region: GirRegion,
+        result: TopKResult,
+        scoring: ScoringFunction,
+        kind: RegionKind,
+    ) -> bool {
         let k = result.len();
         let shard = &self.shards[self.shard_index(&scoring, k)];
         let mut guard = shard
             .cache
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if guard.peek(&region.query, k, &scoring).is_some() {
+        if guard.peek_kind(&region.query, k, &scoring, kind).is_some() {
             return false;
         }
-        guard.insert(region, result, scoring);
+        guard.insert_kind(region, result, scoring, kind);
         true
     }
 
@@ -289,12 +308,17 @@ mod tests {
         // threads; only the first admission may land.
         let cache = ShardedGirCache::new(4, 8);
         let f = ScoringFunction::linear(2);
-        assert!(cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone()));
-        assert!(!cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone()));
+        assert!(cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone(), RegionKind::Gir));
+        assert!(!cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone(), RegionKind::Gir));
         assert_eq!(cache.len(), 1);
         // A bigger result for the same query point is a different
         // k-bucket entry: admitted.
-        assert!(cache.insert(slab(0.0, 1.0), result(&[1, 2, 3, 4, 5]), f.clone()));
+        assert!(cache.insert(
+            slab(0.0, 1.0),
+            result(&[1, 2, 3, 4, 5]),
+            f.clone(),
+            RegionKind::Gir
+        ));
         assert_eq!(cache.len(), 2);
     }
 
@@ -309,12 +333,21 @@ mod tests {
     fn hit_and_prefix_serving_within_bucket() {
         let cache = ShardedGirCache::new(8, 4);
         let f = ScoringFunction::linear(2);
-        cache.insert(slab(0.0, 1.0), result(&[1, 2, 3, 4]), f.clone());
+        cache.insert(
+            slab(0.0, 1.0),
+            result(&[1, 2, 3, 4]),
+            f.clone(),
+            RegionKind::Gir,
+        );
         // Same k-bucket (3 and 4 both bucket to 4): prefix hit.
-        let hit = cache.lookup(&PointD::new(vec![0.5, 0.5]), 3, &f).unwrap();
+        let hit = cache
+            .lookup(&PointD::new(vec![0.5, 0.5]), 3, &f, RegionKind::Gir)
+            .unwrap();
         assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
         // Different bucket (k=8) probes a different shard: miss.
-        assert!(cache.lookup(&PointD::new(vec![0.5, 0.5]), 8, &f).is_none());
+        assert!(cache
+            .lookup(&PointD::new(vec![0.5, 0.5]), 8, &f, RegionKind::Gir)
+            .is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
@@ -327,12 +360,17 @@ mod tests {
             gir_query::Transform::Power(2),
             gir_query::Transform::Linear,
         ]);
-        cache.insert(slab(0.0, 1.0), result(&[1, 2]), lin.clone());
+        cache.insert(
+            slab(0.0, 1.0),
+            result(&[1, 2]),
+            lin.clone(),
+            RegionKind::Gir,
+        );
         assert!(cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &non)
+            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &non, RegionKind::Gir)
             .is_none());
         assert!(cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &lin)
+            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &lin, RegionKind::Gir)
             .is_some());
     }
 
@@ -343,7 +381,7 @@ mod tests {
         // Spread entries over several k-buckets (and thus shards).
         for k in [1usize, 2, 4, 8, 16] {
             let ids: Vec<u64> = (0..k as u64).chain([99]).collect();
-            cache.insert(slab(0.0, 1.0), result(&ids), f.clone());
+            cache.insert(slab(0.0, 1.0), result(&ids), f.clone(), RegionKind::Gir);
         }
         assert_eq!(cache.len(), 5);
         // Every entry contains record 99: all must drop.

@@ -2,7 +2,9 @@
 //! indexes, queried as one.
 
 use crate::placement::Placement;
-use gir_core::{gir_sharded, topk_sharded, GirError, GirOutput, Method, PruneIndex, ShardView};
+use gir_core::{
+    gir_sharded, gir_star_sharded, topk_sharded, GirError, GirOutput, Method, PruneIndex, ShardView,
+};
 use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, ScoringFunction, TopKResult};
 use gir_rtree::{RTree, RTreeError, Record};
@@ -175,6 +177,20 @@ impl ShardedDataset {
         method: Method,
     ) -> Result<GirOutput, GirError> {
         gir_sharded(&self.views(), scoring, q, k, method)
+    }
+
+    /// Global top-k plus its order-insensitive GIR\* (§7.1): per-shard
+    /// star systems against the globally merged per-rank pivots,
+    /// intersected into one region (see
+    /// [`gir_core::sharded::gir_star_sharded`]).
+    pub fn gir_star(
+        &self,
+        scoring: &ScoringFunction,
+        q: &QueryVector,
+        k: usize,
+        method: Method,
+    ) -> Result<GirOutput, GirError> {
+        gir_star_sharded(&self.views(), scoring, q, k, method)
     }
 
     /// Every live record, concatenated across shards (verification /

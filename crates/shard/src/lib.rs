@@ -24,10 +24,19 @@
 //!   facet repair stays **shard-local** ([`repair_region_sharded`]) —
 //!   deleting a contributor of shard `s` re-sweeps tree `s` alone.
 //!
+//! Both region semantics are served: the order-sensitive GIR
+//! ([`ShardedDataset::gir`]) and the order-insensitive GIR\* of §7.1
+//! ([`ShardedDataset::gir_star`] — per-shard star systems against the
+//! globally merged per-rank pivots), with cached GIR\* entries repaired
+//! shard-locally too ([`repair_region_star_sharded`]).
+//!
 //! Equivalence to the single-tree oracle — same top-k, same region as
 //! a point set, same reduced facet set — is pinned for S ∈ {1,2,4,8},
 //! both placements, and random update interleavings by
-//! `tests/proptest_shard.rs`.
+//! `tests/proptest_shard.rs` (GIR) and `tests/proptest_star_shard.rs`
+//! (GIR\*).
+
+#![deny(missing_docs)]
 
 pub mod dataset;
 pub mod placement;
@@ -35,7 +44,9 @@ pub mod serve;
 
 pub use dataset::ShardedDataset;
 pub use placement::{grid_band, Placement};
-pub use serve::{repair_region_sharded, ShardedGirServer, ShardedServerConfig};
+pub use serve::{
+    repair_region_sharded, repair_region_star_sharded, ShardedGirServer, ShardedServerConfig,
+};
 
 #[cfg(test)]
 mod send_sync {

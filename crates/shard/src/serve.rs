@@ -25,7 +25,7 @@
 use crate::dataset::ShardedDataset;
 use crate::placement::Placement;
 use gir_core::fp::fp_repair;
-use gir_core::{GirRegion, Method, PruneIndexStats, RepairRequest};
+use gir_core::{fp_star_repair, GirRegion, Method, PruneIndexStats, RegionKind, RepairRequest};
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_query::{QueryVector, Record, ScoringFunction};
 use gir_rtree::RTreeError;
@@ -83,6 +83,44 @@ pub struct ShardedGirServer {
 
 impl ShardedGirServer {
     /// Builds a server around an already-partitioned dataset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gir_query::{Record, ScoringFunction};
+    /// use gir_serve::TopKRequest;
+    /// use gir_shard::{Placement, ShardedDataset, ShardedGirServer, ShardedServerConfig};
+    ///
+    /// // A small deterministic 3-d dataset, hash-partitioned 4 ways.
+    /// let mut s = 0x5EEDu64;
+    /// let mut next = move || {
+    ///     s ^= s << 13;
+    ///     s ^= s >> 7;
+    ///     s ^= s << 17;
+    ///     (s >> 11) as f64 / (1u64 << 53) as f64
+    /// };
+    /// let recs: Vec<Record> = (0..400)
+    ///     .map(|i| Record::new(i, vec![next(), next(), next()]))
+    ///     .collect();
+    /// let data = ShardedDataset::build(3, &recs, 4, Placement::Hash).unwrap();
+    ///
+    /// let server = ShardedGirServer::new(
+    ///     data,
+    ///     ScoringFunction::linear(3),
+    ///     ShardedServerConfig {
+    ///         threads: 1,
+    ///         ..ShardedServerConfig::default()
+    ///     },
+    /// );
+    /// // Jittered repeats of one preference anchor: the first request
+    /// // computes and caches, the rest fall inside its region.
+    /// let reqs: Vec<TopKRequest> = (0..16)
+    ///     .map(|i| TopKRequest::new(vec![0.6 + 0.0004 * (i % 5) as f64, 0.5, 0.7], 8))
+    ///     .collect();
+    /// let batch = server.run_batch(&reqs);
+    /// assert_eq!(batch.responses.len(), 16);
+    /// assert!(batch.stats.hits > 0);
+    /// ```
     pub fn new(data: ShardedDataset, scoring: ScoringFunction, cfg: ShardedServerConfig) -> Self {
         assert_eq!(scoring.dim(), data.dim(), "scoring dimensionality mismatch");
         let cache = ShardedGirCache::new(cfg.cache_shards, cfg.cache_capacity);
@@ -169,7 +207,10 @@ impl ShardedGirServer {
 
     fn serve_one(&self, data: &ShardedDataset, req: &TopKRequest, method: Method) -> TopKResponse {
         let t0 = Instant::now();
-        if let Some(records) = self.cache.lookup(&req.weights, req.k, &self.scoring) {
+        if let Some(records) = self
+            .cache
+            .lookup(&req.weights, req.k, &self.scoring, req.kind)
+        {
             return TopKResponse {
                 ids: records.iter().map(|r| r.id).collect(),
                 from_cache: true,
@@ -178,9 +219,13 @@ impl ShardedGirServer {
             };
         }
         let q = QueryVector::new(req.weights.coords().to_vec());
-        compute_response(data.gir(&self.scoring, &q, req.k, method), t0, |out| {
+        let computed = match req.kind {
+            RegionKind::Gir => data.gir(&self.scoring, &q, req.k, method),
+            RegionKind::GirStar => data.gir_star(&self.scoring, &q, req.k, method),
+        };
+        compute_response(computed, t0, |out| {
             self.cache
-                .insert(out.region, out.result, self.scoring.clone());
+                .insert(out.region, out.result, self.scoring.clone(), req.kind);
         })
     }
 
@@ -242,7 +287,10 @@ impl ShardedGirServer {
             if !req.scoring.is_linear() {
                 return None;
             }
-            repair_region_sharded(data_ref, req, &removed_owner)
+            match req.kind {
+                RegionKind::Gir => repair_region_sharded(data_ref, req, &removed_owner),
+                RegionKind::GirStar => repair_region_star_sharded(data_ref, req, &removed_owner),
+            }
         });
         report.evicted = outcome.evicted;
         report.repaired = outcome.repaired;
@@ -342,6 +390,93 @@ pub fn repair_region_sharded(
         for h in swept {
             let fresh = match h.provenance {
                 Provenance::NonResult { record_id } => kept_ids.insert(record_id),
+                _ => true,
+            };
+            if fresh {
+                rebuilt.push(h);
+            }
+        }
+    }
+    Some(GirRegion::new(
+        req.region.d,
+        req.region.query.clone(),
+        rebuilt,
+    ))
+}
+
+/// Shard-local facet repair of one cached **GIR\*** entry — the star
+/// companion of [`repair_region_sharded`].
+///
+/// A region produced by [`gir_core::sharded::gir_star_sharded`] is the
+/// intersection of per-shard-exact star systems, so deleting a
+/// contributor of shard `s` only breaks the maximality of shard `s`'s
+/// system. Every surviving `StarNonResult` constraint carries over
+/// verbatim (it names a live non-result record against a valid `R⁻`
+/// pivot — a genuine condition that can over-describe but never
+/// over-shrink the true region), and each one reconstructs its record
+/// from the constraint normal (`g(p) = g(p_rank) + normal`; the rank in
+/// the provenance names the pivot) as a sweep seed bucketed by owning
+/// shard. For each shard that lost a contributor, a root-seeded
+/// concurrent star sweep ([`fp_star_repair`]) over that shard's tree
+/// alone restores its system; swept conditions already kept are
+/// deduplicated by `(rank, record)` pair. As in the order-sensitive
+/// variant, a boundary-exact grid reconstruction landing a seed in a
+/// neighbour bucket costs sweep tightness, never soundness.
+///
+/// Declines (`None`) when a deleted id has no recorded owner, a rank
+/// exceeds the cached result, or an order-sensitive constraint appears
+/// — the caller then keeps the entry sound-but-non-maximal.
+pub fn repair_region_star_sharded(
+    data: &ShardedDataset,
+    req: &RepairRequest<'_>,
+    removed_owner: &HashMap<u64, BTreeSet<usize>>,
+) -> Option<GirRegion> {
+    let scoring = req.scoring;
+    debug_assert!(scoring.is_linear());
+
+    let mut affected: BTreeSet<usize> = BTreeSet::new();
+    for id in req.removed {
+        affected.extend(removed_owner.get(id)?.iter().copied());
+    }
+
+    let mut kept: Vec<HalfSpace> = Vec::new();
+    let mut kept_pairs: HashSet<(usize, u64)> = HashSet::new();
+    let mut seeded: HashSet<u64> = HashSet::new();
+    let mut seeds_by_shard: Vec<Vec<Record>> = vec![Vec::new(); data.num_shards()];
+    for h in req.region.halfspaces.iter().chain(req.shrinks) {
+        match h.provenance {
+            // GirRegion::new re-appends the box.
+            Provenance::QueryBox { .. } => {}
+            Provenance::StarNonResult { rank, record_id } => {
+                if rank >= req.result.len() {
+                    return None;
+                }
+                if req.removed.contains(&record_id) || !kept_pairs.insert((rank, record_id)) {
+                    continue;
+                }
+                if seeded.insert(record_id) {
+                    let pivot_t = scoring.transform_point(&req.result.ranked[rank].0.attrs);
+                    let rec = Record::new(record_id, pivot_t.add(&h.normal));
+                    let owner = data.shard_of(record_id, &rec.attrs);
+                    seeds_by_shard[owner].push(rec);
+                }
+                kept.push(h.clone());
+            }
+            // Order-sensitive constraints are never produced by the
+            // GIR* path; decline defensively.
+            Provenance::Ordering { .. } | Provenance::NonResult { .. } => return None,
+        }
+    }
+
+    let mut rebuilt = kept;
+    for s in affected {
+        let (swept, _stats) =
+            fp_star_repair(data.shard_tree(s), scoring, req.result, &seeds_by_shard[s]).ok()?;
+        for h in swept {
+            let fresh = match h.provenance {
+                Provenance::StarNonResult { rank, record_id } => {
+                    kept_pairs.insert((rank, record_id))
+                }
                 _ => true,
             };
             if fresh {
@@ -555,6 +690,96 @@ mod tests {
             "churn never exercised shard-local repair"
         );
         assert!(checked_hits > 0, "no cache hits survived the churn");
+    }
+
+    #[test]
+    fn star_requests_serve_fresh_compositions_and_repair_shard_locally() {
+        let sorted = |ids: &[u64]| {
+            let mut v = ids.to_vec();
+            v.sort_unstable();
+            v
+        };
+        let mut mirror = records(900, 3, 0x85);
+        let server = ShardedGirServer::build(
+            3,
+            &mirror,
+            ScoringFunction::linear(3),
+            ShardedServerConfig {
+                threads: 1,
+                data_shards: 4,
+                ..ShardedServerConfig::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<TopKRequest> = (0..30)
+            .map(|i| {
+                let j = 0.0005 * (i % 11) as f64;
+                TopKRequest::order_insensitive(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], 5)
+            })
+            .collect();
+        let batch = server.run_batch(&reqs);
+        assert!(batch.stats.hits > 0, "jittered star repeats should hit");
+
+        // Find a GIR* facet contributor of the anchor query via a
+        // shadow dataset, delete it (NeedsRepair on the star entry),
+        // and keep verifying set-freshness across rounds of churn.
+        let star_contributor_of = |mirror: &[Record]| -> Record {
+            let data =
+                ShardedDataset::build(3, mirror, 4, Placement::Hash).expect("shadow dataset");
+            let q = QueryVector::new(reqs[0].weights.coords().to_vec());
+            let out = data
+                .gir_star(&ScoringFunction::linear(3), &q, 5, Method::FacetPruning)
+                .expect("shadow gir*");
+            let result_ids = out.result.ids();
+            let id = out
+                .region
+                .contributor_ids()
+                .find(|id| !result_ids.contains(id))
+                .expect("non-trivial GIR* has non-result contributors");
+            mirror.iter().find(|r| r.id == id).unwrap().clone()
+        };
+
+        let mut repaired_total = 0usize;
+        let mut star_hits = 0usize;
+        for round in 0..8usize {
+            let jitter = round as f64 * 3e-4;
+            let hot = Record::new(
+                11_000_000 + round as u64,
+                vec![0.66 + jitter, 0.64 - jitter, 0.68],
+            );
+            let victim = star_contributor_of(&mirror);
+            mirror.retain(|r| r.id != victim.id);
+            mirror.push(hot.clone());
+            let report = server
+                .apply_updates(&[
+                    Update::Insert(hot),
+                    Update::Delete {
+                        id: victim.id,
+                        attrs: victim.attrs.clone(),
+                    },
+                ])
+                .unwrap();
+            repaired_total += report.repaired;
+
+            let batch = server.run_batch(&reqs);
+            for (req, resp) in reqs.iter().zip(&batch.responses) {
+                let truth = naive_topk(&mirror, server.scoring(), &req.weights, req.k);
+                assert_eq!(
+                    sorted(&resp.ids),
+                    sorted(&truth.ids()),
+                    "round {round}: stale star composition (from_cache={})",
+                    resp.from_cache
+                );
+                if resp.from_cache {
+                    star_hits += 1;
+                }
+            }
+        }
+        assert!(
+            repaired_total > 0,
+            "churn never exercised the shard-local star repair"
+        );
+        assert!(star_hits > 0, "no star cache hits survived the churn");
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! must be *identical* to a from-scratch recompute oracle: same top-k,
 //! same region as a point set, and (after a facet repair) the same
 //! reduced facet set.
+//!
+//! Both region semantics are maintained in lockstep: the
+//! order-sensitive GIR (classified against `p_k`, repaired by
+//! `repair_region`) and the order-insensitive GIR\* (classified against
+//! every `R⁻` per-rank pivot, repaired by `repair_region_star` — whose
+//! output is proven identical to a from-scratch `gir_star` recompute on
+//! the mutated tree, the delta-repair acceptance bar of §7.1 support).
 
+use gir::core::gir_star::naive_gir_star_contains;
 use gir::core::maintenance::{DeltaBatch, UpdateImpact};
-use gir::core::{repair_region, GirRegion, Method};
+use gir::core::{repair_region, repair_region_star, GirRegion, Method, RegionKind};
 use gir::geometry::hyperplane::{HalfSpace, Provenance};
 use gir::prelude::*;
 use gir::query::naive_topk;
 use proptest::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
@@ -57,21 +66,26 @@ fn topk_is_stable(data: &[Record], scoring: &ScoringFunction, w: &PointD, k: usi
 }
 
 /// The non-result facets of the region's exact facet set, keyed by
-/// contributing record id.
-fn facet_contributors(region: &GirRegion) -> Option<Vec<(u64, HalfSpace)>> {
+/// contributing record id (`star` selects the GIR\* provenance).
+fn facet_contributors_kind(region: &GirRegion, star: bool) -> Option<Vec<(u64, HalfSpace)>> {
     let mut facets: Vec<(u64, HalfSpace)> = region
         .reduce()
         .ok()?
         .facets
         .into_iter()
         .filter_map(|h| match h.provenance {
-            Provenance::NonResult { record_id } => Some((record_id, h)),
+            Provenance::NonResult { record_id } if !star => Some((record_id, h)),
+            Provenance::StarNonResult { record_id, .. } if star => Some((record_id, h)),
             _ => None,
         })
         .collect();
     facets.sort_by_key(|(id, _)| *id);
     facets.dedup_by_key(|(id, _)| *id);
     Some(facets)
+}
+
+fn facet_contributors(region: &GirRegion) -> Option<Vec<(u64, HalfSpace)>> {
+    facet_contributors_kind(region, false)
 }
 
 /// How far `h` can be violated anywhere in `region` (≤ 0 means the
@@ -94,6 +108,13 @@ fn check_incremental_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op],
     let (mut region, mut result) = {
         let engine = GirEngine::new(&tree);
         let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
+        (out.region, out.result)
+    };
+    // The GIR* companion entry, maintained in lockstep under its own
+    // (per-rank-pivot) classification and repair.
+    let (mut star_region, mut star_result) = {
+        let engine = GirEngine::new(&tree);
+        let out = engine.gir_star(&q, k, Method::FacetPruning).unwrap();
         (out.region, out.result)
     };
     let mut next_id = 9_000_000u64;
@@ -140,6 +161,33 @@ fn check_incremental_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op],
                 let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
                 region = out.region;
                 result = out.result;
+            }
+        }
+
+        // Maintain the GIR* entry: classification tests every R⁻
+        // pivot, repair is the root-seeded concurrent star sweep.
+        let star_verdict =
+            batch.classify_kind(&star_region, &star_result, &scoring, RegionKind::GirStar);
+        let star_repaired = star_verdict.impact == UpdateImpact::NeedsRepair;
+        match star_verdict.impact {
+            UpdateImpact::Unaffected => {}
+            UpdateImpact::Shrunk => star_region.halfspaces.extend(star_verdict.shrinks),
+            UpdateImpact::NeedsRepair => {
+                star_region = repair_region_star(
+                    &tree,
+                    &scoring,
+                    &star_result,
+                    &star_region,
+                    &star_verdict.removed_contributors,
+                    &star_verdict.shrinks,
+                )
+                .unwrap();
+            }
+            UpdateImpact::Invalidated => {
+                let engine = GirEngine::new(&tree);
+                let out = engine.gir_star(&q, k, Method::FacetPruning).unwrap();
+                star_region = out.region;
+                star_result = out.result;
             }
         }
 
@@ -190,6 +238,90 @@ fn check_incremental_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op],
                     verdict.impact,
                     margin
                 );
+            }
+        }
+
+        // Star freshness: the maintained GIR* result is the true top-k
+        // *composition* (order is not pinned by Definition 2).
+        let sorted = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(
+            sorted(star_result.ids()),
+            sorted(naive_topk(&mirror, &scoring, &q.weights, k).ids()),
+            "maintained GIR* composition went stale ({:?})",
+            star_verdict.impact
+        );
+
+        // Star oracle: the delta-maintained GIR* must be identical to a
+        // from-scratch `gir_star` recompute on the mutated tree, and
+        // every admitted point must satisfy the GIR* law.
+        let star_oracle = engine.gir_star(&q, k, Method::FacetPruning).unwrap();
+        let star_ids: HashSet<u64> = star_result.ids().into_iter().collect();
+        for _ in 0..30 {
+            let wp = PointD::from(
+                (0..d)
+                    .map(|_| {
+                        probe_seed ^= probe_seed << 13;
+                        probe_seed ^= probe_seed >> 7;
+                        probe_seed ^= probe_seed << 17;
+                        (probe_seed >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+            let ours = star_region.contains(&wp);
+            let theirs = star_oracle.region.contains(&wp);
+            let margin: f64 = star_region
+                .halfspaces
+                .iter()
+                .chain(&star_oracle.region.halfspaces)
+                .map(|h| h.slack(&wp))
+                .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+            if ours != theirs {
+                prop_assert!(
+                    margin < 1e-6,
+                    "maintained GIR* ≠ recompute at {:?} after {:?} (margin {})",
+                    wp,
+                    star_verdict.impact,
+                    margin
+                );
+            }
+            if ours && !naive_gir_star_contains(&mirror, &scoring, &star_ids, &wp) {
+                prop_assert!(
+                    margin < 1e-6,
+                    "maintained GIR* admits a stale composition at {:?}",
+                    wp
+                );
+            }
+        }
+        if star_repaired {
+            if let (Some(ours), Some(theirs)) = (
+                facet_contributors_kind(&star_region, true),
+                facet_contributors_kind(&star_oracle.region, true),
+            ) {
+                for (id, h) in &ours {
+                    if !theirs.iter().any(|(t, _)| t == id) {
+                        let v = max_violation(&star_oracle.region, h);
+                        prop_assert!(
+                            v <= 1e-6,
+                            "star repair facet {} cuts the oracle region by {}",
+                            id,
+                            v
+                        );
+                    }
+                }
+                for (id, h) in &theirs {
+                    if !ours.iter().any(|(o, _)| o == id) {
+                        let v = max_violation(&star_region, h);
+                        prop_assert!(
+                            v <= 1e-6,
+                            "star oracle facet {} cuts the repaired region by {}",
+                            id,
+                            v
+                        );
+                    }
+                }
             }
         }
 

@@ -1,0 +1,312 @@
+//! The GIR\* sharding differential harness: the order-insensitive
+//! region computed over a partitioned dataset
+//! (`gir::shard::ShardedDataset::gir_star` — per-shard star systems
+//! against the globally merged per-rank pivots, intersected into one
+//! region) must be **equivalent to the single-tree oracle**
+//! (`GirEngine::gir_star`):
+//!
+//! * same top-k (the merge phase is shared with the order-sensitive
+//!   path, so composition *and* order agree),
+//! * same region as a point set (sampled membership, boundary-epsilon
+//!   disagreements tolerated), additionally checked against the
+//!   brute-force GIR\* law oracle (`naive_gir_star_contains`:
+//!   membership ⇔ every result record out-scores every non-result
+//!   record),
+//! * same reduced facet set (non-redundant `StarNonResult` boundary,
+//!   compared by contributing record id; one-sided facets must graze
+//!   the other polytope's boundary — an exact tie the two reductions
+//!   broke differently),
+//!
+//! for S ∈ {1, 2, 4, 8}, both placement policies, every star Phase-2
+//! method (SP / CP / FP), d ∈ {2..5}, and — crucially — **after every
+//! chunk of a random update interleaving** routed through the sharded
+//! update path (owning shard only) and the oracle tree in lockstep,
+//! which also drives the per-shard star Phase-2 system maintenance
+//! (inserts append per-pivot conditions, deletes purge naming systems).
+
+use gir::core::gir_star::naive_gir_star_contains;
+use gir::core::{GirEngine, GirRegion, Method};
+use gir::prelude::*;
+use gir::shard::{Placement, ShardedDataset};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+/// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
+/// `sel` picks a live record to delete.
+type Op = (u8, Vec<f64>, u64);
+
+const METHODS: [Method; 3] = [
+    Method::SkylinePruning,
+    Method::ConvexHullPruning,
+    Method::FacetPruning,
+];
+
+/// `(shard count, placement)` grid pinned by the acceptance criteria.
+const SHARDINGS: [(usize, Placement); 4] = [
+    (1, Placement::Hash),
+    (2, Placement::Grid),
+    (4, Placement::Hash),
+    (8, Placement::Grid),
+];
+
+fn build_tree(recs: &[Record]) -> RTree {
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    RTree::bulk_load(store, recs).unwrap()
+}
+
+fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 15)
+}
+
+fn ops(d: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0u8..10,
+            proptest::collection::vec(0.0f64..1.0, d),
+            0u64..1 << 40,
+        ),
+        6..14,
+    )
+}
+
+/// The reduced facet set as (star contributor ids, vertices). `None`
+/// when vertex enumeration fails numerically — the membership probes
+/// still cover that case.
+fn reduced_star_facets(region: &GirRegion) -> Option<(BTreeSet<u64>, Vec<PointD>)> {
+    let red = region.reduce().ok()?;
+    let ids = red
+        .facets
+        .iter()
+        .filter_map(|h| match h.provenance {
+            gir::geometry::hyperplane::Provenance::StarNonResult { record_id, .. } => {
+                Some(record_id)
+            }
+            _ => None,
+        })
+        .collect();
+    Some((ids, red.vertices))
+}
+
+/// A facet id appearing on only one side is tolerated iff every one of
+/// its half-spaces grazes the other polytope's boundary.
+fn facet_is_tie(region: &GirRegion, id: u64, other_vertices: &[PointD]) -> bool {
+    region
+        .halfspaces
+        .iter()
+        .filter(|h| {
+            matches!(
+                h.provenance,
+                gir::geometry::hyperplane::Provenance::StarNonResult { record_id, .. }
+                    if record_id == id
+            )
+        })
+        .all(|h| {
+            other_vertices
+                .iter()
+                .map(|v| h.slack(v).abs())
+                .fold(f64::INFINITY, f64::min)
+                < 1e-6
+        })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_star_regions_equivalent(
+    m: Method,
+    s: usize,
+    live: &[Record],
+    result_ids: &HashSet<u64>,
+    scoring: &ScoringFunction,
+    oracle: &GirRegion,
+    sharded: &GirRegion,
+    d: usize,
+    probe_seed: &mut u64,
+) {
+    // Sampled point membership, with the GIR* law as a second oracle.
+    for _ in 0..25 {
+        let wp = PointD::from(
+            (0..d)
+                .map(|_| {
+                    *probe_seed ^= *probe_seed << 13;
+                    *probe_seed ^= *probe_seed >> 7;
+                    *probe_seed ^= *probe_seed << 17;
+                    (*probe_seed >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .collect::<Vec<f64>>(),
+        );
+        let a = oracle.contains(&wp);
+        let b = sharded.contains(&wp);
+        let margin = |r: &GirRegion| {
+            r.halfspaces
+                .iter()
+                .map(|h| h.slack(&wp))
+                .fold(f64::INFINITY, |acc, v| acc.min(v.abs()))
+        };
+        if a != b {
+            prop_assert!(
+                margin(oracle).min(margin(sharded)) < 1e-6,
+                "{:?} S={}: sharded GIR* ≠ oracle at {:?}",
+                m,
+                s,
+                wp
+            );
+        }
+        let law = naive_gir_star_contains(live, scoring, result_ids, &wp);
+        if b != law {
+            prop_assert!(
+                margin(sharded) < 1e-6,
+                "{:?} S={}: GIR* law violated at {:?} (region {}, law {})",
+                m,
+                s,
+                wp,
+                b,
+                law
+            );
+        }
+    }
+
+    // Reduced facet set: the same non-redundant star boundary.
+    if let (Some((oracle_ids, oracle_verts)), Some((sharded_ids, sharded_verts))) =
+        (reduced_star_facets(oracle), reduced_star_facets(sharded))
+    {
+        for id in oracle_ids.symmetric_difference(&sharded_ids) {
+            let (region, other_verts) = if oracle_ids.contains(id) {
+                (oracle, &sharded_verts)
+            } else {
+                (sharded, &oracle_verts)
+            };
+            prop_assert!(
+                facet_is_tie(region, *id, other_verts),
+                "{:?} S={}: star facet contributor {} on one side only \
+                 (oracle {:?} vs sharded {:?})",
+                m,
+                s,
+                id,
+                oracle_ids,
+                sharded_ids
+            );
+        }
+    }
+}
+
+fn check_star_sharded_equivalence(rows: &[Vec<f64>], w: Vec<f64>, all_ops: &[Op], k: usize) {
+    let d = w.len();
+    let mut live: Vec<Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Record::new(i as u64, r.clone()))
+        .collect();
+    let mut oracle_tree = build_tree(&live);
+    let mut sharded: Vec<(usize, ShardedDataset)> = SHARDINGS
+        .iter()
+        .map(|&(s, placement)| (s, ShardedDataset::build(d, &live, s, placement).unwrap()))
+        .collect();
+    let scoring = ScoringFunction::linear(d);
+    let q = QueryVector::new(w);
+    let mut probe_seed = 0x57A7u64 | 1;
+    let mut next_id = 9_000_000u64;
+
+    // Initial equivalence, then after every chunk of the interleaving.
+    let mut chunks: Vec<&[Op]> = vec![&[]];
+    chunks.extend(all_ops.chunks(3));
+    for chunk in chunks {
+        for (op, attrs, sel) in chunk {
+            if *op < 6 || live.len() <= k + 8 {
+                let rec = Record::new(next_id, attrs.clone());
+                next_id += 1;
+                oracle_tree.insert(rec.clone()).unwrap();
+                for (_, data) in &mut sharded {
+                    data.insert(rec.clone()).unwrap();
+                }
+                live.push(rec);
+            } else {
+                let idx = (*sel % live.len() as u64) as usize;
+                let victim = live.swap_remove(idx);
+                assert!(oracle_tree.delete(victim.id, &victim.attrs).unwrap());
+                for (_, data) in &mut sharded {
+                    assert!(data.delete(victim.id, &victim.attrs).unwrap());
+                }
+            }
+        }
+
+        let engine = GirEngine::new(&oracle_tree);
+        for m in METHODS {
+            let oracle = engine.gir_star(&q, k, m).unwrap();
+            let result_ids: HashSet<u64> = oracle.result.ids().into_iter().collect();
+            for (s, data) in &sharded {
+                let got = data.gir_star(&scoring, &q, k, m).unwrap();
+                prop_assert_eq!(
+                    got.result.ids(),
+                    oracle.result.ids(),
+                    "{:?} S={}: merged top-k differs from single-tree BRS",
+                    m,
+                    s
+                );
+                check_star_regions_equivalent(
+                    m,
+                    *s,
+                    &live,
+                    &result_ids,
+                    &scoring,
+                    &oracle.region,
+                    &got.region,
+                    d,
+                    &mut probe_seed,
+                );
+            }
+        }
+    }
+
+    // Occupancy sanity: every sharding still holds the full dataset.
+    for (s, data) in &sharded {
+        prop_assert_eq!(data.len(), live.len() as u64, "S={}: lost records", s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 2-d: rotating stars degenerate to 2-facet fans; cheap reductions.
+    #[test]
+    fn star_sharded_matches_oracle_2d(
+        rows in dataset(2, 45),
+        w in proptest::collection::vec(0.05f64..1.0, 2),
+        all_ops in ops(2),
+        k in 1usize..5,
+    ) {
+        check_star_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 3-d: concurrent incident-facet stars plus hull-of-skyline reuse.
+    #[test]
+    fn star_sharded_matches_oracle_3d(
+        rows in dataset(3, 55),
+        w in proptest::collection::vec(0.05f64..1.0, 3),
+        all_ops in ops(3),
+        k in 1usize..6,
+    ) {
+        check_star_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 4-d: larger skylines, degenerate hulls more likely.
+    #[test]
+    fn star_sharded_matches_oracle_4d(
+        rows in dataset(4, 50),
+        w in proptest::collection::vec(0.05f64..1.0, 4),
+        all_ops in ops(4),
+        k in 1usize..4,
+    ) {
+        check_star_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+
+    /// 5-d: the dimensionality ceiling of the paper's experiments.
+    #[test]
+    fn star_sharded_matches_oracle_5d(
+        rows in dataset(5, 40),
+        w in proptest::collection::vec(0.05f64..1.0, 5),
+        all_ops in ops(5),
+        k in 1usize..4,
+    ) {
+        check_star_sharded_equivalence(&rows, w, &all_ops, k);
+    }
+}
