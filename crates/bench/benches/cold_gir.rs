@@ -14,7 +14,10 @@
 //! Results go to stdout (criterion table) and to `BENCH_cold_gir.json`
 //! at the workspace root, which CI uploads as a workflow artifact
 //! alongside `BENCH_serve.json` so the cold-path trajectory is
-//! recorded per run.
+//! recorded per run. Each JSON row carries `topk_pages` (BRS node
+//! accesses — the paper's Figure 15/18 I/O cost metric) and
+//! `gir_pages` (Phase-2 page fetches) alongside the wall-clock
+//! columns, probed once per configuration outside the timing loop.
 //!
 //! Knobs: `GIR_COLD_NS` (comma-separated dataset sizes, default
 //! "2000,8000"), `GIR_COLD_DS` (dimensionalities, default "2,3,4"),
@@ -26,6 +29,7 @@ use gir_datagen::{synthetic, Distribution};
 use gir_query::QueryVector;
 use gir_rtree::RTree;
 use gir_storage::{MemPageStore, PageStore, PAGE_SIZE};
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,6 +67,11 @@ fn main() {
         .measurement_time(Duration::from_millis(600));
 
     println!("cold compute_gir  (IND, k={k}, seed {seed}; per-call wall clock)\n");
+    // Per-bench logical page counts — `topk_pages` is the BRS tree's
+    // node-access count (the paper's Figure 15/18 cost metric),
+    // `gir_pages` Phase 2's. Deterministic per configuration, so one
+    // un-timed probe call per bench id records them for the JSON rows.
+    let mut pages: HashMap<String, (u64, u64)> = HashMap::new();
     for &n in &ns {
         for &d in &ds {
             let data = synthetic(Distribution::Independent, n, d, seed.wrapping_add(1));
@@ -77,10 +86,18 @@ fn main() {
                 .gir_indexed(&q, k, Method::FacetPruning, &index)
                 .expect("warm");
             for m in methods {
-                c.bench_function(&format!("cold/{}/n{n}/d{d}", m.label()), |b| {
+                let cold_id = format!("cold/{}/n{n}/d{d}", m.label());
+                let st = engine.gir(&q, k, m).expect("gir").stats;
+                pages.insert(cold_id.clone(), (st.topk_pages, st.gir_pages));
+                c.bench_function(&cold_id, |b| {
                     b.iter(|| engine.gir(&q, k, m).expect("gir").stats.candidates)
                 });
-                c.bench_function(&format!("indexed_recompute/{}/n{n}/d{d}", m.label()), |b| {
+
+                let recompute_id = format!("indexed_recompute/{}/n{n}/d{d}", m.label());
+                index.clear_phase2();
+                let st = engine.gir_indexed(&q, k, m, &index).expect("probe").stats;
+                pages.insert(recompute_id.clone(), (st.topk_pages, st.gir_pages));
+                c.bench_function(&recompute_id, |b| {
                     b.iter(|| {
                         index.clear_phase2();
                         engine
@@ -90,7 +107,13 @@ fn main() {
                             .candidates
                     })
                 });
-                c.bench_function(&format!("indexed_reuse/{}/n{n}/d{d}", m.label()), |b| {
+
+                // The recompute bench's last iteration left the shared
+                // Phase-2 system warm — exactly the reuse state.
+                let reuse_id = format!("indexed_reuse/{}/n{n}/d{d}", m.label());
+                let st = engine.gir_indexed(&q, k, m, &index).expect("probe").stats;
+                pages.insert(reuse_id.clone(), (st.topk_pages, st.gir_pages));
+                c.bench_function(&reuse_id, |b| {
                     b.iter(|| {
                         engine
                             .gir_indexed(&q, k, m, &index)
@@ -108,8 +131,10 @@ fn main() {
         .summaries()
         .iter()
         .map(|s: &BenchSummary| {
+            let (topk_pages, gir_pages) = pages.get(&s.id).copied().unwrap_or((0, 0));
             format!(
-                "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"samples\":{}}}",
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"samples\":{},\
+                 \"topk_pages\":{topk_pages},\"gir_pages\":{gir_pages}}}",
                 s.id, s.mean_ns, s.stddev_ns, s.samples
             )
         })

@@ -211,9 +211,62 @@ fn main() {
     for (label, mode, indexed) in [
         ("sweep", MaintenanceMode::LegacySweep, false),
         ("delta_noindex", MaintenanceMode::DeltaRepair, false),
-        ("delta", MaintenanceMode::DeltaRepair, true),
     ] {
         let (agg, repaired) = replay(&base_data, d, mix_threads, mode, indexed, &mix_traffic);
+        mix_table.row(vec![
+            label.to_string(),
+            format!("{:.0}", agg.qps),
+            format!("{:.1}%", agg.hit_rate() * 100.0),
+            agg.p50_us.to_string(),
+            agg.p99_us.to_string(),
+            agg.miss_p50_us.to_string(),
+            agg.miss_p99_us.to_string(),
+            repaired.to_string(),
+        ]);
+        json_rows.push(json_row(mix_threads, n, label, "mixed", &agg));
+    }
+    // The observability-overhead A/B: the full delta + prune-index
+    // pipeline with and without the gir-obs collector installed (every
+    // span, event and registry metric live). `perf_gate
+    // --max-obs-overhead` gates the enabled-path cost (≤5% qps) on this
+    // pair, so the measurement has to be noise-resistant: run the two
+    // configurations interleaved, three pairs, and report each side's
+    // best replay. A frequency or scheduling wobble then has to hit the
+    // same side in all three rounds to skew the ratio, instead of one
+    // unlucky replay deciding the gate. Same seed on one thread keeps
+    // the hit counts bit-identical regardless of which round wins.
+    let mut best_plain: Option<(ServeStats, usize)> = None;
+    let mut best_obs: Option<(ServeStats, usize)> = None;
+    for _ in 0..3 {
+        let (agg, repaired) = replay(
+            &base_data,
+            d,
+            mix_threads,
+            MaintenanceMode::DeltaRepair,
+            true,
+            &mix_traffic,
+        );
+        if best_plain.as_ref().is_none_or(|(b, _)| agg.qps > b.qps) {
+            best_plain = Some((agg, repaired));
+        }
+        gir_obs::install_global_collector();
+        let (agg, repaired) = replay(
+            &base_data,
+            d,
+            mix_threads,
+            MaintenanceMode::DeltaRepair,
+            true,
+            &mix_traffic,
+        );
+        tracing::clear_collector();
+        if best_obs.as_ref().is_none_or(|(b, _)| agg.qps > b.qps) {
+            best_obs = Some((agg, repaired));
+        }
+    }
+    for (label, (agg, repaired)) in [
+        ("delta", best_plain.expect("three rounds ran")),
+        ("delta_obs", best_obs.expect("three rounds ran")),
+    ] {
         mix_table.row(vec![
             label.to_string(),
             format!("{:.0}", agg.qps),
@@ -265,8 +318,9 @@ fn main() {
         ]);
         json_rows.push(json_row(mix_threads, n, "sharded", "mixed", &agg));
     }
-    mix_table
-        .print("update pipeline under churn (sweep vs delta vs delta + prune index vs sharded)");
+    mix_table.print(
+        "update pipeline under churn (sweep vs delta vs delta + prune index vs obs-enabled vs sharded)",
+    );
 
     let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
     // Cargo runs benches with CWD = the package root; anchor the report

@@ -1,0 +1,151 @@
+//! CI smoke check over a `gir-obs` registry snapshot
+//! (`serve_workload --metrics` output).
+//!
+//! ```text
+//! metrics_check <metrics.json>
+//! ```
+//!
+//! Validates the snapshot's shape and that the two metric pipelines
+//! both produced data:
+//!
+//! * the **ServeStats producer** — `serve.hits` / `serve.misses`
+//!   counters and the `serve.latency.us` histogram must be present
+//!   with nonzero counts (a mixed workload always has both outcomes);
+//! * the **span/event collector** — `event.cache_hit` and
+//!   `event.cache_miss` (fired inside `ShardedGirCache::lookup`) must
+//!   agree in spirit: nonzero, and the `span.serve` counter must show
+//!   the root request span closing.
+//!
+//! Exit 0 = snapshot sound; exit 1 with a reason per failed check
+//! otherwise. The JSON parsing is the same single-pass key scan
+//! `perf_gate` uses — no serializer dependency.
+
+use std::process::ExitCode;
+
+/// Extracts the number right after `"key":` anywhere in `body`.
+fn counter(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let rest = &body[start..];
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `count` of histogram `name` (the first `"count":` after
+/// the histogram's key).
+fn histogram_count(body: &str, name: &str) -> Option<u64> {
+    let pat = format!("\"{name}\":");
+    let start = body.find(&pat)? + pat.len();
+    counter(&body[start..], "count")
+}
+
+/// Runs every check; returns human-readable failures (empty = pass).
+fn check(body: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let trimmed = body.trim();
+    if !(trimmed.starts_with('{') && trimmed.ends_with('}')) {
+        failures.push("snapshot is not a JSON object".into());
+        return failures;
+    }
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        if !trimmed.contains(section) {
+            failures.push(format!("snapshot lacks the {section} section"));
+        }
+    }
+    // ServeStats producer: the batch executor published outcomes.
+    for key in ["serve.hits", "serve.misses"] {
+        match counter(trimmed, key) {
+            Some(0) | None => failures.push(format!("counter {key} missing or zero")),
+            Some(_) => {}
+        }
+    }
+    match histogram_count(trimmed, "serve.latency.us") {
+        Some(0) | None => failures.push("histogram serve.latency.us missing or empty".into()),
+        Some(_) => {}
+    }
+    // Span/event collector: the cache fired hit/miss events and the
+    // root serve span closed into its histogram.
+    for key in ["event.cache_hit", "event.cache_miss", "span.serve"] {
+        match counter(trimmed, key) {
+            Some(0) | None => failures.push(format!("counter {key} missing or zero")),
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: metrics_check <metrics.json>");
+        return ExitCode::from(2);
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("metrics check FAILURE: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = check(&body);
+    if failures.is_empty() {
+        println!(
+            "metrics check: PASS ({} hits / {} misses, {} serve spans)",
+            counter(&body, "serve.hits").unwrap_or(0),
+            counter(&body, "serve.misses").unwrap_or(0),
+            counter(&body, "span.serve").unwrap_or(0),
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("metrics check FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(hits: u64, misses: u64) -> String {
+        format!(
+            "{{\"counters\":{{\"event.cache_hit\":{hits},\"event.cache_miss\":{misses},\
+             \"serve.hits\":{hits},\"serve.misses\":{misses},\"span.serve\":{}}},\
+             \"gauges\":{{}},\"histograms\":{{\"serve.latency.us\":{{\"count\":{},\
+             \"sum\":12345,\"buckets\":[[100,{hits}],[\"inf\",{misses}]]}}}}}}",
+            hits + misses,
+            hits + misses,
+        )
+    }
+
+    #[test]
+    fn sound_snapshot_passes() {
+        assert!(check(&snapshot(40, 8)).is_empty());
+    }
+
+    #[test]
+    fn zero_counters_fail() {
+        let failures = check(&snapshot(0, 8));
+        assert!(failures.iter().any(|f| f.contains("serve.hits")));
+        assert!(failures.iter().any(|f| f.contains("event.cache_hit")));
+    }
+
+    #[test]
+    fn missing_sections_fail() {
+        assert!(!check("{\"counters\":{}}").is_empty());
+        assert!(!check("[1,2,3]").is_empty());
+    }
+
+    #[test]
+    fn extraction_helpers() {
+        let s = snapshot(3, 4);
+        assert_eq!(counter(&s, "serve.hits"), Some(3));
+        assert_eq!(counter(&s, "absent"), None);
+        assert_eq!(histogram_count(&s, "serve.latency.us"), Some(7));
+    }
+}

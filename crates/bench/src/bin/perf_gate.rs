@@ -28,6 +28,15 @@
 //! and at least 90% of its throughput (strictly-faster is the
 //! expectation; the allowance absorbs wall-clock noise on shared CI
 //! runners while still catching any real inversion).
+//!
+//! `--max-obs-overhead <frac>` gates the observability cost on the
+//! fresh file alone: the mixed-workload `delta_obs` row (collector
+//! installed, every span/event/metric live) must keep at least
+//! `1 - frac` of the plain `delta` row's throughput, with identical
+//! hit rates (same seed, single-threaded ⇒ identical traffic and
+//! cache decisions). Both rows come from the same run on the same
+//! machine, so the comparison is immune to cross-machine wall-clock
+//! skew — unlike the baseline comparison above.
 
 use std::process::ExitCode;
 
@@ -115,6 +124,10 @@ struct GateConfig {
     max_drop: f64,
     hit_rate_only: bool,
     require_delta_win: bool,
+    /// Maximum relative qps cost of enabling observability
+    /// (`delta_obs` vs `delta` on the fresh mixed rows); `None` skips
+    /// the check.
+    max_obs_overhead: Option<f64>,
 }
 
 /// Runs the gate; returns human-readable failures (empty = pass).
@@ -206,6 +219,48 @@ fn gate(baseline: &[Row], fresh: &[Row], cfg: &GateConfig) -> Vec<String> {
             ),
         }
     }
+
+    if let Some(max_overhead) = cfg.max_obs_overhead {
+        let find = |mode: &str| {
+            fresh
+                .iter()
+                .find(|r| r.workload == "mixed" && r.mode == mode)
+        };
+        match (find("delta"), find("delta_obs")) {
+            (Some(plain), Some(obs)) => {
+                let overhead = rel_drop(plain.qps, obs.qps);
+                println!(
+                    "  obs overhead: qps {:.0} -> {:.0} ({:+.1}%, limit {:.0}%)",
+                    plain.qps,
+                    obs.qps,
+                    -100.0 * overhead,
+                    100.0 * max_overhead,
+                );
+                if overhead > max_overhead {
+                    failures.push(format!(
+                        "observability overhead: delta_obs qps {:.0} is {:.1}% below delta \
+                         qps {:.0} (limit {:.0}%)",
+                        obs.qps,
+                        100.0 * overhead,
+                        plain.qps,
+                        100.0 * max_overhead
+                    ));
+                }
+                // Same seed, single thread: the collector must not
+                // change a single cache decision.
+                if (obs.hit_rate - plain.hit_rate).abs() > 1e-9 {
+                    failures.push(format!(
+                        "observability changed cache behaviour: hit rate {:.4} (obs) vs \
+                         {:.4} (plain)",
+                        obs.hit_rate, plain.hit_rate
+                    ));
+                }
+            }
+            _ => failures.push(
+                "--max-obs-overhead: fresh file lacks mixed-workload delta/delta_obs rows".into(),
+            ),
+        }
+    }
     failures
 }
 
@@ -216,6 +271,7 @@ fn main() -> ExitCode {
         max_drop: 0.25,
         hit_rate_only: false,
         require_delta_win: false,
+        max_obs_overhead: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -228,13 +284,20 @@ fn main() -> ExitCode {
             }
             "--hit-rate-only" => cfg.hit_rate_only = true,
             "--require-delta-win" => cfg.require_delta_win = true,
+            "--max-obs-overhead" => {
+                cfg.max_obs_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-obs-overhead needs a number"),
+                );
+            }
             _ => paths.push(a),
         }
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
         eprintln!(
             "usage: perf_gate <baseline.json> <fresh.json> [--max-drop 0.25] \
-             [--hit-rate-only] [--require-delta-win]"
+             [--hit-rate-only] [--require-delta-win] [--max-obs-overhead 0.05]"
         );
         return ExitCode::from(2);
     };
@@ -308,6 +371,7 @@ mod tests {
             max_drop: 0.25,
             hit_rate_only: false,
             require_delta_win: false,
+            max_obs_overhead: None,
         };
         let base = vec![row(DELTA)];
         // 20% qps drop: within budget.
@@ -336,6 +400,7 @@ mod tests {
             max_drop: 0.25,
             hit_rate_only: false,
             require_delta_win: false,
+            max_obs_overhead: None,
         };
         let mut single = row(DELTA);
         single.threads = 1;
@@ -375,6 +440,7 @@ mod tests {
             max_drop: 0.25,
             hit_rate_only: false,
             require_delta_win: false,
+            max_obs_overhead: None,
         };
         // Different n (reduced CI load) never compares against a
         // full-size baseline.
@@ -389,6 +455,7 @@ mod tests {
             max_drop: 0.25,
             hit_rate_only: false,
             require_delta_win: true,
+            max_obs_overhead: None,
         };
         let fresh = vec![row(DELTA), row(SWEEP)];
         assert!(gate(&[], &fresh, &cfg).is_empty());
@@ -399,6 +466,35 @@ mod tests {
         assert_eq!(gate(&[], &[row(DELTA), tied], &cfg).len(), 1);
 
         // Missing rows trip it too.
+        assert_eq!(gate(&[], &[row(DELTA)], &cfg).len(), 1);
+    }
+
+    #[test]
+    fn obs_overhead_gate() {
+        let cfg = GateConfig {
+            max_drop: 0.25,
+            hit_rate_only: false,
+            require_delta_win: false,
+            max_obs_overhead: Some(0.05),
+        };
+        let obs_row = |qps_factor: f64, hit_rate: f64| {
+            let mut r = row(DELTA);
+            r.mode = "delta_obs".into();
+            r.qps *= qps_factor;
+            r.hit_rate = hit_rate;
+            r
+        };
+        // 3% overhead, identical hit rate: within the 5% budget.
+        let fresh = vec![row(DELTA), obs_row(0.97, 0.75)];
+        assert!(gate(&[], &fresh, &cfg).is_empty());
+        // 8% overhead: the collector got too expensive.
+        let fresh = vec![row(DELTA), obs_row(0.92, 0.75)];
+        assert_eq!(gate(&[], &fresh, &cfg).len(), 1);
+        // A hit-rate divergence means observability changed cache
+        // behaviour — always a failure, whatever the qps.
+        let fresh = vec![row(DELTA), obs_row(1.0, 0.74)];
+        assert_eq!(gate(&[], &fresh, &cfg).len(), 1);
+        // Missing delta_obs row with the flag set: failure.
         assert_eq!(gate(&[], &[row(DELTA)], &cfg).len(), 1);
     }
 }

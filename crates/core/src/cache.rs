@@ -322,6 +322,12 @@ impl GirCache {
             out.untouched = self.entries.len();
             return out;
         }
+        let mut apply_span = tracing::span!(
+            "cache_apply",
+            entries = self.entries.len(),
+            inserts = batch.inserts().len(),
+            deletes = batch.deleted_ids().len(),
+        );
         self.entries.retain_mut(|e| {
             // Star entries reuse their admission-time R⁻ instead of
             // rebuilding the hull-pruned pivot set per batch.
@@ -333,8 +339,10 @@ impl GirCache {
                 ),
                 RegionKind::Gir => None,
             };
+            let classify_span = tracing::span!("classify");
             let verdict =
                 batch.classify_kind_with(&e.region, &e.result, &e.scoring, e.kind, r_minus);
+            drop(classify_span);
             match verdict.impact {
                 UpdateImpact::Unaffected => {
                     out.untouched += 1;
@@ -354,6 +362,7 @@ impl GirCache {
                         removed: &verdict.removed_contributors,
                         shrinks: &verdict.shrinks,
                     };
+                    let _repair_span = tracing::span!("repair");
                     match repair(&req) {
                         Some(region) => {
                             e.region = region;
@@ -376,6 +385,11 @@ impl GirCache {
                 }
             }
         });
+        apply_span.record("untouched", out.untouched);
+        apply_span.record("shrunk", out.shrunk);
+        apply_span.record("repaired", out.repaired);
+        apply_span.record("evicted", out.evicted);
+        drop(apply_span);
         self.evictions += out.evicted as u64;
         out
     }

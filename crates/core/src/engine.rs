@@ -192,15 +192,21 @@ impl<'a> GirEngine<'a> {
         let store = self.tree.store();
         let s0 = store.stats();
         let t0 = Instant::now();
+        let mut topk_span = tracing::span!("brs_topk", method = method.label());
         let (result, state) = brs_topk(self.tree, &self.scoring, &q.weights, k)?;
         if result.is_empty() {
             return Err(GirError::EmptyResult);
         }
         let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
         let s1 = store.stats();
+        topk_span.record("pages", s1.reads_since(&s0));
+        drop(topk_span);
 
         let t1 = Instant::now();
+        let phase1_span = tracing::span!("phase1", k = k);
         let mut halfspaces = ordering_halfspaces(&result, &self.scoring);
+        drop(phase1_span);
+        let mut phase2_span = tracing::span!("phase2", method = method.label());
         let result_ids: HashSet<u64> = result.ids().into_iter().collect();
         let kth = result.kth().clone();
 
@@ -226,6 +232,9 @@ impl<'a> GirEngine<'a> {
         let region = GirRegion::new(self.tree.dim(), q.weights.clone(), halfspaces);
         let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
         let s2 = store.stats();
+        phase2_span.record("pages", s2.reads_since(&s1));
+        phase2_span.record("candidates", candidates);
+        drop(phase2_span);
 
         let stats = GirStats {
             topk_ms,
@@ -293,15 +302,21 @@ impl<'a> GirEngine<'a> {
         let s0 = store.stats();
 
         let t0 = Instant::now();
+        let mut topk_span = tracing::span!("mirror_topk", method = method.label());
         let (result, frontier) = mirror.topk(&self.scoring, &q.weights, k);
         if result.is_empty() {
             return Err(GirError::EmptyResult);
         }
         let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
         let s1 = store.stats();
+        topk_span.record("pages", s1.reads_since(&s0));
+        drop(topk_span);
 
         let t1 = Instant::now();
+        let phase1_span = tracing::span!("phase1", k = k);
         let mut halfspaces = ordering_halfspaces(&result, &self.scoring);
+        drop(phase1_span);
+        let mut phase2_span = tracing::span!("phase2", method = method.label());
         let kth = result.kth().clone();
         let result_ids = result.ids();
         let mut ids_sorted = result_ids.clone();
@@ -311,13 +326,10 @@ impl<'a> GirEngine<'a> {
         // pivot, method) — not on the query vector — so jittered
         // queries reproducing a known ranking set reuse it verbatim
         // from the index (maintained exactly under deltas).
-        let (phase2, structure_size): (Arc<Vec<HalfSpace>>, usize) = match index.phase2_lookup(
-            RegionKind::Gir,
-            method,
-            &ids_sorted,
-            kth.id,
-            &self.scoring,
-        ) {
+        let lookup =
+            index.phase2_lookup(RegionKind::Gir, method, &ids_sorted, kth.id, &self.scoring);
+        phase2_span.record("cached", lookup.is_some());
+        let (phase2, structure_size): (Arc<Vec<HalfSpace>>, usize) = match lookup {
             Some(hit) => hit,
             None => {
                 let (hs, structure) = match method {
@@ -384,6 +396,9 @@ impl<'a> GirEngine<'a> {
         let region = GirRegion::new(self.tree.dim(), q.weights.clone(), halfspaces);
         let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
         let s2 = store.stats();
+        phase2_span.record("pages", s2.reads_since(&s1));
+        phase2_span.record("candidates", candidates);
+        drop(phase2_span);
 
         let stats = GirStats {
             topk_ms,
@@ -529,14 +544,18 @@ impl<'a> GirEngine<'a> {
         let store = self.tree.store();
         let s0 = store.stats();
         let t0 = Instant::now();
+        let mut topk_span = tracing::span!("brs_topk", method = method.label());
         let (result, state) = brs_topk(self.tree, &self.scoring, &q.weights, k)?;
         if result.is_empty() {
             return Err(GirError::EmptyResult);
         }
         let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
         let s1 = store.stats();
+        topk_span.record("pages", s1.reads_since(&s0));
+        drop(topk_span);
 
         let t1 = Instant::now();
+        let mut star_span = tracing::span!("star_region", method = method.label());
         let (region, st): (GirRegion, GirStarStats) = gir_star_region(
             self.tree,
             &self.scoring,
@@ -547,6 +566,9 @@ impl<'a> GirEngine<'a> {
         )?;
         let gir_cpu_ms = t1.elapsed().as_secs_f64() * 1e3;
         let s2 = store.stats();
+        star_span.record("pages", s2.reads_since(&s1));
+        star_span.record("candidates", st.candidates);
+        drop(star_span);
 
         let stats = GirStats {
             topk_ms,

@@ -121,6 +121,10 @@ impl TreeMirror {
         assert!(k >= 1, "k must be at least 1");
         let mut heap: BinaryHeap<FrontierEntry<'_>> = BinaryHeap::new();
         let mut ranked: Vec<(Record, f64)> = Vec::with_capacity(k);
+        // Plain locals, reported once at the end: BRS cost accounting
+        // for EXPLAIN/metrics without per-visit dispatch.
+        let mut nodes_visited = 0u64;
+        let mut leaves_scanned = 0u64;
         heap.push(FrontierEntry::Node {
             page: self.root,
             maxscore: f64::INFINITY,
@@ -136,6 +140,7 @@ impl TreeMirror {
                 }
                 FrontierEntry::Node { page, .. } => match self.node(page) {
                     MirrorNode::Internal(children) => {
+                        nodes_visited += 1;
                         for (mbb, child) in children {
                             heap.push(FrontierEntry::Node {
                                 page: *child,
@@ -145,6 +150,8 @@ impl TreeMirror {
                         }
                     }
                     MirrorNode::Leaf(records) => {
+                        nodes_visited += 1;
+                        leaves_scanned += records.len() as u64;
                         for rec in records {
                             heap.push(FrontierEntry::Rec {
                                 rec,
@@ -155,6 +162,7 @@ impl TreeMirror {
                 },
             }
         }
+        tracing::event!("brs_visit", nodes = nodes_visited, leaves = leaves_scanned);
         (TopKResult { ranked }, Frontier { heap })
     }
 }

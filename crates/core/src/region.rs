@@ -37,6 +37,16 @@ pub enum RegionKind {
     GirStar,
 }
 
+impl RegionKind {
+    /// Short label for logs, spans, and bench rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RegionKind::Gir => "gir",
+            RegionKind::GirStar => "gir_star",
+        }
+    }
+}
+
 /// A global immutable region: all query vectors preserving the top-k
 /// result of `query`.
 #[derive(Debug, Clone)]

@@ -154,18 +154,26 @@ pub fn gir_sharded(
     let t0 = Instant::now();
     let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
         .iter()
-        .map(|m| m.topk(scoring, &q.weights, k))
+        .enumerate()
+        .map(|(si, m)| {
+            let _s = tracing::span!("shard_topk", shard = si);
+            m.topk(scoring, &q.weights, k)
+        })
         .collect();
+    let merge_span = tracing::span!("merge", shards = shards.len());
     let ranked = merge_ranked(&runs, k);
     if ranked.is_empty() {
         return Err(GirError::EmptyResult);
     }
     let result = TopKResult { ranked };
+    drop(merge_span);
     let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
     let io_topk: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
     let t1 = Instant::now();
+    let phase1_span = tracing::span!("phase1", k = k);
     let mut halfspaces = ordering_halfspaces(&result, scoring);
+    drop(phase1_span);
     let kth = result.kth().clone();
     let result_ids = result.ids();
     let mut ids_sorted = result_ids.clone();
@@ -174,9 +182,14 @@ pub fn gir_sharded(
 
     let mut candidates = 0usize;
     let mut structure_total = 0usize;
-    for (((shard, state), mirror), (shard_res, mut frontier)) in
-        shards.iter().zip(&states).zip(&mirrors).zip(runs)
+    for (si, (((shard, state), mirror), (shard_res, mut frontier))) in shards
+        .iter()
+        .zip(&states)
+        .zip(&mirrors)
+        .zip(runs)
+        .enumerate()
     {
+        let mut shard_span = tracing::span!("shard_phase2", shard = si, method = method.label());
         // Shard-ranked records that did not make the global result are
         // non-result candidates the retained frontier no longer covers
         // (BRS popped them): re-seed them before the sweep. Every
@@ -198,10 +211,12 @@ pub fn gir_sharded(
             let (hs, st) = fullscan_phase2(shard.tree, scoring, &kth, &result_id_set)?;
             (Arc::new(hs), st.structure_size)
         } else {
-            match shard
-                .index
-                .phase2_lookup(RegionKind::Gir, method, &ids_sorted, kth.id, scoring)
-            {
+            let lookup =
+                shard
+                    .index
+                    .phase2_lookup(RegionKind::Gir, method, &ids_sorted, kth.id, scoring);
+            shard_span.record("cached", lookup.is_some());
+            match lookup {
                 Some(hit) => hit,
                 None => {
                     let (hs, structure) = shard_phase2(
@@ -233,6 +248,7 @@ pub fn gir_sharded(
         candidates += phase2.len();
         structure_total += structure;
         halfspaces.extend(phase2.iter().cloned());
+        shard_span.record("candidates", phase2.len());
     }
 
     let region = GirRegion::new(d, q.weights.clone(), halfspaces);
@@ -376,13 +392,19 @@ pub fn gir_star_sharded(
     let t0 = Instant::now();
     let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
         .iter()
-        .map(|m| m.topk(scoring, &q.weights, k))
+        .enumerate()
+        .map(|(si, m)| {
+            let _s = tracing::span!("shard_topk", shard = si);
+            m.topk(scoring, &q.weights, k)
+        })
         .collect();
+    let merge_span = tracing::span!("merge", shards = shards.len());
     let ranked = merge_ranked(&runs, k);
     if ranked.is_empty() {
         return Err(GirError::EmptyResult);
     }
     let result = TopKResult { ranked };
+    drop(merge_span);
     let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
     let io_topk: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
@@ -403,9 +425,15 @@ pub fn gir_star_sharded(
     let mut halfspaces: Vec<HalfSpace> = Vec::new();
     let mut candidates = 0usize;
     let mut structure_total = 0usize;
-    for (((shard, state), mirror), (shard_res, mut frontier)) in
-        shards.iter().zip(&states).zip(&mirrors).zip(runs)
+    for (si, (((shard, state), mirror), (shard_res, mut frontier))) in shards
+        .iter()
+        .zip(&states)
+        .zip(&mirrors)
+        .zip(runs)
+        .enumerate()
     {
+        let mut shard_span =
+            tracing::span!("shard_star_phase2", shard = si, method = method.label());
         // Re-seed shard-ranked records that missed the global result,
         // exactly as in `gir_sharded`: they are non-result candidates
         // the retained frontier no longer covers.
@@ -417,13 +445,12 @@ pub fn gir_star_sharded(
             }
         }
 
-        let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = match shard.index.phase2_lookup(
-            RegionKind::GirStar,
-            method,
-            &ids_ranked,
-            kth.id,
-            scoring,
-        ) {
+        let lookup =
+            shard
+                .index
+                .phase2_lookup(RegionKind::GirStar, method, &ids_ranked, kth.id, scoring);
+        shard_span.record("cached", lookup.is_some());
+        let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = match lookup {
             Some(hit) => hit,
             None => {
                 let (hs, structure) = shard_star_phase2(
@@ -455,6 +482,7 @@ pub fn gir_star_sharded(
         candidates += phase2.len();
         structure_total += structure;
         halfspaces.extend(phase2.iter().cloned());
+        shard_span.record("candidates", phase2.len());
     }
 
     // No ordering half-spaces: Definition 2 is order-insensitive.

@@ -450,6 +450,10 @@ pub fn maximize_scratch(
     x: &mut [f64],
 ) -> Option<f64> {
     debug_assert_eq!(c.len(), x.len());
+    // Every LP feasibility/optimization call in the workspace funnels
+    // through here — the one place EXPLAIN and the metrics registry
+    // count solves. One relaxed load when observability is off.
+    tracing::event!("lp_call");
     if solve_top(&mut scratch.core, c, &cons, lo, hi, x) {
         Some(dot(c, x))
     } else {

@@ -1,0 +1,331 @@
+//! The bridge from the vendored `tracing` stand-in into the registry:
+//! every closed span becomes a duration histogram sample, every event a
+//! counter bump.
+
+use crate::registry::{Registry, LATENCY_BUCKETS_US};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, OnceLock};
+use tracing::{Collect, Value};
+
+/// Keys worth promoting from span/event fields into their own counters —
+/// the work counts the planner wants as process totals, not just
+/// per-query EXPLAIN rows.
+const SUMMED_FIELDS: &[&str] = &["pages", "nodes", "leaves", "calls"];
+
+fn summed_idx(key: &str) -> Option<usize> {
+    SUMMED_FIELDS.iter().position(|s| *s == key)
+}
+
+/// The registry handles one span or event name resolves to, bundled so
+/// the hot path pays a single cache probe per delivery.
+struct Entry {
+    /// `name.as_ptr() as usize` — an identity key, never dereferenced.
+    /// Macro call sites hand out stable `&'static str` pointers, so one
+    /// integer compare resolves the name without hashing it. Distinct
+    /// pointers to equal names (cross-codegen-unit literal duplication)
+    /// get separate entries aliasing the same registry metrics.
+    key: usize,
+    /// `span.<name>.us` — only spans carry one.
+    hist: Option<Arc<crate::Histogram>>,
+    /// `span.<name>` / `event.<name>`.
+    count: Arc<crate::Counter>,
+    /// `…<name>.<field>` counters; slot `i` pairs with
+    /// `SUMMED_FIELDS[i]`. Filled lazily by the first delivery carrying
+    /// the field — a name can close without a field on one code path
+    /// and with it on another — after which the init is an acquire
+    /// load.
+    fields: [OnceLock<Arc<crate::Counter>>; SUMMED_FIELDS.len()],
+}
+
+/// Far above the workspace's span/event name count (~20); only
+/// unbounded dynamically-leaked names could fill it, and those fall
+/// back to per-delivery resolution rather than failing.
+const CACHE_CAP: usize = 64;
+
+/// Lock-free name → [`Entry`] cache: a fixed array of once-published
+/// pointers scanned linearly. Entries are inserted with a CAS into the
+/// first free slot and never moved or freed while the cache lives, so
+/// readers need no lock — the steady-state delivery is a few `Acquire`
+/// loads plus the counter/histogram atomics.
+struct NameCache {
+    slots: [AtomicPtr<Entry>; CACHE_CAP],
+}
+
+impl NameCache {
+    fn new() -> Self {
+        NameCache {
+            slots: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// The published entry for `key`, if any. Slots fill front to back,
+    /// so the scan can stop at the first null.
+    fn find(&self, key: usize) -> Option<&Entry> {
+        for slot in &self.slots {
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                return None;
+            }
+            // Safety: non-null slots hold `Box::into_raw` pointers
+            // published by `insert` and freed only by `Drop` (which has
+            // `&mut self`, so no concurrent readers).
+            let e = unsafe { &*p };
+            if e.key == key {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Publishes `entry` into the first free slot, or returns the
+    /// winner if another thread published the same key first. `None`
+    /// when the cache is full.
+    fn insert(&self, entry: Entry) -> Option<&Entry> {
+        let key = entry.key;
+        let fresh = Box::into_raw(Box::new(entry));
+        let mut i = 0;
+        while i < CACHE_CAP {
+            let slot = &self.slots[i];
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                match slot.compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    // Safety: just published; never freed while `self`
+                    // is shared (see `find`).
+                    Ok(_) => return Some(unsafe { &*fresh }),
+                    // Lost the race for this slot — re-examine it, the
+                    // winner may be our key.
+                    Err(_) => continue,
+                }
+            }
+            // Safety: as in `find`.
+            let e = unsafe { &*p };
+            if e.key == key {
+                // Safety: `fresh` never escaped this function.
+                drop(unsafe { Box::from_raw(fresh) });
+                return Some(e);
+            }
+            i += 1;
+        }
+        // Safety: `fresh` never escaped this function.
+        drop(unsafe { Box::from_raw(fresh) });
+        None
+    }
+}
+
+impl Drop for NameCache {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // Safety: exclusive access; the pointer came from
+                // `Box::into_raw` in `insert` and is freed exactly once.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// A [`Collect`]or that folds the span/event stream into a
+/// [`Registry`]: span `x` feeds histogram `span.x.us` and counter
+/// `span.x`, event `y` feeds counter `event.y` (plus `…y.<field>` for
+/// the summable work-count fields). The steady state per delivery is
+/// one lock-free pointer scan — no lock, no string hashing, no Arc
+/// clones.
+pub struct RegistryCollector {
+    registry: &'static Registry,
+    spans: NameCache,
+    events: NameCache,
+}
+
+impl RegistryCollector {
+    /// A collector feeding `registry` (usually [`Registry::global`]).
+    pub fn new(registry: &'static Registry) -> Self {
+        RegistryCollector {
+            registry,
+            spans: NameCache::new(),
+            events: NameCache::new(),
+        }
+    }
+
+    fn make_entry(&self, key: usize, prefix: &str, name: &str, with_hist: bool) -> Entry {
+        Entry {
+            key,
+            hist: with_hist.then(|| {
+                self.registry
+                    .histogram(&format!("{prefix}.{name}.us"), LATENCY_BUCKETS_US)
+            }),
+            count: self.registry.counter(&format!("{prefix}.{name}")),
+            fields: Default::default(),
+        }
+    }
+
+    /// One delivery: resolve (or lazily publish) the name's handles and
+    /// apply the sample. `duration_ns` is `Some` for spans, `None` for
+    /// events.
+    fn record(
+        &self,
+        cache: &NameCache,
+        prefix: &'static str,
+        name: &'static str,
+        duration_ns: Option<u64>,
+        fields: &[(&'static str, Value)],
+    ) {
+        let key = name.as_ptr() as usize;
+        match cache.find(key) {
+            Some(e) => self.record_into(e, prefix, name, duration_ns, fields),
+            None => {
+                let entry = self.make_entry(key, prefix, name, duration_ns.is_some());
+                match cache.insert(entry) {
+                    Some(e) => self.record_into(e, prefix, name, duration_ns, fields),
+                    None => {
+                        // Cache full (only plausible with unbounded
+                        // dynamic names): resolve per delivery —
+                        // slower, still correct.
+                        let e = self.make_entry(key, prefix, name, duration_ns.is_some());
+                        self.record_into(&e, prefix, name, duration_ns, fields);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_into(
+        &self,
+        e: &Entry,
+        prefix: &str,
+        name: &str,
+        duration_ns: Option<u64>,
+        fields: &[(&'static str, Value)],
+    ) {
+        if let (Some(hist), Some(ns)) = (&e.hist, duration_ns) {
+            hist.observe(ns / 1_000);
+        }
+        e.count.inc();
+        for (k, v) in fields {
+            let Some(val) = v.as_u64() else { continue };
+            if let Some(i) = summed_idx(k) {
+                e.fields[i]
+                    .get_or_init(|| {
+                        self.registry
+                            .counter(&format!("{prefix}.{name}.{}", SUMMED_FIELDS[i]))
+                    })
+                    .add(val);
+            }
+        }
+    }
+}
+
+impl Collect for RegistryCollector {
+    fn span_closed(&self, name: &'static str, duration_ns: u64, fields: &[(&'static str, Value)]) {
+        self.record(&self.spans, "span", name, Some(duration_ns), fields);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.record(&self.events, "event", name, None, fields);
+    }
+}
+
+/// Installs a [`RegistryCollector`] over the global registry, turning
+/// every span/event in the process into registry metrics.
+pub fn install_global_collector() {
+    tracing::set_collector(Arc::new(RegistryCollector::new(Registry::global())));
+}
+
+/// Honours the `GIR_OBS` environment knob: any value other than unset,
+/// empty, or `0` installs the global collector. Returns whether
+/// observability was switched on.
+pub fn install_from_env() -> bool {
+    match std::env::var("GIR_OBS") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            install_global_collector();
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_events_land_in_the_registry() {
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let c = RegistryCollector::new(registry);
+        c.span_closed(
+            "phase2",
+            250_000,
+            &[("method", Value::Str("FP")), ("pages", Value::U64(6))],
+        );
+        c.span_closed(
+            "phase2",
+            1_000,
+            &[("method", Value::Str("FP")), ("pages", Value::U64(0))],
+        );
+        c.event("lp_call", &[]);
+        c.event("lp_call", &[("calls", Value::U64(4))]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("span.phase2"), Some(2));
+        assert_eq!(snap.counter("span.phase2.pages"), Some(6));
+        assert_eq!(snap.counter("event.lp_call"), Some(2));
+        let h = snap.histogram("span.phase2.us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 251);
+    }
+
+    #[test]
+    fn distinct_name_pointers_alias_one_metric() {
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let c = RegistryCollector::new(registry);
+        // Two distinct allocations with equal contents: the cache keys
+        // differ, the registry metric must not.
+        let a: &'static str = Box::leak("admit".to_string().into_boxed_str());
+        let b: &'static str = Box::leak("admit".to_string().into_boxed_str());
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        c.span_closed(a, 1_000, &[]);
+        c.span_closed(b, 2_000, &[]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("span.admit"), Some(2));
+        assert_eq!(snap.histogram("span.admit.us").unwrap().count, 2);
+    }
+
+    #[test]
+    fn field_counters_resolve_lazily_per_code_path() {
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let c = RegistryCollector::new(registry);
+        // First close on a code path without the field: the slot must
+        // not freeze empty.
+        c.span_closed("cache_apply", 1_000, &[]);
+        c.span_closed("cache_apply", 1_000, &[("pages", Value::U64(5))]);
+        c.span_closed("cache_apply", 1_000, &[("pages", Value::U64(2))]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("span.cache_apply"), Some(3));
+        assert_eq!(snap.counter("span.cache_apply.pages"), Some(7));
+    }
+
+    #[test]
+    fn overflowing_the_name_cache_still_counts() {
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let c = RegistryCollector::new(registry);
+        // CACHE_CAP + a tail of uncacheable names: the fallback path
+        // must keep counting (and keep histograms live).
+        for i in 0..CACHE_CAP + 6 {
+            let name: &'static str = Box::leak(format!("n{i}").into_boxed_str());
+            c.event(name, &[]);
+            c.event(name, &[("pages", Value::U64(1))]);
+            c.span_closed(name, 1_000, &[]);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("event.n0"), Some(2));
+        assert_eq!(snap.counter("event.n0.pages"), Some(1));
+        let last = format!("event.n{}", CACHE_CAP + 5);
+        assert_eq!(snap.counter(&last), Some(2));
+        let last_span = format!("span.n{}.us", CACHE_CAP + 5);
+        assert_eq!(snap.histogram(&last_span).unwrap().count, 1);
+    }
+}

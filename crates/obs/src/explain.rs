@@ -1,0 +1,365 @@
+//! Per-query EXPLAIN: the captured span tree of one request distilled
+//! into the planner-facing feature vector.
+
+use crate::json_escape;
+use tracing::{CaptureTree, SpanRecord, Value};
+
+/// One span of an EXPLAIN tree: name, wall time, fields (rendered to
+/// strings), events aggregated to per-name counts (a cold miss fires
+/// thousands of `lp_call` events — the tree keeps their count, not
+/// each record), and children.
+#[derive(Debug, Clone)]
+pub struct ExplainSpan {
+    /// Phase label.
+    pub name: &'static str,
+    /// Wall-clock microseconds.
+    pub duration_us: u64,
+    /// Field key/value pairs, values rendered.
+    pub fields: Vec<(&'static str, String)>,
+    /// Event counts by name.
+    pub events: Vec<(&'static str, u64)>,
+    /// Nested child spans, in close order.
+    pub children: Vec<ExplainSpan>,
+}
+
+impl ExplainSpan {
+    fn from_record(rec: &SpanRecord) -> ExplainSpan {
+        let mut events: Vec<(&'static str, u64)> = Vec::new();
+        for e in &rec.events {
+            match events.iter_mut().find(|(n, _)| *n == e.name) {
+                Some((_, c)) => *c += 1,
+                None => events.push((e.name, 1)),
+            }
+        }
+        ExplainSpan {
+            name: rec.name,
+            duration_us: rec.duration_ns / 1_000,
+            fields: rec
+                .fields
+                .iter()
+                .map(|(k, v)| (*k, v.to_string()))
+                .collect(),
+            events,
+            children: rec.children.iter().map(ExplainSpan::from_record).collect(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"us\":{},\"fields\":{{",
+            json_escape(self.name),
+            self.duration_us
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("},\"events\":{");
+        for (i, (k, c)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), c));
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn write_text(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{} {}µs", self.name, self.duration_us));
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        for (k, c) in &self.events {
+            out.push_str(&format!(" [{k}×{c}]"));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.write_text(out, depth + 1);
+        }
+    }
+}
+
+/// The structured breakdown of one request: cache outcome, per-phase
+/// timings, LP/BRS work counts, and per-shard contributions — exactly
+/// the feature vector an adaptive planner consumes, plus the full span
+/// tree for humans.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Cache outcome label: `"hit"`, `"miss"`, or `"failed"`.
+    pub outcome: &'static str,
+    /// End-to-end request latency, microseconds.
+    pub total_us: u64,
+    /// Top-level phase timings: the direct children of the request
+    /// span, in execution order. Their durations sum to (within
+    /// bookkeeping overhead of) `total_us`.
+    pub phases: Vec<(&'static str, u64)>,
+    /// LP feasibility calls across all phases.
+    pub lp_calls: u64,
+    /// BRS internal nodes visited across all tree sweeps.
+    pub brs_nodes: u64,
+    /// BRS leaf entries scanned across all tree sweeps.
+    pub brs_leaves: u64,
+    /// Logical page accesses attributed to the request.
+    pub pages: u64,
+    /// Wall time attributed to each dataset shard: `(shard, µs)`, for
+    /// spans carrying a `shard` field (the sharded plan emits them as
+    /// non-nested siblings, so the sum is double-count-free).
+    pub per_shard_us: Vec<(u64, u64)>,
+    /// The full span tree (root spans in close order).
+    pub roots: Vec<ExplainSpan>,
+}
+
+fn field_u64(rec: &SpanRecord, key: &str) -> Option<u64> {
+    rec.field(key).and_then(Value::as_u64)
+}
+
+impl ExplainReport {
+    /// Distils a finished capture into a report. `outcome` and
+    /// `total_us` come from the response the capture wrapped.
+    pub fn from_tree(tree: &CaptureTree, outcome: &'static str, total_us: u64) -> ExplainReport {
+        let mut report = ExplainReport {
+            outcome,
+            total_us,
+            phases: Vec::new(),
+            lp_calls: 0,
+            brs_nodes: 0,
+            brs_leaves: 0,
+            pages: 0,
+            per_shard_us: Vec::new(),
+            roots: tree.spans.iter().map(ExplainSpan::from_record).collect(),
+        };
+        for rec in &tree.spans {
+            report.aggregate(rec);
+        }
+        for e in &tree.events {
+            report.aggregate_event(e.name, &e.fields);
+        }
+        // Phase rows: the request span's direct children when the tree
+        // has the canonical single root, the roots themselves otherwise.
+        let phase_source: &[SpanRecord] = match tree.spans.as_slice() {
+            [only] => &only.children,
+            other => other,
+        };
+        report.phases = phase_source
+            .iter()
+            .map(|c| (c.name, c.duration_ns / 1_000))
+            .collect();
+        report
+    }
+
+    fn aggregate(&mut self, rec: &SpanRecord) {
+        // `pages` span fields are NOT summed here: storage fires one
+        // `page_read` event per access, and the engine's span fields
+        // are iostats deltas over the same accesses — counting both
+        // would double the I/O attribution.
+        if let Some(v) = field_u64(rec, "nodes") {
+            self.brs_nodes += v;
+        }
+        if let Some(v) = field_u64(rec, "leaves") {
+            self.brs_leaves += v;
+        }
+        if let Some(shard) = field_u64(rec, "shard") {
+            let us = rec.duration_ns / 1_000;
+            match self.per_shard_us.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, total)) => *total += us,
+                None => self.per_shard_us.push((shard, us)),
+            }
+        }
+        for e in &rec.events {
+            self.aggregate_event(e.name, &e.fields);
+        }
+        for c in &rec.children {
+            self.aggregate(c);
+        }
+    }
+
+    fn aggregate_event(&mut self, name: &str, fields: &[(&'static str, Value)]) {
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| v.as_u64())
+        };
+        match name {
+            "lp_call" => self.lp_calls += get("calls").unwrap_or(1),
+            "page_read" => self.pages += get("pages").unwrap_or(1),
+            _ => {
+                self.brs_nodes += get("nodes").unwrap_or(0);
+                self.brs_leaves += get("leaves").unwrap_or(0);
+                self.pages += get("pages").unwrap_or(0);
+            }
+        }
+    }
+
+    /// Sum of the top-level phase durations.
+    pub fn phase_total_us(&self) -> u64 {
+        self.phases.iter().map(|(_, us)| us).sum()
+    }
+
+    /// JSON rendering of the report (summary plus full tree).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"outcome\":\"{}\",\"total_us\":{},\"lp_calls\":{},\"brs_nodes\":{},\
+             \"brs_leaves\":{},\"pages\":{},\"phases\":[",
+            json_escape(self.outcome),
+            self.total_us,
+            self.lp_calls,
+            self.brs_nodes,
+            self.brs_leaves,
+            self.pages,
+        );
+        for (i, (name, us)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[\"{}\",{}]", json_escape(name), us));
+        }
+        out.push_str("],\"per_shard_us\":[");
+        for (i, (shard, us)) in self.per_shard_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{shard},{us}]"));
+        }
+        out.push_str("],\"tree\":[");
+        for (i, r) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Indented human-readable rendering of the span tree.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{} in {}µs (lp_calls={}, brs_nodes={}, brs_leaves={}, pages={})\n",
+            self.outcome, self.total_us, self.lp_calls, self.brs_nodes, self.brs_leaves, self.pages,
+        );
+        for r in &self.roots {
+            r.write_text(&mut out, 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracing::{Capture, EventRecord, Fields};
+
+    fn span(name: &'static str, us: u64, fields: Fields, children: Vec<SpanRecord>) -> SpanRecord {
+        SpanRecord {
+            name,
+            duration_ns: us * 1_000,
+            fields,
+            children,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_distils_phases_and_work_counts() {
+        let mut topk = span(
+            "mirror_topk",
+            40,
+            vec![("nodes", Value::U64(12)), ("leaves", Value::U64(30))],
+            Vec::new(),
+        );
+        topk.events.push(EventRecord {
+            name: "page_read",
+            fields: vec![("pages", Value::U64(4))],
+        });
+        let mut phase2 = span(
+            "phase2",
+            100,
+            vec![("method", Value::Str("FP"))],
+            Vec::new(),
+        );
+        for _ in 0..3 {
+            phase2.events.push(EventRecord {
+                name: "lp_call",
+                fields: Vec::new(),
+            });
+        }
+        let compute = span("compute", 150, Vec::new(), vec![topk, phase2]);
+        let lookup = span("cache_lookup", 2, Vec::new(), Vec::new());
+        let root = span("serve", 160, Vec::new(), vec![lookup, compute]);
+        let tree = CaptureTree {
+            spans: vec![root],
+            events: Vec::new(),
+        };
+        let report = ExplainReport::from_tree(&tree, "miss", 170);
+        assert_eq!(report.outcome, "miss");
+        assert_eq!(report.phases, vec![("cache_lookup", 2), ("compute", 150)]);
+        assert_eq!(report.phase_total_us(), 152);
+        assert_eq!(report.lp_calls, 3);
+        assert_eq!(report.brs_nodes, 12);
+        assert_eq!(report.brs_leaves, 30);
+        assert_eq!(report.pages, 4);
+        let json = report.to_json();
+        assert!(json.contains("\"outcome\":\"miss\""), "{json}");
+        assert!(json.contains("[\"compute\",150]"), "{json}");
+        assert!(json.contains("\"lp_call\":3"), "{json}");
+        let text = report.to_text();
+        assert!(
+            text.contains("phase2 100µs method=FP [lp_call×3]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn per_shard_attribution_sums_sibling_spans() {
+        let s0a = span("shard_topk", 10, vec![("shard", Value::U64(0))], Vec::new());
+        let s0b = span(
+            "shard_phase2",
+            25,
+            vec![("shard", Value::U64(0))],
+            Vec::new(),
+        );
+        let s1 = span("shard_topk", 7, vec![("shard", Value::U64(1))], Vec::new());
+        let root = span("serve", 50, Vec::new(), vec![s0a, s1, s0b]);
+        let tree = CaptureTree {
+            spans: vec![root],
+            events: Vec::new(),
+        };
+        let report = ExplainReport::from_tree(&tree, "miss", 55);
+        assert_eq!(report.per_shard_us, vec![(0, 35), (1, 7)]);
+    }
+
+    #[test]
+    fn live_capture_round_trips_into_a_report() {
+        let cap = Capture::begin();
+        {
+            let _root = tracing::span!("serve", kind = "Gir");
+            {
+                let _l = tracing::span!("cache_lookup");
+            }
+            {
+                let mut c = tracing::span!("compute");
+                tracing::event!("lp_call");
+                tracing::event!("page_read", pages = 9u64);
+                c.record("candidates", 3u64);
+            }
+        }
+        let report = ExplainReport::from_tree(&cap.finish(), "miss", 1);
+        assert_eq!(report.lp_calls, 1);
+        assert_eq!(report.pages, 9);
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "serve");
+    }
+}

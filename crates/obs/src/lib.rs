@@ -1,0 +1,60 @@
+//! Observability for the GIR stack.
+//!
+//! Three pieces, all offline and dependency-free:
+//!
+//! * **[`Registry`]** — a unified metrics registry (counters, gauges,
+//!   fixed-bucket histograms, all behind atomics) that absorbs the
+//!   legacy producers: `gir_serve::ServeStats` batches, storage-crate
+//!   `iostats`, and every span/event the workspace emits through the
+//!   vendored `tracing` stand-in (via [`RegistryCollector`]).
+//! * **[`ShardScopes`]** — epoch-stamped per-shard counter buffers with
+//!   seqlock reads, so a metrics snapshot taken mid-`DeltaBatch` never
+//!   mixes one shard's pre- and post-batch states (the consistent-cut
+//!   requirement from Chauhan & Garg's consistent global states).
+//! * **[`ExplainReport`]** — the span tree of one request, distilled
+//!   into the per-phase breakdown (cache outcome, phase timings, LP
+//!   calls, BRS nodes visited, per-shard contributions) that the
+//!   adaptive planner of ROADMAP item 5 will consume.
+//!
+//! Exporters render a [`RegistrySnapshot`] as a JSON object
+//! ([`RegistrySnapshot::to_json`]) or an aligned text dump
+//! ([`RegistrySnapshot::to_text`]); `serve_workload --metrics` writes
+//! the former as a CI artifact.
+//!
+//! Everything is inert until observability is switched on: either
+//! explicitly ([`install_global_collector`]) or via the `GIR_OBS=1`
+//! environment knob ([`install_from_env`]). Disabled, instrumented
+//! code pays one relaxed atomic load per site.
+
+#![deny(missing_docs)]
+
+mod collector;
+mod explain;
+mod registry;
+mod scopes;
+
+pub use collector::{install_from_env, install_global_collector, RegistryCollector};
+pub use explain::{ExplainReport, ExplainSpan};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BUCKETS_US,
+};
+pub use scopes::{ScopeGuard, ScopesSnapshot, ShardScopes, ShardSnapshot};
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// metric and span names are ASCII identifiers, so this is enough for
+/// every exporter in the crate.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

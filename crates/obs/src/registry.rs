@@ -1,0 +1,414 @@
+//! The unified metrics registry: named counters, gauges, and
+//! fixed-bucket histograms, all lock-free to update.
+//!
+//! Handles are `Arc`s — hot paths resolve a metric once (at
+//! construction time) and update it with a single `fetch_add`
+//! thereafter. The name → handle maps are only locked on first
+//! registration and at snapshot time.
+
+use crate::json_escape;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket bounds in microseconds: covers the sub-µs
+/// cache-hit path through multi-second cold sweeps.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 1_000_000,
+];
+
+/// A fixed-bucket histogram: `bounds.len() + 1` cumulative-style
+/// buckets (`bucket[i]` counts observations `<= bounds[i]`, the last
+/// bucket is the overflow), plus sum and count.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; the implicit last bucket is +∞.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate: the upper bound of the bucket
+    /// holding the `ceil(p·count)`-th observation (the max bound for
+    /// the overflow bucket). Coarse by construction — exact percentiles
+    /// stay with `ServeStats`, which keeps the raw samples.
+    pub fn percentile_le(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.bounds.last().copied().unwrap_or(u64::MAX));
+            }
+        }
+        self.bounds.last().copied().unwrap_or(u64::MAX)
+    }
+}
+
+type Shelf<T> = RwLock<BTreeMap<String, Arc<T>>>;
+
+fn read<T>(shelf: &Shelf<T>) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<T>>> {
+    shelf.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn get_or_insert<T>(shelf: &Shelf<T>, name: &str, make: impl FnOnce() -> T) -> Arc<T> {
+    if let Some(found) = read(shelf).get(name) {
+        return Arc::clone(found);
+    }
+    let mut map = shelf.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+/// The unified metrics registry. One lives per process
+/// ([`Registry::global`]); tests build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Shelf<Counter>,
+    gauges: Shelf<Gauge>,
+    histograms: Shelf<Histogram>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global registry every producer defaults to.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::default)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::default)
+    }
+
+    /// The histogram named `name`, created on first use with `bounds`
+    /// (later callers inherit the first registration's bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, || Histogram::new(bounds))
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: read(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: read(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: read(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], ready to export.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name (sorted).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name (sorted).
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name (sorted).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// A counter's value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A histogram's snapshot, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// JSON rendering: `{"counters":{…},"gauges":{…},"histograms":{…}}`
+    /// with each histogram as
+    /// `{"count":…,"sum":…,"buckets":[[le,count],…]}` (the final `le`
+    /// is the string `"inf"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_escape(k),
+                h.count,
+                h.sum
+            ));
+            for (j, &c) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match h.bounds.get(j) {
+                    Some(le) => out.push_str(&format!("[{le},{c}]")),
+                    None => out.push_str(&format!("[\"inf\",{c}]")),
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Aligned human-readable dump, one metric per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<width$}  count={} mean={:.1} p50<={} p99<={}\n",
+                h.count,
+                h.mean(),
+                h.percentile_le(0.50),
+                h.percentile_le(0.99),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let r = Registry::new();
+        let a = r.counter("cache.hit");
+        let b = r.counter("cache.hit");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("cache.hit").get(), 3);
+        let g = r.gauge("entries");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge("entries").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 5, 10, 11, 99, 100, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1 + 5 + 10 + 11 + 99 + 100 + 5000);
+        assert_eq!(s.buckets, vec![3, 3, 0, 1]); // <=10, <=100, <=1000, overflow
+        assert_eq!(s.percentile_le(0.5), 100); // 4th of 7 lands in <=100
+        assert_eq!(s.percentile_le(0.99), 1000); // overflow reports max bound
+    }
+
+    #[test]
+    fn snapshot_round_trips_to_json_and_text() {
+        let r = Registry::new();
+        r.counter("events.lp_call").add(42);
+        r.gauge("cache.entries").set(7);
+        r.histogram("span.phase2.us", &[10, 100]).observe(50);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"events.lp_call\":42"), "{json}");
+        assert!(json.contains("\"cache.entries\":7"), "{json}");
+        assert!(
+            json.contains("\"span.phase2.us\":{\"count\":1,\"sum\":50,\"buckets\":[[10,0],[100,1],[\"inf\",0]]}"),
+            "{json}"
+        );
+        let text = snap.to_text();
+        assert!(text.contains("events.lp_call"));
+        assert_eq!(snap.counter("events.lp_call"), Some(42));
+        assert!(snap.histogram("span.phase2.us").is_some());
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("n");
+        let h = r.histogram("lat", LATENCY_BUCKETS_US);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.observe(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(
+            r.histogram("lat", LATENCY_BUCKETS_US).snapshot().count,
+            4000
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Epoch-stamped per-shard counter buffers with seqlock reads — the
+//! consistent-cut half of the registry.
+//!
+//! Plain registry counters are independently atomic: a reader can catch
+//! shard 3 half-way through a `DeltaBatch` and report `evicted` from
+//! before the batch next to `repaired` from after it. A [`ShardScopes`]
+//! buffer prevents exactly that: every writer brackets its batch with
+//! an epoch bump to odd and back to even, and readers retry until they
+//! observe a stable even epoch on both sides of the copy. A snapshot is
+//! therefore **per-shard atomic**: for each shard it reflects either
+//! all of a batch's counter deltas or none of them, and its epoch says
+//! how many batches the shard has fully applied.
+//!
+//! (Cross-shard, the snapshot is a consistent cut in the Chauhan & Garg
+//! sense: each shard's local state is a prefix of its batch stream;
+//! no shard is observed mid-batch.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard's buffer: an epoch stamp plus a fixed array of counters.
+#[derive(Debug)]
+pub struct ShardScope {
+    /// Even = stable, odd = a batch is in flight. Each applied batch
+    /// adds exactly 2, so `epoch / 2` counts applied batches.
+    epoch: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl ShardScope {
+    fn new(slots: usize) -> Self {
+        ShardScope {
+            epoch: AtomicU64::new(0),
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A set of per-shard scopes sharing one slot naming.
+#[derive(Debug)]
+pub struct ShardScopes {
+    names: &'static [&'static str],
+    shards: Vec<ShardScope>,
+}
+
+/// RAII bracket for one batch on one shard: created odd, dropped even.
+/// All counter updates for the batch must go through [`ScopeGuard::add`]
+/// so they land inside the bracket.
+#[must_use = "dropping the guard immediately closes the batch bracket"]
+pub struct ScopeGuard<'a> {
+    scope: &'a ShardScope,
+}
+
+impl ScopeGuard<'_> {
+    /// Adds `v` to slot `slot` within the open bracket.
+    #[inline]
+    pub fn add(&self, slot: usize, v: u64) {
+        self.scope.slots[slot].fetch_add(v, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.scope.epoch.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(prev % 2 == 1, "guard closed an already-even epoch");
+    }
+}
+
+impl ShardScopes {
+    /// `shards` buffers, each with one slot per name in `slot_names`.
+    pub fn new(shards: usize, slot_names: &'static [&'static str]) -> Self {
+        ShardScopes {
+            names: slot_names,
+            shards: (0..shards.max(1))
+                .map(|_| ShardScope::new(slot_names.len()))
+                .collect(),
+        }
+    }
+
+    /// Slot names, in slot order.
+    pub fn slot_names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Number of shard buffers.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Opens a batch bracket on `shard`. One writer per shard at a
+    /// time — in this workspace the caller always holds the shard's
+    /// write lock across the bracket, which guarantees it.
+    pub fn begin(&self, shard: usize) -> ScopeGuard<'_> {
+        let scope = &self.shards[shard];
+        let prev = scope.epoch.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(
+            prev.is_multiple_of(2),
+            "concurrent writers on one shard scope"
+        );
+        ScopeGuard { scope }
+    }
+
+    /// A consistent read of one shard: retries until the epoch is even
+    /// and unchanged across the counter copy, so the values reflect a
+    /// whole number of batches.
+    pub fn read(&self, shard: usize) -> ShardSnapshot {
+        let scope = &self.shards[shard];
+        loop {
+            let e1 = scope.epoch.load(Ordering::SeqCst);
+            if e1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let values: Vec<u64> = scope
+                .slots
+                .iter()
+                .map(|s| s.load(Ordering::SeqCst))
+                .collect();
+            let e2 = scope.epoch.load(Ordering::SeqCst);
+            if e1 == e2 {
+                return ShardSnapshot { epoch: e1, values };
+            }
+        }
+    }
+
+    /// Consistent reads of every shard (each shard individually
+    /// batch-atomic — the cut never observes a shard mid-batch).
+    pub fn snapshot(&self) -> ScopesSnapshot {
+        ScopesSnapshot {
+            names: self.names,
+            shards: (0..self.shards.len()).map(|s| self.read(s)).collect(),
+        }
+    }
+}
+
+/// One shard's consistent state: epoch plus counter values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Always even; `epoch / 2` batches have been applied.
+    pub epoch: u64,
+    /// Counter values, in slot order.
+    pub values: Vec<u64>,
+}
+
+impl ShardSnapshot {
+    /// Batches fully applied at read time.
+    pub fn batches(&self) -> u64 {
+        self.epoch / 2
+    }
+}
+
+/// A consistent cut across every shard buffer.
+#[derive(Debug, Clone)]
+pub struct ScopesSnapshot {
+    /// Slot names, in slot order.
+    pub names: &'static [&'static str],
+    /// Per-shard consistent reads.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ScopesSnapshot {
+    /// Per-slot totals over all shards.
+    pub fn totals(&self) -> Vec<u64> {
+        let mut sums = vec![0u64; self.names.len()];
+        for shard in &self.shards {
+            for (slot, v) in shard.values.iter().enumerate() {
+                sums[slot] += v;
+            }
+        }
+        sums
+    }
+
+    /// Total for the slot named `name`, if present.
+    pub fn total(&self, name: &str) -> Option<u64> {
+        let slot = self.names.iter().position(|n| *n == name)?;
+        Some(self.shards.iter().map(|s| s.values[slot]).sum())
+    }
+
+    /// JSON rendering:
+    /// `{"slots":[…],"shards":[{"epoch":e,"values":[…]},…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"slots\":[");
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", crate::json_escape(n)));
+        }
+        out.push_str("],\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"epoch\":{},\"values\":[", s.epoch));
+            for (j, v) in s.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn brackets_keep_epochs_even_and_count_batches() {
+        let scopes = ShardScopes::new(2, &["a", "b"]);
+        {
+            let g = scopes.begin(0);
+            g.add(0, 3);
+            g.add(1, 3);
+        }
+        {
+            let g = scopes.begin(0);
+            g.add(0, 2);
+            g.add(1, 2);
+        }
+        let snap = scopes.snapshot();
+        assert_eq!(snap.shards[0].batches(), 2);
+        assert_eq!(snap.shards[0].values, vec![5, 5]);
+        assert_eq!(snap.shards[1].batches(), 0);
+        assert_eq!(snap.totals(), vec![5, 5]);
+        assert_eq!(snap.total("b"), Some(5));
+        assert!(snap.to_json().contains("\"epoch\":4"));
+    }
+
+    #[test]
+    fn readers_never_observe_a_torn_batch() {
+        // The writer always adds the same amount to both slots inside
+        // one bracket; any consistent read must therefore see equal
+        // slot values. Hammer it from several reader threads.
+        let scopes = Arc::new(ShardScopes::new(1, &["x", "y"]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let scopes = Arc::clone(&scopes);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = scopes.read(0);
+                    assert_eq!(s.epoch % 2, 0);
+                    assert!(s.epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = s.epoch;
+                    assert_eq!(s.values[0], s.values[1], "torn batch observed");
+                }
+            }));
+        }
+        for i in 1..500u64 {
+            let g = scopes.begin(0);
+            g.add(0, i);
+            g.add(1, i);
+            drop(g);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        let s = scopes.read(0);
+        assert_eq!(s.batches(), 499);
+        assert_eq!(s.values[0], (1..500).sum::<u64>());
+    }
+}

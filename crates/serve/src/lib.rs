@@ -62,10 +62,10 @@ pub mod workload;
 
 pub use gir_core::RegionKind;
 pub use server::{
-    compute_response, execute_batch, BatchResult, GirServer, MaintenanceMode, ServerConfig,
-    TopKRequest, TopKResponse, Update, UpdateReport,
+    compute_response, execute_batch, serve_traced, BatchResult, GirServer, MaintenanceMode,
+    ServerConfig, TopKRequest, TopKResponse, Update, UpdateReport,
 };
-pub use sharded::{CacheStats, ShardedGirCache};
+pub use sharded::{CacheStats, ShardedGirCache, APPLY_SLOTS};
 pub use stats::ServeStats;
 pub use workload::{mixed_workload, TrafficBatch, WorkloadConfig};
 

@@ -82,6 +82,12 @@ pub struct TopKRequest {
     /// region — the returned order is the cached one and may lag the
     /// live ranking.
     pub kind: RegionKind,
+    /// Capture this request's span tree and attach an
+    /// [`gir_obs::ExplainReport`] to the response — cache outcome,
+    /// per-phase timings, LP calls, BRS work, per-shard contributions.
+    /// Costs a thread-local capture for this request only; other
+    /// requests in the batch stay on the zero-cost path.
+    pub explain: bool,
 }
 
 impl TopKRequest {
@@ -97,7 +103,14 @@ impl TopKRequest {
             weights,
             k: k.max(1),
             kind: RegionKind::Gir,
+            explain: false,
         }
+    }
+
+    /// Asks for a per-query EXPLAIN report on the response.
+    pub fn with_explain(mut self) -> Self {
+        self.explain = true;
+        self
     }
 
     /// Builds an order-insensitive request: only the top-`k`
@@ -128,6 +141,13 @@ pub struct TopKResponse {
     /// recomputes (the prune index invalidates itself on error, so no
     /// stale state survives the failure window).
     pub failed: bool,
+    /// Logical pages (R\*-tree node accesses — the paper's Figure 15/18
+    /// cost metric) this request fetched: BRS top-k plus Phase 2. Zero
+    /// on cache hits, which never touch the tree.
+    pub pages: u64,
+    /// The captured span breakdown, present iff the request set
+    /// [`TopKRequest::explain`].
+    pub explain: Option<gir_obs::ExplainReport>,
 }
 
 /// A batch's responses (in request order) plus its statistics.
@@ -229,9 +249,39 @@ pub fn execute_batch(
         .iter()
         .map(|r| (r.latency_us, r.from_cache))
         .collect();
+    if tracing::enabled() {
+        crate::stats::publish_to_registry(&labeled);
+    }
     let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
     let stats = ServeStats::from_labeled_latencies(labeled, threads, method_label, wall_ms);
     BatchResult { responses, stats }
+}
+
+/// Runs `f` — one request's full serve path — under the root `serve`
+/// span, and when the request asked for EXPLAIN, inside a thread-local
+/// capture whose finished span tree is distilled into the response's
+/// [`gir_obs::ExplainReport`]. Shared by both servers so the sharded
+/// miss path reports the same phase taxonomy as the single-dataset one.
+pub fn serve_traced(req: &TopKRequest, f: impl FnOnce() -> TopKResponse) -> TopKResponse {
+    let capture = req.explain.then(tracing::Capture::begin);
+    let serve_span = tracing::span!("serve", kind = req.kind.label(), k = req.k);
+    let mut resp = f();
+    drop(serve_span);
+    if let Some(cap) = capture {
+        let outcome = if resp.failed {
+            "failed"
+        } else if resp.from_cache {
+            "hit"
+        } else {
+            "miss"
+        };
+        resp.explain = Some(gir_obs::ExplainReport::from_tree(
+            &cap.finish(),
+            outcome,
+            resp.latency_us,
+        ));
+    }
+    resp
 }
 
 /// Maps a miss computation's outcome to a response, handing successful
@@ -253,12 +303,15 @@ pub fn compute_response(
     match computed {
         Ok(out) => {
             let ids = out.result.ids();
+            let pages = out.stats.topk_pages + out.stats.gir_pages;
             admit(out);
             TopKResponse {
                 ids,
                 from_cache: false,
                 latency_us: started.elapsed().as_micros() as u64,
                 failed: false,
+                pages,
+                explain: None,
             }
         }
         Err(GirError::EmptyResult) => TopKResponse {
@@ -266,12 +319,16 @@ pub fn compute_response(
             from_cache: false,
             latency_us: started.elapsed().as_micros() as u64,
             failed: false,
+            pages: 0,
+            explain: None,
         },
         Err(GirError::Tree(_)) => TopKResponse {
             ids: Vec::new(),
             from_cache: false,
             latency_us: started.elapsed().as_micros() as u64,
             failed: true,
+            pages: 0,
+            explain: None,
         },
         Err(e) => panic!("GIR computation failed in serve path: {e}"),
     }
@@ -324,6 +381,14 @@ impl GirServer {
         self.cache.stats()
     }
 
+    /// Consistent cut of the cache's per-shard maintenance counters
+    /// (see [`ShardedGirCache::maintenance_snapshot`]): safe to call
+    /// concurrently with [`GirServer::apply_updates`], never observes a
+    /// shard mid-batch.
+    pub fn maintenance_snapshot(&self) -> gir_obs::ScopesSnapshot {
+        self.cache.maintenance_snapshot()
+    }
+
     /// Prune-index counters (builds, serves, incremental updates,
     /// shared Phase-2 reuse).
     pub fn prune_stats(&self) -> PruneIndexStats {
@@ -362,42 +427,51 @@ impl GirServer {
     }
 
     fn serve_one(&self, tree: &RTree, req: &TopKRequest, method: Method) -> TopKResponse {
-        let t0 = Instant::now();
-        if let Some(records) = self
-            .cache
-            .lookup(&req.weights, req.k, &self.scoring, req.kind)
-        {
-            return TopKResponse {
-                ids: records.iter().map(|r| r.id).collect(),
-                from_cache: true,
-                latency_us: t0.elapsed().as_micros() as u64,
-                failed: false,
+        serve_traced(req, || {
+            let t0 = Instant::now();
+            let lookup_span = tracing::span!("cache_lookup");
+            let found = self
+                .cache
+                .lookup(&req.weights, req.k, &self.scoring, req.kind);
+            drop(lookup_span);
+            if let Some(records) = found {
+                return TopKResponse {
+                    ids: records.iter().map(|r| r.id).collect(),
+                    from_cache: true,
+                    latency_us: t0.elapsed().as_micros() as u64,
+                    failed: false,
+                    pages: 0,
+                    explain: None,
+                };
+            }
+            let compute_span = tracing::span!("compute", method = method.label());
+            let engine = GirEngine::with_scoring(tree, self.scoring.clone());
+            let q = QueryVector::new(req.weights.coords().to_vec());
+            let computed = match req.kind {
+                RegionKind::Gir => {
+                    if self.cfg.use_prune_index {
+                        engine.gir_indexed(&q, req.k, method, &self.prune)
+                    } else {
+                        engine.gir(&q, req.k, method)
+                    }
+                }
+                // The order-insensitive region: its wider polytope is the
+                // whole point of the request (one entry absorbs every
+                // query that permutes the same composition).
+                RegionKind::GirStar => {
+                    if self.cfg.use_prune_index {
+                        engine.gir_star_indexed(&q, req.k, method, &self.prune)
+                    } else {
+                        engine.gir_star(&q, req.k, method)
+                    }
+                }
             };
-        }
-        let engine = GirEngine::with_scoring(tree, self.scoring.clone());
-        let q = QueryVector::new(req.weights.coords().to_vec());
-        let computed = match req.kind {
-            RegionKind::Gir => {
-                if self.cfg.use_prune_index {
-                    engine.gir_indexed(&q, req.k, method, &self.prune)
-                } else {
-                    engine.gir(&q, req.k, method)
-                }
-            }
-            // The order-insensitive region: its wider polytope is the
-            // whole point of the request (one entry absorbs every
-            // query that permutes the same composition).
-            RegionKind::GirStar => {
-                if self.cfg.use_prune_index {
-                    engine.gir_star_indexed(&q, req.k, method, &self.prune)
-                } else {
-                    engine.gir_star(&q, req.k, method)
-                }
-            }
-        };
-        compute_response(computed, t0, |out| {
-            self.cache
-                .insert(out.region, out.result, self.scoring.clone(), req.kind);
+            drop(compute_span);
+            compute_response(computed, t0, |out| {
+                let _admit_span = tracing::span!("admit");
+                self.cache
+                    .insert(out.region, out.result, self.scoring.clone(), req.kind);
+            })
         })
     }
 

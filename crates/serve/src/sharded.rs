@@ -34,6 +34,13 @@ use std::sync::RwLock;
 /// Every n-th hit on a shard tries (non-blocking) to refresh LRU order.
 pub const PROMOTE_EVERY: u64 = 16;
 
+/// Slot names of the per-shard consistent maintenance buffers
+/// ([`ShardedGirCache::maintenance_snapshot`]). `classified` is the sum
+/// of the other four, written inside the same epoch bracket — a reader
+/// that ever sees them disagree has observed a torn batch (the churn
+/// proptest leans on exactly this invariant).
+pub const APPLY_SLOTS: &[&str] = &["classified", "evicted", "repaired", "shrunk", "untouched"];
+
 #[derive(Debug)]
 struct Shard {
     cache: RwLock<GirCache>,
@@ -73,6 +80,11 @@ pub struct ShardedGirCache {
     /// `shards.len() - 1`; shard count is a power of two so routing is a
     /// mask.
     mask: usize,
+    /// Epoch-stamped per-shard maintenance counters: each shard's
+    /// [`GirCache::apply_batch`] pass runs inside one epoch bracket, so
+    /// a [`ShardedGirCache::maintenance_snapshot`] never observes a
+    /// shard mid-batch.
+    scopes: gir_obs::ShardScopes,
 }
 
 impl ShardedGirCache {
@@ -90,7 +102,15 @@ impl ShardedGirCache {
         ShardedGirCache {
             shards: shards.into_boxed_slice(),
             mask: n - 1,
+            scopes: gir_obs::ShardScopes::new(n, APPLY_SLOTS),
         }
+    }
+
+    /// A consistent cut over the per-shard maintenance counters: each
+    /// shard's values reflect a whole number of applied
+    /// [`DeltaBatch`]es (its epoch / 2), never a batch in flight.
+    pub fn maintenance_snapshot(&self) -> gir_obs::ScopesSnapshot {
+        self.scopes.snapshot()
     }
 
     /// Number of shards.
@@ -138,6 +158,7 @@ impl ShardedGirCache {
             .peek_kind(w, k, scoring, kind);
         match found {
             Some(records) => {
+                tracing::event!("cache_hit");
                 let hits = shard.hits.fetch_add(1, Ordering::Relaxed) + 1;
                 if hits.is_multiple_of(PROMOTE_EVERY) {
                     // Refresh recency without ever blocking the read path.
@@ -148,6 +169,7 @@ impl ShardedGirCache {
                 Some(records)
             }
             None => {
+                tracing::event!("cache_miss");
                 shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -176,9 +198,11 @@ impl ShardedGirCache {
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.peek_kind(&region.query, k, &scoring, kind).is_some() {
+            tracing::event!("cache_admit_dropped");
             return false;
         }
         guard.insert_kind(region, result, scoring, kind);
+        tracing::event!("cache_admit");
         true
     }
 
@@ -196,12 +220,24 @@ impl ShardedGirCache {
         mut repair: impl FnMut(&RepairRequest<'_>) -> Option<GirRegion>,
     ) -> BatchOutcome {
         let mut out = BatchOutcome::default();
-        for s in &self.shards {
+        for (si, s) in self.shards.iter().enumerate() {
+            // The epoch bracket spans this shard's whole pass: metric
+            // readers retry while it is open, so a snapshot reflects
+            // either none or all of this batch's deltas on the shard.
+            let scope = self.scopes.begin(si);
             let shard_out = s
                 .cache
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .apply_batch(batch, &mut repair);
+            let classified =
+                shard_out.evicted + shard_out.repaired + shard_out.shrunk + shard_out.untouched;
+            scope.add(0, classified as u64);
+            scope.add(1, shard_out.evicted as u64);
+            scope.add(2, shard_out.repaired as u64);
+            scope.add(3, shard_out.shrunk as u64);
+            scope.add(4, shard_out.untouched as u64);
+            drop(scope);
             out.merge(&shard_out);
         }
         out

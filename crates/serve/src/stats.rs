@@ -47,12 +47,43 @@ pub struct ServeStats {
     pub miss_p99_us: u64,
 }
 
+/// Nearest-rank percentile (the ⌈p·N⌉-th smallest sample). The
+/// registry's histogram percentiles use the same rule, so the legacy
+/// stats columns and `gir_obs` snapshots agree on identical inputs.
+/// Publishes one batch's per-request measurements into the global
+/// `gir_obs` registry: `serve.queries` / `serve.hits` / `serve.misses`
+/// counters plus blended and outcome-split latency histograms. The
+/// histogram percentiles use the same nearest-rank rule as
+/// [`ServeStats`], so the legacy stats line and a registry snapshot
+/// agree on identical inputs. The batch executor calls this only when
+/// observability is enabled.
+pub(crate) fn publish_to_registry(labeled: &[(u64, bool)]) {
+    use gir_obs::{Registry, LATENCY_BUCKETS_US};
+    let reg = Registry::global();
+    let all = reg.histogram("serve.latency.us", LATENCY_BUCKETS_US);
+    let hit = reg.histogram("serve.hit.us", LATENCY_BUCKETS_US);
+    let miss = reg.histogram("serve.miss.us", LATENCY_BUCKETS_US);
+    let mut hits = 0u64;
+    for &(us, from_cache) in labeled {
+        all.observe(us);
+        if from_cache {
+            hits += 1;
+            hit.observe(us);
+        } else {
+            miss.observe(us);
+        }
+    }
+    reg.counter("serve.queries").add(labeled.len() as u64);
+    reg.counter("serve.hits").add(hits);
+    reg.counter("serve.misses").add(labeled.len() as u64 - hits);
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl ServeStats {
@@ -242,12 +273,30 @@ mod tests {
         assert_eq!(s.queries, 100);
         assert_eq!(s.hits, 40);
         assert_eq!(s.misses, 60);
-        assert_eq!(s.p50_us, 51); // round(99 * 0.5) + 1
+        assert_eq!(s.p50_us, 50); // nearest rank: ⌈0.5·100⌉ = 50th value
         assert_eq!(s.p95_us, 95);
         assert_eq!(s.p99_us, 99);
         assert_eq!(s.max_us, 100);
         assert!((s.hit_rate() - 0.4).abs() < 1e-12);
         assert!((s.qps - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        // The old implementation rounded `(N-1)·p`, which off-by-one'd
+        // p50 on even N and could under-report p99. Nearest rank picks
+        // the ⌈p·N⌉-th smallest sample, never interpolating.
+        let s = ServeStats::from_latencies(vec![10, 20, 30, 40], 0, 1, "FP", 1.0);
+        assert_eq!(s.p50_us, 20); // ⌈0.5·4⌉ = 2nd value, not 25 or 30
+        assert_eq!(s.p99_us, 40); // ⌈0.99·4⌉ = 4th value: the max
+        let lat: Vec<u64> = (1..=200).collect();
+        let s = ServeStats::from_latencies(lat, 0, 1, "FP", 1.0);
+        assert_eq!(s.p50_us, 100); // ⌈0.5·200⌉ = 100th
+        assert_eq!(s.p95_us, 190); // ⌈0.95·200⌉ = 190th
+        assert_eq!(s.p99_us, 198); // ⌈0.99·200⌉ = 198th
+                                   // A single sample is every percentile.
+        let s = ServeStats::from_latencies(vec![7], 0, 1, "FP", 1.0);
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (7, 7, 7));
     }
 
     #[test]
@@ -259,8 +308,8 @@ mod tests {
         let s = ServeStats::from_labeled_latencies(labeled, 2, "FP", 10.0);
         assert_eq!(s.queries, 101);
         assert_eq!((s.hits, s.misses), (60, 41));
-        assert_eq!(s.hit_p50_us, 31);
-        assert_eq!(s.hit_p99_us, 59);
+        assert_eq!(s.hit_p50_us, 30); // ⌈0.5·60⌉ = 30th of 1..=60
+        assert_eq!(s.hit_p99_us, 60); // ⌈0.99·60⌉ = 60th
         assert_eq!(s.miss_p50_us, 1020);
         assert_eq!(s.miss_p99_us, 1040);
         assert!(s.p50_us <= 60, "blended p50 hides the misses");

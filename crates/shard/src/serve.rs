@@ -206,26 +206,35 @@ impl ShardedGirServer {
     }
 
     fn serve_one(&self, data: &ShardedDataset, req: &TopKRequest, method: Method) -> TopKResponse {
-        let t0 = Instant::now();
-        if let Some(records) = self
-            .cache
-            .lookup(&req.weights, req.k, &self.scoring, req.kind)
-        {
-            return TopKResponse {
-                ids: records.iter().map(|r| r.id).collect(),
-                from_cache: true,
-                latency_us: t0.elapsed().as_micros() as u64,
-                failed: false,
+        gir_serve::serve_traced(req, || {
+            let t0 = Instant::now();
+            let lookup_span = tracing::span!("cache_lookup");
+            let found = self
+                .cache
+                .lookup(&req.weights, req.k, &self.scoring, req.kind);
+            drop(lookup_span);
+            if let Some(records) = found {
+                return TopKResponse {
+                    ids: records.iter().map(|r| r.id).collect(),
+                    from_cache: true,
+                    latency_us: t0.elapsed().as_micros() as u64,
+                    failed: false,
+                    pages: 0,
+                    explain: None,
+                };
+            }
+            let compute_span = tracing::span!("compute", method = method.label());
+            let q = QueryVector::new(req.weights.coords().to_vec());
+            let computed = match req.kind {
+                RegionKind::Gir => data.gir(&self.scoring, &q, req.k, method),
+                RegionKind::GirStar => data.gir_star(&self.scoring, &q, req.k, method),
             };
-        }
-        let q = QueryVector::new(req.weights.coords().to_vec());
-        let computed = match req.kind {
-            RegionKind::Gir => data.gir(&self.scoring, &q, req.k, method),
-            RegionKind::GirStar => data.gir_star(&self.scoring, &q, req.k, method),
-        };
-        compute_response(computed, t0, |out| {
-            self.cache
-                .insert(out.region, out.result, self.scoring.clone(), req.kind);
+            drop(compute_span);
+            compute_response(computed, t0, |out| {
+                let _admit_span = tracing::span!("admit");
+                self.cache
+                    .insert(out.region, out.result, self.scoring.clone(), req.kind);
+            })
         })
     }
 

@@ -28,16 +28,22 @@ impl IoStats {
         Self::default()
     }
 
-    /// Records one page read.
+    /// Records one page read. Mirrors the access as a `page_read`
+    /// tracing event when observability is on (one relaxed load when
+    /// off), so the metrics registry and per-query EXPLAIN see logical
+    /// I/O without a second counting layer.
     #[inline]
     pub fn record_read(&self) {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        tracing::event!("page_read");
     }
 
-    /// Records one page write.
+    /// Records one page write (mirrored as a `page_write` event, as in
+    /// [`IoStats::record_read`]).
     #[inline]
     pub fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+        tracing::event!("page_write");
     }
 
     /// Snapshot of current counts.

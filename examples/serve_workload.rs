@@ -39,6 +39,13 @@ FLAGS:
               requests: cache hits guarantee the top-k *set*; the
               freshness oracle compares compositions instead of exact
               rankings
+    --metrics[=PATH]
+              enable the gir-obs collector for the whole run and write
+              the registry snapshot (counters, gauges, histograms) as
+              JSON to PATH (default METRICS_obs.json), plus a
+              human-readable dump and one per-query EXPLAIN tree to
+              stdout. CI validates the snapshot with `metrics_check`
+              and uploads it as an artifact
     --help    print this help
 
 ENVIRONMENT:
@@ -46,6 +53,9 @@ ENVIRONMENT:
               and the dataset so CI runs are deterministic and
               comparable across jobs; unset, the PR 1 defaults apply
               (traffic seed 7, dataset seed 42).
+    GIR_OBS   set to any value but \"0\" to install the gir-obs
+              collector even without --metrics (spans and events feed
+              the global registry; no snapshot file is written).
 
 WORKLOAD (fixed in this driver, knobs of gir_serve::WorkloadConfig):
     anchors=10 jitter=0.012 batches=24 queries_per_batch=500
@@ -65,9 +75,25 @@ fn main() {
         return;
     }
     let star = args.iter().any(|a| a == "--star");
-    if let Some(unknown) = args.iter().find(|a| *a != "--star") {
+    let metrics_path: Option<String> = args.iter().find_map(|a| match a.as_str() {
+        "--metrics" => Some("METRICS_obs.json".to_string()),
+        s => s
+            .strip_prefix("--metrics=")
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty()),
+    });
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--star" && *a != "--metrics" && !a.starts_with("--metrics="))
+    {
         eprintln!("unknown flag {unknown:?}\n\n{HELP}");
         std::process::exit(2);
+    }
+    // --metrics forces the collector on; otherwise GIR_OBS decides.
+    if metrics_path.is_some() {
+        gir::obs::install_global_collector();
+    } else {
+        gir::obs::install_from_env();
     }
 
     let d = 3;
@@ -214,4 +240,23 @@ fn main() {
     assert!(threads >= 4, "driver must use ≥ 4 threads");
     assert!(cache.hits > 0, "workload must produce cache hits");
     assert!(verified_hits > 0);
+
+    if let Some(path) = metrics_path {
+        // One explained request: the per-query span tree distilled into
+        // the planner's feature vector. Replaying the last batch's
+        // first query typically lands a cache hit; a fresh jittered
+        // weight would show the full miss pipeline instead.
+        let probe = traffic.last().expect("traffic is non-empty").queries[0]
+            .clone()
+            .with_explain();
+        let out = server.run_batch(&[probe]);
+        if let Some(report) = &out.responses[0].explain {
+            println!("\nEXPLAIN of one replayed request:\n{}", report.to_text());
+        }
+
+        let snap = gir::obs::Registry::global().snapshot();
+        println!("{}", snap.to_text());
+        std::fs::write(&path, snap.to_json()).expect("write metrics snapshot");
+        println!("wrote metrics snapshot to {path}");
+    }
 }

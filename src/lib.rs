@@ -51,6 +51,7 @@
 pub use gir_core as core;
 pub use gir_datagen as datagen;
 pub use gir_geometry as geometry;
+pub use gir_obs as obs;
 pub use gir_query as query;
 pub use gir_rtree as rtree;
 pub use gir_serve as serve;

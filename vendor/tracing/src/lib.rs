@@ -1,0 +1,556 @@
+//! Offline stand-in for the `tracing` crate: structured spans and
+//! events with a zero-cost-when-disabled fast path.
+//!
+//! The real `tracing` is unavailable offline, and this workspace only
+//! needs a narrow slice of it:
+//!
+//! * [`span!`] — an RAII guard timing a named phase, carrying typed
+//!   key/value fields ([`Value`]). Children nest lexically.
+//! * [`event!`] — a point-in-time record inside the current span.
+//! * a process-global [`Collect`]or receiving every closed span and
+//!   event (installed once, e.g. by a metrics registry), and
+//! * a thread-local [`Capture`] that materialises the span *tree* of
+//!   one request for per-query EXPLAIN output.
+//!
+//! **Cost model.** With no collector installed and no capture active,
+//! `enabled()` is false and both macros compile to one relaxed atomic
+//! load plus a branch — field expressions are never evaluated. Enabled,
+//! a span costs an `Instant` pair plus one small `Vec`; an event with
+//! no fields allocates nothing. The collector is stored behind an
+//! `AtomicPtr` and deliberately leaked on replacement so the hot path
+//! never takes a lock: installs are rare (once per process, a handful
+//! in tests) and bounded.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter-like values.
+    U64(u64),
+    /// Signed values.
+    I64(i64),
+    /// Floating-point values.
+    F64(f64),
+    /// Flags.
+    Bool(bool),
+    /// Static labels ("FP", "hit", …).
+    Str(&'static str),
+    /// Owned labels built at runtime.
+    Text(String),
+}
+
+impl Value {
+    /// The value as a `u64`, when it is numeric and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a label, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// Field list: static keys, typed values.
+pub type Fields = Vec<(&'static str, Value)>;
+
+/// One closed span, with its nested children and events — the node
+/// type of an EXPLAIN tree.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecord {
+    /// Span name (the phase label).
+    pub name: &'static str,
+    /// Wall-clock duration of the span.
+    pub duration_ns: u64,
+    /// Fields set at open time or via [`Span::record`].
+    pub fields: Fields,
+    /// Child spans, in close order.
+    pub children: Vec<SpanRecord>,
+    /// Events recorded directly under this span.
+    pub events: Vec<EventRecord>,
+}
+
+impl SpanRecord {
+    /// Looks a field up by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// One event: a named point-in-time record with fields.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Event fields.
+    pub fields: Fields,
+}
+
+/// Receives every closed span and event while installed. Implemented
+/// by the metrics registry; must be cheap — it runs on hot paths.
+pub trait Collect: Send + Sync {
+    /// A span closed after `duration_ns` wall-clock nanoseconds.
+    fn span_closed(&self, name: &'static str, duration_ns: u64, fields: &[(&'static str, Value)]);
+    /// An event fired.
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static HAS_COLLECTOR: AtomicBool = AtomicBool::new(false);
+static ACTIVE_CAPTURES: AtomicUsize = AtomicUsize::new(0);
+// A `Box<Arc<dyn Collect>>` raw pointer. Replaced pointers are leaked
+// so concurrent readers never observe a freed collector — see the
+// crate docs for why this is acceptable.
+static COLLECTOR: AtomicPtr<Arc<dyn Collect>> = AtomicPtr::new(std::ptr::null_mut());
+
+/// True when any collector is installed or any thread is capturing.
+/// The only cost either macro pays when observability is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn recompute_enabled() {
+    let on = HAS_COLLECTOR.load(Ordering::SeqCst) || ACTIVE_CAPTURES.load(Ordering::SeqCst) > 0;
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Installs the process-global collector (replacing any previous one,
+/// which is leaked — install rarely).
+pub fn set_collector(c: Arc<dyn Collect>) {
+    let ptr = Box::into_raw(Box::new(c));
+    COLLECTOR.swap(ptr, Ordering::AcqRel);
+    HAS_COLLECTOR.store(true, Ordering::SeqCst);
+    recompute_enabled();
+}
+
+/// Uninstalls the global collector (the old one is leaked; spans still
+/// in flight may deliver to it).
+pub fn clear_collector() {
+    COLLECTOR.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    HAS_COLLECTOR.store(false, Ordering::SeqCst);
+    recompute_enabled();
+}
+
+#[inline]
+fn with_collector(f: impl FnOnce(&dyn Collect)) {
+    let p = COLLECTOR.load(Ordering::Acquire);
+    if !p.is_null() {
+        // Safety: pointers stored in COLLECTOR come from Box::into_raw
+        // and are never freed (leak-on-replace), so `p` stays valid.
+        f(unsafe { (*p).as_ref() });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local capture (per-query EXPLAIN)
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Frame {
+    children: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+}
+
+#[derive(Default)]
+struct CaptureState {
+    stack: Vec<Frame>,
+    roots: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+}
+
+thread_local! {
+    static CAPTURE: RefCell<Option<CaptureState>> = const { RefCell::new(None) };
+}
+
+/// The materialised output of one [`Capture`]: the root spans that
+/// closed while it was active, plus any events outside a span.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureTree {
+    /// Root spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Events recorded outside any span.
+    pub events: Vec<EventRecord>,
+}
+
+/// Records the span tree of the current thread until finished or
+/// dropped. At most one capture per thread; beginning a new one
+/// replaces (and discards) a capture already in progress.
+#[must_use = "a capture records nothing once dropped"]
+pub struct Capture {
+    finished: bool,
+}
+
+impl Capture {
+    /// Starts capturing on the current thread.
+    pub fn begin() -> Capture {
+        CAPTURE.with(|c| *c.borrow_mut() = Some(CaptureState::default()));
+        ACTIVE_CAPTURES.fetch_add(1, Ordering::SeqCst);
+        recompute_enabled();
+        Capture { finished: false }
+    }
+
+    /// Stops capturing and returns the recorded tree. Spans still open
+    /// (frames on the stack) are discarded — finish the capture after
+    /// the spans it should contain have closed.
+    pub fn finish(mut self) -> CaptureTree {
+        self.finished = true;
+        let state = CAPTURE.with(|c| c.borrow_mut().take());
+        ACTIVE_CAPTURES.fetch_sub(1, Ordering::SeqCst);
+        recompute_enabled();
+        match state {
+            Some(s) => CaptureTree {
+                spans: s.roots,
+                events: s.events,
+            },
+            None => CaptureTree::default(),
+        }
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        if !self.finished {
+            CAPTURE.with(|c| c.borrow_mut().take());
+            ACTIVE_CAPTURES.fetch_sub(1, Ordering::SeqCst);
+            recompute_enabled();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans and events
+// ---------------------------------------------------------------------
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    fields: Fields,
+    /// Whether a capture frame was pushed for this span (so close pops
+    /// exactly what open pushed, even if a capture starts mid-span).
+    framed: bool,
+}
+
+/// RAII guard for one timed phase. Construct via [`span!`]; the span
+/// closes (and reports) when the guard drops.
+#[must_use = "a span closes immediately unless bound to a variable"]
+pub struct Span(Option<SpanInner>);
+
+impl Span {
+    /// An enabled span. Prefer the [`span!`] macro, which skips field
+    /// evaluation entirely when disabled.
+    pub fn active(name: &'static str, fields: Fields) -> Span {
+        // A capture on this thread implies the global count is nonzero
+        // (same-thread ordering), so the relaxed load lets the common
+        // collector-only case skip the TLS + RefCell access entirely.
+        let framed = ACTIVE_CAPTURES.load(Ordering::Relaxed) > 0
+            && CAPTURE.with(|c| {
+                let mut cap = c.borrow_mut();
+                match cap.as_mut() {
+                    Some(state) => {
+                        state.stack.push(Frame::default());
+                        true
+                    }
+                    None => false,
+                }
+            });
+        Span(Some(SpanInner {
+            name,
+            start: Instant::now(),
+            fields,
+            framed,
+        }))
+    }
+
+    /// The inert span the [`span!`] macro yields when disabled.
+    #[inline]
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// True when this span is live (observability was enabled at open).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches a field discovered during the span (page counts, LP
+    /// totals, …). No-op on a disabled span.
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = self.0.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else { return };
+        let duration_ns = inner.start.elapsed().as_nanos() as u64;
+        with_collector(|c| c.span_closed(inner.name, duration_ns, &inner.fields));
+        if inner.framed {
+            CAPTURE.with(|c| {
+                let mut cap = c.borrow_mut();
+                if let Some(state) = cap.as_mut() {
+                    // LIFO discipline: the top frame is this span's.
+                    if let Some(frame) = state.stack.pop() {
+                        let record = SpanRecord {
+                            name: inner.name,
+                            duration_ns,
+                            fields: inner.fields,
+                            children: frame.children,
+                            events: frame.events,
+                        };
+                        match state.stack.last_mut() {
+                            Some(parent) => parent.children.push(record),
+                            None => state.roots.push(record),
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Delivers an event to the collector and the current capture. Prefer
+/// the [`event!`] macro, which skips field evaluation when disabled.
+pub fn dispatch_event(name: &'static str, fields: Fields) {
+    with_collector(|c| c.event(name, &fields));
+    // As in [`Span::active`]: no active capture anywhere means this
+    // thread's capture slot is empty — skip the TLS access.
+    if ACTIVE_CAPTURES.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CAPTURE.with(|c| {
+        let mut cap = c.borrow_mut();
+        if let Some(state) = cap.as_mut() {
+            let record = EventRecord { name, fields };
+            match state.stack.last_mut() {
+                Some(frame) => frame.events.push(record),
+                None => state.events.push(record),
+            }
+        }
+    });
+}
+
+/// Opens a timed span: `let _s = span!("phase2", method = "FP",
+/// shard = 3usize);`. Fields are `key = value` pairs with any
+/// [`Value`]-convertible value; none are evaluated when disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::Span::active(
+                $name,
+                ::std::vec![$((::core::stringify!($key), $crate::Value::from($val))),*],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Fires a point-in-time event: `event!("lp_call")`, `event!("page_read",
+/// pages = 1u64)`. Fields are never evaluated when disabled.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::dispatch_event(
+                $name,
+                ::std::vec![$((::core::stringify!($key), $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // ENABLED / COLLECTOR are process-global; serialise the tests that
+    // flip them so parallel test threads do not observe each other.
+    static GLOBALS: Mutex<()> = Mutex::new(());
+
+    #[derive(Default)]
+    struct Sink {
+        spans: Mutex<Vec<(&'static str, u64)>>,
+        events: Mutex<Vec<&'static str>>,
+    }
+
+    impl Collect for Sink {
+        fn span_closed(&self, name: &'static str, duration_ns: u64, _: &[(&'static str, Value)]) {
+            self.spans.lock().unwrap().push((name, duration_ns));
+        }
+        fn event(&self, name: &'static str, _: &[(&'static str, Value)]) {
+            self.events.lock().unwrap().push(name);
+        }
+    }
+
+    #[test]
+    fn disabled_spans_and_events_are_inert() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!enabled());
+        let mut evaluated = false;
+        let s = span!(
+            "phase",
+            flag = {
+                evaluated = true;
+                true
+            }
+        );
+        assert!(!s.is_active());
+        drop(s);
+        event!(
+            "e",
+            flag = {
+                evaluated = true;
+                true
+            }
+        );
+        assert!(!evaluated, "disabled macros must not evaluate fields");
+    }
+
+    #[test]
+    fn capture_builds_a_nested_tree() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let cap = Capture::begin();
+        {
+            let mut outer = span!("outer", method = "FP");
+            {
+                let _inner = span!("inner", shard = 2usize);
+                event!("tick", n = 7u64);
+            }
+            outer.record("pages", 11u64);
+        }
+        let tree = cap.finish();
+        assert!(!enabled());
+        assert_eq!(tree.spans.len(), 1);
+        let outer = &tree.spans[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.field("method").and_then(Value::as_str), Some("FP"));
+        assert_eq!(outer.field("pages").and_then(Value::as_u64), Some(11));
+        assert_eq!(outer.children.len(), 1);
+        let inner = &outer.children[0];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.field("shard").and_then(Value::as_u64), Some(2));
+        assert_eq!(inner.events.len(), 1);
+        assert_eq!(inner.events[0].name, "tick");
+    }
+
+    #[test]
+    fn collector_receives_closes_and_events() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(Sink::default());
+        set_collector(sink.clone());
+        {
+            let _s = span!("work");
+            event!("step");
+        }
+        clear_collector();
+        assert!(!enabled());
+        let spans = sink.spans.lock().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "work");
+        assert_eq!(*sink.events.lock().unwrap(), vec!["step"]);
+    }
+
+    #[test]
+    fn dropped_capture_cleans_up() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _cap = Capture::begin();
+            assert!(enabled());
+            let _s = span!("orphan");
+        }
+        assert!(!enabled());
+        // A fresh capture starts empty.
+        let cap = Capture::begin();
+        let tree = cap.finish();
+        assert!(tree.spans.is_empty());
+    }
+
+    #[test]
+    fn span_surviving_its_capture_is_discarded_safely() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let cap = Capture::begin();
+        let s = span!("late");
+        let tree = cap.finish();
+        assert!(tree.spans.is_empty(), "open span must not appear");
+        drop(s); // closes with no capture: must not panic or misfile
+    }
+}
