@@ -20,13 +20,22 @@
 //! and enforced: the bench **exits non-zero** when sharded qps at S=1
 //! falls below 90% of the single tree on a gate-sized run (≥ 2000
 //! queries; smaller runs only warn, they are noise-dominated) — the
-//! merge layer must be free when there is nothing to merge. Multi-shard
-//! speedup is informational on a 1-core CI box (per-shard work is
-//! sequential there); the structural win at S>1 is the smaller
-//! per-shard sweeps, visible in the latency rows.
+//! merge layer must be free when there is nothing to merge.
+//!
+//! The latency section and the `single`/`sharded_s{s}` serving rows run
+//! with the work-stealing pool pinned **off**
+//! (`stealpool::configure_threads(0)`) so they stay comparable with the
+//! sequential baselines of earlier PRs. A second pass then replays the
+//! same traffic under the default pool policy (`GIR_POOL_THREADS`
+//! honoured, `available_parallelism` otherwise) and emits
+//! `sharded_par_s{s}` rows; `perf_gate --require-parallel-win` gates
+//! the sequential/parallel pairs on multi-core machines. On a 1-core
+//! box the pool degrades to inline sequential execution, so the par
+//! rows are a parity re-measurement there, nothing more.
 //!
 //! Knobs: `GIR_N` (default 20000), `GIR_SHARD_QUERIES` (default
-//! 12000), `GIR_SHARDS` (default "1,2,4,8"), `GIR_SEED`.
+//! 12000), `GIR_SHARDS` (default "1,2,4,8"), `GIR_SEED`,
+//! `GIR_POOL_THREADS` (parallel pass only; 0 = sequential).
 
 use criterion::{BenchSummary, Criterion};
 use gir_core::Method;
@@ -144,6 +153,10 @@ fn main() {
     println!(
         "shard scaling  (IND, n={n}, d={d}, k={k}, FP, seed {seed}; shards {shard_counts:?})\n"
     );
+    // Sequential sections first, with the pool pinned off so the
+    // latency and `sharded_s{s}` rows stay comparable with the
+    // pre-fan-out baselines. The parallel pass below lifts the pin.
+    stealpool::configure_threads(0);
     let data = synthetic(Distribution::Independent, n, d, seed.wrapping_add(1));
     let skewed = sharded_synthetic(
         Distribution::Independent,
@@ -239,6 +252,7 @@ fn main() {
     );
 
     let mut rows: Vec<String> = Vec::new();
+    let mut seq_qps: Vec<(usize, f64)> = Vec::new();
     let mut gate_failed = false;
     let single = replay_single(&data, d, &traffic);
     println!(
@@ -266,6 +280,7 @@ fn main() {
             "mixed",
             &agg,
         ));
+        seq_qps.push((s, agg.qps));
         if s == 1 && agg.qps < 0.90 * single.qps {
             eprintln!(
                 "shard gate: sharded S=1 qps {:.0} below 90% of single-tree {:.0} — \
@@ -286,6 +301,47 @@ fn main() {
             agg.p99_us
         );
         rows.push(json_row(n, 4, "sharded_skew_s4", "grid", "mixed", &agg));
+    }
+
+    // ---- parallel fan-out pass -------------------------------------
+    // Same traffic, same shard counts, pool restored to the default
+    // policy (GIR_POOL_THREADS / available_parallelism). On ≥2 cores
+    // the per-shard Phase-2 sweeps and batch maintenance fan out
+    // across the work-stealing pool; results are bit-identical either
+    // way (tests/pool_differential.rs), only the wall clock moves.
+    stealpool::reset_threads();
+    let pool_threads = stealpool::effective_threads();
+    println!(
+        "\n  parallel pass: pool policy {} thread(s){}",
+        pool_threads,
+        if pool_threads >= 2 {
+            ""
+        } else {
+            " — inline sequential on this machine (par rows measure fan-out overhead only)"
+        }
+    );
+    for &s in &shard_counts {
+        let agg = replay_sharded(&data, d, s, Placement::Hash, &traffic);
+        let seq = seq_qps
+            .iter()
+            .find(|(sc, _)| *sc == s)
+            .map(|(_, q)| *q)
+            .unwrap_or(agg.qps);
+        println!(
+            "  par s={s:<2}      {:>8.0} qps  {:>5.1}% hit  p99 {:>5} µs  ({:.2}x sequential)",
+            agg.qps,
+            agg.hit_rate() * 100.0,
+            agg.p99_us,
+            agg.qps / seq.max(1e-9),
+        );
+        rows.push(json_row(
+            n,
+            s,
+            &format!("sharded_par_s{s}"),
+            "hash",
+            "mixed",
+            &agg,
+        ));
     }
 
     // Machine-readable artifact: serving rows first, then the latency

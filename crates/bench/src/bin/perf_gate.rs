@@ -37,6 +37,16 @@
 //! cache decisions). Both rows come from the same run on the same
 //! machine, so the comparison is immune to cross-machine wall-clock
 //! skew — unlike the baseline comparison above.
+//!
+//! `--require-parallel-win` asserts the work-stealing fan-out pays for
+//! itself, on the fresh `BENCH_shard.json` alone (same machine, same
+//! run): the mixed `sharded_par_s1` row must hold ≥90% of the
+//! sequential `sharded_s1` qps (the pool must be free when there is
+//! only one shard to sweep), and `sharded_par_s4` must beat
+//! `sharded_s4` — by ≥2× when the gate runs on ≥4 cores, strictly at
+//! all on 2–3 cores. On a machine with fewer than 2 cores the check is
+//! skipped entirely: `stealpool` degrades to inline sequential
+//! execution there by design, so the rows are tautologically equal.
 
 use std::process::ExitCode;
 
@@ -128,6 +138,13 @@ struct GateConfig {
     /// (`delta_obs` vs `delta` on the fresh mixed rows); `None` skips
     /// the check.
     max_obs_overhead: Option<f64>,
+    /// Require the parallel shard fan-out to beat the sequential sweep
+    /// on the fresh file's `sharded_par_*` vs `sharded_*` rows.
+    require_parallel_win: bool,
+    /// Cores visible to the gate process (injected so tests can pin
+    /// it); the parallel-win check is skipped below 2 and demands the
+    /// full 2× only at 4+.
+    parallel_cores: usize,
 }
 
 /// Runs the gate; returns human-readable failures (empty = pass).
@@ -261,6 +278,73 @@ fn gate(baseline: &[Row], fresh: &[Row], cfg: &GateConfig) -> Vec<String> {
             ),
         }
     }
+
+    if cfg.require_parallel_win {
+        if cfg.parallel_cores < 2 {
+            println!(
+                "  --require-parallel-win skipped: {} core(s) visible — the pool degrades \
+                 to inline sequential execution here by design",
+                cfg.parallel_cores
+            );
+        } else {
+            let find = |mode: &str| {
+                fresh
+                    .iter()
+                    .find(|r| r.workload == "mixed" && r.mode == mode)
+            };
+            // S=1 parity: fanning out a single shard must be free.
+            match (find("sharded_s1"), find("sharded_par_s1")) {
+                (Some(seq), Some(par)) => {
+                    let drop = rel_drop(seq.qps, par.qps);
+                    println!(
+                        "  parallel S=1 parity: qps {:.0} -> {:.0} ({:+.1}%, limit -10%)",
+                        seq.qps,
+                        par.qps,
+                        -100.0 * drop
+                    );
+                    if drop > 0.10 {
+                        failures.push(format!(
+                            "parallel S=1 qps {:.0} more than 10% below sequential {:.0} — \
+                             the fan-out layer is not free",
+                            par.qps, seq.qps
+                        ));
+                    }
+                }
+                _ => failures.push(
+                    "--require-parallel-win: fresh file lacks mixed sharded_s1 / \
+                     sharded_par_s1 rows"
+                        .into(),
+                ),
+            }
+            // S=4 win: the whole point of the pool. The 2× bar assumes
+            // the cores to back it; on 2–3 cores any strict win keeps
+            // the gate honest without over-promising.
+            match (find("sharded_s4"), find("sharded_par_s4")) {
+                (Some(seq), Some(par)) => {
+                    let need = if cfg.parallel_cores >= 4 { 2.0 } else { 1.0 };
+                    println!(
+                        "  parallel S=4 win: qps {:.0} -> {:.0} ({:.2}x, need >{need:.1}x \
+                         on {} cores)",
+                        seq.qps,
+                        par.qps,
+                        par.qps / seq.qps.max(1e-9),
+                        cfg.parallel_cores
+                    );
+                    if par.qps <= need * seq.qps {
+                        failures.push(format!(
+                            "parallel S=4 qps {:.0} not above {need:.1}x sequential {:.0}",
+                            par.qps, seq.qps
+                        ));
+                    }
+                }
+                _ => failures.push(
+                    "--require-parallel-win: fresh file lacks mixed sharded_s4 / \
+                     sharded_par_s4 rows"
+                        .into(),
+                ),
+            }
+        }
+    }
     failures
 }
 
@@ -272,6 +356,10 @@ fn main() -> ExitCode {
         hit_rate_only: false,
         require_delta_win: false,
         max_obs_overhead: None,
+        require_parallel_win: false,
+        parallel_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -284,6 +372,7 @@ fn main() -> ExitCode {
             }
             "--hit-rate-only" => cfg.hit_rate_only = true,
             "--require-delta-win" => cfg.require_delta_win = true,
+            "--require-parallel-win" => cfg.require_parallel_win = true,
             "--max-obs-overhead" => {
                 cfg.max_obs_overhead = Some(
                     it.next()
@@ -297,7 +386,8 @@ fn main() -> ExitCode {
     let [baseline_path, fresh_path] = paths.as_slice() else {
         eprintln!(
             "usage: perf_gate <baseline.json> <fresh.json> [--max-drop 0.25] \
-             [--hit-rate-only] [--require-delta-win] [--max-obs-overhead 0.05]"
+             [--hit-rate-only] [--require-delta-win] [--max-obs-overhead 0.05] \
+             [--require-parallel-win]"
         );
         return ExitCode::from(2);
     };
@@ -306,7 +396,7 @@ fn main() -> ExitCode {
     let baseline = parse_rows(&read(baseline_path));
     let fresh = parse_rows(&read(fresh_path));
     println!(
-        "perf gate: {} baseline row(s) vs {} fresh row(s), max drop {:.0}%{}{}",
+        "perf gate: {} baseline row(s) vs {} fresh row(s), max drop {:.0}%{}{}{}",
         baseline.len(),
         fresh.len(),
         100.0 * cfg.max_drop,
@@ -317,6 +407,11 @@ fn main() -> ExitCode {
         },
         if cfg.require_delta_win {
             " + delta-win"
+        } else {
+            ""
+        },
+        if cfg.require_parallel_win {
+            " + parallel-win"
         } else {
             ""
         },
@@ -340,6 +435,17 @@ mod tests {
 
     fn row(line: &str) -> Row {
         parse_rows(line).pop().expect("row parses")
+    }
+
+    fn base_cfg() -> GateConfig {
+        GateConfig {
+            max_drop: 0.25,
+            hit_rate_only: false,
+            require_delta_win: false,
+            max_obs_overhead: None,
+            require_parallel_win: false,
+            parallel_cores: 1,
+        }
     }
 
     const DELTA: &str = r#"{"threads":4,"n":8000,"mode":"delta","workload":"mixed","stats":{"queries":4000,"hits":3000,"misses":1000,"hit_rate":0.7500,"threads":4,"method":"FP","wall_ms":100.0,"qps":4000.0,"p50_us":12,"p95_us":80,"p99_us":300,"max_us":900}}"#;
@@ -367,12 +473,7 @@ mod tests {
 
     #[test]
     fn gate_passes_within_budget_and_fails_beyond_it() {
-        let cfg = GateConfig {
-            max_drop: 0.25,
-            hit_rate_only: false,
-            require_delta_win: false,
-            max_obs_overhead: None,
-        };
+        let cfg = base_cfg();
         let base = vec![row(DELTA)];
         // 20% qps drop: within budget.
         let mut ok = row(DELTA);
@@ -396,12 +497,7 @@ mod tests {
 
     #[test]
     fn p99_rise_fails_unless_hit_rate_only() {
-        let cfg = GateConfig {
-            max_drop: 0.25,
-            hit_rate_only: false,
-            require_delta_win: false,
-            max_obs_overhead: None,
-        };
+        let cfg = base_cfg();
         let mut single = row(DELTA);
         single.threads = 1;
         let base = vec![single.clone()];
@@ -436,12 +532,7 @@ mod tests {
 
     #[test]
     fn unmatched_rows_are_tolerated() {
-        let cfg = GateConfig {
-            max_drop: 0.25,
-            hit_rate_only: false,
-            require_delta_win: false,
-            max_obs_overhead: None,
-        };
+        let cfg = base_cfg();
         // Different n (reduced CI load) never compares against a
         // full-size baseline.
         let mut other = row(DELTA);
@@ -452,10 +543,8 @@ mod tests {
     #[test]
     fn delta_win_requirement() {
         let cfg = GateConfig {
-            max_drop: 0.25,
-            hit_rate_only: false,
             require_delta_win: true,
-            max_obs_overhead: None,
+            ..base_cfg()
         };
         let fresh = vec![row(DELTA), row(SWEEP)];
         assert!(gate(&[], &fresh, &cfg).is_empty());
@@ -469,13 +558,62 @@ mod tests {
         assert_eq!(gate(&[], &[row(DELTA)], &cfg).len(), 1);
     }
 
+    /// A `BENCH_shard.json` serving row, as `shard_scaling` writes it.
+    fn shard_row(mode: &str, qps: f64) -> Row {
+        row(&format!(
+            r#"{{"threads":1,"n":8000,"shards":4,"mode":"{mode}","placement":"hash","workload":"mixed","stats":{{"queries":4000,"hits":3000,"misses":1000,"hit_rate":0.7500,"threads":1,"method":"FP","wall_ms":100.0,"qps":{qps:.1},"p50_us":12,"p95_us":80,"p99_us":300,"max_us":900}}}}"#
+        ))
+    }
+
+    #[test]
+    fn parallel_win_requirement() {
+        let cfg = GateConfig {
+            require_parallel_win: true,
+            parallel_cores: 4,
+            ..base_cfg()
+        };
+        let fresh = |par_s1: f64, par_s4: f64| {
+            vec![
+                shard_row("sharded_s1", 40_000.0),
+                shard_row("sharded_par_s1", par_s1),
+                shard_row("sharded_s4", 14_000.0),
+                shard_row("sharded_par_s4", par_s4),
+            ]
+        };
+        // Healthy: S=1 within 10%, S=4 at 2.2x.
+        assert!(gate(&[], &fresh(39_000.0, 31_000.0), &cfg).is_empty());
+        // S=4 only 1.8x on a 4-core box: below the 2x bar.
+        assert_eq!(gate(&[], &fresh(39_000.0, 25_000.0), &cfg).len(), 1);
+        // ... while on 2 cores any strict win passes.
+        let two_cores = GateConfig {
+            require_parallel_win: true,
+            parallel_cores: 2,
+            ..base_cfg()
+        };
+        assert!(gate(&[], &fresh(39_000.0, 25_000.0), &two_cores).is_empty());
+        // Fanning out a single shard must stay near-free: a 22% S=1
+        // drop fails even when S=4 wins big.
+        assert_eq!(gate(&[], &fresh(31_000.0, 31_000.0), &cfg).len(), 1);
+        // Below 2 cores the whole check is skipped, rows or not.
+        let one_core = GateConfig {
+            require_parallel_win: true,
+            parallel_cores: 1,
+            ..base_cfg()
+        };
+        assert!(gate(&[], &[], &one_core).is_empty());
+        // Missing parallel rows on a multicore box: both pairs fail.
+        let seq_only = vec![
+            shard_row("sharded_s1", 40_000.0),
+            shard_row("sharded_s4", 14_000.0),
+        ];
+        assert_eq!(gate(&[], &seq_only, &cfg).len(), 2);
+    }
+
     #[test]
     fn obs_overhead_gate() {
         let cfg = GateConfig {
-            max_drop: 0.25,
-            hit_rate_only: false,
-            require_delta_win: false,
             max_obs_overhead: Some(0.05),
+            ..base_cfg()
         };
         let obs_row = |qps_factor: f64, hit_rate: f64| {
             let mut r = row(DELTA);

@@ -23,6 +23,57 @@ use gir_geometry::hyperplane::HalfSpace;
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 
+/// What one cache access *is*: the query weights, the requested result
+/// size, the scoring function, and the region semantics. One value type
+/// replaces the former four-parameter method family and its `_kind`
+/// twins — every cache operation takes a `CacheKey`, and the kind rides
+/// along instead of multiplying method names.
+///
+/// ```
+/// # use gir_core::cache::CacheKey;
+/// # use gir_core::region::RegionKind;
+/// # use gir_geometry::vector::PointD;
+/// # use gir_query::ScoringFunction;
+/// let w = PointD::new(vec![0.5, 0.5]);
+/// let scoring = ScoringFunction::linear(2);
+/// let ordered = CacheKey::new(&w, 10, &scoring);
+/// let unordered = CacheKey::new(&w, 10, &scoring).kind(RegionKind::GirStar);
+/// # assert_eq!(ordered.kind, RegionKind::Gir);
+/// # assert_eq!(unordered.kind, RegionKind::GirStar);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CacheKey<'a> {
+    /// The query's weight vector.
+    pub weights: &'a PointD,
+    /// Requested result size.
+    pub k: usize,
+    /// The scoring function the request runs under (entries computed
+    /// under a different function never match).
+    pub scoring: &'a ScoringFunction,
+    /// Region semantics: order-sensitive [`RegionKind::Gir`] (the
+    /// default) or order-insensitive [`RegionKind::GirStar`].
+    pub kind: RegionKind,
+}
+
+impl<'a> CacheKey<'a> {
+    /// An order-sensitive key ([`RegionKind::Gir`]); chain
+    /// [`CacheKey::kind`] for star semantics.
+    pub fn new(weights: &'a PointD, k: usize, scoring: &'a ScoringFunction) -> Self {
+        CacheKey {
+            weights,
+            k,
+            scoring,
+            kind: RegionKind::Gir,
+        }
+    }
+
+    /// Sets the region semantics.
+    pub fn kind(mut self, kind: RegionKind) -> Self {
+        self.kind = kind;
+        self
+    }
+}
+
 /// One cached result with its immutable region, the scoring function it
 /// was computed under, and its region semantics ([`RegionKind`]).
 #[derive(Debug, Clone)]
@@ -100,34 +151,15 @@ impl GirCache {
             .collect()
     }
 
-    /// Looks up an order-sensitive top-`k` query with weights `w` under
-    /// `scoring`, counting the hit/miss and refreshing LRU order.
-    /// Shorthand for [`GirCache::lookup_kind`] with [`RegionKind::Gir`].
-    pub fn lookup(
-        &mut self,
-        w: &PointD,
-        k: usize,
-        scoring: &ScoringFunction,
-    ) -> Option<Vec<Record>> {
-        self.lookup_kind(w, k, scoring, RegionKind::Gir)
-    }
-
-    /// Looks up a top-`k` query of either region semantics, counting
-    /// the hit/miss and refreshing LRU order. For
-    /// [`RegionKind::GirStar`] requests the returned records are the
-    /// guaranteed top-`k` *set*; their order is the cached one and may
-    /// differ from the live ranking.
-    pub fn lookup_kind(
-        &mut self,
-        w: &PointD,
-        k: usize,
-        scoring: &ScoringFunction,
-        kind: RegionKind,
-    ) -> Option<Vec<Record>> {
-        match self.peek_kind(w, k, scoring, kind) {
+    /// Looks the key up, counting the hit/miss and refreshing LRU
+    /// order. For [`RegionKind::GirStar`] keys the returned records are
+    /// the guaranteed top-`k` *set*; their order is the cached one and
+    /// may differ from the live ranking.
+    pub fn get(&mut self, key: &CacheKey<'_>) -> Option<Vec<Record>> {
+        match self.probe(key) {
             Some(out) => {
                 self.hits += 1;
-                self.promote_kind(w, k, scoring, kind);
+                self.touch(key);
                 Some(out)
             }
             None => {
@@ -137,77 +169,45 @@ impl GirCache {
         }
     }
 
-    /// Read-only lookup: like [`GirCache::lookup`] but touches neither
+    /// Read-only lookup: like [`GirCache::get`] but touches neither
     /// the counters nor the LRU order, so concurrent callers can probe
     /// under a shared lock. The serving layer counts hits/misses itself
     /// and promotes hot entries opportunistically via
-    /// [`GirCache::promote`].
-    pub fn peek(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
-        self.peek_kind(w, k, scoring, RegionKind::Gir)
-    }
-
-    /// [`GirCache::peek`] for either region semantics.
-    pub fn peek_kind(
-        &self,
-        w: &PointD,
-        k: usize,
-        scoring: &ScoringFunction,
-        kind: RegionKind,
-    ) -> Option<Vec<Record>> {
+    /// [`GirCache::touch`].
+    pub fn probe(&self, key: &CacheKey<'_>) -> Option<Vec<Record>> {
         self.entries
             .iter()
-            .find(|e| Self::matches(e, w, k, scoring, kind))
-            .map(|e| Self::prefix(e, k))
+            .find(|e| Self::matches(e, key.weights, key.k, key.scoring, key.kind))
+            .map(|e| Self::prefix(e, key.k))
     }
 
-    /// Moves the entry that answers `(w, k, scoring)` order-sensitively
-    /// to the LRU front (no counter changes). A no-op when no entry
-    /// matches.
-    pub fn promote(&mut self, w: &PointD, k: usize, scoring: &ScoringFunction) {
-        self.promote_kind(w, k, scoring, RegionKind::Gir);
-    }
-
-    /// [`GirCache::promote`] for either region semantics.
-    pub fn promote_kind(
-        &mut self,
-        w: &PointD,
-        k: usize,
-        scoring: &ScoringFunction,
-        kind: RegionKind,
-    ) {
+    /// Moves the entry answering the key to the LRU front (no counter
+    /// changes). A no-op when no entry matches.
+    pub fn touch(&mut self, key: &CacheKey<'_>) {
         let pos = self
             .entries
             .iter()
-            .position(|e| Self::matches(e, w, k, scoring, kind));
+            .position(|e| Self::matches(e, key.weights, key.k, key.scoring, key.kind));
         if let Some(i) = pos {
             let entry = self.entries.remove(i);
             self.entries.insert(0, entry);
         }
     }
 
-    /// Inserts a computed order-sensitive result with its GIR and
-    /// scoring function (evicting the LRU entry when full). Shorthand
-    /// for [`GirCache::insert_kind`] with [`RegionKind::Gir`].
-    pub fn insert(&mut self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) {
-        self.insert_kind(region, result, scoring, RegionKind::Gir);
-    }
-
-    /// Inserts a computed result of either region semantics with its
-    /// region and scoring function (evicting the LRU entry when full).
-    pub fn insert_kind(
-        &mut self,
-        region: GirRegion,
-        result: TopKResult,
-        scoring: ScoringFunction,
-        kind: RegionKind,
-    ) {
+    /// Admits a computed result under the key that missed (evicting the
+    /// LRU entry when full). The key contributes the scoring function
+    /// and region semantics; the region and result carry the
+    /// authoritative data (the entry serves *any* future key its region
+    /// and semantics cover, not just this one).
+    pub fn admit(&mut self, key: &CacheKey<'_>, region: GirRegion, result: TopKResult) {
+        let kind = key.kind;
         let r_minus = (kind == RegionKind::GirStar).then(|| reduced_result(&result));
         self.entries.insert(
             0,
             CacheEntry {
                 region,
                 result,
-                scoring,
+                scoring: key.scoring.clone(),
                 kind,
                 r_minus,
             },
@@ -395,6 +395,137 @@ impl GirCache {
     }
 }
 
+/// Deprecated pre-`CacheKey` method names, kept as thin shims for one
+/// release. Nothing in-tree calls them (the shim tests below excepted);
+/// `#[deprecated]` warnings are allowed only inside this module.
+mod compat {
+    #![allow(deprecated)]
+
+    use super::*;
+
+    impl GirCache {
+        /// Order-sensitive counted lookup.
+        #[deprecated(since = "0.2.0", note = "use `get` with a `CacheKey`")]
+        pub fn lookup(
+            &mut self,
+            w: &PointD,
+            k: usize,
+            scoring: &ScoringFunction,
+        ) -> Option<Vec<Record>> {
+            self.get(&CacheKey::new(w, k, scoring))
+        }
+
+        /// Counted lookup with explicit semantics.
+        #[deprecated(
+            since = "0.2.0",
+            note = "use `get` with a `CacheKey` built via `.kind(..)`"
+        )]
+        pub fn lookup_kind(
+            &mut self,
+            w: &PointD,
+            k: usize,
+            scoring: &ScoringFunction,
+            kind: RegionKind,
+        ) -> Option<Vec<Record>> {
+            self.get(&CacheKey::new(w, k, scoring).kind(kind))
+        }
+
+        /// Order-sensitive read-only lookup.
+        #[deprecated(since = "0.2.0", note = "use `probe` with a `CacheKey`")]
+        pub fn peek(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
+            self.probe(&CacheKey::new(w, k, scoring))
+        }
+
+        /// Read-only lookup with explicit semantics.
+        #[deprecated(
+            since = "0.2.0",
+            note = "use `probe` with a `CacheKey` built via `.kind(..)`"
+        )]
+        pub fn peek_kind(
+            &self,
+            w: &PointD,
+            k: usize,
+            scoring: &ScoringFunction,
+            kind: RegionKind,
+        ) -> Option<Vec<Record>> {
+            self.probe(&CacheKey::new(w, k, scoring).kind(kind))
+        }
+
+        /// Order-sensitive LRU promotion.
+        #[deprecated(since = "0.2.0", note = "use `touch` with a `CacheKey`")]
+        pub fn promote(&mut self, w: &PointD, k: usize, scoring: &ScoringFunction) {
+            self.touch(&CacheKey::new(w, k, scoring));
+        }
+
+        /// LRU promotion with explicit semantics.
+        #[deprecated(
+            since = "0.2.0",
+            note = "use `touch` with a `CacheKey` built via `.kind(..)`"
+        )]
+        pub fn promote_kind(
+            &mut self,
+            w: &PointD,
+            k: usize,
+            scoring: &ScoringFunction,
+            kind: RegionKind,
+        ) {
+            self.touch(&CacheKey::new(w, k, scoring).kind(kind));
+        }
+
+        /// Order-sensitive insertion.
+        #[deprecated(since = "0.2.0", note = "use `admit` with a `CacheKey`")]
+        pub fn insert(&mut self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) {
+            let k = result.len();
+            let w = region.query.clone();
+            self.admit(&CacheKey::new(&w, k, &scoring), region, result);
+        }
+
+        /// Insertion with explicit semantics.
+        #[deprecated(
+            since = "0.2.0",
+            note = "use `admit` with a `CacheKey` built via `.kind(..)`"
+        )]
+        pub fn insert_kind(
+            &mut self,
+            region: GirRegion,
+            result: TopKResult,
+            scoring: ScoringFunction,
+            kind: RegionKind,
+        ) {
+            let k = result.len();
+            let w = region.query.clone();
+            self.admit(&CacheKey::new(&w, k, &scoring).kind(kind), region, result);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use gir_geometry::hyperplane::Provenance;
+
+        #[test]
+        fn shims_delegate_to_the_keyed_api() {
+            let hs = vec![HalfSpace {
+                normal: PointD::new(vec![1.0, 0.0]),
+                offset: 1.0,
+                provenance: Provenance::NonResult { record_id: 0 },
+            }];
+            let region = GirRegion::new(2, PointD::new(vec![0.5, 0.5]), hs);
+            let result = TopKResult {
+                ranked: vec![(Record::new(1, vec![0.5, 0.5]), 1.0)],
+            };
+            let scoring = ScoringFunction::linear(2);
+            let w = PointD::new(vec![0.3, 0.9]);
+            let mut cache = GirCache::new(4);
+            cache.insert(region, result, scoring.clone());
+            assert!(cache.peek(&w, 1, &scoring).is_some());
+            cache.promote(&w, 1, &scoring);
+            assert!(cache.lookup(&w, 1, &scoring).is_some());
+            assert_eq!(cache.counters(), (1, 0));
+        }
+    }
+}
+
 /// Everything a repair closure needs to rebuild one entry's region (see
 /// [`GirCache::apply_batch`] and [`crate::maintenance::repair_region`]).
 #[derive(Debug)]
@@ -474,17 +605,31 @@ mod tests {
         ScoringFunction::linear(2)
     }
 
+    /// Admits under the region's own query point (the weights in the
+    /// key are not stored, so any in-region point works).
+    fn admit(cache: &mut GirCache, region: GirRegion, res: TopKResult, kind: RegionKind) {
+        let s = linear();
+        let w = region.query.clone();
+        let k = res.len();
+        cache.admit(&CacheKey::new(&w, k, &s).kind(kind), region, res);
+    }
+
     #[test]
     fn hit_inside_region_miss_outside() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.2, 0.4), result(&[1, 2, 3]), linear());
-        let hit = cache.lookup(&PointD::new(vec![0.3, 0.9]), 3, &linear());
+        admit(
+            &mut cache,
+            region(0.2, 0.4),
+            result(&[1, 2, 3]),
+            RegionKind::Gir,
+        );
+        let hit = cache.get(&CacheKey::new(&PointD::new(vec![0.3, 0.9]), 3, &linear()));
         assert_eq!(
             hit.unwrap().iter().map(|r| r.id).collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
         assert!(cache
-            .lookup(&PointD::new(vec![0.7, 0.5]), 3, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.7, 0.5]), 3, &linear()))
             .is_none());
         assert_eq!(cache.counters(), (1, 1));
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
@@ -496,38 +641,48 @@ mod tests {
         // function must not reuse a cached result, even when its weight
         // vector lies inside the cached region.
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.0, 1.0), result(&[1, 2, 3]), linear());
+        admit(
+            &mut cache,
+            region(0.0, 1.0),
+            result(&[1, 2, 3]),
+            RegionKind::Gir,
+        );
         let w = PointD::new(vec![0.5, 0.5]);
         assert!(
             cache
-                .lookup(
+                .get(&CacheKey::new(
                     &w,
                     3,
                     &ScoringFunction::new(vec![
                         gir_query::Transform::Power(2),
                         gir_query::Transform::Linear,
                     ])
-                )
+                ))
                 .is_none(),
             "entry leaked across scoring functions"
         );
-        assert!(cache.lookup(&w, 3, &linear()).is_some());
+        assert!(cache.get(&CacheKey::new(&w, 3, &linear())).is_some());
     }
 
     #[test]
     fn zero_capacity_is_clamped_not_panicking() {
         let mut cache = GirCache::new(0);
         assert_eq!(cache.capacity(), 1);
-        cache.insert(region(0.0, 1.0), result(&[1]), linear());
+        admit(&mut cache, region(0.0, 1.0), result(&[1]), RegionKind::Gir);
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn prefix_serves_smaller_k() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.0, 1.0), result(&[5, 6, 7, 8]), linear());
+        admit(
+            &mut cache,
+            region(0.0, 1.0),
+            result(&[5, 6, 7, 8]),
+            RegionKind::Gir,
+        );
         let hit = cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.5, 0.5]), 2, &linear()))
             .unwrap();
         assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![5, 6]);
     }
@@ -535,37 +690,47 @@ mod tests {
     #[test]
     fn larger_k_than_cached_misses() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.0, 1.0), result(&[5, 6]), linear());
+        admit(
+            &mut cache,
+            region(0.0, 1.0),
+            result(&[5, 6]),
+            RegionKind::Gir,
+        );
         assert!(cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 3, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.5, 0.5]), 3, &linear()))
             .is_none());
     }
 
     #[test]
     fn lru_eviction_counts() {
         let mut cache = GirCache::new(2);
-        cache.insert(region(0.0, 0.1), result(&[1]), linear());
-        cache.insert(region(0.2, 0.3), result(&[2]), linear());
+        admit(&mut cache, region(0.0, 0.1), result(&[1]), RegionKind::Gir);
+        admit(&mut cache, region(0.2, 0.3), result(&[2]), RegionKind::Gir);
         // Touch the first entry so the second becomes LRU.
         assert!(cache
-            .lookup(&PointD::new(vec![0.05, 0.5]), 1, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.05, 0.5]), 1, &linear()))
             .is_some());
-        cache.insert(region(0.4, 0.5), result(&[3]), linear());
+        admit(&mut cache, region(0.4, 0.5), result(&[3]), RegionKind::Gir);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 1);
         // Entry for [0.2,0.3] was evicted.
         assert!(cache
-            .lookup(&PointD::new(vec![0.25, 0.5]), 1, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.25, 0.5]), 1, &linear()))
             .is_none());
         assert!(cache
-            .lookup(&PointD::new(vec![0.05, 0.5]), 1, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.05, 0.5]), 1, &linear()))
             .is_some());
     }
 
     #[test]
     fn on_delete_counts_as_eviction() {
         let mut cache = GirCache::new(4);
-        cache.insert(region(0.0, 1.0), result(&[1, 2]), linear());
+        admit(
+            &mut cache,
+            region(0.0, 1.0),
+            result(&[1, 2]),
+            RegionKind::Gir,
+        );
         assert_eq!(cache.on_delete(2), 1);
         assert_eq!(cache.evictions(), 1);
         assert!(cache.is_empty());
@@ -575,23 +740,24 @@ mod tests {
     fn region_kinds_match_by_semantics() {
         let mut cache = GirCache::new(8);
         let w = PointD::new(vec![0.5, 0.5]);
+        let s = linear();
         // A GIR* entry with 3 records.
-        cache.insert_kind(
+        admit(
+            &mut cache,
             region(0.0, 1.0),
             result(&[1, 2, 3]),
-            linear(),
             RegionKind::GirStar,
         );
         // Order-sensitive requests never hit a star entry (its cached
         // order may lag the live ranking).
-        assert!(cache.lookup(&w, 3, &linear()).is_none());
+        assert!(cache.get(&CacheKey::new(&w, 3, &s)).is_none());
         // Order-insensitive requests hit it only at the exact k — a
         // prefix of an unordered set would be a guess.
         assert!(cache
-            .lookup_kind(&w, 2, &linear(), RegionKind::GirStar)
+            .get(&CacheKey::new(&w, 2, &s).kind(RegionKind::GirStar))
             .is_none());
         let hit = cache
-            .lookup_kind(&w, 3, &linear(), RegionKind::GirStar)
+            .get(&CacheKey::new(&w, 3, &s).kind(RegionKind::GirStar))
             .unwrap();
         let mut ids: Vec<u64> = hit.iter().map(|r| r.id).collect();
         ids.sort_unstable();
@@ -599,10 +765,15 @@ mod tests {
 
         // A GIR entry answers both semantics, including by prefix.
         let mut cache = GirCache::new(8);
-        cache.insert(region(0.0, 1.0), result(&[4, 5, 6]), linear());
-        assert!(cache.lookup(&w, 2, &linear()).is_some());
+        admit(
+            &mut cache,
+            region(0.0, 1.0),
+            result(&[4, 5, 6]),
+            RegionKind::Gir,
+        );
+        assert!(cache.get(&CacheKey::new(&w, 2, &s)).is_some());
         let hit = cache
-            .lookup_kind(&w, 2, &linear(), RegionKind::GirStar)
+            .get(&CacheKey::new(&w, 2, &s).kind(RegionKind::GirStar))
             .unwrap();
         assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![4, 5]);
     }
@@ -618,7 +789,7 @@ mod tests {
                 (Record::new(2, vec![0.9, 0.2]), 0.55),
             ],
         };
-        cache.insert_kind(region(0.0, 1.0), res, linear(), RegionKind::GirStar);
+        admit(&mut cache, region(0.0, 1.0), res, RegionKind::GirStar);
 
         // A newcomer losing to both pivots everywhere: untouched.
         assert_eq!(cache.on_insert(&Record::new(9, vec![0.1, 0.1])), 0);
@@ -629,7 +800,7 @@ mod tests {
         assert_eq!(cache.on_insert(&Record::new(10, vec![0.95, 0.05])), 0);
         assert_eq!(cache.len(), 1);
         let shrunk = cache
-            .lookup_kind(&w, 2, &linear(), RegionKind::GirStar)
+            .get(&CacheKey::new(&w, 2, &linear()).kind(RegionKind::GirStar))
             .is_some();
         assert!(shrunk, "query point must survive an off-query shrink");
 
@@ -644,7 +815,12 @@ mod tests {
         // Entry A: result {1,2}; its region's bounding records are ids 0/1
         // (see `region()`): record 0 is a *contributor*, record 2 a result
         // member.
-        cache.insert(region(0.2, 0.8), result(&[1, 2]), linear());
+        admit(
+            &mut cache,
+            region(0.2, 0.8),
+            result(&[1, 2]),
+            RegionKind::Gir,
+        );
 
         // Deleting a contributor (id 0, not in the result) asks for
         // repair; a declining repairer keeps the entry sound.
@@ -670,7 +846,7 @@ mod tests {
         let out = cache.apply_batch(&batch, |_| Some(region(0.1, 0.9)));
         assert_eq!(out.repaired, 1);
         assert!(cache
-            .lookup(&PointD::new(vec![0.15, 0.5]), 2, &linear())
+            .get(&CacheKey::new(&PointD::new(vec![0.15, 0.5]), 2, &linear()))
             .is_some());
 
         // Deleting a result member evicts.
@@ -682,7 +858,7 @@ mod tests {
         assert_eq!(cache.evictions(), 1);
 
         // An empty batch touches nothing.
-        cache.insert(region(0.0, 1.0), result(&[7]), linear());
+        admit(&mut cache, region(0.0, 1.0), result(&[7]), RegionKind::Gir);
         let out = cache.apply_batch(&DeltaBatch::new(), |_| panic!("no work"));
         assert_eq!(
             out,

@@ -81,6 +81,30 @@ impl<'a> StarFan<'a> {
         }
     }
 
+    /// Bulk form of [`StarFan::feed`] for the initial candidate feed:
+    /// every candidate, in slice order, to every star. The stars are
+    /// mutually independent and each consumes the identical ordered
+    /// sequence, so large feeds fan out **per star** across the pool
+    /// (the nested level under the per-shard fan-out) with output
+    /// bit-identical to the sequential loop.
+    pub(crate) fn feed_all(&mut self, cands: &[(&PointD, u64)]) {
+        // Below the threshold the pool's bookkeeping costs more than
+        // the feed itself.
+        if self.stars.len() >= 2 && cands.len() >= 64 && crate::pool::would_parallelize(2) {
+            crate::pool::fan_out(self.stars.iter_mut().collect(), |_, (_, pivot, star)| {
+                for (attrs, id) in cands {
+                    if !dominates(&pivot.attrs, attrs) {
+                        star.insert(attrs, *id);
+                    }
+                }
+            });
+        } else {
+            for (attrs, id) in cands {
+                self.feed(attrs, *id);
+            }
+        }
+    }
+
     /// True when every star prunes the box — only then can the subtree
     /// hold no candidate that moves any star facet.
     pub(crate) fn prunes_mbb(&self, m: &Mbb) -> bool {
@@ -241,9 +265,8 @@ fn fp_star_phase2(
         let sb: f64 = b.attrs.coords().iter().sum();
         sb.partial_cmp(&sa).expect("non-NaN")
     });
-    for rec in &t {
-        fan.feed(&rec.attrs, rec.id);
-    }
+    let feed: Vec<(&PointD, u64)> = t.iter().map(|r| (&r.attrs, r.id)).collect();
+    fan.feed_all(&feed);
 
     let mut nodes_examined = 0usize;
     let mut nodes_pruned = 0usize;

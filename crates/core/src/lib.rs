@@ -40,6 +40,7 @@ pub mod lir;
 pub mod maintenance;
 pub mod mirror;
 pub mod phase1;
+pub mod pool;
 pub mod prune;
 pub mod region;
 pub mod sharded;
@@ -47,7 +48,7 @@ pub mod sp;
 pub mod svg;
 pub mod viz;
 
-pub use cache::{BatchOutcome, GirCache, RepairRequest};
+pub use cache::{BatchOutcome, CacheKey, GirCache, RepairRequest};
 pub use engine::{GirEngine, GirError, GirOutput, GirStats, Method};
 pub use gir_star::{fp_star_repair, reduced_result, StarMethod};
 pub use maintenance::{

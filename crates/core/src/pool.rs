@@ -1,0 +1,72 @@
+//! Shard fan-out over the vendored work-stealing pool, with EXPLAIN
+//! capture hand-off across thread hops.
+//!
+//! Every parallel site in the workspace goes through [`fan_out`], which
+//! centralises three policies:
+//!
+//! * **Sequential fallback.** With one item, or when the pool policy
+//!   says sequential ([`stealpool::global`] is `None` — fewer than two
+//!   effective threads, `GIR_POOL_THREADS=0`/`1`, or a
+//!   [`stealpool::configure_threads`] override), items run inline on
+//!   the caller in index order. The parallel path must be — and is,
+//!   see `tests/pool_differential.rs` — bit-identical to this.
+//! * **Span-capture hand-off.** When the calling thread is building an
+//!   EXPLAIN tree ([`tracing::capture_active`]), each job runs under
+//!   its own fresh [`tracing::Capture`] on whichever thread executes
+//!   it; the per-job trees are [`tracing::graft`]ed back into the
+//!   caller's capture in **item order** after the join, so the final
+//!   tree is identical to the sequential one no matter which threads
+//!   ran what or in what order they finished.
+//! * **Capture shielding.** When the caller is *not* capturing, jobs
+//!   are wrapped in [`tracing::shielded`] so that a pool thread which
+//!   happens to be mid-capture (it is helping this fan-out from inside
+//!   its own traced request) does not absorb foreign spans into its
+//!   request's tree. Collector delivery (global metrics) is unaffected
+//!   either way.
+
+/// Runs `f(index, item)` over all items — on the global work-stealing
+/// pool when the thread policy allows, inline otherwise — returning
+/// results in item order. See the module docs for the guarantees.
+pub fn fan_out<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let pool = if items.len() > 1 {
+        stealpool::global()
+    } else {
+        None
+    };
+    let Some(pool) = pool else {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    };
+    if tracing::capture_active() {
+        // Hand the capture across the hop: one fresh capture per job,
+        // trees grafted back in item order after the barrier.
+        pool.parallel_map(items, &|i, item| {
+            let cap = tracing::Capture::begin();
+            let r = f(i, item);
+            (r, cap.finish())
+        })
+        .into_iter()
+        .map(|(r, tree)| {
+            tracing::graft(tree);
+            r
+        })
+        .collect()
+    } else {
+        pool.parallel_map(items, &|i, item| tracing::shielded(|| f(i, item)))
+    }
+}
+
+/// True when the next [`fan_out`] over `n` items would use the pool —
+/// lets callers pick batch thresholds (tiny fan-outs are cheaper
+/// inline).
+pub fn would_parallelize(n: usize) -> bool {
+    n > 1 && stealpool::global().is_some()
+}

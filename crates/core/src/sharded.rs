@@ -152,14 +152,14 @@ pub fn gir_sharded(
     let io_before: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
     let t0 = Instant::now();
-    let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
-        .iter()
-        .enumerate()
-        .map(|(si, m)| {
+    // Per-shard BRS fans out across the pool; results come back in
+    // shard order (the pool preserves item order), so the merge below
+    // sees exactly the sequential input.
+    let runs: Vec<(TopKResult, Frontier<'_>)> =
+        crate::pool::fan_out(mirrors.iter().map(Arc::as_ref).collect(), |si, m| {
             let _s = tracing::span!("shard_topk", shard = si);
             m.topk(scoring, &q.weights, k)
-        })
-        .collect();
+        });
     let merge_span = tracing::span!("merge", shards = shards.len());
     let ranked = merge_ranked(&runs, k);
     if ranked.is_empty() {
@@ -180,75 +180,87 @@ pub fn gir_sharded(
     ids_sorted.sort_unstable();
     let result_id_set: HashSet<u64> = result_ids.iter().copied().collect();
 
-    let mut candidates = 0usize;
-    let mut structure_total = 0usize;
-    for (si, (((shard, state), mirror), (shard_res, mut frontier))) in shards
-        .iter()
-        .zip(&states)
-        .zip(&mirrors)
-        .zip(runs)
-        .enumerate()
-    {
-        let mut shard_span = tracing::span!("shard_phase2", shard = si, method = method.label());
-        // Shard-ranked records that did not make the global result are
-        // non-result candidates the retained frontier no longer covers
-        // (BRS popped them): re-seed them before the sweep. Every
-        // global-result member of this shard *was* popped by the
-        // shard's own top-k (its score is ≥ the global k-th score), so
-        // the adjusted frontier covers exactly `D_s \ R`.
-        for (rec, score) in &shard_res.ranked {
-            if !result_id_set.contains(&rec.id) {
-                frontier
-                    .heap
-                    .push(FrontierEntry::Rec { rec, score: *score });
-            }
-        }
-
-        // The per-shard Phase-2 system depends only on (method, global
-        // result set, p_k): reuse the shard's cached system when the
-        // ranking recurs (maintained exactly under this shard's deltas).
-        let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = if method == Method::FullScan {
-            let (hs, st) = fullscan_phase2(shard.tree, scoring, &kth, &result_id_set)?;
-            (Arc::new(hs), st.structure_size)
-        } else {
-            let lookup =
-                shard
-                    .index
-                    .phase2_lookup(RegionKind::Gir, method, &ids_sorted, kth.id, scoring);
-            shard_span.record("cached", lookup.is_some());
-            match lookup {
-                Some(hit) => hit,
-                None => {
-                    let (hs, structure) = shard_phase2(
-                        scoring,
-                        q,
-                        method,
-                        state.as_ref(),
-                        mirror.as_ref(),
-                        &kth,
-                        &result,
-                        frontier,
-                    );
-                    let hs = Arc::new(hs);
-                    shard.index.phase2_admit(
-                        RegionKind::Gir,
-                        method,
-                        ids_sorted.clone(),
-                        kth.id,
-                        scoring,
-                        scoring.transform_point(&kth.attrs),
-                        Vec::new(),
-                        hs.clone(),
-                        structure,
-                    );
-                    (hs, structure)
+    // The S Phase-2 sweeps are independent (each bounds `p_k` against
+    // its own `D_s \ R` only): fan them out, then accumulate the
+    // returned systems **in shard order** — the half-space list, the
+    // stats, and any error surfaced are bit-identical to the
+    // sequential path no matter which shard finishes first.
+    let tasks: Vec<_> = shards.iter().zip(&states).zip(&mirrors).zip(runs).collect();
+    let shard_outputs = crate::pool::fan_out(
+        tasks,
+        |si, (((shard, state), mirror), (shard_res, mut frontier))| {
+            let mut shard_span =
+                tracing::span!("shard_phase2", shard = si, method = method.label());
+            // Shard-ranked records that did not make the global result are
+            // non-result candidates the retained frontier no longer covers
+            // (BRS popped them): re-seed them before the sweep. Every
+            // global-result member of this shard *was* popped by the
+            // shard's own top-k (its score is ≥ the global k-th score), so
+            // the adjusted frontier covers exactly `D_s \ R`.
+            for (rec, score) in &shard_res.ranked {
+                if !result_id_set.contains(&rec.id) {
+                    frontier
+                        .heap
+                        .push(FrontierEntry::Rec { rec, score: *score });
                 }
             }
-        };
+
+            // The per-shard Phase-2 system depends only on (method, global
+            // result set, p_k): reuse the shard's cached system when the
+            // ranking recurs (maintained exactly under this shard's deltas).
+            let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = if method == Method::FullScan {
+                let (hs, st) = fullscan_phase2(shard.tree, scoring, &kth, &result_id_set)?;
+                (Arc::new(hs), st.structure_size)
+            } else {
+                let lookup = shard.index.phase2_lookup(
+                    RegionKind::Gir,
+                    method,
+                    &ids_sorted,
+                    kth.id,
+                    scoring,
+                );
+                shard_span.record("cached", lookup.is_some());
+                match lookup {
+                    Some(hit) => hit,
+                    None => {
+                        let (hs, structure) = shard_phase2(
+                            scoring,
+                            q,
+                            method,
+                            state.as_ref(),
+                            mirror.as_ref(),
+                            &kth,
+                            &result,
+                            frontier,
+                        );
+                        let hs = Arc::new(hs);
+                        shard.index.phase2_admit(
+                            RegionKind::Gir,
+                            method,
+                            ids_sorted.clone(),
+                            kth.id,
+                            scoring,
+                            scoring.transform_point(&kth.attrs),
+                            Vec::new(),
+                            hs.clone(),
+                            structure,
+                        );
+                        (hs, structure)
+                    }
+                }
+            };
+            shard_span.record("candidates", phase2.len());
+            Ok::<_, GirError>((phase2, structure))
+        },
+    );
+
+    let mut candidates = 0usize;
+    let mut structure_total = 0usize;
+    for out in shard_outputs {
+        let (phase2, structure) = out?;
         candidates += phase2.len();
         structure_total += structure;
         halfspaces.extend(phase2.iter().cloned());
-        shard_span.record("candidates", phase2.len());
     }
 
     let region = GirRegion::new(d, q.weights.clone(), halfspaces);
@@ -390,14 +402,12 @@ pub fn gir_star_sharded(
     let io_before: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
     let t0 = Instant::now();
-    let runs: Vec<(TopKResult, Frontier<'_>)> = mirrors
-        .iter()
-        .enumerate()
-        .map(|(si, m)| {
+    // Parallel per-shard BRS, results in shard order (see `gir_sharded`).
+    let runs: Vec<(TopKResult, Frontier<'_>)> =
+        crate::pool::fan_out(mirrors.iter().map(Arc::as_ref).collect(), |si, m| {
             let _s = tracing::span!("shard_topk", shard = si);
             m.topk(scoring, &q.weights, k)
-        })
-        .collect();
+        });
     let merge_span = tracing::span!("merge", shards = shards.len());
     let ranked = merge_ranked(&runs, k);
     if ranked.is_empty() {
@@ -422,67 +432,75 @@ pub fn gir_star_sharded(
     let ids_ranked = result.ids();
     let result_id_set: HashSet<u64> = ids_ranked.iter().copied().collect();
 
+    // Independent per-shard star sweeps fan out exactly as in
+    // `gir_sharded`; accumulation below is in shard order, so the
+    // emitted system is bit-identical to the sequential path.
+    let tasks: Vec<_> = shards.iter().zip(&states).zip(&mirrors).zip(runs).collect();
+    let shard_outputs = crate::pool::fan_out(
+        tasks,
+        |si, (((shard, state), mirror), (shard_res, mut frontier))| {
+            let mut shard_span =
+                tracing::span!("shard_star_phase2", shard = si, method = method.label());
+            // Re-seed shard-ranked records that missed the global result,
+            // exactly as in `gir_sharded`: they are non-result candidates
+            // the retained frontier no longer covers.
+            for (rec, score) in &shard_res.ranked {
+                if !result_id_set.contains(&rec.id) {
+                    frontier
+                        .heap
+                        .push(FrontierEntry::Rec { rec, score: *score });
+                }
+            }
+
+            let lookup = shard.index.phase2_lookup(
+                RegionKind::GirStar,
+                method,
+                &ids_ranked,
+                kth.id,
+                scoring,
+            );
+            shard_span.record("cached", lookup.is_some());
+            let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = match lookup {
+                Some(hit) => hit,
+                None => {
+                    let (hs, structure) = shard_star_phase2(
+                        scoring,
+                        star_method,
+                        state.as_ref(),
+                        mirror.as_ref(),
+                        &pivots_t,
+                        &r_minus,
+                        &result,
+                        &result_id_set,
+                        frontier,
+                    );
+                    let hs = Arc::new(hs);
+                    shard.index.phase2_admit(
+                        RegionKind::GirStar,
+                        method,
+                        ids_ranked.clone(),
+                        kth.id,
+                        scoring,
+                        scoring.transform_point(&kth.attrs),
+                        pivots_t.clone(),
+                        hs.clone(),
+                        structure,
+                    );
+                    (hs, structure)
+                }
+            };
+            shard_span.record("candidates", phase2.len());
+            (phase2, structure)
+        },
+    );
+
     let mut halfspaces: Vec<HalfSpace> = Vec::new();
     let mut candidates = 0usize;
     let mut structure_total = 0usize;
-    for (si, (((shard, state), mirror), (shard_res, mut frontier))) in shards
-        .iter()
-        .zip(&states)
-        .zip(&mirrors)
-        .zip(runs)
-        .enumerate()
-    {
-        let mut shard_span =
-            tracing::span!("shard_star_phase2", shard = si, method = method.label());
-        // Re-seed shard-ranked records that missed the global result,
-        // exactly as in `gir_sharded`: they are non-result candidates
-        // the retained frontier no longer covers.
-        for (rec, score) in &shard_res.ranked {
-            if !result_id_set.contains(&rec.id) {
-                frontier
-                    .heap
-                    .push(FrontierEntry::Rec { rec, score: *score });
-            }
-        }
-
-        let lookup =
-            shard
-                .index
-                .phase2_lookup(RegionKind::GirStar, method, &ids_ranked, kth.id, scoring);
-        shard_span.record("cached", lookup.is_some());
-        let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = match lookup {
-            Some(hit) => hit,
-            None => {
-                let (hs, structure) = shard_star_phase2(
-                    scoring,
-                    star_method,
-                    state.as_ref(),
-                    mirror.as_ref(),
-                    &pivots_t,
-                    &r_minus,
-                    &result,
-                    &result_id_set,
-                    frontier,
-                );
-                let hs = Arc::new(hs);
-                shard.index.phase2_admit(
-                    RegionKind::GirStar,
-                    method,
-                    ids_ranked.clone(),
-                    kth.id,
-                    scoring,
-                    scoring.transform_point(&kth.attrs),
-                    pivots_t.clone(),
-                    hs.clone(),
-                    structure,
-                );
-                (hs, structure)
-            }
-        };
+    for (phase2, structure) in shard_outputs {
         candidates += phase2.len();
         structure_total += structure;
         halfspaces.extend(phase2.iter().cloned());
-        shard_span.record("candidates", phase2.len());
     }
 
     // No ordering half-spaces: Definition 2 is order-insensitive.
@@ -598,9 +616,8 @@ fn fp_star_sweep_mirror(
         let sb: f64 = b.attrs.coords().iter().sum();
         sb.partial_cmp(&sa).expect("non-NaN")
     });
-    for rec in &cands {
-        fan.feed(&rec.attrs, rec.id);
-    }
+    let feed: Vec<(&PointD, u64)> = cands.iter().map(|r| (&r.attrs, r.id)).collect();
+    fan.feed_all(&feed);
 
     let mut stack = nodes;
     while let Some((mbb, page)) = stack.pop() {

@@ -3,8 +3,8 @@
 use crate::sharded::{CacheStats, ShardedGirCache};
 use crate::stats::ServeStats;
 use gir_core::{
-    repair_region, repair_region_star, DeltaBatch, GirEngine, GirError, Method, PruneIndex,
-    PruneIndexStats, RegionKind,
+    repair_region, repair_region_star, CacheKey, DeltaBatch, GirEngine, GirError, Method,
+    PruneIndex, PruneIndexStats, RegionKind,
 };
 use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, Record, ScoringFunction};
@@ -91,9 +91,15 @@ pub struct TopKRequest {
 }
 
 impl TopKRequest {
-    /// Builds an order-sensitive request, clamping weights into the
+    /// Builds a request with the default semantics (order-sensitive
+    /// [`RegionKind::Gir`], no EXPLAIN), clamping weights into the
     /// query box (a serving layer must not panic on slightly
-    /// out-of-range client input).
+    /// out-of-range client input). Chain [`TopKRequest::kind`] /
+    /// [`TopKRequest::explain`] to refine:
+    ///
+    /// ```ignore
+    /// TopKRequest::new(vec![0.5, 0.5], 8).kind(RegionKind::GirStar).explain()
+    /// ```
     pub fn new(weights: impl Into<PointD>, k: usize) -> Self {
         let mut weights = weights.into();
         for w in weights.coords_mut() {
@@ -107,18 +113,43 @@ impl TopKRequest {
         }
     }
 
-    /// Asks for a per-query EXPLAIN report on the response.
-    pub fn with_explain(mut self) -> Self {
-        self.explain = true;
+    /// Selects the region semantics served. [`RegionKind::GirStar`]
+    /// demands only the top-`k` *composition* (§7.1), so the request
+    /// hits the wider GIR\* regions.
+    pub fn kind(mut self, kind: RegionKind) -> Self {
+        self.kind = kind;
         self
     }
 
-    /// Builds an order-insensitive request: only the top-`k`
-    /// composition is demanded, so it hits the wider GIR\* regions.
-    pub fn order_insensitive(weights: impl Into<PointD>, k: usize) -> Self {
-        TopKRequest {
-            kind: RegionKind::GirStar,
-            ..Self::new(weights, k)
+    /// Asks for a per-query EXPLAIN report on the response.
+    pub fn explain(mut self) -> Self {
+        self.explain = true;
+        self
+    }
+}
+
+/// Deprecated pre-builder [`TopKRequest`] constructors, kept as thin
+/// shims for one release. New code chains [`TopKRequest::kind`] /
+/// [`TopKRequest::explain`] onto [`TopKRequest::new`].
+mod request_compat {
+    #![allow(deprecated)]
+
+    use super::*;
+
+    impl TopKRequest {
+        /// Deprecated alias for [`TopKRequest::explain`].
+        #[deprecated(since = "0.2.0", note = "use `TopKRequest::new(w, k).explain()`")]
+        pub fn with_explain(self) -> Self {
+            self.explain()
+        }
+
+        /// Deprecated alias for `TopKRequest::new(w, k).kind(RegionKind::GirStar)`.
+        #[deprecated(
+            since = "0.2.0",
+            note = "use `TopKRequest::new(w, k).kind(RegionKind::GirStar)`"
+        )]
+        pub fn order_insensitive(weights: impl Into<PointD>, k: usize) -> Self {
+            Self::new(weights, k).kind(RegionKind::GirStar)
         }
     }
 }
@@ -429,10 +460,9 @@ impl GirServer {
     fn serve_one(&self, tree: &RTree, req: &TopKRequest, method: Method) -> TopKResponse {
         serve_traced(req, || {
             let t0 = Instant::now();
+            let key = CacheKey::new(&req.weights, req.k, &self.scoring).kind(req.kind);
             let lookup_span = tracing::span!("cache_lookup");
-            let found = self
-                .cache
-                .lookup(&req.weights, req.k, &self.scoring, req.kind);
+            let found = self.cache.get(&key);
             drop(lookup_span);
             if let Some(records) = found {
                 return TopKResponse {
@@ -469,8 +499,7 @@ impl GirServer {
             drop(compute_span);
             compute_response(computed, t0, |out| {
                 let _admit_span = tracing::span!("admit");
-                self.cache
-                    .insert(out.region, out.result, self.scoring.clone(), req.kind);
+                self.cache.admit(&key, out.region, out.result);
             })
         })
     }
@@ -824,7 +853,8 @@ mod tests {
             let reqs: Vec<TopKRequest> = (0..60)
                 .map(|i| {
                     let j = 0.0005 * (i % 11) as f64;
-                    TopKRequest::order_insensitive(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], 6)
+                    TopKRequest::new(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], 6)
+                        .kind(RegionKind::GirStar)
                 })
                 .collect();
             let batch = server.run_batch(&reqs);
@@ -881,7 +911,7 @@ mod tests {
                     let j = 0.002 * (i % 13) as f64;
                     let w = vec![0.5 + j, 0.62 - j, 0.47 + j / 3.0];
                     if star {
-                        TopKRequest::order_insensitive(w, 7)
+                        TopKRequest::new(w, 7).kind(RegionKind::GirStar)
                     } else {
                         TopKRequest::new(w, 7)
                     }

@@ -13,7 +13,7 @@
 //!
 //! Homogeneous traffic (one scoring function, one k) necessarily lands
 //! on one shard, so the hot read path must not serialize: lookups probe
-//! with [`GirCache::peek`] under the *shared* lock and count hits and
+//! with [`GirCache::probe`] under the *shared* lock and count hits and
 //! misses in per-shard atomics. LRU recency is maintained
 //! opportunistically — every [`PROMOTE_EVERY`]-th hit attempts a
 //! non-blocking `try_write` to move the entry to the front, and simply
@@ -25,7 +25,9 @@
 //! calls them while holding the tree's write lock, so concurrent
 //! lookups cannot interleave with a half-applied update.
 
-use gir_core::{BatchOutcome, DeltaBatch, GirCache, GirRegion, RegionKind, RepairRequest};
+use gir_core::{
+    BatchOutcome, CacheKey, DeltaBatch, GirCache, GirRegion, RegionKind, RepairRequest,
+};
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -135,27 +137,20 @@ impl ShardedGirCache {
         (h ^ (h >> 31)) as usize & self.mask
     }
 
-    /// Looks up a top-`k` query with weights `w` under `scoring` and
-    /// the requested region semantics in the owning shard. The shard is
-    /// routed by `(scoring fingerprint, k-bucket)` alone — *not* by
-    /// kind — so an order-insensitive request finds both the GIR\*
-    /// entries of its bucket and the order-sensitive entries that also
-    /// answer it (see `gir_core::GirCache::peek_kind` for the match
-    /// rule). Concurrent lookups share the shard's read lock; counters
-    /// are atomic and LRU promotion is best-effort.
-    pub fn lookup(
-        &self,
-        w: &PointD,
-        k: usize,
-        scoring: &ScoringFunction,
-        kind: RegionKind,
-    ) -> Option<Vec<Record>> {
-        let shard = &self.shards[self.shard_index(scoring, k)];
+    /// Looks up the request described by `key` in the owning shard. The
+    /// shard is routed by `(scoring fingerprint, k-bucket)` alone —
+    /// *not* by kind — so an order-insensitive request finds both the
+    /// GIR\* entries of its bucket and the order-sensitive entries that
+    /// also answer it (see [`GirCache::probe`] for the match rule).
+    /// Concurrent lookups share the shard's read lock; counters are
+    /// atomic and LRU promotion is best-effort.
+    pub fn get(&self, key: &CacheKey<'_>) -> Option<Vec<Record>> {
+        let shard = &self.shards[self.shard_index(key.scoring, key.k)];
         let found = shard
             .cache
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .peek_kind(w, k, scoring, kind);
+            .probe(key);
         match found {
             Some(records) => {
                 tracing::event!("cache_hit");
@@ -163,7 +158,7 @@ impl ShardedGirCache {
                 if hits.is_multiple_of(PROMOTE_EVERY) {
                     // Refresh recency without ever blocking the read path.
                     if let Ok(mut guard) = shard.cache.try_write() {
-                        guard.promote_kind(w, k, scoring, kind);
+                        guard.touch(key);
                     }
                 }
                 Some(records)
@@ -176,32 +171,31 @@ impl ShardedGirCache {
         }
     }
 
-    /// Admits a computed result into the owning shard — unless an
-    /// existing entry already answers this entry's own query point with
-    /// as many records under the same semantics (for a GIR\* admission
-    /// that includes an order-sensitive entry: it already serves the
-    /// composition). The check runs under the same write lock as the
-    /// admission, so concurrent identical misses (a cold-cache
-    /// stampede) or repeated `k > |dataset|` requests admit one entry,
-    /// not one per computation. Returns whether the entry was admitted.
-    pub fn insert(
-        &self,
-        region: GirRegion,
-        result: TopKResult,
-        scoring: ScoringFunction,
-        kind: RegionKind,
-    ) -> bool {
+    /// Admits a computed result for `key` into the owning shard —
+    /// unless an existing entry already answers this entry's own query
+    /// point with as many records under the same semantics (for a GIR\*
+    /// admission that includes an order-sensitive entry: it already
+    /// serves the composition). The check runs under the same write
+    /// lock as the admission, so concurrent identical misses (a
+    /// cold-cache stampede) or repeated `k > |dataset|` requests admit
+    /// one entry, not one per computation. Routing uses the *achieved*
+    /// `result.len()`, not `key.k`, so a truncated result lands in the
+    /// bucket that will serve it. Returns whether the entry was
+    /// admitted.
+    pub fn admit(&self, key: &CacheKey<'_>, region: GirRegion, result: TopKResult) -> bool {
         let k = result.len();
-        let shard = &self.shards[self.shard_index(&scoring, k)];
+        let shard = &self.shards[self.shard_index(key.scoring, k)];
+        let w = region.query.clone();
+        let own = CacheKey::new(&w, k, key.scoring).kind(key.kind);
         let mut guard = shard
             .cache
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if guard.peek_kind(&region.query, k, &scoring, kind).is_some() {
+        if guard.probe(&own).is_some() {
             tracing::event!("cache_admit_dropped");
             return false;
         }
-        guard.insert_kind(region, result, scoring, kind);
+        guard.admit(&own, region, result);
         tracing::event!("cache_admit");
         true
     }
@@ -214,22 +208,30 @@ impl ShardedGirCache {
     /// invalidated entries are evicted. The serving layer calls this
     /// while holding the tree's write lock (same freshness argument as
     /// the per-update sweeps).
+    ///
+    /// Shards are independent under their own write locks, so the
+    /// per-shard passes fan out across the work-stealing pool
+    /// ([`gir_core::pool::fan_out`]) when the thread policy allows;
+    /// `repair` must therefore be `Fn + Sync`. Each shard's epoch
+    /// bracket ([`ShardedGirCache::maintenance_snapshot`]) opens and
+    /// closes on whichever worker runs the shard, keeping snapshots
+    /// batch-atomic per shard exactly as in the sequential pass, and
+    /// outcomes are merged in shard order.
     pub fn apply_batch(
         &self,
         batch: &DeltaBatch,
-        mut repair: impl FnMut(&RepairRequest<'_>) -> Option<GirRegion>,
+        repair: impl Fn(&RepairRequest<'_>) -> Option<GirRegion> + Sync,
     ) -> BatchOutcome {
-        let mut out = BatchOutcome::default();
-        for (si, s) in self.shards.iter().enumerate() {
+        let outs = gir_core::pool::fan_out((0..self.shards.len()).collect(), |_, si: usize| {
             // The epoch bracket spans this shard's whole pass: metric
             // readers retry while it is open, so a snapshot reflects
             // either none or all of this batch's deltas on the shard.
             let scope = self.scopes.begin(si);
-            let shard_out = s
+            let shard_out = self.shards[si]
                 .cache
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .apply_batch(batch, &mut repair);
+                .apply_batch(batch, &mut |req: &RepairRequest<'_>| repair(req));
             let classified =
                 shard_out.evicted + shard_out.repaired + shard_out.shrunk + shard_out.untouched;
             scope.add(0, classified as u64);
@@ -238,7 +240,11 @@ impl ShardedGirCache {
             scope.add(3, shard_out.shrunk as u64);
             scope.add(4, shard_out.untouched as u64);
             drop(scope);
-            out.merge(&shard_out);
+            shard_out
+        });
+        let mut out = BatchOutcome::default();
+        for shard_out in &outs {
+            out.merge(shard_out);
         }
         out
     }
@@ -307,6 +313,43 @@ impl ShardedGirCache {
     }
 }
 
+/// Deprecated pre-[`CacheKey`] entry points, kept as thin shims for one
+/// release. New code builds a key and calls [`ShardedGirCache::get`] /
+/// [`ShardedGirCache::admit`].
+mod compat {
+    #![allow(deprecated)]
+
+    use super::*;
+
+    impl ShardedGirCache {
+        /// Deprecated alias for [`ShardedGirCache::get`].
+        #[deprecated(since = "0.2.0", note = "build a `CacheKey` and call `get`")]
+        pub fn lookup(
+            &self,
+            w: &PointD,
+            k: usize,
+            scoring: &ScoringFunction,
+            kind: RegionKind,
+        ) -> Option<Vec<Record>> {
+            self.get(&CacheKey::new(w, k, scoring).kind(kind))
+        }
+
+        /// Deprecated alias for [`ShardedGirCache::admit`].
+        #[deprecated(since = "0.2.0", note = "build a `CacheKey` and call `admit`")]
+        pub fn insert(
+            &self,
+            region: GirRegion,
+            result: TopKResult,
+            scoring: ScoringFunction,
+            kind: RegionKind,
+        ) -> bool {
+            let k = result.len();
+            let w = region.query.clone();
+            self.admit(&CacheKey::new(&w, k, &scoring).kind(kind), region, result)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,16 +387,16 @@ mod tests {
         // threads; only the first admission may land.
         let cache = ShardedGirCache::new(4, 8);
         let f = ScoringFunction::linear(2);
-        assert!(cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone(), RegionKind::Gir));
-        assert!(!cache.insert(slab(0.0, 1.0), result(&[1, 2]), f.clone(), RegionKind::Gir));
+        let w = PointD::new(vec![0.5, 0.5]);
+        assert!(cache.admit(&CacheKey::new(&w, 2, &f), slab(0.0, 1.0), result(&[1, 2])));
+        assert!(!cache.admit(&CacheKey::new(&w, 2, &f), slab(0.0, 1.0), result(&[1, 2])));
         assert_eq!(cache.len(), 1);
         // A bigger result for the same query point is a different
         // k-bucket entry: admitted.
-        assert!(cache.insert(
+        assert!(cache.admit(
+            &CacheKey::new(&w, 5, &f),
             slab(0.0, 1.0),
-            result(&[1, 2, 3, 4, 5]),
-            f.clone(),
-            RegionKind::Gir
+            result(&[1, 2, 3, 4, 5])
         ));
         assert_eq!(cache.len(), 2);
     }
@@ -369,21 +412,17 @@ mod tests {
     fn hit_and_prefix_serving_within_bucket() {
         let cache = ShardedGirCache::new(8, 4);
         let f = ScoringFunction::linear(2);
-        cache.insert(
+        let w = PointD::new(vec![0.5, 0.5]);
+        cache.admit(
+            &CacheKey::new(&w, 4, &f),
             slab(0.0, 1.0),
             result(&[1, 2, 3, 4]),
-            f.clone(),
-            RegionKind::Gir,
         );
         // Same k-bucket (3 and 4 both bucket to 4): prefix hit.
-        let hit = cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 3, &f, RegionKind::Gir)
-            .unwrap();
+        let hit = cache.get(&CacheKey::new(&w, 3, &f)).unwrap();
         assert_eq!(hit.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
         // Different bucket (k=8) probes a different shard: miss.
-        assert!(cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 8, &f, RegionKind::Gir)
-            .is_none());
+        assert!(cache.get(&CacheKey::new(&w, 8, &f)).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
@@ -396,28 +435,25 @@ mod tests {
             gir_query::Transform::Power(2),
             gir_query::Transform::Linear,
         ]);
-        cache.insert(
-            slab(0.0, 1.0),
-            result(&[1, 2]),
-            lin.clone(),
-            RegionKind::Gir,
-        );
-        assert!(cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &non, RegionKind::Gir)
-            .is_none());
-        assert!(cache
-            .lookup(&PointD::new(vec![0.5, 0.5]), 2, &lin, RegionKind::Gir)
-            .is_some());
+        let w = PointD::new(vec![0.5, 0.5]);
+        cache.admit(&CacheKey::new(&w, 2, &lin), slab(0.0, 1.0), result(&[1, 2]));
+        assert!(cache.get(&CacheKey::new(&w, 2, &non)).is_none());
+        assert!(cache.get(&CacheKey::new(&w, 2, &lin)).is_some());
     }
 
     #[test]
     fn delete_sweep_hits_all_shards() {
         let cache = ShardedGirCache::new(8, 4);
         let f = ScoringFunction::linear(2);
+        let w = PointD::new(vec![0.5, 0.5]);
         // Spread entries over several k-buckets (and thus shards).
         for k in [1usize, 2, 4, 8, 16] {
             let ids: Vec<u64> = (0..k as u64).chain([99]).collect();
-            cache.insert(slab(0.0, 1.0), result(&ids), f.clone(), RegionKind::Gir);
+            cache.admit(
+                &CacheKey::new(&w, ids.len(), &f),
+                slab(0.0, 1.0),
+                result(&ids),
+            );
         }
         assert_eq!(cache.len(), 5);
         // Every entry contains record 99: all must drop.

@@ -25,7 +25,9 @@
 use crate::dataset::ShardedDataset;
 use crate::placement::Placement;
 use gir_core::fp::fp_repair;
-use gir_core::{fp_star_repair, GirRegion, Method, PruneIndexStats, RegionKind, RepairRequest};
+use gir_core::{
+    fp_star_repair, CacheKey, GirRegion, Method, PruneIndexStats, RegionKind, RepairRequest,
+};
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_query::{QueryVector, Record, ScoringFunction};
 use gir_rtree::RTreeError;
@@ -208,10 +210,9 @@ impl ShardedGirServer {
     fn serve_one(&self, data: &ShardedDataset, req: &TopKRequest, method: Method) -> TopKResponse {
         gir_serve::serve_traced(req, || {
             let t0 = Instant::now();
+            let key = CacheKey::new(&req.weights, req.k, &self.scoring).kind(req.kind);
             let lookup_span = tracing::span!("cache_lookup");
-            let found = self
-                .cache
-                .lookup(&req.weights, req.k, &self.scoring, req.kind);
+            let found = self.cache.get(&key);
             drop(lookup_span);
             if let Some(records) = found {
                 return TopKResponse {
@@ -232,8 +233,7 @@ impl ShardedGirServer {
             drop(compute_span);
             compute_response(computed, t0, |out| {
                 let _admit_span = tracing::span!("admit");
-                self.cache
-                    .insert(out.region, out.result, self.scoring.clone(), req.kind);
+                self.cache.admit(&key, out.region, out.result);
             })
         })
     }
@@ -723,7 +723,8 @@ mod tests {
         let reqs: Vec<TopKRequest> = (0..30)
             .map(|i| {
                 let j = 0.0005 * (i % 11) as f64;
-                TopKRequest::order_insensitive(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], 5)
+                TopKRequest::new(vec![0.55 + j, 0.6 - j, 0.45 + j / 2.0], 5)
+                    .kind(RegionKind::GirStar)
             })
             .collect();
         let batch = server.run_batch(&reqs);

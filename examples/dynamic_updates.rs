@@ -10,7 +10,7 @@
 //! cargo run --release --example dynamic_updates
 //! ```
 
-use gir::core::GirCache;
+use gir::core::{CacheKey, GirCache};
 use gir::prelude::*;
 use gir::query::ScoringFunction;
 use gir::rtree::Record;
@@ -34,7 +34,7 @@ fn main() {
         for w in &anchors {
             let q = QueryVector::new(w.coords().to_vec());
             let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
-            cache.insert(out.region, out.result, scoring.clone());
+            cache.admit(&CacheKey::new(w, k, &scoring), out.region, out.result);
         }
     }
     println!("cache warmed with {} regions", cache.len());
@@ -75,7 +75,7 @@ fn main() {
         if step % 50 == 49 {
             let engine = GirEngine::new(&tree);
             for w in &anchors {
-                if let Some(records) = cache.lookup(w, k, &scoring) {
+                if let Some(records) = cache.get(&CacheKey::new(w, k, &scoring)) {
                     shrunk_checks += 1;
                     let fresh = engine
                         .topk(&QueryVector::new(w.coords().to_vec()), k)

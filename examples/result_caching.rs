@@ -9,7 +9,7 @@
 //! cargo run --release --example result_caching
 //! ```
 
-use gir::core::GirCache;
+use gir::core::{CacheKey, GirCache};
 use gir::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -54,7 +54,7 @@ fn main() {
             tree.store().stats().reads_since(&s0)
         };
         // The cached server:
-        match cache.lookup(&q.weights, k, engine.scoring()) {
+        match cache.get(&CacheKey::new(&q.weights, k, engine.scoring())) {
             Some(records) => {
                 // A cache hit must be *provably* identical to recomputing.
                 let ids: Vec<u64> = records.iter().map(|r| r.id).collect();
@@ -64,7 +64,11 @@ fn main() {
                 let s0 = tree.store().stats();
                 let out = engine.gir(&q, k, Method::FacetPruning).expect("GIR");
                 pages_with_cache += tree.store().stats().reads_since(&s0);
-                cache.insert(out.region, out.result, engine.scoring().clone());
+                cache.admit(
+                    &CacheKey::new(&q.weights, k, engine.scoring()),
+                    out.region,
+                    out.result,
+                );
             }
         }
     }

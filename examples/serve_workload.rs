@@ -18,7 +18,8 @@
 //! ```
 //!
 //! `--star` replays the same traffic as **order-insensitive** requests
-//! (`TopKRequest::order_insensitive`): misses compute the wider GIR\*
+//! (`TopKRequest::new(w, k).kind(RegionKind::GirStar)`): misses compute
+//! the wider GIR\*
 //! region (paper §7.1), hits guarantee the top-k *set* instead of the
 //! exact ranking, and the oracle check compares compositions. Run
 //! `--help` for the environment knobs.
@@ -248,7 +249,7 @@ fn main() {
         // weight would show the full miss pipeline instead.
         let probe = traffic.last().expect("traffic is non-empty").queries[0]
             .clone()
-            .with_explain();
+            .explain();
         let out = server.run_batch(&[probe]);
         if let Some(report) = &out.responses[0].explain {
             println!("\nEXPLAIN of one replayed request:\n{}", report.to_text());

@@ -2,7 +2,7 @@
 //! exercised through the public facade exactly as a downstream user
 //! would.
 
-use gir::core::{GirCache, Method};
+use gir::core::{CacheKey, GirCache, Method};
 use gir::datagen::{hotel_like, house_like, random_queries, synthetic, Distribution};
 use gir::prelude::*;
 use gir::query::{naive_topk, ScoringFunction};
@@ -169,13 +169,17 @@ fn cache_serves_provably_fresh_results() {
             Method::FacetPruning,
         )
         .unwrap();
-    cache.insert(out.region.clone(), out.result.clone(), f.clone());
+    cache.admit(
+        &CacheKey::new(&anchor, 10, &f),
+        out.region.clone(),
+        out.result.clone(),
+    );
 
     let mut hits = 0;
     for i in 0..50 {
         let jitter = 0.001 * (i as f64 % 7.0 - 3.0);
         let w = PointD::new(vec![0.6 + jitter, 0.5 - jitter, 0.7 + jitter / 2.0]);
-        if let Some(records) = cache.lookup(&w, 10, &f) {
+        if let Some(records) = cache.get(&CacheKey::new(&w, 10, &f)) {
             hits += 1;
             let fresh = naive_topk(&data, &f, &w, 10);
             assert_eq!(

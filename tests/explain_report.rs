@@ -1,4 +1,4 @@
-//! End-to-end EXPLAIN coverage (`TopKRequest::with_explain`): for every
+//! End-to-end EXPLAIN coverage (`TopKRequest::explain`): for every
 //! miss path — **cold** (no prune index), **indexed-recompute** (shared
 //! Phase-2 system empty), **indexed-reuse** (entry evicted from the
 //! cache but its Phase-2 system still warm), and **sharded** — and both
@@ -36,11 +36,7 @@ fn server(data: &[Record], use_prune_index: bool, shard_capacity: usize) -> GirS
 }
 
 fn request(kind: RegionKind, w: &[f64]) -> TopKRequest {
-    let req = match kind {
-        RegionKind::Gir => TopKRequest::new(w.to_vec(), K),
-        RegionKind::GirStar => TopKRequest::order_insensitive(w.to_vec(), K),
-    };
-    req.with_explain()
+    TopKRequest::new(w.to_vec(), K).kind(kind).explain()
 }
 
 const KINDS: [RegionKind; 2] = [RegionKind::Gir, RegionKind::GirStar];
@@ -163,7 +159,7 @@ fn hits_and_unrequested_responses_carry_no_report() {
     let out = server.run_batch(std::slice::from_ref(&plain));
     assert!(out.responses[0].explain.is_none(), "explain not requested");
 
-    let out = server.run_batch(&[plain.with_explain()]);
+    let out = server.run_batch(&[plain.explain()]);
     let resp = &out.responses[0];
     assert!(resp.from_cache, "repeat of the same weights must hit");
     let report = resp.explain.as_ref().expect("hit still explains");

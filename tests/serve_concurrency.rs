@@ -3,9 +3,10 @@
 //! full server is driven with concurrent batches + updates, with every
 //! cache-served answer cross-checked against a linear-scan oracle.
 
+use gir::core::CacheKey;
 use gir::prelude::*;
 use gir::query::naive_topk;
-use gir::serve::{mixed_workload, RegionKind, ShardedGirCache, WorkloadConfig};
+use gir::serve::{mixed_workload, ShardedGirCache, WorkloadConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -100,14 +101,13 @@ fn sharded_cache_smoke_8_threads_with_update_sweeps() {
                 workers.spawn(move || {
                     for round in 0..200 {
                         let (region, result) = &pool[(t * 7 + round) % pool.len()];
-                        cache.insert(
+                        cache.admit(
+                            &CacheKey::new(&region.query, result.len(), &scoring),
                             region.clone(),
                             result.clone(),
-                            scoring.clone(),
-                            RegionKind::Gir,
                         );
                         for w in probes.iter().skip(t * 8).take(8) {
-                            let _ = cache.lookup(w, 8, &scoring, RegionKind::Gir);
+                            let _ = cache.get(&CacheKey::new(w, 8, &scoring));
                             lookups_done.fetch_add(1, Ordering::Relaxed);
                         }
                     }

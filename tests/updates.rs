@@ -1,7 +1,7 @@
 //! Live-update integration: R*-tree insert/delete + GIR cache
 //! maintenance, verified against recomputation at every step.
 
-use gir::core::{GirCache, Method};
+use gir::core::{CacheKey, GirCache, Method};
 use gir::prelude::*;
 use gir::query::{naive_topk, ScoringFunction};
 use gir::rtree::Record;
@@ -56,7 +56,7 @@ fn cache_maintenance_never_serves_stale_results() {
         for w in &anchors {
             let q = QueryVector::new(w.coords().to_vec());
             let out = engine.gir(&q, k, Method::FacetPruning).unwrap();
-            cache.insert(out.region, out.result, scoring.clone());
+            cache.admit(&CacheKey::new(w, k, &scoring), out.region, out.result);
         }
     }
 
@@ -83,7 +83,7 @@ fn cache_maintenance_never_serves_stale_results() {
         }
 
         for w in &anchors {
-            if let Some(records) = cache.lookup(w, k, &scoring) {
+            if let Some(records) = cache.get(&CacheKey::new(w, k, &scoring)) {
                 let truth = naive_topk(&data, &scoring, w, k);
                 assert_eq!(
                     records.iter().map(|r| r.id).collect::<Vec<_>>(),

@@ -1,0 +1,458 @@
+//! Vendored stand-in for a rayon-style work-stealing pool — exactly the
+//! API surface this workspace uses, no external dependencies.
+//!
+//! Design (a deliberately small subset of rayon's):
+//!
+//! * **Per-worker deques + one injector.** Each worker owns a
+//!   `Mutex<VecDeque<Job>>`; it pops its own deque LIFO (good locality
+//!   for nested fan-outs) and steals from the injector or other workers
+//!   FIFO (oldest job first, which spreads a fan-out's items across
+//!   workers). Non-worker threads submit to the injector.
+//! * **Blocking scoped fan-out.** [`Pool::parallel_map`] submits one job
+//!   per item and then the *caller helps*: it executes pool jobs until
+//!   every one of its own jobs has finished. Because a blocked caller is
+//!   always either running a job or yielding — never parked while work
+//!   it depends on sits in a queue — nested `parallel_map` calls from
+//!   inside jobs cannot deadlock, even on a one-worker pool.
+//! * **Panic propagation.** Each job runs under `catch_unwind`; the
+//!   first payload is stashed and re-thrown in the *calling* thread by
+//!   `resume_unwind` after all sibling jobs have drained (so borrowed
+//!   data is never still referenced by an in-flight job when the caller
+//!   unwinds — this is what makes the lifetime-erasure below sound).
+//! * **Lazy global pool.** [`global`] builds a process-wide pool on
+//!   first use, sized by [`effective_threads`]: the `GIR_POOL_THREADS`
+//!   env var (0 or 1 = stay sequential) or, unset, the machine's
+//!   available parallelism. [`configure_threads`] overrides both at
+//!   runtime *before* the pool is built — and can force `global()` to
+//!   return `None` (sequential) at any time, which in-process A/B
+//!   benchmarks use to compare sequential vs parallel on one build.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+// Identity of the current thread within some pool: `(pool id, worker
+// index)`. `None` on threads no pool owns (including pool users).
+thread_local! {
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Pool ids start at 1 so 0 never aliases a real pool.
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Shared {
+    /// One deque per worker; workers pop their own back, thieves pop
+    /// the front.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted from threads outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Count of queued (not yet started) jobs — lets sleeping workers
+    /// skip the scan when there is provably nothing to do.
+    queued: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops one job: own deque LIFO first (when `me` is a worker of
+    /// this pool), then injector, then steal FIFO from every worker.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(m) = me {
+            if let Some(job) = lock(&self.queues[m]).pop_back() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(job) = lock(q).pop_front() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn push(&self, job: Job, me: Option<usize>) {
+        match me {
+            Some(m) => lock(&self.queues[m]).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.wakeup.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, pool_id: usize, me: usize) {
+    WORKER.set(Some((pool_id, me)));
+    loop {
+        if let Some(job) = shared.find_job(Some(me)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = lock(&shared.sleep_lock);
+        if shared.queued.load(Ordering::Relaxed) == 0 && !shared.shutdown.load(Ordering::Acquire) {
+            // Timed wait bounds any lost-wakeup window; submissions
+            // notify under no lock, so a notify can race the re-check.
+            let _ = shared.wakeup.wait_timeout(guard, Duration::from_millis(5));
+        }
+    }
+}
+
+/// Bookkeeping for one `parallel_map` fan-out.
+struct FanCtx<R> {
+    pending: AtomicUsize,
+    results: Mutex<Vec<Option<R>>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A fixed-size work-stealing pool. Dropping it shuts the workers down
+/// (after their in-flight jobs finish); the [`global`] pool is never
+/// dropped.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    id: usize,
+}
+
+impl Pool {
+    /// Spawns `workers` worker threads (at least one). Callers of
+    /// [`Pool::parallel_map`] help execute jobs too, so the effective
+    /// parallelism of a blocked fan-out is `workers + 1`.
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stealpool-{id}-{i}"))
+                    .spawn(move || worker_loop(shared, id, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            id,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Applies `f(index, item)` to every item on the pool and returns
+    /// the results **in item order**, regardless of completion order.
+    /// Blocks until all items are done, helping execute jobs (its own
+    /// or others') while it waits. If any job panics, the first payload
+    /// is re-thrown here after every sibling has drained.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            let item = items.into_iter().next().expect("len checked");
+            return vec![f(0, item)];
+        }
+        let ctx = FanCtx {
+            pending: AtomicUsize::new(n),
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            panic: Mutex::new(None),
+        };
+        let me = WORKER
+            .get()
+            .filter(|(pool, _)| *pool == self.id)
+            .map(|(_, idx)| idx);
+        for (i, item) in items.into_iter().enumerate() {
+            let ctx_ref = &ctx;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(v) => lock(&ctx_ref.results)[i] = Some(v),
+                    Err(p) => {
+                        let mut slot = lock(&ctx_ref.panic);
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                    }
+                }
+                // Release pairs with the Acquire in the drain loop: the
+                // caller that sees pending hit 0 also sees every result
+                // write.
+                ctx_ref.pending.fetch_sub(1, Ordering::Release);
+            });
+            // SAFETY: the job borrows `ctx` and `f` from this frame.
+            // The drain loop below does not return (normally or by
+            // unwind) until `pending` reaches 0, i.e. until every job
+            // has finished running, so the borrows outlive all uses.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(job)
+            };
+            self.shared.push(job, me);
+        }
+        // Help until all our jobs are done. We may execute unrelated
+        // jobs here (a foreign fan-out's items); that only delays us,
+        // never deadlocks — see the module docs.
+        while ctx.pending.load(Ordering::Acquire) > 0 {
+            match self.shared.find_job(me) {
+                Some(job) => job(),
+                None => std::thread::yield_now(),
+            }
+        }
+        if let Some(p) = lock(&ctx.panic).take() {
+            resume_unwind(p);
+        }
+        ctx.results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|r| r.expect("job completed without result or panic"))
+            .collect()
+    }
+
+    /// Runs `n` closures `f(0) … f(n-1)` on the pool, returning results
+    /// in index order.
+    pub fn fan_out<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.parallel_map((0..n).collect(), &|i, _| f(i))
+    }
+
+    /// Runs the two closures potentially in parallel and returns both
+    /// results (rayon's `join`).
+    pub fn join<A, B, FA, FB>(&self, a: FA, b: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        enum Either<A, B> {
+            A(A),
+            B(B),
+        }
+        let a = Mutex::new(Some(a));
+        let b = Mutex::new(Some(b));
+        let mut out = self.parallel_map(vec![0usize, 1], &|i, _| {
+            if i == 0 {
+                Either::A((lock(&a).take().expect("ran once"))())
+            } else {
+                Either::B((lock(&b).take().expect("ran once"))())
+            }
+        });
+        let rb = out.pop();
+        let ra = out.pop();
+        match (ra, rb) {
+            (Some(Either::A(x)), Some(Either::B(y))) => (x, y),
+            _ => unreachable!("parallel_map preserves item order"),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wakeup.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runtime override set by [`configure_threads`]; `usize::MAX` = unset.
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Overrides the thread policy for [`global`]: `0` or `1` forces the
+/// sequential path (`global()` returns `None`), `n ≥ 2` asks for an
+/// `n`-thread pool. Takes precedence over `GIR_POOL_THREADS`. The
+/// global pool's *size* is fixed at first parallel use; a later larger
+/// override still enables it, at the originally built size.
+pub fn configure_threads(n: usize) {
+    OVERRIDE_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// Clears a [`configure_threads`] override, restoring the env /
+/// core-count policy.
+pub fn reset_threads() {
+    OVERRIDE_THREADS.store(usize::MAX, Ordering::SeqCst);
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("GIR_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    })
+}
+
+/// The thread count the current policy asks for: the
+/// [`configure_threads`] override, else `GIR_POOL_THREADS`, else the
+/// machine's available parallelism (1 when unknown). A result `< 2`
+/// means "stay sequential".
+pub fn effective_threads() -> usize {
+    let o = OVERRIDE_THREADS.load(Ordering::SeqCst);
+    if o != usize::MAX {
+        return o;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The lazily built process-wide pool, or `None` when the current
+/// policy (see [`effective_threads`]) says to stay sequential. The pool
+/// is built on the first call that wants parallelism and keeps that
+/// size for the life of the process.
+pub fn global() -> Option<&'static Pool> {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    let n = effective_threads();
+    if n < 2 {
+        return None;
+    }
+    Some(GLOBAL.get_or_init(|| Pool::new(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.parallel_map(items, &|i, x| {
+            if i % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_borrow_caller_state() {
+        let pool = Pool::new(2);
+        let base: Vec<u64> = (0..50).collect();
+        let total = AtomicU64::new(0);
+        let out = pool.parallel_map((0..50usize).collect(), &|_, i| {
+            total.fetch_add(base[i], Ordering::Relaxed);
+            base[i] + 1
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(total.load(Ordering::Relaxed), (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_and_pool_survives() {
+        let pool = Pool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map((0..16usize).collect(), &|_, i| {
+                if i == 7 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        }));
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload {msg:?}");
+        // All siblings drained before the rethrow; the pool still works.
+        let out = pool.parallel_map((0..8usize).collect(), &|_, i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn nested_fan_outs_do_not_deadlock() {
+        // One worker + helping callers: a 3-deep nest would deadlock
+        // instantly if any waiter parked instead of helping.
+        let pool = Pool::new(1);
+        let total: u64 = pool
+            .parallel_map((0..4u64).collect(), &|_, a| {
+                pool.parallel_map((0..4u64).collect(), &|_, b| {
+                    pool.parallel_map((0..4u64).collect(), &|_, c| a * 100 + b * 10 + c)
+                        .into_iter()
+                        .sum::<u64>()
+                })
+                .into_iter()
+                .sum::<u64>()
+            })
+            .into_iter()
+            .sum();
+        let expect: u64 = (0..4)
+            .flat_map(|a| (0..4).flat_map(move |b| (0..4).map(move |c| a * 100 + b * 10 + c)))
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn join_runs_both_and_keeps_sides() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join(|| "left".to_string(), || 42u32);
+        assert_eq!(a, "left");
+        assert_eq!(b, 42);
+    }
+
+    #[test]
+    fn concurrent_fan_outs_from_many_threads() {
+        let pool = Arc::new(Pool::new(2));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                let s: u64 = pool
+                    .parallel_map((0..64u64).collect(), &|_, i| i + t)
+                    .into_iter()
+                    .sum();
+                assert_eq!(s, (0..64).sum::<u64>() + 64 * t);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -224,16 +224,26 @@ struct Frame {
     events: Vec<EventRecord>,
 }
 
-#[derive(Default)]
 struct CaptureState {
+    /// Process-unique id tying spans to the capture that framed them,
+    /// so a span closing under a *different* capture (its own already
+    /// finished, or a nested one now on top) is discarded instead of
+    /// popping a frame it never pushed.
+    id: u64,
     stack: Vec<Frame>,
     roots: Vec<SpanRecord>,
     events: Vec<EventRecord>,
 }
 
 thread_local! {
-    static CAPTURE: RefCell<Option<CaptureState>> = const { RefCell::new(None) };
+    // A *stack* of captures: work-stealing pool threads helping a
+    // fan-out may run a job's capture nested inside their own request
+    // capture. Spans and events always record into the top state.
+    static CAPTURE: RefCell<Vec<CaptureState>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Capture ids start at 1 so 0 never aliases a real capture.
+static NEXT_CAPTURE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// The materialised output of one [`Capture`]: the root spans that
 /// closed while it was active, plus any events outside a span.
@@ -246,20 +256,49 @@ pub struct CaptureTree {
 }
 
 /// Records the span tree of the current thread until finished or
-/// dropped. At most one capture per thread; beginning a new one
-/// replaces (and discards) a capture already in progress.
+/// dropped. Captures **nest**: beginning a new one while another is
+/// active on this thread records into the new (inner) capture until it
+/// ends, then the outer capture resumes — the mechanism by which a
+/// pool thread helping a traced fan-out keeps a job's spans separate
+/// from its own request's tree (see [`graft`] and [`shielded`]).
 #[must_use = "a capture records nothing once dropped"]
 pub struct Capture {
+    id: u64,
     finished: bool,
 }
 
 impl Capture {
-    /// Starts capturing on the current thread.
+    /// Starts capturing on the current thread (nesting inside any
+    /// capture already active here).
     pub fn begin() -> Capture {
-        CAPTURE.with(|c| *c.borrow_mut() = Some(CaptureState::default()));
+        let id = NEXT_CAPTURE_ID.fetch_add(1, Ordering::Relaxed);
+        CAPTURE.with(|c| {
+            c.borrow_mut().push(CaptureState {
+                id,
+                stack: Vec::new(),
+                roots: Vec::new(),
+                events: Vec::new(),
+            })
+        });
         ACTIVE_CAPTURES.fetch_add(1, Ordering::SeqCst);
         recompute_enabled();
-        Capture { finished: false }
+        Capture {
+            id,
+            finished: false,
+        }
+    }
+
+    fn remove_state(id: u64) -> Option<CaptureState> {
+        let state = CAPTURE.with(|c| {
+            let mut stack = c.borrow_mut();
+            stack
+                .iter()
+                .rposition(|s| s.id == id)
+                .map(|i| stack.remove(i))
+        });
+        ACTIVE_CAPTURES.fetch_sub(1, Ordering::SeqCst);
+        recompute_enabled();
+        state
     }
 
     /// Stops capturing and returns the recorded tree. Spans still open
@@ -267,10 +306,7 @@ impl Capture {
     /// the spans it should contain have closed.
     pub fn finish(mut self) -> CaptureTree {
         self.finished = true;
-        let state = CAPTURE.with(|c| c.borrow_mut().take());
-        ACTIVE_CAPTURES.fetch_sub(1, Ordering::SeqCst);
-        recompute_enabled();
-        match state {
+        match Self::remove_state(self.id) {
             Some(s) => CaptureTree {
                 spans: s.roots,
                 events: s.events,
@@ -283,10 +319,60 @@ impl Capture {
 impl Drop for Capture {
     fn drop(&mut self) {
         if !self.finished {
-            CAPTURE.with(|c| c.borrow_mut().take());
-            ACTIVE_CAPTURES.fetch_sub(1, Ordering::SeqCst);
-            recompute_enabled();
+            let _ = Self::remove_state(self.id);
         }
+    }
+}
+
+/// True when the *current thread* has a capture in progress — the cue
+/// for fan-out helpers to hand span trees across thread hops (capture
+/// per job, then [`graft`] the trees back in deterministic order).
+pub fn capture_active() -> bool {
+    ACTIVE_CAPTURES.load(Ordering::Relaxed) > 0 && CAPTURE.with(|c| !c.borrow().is_empty())
+}
+
+/// Splices an already-materialised tree (a pool job's capture, closed
+/// on whatever thread ran it) into the current thread's capture, as if
+/// its spans had closed here just now: appended under the innermost
+/// open span, or at the roots when none is open. No-op without an
+/// active capture.
+pub fn graft(tree: CaptureTree) {
+    if tree.spans.is_empty() && tree.events.is_empty() {
+        return;
+    }
+    if ACTIVE_CAPTURES.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CAPTURE.with(|c| {
+        let mut stack = c.borrow_mut();
+        if let Some(state) = stack.last_mut() {
+            match state.stack.last_mut() {
+                Some(frame) => {
+                    frame.children.extend(tree.spans);
+                    frame.events.extend(tree.events);
+                }
+                None => {
+                    state.roots.extend(tree.spans);
+                    state.events.extend(tree.events);
+                }
+            }
+        }
+    });
+}
+
+/// Runs `f` with this thread's capture (if any) muted: spans and
+/// events inside still reach the collector but are discarded from the
+/// capture. Pool threads wrap *foreign* jobs in this so that helping
+/// another fan-out while tracing a request cannot pollute the
+/// request's own EXPLAIN tree.
+pub fn shielded<R>(f: impl FnOnce() -> R) -> R {
+    if capture_active() {
+        let mute = Capture::begin();
+        let r = f();
+        drop(mute);
+        r
+    } else {
+        f()
     }
 }
 
@@ -298,9 +384,10 @@ struct SpanInner {
     name: &'static str,
     start: Instant,
     fields: Fields,
-    /// Whether a capture frame was pushed for this span (so close pops
-    /// exactly what open pushed, even if a capture starts mid-span).
-    framed: bool,
+    /// Id of the capture whose frame this span pushed, if any — close
+    /// pops a frame only when that same capture is still on top, so a
+    /// capture beginning or ending mid-span never misfiles records.
+    framed: Option<u64>,
 }
 
 /// RAII guard for one timed phase. Construct via [`span!`]; the span
@@ -315,17 +402,16 @@ impl Span {
         // A capture on this thread implies the global count is nonzero
         // (same-thread ordering), so the relaxed load lets the common
         // collector-only case skip the TLS + RefCell access entirely.
-        let framed = ACTIVE_CAPTURES.load(Ordering::Relaxed) > 0
-            && CAPTURE.with(|c| {
-                let mut cap = c.borrow_mut();
-                match cap.as_mut() {
-                    Some(state) => {
-                        state.stack.push(Frame::default());
-                        true
-                    }
-                    None => false,
-                }
-            });
+        let framed = if ACTIVE_CAPTURES.load(Ordering::Relaxed) > 0 {
+            CAPTURE.with(|c| {
+                c.borrow_mut().last_mut().map(|state| {
+                    state.stack.push(Frame::default());
+                    state.id
+                })
+            })
+        } else {
+            None
+        };
         Span(Some(SpanInner {
             name,
             start: Instant::now(),
@@ -361,10 +447,15 @@ impl Drop for Span {
         let Some(inner) = self.0.take() else { return };
         let duration_ns = inner.start.elapsed().as_nanos() as u64;
         with_collector(|c| c.span_closed(inner.name, duration_ns, &inner.fields));
-        if inner.framed {
+        if let Some(capture_id) = inner.framed {
             CAPTURE.with(|c| {
-                let mut cap = c.borrow_mut();
-                if let Some(state) = cap.as_mut() {
+                let mut stack = c.borrow_mut();
+                // File into the owning capture only while it is still
+                // the innermost one; otherwise (it finished, or a
+                // nested capture opened mid-span and is still active)
+                // the span is discarded — its frame was either torn
+                // down with the capture or is not on top to pop.
+                if let Some(state) = stack.last_mut().filter(|s| s.id == capture_id) {
                     // LIFO discipline: the top frame is this span's.
                     if let Some(frame) = state.stack.pop() {
                         let record = SpanRecord {
@@ -395,8 +486,8 @@ pub fn dispatch_event(name: &'static str, fields: Fields) {
         return;
     }
     CAPTURE.with(|c| {
-        let mut cap = c.borrow_mut();
-        if let Some(state) = cap.as_mut() {
+        let mut stack = c.borrow_mut();
+        if let Some(state) = stack.last_mut() {
             let record = EventRecord { name, fields };
             match state.stack.last_mut() {
                 Some(frame) => frame.events.push(record),
@@ -552,5 +643,98 @@ mod tests {
         let tree = cap.finish();
         assert!(tree.spans.is_empty(), "open span must not appear");
         drop(s); // closes with no capture: must not panic or misfile
+    }
+
+    #[test]
+    fn nested_captures_keep_trees_separate() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let outer = Capture::begin();
+        {
+            let _s = span!("outer_span");
+        }
+        let inner = Capture::begin();
+        assert!(capture_active());
+        {
+            let _s = span!("inner_span");
+        }
+        let inner_tree = inner.finish();
+        {
+            let _s = span!("outer_span_2");
+        }
+        let outer_tree = outer.finish();
+        assert!(!capture_active());
+        let names = |t: &CaptureTree| t.spans.iter().map(|s| s.name).collect::<Vec<_>>();
+        assert_eq!(names(&inner_tree), vec!["inner_span"]);
+        assert_eq!(names(&outer_tree), vec!["outer_span", "outer_span_2"]);
+    }
+
+    #[test]
+    fn span_closing_under_a_nested_capture_is_discarded() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let outer = Capture::begin();
+        let s = span!("straddler"); // framed by `outer`
+        let inner = Capture::begin();
+        drop(s); // inner is on top: must not pop inner's (absent) frame
+        {
+            let _t = span!("inner_only");
+        }
+        let inner_tree = inner.finish();
+        let outer_tree = outer.finish();
+        assert_eq!(inner_tree.spans.len(), 1);
+        assert_eq!(inner_tree.spans[0].name, "inner_only");
+        assert!(
+            outer_tree.spans.is_empty(),
+            "straddler closed under the wrong capture and must be dropped"
+        );
+    }
+
+    #[test]
+    fn graft_splices_into_the_open_frame_or_roots() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        // Materialise a donor tree.
+        let donor = Capture::begin();
+        {
+            let _s = span!("shard_work", shard = 3usize);
+        }
+        let donor_tree = donor.finish();
+
+        let cap = Capture::begin();
+        {
+            let mut parent = span!("fan_out");
+            graft(donor_tree.clone());
+            parent.record("n", 1u64);
+        }
+        graft(donor_tree);
+        let tree = cap.finish();
+        assert_eq!(tree.spans.len(), 2, "one nested graft + one root graft");
+        assert_eq!(tree.spans[0].name, "fan_out");
+        assert_eq!(tree.spans[0].children.len(), 1);
+        assert_eq!(tree.spans[0].children[0].name, "shard_work");
+        assert_eq!(tree.spans[1].name, "shard_work");
+    }
+
+    #[test]
+    fn shielded_work_reaches_the_collector_but_not_the_capture() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(Sink::default());
+        set_collector(sink.clone());
+        let cap = Capture::begin();
+        let out = shielded(|| {
+            let _s = span!("foreign");
+            event!("foreign_event");
+            17u32
+        });
+        assert_eq!(out, 17);
+        {
+            let _s = span!("own");
+        }
+        let tree = cap.finish();
+        clear_collector();
+        assert_eq!(tree.spans.len(), 1, "foreign span must be shielded out");
+        assert_eq!(tree.spans[0].name, "own");
+        assert!(tree.events.is_empty());
+        let spans = sink.spans.lock().unwrap();
+        assert!(spans.iter().any(|(n, _)| *n == "foreign"));
+        assert!(sink.events.lock().unwrap().contains(&"foreign_event"));
     }
 }
