@@ -47,6 +47,7 @@ pub mod sharded;
 pub mod sp;
 pub mod svg;
 pub mod viz;
+pub mod wire;
 
 pub use cache::{BatchOutcome, CacheKey, GirCache, RepairRequest};
 pub use engine::{GirEngine, GirError, GirOutput, GirStats, Method};
@@ -60,3 +61,4 @@ pub use prune::{ExcludedSkyline, PruneIndex, PruneIndexStats, PruneState};
 pub use region::{BoundaryEvent, GirRegion, ReducedGir, RegionKind};
 pub use sharded::{gir_sharded, gir_star_sharded, topk_sharded, ShardView};
 pub use viz::{slide_bar_bounds, SlideBarBounds};
+pub use wire::{SnapshotState, WalBatch, WalOp, WireError};

@@ -1,0 +1,330 @@
+//! Durable wire encoding for update batches and dataset snapshots.
+//!
+//! The serving layer's WAL persists one [`WalBatch`] per applied update
+//! batch, and each snapshot persists one [`SnapshotState`]. The
+//! encoding is a fixed little-endian layout (no self-describing
+//! serializer: the vendored `serde` stand-in has no binary format, and
+//! replay must roundtrip `f64` attributes **bit-exactly** — any
+//! precision loss would shift region facets after recovery):
+//!
+//! * point: `[id: u64][d: u16][d × f64]`
+//! * [`WalBatch`]: `[ops: u32]` + per-op `[tag: u8]` + point. The batch
+//!   is an **ordered op sequence**, not grouped insert/delete sets:
+//!   whether a delete hits or misses depends on the inserts applied
+//!   before it in the same batch, so replay must preserve the original
+//!   interleaving. Deletes carry their attribute point (R\*-tree
+//!   deletion addresses by id *and* location, which
+//!   [`crate::DeltaBatch`] does not retain).
+//! * [`SnapshotState`]: `[batches: u64][shards: u32]` + per-shard
+//!   record lists (the per-shard split preserves the placement cut the
+//!   snapshot was taken under).
+//!
+//! Integrity (framing, checksums, torn tails) is the storage layer's
+//! job (`gir_storage::wal`); this module only maps structs ↔ payload
+//! bytes and rejects malformed payloads with [`WireError`].
+
+use gir_geometry::vector::PointD;
+use gir_query::Record;
+
+/// Malformed wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the declared structure did (or carried
+    /// trailing junk past it).
+    Truncated,
+    /// An op tag was neither insert nor delete.
+    BadTag(u8),
+    /// A declared dimensionality was implausible (0 or > 4096).
+    BadDim(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire payload truncated"),
+            WireError::BadTag(t) => write!(f, "unknown op tag {t}"),
+            WireError::BadDim(d) => write!(f, "implausible dimensionality {d}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One replayable mutation (the durable mirror of the serving layer's
+/// `Update` enum, defined here so the wire format lives beside the
+/// delta machinery it serializes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Insert a record.
+    Insert(Record),
+    /// Delete a record by id and location.
+    Delete {
+        /// Record id.
+        id: u64,
+        /// The record's attribute point.
+        attrs: PointD,
+    },
+}
+
+const TAG_INSERT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+
+/// One WAL record: the durable form of one applied update batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalBatch {
+    /// The batch's mutations in application order.
+    pub ops: Vec<WalOp>,
+}
+
+impl WalBatch {
+    /// True when the batch carries no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Serializes the batch.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                WalOp::Insert(rec) => {
+                    out.push(TAG_INSERT);
+                    put_point(&mut out, rec.id, &rec.attrs);
+                }
+                WalOp::Delete { id, attrs } => {
+                    out.push(TAG_DELETE);
+                    put_point(&mut out, *id, attrs);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a batch, rejecting truncation, junk tags and dims.
+    pub fn decode(payload: &[u8]) -> Result<WalBatch, WireError> {
+        let mut cur = Cursor::new(payload);
+        let n = cur.u32()? as usize;
+        let mut ops = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let tag = cur.take(1)?[0];
+            let (id, attrs) = cur.point()?;
+            ops.push(match tag {
+                TAG_INSERT => WalOp::Insert(Record { id, attrs }),
+                TAG_DELETE => WalOp::Delete { id, attrs },
+                t => return Err(WireError::BadTag(t)),
+            });
+        }
+        cur.finish()?;
+        Ok(WalBatch { ops })
+    }
+}
+
+/// The durable form of one consistent cut: the per-shard record lists
+/// plus the number of update batches applied before the cut.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotState {
+    /// Update batches applied to the dataset when the cut was taken
+    /// (recovery resumes counting from here).
+    pub batches: u64,
+    /// Records per data shard, in shard order. A single-dataset server
+    /// snapshots as one shard.
+    pub shards: Vec<Vec<Record>>,
+}
+
+impl SnapshotState {
+    /// Total records across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// True when no shard holds a record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the snapshot payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.batches.to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for shard in &self.shards {
+            out.extend_from_slice(&(shard.len() as u32).to_le_bytes());
+            for rec in shard {
+                put_point(&mut out, rec.id, &rec.attrs);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a snapshot payload.
+    pub fn decode(payload: &[u8]) -> Result<SnapshotState, WireError> {
+        let mut cur = Cursor::new(payload);
+        let batches = cur.u64()?;
+        let n_shards = cur.u32()? as usize;
+        let mut shards = Vec::with_capacity(n_shards.min(1 << 10));
+        for _ in 0..n_shards {
+            let n = cur.u32()? as usize;
+            let mut recs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let (id, attrs) = cur.point()?;
+                recs.push(Record { id, attrs });
+            }
+            shards.push(recs);
+        }
+        cur.finish()?;
+        Ok(SnapshotState { batches, shards })
+    }
+}
+
+fn put_point(out: &mut Vec<u8>, id: u64, attrs: &PointD) {
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(attrs.dim() as u16).to_le_bytes());
+    for &c in attrs.coords() {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let slice = self
+            .buf
+            .get(self.off..self.off + n)
+            .ok_or(WireError::Truncated)?;
+        self.off += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn point(&mut self) -> Result<(u64, PointD), WireError> {
+        let id = self.u64()?;
+        let d = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        if d == 0 || d > 4096 {
+            return Err(WireError::BadDim(d));
+        }
+        let mut coords = Vec::with_capacity(d);
+        for _ in 0..d {
+            coords.push(f64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+        }
+        Ok((id, PointD::new(coords)))
+    }
+
+    /// Trailing bytes after the declared structure are corruption too.
+    fn finish(&self) -> Result<(), WireError> {
+        if self.off == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> WalBatch {
+        WalBatch {
+            ops: vec![
+                // Interleaved order is load-bearing (delete-then-insert
+                // of the same id must replay in that order).
+                WalOp::Delete {
+                    id: 42,
+                    attrs: PointD::new(vec![0.9, 0.3, 0.6]),
+                },
+                WalOp::Insert(Record::new(7, vec![0.25, 0.5, 0.125])),
+                // Awkward values must roundtrip bit-exactly.
+                WalOp::Insert(Record::new(
+                    u64::MAX,
+                    vec![f64::MIN_POSITIVE, 1.0 - f64::EPSILON, 0.1 + 0.2],
+                )),
+            ],
+        }
+    }
+
+    #[test]
+    fn wal_batch_roundtrips_bit_exactly_in_order() {
+        let b = batch();
+        let decoded = WalBatch::decode(&b.encode()).unwrap();
+        assert_eq!(decoded.ops.len(), b.ops.len());
+        for (a, e) in decoded.ops.iter().zip(&b.ops) {
+            let ((ia, pa), (ie, pe)) = match (a, e) {
+                (WalOp::Insert(x), WalOp::Insert(y)) => ((x.id, &x.attrs), (y.id, &y.attrs)),
+                (WalOp::Delete { id: xi, attrs: xa }, WalOp::Delete { id: yi, attrs: ya }) => {
+                    ((*xi, xa), (*yi, ya))
+                }
+                _ => panic!("op kind flipped in transit"),
+            };
+            assert_eq!(ia, ie);
+            for (x, y) in pa.coords().iter().zip(pe.coords()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "coord must roundtrip bit-exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let s = SnapshotState {
+            batches: 17,
+            shards: vec![
+                vec![Record::new(1, vec![0.1, 0.2])],
+                Vec::new(),
+                vec![
+                    Record::new(2, vec![0.3, 0.4]),
+                    Record::new(3, vec![0.5, 0.6]),
+                ],
+            ],
+        };
+        assert_eq!(s.len(), 3);
+        assert_eq!(SnapshotState::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn truncation_and_trailing_junk_are_rejected() {
+        let bytes = batch().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                WalBatch::decode(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(WalBatch::decode(&extended), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn junk_tag_and_dim_are_rejected() {
+        let mut bad_tag = Vec::new();
+        bad_tag.extend_from_slice(&1u32.to_le_bytes());
+        bad_tag.push(9);
+        bad_tag.extend_from_slice(&7u64.to_le_bytes());
+        bad_tag.extend_from_slice(&1u16.to_le_bytes());
+        bad_tag.extend_from_slice(&0.5f64.to_le_bytes());
+        assert_eq!(WalBatch::decode(&bad_tag), Err(WireError::BadTag(9)));
+
+        let mut bad_dim = Vec::new();
+        bad_dim.extend_from_slice(&1u32.to_le_bytes());
+        bad_dim.push(TAG_INSERT);
+        bad_dim.extend_from_slice(&9u64.to_le_bytes());
+        bad_dim.extend_from_slice(&0u16.to_le_bytes()); // d = 0
+        assert_eq!(WalBatch::decode(&bad_dim), Err(WireError::BadDim(0)));
+    }
+}

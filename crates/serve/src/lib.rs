@@ -55,11 +55,16 @@
 //! assert!(batch.stats.hits > 0); // jittered repeats fall in cached GIRs
 //! ```
 
+pub mod durable;
 pub mod server;
 pub mod sharded;
 pub mod stats;
 pub mod workload;
 
+pub use durable::{
+    updates_from_wal_batch, wal_batch_from_updates, DurabilityConfig, DurabilityError,
+    DurableServer, RecoverableServer, RecoveryReport,
+};
 pub use gir_core::RegionKind;
 pub use server::{
     compute_response, execute_batch, serve_traced, BatchResult, GirServer, MaintenanceMode,

@@ -9,7 +9,6 @@ use gir_core::{
 use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, Record, ScoringFunction};
 use gir_rtree::{RTree, RTreeError};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{PoisonError, RwLock};
 use std::time::Instant;
 
@@ -50,6 +49,12 @@ pub struct ServerConfig {
     /// pruning structures per query. Off reproduces the PR 2 miss
     /// path (benchmark baseline).
     pub use_prune_index: bool,
+    /// Durability tier (WAL + snapshots + crash recovery; see
+    /// [`crate::durable`]). `None` — the default, and the perf-gate
+    /// configuration — serves purely in memory; `Some` is consumed by
+    /// [`crate::durable::DurableServer::create`] /
+    /// [`crate::durable::DurableServer::recover`].
+    pub durability: Option<crate::durable::DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +69,7 @@ impl Default for ServerConfig {
             method: Method::FacetPruning,
             maintenance: MaintenanceMode::default(),
             use_prune_index: true,
+            durability: None,
         }
     }
 }
@@ -225,13 +231,19 @@ pub struct UpdateReport {
     pub untouched: usize,
 }
 
-/// Fans `requests` across a scoped worker pool — each worker pulls the
-/// next request off a shared atomic cursor and serves it with
-/// `serve_one` — then reassembles responses in request order and
-/// derives the batch's [`ServeStats`]. The executor shared by
+/// Fans `requests` across the workspace's shared work-stealing pool
+/// ([`gir_core::pool::fan_out`]) and derives the batch's
+/// [`ServeStats`] from the in-order responses. The executor shared by
 /// [`GirServer::run_batch`] and the sharded server
 /// (`gir_shard::ShardedGirServer`); callers hold whatever dataset lock
 /// their `serve_one` needs for the duration of the call.
+///
+/// `threads <= 1` runs strictly sequentially on the caller — cache
+/// probe order, and therefore hit counts, are deterministic in that
+/// configuration. With `threads > 1` the actual parallelism degree is
+/// the pool's policy (`GIR_POOL_THREADS`), not `threads`; EXPLAIN
+/// captures survive the thread hops because `fan_out` grafts per-job
+/// span trees back in item order.
 pub fn execute_batch(
     requests: &[TopKRequest],
     threads: usize,
@@ -241,40 +253,11 @@ pub fn execute_batch(
     let batch_start = Instant::now();
     let n = requests.len();
     let threads = threads.clamp(1, n.max(1));
-    let next = AtomicUsize::new(0);
-    let serve_one = &serve_one;
-
-    let mut merged: Vec<Vec<(usize, TopKResponse)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, serve_one(&requests[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("serve worker panicked"))
-            .collect()
-    });
-
-    let mut responses: Vec<Option<TopKResponse>> = vec![None; n];
-    for (i, resp) in merged.drain(..).flatten() {
-        responses[i] = Some(resp);
-    }
-    let responses: Vec<TopKResponse> = responses
-        .into_iter()
-        .map(|r| r.expect("request not served"))
-        .collect();
+    let responses: Vec<TopKResponse> = if threads <= 1 {
+        requests.iter().map(&serve_one).collect()
+    } else {
+        gir_core::pool::fan_out(requests.iter().collect(), |_, req| serve_one(req))
+    };
 
     let labeled: Vec<(u64, bool)> = responses
         .iter()

@@ -202,6 +202,14 @@ impl ShardedDataset {
         }
         Ok(out)
     }
+
+    /// Per-shard record lists, in shard order — the shape a durable
+    /// snapshot persists ([`gir_serve::RecoverableServer`]). Placement
+    /// is a pure function of `(id, attrs, num_shards)`, so rebuilding
+    /// from the flattened lists reproduces this exact partition.
+    pub fn shard_records(&self) -> Result<Vec<Vec<Record>>, RTreeError> {
+        self.shards.iter().map(|s| s.tree.scan_all()).collect()
+    }
 }
 
 #[cfg(test)]

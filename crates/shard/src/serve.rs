@@ -186,6 +186,13 @@ impl ShardedGirServer {
         self.read_data().scan_all()
     }
 
+    /// Consistent cut of the cache's per-shard maintenance counters
+    /// (never observes a cache shard mid-batch; same contract as
+    /// [`gir_serve::GirServer::maintenance_snapshot`]).
+    pub fn maintenance_snapshot(&self) -> gir_obs::ScopesSnapshot {
+        self.cache.maintenance_snapshot()
+    }
+
     fn read_data(&self) -> std::sync::RwLockReadGuard<'_, ShardedDataset> {
         self.data.read().unwrap_or_else(PoisonError::into_inner)
     }
@@ -309,6 +316,34 @@ impl ShardedGirServer {
             Some(e) => Err(e),
             None => Ok(report),
         }
+    }
+}
+
+/// The durability hooks (`gir_serve::DurableServer` wraps this server
+/// exactly as it wraps the single-tree one): the consistent cut takes
+/// the dataset read lock — updates hold the write lock for apply +
+/// cache sweep, so the cut always lands on a batch boundary — and
+/// returns the records per shard.
+impl gir_serve::RecoverableServer for ShardedGirServer {
+    fn apply_updates(&self, updates: &[Update]) -> Result<UpdateReport, RTreeError> {
+        ShardedGirServer::apply_updates(self, updates)
+    }
+
+    fn run_batch(&self, requests: &[TopKRequest]) -> BatchResult {
+        ShardedGirServer::run_batch(self, requests)
+    }
+
+    fn consistent_cut(&self) -> Result<Vec<Vec<Record>>, RTreeError> {
+        let data = self.read_data();
+        debug_assert!(
+            self.cache
+                .maintenance_snapshot()
+                .shards
+                .iter()
+                .all(|s| s.epoch % 2 == 0),
+            "consistent cut observed a cache shard mid-batch"
+        );
+        data.shard_records()
     }
 }
 

@@ -14,13 +14,34 @@
 //! * [`IoStats`] / [`CostModel`] — page-fetch counters and the latency
 //!   model that converts them to milliseconds (substitution for the 2014
 //!   spinning-disk hardware; see DESIGN.md §5).
+//!
+//! The durability tier lives here too (ARCHITECTURE.md "Durability"):
+//!
+//! * [`Wal`] — framed, CRC-checksummed write-ahead log with an
+//!   [`FsyncPolicy`] knob and torn-tail truncation on open,
+//! * [`snapshot`] — atomic (write-tmp, fsync, rename) CRC-framed
+//!   snapshot files,
+//! * [`vfs`] — the [`LogDir`]/[`LogFile`] abstraction the WAL and
+//!   snapshots run over: real filesystem ([`FsDir`]), memory
+//!   ([`MemDir`]), and the crash-point fault injector ([`CrashDir`])
+//!   behind the recovery ≡ never-crashed differential proofs,
+//! * [`crc`] — the CRC-32 used by WAL frames, snapshots, and
+//!   [`FilePageStore`] page trailers.
 
 pub mod costmodel;
+pub mod crc;
 pub mod iostats;
 pub mod page;
 pub mod pagestore;
+pub mod snapshot;
+pub mod vfs;
+pub mod wal;
 
 pub use costmodel::CostModel;
+pub use crc::crc32;
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use page::{PageBuf, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemPageStore, PageId, PageStore, StorageError};
+pub use snapshot::{read_snapshot, write_snapshot};
+pub use vfs::{CrashClock, CrashDir, FsDir, LogDir, LogFile, MemDir};
+pub use wal::{FsyncPolicy, Wal, WalOpenReport};

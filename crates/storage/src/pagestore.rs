@@ -19,6 +19,11 @@ pub enum StorageError {
     NoSuchPage(PageId),
     /// Underlying file I/O failure.
     Io(std::io::Error),
+    /// Stored bytes failed validation (checksum mismatch, torn write,
+    /// bad frame): the data on disk cannot be trusted. Unlike
+    /// [`StorageError::Io`] this is not transient — retrying the read
+    /// returns the same corrupt bytes.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -26,6 +31,7 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::NoSuchPage(id) => write!(f, "no such page: {id}"),
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(why) => write!(f, "corrupt storage: {why}"),
         }
     }
 }
@@ -131,14 +137,36 @@ impl PageStore for MemPageStore {
 }
 
 /// File-backed page store (true disk-resident runs).
+///
+/// On-disk layout: one fixed-size **slot** per page id —
+///
+/// ```text
+/// [magic: u32 LE][crc32(payload): u32 LE][payload: PAGE_SIZE bytes]
+/// ```
+///
+/// The 8-byte trailer-style header lets [`FilePageStore::read_page`]
+/// detect torn or bit-rotted pages ([`StorageError::Corrupt`]) instead
+/// of silently returning garbage, and lets [`FilePageStore::open`]
+/// restore `next_id` from the file length alone. An all-zero slot is an
+/// allocated-but-never-written page and reads back as zeros (holes left
+/// by sparse writes have the same image, so the two cases are
+/// deliberately indistinguishable).
 pub struct FilePageStore {
     file: Mutex<File>,
     next_id: AtomicU64,
     stats: IoStats,
 }
 
+/// Slot magic: `b"GIPG"` little-endian.
+const PAGE_MAGIC: u32 = u32::from_le_bytes(*b"GIPG");
+/// Slot header bytes (magic + crc).
+const SLOT_HEADER: usize = 8;
+/// Bytes per on-disk slot.
+const SLOT_SIZE: usize = SLOT_HEADER + PAGE_SIZE;
+
 impl FilePageStore {
-    /// Creates (or truncates) a store file at `path`.
+    /// Creates (**truncating**) a store file at `path`. Destroys any
+    /// existing store — use [`FilePageStore::open`] to resume one.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
         let file = OpenOptions::new()
             .read(true)
@@ -149,6 +177,22 @@ impl FilePageStore {
         Ok(FilePageStore {
             file: Mutex::new(file),
             next_id: AtomicU64::new(0),
+            stats: IoStats::new(),
+        })
+    }
+
+    /// Reopens an existing store file, restoring the allocation
+    /// high-water mark from the file length: a trailing partial slot
+    /// (a write torn by a crash) still claims its id, so the page reads
+    /// as [`StorageError::Corrupt`] until rewritten rather than being
+    /// silently re-issued.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let next_id = len.div_ceil(SLOT_SIZE as u64);
+        Ok(FilePageStore {
+            file: Mutex::new(file),
+            next_id: AtomicU64::new(next_id),
             stats: IoStats::new(),
         })
     }
@@ -164,18 +208,39 @@ impl PageStore for FilePageStore {
             return Err(StorageError::NoSuchPage(id));
         }
         let mut file = self.file.lock();
-        let mut buf = vec![0u8; PAGE_SIZE];
-        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        // Pages allocated but never written read back as zeros: the file
-        // may be shorter than the page end, so fill what exists.
-        let mut read = 0usize;
-        while read < PAGE_SIZE {
-            match file.read(&mut buf[read..])? {
+        let mut buf = vec![0u8; SLOT_SIZE];
+        file.seek(SeekFrom::Start(id * SLOT_SIZE as u64))?;
+        // The file may end short of the slot (allocated-but-unwritten
+        // tail pages, or a torn final write): read what exists.
+        let mut got = 0usize;
+        while got < SLOT_SIZE {
+            match file.read(&mut buf[got..])? {
                 0 => break,
-                n => read += n,
+                n => got += n,
             }
         }
         self.stats.record_read();
+        if buf[..got].iter().all(|&b| b == 0) {
+            // Unwritten page (or a hole): reads back zeroed, like
+            // MemPageStore's unwritten slots.
+            return Ok(Bytes::from(vec![0u8; PAGE_SIZE]));
+        }
+        if got < SLOT_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "page {id}: torn write ({got} of {SLOT_SIZE} bytes)"
+            )));
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != PAGE_MAGIC {
+            return Err(StorageError::Corrupt(format!("page {id}: bad slot magic")));
+        }
+        let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        buf.drain(..SLOT_HEADER);
+        if crate::crc::crc32(&buf) != crc {
+            return Err(StorageError::Corrupt(format!(
+                "page {id}: checksum mismatch"
+            )));
+        }
         Ok(Bytes::from(buf))
     }
 
@@ -183,9 +248,15 @@ impl PageStore for FilePageStore {
         if id >= self.next_id.load(Ordering::Relaxed) {
             return Err(StorageError::NoSuchPage(id));
         }
+        // One contiguous write of header + payload: a torn slot is a
+        // prefix, which read_page flags via the short-read / CRC path.
+        let mut slot = Vec::with_capacity(SLOT_SIZE);
+        slot.extend_from_slice(&PAGE_MAGIC.to_le_bytes());
+        slot.extend_from_slice(&crate::crc::crc32(page.as_slice()).to_le_bytes());
+        slot.extend_from_slice(page.as_slice());
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        file.write_all(page.as_slice())?;
+        file.seek(SeekFrom::Start(id * SLOT_SIZE as u64))?;
+        file.write_all(&slot)?;
         self.stats.record_write();
         Ok(())
     }
@@ -257,6 +328,103 @@ mod tests {
             store.write_page(0, PageBuf::zeroed()),
             Err(StorageError::NoSuchPage(0))
         ));
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gir-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.db", std::process::id()))
+    }
+
+    #[test]
+    fn open_restores_next_id_and_contents() {
+        let path = temp_path("reopen");
+        {
+            let store = FilePageStore::create(&path).unwrap();
+            for i in 0..7u8 {
+                let id = store.allocate();
+                let mut p = PageBuf::zeroed();
+                p.as_mut_slice()[0] = i + 1;
+                store.write_page(id, p).unwrap();
+            }
+        }
+        // Reopen: the high-water mark comes back from the file length,
+        // so fresh allocations never clobber existing pages.
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.num_pages(), 7);
+        for i in 0..7u8 {
+            assert_eq!(store.read_page(i as PageId).unwrap()[0], i + 1);
+        }
+        let fresh = store.allocate();
+        assert_eq!(fresh, 7);
+        let mut p = PageBuf::zeroed();
+        p.as_mut_slice()[0] = 0xFF;
+        store.write_page(fresh, p).unwrap();
+        for i in 0..7u8 {
+            assert_eq!(store.read_page(i as PageId).unwrap()[0], i + 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let path = temp_path("never-created");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            FilePageStore::open(&path),
+            Err(StorageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn torn_page_write_reads_as_corrupt() {
+        let path = temp_path("torn");
+        let store = FilePageStore::create(&path).unwrap();
+        let id = store.allocate();
+        let mut p = PageBuf::zeroed();
+        p.as_mut_slice().fill(0x5A);
+        store.write_page(id, p).unwrap();
+        drop(store);
+
+        // Tear the slot: keep only the first 100 bytes (header + a
+        // sliver of payload), as a crash mid-write would.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..100]).unwrap();
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.num_pages(), 1, "the torn slot still owns its id");
+        assert!(matches!(store.read_page(id), Err(StorageError::Corrupt(_))));
+
+        // Rewriting the page heals it.
+        let mut p = PageBuf::zeroed();
+        p.as_mut_slice().fill(0x7B);
+        store.write_page(id, p).unwrap();
+        assert_eq!(store.read_page(id).unwrap()[0], 0x7B);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_bit_reads_as_corrupt_not_garbage() {
+        let path = temp_path("bitrot");
+        let store = FilePageStore::create(&path).unwrap();
+        let a = store.allocate();
+        let b = store.allocate();
+        for id in [a, b] {
+            let mut p = PageBuf::zeroed();
+            p.as_mut_slice().fill(id as u8 + 1);
+            store.write_page(id, p).unwrap();
+        }
+        drop(store);
+
+        // Flip one payload byte inside page b's slot.
+        let mut raw = std::fs::read(&path).unwrap();
+        let off = SLOT_SIZE + SLOT_HEADER + 1000;
+        raw[off] ^= 0x10;
+        std::fs::write(&path, &raw).unwrap();
+
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.read_page(a).unwrap()[0], 1, "page a is untouched");
+        assert!(matches!(store.read_page(b), Err(StorageError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

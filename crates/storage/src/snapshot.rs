@@ -1,0 +1,113 @@
+//! Atomic snapshot files: one CRC-framed payload, committed by rename.
+//!
+//! A snapshot is written as a single frame (the WAL frame layout with
+//! its own magic) into `<name>.tmp`, fsynced, then renamed to `<name>`
+//! — so a reader never observes a partially written snapshot under the
+//! final name, and a crash at any point leaves either the old
+//! generation intact or the new one complete. [`read_snapshot`]
+//! validates the magic, the length, and the CRC, surfacing
+//! [`StorageError::Corrupt`] rather than garbage state.
+
+use crate::crc::crc32;
+use crate::pagestore::StorageError;
+use crate::vfs::LogDir;
+use crate::wal::WAL_HEADER;
+
+/// Frame magic: `b"GISN"` little-endian.
+const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"GISN");
+
+/// Writes `payload` as snapshot `name`: tmp file → append frame →
+/// fsync → rename (the commit point).
+pub fn write_snapshot(dir: &dyn LogDir, name: &str, payload: &[u8]) -> Result<(), StorageError> {
+    let tmp = format!("{name}.tmp");
+    let mut file = dir.create(&tmp)?;
+    let mut frame = Vec::with_capacity(WAL_HEADER + payload.len());
+    frame.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    file.append(&frame)?;
+    file.sync()?;
+    drop(file);
+    dir.rename(&tmp, name)?;
+    tracing::event!("snapshot_write", bytes = frame.len() as u64);
+    Ok(())
+}
+
+/// Reads and validates snapshot `name`.
+pub fn read_snapshot(dir: &dyn LogDir, name: &str) -> Result<Vec<u8>, StorageError> {
+    let raw = dir.open(name)?.read_all()?;
+    let corrupt = |why: &str| StorageError::Corrupt(format!("snapshot {name}: {why}"));
+    if raw.len() < WAL_HEADER {
+        return Err(corrupt("shorter than the frame header"));
+    }
+    let magic = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+    if magic != SNAP_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let len = u32::from_le_bytes(raw[4..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(raw[8..12].try_into().unwrap());
+    if raw.len() != WAL_HEADER + len {
+        return Err(corrupt("length mismatch"));
+    }
+    let payload = &raw[WAL_HEADER..];
+    if crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemDir;
+
+    #[test]
+    fn roundtrip_and_tmp_cleanup() {
+        let dir = MemDir::new();
+        write_snapshot(&dir, "snap-1", b"state bytes").unwrap();
+        assert!(!dir.exists("snap-1.tmp").unwrap());
+        assert_eq!(read_snapshot(&dir, "snap-1").unwrap(), b"state bytes");
+    }
+
+    #[test]
+    fn truncated_or_flipped_snapshot_is_corrupt() {
+        let dir = MemDir::new();
+        write_snapshot(&dir, "snap-1", b"state bytes").unwrap();
+        let raw = dir.open("snap-1").unwrap().read_all().unwrap();
+
+        // Every strict prefix fails validation (short header, length
+        // mismatch) — none is silently accepted.
+        for cut in 0..raw.len() {
+            let dir2 = MemDir::new();
+            dir2.create("snap-1").unwrap().append(&raw[..cut]).unwrap();
+            assert!(
+                matches!(
+                    read_snapshot(&dir2, "snap-1"),
+                    Err(StorageError::Corrupt(_))
+                ),
+                "prefix of {cut} bytes must be corrupt"
+            );
+        }
+
+        // A payload bit-flip fails the CRC.
+        let mut flipped = raw.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x08;
+        let dir3 = MemDir::new();
+        dir3.create("snap-1").unwrap().append(&flipped).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir3, "snap-1"),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn missing_snapshot_is_io_not_corrupt() {
+        let dir = MemDir::new();
+        assert!(matches!(
+            read_snapshot(&dir, "snap-9"),
+            Err(StorageError::Io(_))
+        ));
+    }
+}
