@@ -9,7 +9,15 @@
 //!   and tree mirror warm but the shared Phase-2 system dropped before
 //!   every call: the cost of a miss whose result set was never seen;
 //! * `indexed_reuse/…` — the steady serving state, where the result
-//!   set recurs and the shared Phase-2 system is reused verbatim.
+//!   set recurs and the shared Phase-2 system is reused verbatim;
+//! * `planner/…` — the adaptive miss-path dispatch end to end: per
+//!   call, a `gir_core::plan::Planner` picks the path from its
+//!   measured cost model, the chosen path runs, and the observed
+//!   latency feeds back. Warm-up absorbs the bounded exploration
+//!   probes, so the row records the steady state the serve layer
+//!   reaches; `perf_gate --require-planner-win` holds it to ≤1.10× the
+//!   best static row per cell and strictly below `indexed_recompute`
+//!   at every d = 4 cell.
 //!
 //! Results go to stdout (criterion table) and to `BENCH_cold_gir.json`
 //! at the workspace root, which CI uploads as a workflow artifact
@@ -24,7 +32,8 @@
 //! `GIR_SEED`.
 
 use criterion::{BenchSummary, Criterion};
-use gir_core::{GirEngine, Method, PruneIndex};
+use gir_core::plan::{MissPath, PlanInputs, Planner};
+use gir_core::{GirEngine, Method, PruneIndex, RegionKind, ShardView};
 use gir_datagen::{synthetic, Distribution};
 use gir_query::QueryVector;
 use gir_rtree::RTree;
@@ -61,8 +70,13 @@ fn main() {
         Method::FacetPruning,
     ];
 
+    // 60 samples stretch each row's timing window to ≥60 ms and give
+    // the stub's outlier trim (top/bottom sixth) room to drop whole
+    // scheduler bursts — the planner-win gate compares rows at a 1.10x
+    // tolerance, tighter than what a ~20 ms window can resolve on
+    // shared hardware.
     let mut c = Criterion::default()
-        .sample_size(12)
+        .sample_size(60)
         .warm_up_time(Duration::from_millis(100))
         .measurement_time(Duration::from_millis(600));
 
@@ -120,6 +134,56 @@ fn main() {
                             .expect("gir_indexed")
                             .stats
                             .candidates
+                    })
+                });
+
+                // The adaptive dispatch, as the serve layer runs it on
+                // every miss: plan → dispatch → observe. `with_forced
+                // (None)` shields the row from a stray GIR_FORCE_PATH
+                // in the environment.
+                let planner_id = format!("planner/{}/n{n}/d{d}", m.label());
+                let planner = Planner::with_forced(None);
+                let st = engine.gir_indexed(&q, k, m, &index).expect("probe").stats;
+                pages.insert(planner_id.clone(), (st.topk_pages, st.gir_pages));
+                // The skyline is static between bench iterations; probe
+                // it once so the per-iteration loop pays only what the
+                // serve layer's miss path pays.
+                let skyline = index.stats().skyline_size;
+                c.bench_function(&planner_id, |b| {
+                    b.iter(|| {
+                        let inputs = PlanInputs {
+                            n,
+                            d,
+                            method: m,
+                            kind: RegionKind::Gir,
+                            skyline,
+                            index_built: index.is_built(),
+                            shards: 1,
+                        };
+                        let decision = planner.plan(&inputs);
+                        let h0 = (decision.path != MissPath::Cold).then(|| index.phase2_hits());
+                        let t0 = std::time::Instant::now();
+                        let out = match decision.path {
+                            MissPath::Cold => engine.gir(&q, k, m),
+                            MissPath::Sharded => GirEngine::gir_sharded(
+                                &[ShardView {
+                                    tree: &tree,
+                                    index: &index,
+                                }],
+                                engine.scoring(),
+                                &q,
+                                k,
+                                m,
+                            ),
+                            _ => engine.gir_indexed(&q, k, m, &index),
+                        }
+                        .expect("planned dispatch")
+                        .stats
+                        .candidates;
+                        let actual = t0.elapsed().as_nanos() as u64;
+                        let reused = h0.map(|h| index.phase2_hits() > h);
+                        planner.observe(&decision, actual, reused);
+                        out
                     })
                 });
             }

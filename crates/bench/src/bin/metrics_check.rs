@@ -14,7 +14,11 @@
 //! * the **span/event collector** — `event.cache_hit` and
 //!   `event.cache_miss` (fired inside `ShardedGirCache::lookup`) must
 //!   agree in spirit: nonzero, and the `span.serve` counter must show
-//!   the root request span closing.
+//!   the root request span closing;
+//! * the **miss-path planner** — every miss consults the cost model,
+//!   so `planner.decisions` must be nonzero, at least one
+//!   `planner.path.*` tally must account for a dispatch, and the
+//!   `planner.predicted.us` histogram must carry the predictions.
 //!
 //! Exit 0 = snapshot sound; exit 1 with a reason per failed check
 //! otherwise. The JSON parsing is the same single-pass key scan
@@ -75,6 +79,28 @@ fn check(body: &str) -> Vec<String> {
             Some(_) => {}
         }
     }
+    // Miss-path planner: every miss makes a decision, and every
+    // decision lands in a per-path tally and the prediction histogram.
+    match counter(trimmed, "planner.decisions") {
+        Some(0) | None => failures.push("counter planner.decisions missing or zero".into()),
+        Some(_) => {}
+    }
+    let dispatched: u64 = [
+        "planner.path.cold",
+        "planner.path.indexed_recompute",
+        "planner.path.indexed_reuse",
+        "planner.path.sharded",
+    ]
+    .iter()
+    .filter_map(|k| counter(trimmed, k))
+    .sum();
+    if dispatched == 0 {
+        failures.push("no planner.path.* tally accounts for any dispatch".into());
+    }
+    match histogram_count(trimmed, "planner.predicted.us") {
+        Some(0) | None => failures.push("histogram planner.predicted.us missing or empty".into()),
+        Some(_) => {}
+    }
     failures
 }
 
@@ -115,9 +141,12 @@ mod tests {
     fn snapshot(hits: u64, misses: u64) -> String {
         format!(
             "{{\"counters\":{{\"event.cache_hit\":{hits},\"event.cache_miss\":{misses},\
-             \"serve.hits\":{hits},\"serve.misses\":{misses},\"span.serve\":{}}},\
+             \"serve.hits\":{hits},\"serve.misses\":{misses},\"span.serve\":{},\
+             \"planner.decisions\":{misses},\"planner.path.indexed_reuse\":{misses}}},\
              \"gauges\":{{}},\"histograms\":{{\"serve.latency.us\":{{\"count\":{},\
-             \"sum\":12345,\"buckets\":[[100,{hits}],[\"inf\",{misses}]]}}}}}}",
+             \"sum\":12345,\"buckets\":[[100,{hits}],[\"inf\",{misses}]]}},\
+             \"planner.predicted.us\":{{\"count\":{misses},\"sum\":999,\
+             \"buckets\":[[100,{misses}]]}}}}}}",
             hits + misses,
             hits + misses,
         )
@@ -133,6 +162,27 @@ mod tests {
         let failures = check(&snapshot(0, 8));
         assert!(failures.iter().any(|f| f.contains("serve.hits")));
         assert!(failures.iter().any(|f| f.contains("event.cache_hit")));
+    }
+
+    #[test]
+    fn dead_planner_fails() {
+        // A snapshot with misses but no planner activity means the miss
+        // dispatch bypassed the cost model.
+        let s = snapshot(40, 8)
+            .replace("\"planner.decisions\":8", "\"planner.decisions\":0")
+            .replace(
+                "\"planner.path.indexed_reuse\":8",
+                "\"planner.path.indexed_reuse\":0",
+            );
+        let failures = check(&s);
+        assert!(failures.iter().any(|f| f.contains("planner.decisions")));
+        assert!(failures.iter().any(|f| f.contains("planner.path")));
+        // ... and an empty prediction histogram is flagged on its own.
+        let s = snapshot(40, 8).replace(
+            "\"planner.predicted.us\":{\"count\":8",
+            "\"planner.predicted.us\":{\"count\":0",
+        );
+        assert!(check(&s).iter().any(|f| f.contains("planner.predicted.us")));
     }
 
     #[test]

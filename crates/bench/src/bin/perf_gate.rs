@@ -47,6 +47,18 @@
 //! all on 2–3 cores. On a machine with fewer than 2 cores the check is
 //! skipped entirely: `stealpool` degrades to inline sequential
 //! execution there by design, so the rows are tautologically equal.
+//!
+//! `--require-planner-win` gates the adaptive miss-path planner on a
+//! fresh `BENCH_cold_gir.json` (pass it as *both* positional paths —
+//! its rows carry no serve columns, so the baseline comparison is
+//! vacuous). Per `(method, n, d)` cell the `planner/…` row must land
+//! within 1.10× of the best static path plus a 1.5 µs absolute noise
+//! floor (`cold` / `indexed_recompute` / `indexed_reuse` — the planner
+//! may pay bounded exploration and timing jitter, never a wrong steady
+//! state, which misses by multiples), and at **every d = 4 cell it must strictly
+//! beat `indexed_recompute`** — the always-index policy this PR
+//! removed, which inverts exactly there. A file with no planner rows,
+//! or no d = 4 cells, fails: the gate must not pass by omission.
 
 use std::process::ExitCode;
 
@@ -111,6 +123,121 @@ fn key(r: &Row) -> (u64, u64, &str, &str) {
     (r.threads, r.n, r.mode.as_str(), r.workload.as_str())
 }
 
+/// One parsed `BENCH_cold_gir.json` row: bench id `path/METHOD/nN/dD`
+/// plus its mean latency.
+#[derive(Debug, Clone)]
+struct ColdRow {
+    path: String,
+    method: String,
+    n: u64,
+    d: u64,
+    mean_ns: f64,
+}
+
+/// Parses the cold-gir artifact (`{"bench":"cold/SP/n2000/d2",...}`
+/// rows, one object per line).
+fn parse_cold_rows(body: &str) -> Vec<ColdRow> {
+    body.lines()
+        .filter(|l| l.contains("\"bench\""))
+        .filter_map(|l| {
+            let id = str_field(l, "bench")?;
+            let mut parts = id.split('/');
+            let path = parts.next()?.to_string();
+            let method = parts.next()?.to_string();
+            let n = parts.next()?.strip_prefix('n')?.parse().ok()?;
+            let d = parts.next()?.strip_prefix('d')?.parse().ok()?;
+            Some(ColdRow {
+                path,
+                method,
+                n,
+                d,
+                mean_ns: num_field(l, "mean_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// The `--require-planner-win` check (see module docs): planner ≤
+/// 1.10× best static path per cell, strictly below the always-index
+/// recompute at every d = 4 cell, and neither planner rows nor d = 4
+/// cells may be missing.
+fn planner_gate(rows: &[ColdRow]) -> Vec<String> {
+    const STATIC_PATHS: [&str; 3] = ["cold", "indexed_recompute", "indexed_reuse"];
+    const SLACK: f64 = 1.10;
+    /// Absolute timing-noise allowance on top of the relative slack.
+    /// The fast cells sit at 4–20 µs, where 10% is under a microsecond
+    /// — below run-to-run scheduler jitter on shared CI hardware, so a
+    /// purely relative limit flakes. A wrong-path planner misses by
+    /// multiples (the bug this gate exists for inverts cells by 2–40×),
+    /// so a 1.5 µs floor keeps the gate honest while absorbing jitter.
+    const NOISE_FLOOR_NS: f64 = 1_500.0;
+    let mut failures = Vec::new();
+    let planners: Vec<&ColdRow> = rows.iter().filter(|r| r.path == "planner").collect();
+    if planners.is_empty() {
+        failures.push("--require-planner-win: no planner/* rows in the fresh file".into());
+        return failures;
+    }
+    let mut d4_cells = 0usize;
+    for p in &planners {
+        let cell = format!("{}/n{}/d{}", p.method, p.n, p.d);
+        let statics: Vec<&ColdRow> = rows
+            .iter()
+            .filter(|r| {
+                r.method == p.method
+                    && r.n == p.n
+                    && r.d == p.d
+                    && STATIC_PATHS.contains(&r.path.as_str())
+            })
+            .collect();
+        let Some(best) = statics
+            .iter()
+            .map(|r| r.mean_ns)
+            .min_by(|a, b| a.total_cmp(b))
+        else {
+            failures.push(format!("{cell}: planner row has no static counterparts"));
+            continue;
+        };
+        let limit = SLACK * best + NOISE_FLOOR_NS;
+        println!(
+            "  planner {cell}: {:.0} ns vs best static {:.0} ns ({:.2}x, limit {:.0} ns)",
+            p.mean_ns,
+            best,
+            p.mean_ns / best.max(1e-9),
+            limit
+        );
+        if p.mean_ns > limit {
+            failures.push(format!(
+                "{cell}: planner {:.0} ns above {SLACK:.2}x best static path {best:.0} ns \
+                 (+{NOISE_FLOOR_NS:.0} ns noise floor)",
+                p.mean_ns
+            ));
+        }
+        if p.d == 4 {
+            d4_cells += 1;
+            match statics.iter().find(|r| r.path == "indexed_recompute") {
+                Some(rec) => {
+                    if p.mean_ns >= rec.mean_ns {
+                        failures.push(format!(
+                            "{cell}: planner {:.0} ns does not strictly beat the \
+                             always-index recompute {:.0} ns",
+                            p.mean_ns, rec.mean_ns
+                        ));
+                    }
+                }
+                None => failures.push(format!("{cell}: no indexed_recompute row to beat")),
+            }
+        }
+    }
+    if d4_cells == 0 {
+        failures.push(
+            "--require-planner-win: no d=4 cells — the dimensionality where the old \
+             policy inverts must be measured (set GIR_COLD_DS=2,3,4)"
+                .into(),
+        );
+    }
+    failures
+}
+
 /// Relative drop from `base` to `fresh` (positive = regression).
 fn rel_drop(base: f64, fresh: f64) -> f64 {
     if base <= 0.0 {
@@ -141,6 +268,9 @@ struct GateConfig {
     /// Require the parallel shard fan-out to beat the sequential sweep
     /// on the fresh file's `sharded_par_*` vs `sharded_*` rows.
     require_parallel_win: bool,
+    /// Require the adaptive miss-path planner to match the best static
+    /// path per cell (fresh file is a `BENCH_cold_gir.json`).
+    require_planner_win: bool,
     /// Cores visible to the gate process (injected so tests can pin
     /// it); the parallel-win check is skipped below 2 and demands the
     /// full 2× only at 4+.
@@ -357,6 +487,7 @@ fn main() -> ExitCode {
         require_delta_win: false,
         max_obs_overhead: None,
         require_parallel_win: false,
+        require_planner_win: false,
         parallel_cores: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -373,6 +504,7 @@ fn main() -> ExitCode {
             "--hit-rate-only" => cfg.hit_rate_only = true,
             "--require-delta-win" => cfg.require_delta_win = true,
             "--require-parallel-win" => cfg.require_parallel_win = true,
+            "--require-planner-win" => cfg.require_planner_win = true,
             "--max-obs-overhead" => {
                 cfg.max_obs_overhead = Some(
                     it.next()
@@ -387,7 +519,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: perf_gate <baseline.json> <fresh.json> [--max-drop 0.25] \
              [--hit-rate-only] [--require-delta-win] [--max-obs-overhead 0.05] \
-             [--require-parallel-win]"
+             [--require-parallel-win] [--require-planner-win]"
         );
         return ExitCode::from(2);
     };
@@ -416,8 +548,14 @@ fn main() -> ExitCode {
             ""
         },
     );
+    if cfg.require_planner_win {
+        println!("  (+ planner-win over the fresh cold-gir rows)");
+    }
 
-    let failures = gate(&baseline, &fresh, &cfg);
+    let mut failures = gate(&baseline, &fresh, &cfg);
+    if cfg.require_planner_win {
+        failures.extend(planner_gate(&parse_cold_rows(&read(fresh_path))));
+    }
     if failures.is_empty() {
         println!("perf gate: PASS");
         ExitCode::SUCCESS
@@ -444,6 +582,7 @@ mod tests {
             require_delta_win: false,
             max_obs_overhead: None,
             require_parallel_win: false,
+            require_planner_win: false,
             parallel_cores: 1,
         }
     }
@@ -607,6 +746,99 @@ mod tests {
             shard_row("sharded_s4", 14_000.0),
         ];
         assert_eq!(gate(&[], &seq_only, &cfg).len(), 2);
+    }
+
+    /// One synthetic cold-gir cell: `(method, n, d, [(path, mean_ns)])`.
+    type ColdCell<'a> = (&'a str, u64, u64, &'a [(&'a str, f64)]);
+
+    fn cold_file(cells: &[ColdCell<'_>]) -> String {
+        let mut lines = Vec::new();
+        for (method, n, d, paths) in cells {
+            for (path, mean) in *paths {
+                lines.push(format!(
+                    r#"{{"bench":"{path}/{method}/n{n}/d{d}","mean_ns":{mean:.0},"stddev_ns":10,"samples":12,"topk_pages":0,"gir_pages":0}}"#
+                ));
+            }
+        }
+        format!("[\n  {}\n]\n", lines.join(",\n  "))
+    }
+
+    #[test]
+    fn planner_win_requirement() {
+        // Healthy: planner tracks the best static path everywhere and
+        // beats the always-index recompute at d=4.
+        let healthy = cold_file(&[
+            (
+                "SP",
+                8000,
+                2,
+                &[
+                    ("cold", 50_000.0),
+                    ("indexed_recompute", 9_000.0),
+                    ("indexed_reuse", 6_000.0),
+                    ("planner", 6_300.0),
+                ],
+            ),
+            (
+                "SP",
+                8000,
+                4,
+                &[
+                    ("cold", 900_000.0),
+                    ("indexed_recompute", 2_160_000.0),
+                    ("indexed_reuse", 6_000.0),
+                    ("planner", 6_400.0),
+                ],
+            ),
+        ]);
+        assert!(planner_gate(&parse_cold_rows(&healthy)).is_empty());
+
+        // Planner stuck on the wrong path at d=4: over 1.10x best AND
+        // not beating the recompute.
+        let stuck = healthy.replace(
+            r#""bench":"planner/SP/n8000/d4","mean_ns":6400"#,
+            r#""bench":"planner/SP/n8000/d4","mean_ns":2200000"#,
+        );
+        assert_eq!(planner_gate(&parse_cold_rows(&stuck)).len(), 2);
+
+        // 8% exploration overhead at one cell: inside the 1.10x slack.
+        let probing = healthy.replace(
+            r#""bench":"planner/SP/n8000/d2","mean_ns":6300"#,
+            r#""bench":"planner/SP/n8000/d2","mean_ns":6480"#,
+        );
+        assert!(planner_gate(&parse_cold_rows(&probing)).is_empty());
+
+        // No planner rows at all: the gate must not pass by omission...
+        let no_planner: String = healthy
+            .lines()
+            .filter(|l| !l.contains("planner/"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(planner_gate(&parse_cold_rows(&no_planner)).len(), 1);
+
+        // ... and neither may a run that skipped d=4 entirely.
+        let no_d4: String = healthy
+            .lines()
+            .filter(|l| !l.contains("/d4"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let failures = planner_gate(&parse_cold_rows(&no_d4));
+        assert!(failures.iter().any(|f| f.contains("no d=4 cells")));
+    }
+
+    #[test]
+    fn cold_row_parser_reads_bench_ids() {
+        let rows = parse_cold_rows(
+            r#"[{"bench":"indexed_reuse/FP/n2000/d3","mean_ns":5400,"stddev_ns":1,"samples":12}]"#,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].path, "indexed_reuse");
+        assert_eq!(rows[0].method, "FP");
+        assert_eq!((rows[0].n, rows[0].d), (2000, 3));
+        assert!((rows[0].mean_ns - 5400.0).abs() < 1e-9);
+        // Serve rows (no bench id) and malformed ids are skipped.
+        assert!(parse_cold_rows(DELTA).is_empty());
+        assert!(parse_cold_rows(r#"{"bench":"cold/SP","mean_ns":1}"#).is_empty());
     }
 
     #[test]

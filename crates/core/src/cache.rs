@@ -395,137 +395,6 @@ impl GirCache {
     }
 }
 
-/// Deprecated pre-`CacheKey` method names, kept as thin shims for one
-/// release. Nothing in-tree calls them (the shim tests below excepted);
-/// `#[deprecated]` warnings are allowed only inside this module.
-mod compat {
-    #![allow(deprecated)]
-
-    use super::*;
-
-    impl GirCache {
-        /// Order-sensitive counted lookup.
-        #[deprecated(since = "0.2.0", note = "use `get` with a `CacheKey`")]
-        pub fn lookup(
-            &mut self,
-            w: &PointD,
-            k: usize,
-            scoring: &ScoringFunction,
-        ) -> Option<Vec<Record>> {
-            self.get(&CacheKey::new(w, k, scoring))
-        }
-
-        /// Counted lookup with explicit semantics.
-        #[deprecated(
-            since = "0.2.0",
-            note = "use `get` with a `CacheKey` built via `.kind(..)`"
-        )]
-        pub fn lookup_kind(
-            &mut self,
-            w: &PointD,
-            k: usize,
-            scoring: &ScoringFunction,
-            kind: RegionKind,
-        ) -> Option<Vec<Record>> {
-            self.get(&CacheKey::new(w, k, scoring).kind(kind))
-        }
-
-        /// Order-sensitive read-only lookup.
-        #[deprecated(since = "0.2.0", note = "use `probe` with a `CacheKey`")]
-        pub fn peek(&self, w: &PointD, k: usize, scoring: &ScoringFunction) -> Option<Vec<Record>> {
-            self.probe(&CacheKey::new(w, k, scoring))
-        }
-
-        /// Read-only lookup with explicit semantics.
-        #[deprecated(
-            since = "0.2.0",
-            note = "use `probe` with a `CacheKey` built via `.kind(..)`"
-        )]
-        pub fn peek_kind(
-            &self,
-            w: &PointD,
-            k: usize,
-            scoring: &ScoringFunction,
-            kind: RegionKind,
-        ) -> Option<Vec<Record>> {
-            self.probe(&CacheKey::new(w, k, scoring).kind(kind))
-        }
-
-        /// Order-sensitive LRU promotion.
-        #[deprecated(since = "0.2.0", note = "use `touch` with a `CacheKey`")]
-        pub fn promote(&mut self, w: &PointD, k: usize, scoring: &ScoringFunction) {
-            self.touch(&CacheKey::new(w, k, scoring));
-        }
-
-        /// LRU promotion with explicit semantics.
-        #[deprecated(
-            since = "0.2.0",
-            note = "use `touch` with a `CacheKey` built via `.kind(..)`"
-        )]
-        pub fn promote_kind(
-            &mut self,
-            w: &PointD,
-            k: usize,
-            scoring: &ScoringFunction,
-            kind: RegionKind,
-        ) {
-            self.touch(&CacheKey::new(w, k, scoring).kind(kind));
-        }
-
-        /// Order-sensitive insertion.
-        #[deprecated(since = "0.2.0", note = "use `admit` with a `CacheKey`")]
-        pub fn insert(&mut self, region: GirRegion, result: TopKResult, scoring: ScoringFunction) {
-            let k = result.len();
-            let w = region.query.clone();
-            self.admit(&CacheKey::new(&w, k, &scoring), region, result);
-        }
-
-        /// Insertion with explicit semantics.
-        #[deprecated(
-            since = "0.2.0",
-            note = "use `admit` with a `CacheKey` built via `.kind(..)`"
-        )]
-        pub fn insert_kind(
-            &mut self,
-            region: GirRegion,
-            result: TopKResult,
-            scoring: ScoringFunction,
-            kind: RegionKind,
-        ) {
-            let k = result.len();
-            let w = region.query.clone();
-            self.admit(&CacheKey::new(&w, k, &scoring).kind(kind), region, result);
-        }
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-        use gir_geometry::hyperplane::Provenance;
-
-        #[test]
-        fn shims_delegate_to_the_keyed_api() {
-            let hs = vec![HalfSpace {
-                normal: PointD::new(vec![1.0, 0.0]),
-                offset: 1.0,
-                provenance: Provenance::NonResult { record_id: 0 },
-            }];
-            let region = GirRegion::new(2, PointD::new(vec![0.5, 0.5]), hs);
-            let result = TopKResult {
-                ranked: vec![(Record::new(1, vec![0.5, 0.5]), 1.0)],
-            };
-            let scoring = ScoringFunction::linear(2);
-            let w = PointD::new(vec![0.3, 0.9]);
-            let mut cache = GirCache::new(4);
-            cache.insert(region, result, scoring.clone());
-            assert!(cache.peek(&w, 1, &scoring).is_some());
-            cache.promote(&w, 1, &scoring);
-            assert!(cache.lookup(&w, 1, &scoring).is_some());
-            assert_eq!(cache.counters(), (1, 0));
-        }
-    }
-}
-
 /// Everything a repair closure needs to rebuild one entry's region (see
 /// [`GirCache::apply_batch`] and [`crate::maintenance::repair_region`]).
 #[derive(Debug)]

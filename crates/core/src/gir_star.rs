@@ -88,16 +88,20 @@ impl<'a> StarFan<'a> {
     /// (the nested level under the per-shard fan-out) with output
     /// bit-identical to the sequential loop.
     pub(crate) fn feed_all(&mut self, cands: &[(&PointD, u64)]) {
-        // Below the threshold the pool's bookkeeping costs more than
-        // the feed itself.
-        if self.stars.len() >= 2 && cands.len() >= 64 && crate::pool::would_parallelize(2) {
-            crate::pool::fan_out(self.stars.iter_mut().collect(), |_, (_, pivot, star)| {
-                for (attrs, id) in cands {
-                    if !dominates(&pivot.attrs, attrs) {
-                        star.insert(attrs, *id);
+        // The candidate count is the work measure: each of the
+        // `stars.len()` tasks scans the full candidate slice.
+        if crate::pool::would_parallelize(self.stars.len(), cands.len()) {
+            crate::pool::fan_out(
+                self.stars.iter_mut().collect(),
+                cands.len(),
+                |_, (_, pivot, star)| {
+                    for (attrs, id) in cands {
+                        if !dominates(&pivot.attrs, attrs) {
+                            star.insert(attrs, *id);
+                        }
                     }
-                }
-            });
+                },
+            );
         } else {
             for (attrs, id) in cands {
                 self.feed(attrs, *id);

@@ -40,6 +40,7 @@ pub mod lir;
 pub mod maintenance;
 pub mod mirror;
 pub mod phase1;
+pub mod plan;
 pub mod pool;
 pub mod prune;
 pub mod region;
@@ -57,6 +58,7 @@ pub use maintenance::{
     InsertionImpact, StarInsertionImpact, UpdateImpact,
 };
 pub use mirror::TreeMirror;
+pub use plan::{Decision, MissPath, ObserveOutcome, PlanInputs, Planner, PlannerStats};
 pub use prune::{ExcludedSkyline, PruneIndex, PruneIndexStats, PruneState};
 pub use region::{BoundaryEvent, GirRegion, ReducedGir, RegionKind};
 pub use sharded::{gir_sharded, gir_star_sharded, topk_sharded, ShardView};

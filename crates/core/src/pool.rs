@@ -24,16 +24,40 @@
 //!   request's tree. Collector delivery (global metrics) is unaffected
 //!   either way.
 
+use std::sync::OnceLock;
+
+/// Default [`min_items`] when `GIR_POOL_MIN_ITEMS` is unset: below ~64
+/// work items the pool's bookkeeping costs more than the work.
+const DEFAULT_MIN_ITEMS: usize = 64;
+
+/// The fan-out threshold: a [`fan_out`] whose total work is below this
+/// many items runs inline. One tunable for every call site, read once
+/// from `GIR_POOL_MIN_ITEMS` (unset or unparsable ⇒ 64; `0` ⇒ always
+/// fan out when the thread policy allows).
+pub fn min_items() -> usize {
+    static MIN: OnceLock<usize> = OnceLock::new();
+    *MIN.get_or_init(|| {
+        std::env::var("GIR_POOL_MIN_ITEMS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(DEFAULT_MIN_ITEMS)
+    })
+}
+
 /// Runs `f(index, item)` over all items — on the global work-stealing
-/// pool when the thread policy allows, inline otherwise — returning
-/// results in item order. See the module docs for the guarantees.
-pub fn fan_out<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// pool when the thread policy allows **and** the fan-out is worth it,
+/// inline otherwise — returning results in item order. `work_items` is
+/// the caller's measure of the total work behind the items (records
+/// scanned, candidates fed, requests served — *not* the task count):
+/// fan-outs below [`min_items`] run inline, where the pool's
+/// bookkeeping would dominate. See the module docs for the guarantees.
+pub fn fan_out<T, R, F>(items: Vec<T>, work_items: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let pool = if items.len() > 1 {
+    let pool = if items.len() > 1 && work_items >= min_items() {
         stealpool::global()
     } else {
         None
@@ -64,9 +88,10 @@ where
     }
 }
 
-/// True when the next [`fan_out`] over `n` items would use the pool —
-/// lets callers pick batch thresholds (tiny fan-outs are cheaper
-/// inline).
-pub fn would_parallelize(n: usize) -> bool {
-    n > 1 && stealpool::global().is_some()
+/// True when the next [`fan_out`] over `tasks` items carrying
+/// `work_items` total work would use the pool — lets callers skip
+/// setup (collecting item vectors, cloning state) that only the
+/// parallel path needs.
+pub fn would_parallelize(tasks: usize, work_items: usize) -> bool {
+    tasks > 1 && work_items >= min_items() && stealpool::global().is_some()
 }

@@ -488,6 +488,15 @@ impl PruneIndex {
         self.read().is_some()
     }
 
+    /// The Phase-2 cache-hit counter alone — one atomic load, no
+    /// skyline lock. The serve layer reads this before and after every
+    /// indexed miss dispatch to tell the planner whether the Phase-2
+    /// system was actually reused, so it must stay off the full
+    /// [`PruneIndex::stats`] snapshot path.
+    pub fn phase2_hits(&self) -> u64 {
+        self.phase2_hits.load(Ordering::Relaxed)
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PruneIndexStats {
         PruneIndexStats {

@@ -151,12 +151,17 @@ pub fn gir_sharded(
     let (states, mirrors) = snapshot_shards(shards)?;
     let io_before: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
+    // Total record count is the fan-out work measure: each shard task
+    // scans its slice of the dataset, so small datasets stay inline
+    // regardless of the shard count (`GIR_POOL_MIN_ITEMS`).
+    let work: usize = shards.iter().map(|s| s.tree.len() as usize).sum();
+
     let t0 = Instant::now();
     // Per-shard BRS fans out across the pool; results come back in
     // shard order (the pool preserves item order), so the merge below
     // sees exactly the sequential input.
     let runs: Vec<(TopKResult, Frontier<'_>)> =
-        crate::pool::fan_out(mirrors.iter().map(Arc::as_ref).collect(), |si, m| {
+        crate::pool::fan_out(mirrors.iter().map(Arc::as_ref).collect(), work, |si, m| {
             let _s = tracing::span!("shard_topk", shard = si);
             m.topk(scoring, &q.weights, k)
         });
@@ -188,6 +193,7 @@ pub fn gir_sharded(
     let tasks: Vec<_> = shards.iter().zip(&states).zip(&mirrors).zip(runs).collect();
     let shard_outputs = crate::pool::fan_out(
         tasks,
+        work,
         |si, (((shard, state), mirror), (shard_res, mut frontier))| {
             let mut shard_span =
                 tracing::span!("shard_phase2", shard = si, method = method.label());
@@ -401,10 +407,14 @@ pub fn gir_star_sharded(
     let (states, mirrors) = snapshot_shards(shards)?;
     let io_before: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
+    // Same work measure as `gir_sharded`: records scanned, not shard
+    // count, decides whether the pool pays for itself.
+    let work: usize = shards.iter().map(|s| s.tree.len() as usize).sum();
+
     let t0 = Instant::now();
     // Parallel per-shard BRS, results in shard order (see `gir_sharded`).
     let runs: Vec<(TopKResult, Frontier<'_>)> =
-        crate::pool::fan_out(mirrors.iter().map(Arc::as_ref).collect(), |si, m| {
+        crate::pool::fan_out(mirrors.iter().map(Arc::as_ref).collect(), work, |si, m| {
             let _s = tracing::span!("shard_topk", shard = si);
             m.topk(scoring, &q.weights, k)
         });
@@ -438,6 +448,7 @@ pub fn gir_star_sharded(
     let tasks: Vec<_> = shards.iter().zip(&states).zip(&mirrors).zip(runs).collect();
     let shard_outputs = crate::pool::fan_out(
         tasks,
+        work,
         |si, (((shard, state), mirror), (shard_res, mut frontier))| {
             let mut shard_span =
                 tracing::span!("shard_star_phase2", shard = si, method = method.label());

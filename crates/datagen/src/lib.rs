@@ -15,16 +15,21 @@
 //!   averages each measurement over 100 random queries),
 //! * [`partition`] — partition-aware generators shaping grid-band
 //!   shard occupancy (uniform vs hot-band skew) for the `gir-shard`
-//!   scale-out scenarios.
+//!   scale-out scenarios,
+//! * [`planner_stress`] — traffic shapes that punish a wrong miss-path
+//!   choice (Zipf query skew, skyline-targeted churn, d ∈ {5,6}
+//!   mixes), used by the serve planner's tests and benches.
 //!
 //! All attributes are normalized to `[0,1]` and ids are dense `0..n`.
 
 pub mod partition;
+pub mod planner_stress;
 pub mod queries;
 pub mod real_like;
 pub mod synthetic;
 
 pub use partition::{grid_occupancy, sharded_synthetic, ShardSkew};
+pub use planner_stress::{high_d_mix, skyline_churn, zipfian_queries, ChurnOp, HighDMix};
 pub use queries::random_queries;
 pub use real_like::{hotel_like, house_like, HOTEL_CARDINALITY, HOUSE_CARDINALITY};
 pub use synthetic::{synthetic, Distribution};

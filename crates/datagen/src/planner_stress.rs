@@ -1,0 +1,264 @@
+//! Planner-stress workloads: traffic shapes that punish a wrong
+//! miss-path choice.
+//!
+//! The serve layer's adaptive planner (`gir_core::plan`) picks between
+//! cold, indexed, and sharded miss paths from a measured cost model.
+//! These generators build the traffic where a *static* policy loses:
+//!
+//! * [`zipfian_queries`] — query-weight skew: anchor popularity follows
+//!   Zipf(s), so a handful of hot anchors accumulate Phase-2 reuse
+//!   while the long tail stays cold. A planner that generalizes the hot
+//!   anchors' hit rate to the tail dispatches expensive indexed
+//!   recomputes where a cold scan wins.
+//! * [`skyline_churn`] — adversarial delete-then-reinsert bursts aimed
+//!   at skyline members. Every burst perturbs exactly the records the
+//!   prune index is built from, invalidating shared Phase-2 systems and
+//!   punishing a planner that assumes the index stays warm.
+//! * [`high_d_mix`] — d ∈ {5, 6} dataset/query mixes, deep in the
+//!   regime where `BENCH_cold_gir.json` shows the indexed recompute
+//!   path losing to the cold path (skyline growth is super-linear in
+//!   d, paper §8).
+
+use crate::queries::random_queries;
+use crate::synthetic::{synthetic, Distribution};
+use gir_geometry::dominance::skyline_indices;
+use gir_geometry::vector::PointD;
+use gir_rtree::Record;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One mutation in a churn burst (see [`skyline_churn`]). Deletes carry
+/// the full record so replay layers that need the attributes for
+/// region-maintenance classification (e.g. `gir_serve::Update::Delete`)
+/// can be driven without a side lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnOp {
+    /// Remove this record from the dataset.
+    Delete(Record),
+    /// Re-insert a previously deleted record, unchanged.
+    Reinsert(Record),
+}
+
+/// Generates `count` query vectors jittered around `anchors` preference
+/// anchors whose popularity follows a Zipf(`s`) law: anchor `i` is
+/// drawn with probability ∝ `1/(i+1)^s`.
+///
+/// At `s = 0` every anchor is equally likely (uniform anchors); `s ≈ 1`
+/// is classic web-traffic skew. Weights stay in `[lo, 1]` (anchors are
+/// drawn in `[max(lo, 0.2), 1]^d` — near-zero weights make degenerate
+/// top-k orderings).
+pub fn zipfian_queries(
+    count: usize,
+    d: usize,
+    anchors: usize,
+    s: f64,
+    jitter: f64,
+    lo: f64,
+    seed: u64,
+) -> Vec<PointD> {
+    assert!(anchors >= 1, "need at least one anchor");
+    assert!(s >= 0.0, "Zipf exponent must be non-negative");
+    assert!((0.0..1.0).contains(&lo), "weight floor must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21BF_5EED);
+    let floor = lo.max(0.2);
+    let anchor_pts: Vec<Vec<f64>> = (0..anchors)
+        .map(|_| (0..d).map(|_| rng.random_range(floor..=1.0)).collect())
+        .collect();
+    // Cumulative Zipf mass; inverse-CDF sampling keeps us inside the
+    // approved dependency set (no `rand_distr`).
+    let mut cdf = Vec::with_capacity(anchors);
+    let mut total = 0.0;
+    for i in 0..anchors {
+        total += 1.0 / ((i + 1) as f64).powf(s);
+        cdf.push(total);
+    }
+    (0..count)
+        .map(|_| {
+            let u = rng.random_range(0.0..total);
+            let idx = cdf.partition_point(|&c| c <= u).min(anchors - 1);
+            let w: Vec<f64> = anchor_pts[idx]
+                .iter()
+                .map(|&v| (v + rng.random_range(-jitter..=jitter)).clamp(lo, 1.0))
+                .collect();
+            PointD::from(w)
+        })
+        .collect()
+}
+
+/// Generates `bursts` adversarial churn bursts over `data`: each burst
+/// deletes `burst_width` current *skyline members* and then re-inserts
+/// the same records, in deletion order.
+///
+/// Skyline members are exactly the records the prune index derives its
+/// shared Phase-2 systems from, so every burst invalidates the warm
+/// state an always-indexed policy banks on. Bursts rotate through the
+/// skyline in a seeded shuffle; widths larger than the skyline are
+/// clamped. Replaying a full burst leaves the dataset unchanged, so
+/// bursts compose without liveness bookkeeping.
+pub fn skyline_churn(
+    data: &[Record],
+    bursts: usize,
+    burst_width: usize,
+    seed: u64,
+) -> Vec<Vec<ChurnOp>> {
+    let pts: Vec<PointD> = data.iter().map(|r| r.attrs.clone()).collect();
+    let mut sky: Vec<usize> = skyline_indices(&pts);
+    assert!(!sky.is_empty(), "dataset has an empty skyline");
+    let width = burst_width.clamp(1, sky.len());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A8_5EED);
+    // Seeded Fisher–Yates; `rand`'s shuffle adapter is not in the
+    // approved set's prelude, and explicit swaps keep the stream stable.
+    for i in (1..sky.len()).rev() {
+        let j = rng.random_range(0..=i);
+        sky.swap(i, j);
+    }
+    let mut cursor = 0usize;
+    (0..bursts)
+        .map(|_| {
+            let mut ops = Vec::with_capacity(2 * width);
+            let victims: Vec<&Record> = (0..width)
+                .map(|k| &data[sky[(cursor + k) % sky.len()]])
+                .collect();
+            cursor = (cursor + width) % sky.len();
+            for r in &victims {
+                ops.push(ChurnOp::Delete((*r).clone()));
+            }
+            for r in &victims {
+                ops.push(ChurnOp::Reinsert((*r).clone()));
+            }
+            ops
+        })
+        .collect()
+}
+
+/// One high-dimensional dataset/query pairing from [`high_d_mix`].
+#[derive(Debug, Clone)]
+pub struct HighDMix {
+    /// Attribute dimensionality (5 or 6).
+    pub d: usize,
+    /// Source distribution of `data`.
+    pub dist: Distribution,
+    /// The dataset, `n` records in `[0,1]^d`.
+    pub data: Vec<Record>,
+    /// Matched query vectors in `[0.05, 1]^d`.
+    pub queries: Vec<PointD>,
+}
+
+/// Builds the d ∈ {5, 6} mixes — IND and ANTI at each dimensionality —
+/// with `n` records and `queries` query vectors per mix.
+///
+/// These sit past the d = 4 crossover where the cold path overtakes the
+/// indexed recompute (`BENCH_cold_gir.json`): ANTI at d = 6 has a
+/// skyline so wide that recomputing per-member Phase-2 systems costs
+/// multiples of one cold scan. A planner stuck on the index loses every
+/// miss here.
+pub fn high_d_mix(n: usize, queries: usize, seed: u64) -> Vec<HighDMix> {
+    let mut out = Vec::with_capacity(4);
+    for (i, &d) in [5usize, 6].iter().enumerate() {
+        for (j, dist) in [Distribution::Independent, Distribution::Anticorrelated]
+            .into_iter()
+            .enumerate()
+        {
+            let mix_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i * 2 + j) as u64);
+            out.push(HighDMix {
+                d,
+                dist,
+                data: synthetic(dist, n, d, mix_seed),
+                queries: random_queries(queries, d, 0.05, mix_seed),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_traffic_toward_the_head() {
+        let qs = zipfian_queries(2000, 3, 16, 1.2, 0.0, 0.05, 7);
+        assert_eq!(qs.len(), 2000);
+        // With jitter 0 every query IS its anchor; count distinct mass.
+        let mut by_anchor: std::collections::HashMap<String, usize> = Default::default();
+        for q in &qs {
+            *by_anchor.entry(format!("{:?}", q.coords())).or_default() += 1;
+        }
+        assert!(by_anchor.len() > 1, "all mass on one anchor");
+        let max = by_anchor.values().max().copied().unwrap();
+        let min = by_anchor.values().min().copied().unwrap();
+        // Zipf(1.2) over 16 anchors: the head anchor outdraws the tail
+        // by an order of magnitude (expected ratio ≈ 28×).
+        assert!(max >= 8 * min.max(1), "head {max} vs tail {min} — no skew");
+    }
+
+    #[test]
+    fn zipf_zero_is_near_uniform_and_deterministic() {
+        let a = zipfian_queries(512, 4, 8, 0.0, 0.01, 0.05, 3);
+        let b = zipfian_queries(512, 4, 8, 0.0, 0.01, 0.05, 3);
+        assert_eq!(a, b);
+        for q in &a {
+            assert!(q.coords().iter().all(|&w| (0.05..=1.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn churn_targets_skyline_members_and_round_trips() {
+        let data = synthetic(Distribution::Anticorrelated, 400, 3, 11);
+        let pts: Vec<PointD> = data.iter().map(|r| r.attrs.clone()).collect();
+        let sky: std::collections::HashSet<u64> = skyline_indices(&pts)
+            .into_iter()
+            .map(|i| data[i].id)
+            .collect();
+        let bursts = skyline_churn(&data, 6, 5, 42);
+        assert_eq!(bursts.len(), 6);
+        for burst in &bursts {
+            assert_eq!(burst.len(), 10);
+            let mut deleted: Vec<&Record> = Vec::new();
+            for op in burst {
+                match op {
+                    ChurnOp::Delete(r) => {
+                        assert!(sky.contains(&r.id), "churned non-skyline record {}", r.id);
+                        deleted.push(r);
+                    }
+                    ChurnOp::Reinsert(r) => {
+                        // Balanced: every reinsert restores a record the
+                        // same burst deleted, attributes unchanged.
+                        assert!(deleted.iter().any(|d| d.id == r.id && d.attrs == r.attrs));
+                    }
+                }
+            }
+            assert_eq!(deleted.len(), 5);
+        }
+        // Distinct bursts rotate victims rather than re-hitting one.
+        assert_ne!(bursts[0], bursts[1]);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_clamps_width() {
+        let data = synthetic(Distribution::Correlated, 200, 2, 5);
+        let a = skyline_churn(&data, 3, 10_000, 9);
+        let b = skyline_churn(&data, 3, 10_000, 9);
+        assert_eq!(a, b);
+        let pts: Vec<PointD> = data.iter().map(|r| r.attrs.clone()).collect();
+        let sky_len = skyline_indices(&pts).len();
+        assert_eq!(a[0].len(), 2 * sky_len, "width clamps to the skyline");
+    }
+
+    #[test]
+    fn high_d_mix_covers_both_dims_and_dists() {
+        let mixes = high_d_mix(300, 20, 1);
+        assert_eq!(mixes.len(), 4);
+        let mut seen: Vec<(usize, &str)> = mixes.iter().map(|m| (m.d, m.dist.label())).collect();
+        seen.sort();
+        assert_eq!(seen, vec![(5, "ANTI"), (5, "IND"), (6, "ANTI"), (6, "IND")]);
+        for m in &mixes {
+            assert_eq!(m.data.len(), 300);
+            assert_eq!(m.queries.len(), 20);
+            assert!(m.data.iter().all(|r| r.dim() == m.d));
+            assert!(m.queries.iter().all(|q| q.dim() == m.d));
+        }
+    }
+}

@@ -65,13 +65,14 @@ pub use durable::{
     updates_from_wal_batch, wal_batch_from_updates, DurabilityConfig, DurabilityError,
     DurableServer, RecoverableServer, RecoveryReport,
 };
+pub use gir_core::plan::{MissPath, PlannerStats};
 pub use gir_core::RegionKind;
 pub use server::{
-    compute_response, execute_batch, serve_traced, BatchResult, GirServer, MaintenanceMode,
-    ServerConfig, TopKRequest, TopKResponse, Update, UpdateReport,
+    compute_response, execute_batch, record_planner_phase, serve_traced, BatchResult, GirServer,
+    MaintenanceMode, ServerConfig, TopKRequest, TopKResponse, Update, UpdateReport,
 };
 pub use sharded::{CacheStats, ShardedGirCache, APPLY_SLOTS};
-pub use stats::ServeStats;
+pub use stats::{publish_planner_decision, ServeStats};
 pub use workload::{mixed_workload, TrafficBatch, WorkloadConfig};
 
 #[cfg(test)]

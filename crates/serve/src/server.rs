@@ -2,9 +2,10 @@
 
 use crate::sharded::{CacheStats, ShardedGirCache};
 use crate::stats::ServeStats;
+use gir_core::plan::{Decision, MissPath, PlanInputs, Planner, PlannerStats};
 use gir_core::{
-    repair_region, repair_region_star, CacheKey, DeltaBatch, GirEngine, GirError, Method,
-    PruneIndex, PruneIndexStats, RegionKind,
+    repair_region, repair_region_star, CacheKey, DeltaBatch, GirEngine, GirError, GirOutput,
+    Method, PruneIndex, PruneIndexStats, RegionKind, ShardView,
 };
 use gir_geometry::vector::PointD;
 use gir_query::{QueryVector, Record, ScoringFunction};
@@ -55,6 +56,13 @@ pub struct ServerConfig {
     /// [`crate::durable::DurableServer::create`] /
     /// [`crate::durable::DurableServer::recover`].
     pub durability: Option<crate::durable::DurabilityConfig>,
+    /// Pins every planned miss to one [`MissPath`], overriding the
+    /// adaptive planner — the config-level twin of the `GIR_FORCE_PATH`
+    /// environment variable (this field wins when both are set; tests
+    /// use it to avoid env races). Only consulted when
+    /// [`ServerConfig::use_prune_index`] is on; the off state is the
+    /// pure-cold PR 2 baseline and bypasses the planner entirely.
+    pub force_path: Option<MissPath>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +78,7 @@ impl Default for ServerConfig {
             maintenance: MaintenanceMode::default(),
             use_prune_index: true,
             durability: None,
+            force_path: None,
         }
     }
 }
@@ -131,32 +140,6 @@ impl TopKRequest {
     pub fn explain(mut self) -> Self {
         self.explain = true;
         self
-    }
-}
-
-/// Deprecated pre-builder [`TopKRequest`] constructors, kept as thin
-/// shims for one release. New code chains [`TopKRequest::kind`] /
-/// [`TopKRequest::explain`] onto [`TopKRequest::new`].
-mod request_compat {
-    #![allow(deprecated)]
-
-    use super::*;
-
-    impl TopKRequest {
-        /// Deprecated alias for [`TopKRequest::explain`].
-        #[deprecated(since = "0.2.0", note = "use `TopKRequest::new(w, k).explain()`")]
-        pub fn with_explain(self) -> Self {
-            self.explain()
-        }
-
-        /// Deprecated alias for `TopKRequest::new(w, k).kind(RegionKind::GirStar)`.
-        #[deprecated(
-            since = "0.2.0",
-            note = "use `TopKRequest::new(w, k).kind(RegionKind::GirStar)`"
-        )]
-        pub fn order_insensitive(weights: impl Into<PointD>, k: usize) -> Self {
-            Self::new(weights, k).kind(RegionKind::GirStar)
-        }
     }
 }
 
@@ -243,9 +226,13 @@ pub struct UpdateReport {
 /// configuration. With `threads > 1` the actual parallelism degree is
 /// the pool's policy (`GIR_POOL_THREADS`), not `threads`; EXPLAIN
 /// captures survive the thread hops because `fan_out` grafts per-job
-/// span trees back in item order.
+/// span trees back in item order. `work_items` is the caller's measure
+/// of the total work behind the batch (requests × live records — a
+/// request's cost scales with the dataset it reads, not the request
+/// count), gated by `GIR_POOL_MIN_ITEMS` like every other fan-out.
 pub fn execute_batch(
     requests: &[TopKRequest],
+    work_items: usize,
     threads: usize,
     method_label: &'static str,
     serve_one: impl Fn(&TopKRequest) -> TopKResponse + Sync,
@@ -256,7 +243,9 @@ pub fn execute_batch(
     let responses: Vec<TopKResponse> = if threads <= 1 {
         requests.iter().map(&serve_one).collect()
     } else {
-        gir_core::pool::fan_out(requests.iter().collect(), |_, req| serve_one(req))
+        gir_core::pool::fan_out(requests.iter().collect(), work_items, |_, req| {
+            serve_one(req)
+        })
     };
 
     let labeled: Vec<(u64, bool)> = responses
@@ -348,6 +337,31 @@ pub fn compute_response(
     }
 }
 
+/// Annotates an open EXPLAIN `planner` span with one decision: the
+/// chosen path plus every alternative's estimate in microseconds
+/// (infeasible paths omitted). The caller opens the span *before*
+/// planning and drops it before the `compute` span, so the phase row (a
+/// direct child of the root `serve` span) also accounts the planning
+/// work itself. Shared with the sharded server.
+pub fn record_planner_phase(span: &mut tracing::Span, decision: &Decision) {
+    span.record("path", decision.path.label());
+    span.record("forced", decision.forced);
+    span.record("probe", decision.probe);
+    span.record("predicted_us", decision.predicted_ns / 1e3);
+    for p in MissPath::ALL {
+        let est = decision.estimate(p);
+        if est.is_finite() {
+            let key = match p {
+                MissPath::Cold => "cold_us",
+                MissPath::IndexedRecompute => "indexed_recompute_us",
+                MissPath::IndexedReuse => "indexed_reuse_us",
+                MissPath::Sharded => "sharded_us",
+            };
+            span.record(key, est / 1e3);
+        }
+    }
+}
+
 /// A concurrent GIR serving engine over one dataset.
 ///
 /// Queries run under a shared read lock on the R\*-tree; updates take
@@ -357,6 +371,7 @@ pub struct GirServer {
     tree: RwLock<RTree>,
     cache: ShardedGirCache,
     prune: PruneIndex,
+    planner: Planner,
     scoring: ScoringFunction,
     cfg: ServerConfig,
 }
@@ -366,10 +381,15 @@ impl GirServer {
     pub fn new(tree: RTree, scoring: ScoringFunction, cfg: ServerConfig) -> Self {
         assert_eq!(scoring.dim(), tree.dim(), "scoring dimensionality mismatch");
         let cache = ShardedGirCache::new(cfg.shards, cfg.shard_capacity);
+        let planner = match cfg.force_path {
+            Some(p) => Planner::with_forced(Some(p)),
+            None => Planner::new(),
+        };
         GirServer {
             tree: RwLock::new(tree),
             cache,
             prune: PruneIndex::new(),
+            planner,
             scoring,
             cfg,
         }
@@ -433,7 +453,10 @@ impl GirServer {
         // batches, never inside one.
         let tree = self.read_tree();
         let tree_ref: &RTree = &tree;
-        let out = execute_batch(requests, self.cfg.threads, method.label(), |req| {
+        let work = requests
+            .len()
+            .saturating_mul(tree_ref.len().max(1) as usize);
+        let out = execute_batch(requests, work, self.cfg.threads, method.label(), |req| {
             self.serve_one(tree_ref, req, method)
         });
         drop(tree);
@@ -457,34 +480,133 @@ impl GirServer {
                     explain: None,
                 };
             }
-            let compute_span = tracing::span!("compute", method = method.label());
-            let engine = GirEngine::with_scoring(tree, self.scoring.clone());
             let q = QueryVector::new(req.weights.coords().to_vec());
-            let computed = match req.kind {
-                RegionKind::Gir => {
-                    if self.cfg.use_prune_index {
-                        engine.gir_indexed(&q, req.k, method, &self.prune)
-                    } else {
-                        engine.gir(&q, req.k, method)
-                    }
-                }
-                // The order-insensitive region: its wider polytope is the
-                // whole point of the request (one entry absorbs every
-                // query that permutes the same composition).
-                RegionKind::GirStar => {
-                    if self.cfg.use_prune_index {
-                        engine.gir_star_indexed(&q, req.k, method, &self.prune)
-                    } else {
-                        engine.gir_star(&q, req.k, method)
-                    }
-                }
+            let computed = if self.cfg.use_prune_index {
+                // The planner picks the miss path per query (cold /
+                // indexed / sharded) from its measured cost model; the
+                // unconditional index preference this replaces was a
+                // live perf bug at d ≥ 4 (BENCH_cold_gir.json).
+                self.serve_miss_planned(tree, &q, req, method)
+            } else {
+                // `use_prune_index: false` is the pure-cold PR 2
+                // baseline: no shared state, no planner.
+                let compute_span = tracing::span!("compute", method = method.label());
+                let engine = GirEngine::with_scoring(tree, self.scoring.clone());
+                let computed = match req.kind {
+                    RegionKind::Gir => engine.gir(&q, req.k, method),
+                    // The order-insensitive region: its wider polytope
+                    // is the whole point of the request (one entry
+                    // absorbs every query that permutes the same
+                    // composition).
+                    RegionKind::GirStar => engine.gir_star(&q, req.k, method),
+                };
+                drop(compute_span);
+                computed
             };
-            drop(compute_span);
             compute_response(computed, t0, |out| {
                 let _admit_span = tracing::span!("admit");
                 self.cache.admit(&key, out.region, out.result);
             })
         })
+    }
+
+    /// One planned miss: ask the [`Planner`] for the cheapest path,
+    /// record the decision (EXPLAIN `planner` phase + `planner.*`
+    /// counters), dispatch it, and feed the measured latency back into
+    /// the cost model.
+    fn serve_miss_planned(
+        &self,
+        tree: &RTree,
+        q: &QueryVector,
+        req: &TopKRequest,
+        method: Method,
+    ) -> Result<GirOutput, GirError> {
+        // The span opens before input gathering so the planning work
+        // itself is accounted to the `planner` phase, not lost between
+        // phases (the EXPLAIN report asserts phases cover the latency).
+        let mut planner_span = tracing::span!("planner");
+        let pstats = self.prune.stats();
+        let inputs = PlanInputs {
+            n: tree.len() as usize,
+            d: self.scoring.dim(),
+            method,
+            kind: req.kind,
+            skyline: pstats.skyline_size,
+            index_built: self.prune.is_built(),
+            shards: 1,
+        };
+        let decision = self.planner.plan(&inputs);
+        record_planner_phase(&mut planner_span, &decision);
+        drop(planner_span);
+        if decision.forced && decision.path == MissPath::IndexedRecompute {
+            // A *forced* recompute must measure the cold-Phase-2 cost in
+            // isolation (the same technique the cold_gir bench uses), so
+            // the shared systems are dropped before dispatch. The
+            // adaptive planner never clears: an `IndexedRecompute`
+            // prediction just means it expects the lookup to miss.
+            self.prune.clear_phase2();
+        }
+        // Whether the dispatch actually reused a Phase-2 system is read
+        // off the index's hit counter around the call. Concurrent
+        // requests can interleave their deltas — acceptable noise for
+        // calibration, and exact under `threads: 1`.
+        let watch_reuse = decision.path != MissPath::Cold && method != Method::FullScan;
+        let h0 = watch_reuse.then(|| self.prune.phase2_hits());
+        let engine = GirEngine::with_scoring(tree, self.scoring.clone());
+        let compute_span = tracing::span!(
+            "compute",
+            method = method.label(),
+            path = decision.path.label()
+        );
+        let t0 = Instant::now();
+        let computed = match (decision.path, req.kind) {
+            (MissPath::Cold, RegionKind::Gir) => engine.gir(q, req.k, method),
+            (MissPath::Cold, RegionKind::GirStar) => engine.gir_star(q, req.k, method),
+            (MissPath::Sharded, kind) => {
+                // The degenerate one-view sharded plan: same merge and
+                // per-shard Phase-2 machinery as a real fan-out, proven
+                // pointwise identical to the single-tree paths.
+                let view = ShardView {
+                    tree,
+                    index: &self.prune,
+                };
+                match kind {
+                    RegionKind::Gir => {
+                        GirEngine::gir_sharded(&[view], &self.scoring, q, req.k, method)
+                    }
+                    RegionKind::GirStar => {
+                        GirEngine::gir_star_sharded(&[view], &self.scoring, q, req.k, method)
+                    }
+                }
+            }
+            (_, RegionKind::Gir) => engine.gir_indexed(q, req.k, method, &self.prune),
+            (_, RegionKind::GirStar) => engine.gir_star_indexed(q, req.k, method, &self.prune),
+        };
+        let actual_ns = t0.elapsed().as_nanos() as u64;
+        drop(compute_span);
+        // Feeding the measured latency back is real per-miss work
+        // (model update + counter publishes); it gets its own phase so
+        // EXPLAIN shows the calibrator's cost explicitly.
+        let calibrate_span = tracing::span!("calibrate", actual_us = actual_ns as f64 / 1e3);
+        let reused = h0.map(|h| self.prune.phase2_hits() > h);
+        let outcome = self.planner.observe(&decision, actual_ns, reused);
+        if tracing::enabled() {
+            crate::stats::publish_planner_decision(&decision, actual_ns, outcome);
+        }
+        drop(calibrate_span);
+        computed
+    }
+
+    /// Planner decision counters (per-path tallies, probes, forced
+    /// dispatches, calibrator drift/refit activity).
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.stats()
+    }
+
+    /// The planner's forced-path override, if any (config field or
+    /// `GIR_FORCE_PATH`).
+    pub fn forced_path(&self) -> Option<MissPath> {
+        self.planner.forced()
     }
 
     /// Applies a batch of updates under the tree's write lock and

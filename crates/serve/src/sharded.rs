@@ -25,9 +25,8 @@
 //! calls them while holding the tree's write lock, so concurrent
 //! lookups cannot interleave with a half-applied update.
 
-use gir_core::{
-    BatchOutcome, CacheKey, DeltaBatch, GirCache, GirRegion, RegionKind, RepairRequest,
-};
+use gir_core::{BatchOutcome, CacheKey, DeltaBatch, GirCache, GirRegion, RepairRequest};
+#[cfg(test)]
 use gir_geometry::vector::PointD;
 use gir_query::{Record, ScoringFunction, TopKResult};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -222,26 +221,32 @@ impl ShardedGirCache {
         batch: &DeltaBatch,
         repair: impl Fn(&RepairRequest<'_>) -> Option<GirRegion> + Sync,
     ) -> BatchOutcome {
-        let outs = gir_core::pool::fan_out((0..self.shards.len()).collect(), |_, si: usize| {
-            // The epoch bracket spans this shard's whole pass: metric
-            // readers retry while it is open, so a snapshot reflects
-            // either none or all of this batch's deltas on the shard.
-            let scope = self.scopes.begin(si);
-            let shard_out = self.shards[si]
-                .cache
-                .write()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .apply_batch(batch, &mut |req: &RepairRequest<'_>| repair(req));
-            let classified =
-                shard_out.evicted + shard_out.repaired + shard_out.shrunk + shard_out.untouched;
-            scope.add(0, classified as u64);
-            scope.add(1, shard_out.evicted as u64);
-            scope.add(2, shard_out.repaired as u64);
-            scope.add(3, shard_out.shrunk as u64);
-            scope.add(4, shard_out.untouched as u64);
-            drop(scope);
-            shard_out
-        });
+        // Work measure: each shard pass classifies its entries against
+        // every delta in the batch, so deltas × shards approximates the
+        // classification count (`GIR_POOL_MIN_ITEMS` keeps trivial
+        // batches inline).
+        let work = batch.len().saturating_mul(self.shards.len());
+        let outs =
+            gir_core::pool::fan_out((0..self.shards.len()).collect(), work, |_, si: usize| {
+                // The epoch bracket spans this shard's whole pass: metric
+                // readers retry while it is open, so a snapshot reflects
+                // either none or all of this batch's deltas on the shard.
+                let scope = self.scopes.begin(si);
+                let shard_out = self.shards[si]
+                    .cache
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .apply_batch(batch, &mut |req: &RepairRequest<'_>| repair(req));
+                let classified =
+                    shard_out.evicted + shard_out.repaired + shard_out.shrunk + shard_out.untouched;
+                scope.add(0, classified as u64);
+                scope.add(1, shard_out.evicted as u64);
+                scope.add(2, shard_out.repaired as u64);
+                scope.add(3, shard_out.shrunk as u64);
+                scope.add(4, shard_out.untouched as u64);
+                drop(scope);
+                shard_out
+            });
         let mut out = BatchOutcome::default();
         for shard_out in &outs {
             out.merge(shard_out);
@@ -310,43 +315,6 @@ impl ShardedGirCache {
     /// True when no shard holds an entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-}
-
-/// Deprecated pre-[`CacheKey`] entry points, kept as thin shims for one
-/// release. New code builds a key and calls [`ShardedGirCache::get`] /
-/// [`ShardedGirCache::admit`].
-mod compat {
-    #![allow(deprecated)]
-
-    use super::*;
-
-    impl ShardedGirCache {
-        /// Deprecated alias for [`ShardedGirCache::get`].
-        #[deprecated(since = "0.2.0", note = "build a `CacheKey` and call `get`")]
-        pub fn lookup(
-            &self,
-            w: &PointD,
-            k: usize,
-            scoring: &ScoringFunction,
-            kind: RegionKind,
-        ) -> Option<Vec<Record>> {
-            self.get(&CacheKey::new(w, k, scoring).kind(kind))
-        }
-
-        /// Deprecated alias for [`ShardedGirCache::admit`].
-        #[deprecated(since = "0.2.0", note = "build a `CacheKey` and call `admit`")]
-        pub fn insert(
-            &self,
-            region: GirRegion,
-            result: TopKResult,
-            scoring: ScoringFunction,
-            kind: RegionKind,
-        ) -> bool {
-            let k = result.len();
-            let w = region.query.clone();
-            self.admit(&CacheKey::new(&w, k, &scoring).kind(kind), region, result)
-        }
     }
 }
 

@@ -78,6 +78,49 @@ pub(crate) fn publish_to_registry(labeled: &[(u64, bool)]) {
     reg.counter("serve.misses").add(labeled.len() as u64 - hits);
 }
 
+/// Publishes one planner decision to the global metrics registry: the
+/// `planner.*` counter family (decision totals, per-path tallies,
+/// probes, forced dispatches, calibrator drift/refit activity) plus
+/// predicted/actual latency histograms whose divergence exposes model
+/// error. Callers guard on [`tracing::enabled`] — with no collector
+/// installed the planner costs nothing here. Shared by the single-tree
+/// and sharded servers.
+pub fn publish_planner_decision(
+    decision: &gir_core::plan::Decision,
+    actual_ns: u64,
+    outcome: gir_core::plan::ObserveOutcome,
+) {
+    use gir_core::plan::MissPath;
+    use gir_obs::{Registry, LATENCY_BUCKETS_US};
+    let reg = Registry::global();
+    reg.counter("planner.decisions").inc();
+    reg.counter(match decision.path {
+        MissPath::Cold => "planner.path.cold",
+        MissPath::IndexedRecompute => "planner.path.indexed_recompute",
+        MissPath::IndexedReuse => "planner.path.indexed_reuse",
+        MissPath::Sharded => "planner.path.sharded",
+    })
+    .inc();
+    if decision.forced {
+        reg.counter("planner.forced").inc();
+    }
+    if decision.probe {
+        reg.counter("planner.probes").inc();
+    }
+    if outcome.drifted {
+        reg.counter("planner.drifts").inc();
+    }
+    if outcome.refits > 0 {
+        reg.counter("planner.refits").add(outcome.refits as u64);
+    }
+    if decision.predicted_ns.is_finite() {
+        reg.histogram("planner.predicted.us", LATENCY_BUCKETS_US)
+            .observe((decision.predicted_ns / 1e3) as u64);
+    }
+    reg.histogram("planner.actual.us", LATENCY_BUCKETS_US)
+        .observe(actual_ns / 1000);
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;

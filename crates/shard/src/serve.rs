@@ -25,8 +25,10 @@
 use crate::dataset::ShardedDataset;
 use crate::placement::Placement;
 use gir_core::fp::fp_repair;
+use gir_core::plan::{MissPath, PlanInputs, Planner, PlannerStats};
 use gir_core::{
-    fp_star_repair, CacheKey, GirRegion, Method, PruneIndexStats, RegionKind, RepairRequest,
+    fp_star_repair, CacheKey, GirEngine, GirError, GirOutput, GirRegion, Method, PruneIndexStats,
+    RegionKind, RepairRequest,
 };
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_query::{QueryVector, Record, ScoringFunction};
@@ -57,6 +59,13 @@ pub struct ShardedServerConfig {
     /// Phase-2 method for misses. Non-linear scoring functions fall
     /// back to [`Method::SkylinePruning`] automatically (§7.2).
     pub method: Method,
+    /// Pins every planned miss to one [`MissPath`] (config-level twin
+    /// of `GIR_FORCE_PATH`; this field wins when both are set). With
+    /// more than one data shard only [`MissPath::Sharded`] is feasible
+    /// — there is no single tree to dispatch the others against — so an
+    /// infeasible force falls back to the sharded plan; at
+    /// `data_shards: 1` every path is available.
+    pub force_path: Option<MissPath>,
 }
 
 impl Default for ShardedServerConfig {
@@ -71,6 +80,7 @@ impl Default for ShardedServerConfig {
             cache_shards: 16,
             cache_capacity: 32,
             method: Method::FacetPruning,
+            force_path: None,
         }
     }
 }
@@ -79,6 +89,7 @@ impl Default for ShardedServerConfig {
 pub struct ShardedGirServer {
     data: RwLock<ShardedDataset>,
     cache: ShardedGirCache,
+    planner: Planner,
     scoring: ScoringFunction,
     cfg: ShardedServerConfig,
 }
@@ -126,9 +137,14 @@ impl ShardedGirServer {
     pub fn new(data: ShardedDataset, scoring: ScoringFunction, cfg: ShardedServerConfig) -> Self {
         assert_eq!(scoring.dim(), data.dim(), "scoring dimensionality mismatch");
         let cache = ShardedGirCache::new(cfg.cache_shards, cfg.cache_capacity);
+        let planner = match cfg.force_path {
+            Some(p) => Planner::with_forced(Some(p)),
+            None => Planner::new(),
+        };
         ShardedGirServer {
             data: RwLock::new(data),
             cache,
+            planner,
             scoring,
             cfg,
         }
@@ -207,7 +223,10 @@ impl ShardedGirServer {
         // batches, never inside one.
         let data = self.read_data();
         let data_ref: &ShardedDataset = &data;
-        let out = execute_batch(requests, self.cfg.threads, method.label(), |req| {
+        let work = requests
+            .len()
+            .saturating_mul(data_ref.len().max(1) as usize);
+        let out = execute_batch(requests, work, self.cfg.threads, method.label(), |req| {
             self.serve_one(data_ref, req, method)
         });
         drop(data);
@@ -231,18 +250,106 @@ impl ShardedGirServer {
                     explain: None,
                 };
             }
-            let compute_span = tracing::span!("compute", method = method.label());
             let q = QueryVector::new(req.weights.coords().to_vec());
-            let computed = match req.kind {
-                RegionKind::Gir => data.gir(&self.scoring, &q, req.k, method),
-                RegionKind::GirStar => data.gir_star(&self.scoring, &q, req.k, method),
-            };
-            drop(compute_span);
+            let computed = self.serve_miss_planned(data, &q, req, method);
             compute_response(computed, t0, |out| {
                 let _admit_span = tracing::span!("admit");
                 self.cache.admit(&key, out.region, out.result);
             })
         })
+    }
+
+    /// One planned miss over the partitioned dataset. With `S > 1` the
+    /// planner can only pick the sharded fan-out (the decision is still
+    /// recorded — the EXPLAIN phase and `planner.*` counters stay
+    /// uniform across server types); at `S = 1` the single shard is a
+    /// plain tree + index pair, and the full cold / indexed / sharded
+    /// choice opens up exactly as on [`gir_serve::GirServer`].
+    fn serve_miss_planned(
+        &self,
+        data: &ShardedDataset,
+        q: &QueryVector,
+        req: &TopKRequest,
+        method: Method,
+    ) -> Result<GirOutput, GirError> {
+        // Opened before input gathering so planning work lands inside
+        // the `planner` phase (see `GirServer::serve_miss_planned`).
+        let mut planner_span = tracing::span!("planner");
+        let views = data.views();
+        let skyline: usize = views.iter().map(|v| v.index.stats().skyline_size).sum();
+        let built = views.iter().any(|v| v.index.is_built());
+        let inputs = PlanInputs {
+            n: data.len() as usize,
+            d: self.scoring.dim(),
+            method,
+            kind: req.kind,
+            skyline,
+            index_built: built,
+            shards: data.num_shards(),
+        };
+        let decision = self.planner.plan(&inputs);
+        gir_serve::record_planner_phase(&mut planner_span, &decision);
+        drop(planner_span);
+        if decision.forced && decision.path == MissPath::IndexedRecompute {
+            // Forced recompute isolates the cold-Phase-2 cost: drop
+            // every shard's shared systems first (see GirServer).
+            for v in &views {
+                v.index.clear_phase2();
+            }
+        }
+        let watch_reuse = decision.path != MissPath::Cold && method != Method::FullScan;
+        let phase2_hits = |views: &[gir_core::ShardView<'_>]| -> u64 {
+            views.iter().map(|v| v.index.phase2_hits()).sum()
+        };
+        let h0 = watch_reuse.then(|| phase2_hits(&views));
+        let compute_span = tracing::span!(
+            "compute",
+            method = method.label(),
+            path = decision.path.label()
+        );
+        let t0 = Instant::now();
+        let computed = match (decision.path, req.kind) {
+            (MissPath::Sharded, RegionKind::Gir) => data.gir(&self.scoring, q, req.k, method),
+            (MissPath::Sharded, RegionKind::GirStar) => {
+                data.gir_star(&self.scoring, q, req.k, method)
+            }
+            // Single-tree paths: only reachable at S = 1 (the planner
+            // marks them infeasible otherwise), where shard 0 holds the
+            // whole dataset.
+            (path, kind) => {
+                let engine = GirEngine::with_scoring(data.shard_tree(0), self.scoring.clone());
+                match (path, kind) {
+                    (MissPath::Cold, RegionKind::Gir) => engine.gir(q, req.k, method),
+                    (MissPath::Cold, RegionKind::GirStar) => engine.gir_star(q, req.k, method),
+                    (_, RegionKind::Gir) => engine.gir_indexed(q, req.k, method, views[0].index),
+                    (_, RegionKind::GirStar) => {
+                        engine.gir_star_indexed(q, req.k, method, views[0].index)
+                    }
+                }
+            }
+        };
+        let actual_ns = t0.elapsed().as_nanos() as u64;
+        drop(compute_span);
+        let calibrate_span = tracing::span!("calibrate", actual_us = actual_ns as f64 / 1e3);
+        let reused = h0.map(|h| phase2_hits(&views) > h);
+        let outcome = self.planner.observe(&decision, actual_ns, reused);
+        if tracing::enabled() {
+            gir_serve::publish_planner_decision(&decision, actual_ns, outcome);
+        }
+        drop(calibrate_span);
+        computed
+    }
+
+    /// Planner decision counters (per-path tallies, probes, forced
+    /// dispatches, calibrator drift/refit activity).
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.stats()
+    }
+
+    /// The planner's forced-path override, if any (config field or
+    /// `GIR_FORCE_PATH`).
+    pub fn forced_path(&self) -> Option<MissPath> {
+        self.planner.forced()
     }
 
     /// Applies a batch of updates under the dataset write lock and

@@ -69,6 +69,7 @@ fn server_cfg(s: usize, p: Placement) -> ShardedServerConfig {
         cache_shards: 4,
         cache_capacity: 16,
         method: Method::FacetPruning,
+        force_path: None,
     }
 }
 

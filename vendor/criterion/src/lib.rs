@@ -5,7 +5,12 @@
 //! benchmark groups and the `sample_size` / `measurement_time` /
 //! `warm_up_time` knobs — over a plain wall-clock loop. No statistical
 //! analysis or HTML reports; each benchmark prints `name  mean ± spread`
-//! from `sample_size` timed batches.
+//! from `sample_size` timed batches. The reported mean is a *trimmed*
+//! mean (the top and bottom sixth of samples are dropped when at least
+//! six were collected): benchmark rows are compared against each other
+//! by `perf_gate` with tight tolerances, and one scheduler burst landing
+//! in one row's timing window but not its neighbour's would otherwise
+//! dominate the comparison.
 
 use std::time::{Duration, Instant};
 
@@ -167,40 +172,43 @@ impl Bencher {
     }
 
     fn summary(&self, id: &str) -> Option<BenchSummary> {
-        if self.samples_ns.is_empty() {
-            return None;
-        }
-        let n = self.samples_ns.len() as f64;
-        let mean = self.samples_ns.iter().sum::<f64>() / n;
-        let var = self
-            .samples_ns
-            .iter()
-            .map(|s| (s - mean) * (s - mean))
-            .sum::<f64>()
-            / n;
+        let (mean, stddev) = trimmed_stats(&self.samples_ns)?;
         Some(BenchSummary {
             id: id.to_string(),
             mean_ns: mean,
-            stddev_ns: var.sqrt(),
+            stddev_ns: stddev,
             samples: self.samples_ns.len(),
         })
     }
 
     fn report(&self, id: &str) {
-        if self.samples_ns.is_empty() {
-            println!("{id:<40} (no samples)");
-            return;
+        match trimmed_stats(&self.samples_ns) {
+            None => println!("{id:<40} (no samples)"),
+            Some((mean, stddev)) => {
+                println!("{id:<40} {:>12} ± {:>10}", fmt_ns(mean), fmt_ns(stddev));
+            }
         }
-        let n = self.samples_ns.len() as f64;
-        let mean = self.samples_ns.iter().sum::<f64>() / n;
-        let var = self
-            .samples_ns
-            .iter()
-            .map(|s| (s - mean) * (s - mean))
-            .sum::<f64>()
-            / n;
-        println!("{id:<40} {:>12} ± {:>10}", fmt_ns(mean), fmt_ns(var.sqrt()));
     }
+}
+
+/// Mean and standard deviation over the samples with the top and bottom
+/// sixth dropped (outlier trim; everything is kept below six samples).
+fn trimmed_stats(samples: &[f64]) -> Option<(f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let trim = if sorted.len() >= 6 {
+        sorted.len() / 6
+    } else {
+        0
+    };
+    let kept = &sorted[trim..sorted.len() - trim];
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let var = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    Some((mean, var.sqrt()))
 }
 
 fn fmt_ns(ns: f64) -> String {
