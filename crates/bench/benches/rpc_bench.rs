@@ -1,0 +1,213 @@
+//! Distribution-tier transport cost model: per-call round-trip time of
+//! the framed shard protocol over the loopback channel
+//! (`ThreadEndpoint`, in-memory byte queue) vs the Unix socketpair
+//! (`UdsEndpoint`, every frame crosses the kernel).
+//!
+//! Not a paper figure — the paper's engine is single-process; this
+//! prices the ROADMAP's scale-out step (ARCHITECTURE.md
+//! "Distribution") and backs the README's loopback-vs-UDS RTT table.
+//! Three operations bracket the payload spectrum:
+//!
+//! * `ping` — empty request, empty response: pure framing + transport
+//!   RTT, the floor every RPC pays;
+//! * `topk` — small request (d weights + k), ranked-list response: the
+//!   fan-out half of a cache miss;
+//! * `phase2` — the merged ranking ships *to* the worker and a
+//!   half-space system ships back: the heaviest per-query payload.
+//!
+//! Writes machine-readable rows to `BENCH_rpc.json` (uploaded as a CI
+//! artifact next to the other BENCH files).
+//!
+//! Knobs: `GIR_N` (records loaded into the worker, default 4000),
+//! `GIR_RPC_CALLS` (timed calls per op, default 400), `GIR_SEED`.
+
+use gir_bench::report::Table;
+use gir_core::{Method, RegionKind, ShardRequest, ShardResponse};
+use gir_datagen::{synthetic, Distribution};
+use gir_query::{QueryVector, Record, ScoringFunction};
+#[cfg(unix)]
+use gir_rpc::UdsEndpoint;
+use gir_rpc::{ShardEndpoint, ThreadEndpoint};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// p50 / p95 / mean over per-call durations, in microseconds.
+struct Stats {
+    p50_us: f64,
+    p95_us: f64,
+    mean_us: f64,
+}
+
+fn stats(mut samples: Vec<Duration>) -> Stats {
+    samples.sort_unstable();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let pct = |p: f64| us(samples[((samples.len() - 1) as f64 * p) as usize]);
+    let mean = samples.iter().map(|d| us(*d)).sum::<f64>() / samples.len() as f64;
+    Stats {
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        mean_us: mean,
+    }
+}
+
+/// A response-shape check attached to each timed operation.
+type RespCheck<'a> = &'a dyn Fn(&ShardResponse) -> bool;
+
+/// Runs `calls` timed round-trips of `req` (after one untimed warm-up)
+/// and checks every response against `ok`.
+fn time_calls(
+    ep: &mut dyn ShardEndpoint,
+    req: &ShardRequest,
+    calls: usize,
+    ok: RespCheck,
+) -> Stats {
+    let warm = ep.call(req, TIMEOUT).expect("warm-up call");
+    assert!(ok(&warm), "unexpected warm-up response: {warm:?}");
+    let mut samples = Vec::with_capacity(calls);
+    for _ in 0..calls {
+        let start = Instant::now();
+        let resp = ep.call(req, TIMEOUT).expect("rpc call");
+        samples.push(start.elapsed());
+        assert!(ok(&resp), "unexpected response: {resp:?}");
+    }
+    stats(samples)
+}
+
+/// Loads the worker behind `ep` as the sole shard of a 1-shard cluster
+/// and measures the three bracket operations.
+fn run_transport(
+    transport: &str,
+    mut ep: Box<dyn ShardEndpoint>,
+    data: &[Record],
+    d: usize,
+    calls: usize,
+    table: &mut Table,
+    json_rows: &mut Vec<String>,
+) {
+    let load = ShardRequest::Load {
+        shard: 0,
+        num_shards: 1,
+        placement: 0,
+        scoring: ScoringFunction::linear(d),
+        epoch: 0,
+        records: data.to_vec(),
+    };
+    match ep.call(&load, TIMEOUT).expect("load") {
+        ShardResponse::Loaded { epoch: 0 } => {}
+        other => panic!("unexpected load response: {other:?}"),
+    }
+
+    let k = 8u32;
+    let q = QueryVector::new(vec![0.55, 0.62, 0.48]);
+    let topk = ShardRequest::TopK {
+        weights: q.weights.clone(),
+        k,
+    };
+    // With one shard the worker's ranking *is* the merged ranking, so
+    // it seeds the Phase-2 payload exactly like the coordinator would.
+    let ranked = match ep.call(&topk, TIMEOUT).expect("seed topk") {
+        ShardResponse::Ranked { ranked, .. } => ranked,
+        other => panic!("unexpected topk response: {other:?}"),
+    };
+    let phase2 = ShardRequest::Phase2 {
+        kind: RegionKind::Gir,
+        method: Method::FacetPruning,
+        weights: q.weights.clone(),
+        k,
+        ranked,
+    };
+
+    let ops: [(&str, ShardRequest, RespCheck); 3] = [
+        ("ping", ShardRequest::Ping, &|r| {
+            matches!(r, ShardResponse::Pong)
+        }),
+        (
+            "topk",
+            topk,
+            &|r| matches!(r, ShardResponse::Ranked { ranked, .. } if ranked.len() == k as usize),
+        ),
+        (
+            "phase2",
+            phase2,
+            &|r| matches!(r, ShardResponse::System { halfspaces, .. } if !halfspaces.is_empty()),
+        ),
+    ];
+    for (op, req, ok) in ops {
+        let s = time_calls(ep.as_mut(), &req, calls, ok);
+        table.row(vec![
+            transport.into(),
+            op.into(),
+            format!("{:.1}", s.p50_us),
+            format!("{:.1}", s.p95_us),
+            format!("{:.1}", s.mean_us),
+        ]);
+        json_rows.push(format!(
+            "{{\"transport\":\"{transport}\",\"op\":\"{op}\",\"calls\":{calls},\
+             \"p50_us\":{:.2},\"p95_us\":{:.2},\"mean_us\":{:.2}}}",
+            s.p50_us, s.p95_us, s.mean_us
+        ));
+    }
+    ep.shutdown();
+}
+
+fn main() {
+    let d = 3;
+    let n = env_usize("GIR_N", 4_000);
+    let calls = env_usize("GIR_RPC_CALLS", 400);
+    let seed = env_u64("GIR_SEED", 0xBE7C);
+    let data = synthetic(Distribution::Independent, n, d, seed.wrapping_add(1));
+
+    println!("transport cost model  (IND, n={n}, d={d}, {calls} calls/op, seed {seed})\n");
+    let mut table = Table::new(&["transport", "op", "p50 µs", "p95 µs", "mean µs"]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    run_transport(
+        "loopback",
+        Box::new(ThreadEndpoint::spawn()),
+        &data,
+        d,
+        calls,
+        &mut table,
+        &mut json_rows,
+    );
+    #[cfg(unix)]
+    run_transport(
+        "uds",
+        Box::new(UdsEndpoint::spawn().expect("uds socketpair")),
+        &data,
+        d,
+        calls,
+        &mut table,
+        &mut json_rows,
+    );
+
+    table.print("per-call RTT, framed shard protocol (loopback vs kernel socketpair)");
+
+    let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
+    // Cargo runs benches with CWD = the package root; anchor the report
+    // at the workspace root so CI finds one canonical path.
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_rpc.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_rpc.json"),
+    };
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -15,10 +15,19 @@
 //!   `event.cache_miss` (fired inside `ShardedGirCache::lookup`) must
 //!   agree in spirit: nonzero, and the `span.serve` counter must show
 //!   the root request span closing;
-//! * the **miss-path planner** — every miss consults the cost model,
-//!   so `planner.decisions` must be nonzero, at least one
+//! * the **miss-path planner** (single-process snapshots only — a
+//!   distributed run fans misses out over RPC instead of a planner
+//!   dispatch) — every miss consults the cost model, so
+//!   `planner.decisions` must be nonzero, at least one
 //!   `planner.path.*` tally must account for a dispatch, and the
-//!   `planner.predicted.us` histogram must carry the predictions.
+//!   `planner.predicted.us` histogram must carry the predictions;
+//! * the **distributed tier** (only when the snapshot carries `rpc.*`
+//!   counters, i.e. `serve_workload --distributed`) — the coordinator's
+//!   liveness invariant: every attempt resolves
+//!   (`rpc.requests = rpc.responses + rpc.failures`), retries never
+//!   exceed attempts, and the transport actually carried traffic — a
+//!   registered-but-silent RPC layer (zero requests) is a dead
+//!   transport and fails the check.
 //!
 //! Exit 0 = snapshot sound; exit 1 with a reason per failed check
 //! otherwise. The JSON parsing is the same single-pass key scan
@@ -79,27 +88,58 @@ fn check(body: &str) -> Vec<String> {
             Some(_) => {}
         }
     }
-    // Miss-path planner: every miss makes a decision, and every
-    // decision lands in a per-path tally and the prediction histogram.
-    match counter(trimmed, "planner.decisions") {
-        Some(0) | None => failures.push("counter planner.decisions missing or zero".into()),
-        Some(_) => {}
+    // The rpc.* counters register only when a coordinator runs, so
+    // their presence tells the two snapshot flavors apart: a
+    // single-process run dispatches misses through the cost-model
+    // planner, a distributed run fans them out over RPC.
+    let rpc_requests = counter(trimmed, "rpc.requests");
+    if rpc_requests.is_none() {
+        // Miss-path planner: every miss makes a decision, and every
+        // decision lands in a per-path tally and the prediction
+        // histogram.
+        match counter(trimmed, "planner.decisions") {
+            Some(0) | None => failures.push("counter planner.decisions missing or zero".into()),
+            Some(_) => {}
+        }
+        let dispatched: u64 = [
+            "planner.path.cold",
+            "planner.path.indexed_recompute",
+            "planner.path.indexed_reuse",
+            "planner.path.sharded",
+        ]
+        .iter()
+        .filter_map(|k| counter(trimmed, k))
+        .sum();
+        if dispatched == 0 {
+            failures.push("no planner.path.* tally accounts for any dispatch".into());
+        }
+        match histogram_count(trimmed, "planner.predicted.us") {
+            Some(0) | None => {
+                failures.push("histogram planner.predicted.us missing or empty".into())
+            }
+            Some(_) => {}
+        }
     }
-    let dispatched: u64 = [
-        "planner.path.cold",
-        "planner.path.indexed_recompute",
-        "planner.path.indexed_reuse",
-        "planner.path.sharded",
-    ]
-    .iter()
-    .filter_map(|k| counter(trimmed, k))
-    .sum();
-    if dispatched == 0 {
-        failures.push("no planner.path.* tally accounts for any dispatch".into());
-    }
-    match histogram_count(trimmed, "planner.predicted.us") {
-        Some(0) | None => failures.push("histogram planner.predicted.us missing or empty".into()),
-        Some(_) => {}
+    // Distributed tier: the gir-obs liveness invariant must hold and
+    // the transport must have carried traffic.
+    if let Some(requests) = rpc_requests {
+        let responses = counter(trimmed, "rpc.responses").unwrap_or(0);
+        let rpc_failures = counter(trimmed, "rpc.failures").unwrap_or(0);
+        let retries = counter(trimmed, "rpc.retries").unwrap_or(0);
+        if requests == 0 {
+            failures.push("rpc.requests is zero — dead transport carried no traffic".into());
+        }
+        if requests != responses + rpc_failures {
+            failures.push(format!(
+                "rpc liveness violated: requests ({requests}) != responses ({responses}) \
+                 + failures ({rpc_failures})"
+            ));
+        }
+        if retries > requests {
+            failures.push(format!(
+                "rpc liveness violated: retries ({retries}) > requests ({requests})"
+            ));
+        }
     }
     failures
 }
@@ -183,6 +223,56 @@ mod tests {
             "\"planner.predicted.us\":{\"count\":0",
         );
         assert!(check(&s).iter().any(|f| f.contains("planner.predicted.us")));
+    }
+
+    /// Splices rpc.* counters into a [`snapshot`] body's counter
+    /// section, the way a `--distributed` run's registry reports them.
+    fn with_rpc(base: &str, requests: u64, responses: u64, failures: u64, retries: u64) -> String {
+        base.replacen(
+            "\"serve.hits\"",
+            &format!(
+                "\"rpc.requests\":{requests},\"rpc.responses\":{responses},\
+                 \"rpc.failures\":{failures},\"rpc.retries\":{retries},\
+                 \"rpc.timeouts\":0,\"rpc.rejoins\":0,\"serve.hits\""
+            ),
+            1,
+        )
+    }
+
+    #[test]
+    fn rpc_liveness_holds() {
+        // requests = responses + failures and retries ≤ requests: pass.
+        assert!(check(&with_rpc(&snapshot(40, 8), 32, 30, 2, 2)).is_empty());
+        // No rpc.* counters at all (single-process run): not enforced.
+        assert!(check(&snapshot(40, 8)).is_empty());
+        // A distributed snapshot carries no planner traffic (misses fan
+        // out over RPC, not through a planner dispatch) — the planner
+        // checks must not fire against it.
+        let s = with_rpc(&snapshot(40, 8), 32, 30, 2, 2)
+            .replace("\"planner.decisions\":8", "\"planner.decisions\":0")
+            .replace(
+                "\"planner.path.indexed_reuse\":8",
+                "\"planner.path.indexed_reuse\":0",
+            );
+        assert!(check(&s).is_empty());
+    }
+
+    #[test]
+    fn rpc_imbalance_fails() {
+        // An attempt that never resolved: requests > responses + failures.
+        let failures = check(&with_rpc(&snapshot(40, 8), 32, 30, 1, 0));
+        assert!(failures.iter().any(|f| f.contains("rpc liveness")));
+        // Retries cannot outnumber the attempts they caused.
+        let failures = check(&with_rpc(&snapshot(40, 8), 4, 4, 0, 9));
+        assert!(failures.iter().any(|f| f.contains("retries (9)")));
+    }
+
+    #[test]
+    fn dead_transport_fails() {
+        // The rpc tier registered its counters but no request ever
+        // crossed the wire: a wired-up but dead transport.
+        let failures = check(&with_rpc(&snapshot(40, 8), 0, 0, 0, 0));
+        assert!(failures.iter().any(|f| f.contains("dead transport")));
     }
 
     #[test]

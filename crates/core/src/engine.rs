@@ -62,6 +62,15 @@ pub enum GirError {
         /// The offending method.
         method: Method,
     },
+    /// A distributed shard worker could not answer (dead, hung past
+    /// its deadline, or still rejoining). Degrades the one response
+    /// that needed the shard, never the batch.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: usize,
+        /// Why the call failed (timeout, closed transport, …).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for GirError {
@@ -74,6 +83,9 @@ impl std::fmt::Display for GirError {
                 "{} requires a linear scoring function (paper §7.2)",
                 method.label()
             ),
+            GirError::ShardUnavailable { shard, reason } => {
+                write!(f, "shard {shard} unavailable: {reason}")
+            }
         }
     }
 }

@@ -61,6 +61,9 @@ pub use mirror::TreeMirror;
 pub use plan::{Decision, MissPath, ObserveOutcome, PlanInputs, Planner, PlannerStats};
 pub use prune::{ExcludedSkyline, PruneIndex, PruneIndexStats, PruneState};
 pub use region::{BoundaryEvent, GirRegion, ReducedGir, RegionKind};
-pub use sharded::{gir_sharded, gir_star_sharded, topk_sharded, ShardView};
+pub use sharded::{
+    gir_sharded, gir_star_sharded, merge_ranked_lists, shard_gir_system, shard_star_system,
+    topk_sharded, GirPhase2Ctx, ShardView, StarPhase2Ctx,
+};
 pub use viz::{slide_bar_bounds, SlideBarBounds};
-pub use wire::{SnapshotState, WalBatch, WalOp, WireError};
+pub use wire::{ShardRequest, ShardResponse, SnapshotState, WalBatch, WalOp, WireError};

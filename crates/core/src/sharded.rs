@@ -75,15 +75,24 @@ pub struct ShardView<'a> {
 /// Order is `(score desc, id desc)` — exactly the pop order of the
 /// single-tree BRS heap on record ties, so the merged result (and its
 /// `p_k`) is bit-identical to `brs_topk` over one tree holding the
-/// union.
-fn merge_ranked(runs: &[(TopKResult, Frontier<'_>)], k: usize) -> Vec<(Record, f64)> {
+/// union. This is the same merge the distributed coordinator
+/// (`gir-rpc`) runs over worker-returned rankings, which is what makes
+/// the two execution plans bit-for-bit comparable.
+pub fn merge_ranked_lists<'a>(
+    runs: impl IntoIterator<Item = &'a TopKResult>,
+    k: usize,
+) -> Vec<(Record, f64)> {
     let mut merged: Vec<(Record, f64)> = runs
-        .iter()
-        .flat_map(|(res, _)| res.ranked.iter().cloned())
+        .into_iter()
+        .flat_map(|res| res.ranked.iter().cloned())
         .collect();
     merged.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.0.id.cmp(&a.0.id)));
     merged.truncate(k);
     merged
+}
+
+fn merge_ranked(runs: &[(TopKResult, Frontier<'_>)], k: usize) -> Vec<(Record, f64)> {
+    merge_ranked_lists(runs.iter().map(|(res, _)| res), k)
 }
 
 /// Global top-k over S shards by merging per-shard BRS frontiers (the
@@ -121,6 +130,107 @@ fn snapshot_shards(shards: &[ShardView<'_>]) -> Result<ShardSnapshots, GirError>
         states.push(state);
     }
     Ok((states, mirrors))
+}
+
+/// Query-invariant Phase-2 context derived once from the merged global
+/// result: the pivot, the cache key, and the membership set every
+/// shard's sweep consults. Building it in one place keeps the
+/// in-process fan-out and the distributed worker byte-identical.
+pub struct GirPhase2Ctx {
+    /// The global pivot `p_k`.
+    pub kth: Record,
+    /// Result ids, sorted — the GIR Phase-2 cache key.
+    pub ids_sorted: Vec<u64>,
+    /// Result ids as a membership set.
+    pub result_id_set: HashSet<u64>,
+}
+
+impl GirPhase2Ctx {
+    /// Derives the context from a non-empty merged result.
+    pub fn new(result: &TopKResult) -> GirPhase2Ctx {
+        let result_ids = result.ids();
+        let mut ids_sorted = result_ids.clone();
+        ids_sorted.sort_unstable();
+        GirPhase2Ctx {
+            kth: result.kth().clone(),
+            ids_sorted,
+            result_id_set: result_ids.iter().copied().collect(),
+        }
+    }
+}
+
+/// One shard's complete GIR Phase-2 stage: frontier re-seeding, the
+/// Phase-2 cache probe, the method sweep on a miss, and the admit —
+/// exactly the per-shard closure body of [`gir_sharded`], extracted so
+/// a distributed shard worker (`gir-rpc`) runs *this* code against its
+/// own tree and index and stays bit-identical to the in-process plan.
+///
+/// Returns `(system, structure_size, cache_hit)`.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_gir_system<'a>(
+    shard: ShardView<'_>,
+    state: &PruneState,
+    mirror: &TreeMirror,
+    scoring: &ScoringFunction,
+    q: &QueryVector,
+    method: Method,
+    result: &TopKResult,
+    ctx: &GirPhase2Ctx,
+    shard_res: &'a TopKResult,
+    mut frontier: Frontier<'a>,
+) -> Result<(Arc<Vec<HalfSpace>>, usize, bool), GirError> {
+    // Shard-ranked records that did not make the global result are
+    // non-result candidates the retained frontier no longer covers
+    // (BRS popped them): re-seed them before the sweep. Every
+    // global-result member of this shard *was* popped by the shard's
+    // own top-k (its score is ≥ the global k-th score), so the
+    // adjusted frontier covers exactly `D_s \ R`.
+    for (rec, score) in &shard_res.ranked {
+        if !ctx.result_id_set.contains(&rec.id) {
+            frontier
+                .heap
+                .push(FrontierEntry::Rec { rec, score: *score });
+        }
+    }
+
+    if method == Method::FullScan {
+        let (hs, st) = fullscan_phase2(shard.tree, scoring, &ctx.kth, &ctx.result_id_set)?;
+        return Ok((Arc::new(hs), st.structure_size, false));
+    }
+
+    // The per-shard Phase-2 system depends only on (method, global
+    // result set, p_k): reuse the shard's cached system when the
+    // ranking recurs (maintained exactly under this shard's deltas).
+    let lookup = shard.index.phase2_lookup(
+        RegionKind::Gir,
+        method,
+        &ctx.ids_sorted,
+        ctx.kth.id,
+        scoring,
+    );
+    let cached = lookup.is_some();
+    let (phase2, structure) = match lookup {
+        Some(hit) => hit,
+        None => {
+            let (hs, structure) = shard_phase2(
+                scoring, q, method, state, mirror, &ctx.kth, result, frontier,
+            );
+            let hs = Arc::new(hs);
+            shard.index.phase2_admit(
+                RegionKind::Gir,
+                method,
+                ctx.ids_sorted.clone(),
+                ctx.kth.id,
+                scoring,
+                scoring.transform_point(&ctx.kth.attrs),
+                Vec::new(),
+                hs.clone(),
+                structure,
+            );
+            (hs, structure)
+        }
+    };
+    Ok((phase2, structure, cached))
 }
 
 /// Computes the global top-k and its GIR over a sharded dataset (see
@@ -179,11 +289,7 @@ pub fn gir_sharded(
     let phase1_span = tracing::span!("phase1", k = k);
     let mut halfspaces = ordering_halfspaces(&result, scoring);
     drop(phase1_span);
-    let kth = result.kth().clone();
-    let result_ids = result.ids();
-    let mut ids_sorted = result_ids.clone();
-    ids_sorted.sort_unstable();
-    let result_id_set: HashSet<u64> = result_ids.iter().copied().collect();
+    let ctx = GirPhase2Ctx::new(&result);
 
     // The S Phase-2 sweeps are independent (each bounds `p_k` against
     // its own `D_s \ R` only): fan them out, then accumulate the
@@ -194,67 +300,24 @@ pub fn gir_sharded(
     let shard_outputs = crate::pool::fan_out(
         tasks,
         work,
-        |si, (((shard, state), mirror), (shard_res, mut frontier))| {
+        |si, (((shard, state), mirror), (shard_res, frontier))| {
             let mut shard_span =
                 tracing::span!("shard_phase2", shard = si, method = method.label());
-            // Shard-ranked records that did not make the global result are
-            // non-result candidates the retained frontier no longer covers
-            // (BRS popped them): re-seed them before the sweep. Every
-            // global-result member of this shard *was* popped by the
-            // shard's own top-k (its score is ≥ the global k-th score), so
-            // the adjusted frontier covers exactly `D_s \ R`.
-            for (rec, score) in &shard_res.ranked {
-                if !result_id_set.contains(&rec.id) {
-                    frontier
-                        .heap
-                        .push(FrontierEntry::Rec { rec, score: *score });
-                }
+            let (phase2, structure, cached) = shard_gir_system(
+                *shard,
+                state.as_ref(),
+                mirror.as_ref(),
+                scoring,
+                q,
+                method,
+                &result,
+                &ctx,
+                &shard_res,
+                frontier,
+            )?;
+            if method != Method::FullScan {
+                shard_span.record("cached", cached);
             }
-
-            // The per-shard Phase-2 system depends only on (method, global
-            // result set, p_k): reuse the shard's cached system when the
-            // ranking recurs (maintained exactly under this shard's deltas).
-            let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = if method == Method::FullScan {
-                let (hs, st) = fullscan_phase2(shard.tree, scoring, &kth, &result_id_set)?;
-                (Arc::new(hs), st.structure_size)
-            } else {
-                let lookup = shard.index.phase2_lookup(
-                    RegionKind::Gir,
-                    method,
-                    &ids_sorted,
-                    kth.id,
-                    scoring,
-                );
-                shard_span.record("cached", lookup.is_some());
-                match lookup {
-                    Some(hit) => hit,
-                    None => {
-                        let (hs, structure) = shard_phase2(
-                            scoring,
-                            q,
-                            method,
-                            state.as_ref(),
-                            mirror.as_ref(),
-                            &kth,
-                            &result,
-                            frontier,
-                        );
-                        let hs = Arc::new(hs);
-                        shard.index.phase2_admit(
-                            RegionKind::Gir,
-                            method,
-                            ids_sorted.clone(),
-                            kth.id,
-                            scoring,
-                            scoring.transform_point(&kth.attrs),
-                            Vec::new(),
-                            hs.clone(),
-                            structure,
-                        );
-                        (hs, structure)
-                    }
-                }
-            };
             shard_span.record("candidates", phase2.len());
             Ok::<_, GirError>((phase2, structure))
         },
@@ -429,18 +492,7 @@ pub fn gir_star_sharded(
     let io_topk: Vec<_> = shards.iter().map(|s| s.tree.store().stats()).collect();
 
     let t1 = Instant::now();
-    // Result-side pruning is global (it only reads `R`); the per-rank
-    // transformed pivots below are both the Phase-2 input and the cache
-    // entries' maintenance state.
-    let r_minus = reduced_result(&result);
-    let pivots_t: Vec<(usize, PointD)> = r_minus
-        .iter()
-        .map(|(rank, rec)| (*rank, scoring.transform_point(&rec.attrs)))
-        .collect();
-    let kth = result.kth().clone();
-    // Rank order, not sorted: the GIR* cache key (ranks name pivots).
-    let ids_ranked = result.ids();
-    let result_id_set: HashSet<u64> = ids_ranked.iter().copied().collect();
+    let ctx = StarPhase2Ctx::new(&result, scoring);
 
     // Independent per-shard star sweeps fan out exactly as in
     // `gir_sharded`; accumulation below is in shard order, so the
@@ -449,57 +501,22 @@ pub fn gir_star_sharded(
     let shard_outputs = crate::pool::fan_out(
         tasks,
         work,
-        |si, (((shard, state), mirror), (shard_res, mut frontier))| {
+        |si, (((shard, state), mirror), (shard_res, frontier))| {
             let mut shard_span =
                 tracing::span!("shard_star_phase2", shard = si, method = method.label());
-            // Re-seed shard-ranked records that missed the global result,
-            // exactly as in `gir_sharded`: they are non-result candidates
-            // the retained frontier no longer covers.
-            for (rec, score) in &shard_res.ranked {
-                if !result_id_set.contains(&rec.id) {
-                    frontier
-                        .heap
-                        .push(FrontierEntry::Rec { rec, score: *score });
-                }
-            }
-
-            let lookup = shard.index.phase2_lookup(
-                RegionKind::GirStar,
-                method,
-                &ids_ranked,
-                kth.id,
+            let (phase2, structure, cached) = shard_star_system(
+                *shard,
+                state.as_ref(),
+                mirror.as_ref(),
                 scoring,
+                star_method,
+                method,
+                &result,
+                &ctx,
+                &shard_res,
+                frontier,
             );
-            shard_span.record("cached", lookup.is_some());
-            let (phase2, structure): (Arc<Vec<HalfSpace>>, usize) = match lookup {
-                Some(hit) => hit,
-                None => {
-                    let (hs, structure) = shard_star_phase2(
-                        scoring,
-                        star_method,
-                        state.as_ref(),
-                        mirror.as_ref(),
-                        &pivots_t,
-                        &r_minus,
-                        &result,
-                        &result_id_set,
-                        frontier,
-                    );
-                    let hs = Arc::new(hs);
-                    shard.index.phase2_admit(
-                        RegionKind::GirStar,
-                        method,
-                        ids_ranked.clone(),
-                        kth.id,
-                        scoring,
-                        scoring.transform_point(&kth.attrs),
-                        pivots_t.clone(),
-                        hs.clone(),
-                        structure,
-                    );
-                    (hs, structure)
-                }
-            };
+            shard_span.record("cached", cached);
             shard_span.record("candidates", phase2.len());
             (phase2, structure)
         },
@@ -541,6 +558,111 @@ pub fn gir_star_sharded(
         region,
         stats,
     })
+}
+
+/// Query-invariant GIR\* Phase-2 context derived once from the merged
+/// global result: the per-rank pivots `R⁻`, the rank-order cache key,
+/// and the membership set — the star counterpart of [`GirPhase2Ctx`].
+pub struct StarPhase2Ctx {
+    /// Result-side reduced result `R⁻`: `(rank, record)` pivots.
+    pub r_minus: Vec<(usize, Record)>,
+    /// Transformed per-rank pivots (Phase-2 input and the cache
+    /// entries' maintenance state).
+    pub pivots_t: Vec<(usize, PointD)>,
+    /// The global `p_k`.
+    pub kth: Record,
+    /// Result ids in rank order — the GIR\* cache key (ranks name
+    /// pivots).
+    pub ids_ranked: Vec<u64>,
+    /// Result ids as a membership set.
+    pub result_id_set: HashSet<u64>,
+}
+
+impl StarPhase2Ctx {
+    /// Derives the context from a non-empty merged result.
+    pub fn new(result: &TopKResult, scoring: &ScoringFunction) -> StarPhase2Ctx {
+        let r_minus = reduced_result(result);
+        let pivots_t: Vec<(usize, PointD)> = r_minus
+            .iter()
+            .map(|(rank, rec)| (*rank, scoring.transform_point(&rec.attrs)))
+            .collect();
+        let ids_ranked = result.ids();
+        StarPhase2Ctx {
+            r_minus,
+            pivots_t,
+            kth: result.kth().clone(),
+            ids_ranked: ids_ranked.clone(),
+            result_id_set: ids_ranked.iter().copied().collect(),
+        }
+    }
+}
+
+/// One shard's complete GIR\* Phase-2 stage (re-seed, cache probe,
+/// star sweep, admit) — the star counterpart of [`shard_gir_system`],
+/// shared verbatim by the in-process fan-out and the distributed shard
+/// worker. Returns `(system, structure_size, cache_hit)`.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_star_system<'a>(
+    shard: ShardView<'_>,
+    state: &PruneState,
+    mirror: &TreeMirror,
+    scoring: &ScoringFunction,
+    star_method: StarMethod,
+    method: Method,
+    result: &TopKResult,
+    ctx: &StarPhase2Ctx,
+    shard_res: &'a TopKResult,
+    mut frontier: Frontier<'a>,
+) -> (Arc<Vec<HalfSpace>>, usize, bool) {
+    // Re-seed shard-ranked records that missed the global result,
+    // exactly as in `gir_sharded`: they are non-result candidates
+    // the retained frontier no longer covers.
+    for (rec, score) in &shard_res.ranked {
+        if !ctx.result_id_set.contains(&rec.id) {
+            frontier
+                .heap
+                .push(FrontierEntry::Rec { rec, score: *score });
+        }
+    }
+
+    let lookup = shard.index.phase2_lookup(
+        RegionKind::GirStar,
+        method,
+        &ctx.ids_ranked,
+        ctx.kth.id,
+        scoring,
+    );
+    let cached = lookup.is_some();
+    let (phase2, structure) = match lookup {
+        Some(hit) => hit,
+        None => {
+            let (hs, structure) = shard_star_phase2(
+                scoring,
+                star_method,
+                state,
+                mirror,
+                &ctx.pivots_t,
+                &ctx.r_minus,
+                result,
+                &ctx.result_id_set,
+                frontier,
+            );
+            let hs = Arc::new(hs);
+            shard.index.phase2_admit(
+                RegionKind::GirStar,
+                method,
+                ctx.ids_ranked.clone(),
+                ctx.kth.id,
+                scoring,
+                scoring.transform_point(&ctx.kth.attrs),
+                ctx.pivots_t.clone(),
+                hs.clone(),
+                structure,
+            );
+            (hs, structure)
+        }
+    };
+    (phase2, structure, cached)
 }
 
 /// One shard's GIR\* Phase 2 against the global `R⁻` pivots: the star

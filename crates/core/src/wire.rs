@@ -23,8 +23,12 @@
 //! job (`gir_storage::wal`); this module only maps structs ↔ payload
 //! bytes and rejects malformed payloads with [`WireError`].
 
+use crate::engine::Method;
+use crate::region::RegionKind;
+use gir_geometry::hyperplane::{HalfSpace, Provenance};
 use gir_geometry::vector::PointD;
-use gir_query::Record;
+use gir_query::{Record, ScoringFunction, Transform};
+use gir_storage::crc32;
 
 /// Malformed wire payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +40,11 @@ pub enum WireError {
     BadTag(u8),
     /// A declared dimensionality was implausible (0 or > 4096).
     BadDim(usize),
+    /// A frame failed an integrity check: bad magic, checksum mismatch,
+    /// unsupported protocol version, or a structurally invalid field
+    /// (e.g. non-UTF-8 text). The bytes must be discarded, never
+    /// partially trusted.
+    Corrupt,
 }
 
 impl std::fmt::Display for WireError {
@@ -44,6 +53,7 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "wire payload truncated"),
             WireError::BadTag(t) => write!(f, "unknown op tag {t}"),
             WireError::BadDim(d) => write!(f, "implausible dimensionality {d}"),
+            WireError::Corrupt => write!(f, "wire frame corrupt"),
         }
     }
 }
@@ -204,12 +214,50 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A bare attribute vector (no id): `[d: u16][d × f64]`.
+    fn vec(&mut self) -> Result<PointD, WireError> {
+        let d = self.u16()? as usize;
+        if d == 0 || d > 4096 {
+            return Err(WireError::BadDim(d));
+        }
+        let mut coords = Vec::with_capacity(d);
+        for _ in 0..d {
+            coords.push(self.f64()?);
+        }
+        Ok(PointD::new(coords))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt)
+    }
+
+    /// Consumes and returns every remaining byte.
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.off..];
+        self.off = self.buf.len();
+        slice
     }
 
     fn point(&mut self) -> Result<(u64, PointD), WireError> {
@@ -232,6 +280,728 @@ impl<'a> Cursor<'a> {
         } else {
             Err(WireError::Truncated)
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed transport frame
+// ---------------------------------------------------------------------------
+
+/// Frame magic: `b"GIRF"` little-endian.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"GIRF");
+
+/// Protocol version carried (and checksummed) in every frame.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame header bytes before the checksummed region:
+/// `[magic: u32][len: u32][crc32: u32]`.
+pub const FRAME_HEADER: usize = 12;
+
+/// Extra checksummed bytes between the header and the payload:
+/// `[version: u16][kind: u8][flags: u8]`.
+pub const FRAME_META: usize = 4;
+
+/// Frames that exceed this payload size are rejected as corrupt before
+/// any allocation: no legitimate message approaches 1 GiB, so a huge
+/// declared length is a scrambled header, not a big message.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Frame kind: a [`ShardRequest`] payload.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind: a [`ShardResponse`] payload.
+pub const KIND_RESPONSE: u8 = 2;
+
+/// Wraps `payload` in a transport frame:
+///
+/// ```text
+/// [magic: u32][len: u32][crc32: u32][version: u16][kind: u8][flags: u8][payload]
+/// ```
+///
+/// `len` counts the checksummed region (`FRAME_META + payload`), and the
+/// CRC covers exactly that region — version, kind, and flags included,
+/// so a bit flip in *any* semantic byte (not just the payload) fails the
+/// checksum instead of silently re-routing the message to a different
+/// decoder.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + FRAME_META + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&((FRAME_META + payload.len()) as u32).to_le_bytes());
+    out.extend_from_slice(&[0; 4]); // crc placeholder
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(kind);
+    out.push(0); // flags (reserved)
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[FRAME_HEADER..]);
+    out[8..12].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Total frame size declared by a header prefix (≥ 8 bytes): used by
+/// stream transports to know how many bytes to read before calling
+/// [`decode_frame`] on the whole frame.
+pub fn frame_size(header: &[u8]) -> Result<usize, WireError> {
+    if header.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(WireError::Corrupt);
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if !(FRAME_META..=FRAME_META + MAX_FRAME_PAYLOAD).contains(&len) {
+        return Err(WireError::Corrupt);
+    }
+    Ok(FRAME_HEADER + len)
+}
+
+/// Validates one whole frame and returns `(kind, payload)`. Rejects bad
+/// magic / CRC / version as [`WireError::Corrupt`], and any length
+/// mismatch (truncation or trailing junk) as [`WireError::Truncated`] —
+/// a frame is all-or-nothing, never partially decoded.
+pub fn decode_frame(frame: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    let total = frame_size(frame)?;
+    if frame.len() != total {
+        return Err(WireError::Truncated);
+    }
+    let crc = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+    if crc32(&frame[FRAME_HEADER..]) != crc {
+        return Err(WireError::Corrupt);
+    }
+    let version = u16::from_le_bytes(frame[12..14].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(WireError::Corrupt);
+    }
+    let kind = frame[14];
+    Ok((kind, &frame[FRAME_HEADER + FRAME_META..]))
+}
+
+// ---------------------------------------------------------------------------
+// Shard RPC protocol
+// ---------------------------------------------------------------------------
+
+/// Per-op outcome codes reported by [`ShardResponse::Applied`] — enough
+/// for the coordinator to rebuild the in-process maintenance
+/// bookkeeping (`UpdateReport` tallies, owner-of-deleted-record sets)
+/// without a second round trip.
+pub mod outcome {
+    /// The op did not touch this shard (non-owner insert).
+    pub const NONE: u8 = 0;
+    /// Owner shard inserted the record.
+    pub const INSERTED: u8 = 1;
+    /// Owner shard deleted the record (it was present).
+    pub const DELETED: u8 = 2;
+    /// Owner shard had no record under that id (delete miss).
+    pub const DELETE_MISS: u8 = 3;
+    /// Non-owner shard purged the id from its Phase-2 cache.
+    pub const PURGED: u8 = 4;
+}
+
+fn put_vec(out: &mut Vec<u8>, v: &PointD) {
+    out.extend_from_slice(&(v.dim() as u16).to_le_bytes());
+    for &c in v.coords() {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_records(out: &mut Vec<u8>, records: &[Record]) {
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for rec in records {
+        put_point(out, rec.id, &rec.attrs);
+    }
+}
+
+fn get_records(cur: &mut Cursor<'_>) -> Result<Vec<Record>, WireError> {
+    let n = cur.u32()? as usize;
+    let mut recs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let (id, attrs) = cur.point()?;
+        recs.push(Record { id, attrs });
+    }
+    Ok(recs)
+}
+
+fn put_ranked(out: &mut Vec<u8>, ranked: &[(Record, f64)]) {
+    out.extend_from_slice(&(ranked.len() as u32).to_le_bytes());
+    for (rec, score) in ranked {
+        put_point(out, rec.id, &rec.attrs);
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+}
+
+fn get_ranked(cur: &mut Cursor<'_>) -> Result<Vec<(Record, f64)>, WireError> {
+    let n = cur.u32()? as usize;
+    let mut ranked = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let (id, attrs) = cur.point()?;
+        let score = cur.f64()?;
+        ranked.push((Record { id, attrs }, score));
+    }
+    Ok(ranked)
+}
+
+const PROV_ORDERING: u8 = 0;
+const PROV_NON_RESULT: u8 = 1;
+const PROV_STAR_NON_RESULT: u8 = 2;
+const PROV_QUERY_BOX: u8 = 3;
+
+fn put_halfspace(out: &mut Vec<u8>, h: &HalfSpace) {
+    put_vec(out, &h.normal);
+    out.extend_from_slice(&h.offset.to_le_bytes());
+    match h.provenance {
+        Provenance::Ordering { rank } => {
+            out.push(PROV_ORDERING);
+            out.extend_from_slice(&(rank as u32).to_le_bytes());
+        }
+        Provenance::NonResult { record_id } => {
+            out.push(PROV_NON_RESULT);
+            out.extend_from_slice(&record_id.to_le_bytes());
+        }
+        Provenance::StarNonResult { rank, record_id } => {
+            out.push(PROV_STAR_NON_RESULT);
+            out.extend_from_slice(&(rank as u32).to_le_bytes());
+            out.extend_from_slice(&record_id.to_le_bytes());
+        }
+        Provenance::QueryBox { dim, upper } => {
+            out.push(PROV_QUERY_BOX);
+            out.extend_from_slice(&(dim as u16).to_le_bytes());
+            out.push(upper as u8);
+        }
+    }
+}
+
+fn get_halfspace(cur: &mut Cursor<'_>) -> Result<HalfSpace, WireError> {
+    let normal = cur.vec()?;
+    let offset = cur.f64()?;
+    let provenance = match cur.u8()? {
+        PROV_ORDERING => Provenance::Ordering {
+            rank: cur.u32()? as usize,
+        },
+        PROV_NON_RESULT => Provenance::NonResult {
+            record_id: cur.u64()?,
+        },
+        PROV_STAR_NON_RESULT => Provenance::StarNonResult {
+            rank: cur.u32()? as usize,
+            record_id: cur.u64()?,
+        },
+        PROV_QUERY_BOX => Provenance::QueryBox {
+            dim: cur.u16()? as usize,
+            upper: match cur.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(WireError::BadTag(t)),
+            },
+        },
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(HalfSpace {
+        normal,
+        offset,
+        provenance,
+    })
+}
+
+fn put_halfspaces(out: &mut Vec<u8>, hs: &[HalfSpace]) {
+    out.extend_from_slice(&(hs.len() as u32).to_le_bytes());
+    for h in hs {
+        put_halfspace(out, h);
+    }
+}
+
+fn get_halfspaces(cur: &mut Cursor<'_>) -> Result<Vec<HalfSpace>, WireError> {
+    let n = cur.u32()? as usize;
+    let mut hs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        hs.push(get_halfspace(cur)?);
+    }
+    Ok(hs)
+}
+
+const TRANSFORM_LINEAR: u8 = 0;
+const TRANSFORM_POWER: u8 = 1;
+const TRANSFORM_EXP: u8 = 2;
+const TRANSFORM_LOG: u8 = 3;
+const TRANSFORM_SQRT: u8 = 4;
+
+fn put_scoring(out: &mut Vec<u8>, scoring: &ScoringFunction) {
+    let transforms = scoring.transforms();
+    out.extend_from_slice(&(transforms.len() as u16).to_le_bytes());
+    for t in transforms {
+        match t {
+            Transform::Linear => out.push(TRANSFORM_LINEAR),
+            Transform::Power(n) => {
+                out.push(TRANSFORM_POWER);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Transform::Exp => out.push(TRANSFORM_EXP),
+            Transform::Log => out.push(TRANSFORM_LOG),
+            Transform::Sqrt => out.push(TRANSFORM_SQRT),
+        }
+    }
+}
+
+fn get_scoring(cur: &mut Cursor<'_>) -> Result<ScoringFunction, WireError> {
+    let d = cur.u16()? as usize;
+    if d == 0 || d > 4096 {
+        return Err(WireError::BadDim(d));
+    }
+    let mut transforms = Vec::with_capacity(d);
+    for _ in 0..d {
+        transforms.push(match cur.u8()? {
+            TRANSFORM_LINEAR => Transform::Linear,
+            TRANSFORM_POWER => Transform::Power(cur.u32()?),
+            TRANSFORM_EXP => Transform::Exp,
+            TRANSFORM_LOG => Transform::Log,
+            TRANSFORM_SQRT => Transform::Sqrt,
+            t => return Err(WireError::BadTag(t)),
+        });
+    }
+    Ok(ScoringFunction::new(transforms))
+}
+
+fn put_method(out: &mut Vec<u8>, m: Method) {
+    out.push(match m {
+        Method::SkylinePruning => 0,
+        Method::ConvexHullPruning => 1,
+        Method::FacetPruning => 2,
+        Method::FullScan => 3,
+    });
+}
+
+fn get_method(cur: &mut Cursor<'_>) -> Result<Method, WireError> {
+    Ok(match cur.u8()? {
+        0 => Method::SkylinePruning,
+        1 => Method::ConvexHullPruning,
+        2 => Method::FacetPruning,
+        3 => Method::FullScan,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn put_kind(out: &mut Vec<u8>, k: RegionKind) {
+    out.push(match k {
+        RegionKind::Gir => 0,
+        RegionKind::GirStar => 1,
+    });
+}
+
+fn get_kind(cur: &mut Cursor<'_>) -> Result<RegionKind, WireError> {
+    Ok(match cur.u8()? {
+        0 => RegionKind::Gir,
+        1 => RegionKind::GirStar,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+const REQ_PING: u8 = 0;
+const REQ_LOAD: u8 = 1;
+const REQ_APPLY: u8 = 2;
+const REQ_TOPK: u8 = 3;
+const REQ_PHASE2: u8 = 4;
+const REQ_REPAIR_SWEEP: u8 = 5;
+const REQ_REPAIR_STAR_SWEEP: u8 = 6;
+const REQ_CUT: u8 = 7;
+const REQ_RECORDS: u8 = 8;
+const REQ_SHUTDOWN: u8 = 9;
+
+/// One coordinator → shard-worker message: everything the `ShardView`
+/// seam needs to cross a process boundary. The worker owns its shard's
+/// R\*-tree and `PruneIndex`; requests carry only query parameters and
+/// globally-merged results, never trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardRequest {
+    /// Liveness probe.
+    Ping,
+    /// (Re)initialize the worker with its shard assignment, the shared
+    /// scoring function, and its partition of the dataset — the
+    /// snapshot half of the rejoin protocol (WAL suffix replay follows
+    /// as [`ShardRequest::Apply`] calls).
+    Load {
+        /// This worker's shard index.
+        shard: u32,
+        /// Total shard count `S`.
+        num_shards: u32,
+        /// Placement tag (`gir_shard::Placement` as u8: 0 = hash,
+        /// 1 = grid) — the worker must route ops like the coordinator.
+        placement: u8,
+        /// The scoring function, by value (fingerprints are not
+        /// wire-stable).
+        scoring: ScoringFunction,
+        /// Update-batch epoch this load is consistent with.
+        epoch: u64,
+        /// The shard's records at that epoch.
+        records: Vec<Record>,
+    },
+    /// Apply one durable update batch (the WAL delta stream).
+    Apply {
+        /// Epoch after applying this batch.
+        epoch: u64,
+        /// The batch, in application order.
+        batch: WalBatch,
+    },
+    /// Run BRS top-k over the worker's shard.
+    TopK {
+        /// Query weights.
+        weights: PointD,
+        /// Result size.
+        k: u32,
+    },
+    /// Compute the shard's Phase-2 half-space system against the
+    /// globally merged result.
+    Phase2 {
+        /// GIR (order-sensitive) or GIR\* (order-insensitive).
+        kind: RegionKind,
+        /// Pruning method.
+        method: Method,
+        /// Query weights.
+        weights: PointD,
+        /// Global result size requested (the merged result may be
+        /// shorter on a small dataset).
+        k: u32,
+        /// The globally merged `(record, score)` ranking, best first.
+        ranked: Vec<(Record, f64)>,
+    },
+    /// Run one FP repair sweep (deletion maintenance) on the shard.
+    RepairSweep {
+        /// The cached region's ranking, best first.
+        ranked: Vec<(Record, f64)>,
+        /// Interim constraints bounding the sweep.
+        interim: Vec<HalfSpace>,
+        /// Sweep seeds owned by this shard.
+        seeds: Vec<Record>,
+    },
+    /// Run one GIR\* repair sweep on the shard.
+    RepairStarSweep {
+        /// The cached region's ranking, best first.
+        ranked: Vec<(Record, f64)>,
+        /// Sweep seeds owned by this shard.
+        seeds: Vec<Record>,
+    },
+    /// Report the worker's cut state (epoch + live records) for a
+    /// consistent cross-shard snapshot.
+    Cut,
+    /// Dump the shard's live records (snapshot capture).
+    Records,
+    /// Orderly worker shutdown.
+    Shutdown,
+}
+
+impl ShardRequest {
+    /// Serializes the request payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ShardRequest::Ping => out.push(REQ_PING),
+            ShardRequest::Load {
+                shard,
+                num_shards,
+                placement,
+                scoring,
+                epoch,
+                records,
+            } => {
+                out.push(REQ_LOAD);
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&num_shards.to_le_bytes());
+                out.push(*placement);
+                put_scoring(&mut out, scoring);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_records(&mut out, records);
+            }
+            ShardRequest::Apply { epoch, batch } => {
+                out.push(REQ_APPLY);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&batch.encode());
+            }
+            ShardRequest::TopK { weights, k } => {
+                out.push(REQ_TOPK);
+                put_vec(&mut out, weights);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            ShardRequest::Phase2 {
+                kind,
+                method,
+                weights,
+                k,
+                ranked,
+            } => {
+                out.push(REQ_PHASE2);
+                put_kind(&mut out, *kind);
+                put_method(&mut out, *method);
+                put_vec(&mut out, weights);
+                out.extend_from_slice(&k.to_le_bytes());
+                put_ranked(&mut out, ranked);
+            }
+            ShardRequest::RepairSweep {
+                ranked,
+                interim,
+                seeds,
+            } => {
+                out.push(REQ_REPAIR_SWEEP);
+                put_ranked(&mut out, ranked);
+                put_halfspaces(&mut out, interim);
+                put_records(&mut out, seeds);
+            }
+            ShardRequest::RepairStarSweep { ranked, seeds } => {
+                out.push(REQ_REPAIR_STAR_SWEEP);
+                put_ranked(&mut out, ranked);
+                put_records(&mut out, seeds);
+            }
+            ShardRequest::Cut => out.push(REQ_CUT),
+            ShardRequest::Records => out.push(REQ_RECORDS),
+            ShardRequest::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Deserializes a request payload (unframed).
+    pub fn decode(payload: &[u8]) -> Result<ShardRequest, WireError> {
+        let mut cur = Cursor::new(payload);
+        let req = match cur.u8()? {
+            REQ_PING => ShardRequest::Ping,
+            REQ_LOAD => ShardRequest::Load {
+                shard: cur.u32()?,
+                num_shards: cur.u32()?,
+                placement: cur.u8()?,
+                scoring: get_scoring(&mut cur)?,
+                epoch: cur.u64()?,
+                records: get_records(&mut cur)?,
+            },
+            REQ_APPLY => {
+                let epoch = cur.u64()?;
+                // The batch owns the rest of the payload (its decoder
+                // enforces its own finish()).
+                let batch = WalBatch::decode(cur.rest())?;
+                return Ok(ShardRequest::Apply { epoch, batch });
+            }
+            REQ_TOPK => ShardRequest::TopK {
+                weights: cur.vec()?,
+                k: cur.u32()?,
+            },
+            REQ_PHASE2 => ShardRequest::Phase2 {
+                kind: get_kind(&mut cur)?,
+                method: get_method(&mut cur)?,
+                weights: cur.vec()?,
+                k: cur.u32()?,
+                ranked: get_ranked(&mut cur)?,
+            },
+            REQ_REPAIR_SWEEP => ShardRequest::RepairSweep {
+                ranked: get_ranked(&mut cur)?,
+                interim: get_halfspaces(&mut cur)?,
+                seeds: get_records(&mut cur)?,
+            },
+            REQ_REPAIR_STAR_SWEEP => ShardRequest::RepairStarSweep {
+                ranked: get_ranked(&mut cur)?,
+                seeds: get_records(&mut cur)?,
+            },
+            REQ_CUT => ShardRequest::Cut,
+            REQ_RECORDS => ShardRequest::Records,
+            REQ_SHUTDOWN => ShardRequest::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+
+    /// Serializes straight into a transport frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        encode_frame(KIND_REQUEST, &self.encode())
+    }
+}
+
+const RESP_PONG: u8 = 0;
+const RESP_LOADED: u8 = 1;
+const RESP_APPLIED: u8 = 2;
+const RESP_RANKED: u8 = 3;
+const RESP_SYSTEM: u8 = 4;
+const RESP_SWEPT: u8 = 5;
+const RESP_CUT_STATE: u8 = 6;
+const RESP_RECORDS: u8 = 7;
+const RESP_ERROR: u8 = 8;
+const RESP_BYE: u8 = 9;
+
+/// One shard-worker → coordinator message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResponse {
+    /// Liveness ack.
+    Pong,
+    /// [`ShardRequest::Load`] ack.
+    Loaded {
+        /// Epoch the worker is now consistent with.
+        epoch: u64,
+    },
+    /// [`ShardRequest::Apply`] ack with per-op outcomes (in op order,
+    /// [`outcome`] codes).
+    Applied {
+        /// Epoch the worker is now consistent with.
+        epoch: u64,
+        /// One [`outcome`] code per op of the applied batch.
+        outcomes: Vec<u8>,
+    },
+    /// The shard's BRS run.
+    Ranked {
+        /// `(record, score)` pairs, best first.
+        ranked: Vec<(Record, f64)>,
+        /// Leaf/internal pages the run read.
+        pages: u64,
+    },
+    /// The shard's Phase-2 system.
+    System {
+        /// The shard's half-space contribution, in-process order.
+        halfspaces: Vec<HalfSpace>,
+        /// Structure size (skyline / hull / facet count) examined.
+        structure: u64,
+        /// True when the worker's Phase-2 cache already held the
+        /// system.
+        cached: bool,
+        /// Pages read while computing.
+        pages: u64,
+    },
+    /// A repair sweep's outcome: `None` mirrors the in-process
+    /// `fp_repair(..).ok()` decline (the caller falls back to eviction).
+    Swept {
+        /// Replacement facets, or `None` when the sweep declined.
+        halfspaces: Option<Vec<HalfSpace>>,
+    },
+    /// The worker's consistent-cut report.
+    CutState {
+        /// Epoch of the cut (update batches applied).
+        epoch: u64,
+        /// Live records at the cut.
+        records: Vec<Record>,
+    },
+    /// [`ShardRequest::Records`] dump.
+    RecordsDump {
+        /// Live records.
+        records: Vec<Record>,
+    },
+    /// The request failed on the worker.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// [`ShardRequest::Shutdown`] ack; the worker exits after sending.
+    Bye,
+}
+
+impl ShardResponse {
+    /// Serializes the response payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ShardResponse::Pong => out.push(RESP_PONG),
+            ShardResponse::Loaded { epoch } => {
+                out.push(RESP_LOADED);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            ShardResponse::Applied { epoch, outcomes } => {
+                out.push(RESP_APPLIED);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+                out.extend_from_slice(outcomes);
+            }
+            ShardResponse::Ranked { ranked, pages } => {
+                out.push(RESP_RANKED);
+                put_ranked(&mut out, ranked);
+                out.extend_from_slice(&pages.to_le_bytes());
+            }
+            ShardResponse::System {
+                halfspaces,
+                structure,
+                cached,
+                pages,
+            } => {
+                out.push(RESP_SYSTEM);
+                put_halfspaces(&mut out, halfspaces);
+                out.extend_from_slice(&structure.to_le_bytes());
+                out.push(*cached as u8);
+                out.extend_from_slice(&pages.to_le_bytes());
+            }
+            ShardResponse::Swept { halfspaces } => {
+                out.push(RESP_SWEPT);
+                match halfspaces {
+                    None => out.push(0),
+                    Some(hs) => {
+                        out.push(1);
+                        put_halfspaces(&mut out, hs);
+                    }
+                }
+            }
+            ShardResponse::CutState { epoch, records } => {
+                out.push(RESP_CUT_STATE);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_records(&mut out, records);
+            }
+            ShardResponse::RecordsDump { records } => {
+                out.push(RESP_RECORDS);
+                put_records(&mut out, records);
+            }
+            ShardResponse::Error { message } => {
+                out.push(RESP_ERROR);
+                put_string(&mut out, message);
+            }
+            ShardResponse::Bye => out.push(RESP_BYE),
+        }
+        out
+    }
+
+    /// Deserializes a response payload (unframed).
+    pub fn decode(payload: &[u8]) -> Result<ShardResponse, WireError> {
+        let mut cur = Cursor::new(payload);
+        let resp = match cur.u8()? {
+            RESP_PONG => ShardResponse::Pong,
+            RESP_LOADED => ShardResponse::Loaded { epoch: cur.u64()? },
+            RESP_APPLIED => {
+                let epoch = cur.u64()?;
+                let n = cur.u32()? as usize;
+                let outcomes = cur.take(n)?.to_vec();
+                ShardResponse::Applied { epoch, outcomes }
+            }
+            RESP_RANKED => ShardResponse::Ranked {
+                ranked: get_ranked(&mut cur)?,
+                pages: cur.u64()?,
+            },
+            RESP_SYSTEM => ShardResponse::System {
+                halfspaces: get_halfspaces(&mut cur)?,
+                structure: cur.u64()?,
+                cached: match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(WireError::BadTag(t)),
+                },
+                pages: cur.u64()?,
+            },
+            RESP_SWEPT => ShardResponse::Swept {
+                halfspaces: match cur.u8()? {
+                    0 => None,
+                    1 => Some(get_halfspaces(&mut cur)?),
+                    t => return Err(WireError::BadTag(t)),
+                },
+            },
+            RESP_CUT_STATE => ShardResponse::CutState {
+                epoch: cur.u64()?,
+                records: get_records(&mut cur)?,
+            },
+            RESP_RECORDS => ShardResponse::RecordsDump {
+                records: get_records(&mut cur)?,
+            },
+            RESP_ERROR => ShardResponse::Error {
+                message: cur.string()?,
+            },
+            RESP_BYE => ShardResponse::Bye,
+            t => return Err(WireError::BadTag(t)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+
+    /// Serializes straight into a transport frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        encode_frame(KIND_RESPONSE, &self.encode())
     }
 }
 
@@ -308,6 +1078,248 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(0);
         assert_eq!(WalBatch::decode(&extended), Err(WireError::Truncated));
+    }
+
+    /// Frame → message decode, as a transport endpoint would run it.
+    fn full_decode(frame: &[u8]) -> Result<(), WireError> {
+        let (kind, payload) = decode_frame(frame)?;
+        match kind {
+            KIND_REQUEST => ShardRequest::decode(payload).map(|_| ()),
+            KIND_RESPONSE => ShardResponse::decode(payload).map(|_| ()),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// The two frames the satellite harness fuzzes: a WalBatch carrier
+    /// (Apply) and a ShardView-seam carrier (Phase2).
+    fn fuzz_frames() -> Vec<(&'static str, Vec<u8>)> {
+        let apply = ShardRequest::Apply {
+            epoch: 3,
+            batch: batch(),
+        };
+        let phase2 = ShardRequest::Phase2 {
+            kind: RegionKind::Gir,
+            method: Method::FacetPruning,
+            weights: PointD::new(vec![0.4, 0.6, 0.25]),
+            k: 2,
+            ranked: vec![
+                (Record::new(7, vec![0.9, 0.8, 0.7]), 0.83),
+                (Record::new(3, vec![0.6, 0.5, 0.4]), 0.51),
+            ],
+        };
+        vec![
+            ("wal-batch (Apply)", apply.to_frame()),
+            ("shard-view (Phase2)", phase2.to_frame()),
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        for (label, frame) in fuzz_frames() {
+            let (kind, payload) = decode_frame(&frame).unwrap();
+            assert_eq!(kind, KIND_REQUEST, "{label}");
+            let req = ShardRequest::decode(payload).unwrap();
+            assert_eq!(req.to_frame(), frame, "{label}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_of_a_frame_is_rejected() {
+        for (label, frame) in fuzz_frames() {
+            // Sanity: the pristine frame decodes.
+            full_decode(&frame).unwrap();
+            for byte in 0..frame.len() {
+                for bit in 0..8 {
+                    let mut evil = frame.clone();
+                    evil[byte] ^= 1 << bit;
+                    let got = full_decode(&evil);
+                    assert!(
+                        matches!(
+                            got,
+                            Err(WireError::Corrupt)
+                                | Err(WireError::Truncated)
+                                | Err(WireError::BadTag(_))
+                                | Err(WireError::BadDim(_))
+                        ),
+                        "{label}: flip of byte {byte} bit {bit} mis-decoded: {got:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_frame_is_rejected() {
+        for (label, frame) in fuzz_frames() {
+            for cut in 0..frame.len() {
+                let got = full_decode(&frame[..cut]);
+                assert!(
+                    matches!(got, Err(WireError::Truncated) | Err(WireError::Corrupt)),
+                    "{label}: truncation to {cut} bytes mis-decoded: {got:?}"
+                );
+            }
+            // Trailing junk is rejected too, whatever the junk byte is.
+            for junk in [0x00u8, 0x47, 0xff] {
+                let mut evil = frame.clone();
+                evil.push(junk);
+                assert_eq!(full_decode(&evil), Err(WireError::Truncated), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_size_parses_and_rejects_garbage_headers() {
+        let frame = fuzz_frames().remove(0).1;
+        assert_eq!(frame_size(&frame).unwrap(), frame.len());
+        assert_eq!(frame_size(&frame[..7]), Err(WireError::Truncated));
+        let mut bad_magic = frame.clone();
+        bad_magic[0] ^= 1;
+        assert_eq!(frame_size(&bad_magic), Err(WireError::Corrupt));
+        // A scrambled length that would ask for gigabytes is corrupt,
+        // not a huge read.
+        let mut huge = frame.clone();
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(frame_size(&huge), Err(WireError::Corrupt));
+        // A stale protocol version fails even with a valid checksum.
+        let mut old = encode_frame(KIND_REQUEST, &ShardRequest::Ping.encode());
+        old[12] = 0xFE;
+        let crc = crc32(&old[FRAME_HEADER..]);
+        old[8..12].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_frame(&old), Err(WireError::Corrupt));
+    }
+
+    #[test]
+    fn shard_requests_roundtrip() {
+        let reqs = vec![
+            ShardRequest::Ping,
+            ShardRequest::Load {
+                shard: 2,
+                num_shards: 4,
+                placement: 1,
+                scoring: ScoringFunction::mixed4(),
+                epoch: 9,
+                records: vec![
+                    Record::new(1, vec![0.1, 0.2, 0.3, 0.4]),
+                    Record::new(2, vec![0.5, 0.6, 0.7, 0.8]),
+                ],
+            },
+            ShardRequest::Apply {
+                epoch: 10,
+                batch: batch(),
+            },
+            ShardRequest::TopK {
+                weights: PointD::new(vec![0.3, 0.7]),
+                k: 5,
+            },
+            ShardRequest::Phase2 {
+                kind: RegionKind::GirStar,
+                method: Method::SkylinePruning,
+                weights: PointD::new(vec![0.5, 0.5]),
+                k: 1,
+                ranked: vec![(Record::new(11, vec![0.9, 0.9]), 0.9)],
+            },
+            ShardRequest::RepairSweep {
+                ranked: vec![(Record::new(4, vec![0.2, 0.8]), 0.6)],
+                interim: vec![
+                    HalfSpace::score_order(
+                        &PointD::new(vec![0.9, 0.1]),
+                        &PointD::new(vec![0.1, 0.9]),
+                        Provenance::NonResult { record_id: 77 },
+                    ),
+                    HalfSpace::query_box(2, 1, true),
+                ],
+                seeds: vec![Record::new(5, vec![0.4, 0.4])],
+            },
+            ShardRequest::RepairStarSweep {
+                ranked: vec![(Record::new(6, vec![0.3, 0.3]), 0.3)],
+                seeds: vec![],
+            },
+            ShardRequest::Cut,
+            ShardRequest::Records,
+            ShardRequest::Shutdown,
+        ];
+        for req in reqs {
+            let frame = req.to_frame();
+            let (kind, payload) = decode_frame(&frame).unwrap();
+            assert_eq!(kind, KIND_REQUEST);
+            assert_eq!(ShardRequest::decode(payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn shard_responses_roundtrip() {
+        let star = HalfSpace {
+            normal: PointD::new(vec![0.25, -0.5]),
+            offset: 0.125,
+            provenance: Provenance::StarNonResult {
+                rank: 1,
+                record_id: 88,
+            },
+        };
+        let ordering = HalfSpace {
+            normal: PointD::new(vec![-0.1, 0.1]),
+            offset: 0.0,
+            provenance: Provenance::Ordering { rank: 0 },
+        };
+        let resps = vec![
+            ShardResponse::Pong,
+            ShardResponse::Loaded { epoch: 4 },
+            ShardResponse::Applied {
+                epoch: 5,
+                outcomes: vec![
+                    outcome::NONE,
+                    outcome::INSERTED,
+                    outcome::DELETED,
+                    outcome::DELETE_MISS,
+                    outcome::PURGED,
+                ],
+            },
+            ShardResponse::Ranked {
+                ranked: vec![(Record::new(9, vec![0.7, 0.2]), 0.45)],
+                pages: 12,
+            },
+            ShardResponse::System {
+                halfspaces: vec![star.clone(), ordering.clone()],
+                structure: 6,
+                cached: true,
+                pages: 3,
+            },
+            ShardResponse::Swept { halfspaces: None },
+            ShardResponse::Swept {
+                halfspaces: Some(vec![ordering]),
+            },
+            ShardResponse::CutState {
+                epoch: 7,
+                records: vec![Record::new(1, vec![0.5, 0.5])],
+            },
+            ShardResponse::RecordsDump { records: vec![] },
+            ShardResponse::Error {
+                message: "worker déjà-vu".into(),
+            },
+            ShardResponse::Bye,
+        ];
+        for resp in resps {
+            let frame = resp.to_frame();
+            let (kind, payload) = decode_frame(&frame).unwrap();
+            assert_eq!(kind, KIND_RESPONSE);
+            assert_eq!(ShardResponse::decode(payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn scoring_function_crosses_the_wire_by_value() {
+        for scoring in [
+            ScoringFunction::linear(3),
+            ScoringFunction::polynomial4(),
+            ScoringFunction::mixed4(),
+        ] {
+            let mut out = Vec::new();
+            put_scoring(&mut out, &scoring);
+            let mut cur = Cursor::new(&out);
+            let back = get_scoring(&mut cur).unwrap();
+            cur.finish().unwrap();
+            assert_eq!(back, scoring);
+        }
     }
 
     #[test]

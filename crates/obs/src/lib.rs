@@ -31,6 +31,7 @@
 mod collector;
 mod explain;
 mod registry;
+pub mod rpc;
 mod scopes;
 
 pub use collector::{install_from_env, install_global_collector, RegistryCollector};

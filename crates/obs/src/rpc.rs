@@ -1,0 +1,82 @@
+//! The `rpc.*` metric names of the distributed tier (`gir-rpc`), with
+//! a typed handle bundle so the transport resolves each counter once.
+//!
+//! The names form a liveness invariant `metrics_check` enforces on
+//! every CI metrics snapshot:
+//!
+//! ```text
+//! rpc.requests  = rpc.responses + rpc.failures      (every call resolves)
+//! rpc.retries  ≤ rpc.requests                       (retries re-enter as requests)
+//! ```
+//!
+//! `rpc.requests` counts *attempts* (so one logical call with two
+//! retries contributes three requests and two retries); `rpc.failures`
+//! counts attempts that ended in an error or timeout, `rpc.timeouts`
+//! the timeout subset of those.
+
+use crate::registry::{Counter, Registry};
+use std::sync::Arc;
+
+/// Attempted RPC sends (including each retry attempt).
+pub const RPC_REQUESTS: &str = "rpc.requests";
+/// Attempts answered with a well-formed response.
+pub const RPC_RESPONSES: &str = "rpc.responses";
+/// Attempts that failed (transport error, corrupt frame, or timeout).
+pub const RPC_FAILURES: &str = "rpc.failures";
+/// Re-sends after a failed attempt (always ≤ requests).
+pub const RPC_RETRIES: &str = "rpc.retries";
+/// The timeout subset of `rpc.failures`.
+pub const RPC_TIMEOUTS: &str = "rpc.timeouts";
+/// Worker rejoins completed (snapshot load + WAL suffix replay).
+pub const RPC_REJOINS: &str = "rpc.rejoins";
+
+/// Pre-resolved handles for the `rpc.*` counters: the transport hot
+/// path updates them with one `fetch_add`, no name lookup.
+#[derive(Clone)]
+pub struct RpcCounters {
+    /// [`RPC_REQUESTS`].
+    pub requests: Arc<Counter>,
+    /// [`RPC_RESPONSES`].
+    pub responses: Arc<Counter>,
+    /// [`RPC_FAILURES`].
+    pub failures: Arc<Counter>,
+    /// [`RPC_RETRIES`].
+    pub retries: Arc<Counter>,
+    /// [`RPC_TIMEOUTS`].
+    pub timeouts: Arc<Counter>,
+    /// [`RPC_REJOINS`].
+    pub rejoins: Arc<Counter>,
+}
+
+impl RpcCounters {
+    /// Resolves the handles against the global registry.
+    pub fn global() -> RpcCounters {
+        let reg = Registry::global();
+        RpcCounters {
+            requests: reg.counter(RPC_REQUESTS),
+            responses: reg.counter(RPC_RESPONSES),
+            failures: reg.counter(RPC_FAILURES),
+            retries: reg.counter(RPC_RETRIES),
+            timeouts: reg.counter(RPC_TIMEOUTS),
+            rejoins: reg.counter(RPC_REJOINS),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_resolve_and_accumulate() {
+        let c = RpcCounters::global();
+        let before = c.requests.get();
+        c.requests.inc();
+        c.responses.inc();
+        assert_eq!(c.requests.get(), before + 1);
+        // Same handle identity on re-resolution.
+        let again = RpcCounters::global();
+        again.requests.add(2);
+        assert_eq!(c.requests.get(), before + 3);
+    }
+}

@@ -91,6 +91,15 @@ impl ScoringFunction {
         self.transforms.len()
     }
 
+    /// The per-dimension transforms, in dimension order. This is the
+    /// function's full definition — wire encodings serialize these (the
+    /// [`ScoringFunction::fingerprint`] hash is explicitly not
+    /// wire-stable) and rebuild the function with
+    /// [`ScoringFunction::new`].
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
     /// True when every transform is the identity: CP and FP rely on convex
     /// hull properties that only hold for linear scoring (§7.2).
     pub fn is_linear(&self) -> bool {

@@ -1,0 +1,60 @@
+//! The standalone shard-worker process: serves the framed
+//! `ShardRequest`/`ShardResponse` protocol over stdin/stdout until a
+//! `Shutdown` request or EOF.
+//!
+//! Built only with the `process-worker` feature; `ProcessEndpoint`
+//! spawns it one-per-shard for true process isolation.
+
+use gir_core::wire::{self, FRAME_HEADER};
+use gir_core::{ShardRequest, ShardResponse};
+use gir_rpc::ShardWorker;
+use std::io::{Read, Write};
+
+fn read_frame(stdin: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    if let Err(e) = stdin.read_exact(&mut header) {
+        return match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => Ok(None),
+            _ => Err(e),
+        };
+    }
+    let total = wire::frame_size(&header)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut frame = vec![0u8; total];
+    frame[..FRAME_HEADER].copy_from_slice(&header);
+    stdin.read_exact(&mut frame[FRAME_HEADER..])?;
+    Ok(Some(frame))
+}
+
+fn main() -> std::io::Result<()> {
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let mut worker = ShardWorker::new();
+    while let Some(frame) = read_frame(&mut stdin)? {
+        let resp = match wire::decode_frame(&frame) {
+            Ok((wire::KIND_REQUEST, payload)) => match ShardRequest::decode(payload) {
+                Ok(req) => {
+                    let (resp, shutdown) = worker.handle(req);
+                    if shutdown {
+                        stdout.write_all(&resp.to_frame())?;
+                        stdout.flush()?;
+                        return Ok(());
+                    }
+                    resp
+                }
+                Err(e) => ShardResponse::Error {
+                    message: format!("bad request: {e}"),
+                },
+            },
+            Ok((kind, _)) => ShardResponse::Error {
+                message: format!("unexpected frame kind {kind}"),
+            },
+            Err(e) => ShardResponse::Error {
+                message: format!("bad frame: {e}"),
+            },
+        };
+        stdout.write_all(&resp.to_frame())?;
+        stdout.flush()?;
+    }
+    Ok(())
+}

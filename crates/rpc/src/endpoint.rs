@@ -1,0 +1,448 @@
+//! Shard endpoints: where a worker lives and how calls reach it.
+//!
+//! [`ShardEndpoint`] is the seam the coordinator speaks through. Three
+//! implementations ship:
+//!
+//! * [`ThreadEndpoint`] — worker thread behind an in-memory loopback
+//!   ([`crate::transport::LoopbackConn`]). The CI default: no file
+//!   descriptors, deterministic, and fast enough for proptest.
+//! * [`UdsEndpoint`] — worker thread behind a `UnixStream` socketpair,
+//!   so every frame crosses the kernel (Unix only).
+//! * `ProcessEndpoint` (feature `process-worker`) — a real child
+//!   process running the `gir-rpc-worker` binary over stdin/stdout.
+//!
+//! [`FaultyEndpoint`] wraps any of them with a [`FaultPlan`]: at
+//! proptest-chosen call indices it kills the worker or injects a
+//! deadline-exceeding delay, which is how the differential harness
+//! drives the kill/delay/restart schedule.
+
+use crate::error::RpcError;
+use crate::transport::{Conn, FrameConn, LoopbackConn};
+use crate::worker::ShardWorker;
+use gir_core::wire::KIND_RESPONSE;
+use gir_core::{ShardRequest, ShardResponse};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A synchronous call channel to one shard worker.
+///
+/// `call` is request/response with a relative timeout; implementations
+/// must leave the connection in a clean state on timeout **or** report
+/// themselves dead ([`RpcError::Closed`]) from then on — a late
+/// response must never be mistaken for the answer to a newer request.
+pub trait ShardEndpoint: Send {
+    /// Sends one request and waits up to `timeout` for its response.
+    fn call(&mut self, req: &ShardRequest, timeout: Duration) -> Result<ShardResponse, RpcError>;
+    /// Tears the worker down (best-effort `Shutdown`, then closes).
+    fn shutdown(&mut self);
+}
+
+/// Sends on a framed connection and decodes the response, enforcing
+/// the frame-kind and one-frame-per-call protocol.
+fn call_framed<C: Conn>(
+    conn: &mut FrameConn<C>,
+    req: &ShardRequest,
+    timeout: Duration,
+) -> Result<ShardResponse, RpcError> {
+    conn.send_frame(&req.to_frame())?;
+    let deadline = Instant::now() + timeout;
+    let (kind, payload) = conn.recv(Some(deadline))?;
+    if kind != KIND_RESPONSE {
+        return Err(RpcError::Protocol(format!(
+            "expected response frame, got kind {kind}"
+        )));
+    }
+    Ok(ShardResponse::decode(&payload)?)
+}
+
+/// A worker thread behind an in-memory loopback connection.
+pub struct ThreadEndpoint {
+    conn: FrameConn<LoopbackConn>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// After a timeout the stream may still carry the late response;
+    /// the endpoint poisons itself rather than resynchronize.
+    poisoned: bool,
+}
+
+impl ThreadEndpoint {
+    /// Spawns a fresh (unloaded) worker on its own thread.
+    pub fn spawn() -> ThreadEndpoint {
+        let (client, server) = LoopbackConn::pair();
+        let handle = std::thread::Builder::new()
+            .name("gir-rpc-worker".to_string())
+            .spawn(move || ShardWorker::new().serve(FrameConn::new(server)))
+            .expect("spawn worker thread");
+        ThreadEndpoint {
+            conn: FrameConn::new(client),
+            handle: Some(handle),
+            poisoned: false,
+        }
+    }
+}
+
+impl ShardEndpoint for ThreadEndpoint {
+    fn call(&mut self, req: &ShardRequest, timeout: Duration) -> Result<ShardResponse, RpcError> {
+        if self.poisoned {
+            return Err(RpcError::Closed);
+        }
+        let res = call_framed(&mut self.conn, req, timeout);
+        if matches!(res, Err(RpcError::Timeout)) {
+            self.poisoned = true;
+            self.conn.shutdown();
+        }
+        res
+    }
+
+    fn shutdown(&mut self) {
+        if !self.poisoned {
+            let _ = self.conn.send_frame(&ShardRequest::Shutdown.to_frame());
+            let _ = self
+                .conn
+                .recv(Some(Instant::now() + Duration::from_millis(200)));
+        }
+        self.conn.shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadEndpoint {
+    fn drop(&mut self) {
+        self.conn.shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A worker thread behind a Unix socketpair — identical protocol to
+/// [`ThreadEndpoint`], but every frame crosses the kernel boundary.
+#[cfg(unix)]
+pub struct UdsEndpoint {
+    conn: FrameConn<crate::transport::UdsConn>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    poisoned: bool,
+}
+
+#[cfg(unix)]
+impl UdsEndpoint {
+    /// Spawns a fresh worker thread on the far end of a socketpair.
+    pub fn spawn() -> Result<UdsEndpoint, RpcError> {
+        let (client, server) = crate::transport::UdsConn::pair()?;
+        let handle = std::thread::Builder::new()
+            .name("gir-rpc-uds-worker".to_string())
+            .spawn(move || ShardWorker::new().serve(FrameConn::new(server)))
+            .expect("spawn worker thread");
+        Ok(UdsEndpoint {
+            conn: FrameConn::new(client),
+            handle: Some(handle),
+            poisoned: false,
+        })
+    }
+}
+
+#[cfg(unix)]
+impl ShardEndpoint for UdsEndpoint {
+    fn call(&mut self, req: &ShardRequest, timeout: Duration) -> Result<ShardResponse, RpcError> {
+        if self.poisoned {
+            return Err(RpcError::Closed);
+        }
+        let res = call_framed(&mut self.conn, req, timeout);
+        if matches!(res, Err(RpcError::Timeout)) {
+            self.poisoned = true;
+            self.conn.shutdown();
+        }
+        res
+    }
+
+    fn shutdown(&mut self) {
+        if !self.poisoned {
+            let _ = self.conn.send_frame(&ShardRequest::Shutdown.to_frame());
+            let _ = self
+                .conn
+                .recv(Some(Instant::now() + Duration::from_millis(200)));
+        }
+        self.conn.shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for UdsEndpoint {
+    fn drop(&mut self) {
+        self.conn.shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A real child process running the worker binary, speaking frames
+/// over its stdin/stdout. Reads are blocking (child pipes have no
+/// portable deadline), so a hung child is surfaced by `kill` on
+/// shutdown rather than per-call timeouts — use the thread endpoints
+/// when timeout fidelity matters.
+#[cfg(feature = "process-worker")]
+pub struct ProcessEndpoint {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    stdout: std::process::ChildStdout,
+}
+
+#[cfg(feature = "process-worker")]
+impl ProcessEndpoint {
+    /// Spawns `worker_bin` (the `gir-rpc-worker` binary) as a child.
+    pub fn spawn(worker_bin: &std::path::Path) -> Result<ProcessEndpoint, RpcError> {
+        use std::process::{Command, Stdio};
+        let mut child = Command::new(worker_bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(ProcessEndpoint {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+}
+
+#[cfg(feature = "process-worker")]
+impl ShardEndpoint for ProcessEndpoint {
+    fn call(&mut self, req: &ShardRequest, _timeout: Duration) -> Result<ShardResponse, RpcError> {
+        use gir_core::wire::{self, FRAME_HEADER};
+        use std::io::{Read, Write};
+        self.stdin.write_all(&req.to_frame())?;
+        self.stdin.flush()?;
+        let mut header = [0u8; FRAME_HEADER];
+        self.stdout.read_exact(&mut header)?;
+        let total = wire::frame_size(&header)?;
+        let mut frame = vec![0u8; total];
+        frame[..FRAME_HEADER].copy_from_slice(&header);
+        self.stdout.read_exact(&mut frame[FRAME_HEADER..])?;
+        let (kind, payload) = wire::decode_frame(&frame)?;
+        if kind != KIND_RESPONSE {
+            return Err(RpcError::Protocol(format!(
+                "expected response frame, got kind {kind}"
+            )));
+        }
+        Ok(ShardResponse::decode(payload)?)
+    }
+
+    fn shutdown(&mut self) {
+        use std::io::Write;
+        let _ = self.stdin.write_all(&ShardRequest::Shutdown.to_frame());
+        let _ = self.stdin.flush();
+        let _ = self.child.wait();
+    }
+}
+
+#[cfg(feature = "process-worker")]
+impl Drop for ProcessEndpoint {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// What a planned fault does to the targeted call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the worker: the call (and every later one on this
+    /// endpoint) fails with [`RpcError::Closed`].
+    Kill,
+    /// Delay past the deadline: the call fails with
+    /// [`RpcError::Timeout`] without ever reaching the worker, so a
+    /// retry on the same endpoint is clean.
+    Delay,
+}
+
+/// One planned fault: fires on shard `shard`'s `call`-th *query* call
+/// (0-based; only `TopK`/`Phase2` count — catch-up and snapshot
+/// traffic is exempt so rejoin stays reliable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Target shard index.
+    pub shard: usize,
+    /// 0-based index among the shard's query calls.
+    pub call: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A set of planned faults, shared by every [`FaultyEndpoint`] of a
+/// cluster.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The planned faults (order irrelevant; all matching faults of a
+    /// call index apply, `Kill` winning over `Delay`).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    fn action_for(&self, shard: usize, call: u64) -> Option<FaultAction> {
+        let mut hit = None;
+        for f in &self.faults {
+            if f.shard == shard && f.call == call {
+                match f.action {
+                    FaultAction::Kill => return Some(FaultAction::Kill),
+                    FaultAction::Delay => hit = Some(FaultAction::Delay),
+                }
+            }
+        }
+        hit
+    }
+}
+
+/// Wraps an endpoint with fault injection driven by a [`FaultPlan`].
+pub struct FaultyEndpoint {
+    inner: Option<Box<dyn ShardEndpoint>>,
+    shard: usize,
+    plan: Arc<FaultPlan>,
+    /// Query calls observed so far (the fault-plan clock).
+    calls: u64,
+}
+
+impl FaultyEndpoint {
+    /// Wraps `inner` as shard `shard` under `plan`.
+    pub fn new(
+        inner: Box<dyn ShardEndpoint>,
+        shard: usize,
+        plan: Arc<FaultPlan>,
+    ) -> FaultyEndpoint {
+        FaultyEndpoint {
+            inner: Some(inner),
+            shard,
+            plan,
+            calls: 0,
+        }
+    }
+}
+
+impl ShardEndpoint for FaultyEndpoint {
+    fn call(&mut self, req: &ShardRequest, timeout: Duration) -> Result<ShardResponse, RpcError> {
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(RpcError::Closed);
+        };
+        // Only query-phase traffic is fault-eligible: Load/Apply/Cut
+        // and the repair sweeps stay reliable so catch-up and snapshot
+        // cuts are deterministic, and the harness's fault clock counts
+        // exactly the calls the coordinator's query path makes.
+        let query = matches!(req, ShardRequest::TopK { .. } | ShardRequest::Phase2 { .. });
+        if query {
+            let call = self.calls;
+            self.calls += 1;
+            match self.plan.action_for(self.shard, call) {
+                Some(FaultAction::Kill) => {
+                    let mut dead = self.inner.take().expect("checked above");
+                    dead.shutdown();
+                    return Err(RpcError::Closed);
+                }
+                Some(FaultAction::Delay) => {
+                    // Simulate a worker hung past the deadline: the
+                    // request never reaches it, the caller sees a
+                    // timeout after the full wait, and the connection
+                    // stays clean for a retry.
+                    std::thread::sleep(timeout.min(Duration::from_millis(50)));
+                    return Err(RpcError::Timeout);
+                }
+                None => {}
+            }
+        }
+        inner.call(req, timeout)
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(mut inner) = self.inner.take() {
+            inner.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn thread_endpoint_ping() {
+        let mut ep = ThreadEndpoint::spawn();
+        assert_eq!(
+            ep.call(&ShardRequest::Ping, T).unwrap(),
+            ShardResponse::Pong
+        );
+        ep.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_endpoint_ping() {
+        let mut ep = UdsEndpoint::spawn().unwrap();
+        assert_eq!(
+            ep.call(&ShardRequest::Ping, T).unwrap(),
+            ShardResponse::Pong
+        );
+        ep.shutdown();
+    }
+
+    #[test]
+    fn killed_endpoint_stays_dead() {
+        let plan = Arc::new(FaultPlan {
+            faults: vec![Fault {
+                shard: 0,
+                call: 1,
+                action: FaultAction::Kill,
+            }],
+        });
+        let mut ep = FaultyEndpoint::new(Box::new(ThreadEndpoint::spawn()), 0, plan);
+        // Non-query traffic never trips the plan.
+        assert_eq!(
+            ep.call(&ShardRequest::Ping, T).unwrap(),
+            ShardResponse::Pong
+        );
+        let q = ShardRequest::TopK {
+            weights: vec![0.5].into(),
+            k: 1,
+        };
+        // Query call 0 passes (the worker is unloaded, so it answers
+        // Error — but the transport worked).
+        assert!(matches!(ep.call(&q, T), Ok(ShardResponse::Error { .. })));
+        // Query call 1 is the kill.
+        assert_eq!(ep.call(&q, T), Err(RpcError::Closed));
+        assert_eq!(ep.call(&q, T), Err(RpcError::Closed));
+        assert_eq!(ep.call(&ShardRequest::Ping, T), Err(RpcError::Closed));
+    }
+
+    #[test]
+    fn delayed_call_times_out_then_recovers() {
+        let plan = Arc::new(FaultPlan {
+            faults: vec![Fault {
+                shard: 2,
+                call: 0,
+                action: FaultAction::Delay,
+            }],
+        });
+        let mut ep = FaultyEndpoint::new(Box::new(ThreadEndpoint::spawn()), 2, plan);
+        let q = ShardRequest::TopK {
+            weights: vec![0.5].into(),
+            k: 1,
+        };
+        assert_eq!(
+            ep.call(&q, Duration::from_millis(30)),
+            Err(RpcError::Timeout)
+        );
+        // The fault consumed call 0; call 1 goes through cleanly.
+        assert!(matches!(ep.call(&q, T), Ok(ShardResponse::Error { .. })));
+        ep.shutdown();
+    }
+}

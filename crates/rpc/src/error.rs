@@ -1,0 +1,57 @@
+//! Error type shared by every layer of the RPC stack.
+
+use gir_core::WireError;
+use std::fmt;
+
+/// Anything that can go wrong between sending a
+/// [`gir_core::ShardRequest`] and decoding the matching
+/// [`gir_core::ShardResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The peer closed the connection (worker killed, pipe dropped).
+    Closed,
+    /// The call deadline elapsed before a full response frame arrived.
+    Timeout,
+    /// A frame arrived but failed checksum/version/shape validation.
+    Wire(WireError),
+    /// Transport-level I/O failure (socket error, broken pipe).
+    Io(String),
+    /// The worker answered with a `ShardResponse::Error`.
+    Worker(String),
+    /// The peer spoke a well-formed frame that violates the protocol
+    /// (wrong frame kind, response variant mismatching the request).
+    Protocol(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Closed => write!(f, "connection closed"),
+            RpcError::Timeout => write!(f, "call timed out"),
+            RpcError::Wire(e) => write!(f, "wire error: {e}"),
+            RpcError::Io(msg) => write!(f, "io error: {msg}"),
+            RpcError::Worker(msg) => write!(f, "worker error: {msg}"),
+            RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> RpcError {
+        RpcError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> RpcError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RpcError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset => RpcError::Closed,
+            _ => RpcError::Io(e.to_string()),
+        }
+    }
+}

@@ -165,6 +165,10 @@ pub struct TopKResponse {
     /// cost metric) this request fetched: BRS top-k plus Phase 2. Zero
     /// on cache hits, which never touch the tree.
     pub pages: u64,
+    /// Human-readable failure reason, present iff `failed` — e.g.
+    /// `"shard 2 unavailable: rpc timeout after 2 attempts"` from the
+    /// distributed tier, or the storage error of a local miss.
+    pub error: Option<String>,
     /// The captured span breakdown, present iff the request set
     /// [`TopKRequest::explain`].
     pub explain: Option<gir_obs::ExplainReport>,
@@ -314,6 +318,7 @@ pub fn compute_response(
                 latency_us: started.elapsed().as_micros() as u64,
                 failed: false,
                 pages,
+                error: None,
                 explain: None,
             }
         }
@@ -323,14 +328,16 @@ pub fn compute_response(
             latency_us: started.elapsed().as_micros() as u64,
             failed: false,
             pages: 0,
+            error: None,
             explain: None,
         },
-        Err(GirError::Tree(_)) => TopKResponse {
+        Err(e @ GirError::Tree(_)) | Err(e @ GirError::ShardUnavailable { .. }) => TopKResponse {
             ids: Vec::new(),
             from_cache: false,
             latency_us: started.elapsed().as_micros() as u64,
             failed: true,
             pages: 0,
+            error: Some(e.to_string()),
             explain: None,
         },
         Err(e) => panic!("GIR computation failed in serve path: {e}"),
@@ -477,6 +484,7 @@ impl GirServer {
                     latency_us: t0.elapsed().as_micros() as u64,
                     failed: false,
                     pages: 0,
+                    error: None,
                     explain: None,
                 };
             }

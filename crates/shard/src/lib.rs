@@ -45,7 +45,8 @@ pub mod serve;
 pub use dataset::ShardedDataset;
 pub use placement::{grid_band, Placement};
 pub use serve::{
-    repair_region_sharded, repair_region_star_sharded, ShardedGirServer, ShardedServerConfig,
+    repair_region_sharded, repair_region_sharded_with, repair_region_star_sharded,
+    repair_region_star_sharded_with, RepairSweeps, ShardedGirServer, ShardedServerConfig,
 };
 
 #[cfg(test)]

@@ -31,7 +31,8 @@ use gir_core::{
     RegionKind, RepairRequest,
 };
 use gir_geometry::hyperplane::{HalfSpace, Provenance};
-use gir_query::{QueryVector, Record, ScoringFunction};
+use gir_geometry::vector::PointD;
+use gir_query::{QueryVector, Record, ScoringFunction, TopKResult};
 use gir_rtree::RTreeError;
 use gir_serve::{
     compute_response, execute_batch, BatchResult, CacheStats, ShardedGirCache, TopKRequest,
@@ -247,6 +248,7 @@ impl ShardedGirServer {
                     latency_us: t0.elapsed().as_micros() as u64,
                     failed: false,
                     pages: 0,
+                    error: None,
                     explain: None,
                 };
             }
@@ -454,6 +456,81 @@ impl gir_serve::RecoverableServer for ShardedGirServer {
     }
 }
 
+/// The sweep surface the shard-local repair algorithms run against.
+///
+/// [`repair_region_sharded_with`] and [`repair_region_star_sharded_with`]
+/// only need four operations from the partitioned substrate: the shard
+/// count, the pure record→shard placement, and the two FP sweeps over a
+/// single shard's tree. [`ShardedDataset`] implements them in-process;
+/// `gir-rpc`'s remote cluster implements them by shipping
+/// `RepairSweep`/`RepairStarSweep` requests to the owning workers, so
+/// both tiers share one repair algorithm (and therefore produce
+/// bit-identical rebuilt regions).
+pub trait RepairSweeps {
+    /// Number of shards the dataset is partitioned into.
+    fn num_shards(&self) -> usize;
+
+    /// The shard owning `(id, attrs)` (pure placement function).
+    fn shard_of(&self, id: u64, attrs: &PointD) -> usize;
+
+    /// FP repair sweep pinned at the cached `p_k` over shard `s` alone,
+    /// seeded with that shard's surviving contributors and pruned by
+    /// the kept `interim` constraints. `None` declines the repair (the
+    /// caller keeps the entry sound-but-non-maximal).
+    fn fp_sweep(
+        &self,
+        shard: usize,
+        scoring: &ScoringFunction,
+        result: &TopKResult,
+        interim: &[HalfSpace],
+        seeds: &[Record],
+    ) -> Option<Vec<HalfSpace>>;
+
+    /// Root-seeded concurrent GIR\* sweep over shard `s` alone.
+    fn fp_star_sweep(
+        &self,
+        shard: usize,
+        scoring: &ScoringFunction,
+        result: &TopKResult,
+        seeds: &[Record],
+    ) -> Option<Vec<HalfSpace>>;
+}
+
+impl RepairSweeps for ShardedDataset {
+    fn num_shards(&self) -> usize {
+        ShardedDataset::num_shards(self)
+    }
+
+    fn shard_of(&self, id: u64, attrs: &PointD) -> usize {
+        ShardedDataset::shard_of(self, id, attrs)
+    }
+
+    fn fp_sweep(
+        &self,
+        shard: usize,
+        scoring: &ScoringFunction,
+        result: &TopKResult,
+        interim: &[HalfSpace],
+        seeds: &[Record],
+    ) -> Option<Vec<HalfSpace>> {
+        fp_repair(self.shard_tree(shard), scoring, result, interim, seeds)
+            .ok()
+            .map(|(hs, _stats)| hs)
+    }
+
+    fn fp_star_sweep(
+        &self,
+        shard: usize,
+        scoring: &ScoringFunction,
+        result: &TopKResult,
+        seeds: &[Record],
+    ) -> Option<Vec<HalfSpace>> {
+        fp_star_repair(self.shard_tree(shard), scoring, result, seeds)
+            .ok()
+            .map(|(hs, _stats)| hs)
+    }
+}
+
 /// Shard-local facet repair of one cached entry.
 ///
 /// The entry's region was produced by [`gir_core::gir_sharded`]: its
@@ -480,6 +557,16 @@ impl gir_serve::RecoverableServer for ShardedGirServer {
 /// sound-but-non-maximal.
 pub fn repair_region_sharded(
     data: &ShardedDataset,
+    req: &RepairRequest<'_>,
+    removed_owner: &HashMap<u64, BTreeSet<usize>>,
+) -> Option<GirRegion> {
+    repair_region_sharded_with(data, req, removed_owner)
+}
+
+/// [`repair_region_sharded`] over any [`RepairSweeps`] surface — the
+/// in-process dataset and the RPC cluster share this exact algorithm.
+pub fn repair_region_sharded_with<S: RepairSweeps + ?Sized>(
+    data: &S,
     req: &RepairRequest<'_>,
     removed_owner: &HashMap<u64, BTreeSet<usize>>,
 ) -> Option<GirRegion> {
@@ -530,14 +617,7 @@ pub fn repair_region_sharded(
     let mut rebuilt = ordering;
     rebuilt.append(&mut kept);
     for s in affected {
-        let (swept, _stats) = fp_repair(
-            data.shard_tree(s),
-            scoring,
-            req.result,
-            &interim,
-            &seeds_by_shard[s],
-        )
-        .ok()?;
+        let swept = data.fp_sweep(s, scoring, req.result, &interim, &seeds_by_shard[s])?;
         for h in swept {
             let fresh = match h.provenance {
                 Provenance::NonResult { record_id } => kept_ids.insert(record_id),
@@ -582,6 +662,16 @@ pub fn repair_region_star_sharded(
     req: &RepairRequest<'_>,
     removed_owner: &HashMap<u64, BTreeSet<usize>>,
 ) -> Option<GirRegion> {
+    repair_region_star_sharded_with(data, req, removed_owner)
+}
+
+/// [`repair_region_star_sharded`] over any [`RepairSweeps`] surface —
+/// the star companion of [`repair_region_sharded_with`].
+pub fn repair_region_star_sharded_with<S: RepairSweeps + ?Sized>(
+    data: &S,
+    req: &RepairRequest<'_>,
+    removed_owner: &HashMap<u64, BTreeSet<usize>>,
+) -> Option<GirRegion> {
     let scoring = req.scoring;
     debug_assert!(scoring.is_linear());
 
@@ -621,8 +711,7 @@ pub fn repair_region_star_sharded(
 
     let mut rebuilt = kept;
     for s in affected {
-        let (swept, _stats) =
-            fp_star_repair(data.shard_tree(s), scoring, req.result, &seeds_by_shard[s]).ok()?;
+        let swept = data.fp_star_sweep(s, scoring, req.result, &seeds_by_shard[s])?;
         for h in swept {
             let fresh = match h.provenance {
                 Provenance::StarNonResult { rank, record_id } => {

@@ -60,6 +60,35 @@ pub struct Wal {
     bytes: u64,
 }
 
+/// Scans `raw` as a run of WAL frames: returns the CRC-valid payloads
+/// in append order and the byte offset where the valid prefix ends
+/// (everything past it is a torn tail or mid-log corruption).
+fn scan_frames(raw: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut payloads = Vec::new();
+    let mut off = 0usize;
+    loop {
+        let rest = &raw[off..];
+        if rest.len() < WAL_HEADER {
+            break;
+        }
+        let magic = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if magic != WAL_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[8..12].try_into().unwrap());
+        let Some(payload) = rest.get(WAL_HEADER..WAL_HEADER + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        payloads.push(payload.to_vec());
+        off += WAL_HEADER + len;
+    }
+    (payloads, off)
+}
+
 impl Wal {
     /// Wraps a freshly created (empty) log file.
     pub fn create(file: Box<dyn LogFile>, policy: FsyncPolicy) -> Wal {
@@ -80,28 +109,7 @@ impl Wal {
         policy: FsyncPolicy,
     ) -> Result<(Wal, Vec<Vec<u8>>, WalOpenReport), StorageError> {
         let raw = file.read_all()?;
-        let mut payloads = Vec::new();
-        let mut off = 0usize;
-        loop {
-            let rest = &raw[off..];
-            if rest.len() < WAL_HEADER {
-                break;
-            }
-            let magic = u32::from_le_bytes(rest[0..4].try_into().unwrap());
-            if magic != WAL_MAGIC {
-                break;
-            }
-            let len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(rest[8..12].try_into().unwrap());
-            let Some(payload) = rest.get(WAL_HEADER..WAL_HEADER + len) else {
-                break;
-            };
-            if crc32(payload) != crc {
-                break;
-            }
-            payloads.push(payload.to_vec());
-            off += WAL_HEADER + len;
-        }
+        let (payloads, off) = scan_frames(&raw);
         let truncated = (raw.len() - off) as u64;
         if truncated > 0 {
             file.truncate(off as u64)?;
@@ -158,6 +166,19 @@ impl Wal {
     /// Records currently in the log.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Reads the payload suffix starting at record index `from_record`
+    /// (0-based, append order) — the delta stream a lagging replica
+    /// replays to catch up after a snapshot restore. Unsynced appends
+    /// are visible (the read goes through the same [`LogFile`]), and
+    /// only the CRC-valid prefix of the log is served, so a torn tail
+    /// never reaches a replica.
+    pub fn tail(&mut self, from_record: u64) -> Result<Vec<Vec<u8>>, StorageError> {
+        let raw = self.file.read_all()?;
+        let (mut payloads, _) = scan_frames(&raw);
+        let skip = (from_record as usize).min(payloads.len());
+        Ok(payloads.split_off(skip))
     }
 
     /// Log length in bytes.
@@ -224,6 +245,24 @@ mod tests {
             let (_, _, again) = Wal::open(dir2.open("wal").unwrap(), FsyncPolicy::Never).unwrap();
             assert_eq!(again.truncated_bytes, 0, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn tail_streams_the_suffix_from_any_record() {
+        let dir = MemDir::new();
+        let mut wal = Wal::create(dir.create("wal").unwrap(), FsyncPolicy::Never);
+        let frames: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; i as usize + 1]).collect();
+        for p in &frames {
+            wal.append(p).unwrap();
+        }
+        for from in 0..=7u64 {
+            let got = wal.tail(from).unwrap();
+            let want = frames[(from as usize).min(frames.len())..].to_vec();
+            assert_eq!(got, want, "tail from {from}");
+        }
+        // Appends made after a tail() call show up in the next one.
+        wal.append(b"late").unwrap();
+        assert_eq!(wal.tail(6).unwrap(), vec![b"late".to_vec()]);
     }
 
     #[test]

@@ -26,7 +26,8 @@
 
 use gir::prelude::*;
 use gir::query::naive_topk;
-use gir::serve::{mixed_workload, ServeStats, WorkloadConfig};
+use gir::rpc::{DistributedGirServer, DistributedServerConfig, ThreadEndpoint};
+use gir::serve::{mixed_workload, BatchResult, ServeStats, UpdateReport, WorkloadConfig};
 use std::sync::Arc;
 
 const HELP: &str = "\
@@ -40,6 +41,14 @@ FLAGS:
               requests: cache hits guarantee the top-k *set*; the
               freshness oracle compares compositions instead of exact
               rankings
+    --distributed
+              serve through DistributedGirServer: four RPC shard
+              workers behind the framed loopback transport instead of
+              the in-process GirServer. Same traffic, same freshness
+              oracle; with --metrics the snapshot additionally carries
+              the rpc.* counters, whose liveness invariant
+              (requests = responses + failures, retries ≤ requests)
+              `metrics_check` enforces
     --metrics[=PATH]
               enable the gir-obs collector for the whole run and write
               the registry snapshot (counters, gauges, histograms) as
@@ -69,6 +78,45 @@ WORKLOAD (fixed in this driver, knobs of gir_serve::WorkloadConfig):
     k_choices=5,10
 ";
 
+/// The serving engine under test: the in-process `GirServer` (default)
+/// or the RPC-sharded `DistributedGirServer` (`--distributed`). Both
+/// expose the same batch surface, so the replay loop and the freshness
+/// oracle are engine-agnostic.
+enum Engine {
+    Local(GirServer),
+    Distributed(DistributedGirServer),
+}
+
+impl Engine {
+    fn run_batch(&self, requests: &[TopKRequest]) -> BatchResult {
+        match self {
+            Engine::Local(s) => s.run_batch(requests),
+            Engine::Distributed(s) => s.run_batch(requests),
+        }
+    }
+
+    fn apply_updates(&self, updates: &[Update]) -> Result<UpdateReport, gir::rtree::RTreeError> {
+        match self {
+            Engine::Local(s) => s.apply_updates(updates),
+            Engine::Distributed(s) => s.apply_updates(updates),
+        }
+    }
+
+    fn scoring(&self) -> &ScoringFunction {
+        match self {
+            Engine::Local(s) => s.scoring(),
+            Engine::Distributed(s) => s.scoring(),
+        }
+    }
+
+    fn cache_stats(&self) -> gir::serve::CacheStats {
+        match self {
+            Engine::Local(s) => s.cache_stats(),
+            Engine::Distributed(s) => s.cache_stats(),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -76,6 +124,7 @@ fn main() {
         return;
     }
     let star = args.iter().any(|a| a == "--star");
+    let distributed = args.iter().any(|a| a == "--distributed");
     let metrics_path: Option<String> = args.iter().find_map(|a| match a.as_str() {
         "--metrics" => Some("METRICS_obs.json".to_string()),
         s => s
@@ -83,10 +132,9 @@ fn main() {
             .map(|p| p.trim().to_string())
             .filter(|p| !p.is_empty()),
     });
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| *a != "--star" && *a != "--metrics" && !a.starts_with("--metrics="))
-    {
+    if let Some(unknown) = args.iter().find(|a| {
+        *a != "--star" && *a != "--distributed" && *a != "--metrics" && !a.starts_with("--metrics=")
+    }) {
         eprintln!("unknown flag {unknown:?}\n\n{HELP}");
         std::process::exit(2);
     }
@@ -114,19 +162,41 @@ fn main() {
     };
 
     let mut mirror = gir::datagen::synthetic(Distribution::Independent, n, d, data_seed);
-    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
-    let tree = RTree::bulk_load(store, &mirror).expect("bulk load");
-    let server = GirServer::new(
-        tree,
-        ScoringFunction::linear(d),
-        ServerConfig {
-            threads,
-            shards: 16,
-            shard_capacity: 32,
-            method: Method::FacetPruning,
-            ..ServerConfig::default()
-        },
-    );
+    let server = if distributed {
+        // Four shard workers on the framed loopback transport — the
+        // same cache geometry as the local engine, so hit rates are
+        // comparable across the two modes.
+        Engine::Distributed(
+            DistributedGirServer::launch(
+                &mirror,
+                ScoringFunction::linear(d),
+                DistributedServerConfig {
+                    threads,
+                    data_shards: 4,
+                    cache_shards: 16,
+                    cache_capacity: 32,
+                    method: Method::FacetPruning,
+                    ..DistributedServerConfig::default()
+                },
+                Box::new(|_| Box::new(ThreadEndpoint::spawn())),
+            )
+            .expect("launch distributed server"),
+        )
+    } else {
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+        let tree = RTree::bulk_load(store, &mirror).expect("bulk load");
+        Engine::Local(GirServer::new(
+            tree,
+            ScoringFunction::linear(d),
+            ServerConfig {
+                threads,
+                shards: 16,
+                shard_capacity: 32,
+                method: Method::FacetPruning,
+                ..ServerConfig::default()
+            },
+        ))
+    };
 
     let wl = WorkloadConfig {
         dim: d,
@@ -154,9 +224,14 @@ fn main() {
     let total_queries: usize = traffic.iter().map(|b| b.queries.len()).sum();
     let total_updates: usize = traffic.iter().map(|b| b.updates.len()).sum();
     let mode = if star { "GIR* (set)" } else { "GIR (ranked)" };
+    let engine = if distributed {
+        "distributed S=4 loopback"
+    } else {
+        "in-process"
+    };
     println!(
         "replaying {total_queries} queries + {total_updates} updates in {} batches \
-         on {threads} threads (n={n}, d={d}, FP, {mode})\n",
+         on {threads} threads (n={n}, d={d}, FP, {mode}, {engine})\n",
         traffic.len()
     );
 
@@ -259,5 +334,9 @@ fn main() {
         println!("{}", snap.to_text());
         std::fs::write(&path, snap.to_json()).expect("write metrics snapshot");
         println!("wrote metrics snapshot to {path}");
+    }
+
+    if let Engine::Distributed(s) = &server {
+        s.shutdown();
     }
 }

@@ -25,7 +25,10 @@
 //! * [`shard`] — partitioned datasets: S independent R\*-trees whose
 //!   per-shard GIR constraint systems merge into the single-tree
 //!   region, with hash/grid placement, shard-local update routing, and
-//!   a sharded serving layer.
+//!   a sharded serving layer,
+//! * [`rpc`] — process-per-shard distribution: shard workers behind a
+//!   framed local transport, WAL-replayed rejoin, and a distributed
+//!   server proven bit-identical to the in-process sharded plan.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use gir_datagen as datagen;
 pub use gir_geometry as geometry;
 pub use gir_obs as obs;
 pub use gir_query as query;
+pub use gir_rpc as rpc;
 pub use gir_rtree as rtree;
 pub use gir_serve as serve;
 pub use gir_shard as shard;

@@ -1,0 +1,7 @@
+//! Shared helpers for the differential test suites. Each integration
+//! test binary compiles this module independently (`mod common;`), so
+//! helpers unused by one binary are expected.
+#![allow(dead_code)]
+
+pub mod oracle;
+pub mod rpc;

@@ -1,0 +1,190 @@
+//! Oracle builders and comparison keys shared by the differential
+//! harnesses (`proptest_shard`, `pool_differential`, `crash_recovery`,
+//! `rpc_differential`, …).
+//!
+//! Every suite in the workspace proves some execution plan equivalent
+//! to a simpler oracle — sharded vs single tree, parallel vs
+//! sequential, recovered vs never-crashed, distributed vs in-process.
+//! The builders and equality keys they share live here so the suites
+//! can't drift apart on what "equivalent" means.
+
+use gir::core::{GirOutput, RegionKind};
+use gir::prelude::*;
+use gir::serve::UpdateReport;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
+/// `sel` picks a live record to delete.
+pub type Op = (u8, Vec<f64>, u64);
+
+/// `(shard count, placement)` grid pinned by the acceptance criteria.
+pub const SHARDINGS: [(usize, Placement); 4] = [
+    (1, Placement::Hash),
+    (2, Placement::Grid),
+    (4, Placement::Hash),
+    (8, Placement::Grid),
+];
+
+/// Advances the xorshift state and returns a uniform draw in `[0, 1)`.
+pub fn xorshift_unit(s: &mut u64) -> f64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    (*s >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic uniform dataset: ids `0..n`, attrs in `[0, 1)^d`.
+pub fn records(n: usize, d: usize, seed: u64) -> Vec<Record> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            Record::new(
+                i as u64,
+                (0..d).map(|_| xorshift_unit(&mut s)).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// The single-tree oracle substrate: one bulk-loaded R\*-tree in memory.
+pub fn build_tree(recs: &[Record]) -> RTree {
+    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
+    RTree::bulk_load(store, recs).unwrap()
+}
+
+/// Turns the op stream into concrete update batches as a pure function
+/// of the initial records — an oracle can replay any prefix of these.
+pub fn materialize(initial: &[Record], batches: &[Vec<Op>]) -> Vec<Vec<Update>> {
+    let mut live = initial.to_vec();
+    let mut next_id = 1_000_000u64;
+    batches
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|(op, attrs, sel)| {
+                    if *op < 6 || live.len() < 24 {
+                        let rec = Record::new(next_id, attrs.clone());
+                        next_id += 1;
+                        live.push(rec.clone());
+                        Update::Insert(rec)
+                    } else {
+                        let idx = (*sel % live.len() as u64) as usize;
+                        let victim = live.swap_remove(idx);
+                        Update::Delete {
+                            id: victim.id,
+                            attrs: victim.attrs,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Probe requests: every weight vector under both region kinds.
+pub fn probe_requests(probes: &[Vec<f64>], k: usize) -> Vec<TopKRequest> {
+    probes
+        .iter()
+        .flat_map(|w| {
+            [RegionKind::Gir, RegionKind::GirStar].map(|kind| {
+                let mut req = TopKRequest::new(w.clone(), k);
+                req.kind = kind;
+                req
+            })
+        })
+        .collect()
+}
+
+/// The reduced facet set as (non-result contributor ids, vertices).
+/// `None` when vertex enumeration fails numerically — membership
+/// probes still cover that case.
+pub fn reduced_facets(region: &gir::core::GirRegion) -> Option<(BTreeSet<u64>, Vec<PointD>)> {
+    let red = region.reduce().ok()?;
+    let ids = red
+        .facets
+        .iter()
+        .filter_map(|h| match h.provenance {
+            gir::geometry::hyperplane::Provenance::NonResult { record_id } => Some(record_id),
+            _ => None,
+        })
+        .collect();
+    Some((ids, red.vertices))
+}
+
+/// Reduced-boundary non-result contributor ids alone.
+pub fn reduced_contributors(region: &gir::core::GirRegion) -> Option<BTreeSet<u64>> {
+    reduced_facets(region).map(|(ids, _)| ids)
+}
+
+/// The record multiset as a bit-exact comparable key: the wire and
+/// recovery paths must not perturb a single f64 bit — facets would
+/// move.
+pub fn dataset_key(records: Vec<Record>) -> Vec<(u64, Vec<u64>)> {
+    let mut key: Vec<(u64, Vec<u64>)> = records
+        .into_iter()
+        .map(|r| (r.id, r.attrs.coords().iter().map(|c| c.to_bits()).collect()))
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// Bitwise equality of two GIR outputs: ranked ids, score bit patterns,
+/// the exact half-space sequence (normals, offsets, provenance, order),
+/// and the Phase-2 work counters. Any completion-order or wire-format
+/// leak between two execution plans shows up here.
+pub fn assert_bit_identical(seq: &GirOutput, par: &GirOutput, label: &str) {
+    assert_eq!(
+        seq.result.ids(),
+        par.result.ids(),
+        "{label}: ranked ids diverged"
+    );
+    let bits = |out: &GirOutput| -> Vec<u64> {
+        out.result.ranked.iter().map(|(_, s)| s.to_bits()).collect()
+    };
+    assert_eq!(bits(seq), bits(par), "{label}: score bits diverged");
+    assert_eq!(
+        seq.region.halfspaces.len(),
+        par.region.halfspaces.len(),
+        "{label}: half-space count diverged"
+    );
+    for (i, (a, b)) in seq
+        .region
+        .halfspaces
+        .iter()
+        .zip(&par.region.halfspaces)
+        .enumerate()
+    {
+        assert_eq!(
+            a.provenance, b.provenance,
+            "{label}: provenance diverged at half-space {i}"
+        );
+        assert_eq!(
+            a.offset.to_bits(),
+            b.offset.to_bits(),
+            "{label}: offset bits diverged at half-space {i}"
+        );
+        let na: Vec<u64> = a.normal.coords().iter().map(|c| c.to_bits()).collect();
+        let nb: Vec<u64> = b.normal.coords().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(na, nb, "{label}: normal bits diverged at half-space {i}");
+    }
+    assert_eq!(
+        (seq.stats.candidates, seq.stats.structure_size),
+        (par.stats.candidates, par.stats.structure_size),
+        "{label}: Phase-2 counters diverged"
+    );
+}
+
+/// Every observable counter of an [`UpdateReport`] as one comparable
+/// tuple.
+pub fn report_key(r: &UpdateReport) -> (usize, usize, usize, usize, usize, usize, usize) {
+    (
+        r.inserted,
+        r.deleted,
+        r.missed_deletes,
+        r.evicted,
+        r.repaired,
+        r.shrunk,
+        r.untouched,
+    )
+}

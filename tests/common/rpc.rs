@@ -1,0 +1,87 @@
+//! Shared harness pieces for the distributed-tier suites
+//! (`rpc_differential`, `rpc_faults`): endpoint factories with fault
+//! injection and the matched coordinator/in-process configurations.
+
+use gir::core::Method;
+use gir::prelude::*;
+use gir::rpc::{
+    DistributedServerConfig, EndpointFactory, FaultPlan, FaultyEndpoint, RemoteConfig,
+    ThreadEndpoint,
+};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Thread workers behind the loopback transport, wrapped with fault
+/// injection. An empty plan is the no-fault distributed baseline.
+pub fn faulty_factory(plan: Arc<FaultPlan>) -> EndpointFactory {
+    Box::new(move |shard| {
+        Box::new(FaultyEndpoint::new(
+            Box::new(ThreadEndpoint::spawn()),
+            shard,
+            plan.clone(),
+        ))
+    })
+}
+
+/// Like [`faulty_factory`], but the plan applies only to the *first*
+/// endpoint instance of each shard: a worker restarted by the rejoin
+/// protocol comes back healthy (the CrashClock model — the fault
+/// happened, recovery recovered). Without this, the rejoined endpoint's
+/// fault clock would restart at zero and re-fire the same plan forever.
+pub fn one_shot_faulty_factory(plan: Arc<FaultPlan>) -> EndpointFactory {
+    let spawned: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+    Box::new(move |shard| {
+        let first = spawned.lock().unwrap().insert(shard);
+        let plan = if first {
+            plan.clone()
+        } else {
+            FaultPlan::none()
+        };
+        Box::new(FaultyEndpoint::new(
+            Box::new(ThreadEndpoint::spawn()),
+            shard,
+            plan,
+        ))
+    })
+}
+
+/// Tight backoff so injected timeouts resolve fast; snapshots every
+/// two batches so rejoins exercise both the snapshot and the WAL
+/// suffix.
+pub fn remote_cfg() -> RemoteConfig {
+    RemoteConfig {
+        timeout: Duration::from_secs(10),
+        retries: 1,
+        backoff: Duration::from_millis(1),
+        snapshot_every: 2,
+    }
+}
+
+/// The distributed server, configured head-to-head comparable with
+/// [`inproc_cfg`]: same cache geometry, same method, sequential batch
+/// execution for deterministic probe order.
+pub fn dist_cfg(s: usize, p: Placement) -> DistributedServerConfig {
+    DistributedServerConfig {
+        threads: 1,
+        data_shards: s,
+        placement: p,
+        cache_shards: 4,
+        cache_capacity: 16,
+        method: Method::FacetPruning,
+        remote: remote_cfg(),
+    }
+}
+
+/// The in-process oracle twin of [`dist_cfg`].
+pub fn inproc_cfg(s: usize, p: Placement) -> ShardedServerConfig {
+    ShardedServerConfig {
+        threads: 1,
+        data_shards: s,
+        placement: p,
+        cache_shards: 4,
+        cache_capacity: 16,
+        method: Method::FacetPruning,
+        force_path: None,
+    }
+}

@@ -34,26 +34,18 @@
 //! `PROPTEST_CASES` and `GIR_SEED` (the vendored proptest folds them
 //! into its per-test deterministic RNG).
 
-use gir::core::{GirEngine, Method, RegionKind};
+mod common;
+
+use common::oracle::{
+    build_tree, dataset_key, materialize, probe_requests, reduced_contributors, report_key, Op,
+    SHARDINGS,
+};
+use gir::core::{GirEngine, Method};
 use gir::prelude::*;
-use gir::serve::{DurabilityConfig, DurabilityError, DurableServer, UpdateReport};
+use gir::serve::{DurabilityConfig, DurabilityError, DurableServer};
 use gir::shard::ShardedGirServer;
 use gir::storage::{CrashClock, CrashDir, FsyncPolicy, MemDir};
 use proptest::prelude::*;
-use std::collections::BTreeSet;
-use std::sync::Arc;
-
-/// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
-/// `sel` picks a live record to delete.
-type Op = (u8, Vec<f64>, u64);
-
-/// `(shard count, placement)` grid pinned by the acceptance criteria.
-const SHARDINGS: [(usize, Placement); 4] = [
-    (1, Placement::Hash),
-    (2, Placement::Grid),
-    (4, Placement::Hash),
-    (8, Placement::Grid),
-];
 
 const FSYNCS: [FsyncPolicy; 3] = [
     FsyncPolicy::Always,
@@ -75,80 +67,6 @@ fn server_cfg(s: usize, p: Placement) -> ShardedServerConfig {
 
 fn build_server(d: usize, records: &[Record], s: usize, p: Placement) -> ShardedGirServer {
     ShardedGirServer::build(d, records, ScoringFunction::linear(d), server_cfg(s, p)).unwrap()
-}
-
-/// Turns the op stream into concrete update batches as a pure function
-/// of the initial records — the oracle replays any prefix of these.
-fn materialize(initial: &[Record], batches: &[Vec<Op>]) -> Vec<Vec<Update>> {
-    let mut live = initial.to_vec();
-    let mut next_id = 1_000_000u64;
-    batches
-        .iter()
-        .map(|ops| {
-            ops.iter()
-                .map(|(op, attrs, sel)| {
-                    if *op < 6 || live.len() < 24 {
-                        let rec = Record::new(next_id, attrs.clone());
-                        next_id += 1;
-                        live.push(rec.clone());
-                        Update::Insert(rec)
-                    } else {
-                        let idx = (*sel % live.len() as u64) as usize;
-                        let victim = live.swap_remove(idx);
-                        Update::Delete {
-                            id: victim.id,
-                            attrs: victim.attrs,
-                        }
-                    }
-                })
-                .collect()
-        })
-        .collect()
-}
-
-/// Probe requests: every weight vector under both region kinds.
-fn probe_requests(probes: &[Vec<f64>], k: usize) -> Vec<TopKRequest> {
-    probes
-        .iter()
-        .flat_map(|w| {
-            [RegionKind::Gir, RegionKind::GirStar].map(|kind| {
-                let mut req = TopKRequest::new(w.clone(), k);
-                req.kind = kind;
-                req
-            })
-        })
-        .collect()
-}
-
-/// The record multiset as a bit-exact comparable key.
-fn dataset_key(records: Vec<Record>) -> Vec<(u64, Vec<u64>)> {
-    let mut key: Vec<(u64, Vec<u64>)> = records
-        .into_iter()
-        .map(|r| (r.id, r.attrs.coords().iter().map(|c| c.to_bits()).collect()))
-        .collect();
-    key.sort_unstable();
-    key
-}
-
-fn build_tree(recs: &[Record]) -> RTree {
-    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
-    RTree::bulk_load(store, recs).unwrap()
-}
-
-/// Reduced-boundary non-result contributor ids (`None` when vertex
-/// enumeration fails numerically — the response probes still cover
-/// that case).
-fn reduced_contributors(region: &gir::core::GirRegion) -> Option<BTreeSet<u64>> {
-    let red = region.reduce().ok()?;
-    Some(
-        red.facets
-            .iter()
-            .filter_map(|h| match h.provenance {
-                gir::geometry::hyperplane::Provenance::NonResult { record_id } => Some(record_id),
-                _ => None,
-            })
-            .collect(),
-    )
 }
 
 fn assert_responses_equal(
@@ -174,18 +92,6 @@ fn assert_responses_equal(
             i
         );
     }
-}
-
-fn report_key(r: &UpdateReport) -> (usize, usize, usize, usize, usize, usize, usize) {
-    (
-        r.inserted,
-        r.deleted,
-        r.missed_deletes,
-        r.evicted,
-        r.repaired,
-        r.shrunk,
-        r.untouched,
-    )
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -24,7 +24,10 @@
 //!   all shards in its report even when the per-shard spans were opened
 //!   on pool workers.
 
-use gir::core::{GirOutput, Method, RegionKind};
+mod common;
+
+use common::oracle::{assert_bit_identical, records};
+use gir::core::{Method, RegionKind};
 use gir::prelude::*;
 use gir::query::naive_topk;
 use gir::serve::MaintenanceMode;
@@ -45,64 +48,6 @@ fn with_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 }
 
 const PAR_THREADS: usize = 4;
-
-fn records(n: usize, d: usize, seed: u64) -> Vec<Record> {
-    let mut s = seed | 1;
-    let mut next = move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        (s >> 11) as f64 / (1u64 << 53) as f64
-    };
-    (0..n)
-        .map(|i| Record::new(i as u64, (0..d).map(|_| next()).collect::<Vec<_>>()))
-        .collect()
-}
-
-/// Bitwise equality of two GIR outputs: ranked ids, score bit patterns,
-/// the exact half-space sequence, and the Phase-2 work counters. Any
-/// completion-order leak in the parallel merge shows up here.
-fn assert_bit_identical(seq: &GirOutput, par: &GirOutput, label: &str) {
-    assert_eq!(
-        seq.result.ids(),
-        par.result.ids(),
-        "{label}: ranked ids diverged"
-    );
-    let bits = |out: &GirOutput| -> Vec<u64> {
-        out.result.ranked.iter().map(|(_, s)| s.to_bits()).collect()
-    };
-    assert_eq!(bits(seq), bits(par), "{label}: score bits diverged");
-    assert_eq!(
-        seq.region.halfspaces.len(),
-        par.region.halfspaces.len(),
-        "{label}: half-space count diverged"
-    );
-    for (i, (a, b)) in seq
-        .region
-        .halfspaces
-        .iter()
-        .zip(&par.region.halfspaces)
-        .enumerate()
-    {
-        assert_eq!(
-            a.provenance, b.provenance,
-            "{label}: provenance diverged at half-space {i}"
-        );
-        assert_eq!(
-            a.offset.to_bits(),
-            b.offset.to_bits(),
-            "{label}: offset bits diverged at half-space {i}"
-        );
-        let na: Vec<u64> = a.normal.coords().iter().map(|c| c.to_bits()).collect();
-        let nb: Vec<u64> = b.normal.coords().iter().map(|c| c.to_bits()).collect();
-        assert_eq!(na, nb, "{label}: normal bits diverged at half-space {i}");
-    }
-    assert_eq!(
-        (seq.stats.candidates, seq.stats.structure_size),
-        (par.stats.candidates, par.stats.structure_size),
-        "{label}: Phase-2 counters diverged"
-    );
-}
 
 /// One xorshift-driven update interleaving step: mostly inserts, with
 /// deletes picking arbitrary live records.

@@ -16,35 +16,19 @@
 //! chunk of a random update interleaving** routed through the sharded
 //! update path (owning shard only) and the oracle tree in lockstep.
 
+mod common;
+
+use common::oracle::{build_tree, reduced_facets, Op, SHARDINGS};
 use gir::core::{GirEngine, GirRegion, Method};
 use gir::prelude::*;
-use gir::shard::{Placement, ShardedDataset};
+use gir::shard::ShardedDataset;
 use proptest::prelude::*;
-use std::collections::BTreeSet;
-use std::sync::Arc;
-
-/// One generated dataset mutation: `op < 6` inserts `attrs`, otherwise
-/// `sel` picks a live record to delete.
-type Op = (u8, Vec<f64>, u64);
 
 const METHODS: [Method; 3] = [
     Method::SkylinePruning,
     Method::ConvexHullPruning,
     Method::FacetPruning,
 ];
-
-/// `(shard count, placement)` grid pinned by the acceptance criteria.
-const SHARDINGS: [(usize, Placement); 4] = [
-    (1, Placement::Hash),
-    (2, Placement::Grid),
-    (4, Placement::Hash),
-    (8, Placement::Grid),
-];
-
-fn build_tree(recs: &[Record]) -> RTree {
-    let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(PAGE_SIZE));
-    RTree::bulk_load(store, recs).unwrap()
-}
 
 fn dataset(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n..n + 15)
@@ -59,22 +43,6 @@ fn ops(d: usize) -> impl Strategy<Value = Vec<Op>> {
         ),
         6..14,
     )
-}
-
-/// The reduced facet set as (non-result contributor ids, vertices).
-/// `None` when vertex enumeration fails numerically — the membership
-/// probes still cover that case.
-fn reduced_facets(region: &GirRegion) -> Option<(BTreeSet<u64>, Vec<PointD>)> {
-    let red = region.reduce().ok()?;
-    let ids = red
-        .facets
-        .iter()
-        .filter_map(|h| match h.provenance {
-            gir::geometry::hyperplane::Provenance::NonResult { record_id } => Some(record_id),
-            _ => None,
-        })
-        .collect();
-    Some((ids, red.vertices))
 }
 
 /// A facet id appearing on only one side is tolerated iff its

@@ -1,0 +1,238 @@
+//! The fault-path contract of the distributed tier, pinned exactly:
+//!
+//! * a hung worker costs precisely its timeout + retry budget, fails
+//!   only the response that needed it (reason: the shard and "timed
+//!   out"), and every attempt is visible in the `rpc.*` counters —
+//!   requests/responses/failures/timeouts/retries deltas match the
+//!   injected fault plan arithmetic, not just "some errors happened";
+//! * one transient delay is absorbed by the retry budget: the caller
+//!   sees a clean response, the counters see one failure and one retry;
+//! * a killed worker fails fast (`connection closed`, no retry — the
+//!   stream is gone), and once the slot is reaped, further calls
+//!   short-circuit with **zero** counter movement (a dead transport
+//!   must not manufacture request traffic);
+//! * rejoin is one `Load` RPC (+ WAL suffix) and one `rpc.rejoins`
+//!   tick, after which the same query succeeds;
+//! * through all of it the liveness invariant `metrics_check` enforces
+//!   on CI snapshots holds: `requests = responses + failures` and
+//!   `retries ≤ requests`.
+//!
+//! The `rpc.*` counters are process-global, so every test serializes
+//! behind one lock and measures deltas against its own baseline.
+
+mod common;
+
+use common::oracle::{probe_requests, records};
+use common::rpc::{dist_cfg, inproc_cfg, one_shot_faulty_factory};
+use gir::obs::rpc::RpcCounters;
+use gir::prelude::*;
+use gir::rpc::{DistributedGirServer, Fault, FaultAction, FaultPlan};
+use gir::shard::ShardedGirServer;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests of this binary: they share the process-global
+/// `rpc.*` counters and assert exact deltas.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Snap {
+    requests: u64,
+    responses: u64,
+    failures: u64,
+    retries: u64,
+    timeouts: u64,
+    rejoins: u64,
+}
+
+fn snap(c: &RpcCounters) -> Snap {
+    Snap {
+        requests: c.requests.get(),
+        responses: c.responses.get(),
+        failures: c.failures.get(),
+        retries: c.retries.get(),
+        timeouts: c.timeouts.get(),
+        rejoins: c.rejoins.get(),
+    }
+}
+
+/// `(requests, responses, failures, retries, timeouts, rejoins)` since
+/// `base`.
+fn delta(base: Snap, now: Snap) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        now.requests - base.requests,
+        now.responses - base.responses,
+        now.failures - base.failures,
+        now.retries - base.retries,
+        now.timeouts - base.timeouts,
+        now.rejoins - base.rejoins,
+    )
+}
+
+fn assert_live(c: &RpcCounters) {
+    let s = snap(c);
+    assert_eq!(
+        s.requests,
+        s.responses + s.failures,
+        "liveness: every attempt must resolve"
+    );
+    assert!(s.retries <= s.requests, "liveness: retries exceed requests");
+}
+
+fn plan(faults: Vec<Fault>) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan { faults })
+}
+
+fn launch(s: usize, seed: u64, p: Arc<FaultPlan>) -> (Vec<Record>, DistributedGirServer) {
+    let d = 3;
+    let data = records(90, d, seed);
+    let dist = DistributedGirServer::launch(
+        &data,
+        ScoringFunction::linear(d),
+        dist_cfg(s, Placement::Hash),
+        one_shot_faulty_factory(p),
+    )
+    .unwrap();
+    (data, dist)
+}
+
+/// Delay on both the first query call and its retry: the worker is
+/// hung past the whole retry budget. Exactly one response degrades,
+/// with the shard and the timeout in its reason, and the counter
+/// deltas are the fault-plan arithmetic: the miss aborts at shard 1's
+/// top-k, so shard 0 contributed one answered request and shard 1 two
+/// timed-out attempts bridged by one retry.
+#[test]
+fn hung_worker_times_out_with_reason_and_exact_counters() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = RpcCounters::global();
+    let (_, dist) = launch(
+        2,
+        0xFA01,
+        plan(
+            (0..2)
+                .map(|i| Fault {
+                    shard: 1,
+                    call: i,
+                    action: FaultAction::Delay,
+                })
+                .collect(),
+        ),
+    );
+    let req = probe_requests(&[vec![0.55, 0.62, 0.48]], 5);
+    let base = snap(&c);
+    let out = dist.run_batch(&req[..1]);
+    let r = &out.responses[0];
+    assert!(r.failed, "hung worker must degrade the response");
+    let reason = r.error.as_deref().expect("failed response carries reason");
+    assert!(
+        reason.contains("shard 1") && reason.contains("timed out"),
+        "reason must name the shard and the timeout: {reason}"
+    );
+    assert_eq!(
+        delta(base, snap(&c)),
+        // requests, responses, failures, retries, timeouts, rejoins
+        (3, 1, 2, 1, 2, 0),
+        "counters must match the injected plan exactly"
+    );
+    assert_eq!(dist.dead_shards(), vec![1], "post-retry timeout reaps");
+
+    // Rejoin: one Load RPC (the WAL suffix is empty — no batches were
+    // applied) and one rejoin tick; the same query then succeeds with
+    // a full fan-out (2 shards × TopK + Phase2).
+    let base = snap(&c);
+    assert_eq!(dist.rejoin_dead().unwrap(), 1);
+    assert_eq!(delta(base, snap(&c)), (1, 1, 0, 0, 0, 1));
+    let base = snap(&c);
+    let out = dist.run_batch(&req[..1]);
+    assert!(!out.responses[0].failed, "rejoined worker must answer");
+    assert!(!out.responses[0].ids.is_empty());
+    assert_eq!(delta(base, snap(&c)), (4, 4, 0, 0, 0, 0));
+    assert_live(&c);
+    dist.shutdown();
+}
+
+/// One transient delay sits inside the retry budget: the caller never
+/// sees it, the counters see exactly one failure and its retry.
+#[test]
+fn single_delay_is_absorbed_by_retry() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = RpcCounters::global();
+    let fplan = plan(vec![Fault {
+        shard: 0,
+        call: 0,
+        action: FaultAction::Delay,
+    }]);
+    let (data, dist) = launch(2, 0xFA02, fplan);
+    let oracle = ShardedGirServer::build(
+        3,
+        &data,
+        ScoringFunction::linear(3),
+        inproc_cfg(2, Placement::Hash),
+    )
+    .unwrap();
+    let req = probe_requests(&[vec![0.9, 0.15, 0.4]], 4);
+    let base = snap(&c);
+    let out = dist.run_batch(&req[..1]);
+    let want = oracle.run_batch(&req[..1]);
+    assert!(!out.responses[0].failed, "retry must absorb one delay");
+    assert_eq!(
+        out.responses[0].ids, want.responses[0].ids,
+        "retried answer must match the in-process oracle"
+    );
+    // Full miss fan-out (2 × TopK + 2 × Phase2 answered) plus the one
+    // timed-out first attempt on shard 0.
+    assert_eq!(delta(base, snap(&c)), (5, 4, 1, 1, 1, 0));
+    assert!(
+        dist.dead_shards().is_empty(),
+        "no reap on an absorbed delay"
+    );
+    assert_live(&c);
+    dist.shutdown();
+}
+
+/// A kill fails fast (closed streams are not retried), and once the
+/// slot is reaped further calls short-circuit without touching the
+/// counters — a dead transport generates no phantom traffic.
+#[test]
+fn dead_slot_short_circuits_without_counter_movement() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = RpcCounters::global();
+    let fplan = plan(vec![Fault {
+        shard: 1,
+        call: 0,
+        action: FaultAction::Kill,
+    }]);
+    let (_, dist) = launch(2, 0xFA03, fplan);
+    let req = probe_requests(&[vec![0.33, 0.71, 0.52]], 5);
+
+    // The kill: shard 0 answers its TopK, shard 1's dies mid-call. No
+    // retry (the stream is gone), so one failure and zero timeouts.
+    let base = snap(&c);
+    let out = dist.run_batch(&req[..1]);
+    assert!(out.responses[0].failed);
+    let reason = out.responses[0].error.as_deref().unwrap_or_default();
+    assert!(
+        reason.contains("shard 1") && reason.contains("connection closed"),
+        "kill reason must be the closed transport: {reason}"
+    );
+    assert_eq!(delta(base, snap(&c)), (2, 1, 1, 0, 0, 0));
+    assert_eq!(dist.dead_shards(), vec![1]);
+
+    // Same query again: nothing was admitted (the miss failed), so the
+    // fan-out re-runs — shard 0 is one counted request, the dead slot
+    // fails the response with zero counter movement.
+    let base = snap(&c);
+    let out = dist.run_batch(&req[..1]);
+    assert!(out.responses[0].failed);
+    assert_eq!(
+        delta(base, snap(&c)),
+        (1, 1, 0, 0, 0, 0),
+        "a dead slot must not manufacture request traffic"
+    );
+
+    assert_eq!(dist.rejoin_dead().unwrap(), 1);
+    let out = dist.run_batch(&req[..1]);
+    assert!(!out.responses[0].failed, "rejoined worker must answer");
+    assert_live(&c);
+    dist.shutdown();
+}
