@@ -53,8 +53,13 @@ pub type EndpointFactory = Box<dyn Fn(usize) -> Box<dyn ShardEndpoint> + Send + 
 pub struct RemoteConfig {
     /// Per-call deadline.
     pub timeout: Duration,
-    /// Extra attempts after a timed-out call (timeouts only — a closed
-    /// endpoint cannot be retried, its stream is gone).
+    /// Extra attempts after a timed-out call. A retry can only succeed
+    /// when the timeout never touched the worker's stream (e.g. an
+    /// injected delay that ate the deadline before sending): once a
+    /// request's bytes are in flight, the endpoint poisons itself on
+    /// timeout — a late response must never answer a newer request —
+    /// so the retry observes `Closed`, fails fast, and the shard is
+    /// reaped for snapshot + WAL rejoin instead.
     pub retries: u32,
     /// Backoff before the first retry; doubles per attempt.
     pub backoff: Duration,
@@ -304,6 +309,14 @@ impl RemoteShards {
         res
     }
 
+    /// Tears down shard `s`'s endpoint (if any live one remains) and
+    /// marks the slot dead until a rejoin.
+    fn reap(&self, s: usize) {
+        if let Some(mut dead) = self.lock_slot(s).endpoint.take() {
+            dead.shutdown();
+        }
+    }
+
     /// Shards whose endpoint is currently dead (killed, hung, or never
     /// rejoined).
     pub fn dead_shards(&self) -> Vec<usize> {
@@ -334,7 +347,13 @@ impl RemoteShards {
 
     /// Restarts shard `s` from the newest snapshot plus the WAL suffix
     /// — the delta-stream catch-up of the PR 8 durability contract.
-    pub fn rejoin(&self, s: usize) -> Result<(), ClusterError> {
+    ///
+    /// Returns the epoch and owner outcomes of the *last* replayed WAL
+    /// batch (`None` when the suffix was empty): when [`Self::apply`]
+    /// loses a shard mid-broadcast, the batch is already in the WAL, so
+    /// the replay both catches the fresh worker up *and* recovers the
+    /// outcomes the broadcast failed to collect.
+    pub fn rejoin(&self, s: usize) -> Result<Option<(u64, Vec<u8>)>, ClusterError> {
         let snap_epoch = self.snap_epoch.load(Ordering::SeqCst);
         let payload = read_snapshot(self.dir.as_ref(), &snap_name(snap_epoch))?;
         let snap = SnapshotState::decode(&payload)?;
@@ -353,11 +372,12 @@ impl RemoteShards {
             let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
             wal.tail(snap.batches)?
         };
+        let mut last = None;
         for (i, payload) in tail.iter().enumerate() {
             let batch = WalBatch::decode(payload)?;
             let epoch = snap.batches + i as u64 + 1;
             match self.call_ep(ep.as_mut(), s, &ShardRequest::Apply { epoch, batch })? {
-                ShardResponse::Applied { .. } => {}
+                ShardResponse::Applied { outcomes, .. } => last = Some((epoch, outcomes)),
                 other => {
                     return Err(ClusterError::Rpc {
                         shard: s,
@@ -369,7 +389,7 @@ impl RemoteShards {
         self.lock_slot(s).endpoint = Some(ep);
         self.counters.rejoins.inc();
         tracing::event!("rpc_rejoin");
-        Ok(())
+        Ok(last)
     }
 
     /// Rejoins every dead shard; returns how many came back.
@@ -399,7 +419,12 @@ impl RemoteShards {
             self.epoch.fetch_add(1, Ordering::SeqCst) + 1
         };
 
-        // Owner outcome per op, gathered across the broadcast.
+        // Owner outcome per op, gathered across the broadcast. The
+        // broadcast never aborts on a per-shard failure: the shards
+        // after a failing one must still receive this batch, or they
+        // would stay live while silently missing it — permanent
+        // divergence no later call could detect (worker epochs would
+        // just mirror the next Apply).
         let mut owner_outcomes: Vec<u8> = vec![gir_core::wire::outcome::NONE; updates.len()];
         for s in 0..self.num_shards {
             let resp = self.call_shard(
@@ -408,13 +433,28 @@ impl RemoteShards {
                     epoch,
                     batch: wal_batch.clone(),
                 },
-            )?;
-            let ShardResponse::Applied { outcomes, .. } = resp else {
-                return Err(ClusterError::Rpc {
-                    shard: s,
-                    error: RpcError::Protocol("expected Applied".to_string()),
-                });
+            );
+            let outcomes = match resp {
+                Ok(ShardResponse::Applied { outcomes, .. }) => Some(outcomes),
+                Ok(_) | Err(_) => {
+                    // Worker error, protocol violation, or transport
+                    // failure: the shard's apply state is unknown (a
+                    // worker that failed mid-batch holds a partial
+                    // prefix and shuts itself down). Reap it and rejoin
+                    // inline — the WAL already holds this batch, so the
+                    // replay lands the fresh worker exactly at this
+                    // boundary and recovers its owner outcomes. If the
+                    // rejoin fails too, the shard stays dead (the next
+                    // apply rejoins it up front); only its owner
+                    // outcomes for this one batch are lost.
+                    self.reap(s);
+                    match self.rejoin(s) {
+                        Ok(Some((e, outcomes))) if e == epoch => Some(outcomes),
+                        Ok(_) | Err(_) => None,
+                    }
+                }
             };
+            let Some(outcomes) = outcomes else { continue };
             for (i, &code) in outcomes.iter().enumerate() {
                 if code != gir_core::wire::outcome::NONE && code != gir_core::wire::outcome::PURGED
                 {
@@ -453,7 +493,11 @@ impl RemoteShards {
             .fetch_add(report.inserted as u64, Ordering::SeqCst);
         self.records
             .fetch_sub(report.deleted as u64, Ordering::SeqCst);
-        if epoch % self.cfg.snapshot_every == 0 {
+        // A snapshot cut needs every worker live; with a shard still
+        // dead (its inline rejoin failed above) skip the roll — safe,
+        // because the WAL is never rotated, so the previous snapshot
+        // still seeds any replay.
+        if epoch % self.cfg.snapshot_every == 0 && self.dead_shards().is_empty() {
             self.roll_snapshot(epoch)?;
         }
         Ok(ClusterApply {

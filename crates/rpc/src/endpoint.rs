@@ -181,15 +181,34 @@ impl Drop for UdsEndpoint {
 }
 
 /// A real child process running the worker binary, speaking frames
-/// over its stdin/stdout. Reads are blocking (child pipes have no
-/// portable deadline), so a hung child is surfaced by `kill` on
-/// shutdown rather than per-call timeouts — use the thread endpoints
-/// when timeout fidelity matters.
+/// over its stdin/stdout. Child pipes have no portable read deadline,
+/// so a reader thread owns stdout and hands decoded frames over a
+/// channel; `call` bounds the wait with `recv_timeout`. A timeout
+/// poisons the endpoint and kills the child — the same
+/// poison-then-rejoin contract as the thread endpoints, so
+/// `RemoteConfig.timeout` is enforced for process workers too.
 #[cfg(feature = "process-worker")]
 pub struct ProcessEndpoint {
     child: std::process::Child,
-    stdin: std::process::ChildStdin,
-    stdout: std::process::ChildStdout,
+    stdin: Option<std::process::ChildStdin>,
+    frames: std::sync::mpsc::Receiver<Result<(u8, Vec<u8>), RpcError>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    poisoned: bool,
+}
+
+/// Reads one full frame off the child's stdout.
+#[cfg(feature = "process-worker")]
+fn read_child_frame(stdout: &mut std::process::ChildStdout) -> Result<(u8, Vec<u8>), RpcError> {
+    use gir_core::wire::{self, FRAME_HEADER};
+    use std::io::Read;
+    let mut header = [0u8; FRAME_HEADER];
+    stdout.read_exact(&mut header)?;
+    let total = wire::frame_size(&header)?;
+    let mut frame = vec![0u8; total];
+    frame[..FRAME_HEADER].copy_from_slice(&header);
+    stdout.read_exact(&mut frame[FRAME_HEADER..])?;
+    let (kind, payload) = wire::decode_frame(&frame)?;
+    Ok((kind, payload.to_vec()))
 }
 
 #[cfg(feature = "process-worker")]
@@ -202,42 +221,98 @@ impl ProcessEndpoint {
             .stdout(Stdio::piped())
             .spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let (tx, frames) = std::sync::mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name("gir-rpc-proc-reader".to_string())
+            .spawn(move || loop {
+                let res = read_child_frame(&mut stdout);
+                let done = res.is_err();
+                if tx.send(res).is_err() || done {
+                    return;
+                }
+            })
+            .expect("spawn reader thread");
         Ok(ProcessEndpoint {
             child,
-            stdin,
-            stdout,
+            stdin: Some(stdin),
+            frames,
+            reader: Some(reader),
+            poisoned: false,
         })
+    }
+
+    /// Marks the endpoint dead and kills the child: a hung or broken
+    /// worker must not outlive the call that detected it, and its pipe
+    /// may still carry a late response no newer request may see.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.stdin.take();
+        let _ = self.child.kill();
     }
 }
 
 #[cfg(feature = "process-worker")]
 impl ShardEndpoint for ProcessEndpoint {
-    fn call(&mut self, req: &ShardRequest, _timeout: Duration) -> Result<ShardResponse, RpcError> {
-        use gir_core::wire::{self, FRAME_HEADER};
-        use std::io::{Read, Write};
-        self.stdin.write_all(&req.to_frame())?;
-        self.stdin.flush()?;
-        let mut header = [0u8; FRAME_HEADER];
-        self.stdout.read_exact(&mut header)?;
-        let total = wire::frame_size(&header)?;
-        let mut frame = vec![0u8; total];
-        frame[..FRAME_HEADER].copy_from_slice(&header);
-        self.stdout.read_exact(&mut frame[FRAME_HEADER..])?;
-        let (kind, payload) = wire::decode_frame(&frame)?;
-        if kind != KIND_RESPONSE {
-            return Err(RpcError::Protocol(format!(
-                "expected response frame, got kind {kind}"
-            )));
+    fn call(&mut self, req: &ShardRequest, timeout: Duration) -> Result<ShardResponse, RpcError> {
+        use std::io::Write;
+        if self.poisoned {
+            return Err(RpcError::Closed);
         }
-        Ok(ShardResponse::decode(payload)?)
+        let Some(stdin) = self.stdin.as_mut() else {
+            return Err(RpcError::Closed);
+        };
+        if let Err(e) = stdin
+            .write_all(&req.to_frame())
+            .and_then(|()| stdin.flush())
+        {
+            self.poison();
+            return Err(e.into());
+        }
+        match self.frames.recv_timeout(timeout) {
+            Ok(Ok((kind, payload))) => {
+                if kind != KIND_RESPONSE {
+                    return Err(RpcError::Protocol(format!(
+                        "expected response frame, got kind {kind}"
+                    )));
+                }
+                Ok(ShardResponse::decode(&payload)?)
+            }
+            Ok(Err(e)) => {
+                // The reader hit EOF or a broken frame: the stream is
+                // unusable from here on.
+                self.poison();
+                Err(e)
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                self.poison();
+                Err(RpcError::Timeout)
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                self.poison();
+                Err(RpcError::Closed)
+            }
+        }
     }
 
     fn shutdown(&mut self) {
         use std::io::Write;
-        let _ = self.stdin.write_all(&ShardRequest::Shutdown.to_frame());
-        let _ = self.stdin.flush();
+        if !self.poisoned {
+            if let Some(stdin) = self.stdin.as_mut() {
+                let _ = stdin
+                    .write_all(&ShardRequest::Shutdown.to_frame())
+                    .and_then(|()| stdin.flush());
+                // Give a healthy child a moment to answer `Bye` and
+                // exit on its own before the kill backstop below.
+                let _ = self.frames.recv_timeout(Duration::from_millis(200));
+            }
+        }
+        self.stdin.take();
+        let _ = self.child.kill();
         let _ = self.child.wait();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -246,6 +321,9 @@ impl Drop for ProcessEndpoint {
     fn drop(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
     }
 }
 

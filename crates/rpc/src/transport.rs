@@ -150,7 +150,8 @@ impl Drop for LoopbackConn {
 }
 
 /// A `UnixStream` socketpair end — the same framed protocol across a
-/// real kernel boundary. Deadlines map to `set_read_timeout`.
+/// real kernel boundary. Deadlines map to `set_read_timeout`,
+/// recomputed per syscall so a slow-dripping peer cannot stretch them.
 #[cfg(unix)]
 pub struct UdsConn(std::os::unix::net::UnixStream);
 
@@ -173,18 +174,30 @@ impl Conn for UdsConn {
 
     fn read_exact(&mut self, buf: &mut [u8], deadline: Option<Instant>) -> Result<(), RpcError> {
         use std::io::Read;
-        let timeout = match deadline {
-            None => None,
-            Some(t) => {
-                let now = Instant::now();
-                if now >= t {
-                    return Err(RpcError::Timeout);
+        // std's `read_exact` would grant *each* of its inner read
+        // syscalls the full remaining budget, so a peer dripping one
+        // byte per near-deadline interval could hold the call
+        // arbitrarily past the deadline. Loop over single reads,
+        // re-deriving the remaining time before every syscall.
+        let mut filled = 0;
+        while filled < buf.len() {
+            match deadline {
+                None => self.0.set_read_timeout(None)?,
+                Some(t) => {
+                    let now = Instant::now();
+                    if now >= t {
+                        return Err(RpcError::Timeout);
+                    }
+                    self.0.set_read_timeout(Some(t - now))?;
                 }
-                Some(t - now)
             }
-        };
-        self.0.set_read_timeout(timeout)?;
-        (&self.0).read_exact(buf)?;
+            match (&self.0).read(&mut buf[filled..]) {
+                Ok(0) => return Err(RpcError::Closed),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
         Ok(())
     }
 
@@ -267,6 +280,37 @@ mod tests {
         let mut client = FrameConn::new(a);
         drop(b);
         assert_eq!(client.recv(None), Err(RpcError::Closed));
+    }
+
+    /// A peer dripping one byte per interval must not stretch the
+    /// deadline: each drip used to re-arm the per-syscall timeout, so
+    /// `read_exact` could run `header_len × interval` (and recv reads
+    /// header then body, compounding it). The deadline is absolute.
+    #[cfg(unix)]
+    #[test]
+    fn uds_deadline_bounds_a_slow_dripping_peer() {
+        let (a, b) = UdsConn::pair().unwrap();
+        let mut client = FrameConn::new(a);
+        let writer = std::thread::spawn(move || {
+            let mut b = b;
+            let frame = wire::encode_frame(KIND_REQUEST, &[0u8; 64]);
+            for byte in frame.chunks(1) {
+                if b.write_all(byte).is_err() {
+                    return; // reader gave up — done
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        let start = Instant::now();
+        let res = client.recv(Some(Instant::now() + Duration::from_millis(60)));
+        let elapsed = start.elapsed();
+        assert_eq!(res, Err(RpcError::Timeout));
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "deadline overshot: {elapsed:?}"
+        );
+        client.shutdown();
+        writer.join().unwrap();
     }
 
     #[cfg(unix)]

@@ -84,7 +84,8 @@ impl ShardWorker {
     }
 
     /// Handles one request. Returns the response and whether the worker
-    /// should shut down afterwards (`Shutdown` only).
+    /// should shut down afterwards (`Shutdown`, or a mid-batch `Apply`
+    /// failure that left partial state behind).
     pub fn handle(&mut self, req: ShardRequest) -> (ShardResponse, bool) {
         match req {
             ShardRequest::Ping => (ShardResponse::Pong, false),
@@ -107,7 +108,7 @@ impl ShardWorker {
                     },
                     false,
                 ),
-                Some(st) => (Self::dispatch(st, other), false),
+                Some(st) => Self::dispatch(st, other),
             },
         }
     }
@@ -158,17 +159,42 @@ impl ShardWorker {
         ShardResponse::Loaded { epoch }
     }
 
-    fn dispatch(st: &mut WorkerState, req: ShardRequest) -> ShardResponse {
-        match req {
+    /// Dispatches a post-`Load` request. The second return is the
+    /// shutdown flag: `true` only for a mid-batch `Apply` failure,
+    /// where the shard holds a partially-applied batch — staying alive
+    /// would let the coordinator keep using a diverged shard, so the
+    /// worker answers the error and dies (the coordinator reaps the
+    /// endpoint and rejoins from snapshot + WAL).
+    fn dispatch(st: &mut WorkerState, req: ShardRequest) -> (ShardResponse, bool) {
+        let resp = match req {
             ShardRequest::Apply { epoch, batch } => {
+                // Batches are a contiguous replica stream: accepting a
+                // gap would silently skip every batch in between (the
+                // coordinator cannot tell — worker epochs would just
+                // mirror the last Apply). Answer an error with state
+                // untouched; the coordinator must rejoin this shard.
+                if epoch != st.epoch + 1 {
+                    return (
+                        ShardResponse::Error {
+                            message: format!(
+                                "epoch gap: worker at {}, batch is {epoch}",
+                                st.epoch
+                            ),
+                        },
+                        false,
+                    );
+                }
                 let mut outcomes = Vec::with_capacity(batch.ops.len());
                 for op in &batch.ops {
                     let out = match Self::apply_op(st, op) {
                         Ok(code) => code,
                         Err(e) => {
-                            return ShardResponse::Error {
-                                message: format!("apply failed: {e}"),
-                            }
+                            return (
+                                ShardResponse::Error {
+                                    message: format!("apply failed: {e}"),
+                                },
+                                true,
+                            )
                         }
                     };
                     outcomes.push(out);
@@ -181,17 +207,23 @@ impl ShardWorker {
                 let state = match st.index.snapshot(&st.tree) {
                     Ok(s) => s,
                     Err(e) => {
-                        return ShardResponse::Error {
-                            message: format!("snapshot failed: {e}"),
-                        }
+                        return (
+                            ShardResponse::Error {
+                                message: format!("snapshot failed: {e}"),
+                            },
+                            false,
+                        )
                     }
                 };
                 let mirror = match state.mirror(&st.tree) {
                     Ok(m) => m,
                     Err(e) => {
-                        return ShardResponse::Error {
-                            message: format!("mirror failed: {e}"),
-                        }
+                        return (
+                            ShardResponse::Error {
+                                message: format!("mirror failed: {e}"),
+                            },
+                            false,
+                        )
                     }
                 };
                 let (res, _frontier) = mirror.topk(&st.scoring, &weights, k as usize);
@@ -244,7 +276,8 @@ impl ShardWorker {
             ShardRequest::Ping | ShardRequest::Shutdown | ShardRequest::Load { .. } => {
                 unreachable!("handled by the caller")
             }
-        }
+        };
+        (resp, false)
     }
 
     fn apply_op(st: &mut WorkerState, op: &WalOp) -> Result<u8, gir_rtree::RTreeError> {
@@ -513,5 +546,49 @@ mod tests {
                 outcomes: vec![outcome::PURGED],
             }
         );
+    }
+
+    #[test]
+    fn apply_rejects_epoch_gaps_without_touching_state() {
+        let recs = records(60, 2, 0xdead);
+        let scoring = ScoringFunction::linear(2);
+        let mut w = ShardWorker::new();
+        w.handle(ShardRequest::Load {
+            shard: 0,
+            num_shards: 1,
+            placement: placement_tag(Placement::Hash),
+            scoring,
+            epoch: 0,
+            records: recs,
+        });
+        let batch = WalBatch {
+            ops: vec![WalOp::Insert(Record::new(9001, vec![0.5, 0.5]))],
+        };
+        // A gap (worker at 0, batch claims 2) must be rejected — the
+        // skipped batch 1 would otherwise vanish silently.
+        let (resp, done) = w.handle(ShardRequest::Apply {
+            epoch: 2,
+            batch: batch.clone(),
+        });
+        assert!(!done, "an epoch gap is recoverable, not fatal");
+        let ShardResponse::Error { message } = resp else {
+            panic!("expected Error, got {resp:?}");
+        };
+        assert!(message.contains("epoch gap"), "reason names the gap: {message}");
+        // State untouched: the contiguous batch still applies cleanly…
+        let (resp, _) = w.handle(ShardRequest::Apply {
+            epoch: 1,
+            batch: batch.clone(),
+        });
+        assert_eq!(
+            resp,
+            ShardResponse::Applied {
+                epoch: 1,
+                outcomes: vec![outcome::INSERTED],
+            }
+        );
+        // …and replaying the same epoch is itself a gap (1 ≠ 1 + 1).
+        let (resp, _) = w.handle(ShardRequest::Apply { epoch: 1, batch });
+        assert!(matches!(resp, ShardResponse::Error { .. }));
     }
 }

@@ -2,13 +2,14 @@
 //! (`rpc_differential`, `rpc_faults`): endpoint factories with fault
 //! injection and the matched coordinator/in-process configurations.
 
-use gir::core::Method;
+use gir::core::{Method, ShardRequest, ShardResponse};
 use gir::prelude::*;
 use gir::rpc::{
-    DistributedServerConfig, EndpointFactory, FaultPlan, FaultyEndpoint, RemoteConfig,
-    ThreadEndpoint,
+    DistributedServerConfig, EndpointFactory, FaultPlan, FaultyEndpoint, RemoteConfig, RpcError,
+    ShardEndpoint, ThreadEndpoint,
 };
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -43,6 +44,61 @@ pub fn one_shot_faulty_factory(plan: Arc<FaultPlan>) -> EndpointFactory {
             shard,
             plan,
         ))
+    })
+}
+
+/// Kills the worker the moment an `Apply` arrives, while `kills` holds
+/// charges — the coordinator sees `Closed` mid-broadcast with the
+/// shard's apply state unknown. `FaultyEndpoint` deliberately exempts
+/// `Apply` traffic (rejoin replays must stay reliable under the query
+/// fault plans), so the apply-path contract needs its own injector.
+struct ApplyKillEndpoint {
+    inner: Option<Box<dyn ShardEndpoint>>,
+    kills: Arc<AtomicU32>,
+}
+
+impl ShardEndpoint for ApplyKillEndpoint {
+    fn call(&mut self, req: &ShardRequest, timeout: Duration) -> Result<ShardResponse, RpcError> {
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(RpcError::Closed);
+        };
+        if matches!(req, ShardRequest::Apply { .. })
+            && self
+                .kills
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            let mut dead = self.inner.take().expect("checked above");
+            dead.shutdown();
+            return Err(RpcError::Closed);
+        }
+        inner.call(req, timeout)
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(mut inner) = self.inner.take() {
+            inner.shutdown();
+        }
+    }
+}
+
+/// Thread workers where shard `target`'s endpoints die on `Apply`
+/// while `kills` holds charges. The charge pool is shared across
+/// endpoint instances of the shard, so a replacement spawned by the
+/// rejoin protocol can be made to fail too (one charge per kill);
+/// start at zero and `store` charges right before the broadcast under
+/// test.
+pub fn apply_kill_factory(target: usize, kills: Arc<AtomicU32>) -> EndpointFactory {
+    Box::new(move |shard| {
+        let ep: Box<dyn ShardEndpoint> = Box::new(ThreadEndpoint::spawn());
+        if shard == target {
+            Box::new(ApplyKillEndpoint {
+                inner: Some(ep),
+                kills: kills.clone(),
+            })
+        } else {
+            ep
+        }
     })
 }
 

@@ -22,12 +22,13 @@
 
 mod common;
 
-use common::oracle::{probe_requests, records};
-use common::rpc::{dist_cfg, inproc_cfg, one_shot_faulty_factory};
+use common::oracle::{dataset_key, probe_requests, records, report_key};
+use common::rpc::{apply_kill_factory, dist_cfg, inproc_cfg, one_shot_faulty_factory};
 use gir::obs::rpc::RpcCounters;
 use gir::prelude::*;
 use gir::rpc::{DistributedGirServer, Fault, FaultAction, FaultPlan};
 use gir::shard::ShardedGirServer;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Serializes the tests of this binary: they share the process-global
@@ -233,6 +234,172 @@ fn dead_slot_short_circuits_without_counter_movement() {
     assert_eq!(dist.rejoin_dead().unwrap(), 1);
     let out = dist.run_batch(&req[..1]);
     assert!(!out.responses[0].failed, "rejoined worker must answer");
+    assert_live(&c);
+    dist.shutdown();
+}
+
+/// Builds matched distributed/oracle servers where shard 1's worker
+/// dies on `Apply` while `kills` holds charges, plus three update
+/// batches that churn every shard.
+fn apply_fault_fixture(
+    seed: u64,
+    kills: &Arc<AtomicU32>,
+) -> (
+    Vec<Record>,
+    DistributedGirServer,
+    ShardedGirServer,
+    Vec<Vec<Update>>,
+) {
+    let d = 3;
+    let s = 4;
+    let data = records(120, d, seed);
+    let dist = DistributedGirServer::launch(
+        &data,
+        ScoringFunction::linear(d),
+        dist_cfg(s, Placement::Hash),
+        apply_kill_factory(1, kills.clone()),
+    )
+    .unwrap();
+    let oracle = ShardedGirServer::build(
+        d,
+        &data,
+        ScoringFunction::linear(d),
+        inproc_cfg(s, Placement::Hash),
+    )
+    .unwrap();
+    // Three batches: inserts spread across shards plus a delete each,
+    // derived purely from `data` so both sides see identical streams.
+    let mut next_id = 7_000_000u64;
+    let batches = (0..3)
+        .map(|b| {
+            let mut batch: Vec<Update> = (0..6)
+                .map(|i| {
+                    let src = &data[(b * 17 + i * 5) % data.len()];
+                    let attrs: Vec<f64> =
+                        src.attrs.coords().iter().map(|x| (x * 0.83) + 0.05).collect();
+                    let rec = Record::new(next_id, attrs);
+                    next_id += 1;
+                    Update::Insert(rec)
+                })
+                .collect();
+            let victim = &data[(b * 31 + 7) % data.len()];
+            batch.push(Update::Delete {
+                id: victim.id,
+                attrs: victim.attrs.clone(),
+            });
+            batch
+        })
+        .collect();
+    (data, dist, oracle, batches)
+}
+
+/// The silent-divergence regression: a worker lost *mid-broadcast*
+/// must not abort the broadcast — the shards after it still receive
+/// the batch, and the reaped shard rejoins inline (the WAL already
+/// holds the batch), recovering even its owner outcomes. Everything
+/// downstream — report, record multiset, fresh queries — stays
+/// bit-identical to the in-process oracle.
+#[test]
+fn apply_failure_mid_broadcast_rejoins_inline_without_divergence() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = RpcCounters::global();
+    let kills = Arc::new(AtomicU32::new(0));
+    let (_, dist, oracle, batches) = apply_fault_fixture(0xAF01, &kills);
+
+    let r_d = dist.apply_updates(&batches[0]).unwrap();
+    let r_o = oracle.apply_updates(&batches[0]).unwrap();
+    assert_eq!(report_key(&r_d), report_key(&r_o), "clean batch diverged");
+
+    // Shard 1 dies on its Apply of batch 2; the rejoin's replacement
+    // endpoint draws no charge and comes back healthy.
+    kills.store(1, Ordering::SeqCst);
+    let base = snap(&c);
+    let r_d = dist.apply_updates(&batches[1]).unwrap();
+    let r_o = oracle.apply_updates(&batches[1]).unwrap();
+    assert_eq!(
+        report_key(&r_d),
+        report_key(&r_o),
+        "inline rejoin must recover the dead shard's owner outcomes"
+    );
+    assert!(
+        dist.dead_shards().is_empty(),
+        "the killed shard must rejoin within the apply"
+    );
+    assert_eq!(
+        snap(&c).rejoins - base.rejoins,
+        1,
+        "exactly one inline rejoin"
+    );
+
+    // Fresh misses agree with the oracle — proof that the shards
+    // *after* the failing one still received the batch.
+    let fresh = probe_requests(&[vec![0.2, 0.5, 0.8], vec![0.7, 0.6, 0.1]], 5);
+    let got = dist.run_batch(&fresh);
+    let want = oracle.run_batch(&fresh);
+    for (i, (g, w)) in got.responses.iter().zip(&want.responses).enumerate() {
+        assert!(!g.failed, "probe {i} failed");
+        assert_eq!(g.ids, w.ids, "probe {i} ids diverged after the fault");
+    }
+    assert_eq!(
+        dataset_key(dist.records_snapshot().unwrap()),
+        dataset_key(oracle.records_snapshot().unwrap()),
+        "record multiset diverged"
+    );
+    assert_live(&c);
+    dist.shutdown();
+}
+
+/// The worst case: the inline rejoin fails too (the replacement worker
+/// also dies on its replay `Apply`). The shard stays dead — visibly,
+/// not silently — the broadcast still reaches every later shard, the
+/// snapshot roll is skipped (a cut needs all workers), and the next
+/// update batch rejoins the shard up front, converging both sides
+/// bit-identically.
+#[test]
+fn apply_failure_with_failed_rejoin_leaves_shard_dead_then_converges() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = RpcCounters::global();
+    let kills = Arc::new(AtomicU32::new(0));
+    let (_, dist, oracle, batches) = apply_fault_fixture(0xAF02, &kills);
+
+    dist.apply_updates(&batches[0]).unwrap();
+    oracle.apply_updates(&batches[0]).unwrap();
+
+    // Charge 1 kills the live worker mid-broadcast; charge 2 kills the
+    // rejoin replacement on its first replay Apply. Batch 2 is epoch 2
+    // (snapshot cadence boundary): the roll must be skipped, not fail.
+    kills.store(2, Ordering::SeqCst);
+    dist.apply_updates(&batches[1]).unwrap();
+    oracle.apply_updates(&batches[1]).unwrap();
+    assert_eq!(
+        dist.dead_shards(),
+        vec![1],
+        "a failed rejoin must leave the shard visibly dead"
+    );
+
+    // The next batch rejoins up front (no charges left) and replays the
+    // full WAL suffix — nothing was skipped anywhere.
+    let r_d = dist.apply_updates(&batches[2]).unwrap();
+    let r_o = oracle.apply_updates(&batches[2]).unwrap();
+    assert_eq!(
+        (r_d.inserted, r_d.deleted, r_d.missed_deletes),
+        (r_o.inserted, r_o.deleted, r_o.missed_deletes),
+        "post-recovery owner outcomes diverged"
+    );
+    assert!(dist.dead_shards().is_empty(), "up-front rejoin failed");
+
+    let fresh = probe_requests(&[vec![0.15, 0.45, 0.85], vec![0.65, 0.7, 0.2]], 4);
+    let got = dist.run_batch(&fresh);
+    let want = oracle.run_batch(&fresh);
+    for (i, (g, w)) in got.responses.iter().zip(&want.responses).enumerate() {
+        assert!(!g.failed, "probe {i} failed");
+        assert_eq!(g.ids, w.ids, "probe {i} ids diverged after recovery");
+    }
+    assert_eq!(
+        dataset_key(dist.records_snapshot().unwrap()),
+        dataset_key(oracle.records_snapshot().unwrap()),
+        "record multiset diverged after recovery"
+    );
     assert_live(&c);
     dist.shutdown();
 }
